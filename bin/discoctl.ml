@@ -1,0 +1,292 @@
+(* discoctl — drive a Disco mediator from the command line.
+
+   The tool builds a demo federation (the paper's person world, a
+   configurable number of sources) or loads ODL from a file, then runs
+   queries, explains plans, simulates outages, and prints the catalog.
+
+   Examples:
+
+     discoctl query "select x.name from x in person where x.salary > 10"
+     discoctl query --sources 8 --down r1,r3 --timeout 50 "..."
+     discoctl explain "select x.name from x in person"
+     discoctl repl --sources 4
+     discoctl schema --odl my_schema.odl *)
+
+module V = Disco_value.Value
+module Source = Disco_source.Source
+module Schedule = Disco_source.Schedule
+module Datagen = Disco_source.Datagen
+module Database = Disco_relation.Database
+module Mediator = Disco_core.Mediator
+module Registry = Disco_odl.Registry
+
+open Cmdliner
+
+let setup_logs verbosity =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level
+    (match verbosity with
+    | 0 -> Some Logs.Warning
+    | 1 -> Some Logs.Info
+    | _ -> Some Logs.Debug)
+
+let verbosity_arg =
+  let doc = "Log verbosity: repeat for more (-v info, -vv debug)." in
+  Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+
+(* -- federation setup -- *)
+
+let build_mediator ~sources ~rows ~wrapper ~down ~odl_file =
+  let m = Mediator.create ~name:"discoctl" () in
+  (match odl_file with
+  | Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      Mediator.load_odl m text
+  | None ->
+      Mediator.load_odl m
+        (Fmt.str
+           {|w0 := %s();
+             interface Person (extent person) {
+               attribute Short id;
+               attribute String name;
+               attribute Short salary; }|}
+           wrapper);
+      for i = 0 to sources - 1 do
+        let name = Fmt.str "person%d" i in
+        let db = Database.create ~name:"db" in
+        ignore
+          (Datagen.table_of db ~name Datagen.person_schema
+             (Datagen.person_rows ~seed:(42 + i) ~n:rows));
+        Mediator.register_source m ~name:(Fmt.str "r%d" i)
+          (Source.create ~id:name
+             ~address:
+               (Source.address ~host:(Fmt.str "site%d" i) ~db_name:"db"
+                  ~ip:(Fmt.str "10.0.0.%d" i) ())
+             (Source.Relational db));
+        Mediator.load_odl m
+          (Fmt.str
+             {|r%d := Repository(host="site%d", name="db", address="10.0.0.%d");
+               extent person%d of Person wrapper w0 repository r%d;|}
+             i i i i i)
+      done);
+  List.iter
+    (fun repo ->
+      match Mediator.find_source m repo with
+      | Some src -> Source.set_schedule src Schedule.always_down
+      | None -> Fmt.epr "warning: no source attached to %s@." repo)
+    down;
+  m
+
+let print_outcome outcome =
+  (match outcome.Mediator.answer with
+  | Mediator.Complete v -> Fmt.pr "answer: %a@." V.pp v
+  | Mediator.Partial { oql; unavailable; stale_hint } ->
+      Fmt.pr "partial answer (unavailable: %s):@.  %s@."
+        (String.concat ", " unavailable)
+        oql;
+      if stale_hint <> [] then
+        Fmt.pr "note: data changed at %s since it answered@."
+          (String.concat ", " stale_hint)
+  | Mediator.Unavailable repos ->
+      Fmt.pr "no answer: %s unavailable@." (String.concat ", " repos));
+  let s = outcome.Mediator.stats in
+  Fmt.pr
+    "stats: %d execs (%d answered, %d blocked), %d tuples shipped, %.1f \
+     virtual ms%s%s@."
+    s.Disco_runtime.Runtime.execs_issued s.Disco_runtime.Runtime.execs_answered
+    s.Disco_runtime.Runtime.execs_blocked
+    s.Disco_runtime.Runtime.tuples_shipped s.Disco_runtime.Runtime.elapsed_ms
+    (if outcome.Mediator.from_cache then ", cached plan" else "")
+    (if outcome.Mediator.fallback then ", capability fallback" else "")
+
+(* -- common options -- *)
+
+let sources_arg =
+  let doc = "Number of generated person sources in the demo federation." in
+  Arg.(value & opt int 2 & info [ "sources"; "n" ] ~docv:"N" ~doc)
+
+let rows_arg =
+  let doc = "Rows per generated source." in
+  Arg.(value & opt int 10 & info [ "rows" ] ~docv:"ROWS" ~doc)
+
+let wrapper_arg =
+  let doc =
+    "Wrapper constructor for the demo sources (WrapperPostgres, \
+     WrapperSelect, WrapperProject, WrapperScan)."
+  in
+  Arg.(value & opt string "WrapperPostgres" & info [ "wrapper" ] ~docv:"W" ~doc)
+
+let down_arg =
+  let doc = "Comma-separated repository names to take offline (e.g. r0,r2)." in
+  let repos = Arg.(list ~sep:',' string) in
+  Arg.(value & opt repos [] & info [ "down" ] ~docv:"REPOS" ~doc)
+
+let timeout_arg =
+  let doc = "Designated deadline in virtual milliseconds (Section 4)." in
+  Arg.(value & opt float 1000.0 & info [ "timeout" ] ~docv:"MS" ~doc)
+
+let odl_arg =
+  let doc = "Load this ODL file instead of building the demo federation." in
+  Arg.(value & opt (some file) None & info [ "odl" ] ~docv:"FILE" ~doc)
+
+let semantics_arg =
+  let doc =
+    "Unavailable-data semantics: partial (default), wait-all, null, skip."
+  in
+  let choices =
+    Arg.enum
+      [
+        ("partial", Mediator.Partial_answers);
+        ("wait-all", Mediator.Wait_all);
+        ("null", Mediator.Null_sources);
+        ("skip", Mediator.Skip_sources);
+      ]
+  in
+  Arg.(value & opt choices Mediator.Partial_answers & info [ "semantics" ] ~doc)
+
+let with_mediator f sources rows wrapper down odl_file verbosity =
+  setup_logs (List.length verbosity);
+  match f (build_mediator ~sources ~rows ~wrapper ~down ~odl_file) with
+  | () -> `Ok ()
+  | exception Mediator.Mediator_error m -> `Error (false, m)
+  | exception Disco_runtime.Runtime.Runtime_error m -> `Error (false, m)
+
+(* -- commands -- *)
+
+let query_cmd =
+  let q_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
+  in
+  let run sources rows wrapper down odl_file timeout semantics verbosity q =
+    with_mediator
+      (fun m -> print_outcome (Mediator.query ~timeout_ms:timeout ~semantics m q))
+      sources rows wrapper down odl_file verbosity
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run an OQL query against the federation.")
+    Term.(
+      ret
+        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
+       $ timeout_arg $ semantics_arg $ verbosity_arg $ q_arg))
+
+let explain_cmd =
+  let q_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
+  in
+  let run sources rows wrapper down odl_file verbosity q =
+    with_mediator (fun m -> Fmt.pr "%s@." (Mediator.explain m q))
+      sources rows wrapper down odl_file verbosity
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the optimizer's plan for a query without executing it.")
+    Term.(
+      ret
+        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
+       $ verbosity_arg $ q_arg))
+
+let schema_cmd =
+  let run sources rows wrapper down odl_file verbosity =
+    with_mediator
+      (fun m ->
+        let reg = Mediator.registry m in
+        Fmt.pr "interfaces:@.";
+        List.iter
+          (fun name ->
+            let attrs = Registry.attributes_of reg name in
+            Fmt.pr "  %s { %s }@." name
+              (String.concat "; "
+                 (List.map
+                    (fun (a, ty) -> Fmt.str "%s: %s" a (Disco_odl.Otype.to_string ty))
+                    attrs)))
+          (Registry.interface_names reg);
+        Fmt.pr "extents:@.";
+        List.iter
+          (fun e ->
+            Fmt.pr "  %s of %s via %s at %s@." e.Registry.me_name
+              e.Registry.me_interface e.Registry.me_wrapper
+              e.Registry.me_repository)
+          (Registry.all_extents reg);
+        Fmt.pr "views: %s@."
+          (String.concat ", " (Registry.view_names reg)))
+      sources rows wrapper down odl_file verbosity
+  in
+  Cmd.v
+    (Cmd.info "schema" ~doc:"Print the mediator's internal schema database.")
+    Term.(
+      ret
+        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
+       $ verbosity_arg))
+
+let repl_cmd =
+  let run sources rows wrapper down odl_file timeout semantics verbosity =
+    with_mediator
+      (fun m ->
+        Fmt.pr
+          "disco repl — OQL queries, ':odl <stmt>' to define, ':quit' to \
+           leave@.";
+        let rec loop () =
+          Fmt.pr "disco> %!";
+          match In_channel.input_line stdin with
+          | None -> ()
+          | Some "" -> loop ()
+          | Some ":quit" | Some ":q" -> ()
+          | Some line when String.length line > 5 && String.sub line 0 5 = ":odl " ->
+              (try Mediator.load_odl m (String.sub line 5 (String.length line - 5))
+               with Mediator.Mediator_error e -> Fmt.pr "error: %s@." e);
+              loop ()
+          | Some q ->
+              (try
+                 print_outcome (Mediator.query ~timeout_ms:timeout ~semantics m q)
+               with
+              | Mediator.Mediator_error e -> Fmt.pr "error: %s@." e
+              | Disco_runtime.Runtime.Runtime_error e -> Fmt.pr "error: %s@." e);
+              loop ()
+        in
+        loop ())
+      sources rows wrapper down odl_file verbosity
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive OQL shell over the federation.")
+    Term.(
+      ret
+        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
+       $ timeout_arg $ semantics_arg $ verbosity_arg))
+
+let catalog_cmd =
+  let run sources rows wrapper down odl_file verbosity =
+    with_mediator
+      (fun m ->
+        let module Catalog = Disco_catalog.Catalog in
+        let c = Catalog.create ~name:"discoctl" in
+        Mediator.register_in_catalog m c;
+        Fmt.pr "%a@." Catalog.pp c;
+        List.iter
+          (fun e ->
+            Fmt.pr "  %-10s %-12s owner=%s %s@."
+              (Catalog.kind_name e.Catalog.e_kind)
+              e.Catalog.e_name e.Catalog.e_owner
+              (String.concat ", "
+                 (List.map (fun (k, v) -> k ^ "=" ^ v) e.Catalog.e_info)))
+          (Catalog.entries c))
+      sources rows wrapper down odl_file verbosity
+  in
+  Cmd.v
+    (Cmd.info "catalog"
+       ~doc:"Register the federation in a catalog and print the overview.")
+    Term.(
+      ret
+        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
+       $ verbosity_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "discoctl" ~version:"1.0.0"
+       ~doc:"Drive a Disco heterogeneous-database mediator.")
+    [ query_cmd; explain_cmd; schema_cmd; repl_cmd; catalog_cmd ]
+
+let () = exit (Cmd.eval main)

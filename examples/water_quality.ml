@@ -1,0 +1,124 @@
+(* The environmental application that motivates DISCO (Section 1):
+   "Multiple databases, distributed geographically, contain measurements
+   of water quality at the physical site of the database. All of these
+   measurements have the same type."
+
+   Sixteen monitoring stations expose identical reading relations. The
+   DBA integrates each with one extent statement; analysts query the
+   single implicit extent [reading]. Stations go down routinely (remote
+   hardware), so partial answers are the norm: the example runs a
+   pollution scan while a storm takes out a river valley, then resubmits
+   when the stations recover.
+
+   Run with: dune exec examples/water_quality.exe *)
+
+module V = Disco_value.Value
+module Source = Disco_source.Source
+module Schedule = Disco_source.Schedule
+module Clock = Disco_source.Clock
+module Database = Disco_relation.Database
+module Datagen = Disco_source.Datagen
+module Mediator = Disco_core.Mediator
+module Runtime = Disco_runtime.Runtime
+
+let station_names =
+  [
+    "seine_amont"; "seine_aval"; "marne"; "oise"; "yonne"; "loing"; "eure";
+    "aube"; "essonne"; "orge"; "bievre"; "ourcq"; "grand_morin"; "petit_morin";
+    "therouanne"; "yerres";
+  ]
+
+let station_source ~index ~name =
+  let db = Database.create ~name in
+  ignore
+    (Datagen.table_of db
+       ~name:(Fmt.str "reading%d" index)
+       Datagen.water_schema
+       (Datagen.water_rows ~seed:(100 + index) ~station:name ~n:200));
+  Source.create ~id:name
+    ~address:(Source.address ~host:name ~db_name:"hydro" ~ip:(Fmt.str "10.0.0.%d" index) ())
+    ~latency:{ Source.base_ms = 12.0; per_row_ms = 0.05; jitter = 0.1 }
+    (Source.Relational db)
+
+let () =
+  let m = Mediator.create ~name:"hydromed" () in
+
+  (* One interface for every station; one extent statement per station. *)
+  Mediator.load_odl m
+    {|
+    w0 := WrapperPostgres();
+    interface Reading (extent reading) {
+      attribute String station;
+      attribute Short ts;
+      attribute Float ph;
+      attribute Float turbidity;
+      attribute Float oxygen; }
+  |};
+  List.iteri
+    (fun i name ->
+      Mediator.register_source m ~name:(Fmt.str "r%d" i) (station_source ~index:i ~name);
+      Mediator.load_odl m
+        (Fmt.str
+           {|r%d := Repository(host="%s", name="hydro", address="10.0.0.%d");
+             extent reading%d of Reading wrapper w0 repository r%d;|}
+           i name i i i))
+    station_names;
+  Fmt.pr "integrated %d stations (one ODL statement each)@."
+    (List.length station_names);
+
+  (* A pollution scan: low oxygen AND high turbidity, network-wide. *)
+  let q =
+    "select struct(station: x.station, oxygen: x.oxygen, turbidity: \
+     x.turbidity) from x in reading where x.oxygen < 4.4 and x.turbidity > 38.0"
+  in
+  Fmt.pr "@.pollution scan: %s@." q;
+  let o = Mediator.query ~timeout_ms:500.0 m q in
+  (match o.Mediator.answer with
+  | Mediator.Complete v ->
+      Fmt.pr "alerts: %d readings from %d stations shipped %d tuples in %.1f \
+              virtual ms@."
+        (V.cardinal v) (List.length station_names)
+        o.Mediator.stats.Runtime.tuples_shipped
+        o.Mediator.stats.Runtime.elapsed_ms
+  | _ -> assert false);
+
+  (* A storm takes out four river-valley stations. *)
+  let storm = [ 2; 3; 4; 5 ] in
+  List.iter
+    (fun i ->
+      match Mediator.find_source m (Fmt.str "r%d" i) with
+      | Some src -> Source.set_schedule src (Schedule.down_during [ (0.0, 60000.0) ])
+      | None -> ())
+    storm;
+  Fmt.pr "@.storm: stations %s offline@."
+    (String.concat ", " (List.map (fun i -> List.nth station_names i) storm));
+
+  let o = Mediator.query ~timeout_ms:300.0 m q in
+  (match o.Mediator.answer with
+  | Mediator.Partial { oql; unavailable; _ } ->
+      Fmt.pr "partial answer over %d live stations; %d unavailable@."
+        (List.length station_names - List.length unavailable)
+        (List.length unavailable);
+      Fmt.pr "residual query is %d characters of OQL (data from live \
+              stations inlined)@."
+        (String.length oql)
+  | Mediator.Complete _ -> Fmt.pr "unexpectedly complete@."
+  | Mediator.Unavailable _ -> assert false);
+
+  (* The storm passes; resubmit the saved partial answer. *)
+  Clock.advance (Mediator.clock m) 61000.0;
+  (match o.Mediator.answer with
+  | Mediator.Partial _ as partial -> (
+      match (Mediator.resubmit m partial).Mediator.answer with
+      | Mediator.Complete v ->
+          Fmt.pr "@.after the storm, resubmission completes: %d alerts@."
+            (V.cardinal v)
+      | _ -> Fmt.pr "still partial@.")
+  | _ -> ());
+
+  (* Aggregate analytics run through the mediator's hybrid evaluator. *)
+  let avg_q = "avg(select x.oxygen from x in reading)" in
+  match (Mediator.query m avg_q).Mediator.answer with
+  | Mediator.Complete (V.Float avg) ->
+      Fmt.pr "@.network-wide average dissolved oxygen: %.2f mg/L@." avg
+  | _ -> assert false

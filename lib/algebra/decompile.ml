@@ -1,0 +1,284 @@
+module V = Disco_value.Value
+module Ast = Disco_oql.Ast
+
+exception Not_decompilable of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Not_decompilable s)) fmt
+
+let arith_of = function
+  | Expr.Add -> Ast.Add
+  | Expr.Sub -> Ast.Sub
+  | Expr.Mul -> Ast.Mul
+  | Expr.Div -> Ast.Div
+  | Expr.Mod -> Ast.Mod
+
+let cmp_of = function
+  | Expr.Eq -> Ast.Eq
+  | Expr.Ne -> Ast.Ne
+  | Expr.Lt -> Ast.Lt
+  | Expr.Le -> Ast.Le
+  | Expr.Gt -> Ast.Gt
+  | Expr.Ge -> Ast.Ge
+  | Expr.Like -> Ast.Like
+
+(* Render a path against a base expression: base=None means paths are
+   variable references ([x; salary] -> x.salary); base=Some b roots the
+   path at b ([] -> b, [f] -> b.f). *)
+let path_to_ast ?base path =
+  match (base, path) with
+  | None, [] -> fail "element reference outside a variable scope"
+  | None, head :: rest ->
+      List.fold_left (fun acc f -> Ast.Path (acc, f)) (Ast.Ident head) rest
+  | Some b, path -> List.fold_left (fun acc f -> Ast.Path (acc, f)) b path
+
+let rec scalar_to_ast ?base = function
+  | Expr.Attr path -> path_to_ast ?base path
+  | Expr.Const v -> Ast.Const v
+  | Expr.Arith (op, a, b) ->
+      Ast.Binop (arith_of op, scalar_to_ast ?base a, scalar_to_ast ?base b)
+
+let rec pred_to_ast ?base = function
+  | Expr.True -> Ast.Const (V.Bool true)
+  | Expr.Cmp (op, a, b) ->
+      Ast.Binop (cmp_of op, scalar_to_ast ?base a, scalar_to_ast ?base b)
+  | Expr.Member (a, keys) ->
+      (* membership decompiles to an existential over the key constants *)
+      Ast.Quant
+        ( Ast.Exists,
+          "k",
+          Ast.Const keys,
+          Ast.Binop (Ast.Eq, scalar_to_ast ?base a, Ast.Ident "k") )
+  | Expr.And (a, b) -> Ast.Binop (Ast.And, pred_to_ast ?base a, pred_to_ast ?base b)
+  | Expr.Or (a, b) -> Ast.Binop (Ast.Or, pred_to_ast ?base a, pred_to_ast ?base b)
+  | Expr.Not a -> Ast.Unop (Ast.Not, pred_to_ast ?base a)
+
+let head_to_ast ?base = function
+  | Expr.Hscalar s -> scalar_to_ast ?base s
+  | Expr.Hstruct fields ->
+      Ast.Struct_expr (List.map (fun (n, s) -> (n, scalar_to_ast ?base s)) fields)
+
+(* Fresh variable names for compositional decompilation; the counter is
+   local to each decompile call so output is deterministic. *)
+let make_fresh () =
+  let counter = ref 0 in
+  let names = [| "x"; "y"; "z"; "u"; "w" |] in
+  fun () ->
+    incr counter;
+    if !counter <= Array.length names then names.(!counter - 1)
+    else Printf.sprintf "v%d" !counter
+
+(* -- the compiler's select shape -- *)
+
+(* A join tree of binds: Map(C, Hstruct [(x, Attr [])]) leaves combined
+   with Join. Returns the from-bindings and the equi-join conjuncts. *)
+let rec match_join_tree fresh e =
+  match e with
+  | Expr.Submit (_, inner) -> match_join_tree fresh inner
+  | Expr.Map (inner, Expr.Hstruct [ (var, Expr.Attr []) ]) ->
+      Some ([ (var, inner) ], [])
+  | Expr.Data coll
+    when V.is_collection coll
+         && V.cardinal coll > 0
+         && List.for_all
+              (function V.Struct [ (_, _) ] -> true | _ -> false)
+              (V.elements coll)
+         && List.length
+              (List.sort_uniq String.compare
+                 (List.filter_map
+                    (function V.Struct [ (n, _) ] -> Some n | _ -> None)
+                    (V.elements coll)))
+            = 1 ->
+      (* a materialized binding: Data [{x: v}; ...] reads back as
+         [x in Bag(v, ...)], keeping partially evaluated joins in the
+         paper's flat select form *)
+      let var =
+        match V.elements coll with
+        | V.Struct [ (n, _) ] :: _ -> n
+        | _ -> assert false
+      in
+      let inner =
+        V.bag
+          (List.filter_map
+             (function V.Struct [ (_, v) ] -> Some v | _ -> None)
+             (V.elements coll))
+      in
+      Some ([ (var, Expr.Data inner) ], [])
+  | Expr.Join (l, r, pairs) -> (
+      match (match_join_tree fresh l, match_join_tree fresh r) with
+      | Some (lb, lc), Some (rb, rc) ->
+          let pair_conjuncts =
+            List.map (fun (pa, pb) -> Expr.Cmp (Expr.Eq, Expr.Attr pa, Expr.Attr pb)) pairs
+          in
+          Some (lb @ rb, lc @ rc @ pair_conjuncts)
+      | _ -> None)
+  | _ -> None
+
+let conj preds =
+  match preds with
+  | [] -> None
+  | first :: rest ->
+      Some (List.fold_left (fun acc p -> Expr.And (acc, p)) first rest)
+
+let rec decompile_expr fresh e =
+  match try_select_shape fresh e with
+  | Some q -> q
+  | None -> decompile_node fresh e
+
+(* Map(Select(JoinTree, p), head) / Map(JoinTree, head) / bare shapes with
+   Distinct on top -> one select-from-where. *)
+and try_select_shape fresh e =
+  let distinct, e =
+    match e with Expr.Distinct inner -> (true, inner) | _ -> (false, e)
+  in
+  let head, e =
+    match e with Expr.Map (inner, h) -> (Some h, inner) | _ -> (None, e)
+  in
+  match head with
+  | None -> None
+  | Some head -> (
+      let where, e =
+        match e with Expr.Select (inner, p) -> (Some p, inner) | _ -> (None, e)
+      in
+      match
+        match
+          match_join_tree fresh e
+        with
+        | Some _ as found -> found
+        | None -> (
+            (* bind-less single source: the paper's common case once
+               push_heads has fused the binding away. Paths are raw
+               fields, addressed through one fresh variable. *)
+            match e with
+            | Expr.Get _ | Expr.Data _ | Expr.Submit _ | Expr.Union _
+            | Expr.Distinct _ ->
+                Some ([ (fresh (), e) ], [])
+            | Expr.Map _ | Expr.Join _ | Expr.Select _ | Expr.Project _ ->
+                None)
+      with
+      | None -> None
+      | Some ([ (var, _) ] as bindings, join_conjuncts)
+        when (match e with Expr.Map _ | Expr.Join _ -> false | _ -> true) -> (
+          (* single raw-element binding: root paths at the variable *)
+          let from =
+            List.map
+              (fun (v, coll) -> (v, decompile_expr fresh coll))
+              bindings
+          in
+          let all_preds =
+            join_conjuncts @ (match where with Some p -> [ p ] | None -> [])
+          in
+          let base = Ast.Ident var in
+          try
+            let where_ast =
+              Option.map (fun p -> pred_to_ast ~base p) (conj all_preds)
+            in
+            Some
+              (Ast.Select
+                 {
+                   Ast.sel_distinct = distinct;
+                   sel_proj = head_to_ast ~base head;
+                   sel_from = from;
+                   sel_where = where_ast;
+                 sel_order = [];
+                 })
+          with Not_decompilable _ -> None)
+      | Some (bindings, join_conjuncts) -> (
+          let from =
+            List.map (fun (var, coll) -> (var, decompile_expr fresh coll)) bindings
+          in
+          let all_preds =
+            join_conjuncts @ (match where with Some p -> [ p ] | None -> [])
+          in
+          try
+            let where_ast =
+              Option.map (fun p -> pred_to_ast p) (conj all_preds)
+            in
+            Some
+              (Ast.Select
+                 {
+                   Ast.sel_distinct = distinct;
+                   sel_proj = head_to_ast head;
+                   sel_from = from;
+                   sel_where = where_ast;
+                 sel_order = [];
+                 })
+          with Not_decompilable _ -> None))
+
+and decompile_node fresh e =
+  match e with
+  | Expr.Get name -> Ast.Ident name
+  | Expr.Data v -> Ast.Const v
+  | Expr.Submit (_, inner) -> decompile_expr fresh inner
+  | Expr.Union es -> Ast.Call ("union", List.map (decompile_expr fresh) es)
+  | Expr.Distinct inner -> Ast.Call ("distinct", [ decompile_expr fresh inner ])
+  | Expr.Select (inner, p) ->
+      let t = fresh () in
+      Ast.Select
+        {
+          Ast.sel_distinct = false;
+          sel_proj = Ast.Ident t;
+          sel_from = [ (t, decompile_expr fresh inner) ];
+          sel_where = Some (pred_to_ast ~base:(Ast.Ident t) p);
+        sel_order = [];
+        }
+  | Expr.Project (inner, attrs) ->
+      let t = fresh () in
+      Ast.Select
+        {
+          Ast.sel_distinct = false;
+          sel_proj =
+            Ast.Struct_expr
+              (List.map (fun a -> (a, Ast.Path (Ast.Ident t, a))) attrs);
+          sel_from = [ (t, decompile_expr fresh inner) ];
+          sel_where = None;
+        sel_order = [];
+        }
+  | Expr.Map (inner, h) ->
+      let t = fresh () in
+      Ast.Select
+        {
+          Ast.sel_distinct = false;
+          sel_proj = head_to_ast ~base:(Ast.Ident t) h;
+          sel_from = [ (t, decompile_expr fresh inner) ];
+          sel_where = None;
+        sel_order = [];
+        }
+  | Expr.Join (l, r, pairs) -> (
+      match (Expr.binding_vars l, Expr.binding_vars r) with
+      | Some lvars, Some rvars ->
+          let a = fresh () and b = fresh () in
+          let merge =
+            List.map (fun v -> (v, Ast.Path (Ast.Ident a, v))) lvars
+            @ List.map (fun w -> (w, Ast.Path (Ast.Ident b, w))) rvars
+          in
+          let conjuncts =
+            List.map
+              (fun (pa, pb) ->
+                Ast.Binop
+                  ( Ast.Eq,
+                    path_to_ast ~base:(Ast.Ident a) pa,
+                    path_to_ast ~base:(Ast.Ident b) pb ))
+              pairs
+          in
+          let where =
+            match conjuncts with
+            | [] -> None
+            | first :: rest ->
+                Some
+                  (List.fold_left
+                     (fun acc c -> Ast.Binop (Ast.And, acc, c))
+                     first rest)
+          in
+          Ast.Select
+            {
+              Ast.sel_distinct = false;
+              sel_proj = Ast.Struct_expr merge;
+              sel_from =
+                [ (a, decompile_expr fresh l); (b, decompile_expr fresh r) ];
+              sel_where = where;
+            sel_order = [];
+            }
+      | _ -> fail "join over elements without binding variables")
+
+let decompile e = decompile_expr (make_fresh ()) e
+let decompile_string e = Ast.to_string (decompile e)

@@ -1,0 +1,25 @@
+(** Logical algebra → OQL (paper Section 4: "the physical expression is
+    transformed back into a high level query. This transformation is
+    possible because ... each logical operation has a corresponding OQL
+    expression").
+
+    Decompilation is what lets a partially evaluated plan be returned as a
+    query: completed subtrees appear as data ([Data] → collection
+    literals), blocked ones as the OQL they stand for ([Submit] is
+    location-transparent in the query text).
+
+    The decompiler recognizes the compiler's select shape
+    [Map(Select(JoinTree(bind...)), head)] and reconstructs a single
+    select-from-where (so paper examples come back in their original
+    form); other trees decompile compositionally with fresh variables. *)
+
+module Ast := Disco_oql.Ast
+
+exception Not_decompilable of string
+(** Raised for trees violating the binding-struct discipline (cannot occur
+    on compiler output). *)
+
+val decompile : Expr.expr -> Ast.query
+
+val decompile_string : Expr.expr -> string
+(** [decompile_string e] is the OQL text of [decompile e]. *)

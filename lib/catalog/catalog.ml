@@ -1,0 +1,85 @@
+type kind = Repository | Wrapper | Mediator | Catalog
+
+let kind_name = function
+  | Repository -> "repository"
+  | Wrapper -> "wrapper"
+  | Mediator -> "mediator"
+  | Catalog -> "catalog"
+
+type entry = {
+  e_kind : kind;
+  e_name : string;
+  e_owner : string;
+  e_info : (string * string) list;
+}
+
+type t = {
+  name : string;
+  table : (kind * string, entry) Hashtbl.t;
+  mutable order : (kind * string) list;  (* reverse registration order *)
+  mutable peers : t list;
+}
+
+let create ~name = { name; table = Hashtbl.create 32; order = []; peers = [] }
+let name t = t.name
+
+let register t entry =
+  let key = (entry.e_kind, entry.e_name) in
+  if not (Hashtbl.mem t.table key) then t.order <- key :: t.order;
+  Hashtbl.replace t.table key entry
+
+let deregister t kind entry_name =
+  let key = (kind, entry_name) in
+  Hashtbl.remove t.table key;
+  t.order <- List.filter (fun k -> k <> key) t.order
+
+let add_peer t peer = if not (List.memq peer t.peers) then t.peers <- peer :: t.peers
+
+(* Breadth-first over peers; physical identity prevents cycles. *)
+let rec bfs visited frontier f =
+  match frontier with
+  | [] -> None
+  | c :: rest ->
+      if List.memq c visited then bfs visited rest f
+      else
+        match f c with
+        | Some _ as found -> found
+        | None -> bfs (c :: visited) (rest @ c.peers) f
+
+let lookup t kind entry_name =
+  bfs [] [ t ] (fun c -> Hashtbl.find_opt c.table (kind, entry_name))
+
+let entries t =
+  List.rev_map (fun key -> Hashtbl.find t.table key) t.order
+
+let overview t =
+  let seen = Hashtbl.create 64 in
+  let counts = Hashtbl.create 4 in
+  let rec walk visited frontier =
+    match frontier with
+    | [] -> ()
+    | c :: rest ->
+        if List.memq c visited then walk visited rest
+        else (
+          Hashtbl.iter
+            (fun key entry ->
+              if not (Hashtbl.mem seen key) then (
+                Hashtbl.replace seen key ();
+                let n =
+                  Option.value (Hashtbl.find_opt counts entry.e_kind) ~default:0
+                in
+                Hashtbl.replace counts entry.e_kind (n + 1)))
+            c.table;
+          walk (c :: visited) (rest @ c.peers))
+  in
+  walk [] [ t ];
+  List.filter_map
+    (fun kind ->
+      Option.map (fun n -> (kind, n)) (Hashtbl.find_opt counts kind))
+    [ Repository; Wrapper; Mediator; Catalog ]
+
+let pp ppf t =
+  Fmt.pf ppf "catalog %s: %a" t.name
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, n) ->
+         Fmt.pf ppf "%d %s(s)" n (kind_name k)))
+    (overview t)

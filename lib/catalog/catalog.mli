@@ -1,0 +1,47 @@
+(** The catalog component (C in the paper's Figure 1).
+
+    "Special mediators, catalogs, keep track of collections of databases,
+    wrappers, and mediators in the system. Catalogs do not have total
+    knowledge of all elements of the system; however, they provide an
+    overview of the entire system."
+
+    A catalog is a registry of component descriptors; mediators register
+    the repositories and wrappers they use and themselves. Catalogs can
+    peer with other catalogs, and lookups chase peers (bounded), so no
+    single catalog needs total knowledge. *)
+
+type kind = Repository | Wrapper | Mediator | Catalog
+
+val kind_name : kind -> string
+
+type entry = {
+  e_kind : kind;
+  e_name : string;  (** globally meaningful name *)
+  e_owner : string;  (** component that registered it *)
+  e_info : (string * string) list;  (** free-form descriptors *)
+}
+
+type t
+
+val create : name:string -> t
+val name : t -> string
+
+val register : t -> entry -> unit
+(** Last registration wins (components re-register on change). *)
+
+val deregister : t -> kind -> string -> unit
+
+val add_peer : t -> t -> unit
+(** Make another catalog reachable from this one (one direction). *)
+
+val lookup : t -> kind -> string -> entry option
+(** Search this catalog, then peers breadth-first (cycle-safe). *)
+
+val entries : t -> entry list
+(** Local entries only, registration order. *)
+
+val overview : t -> (kind * int) list
+(** Count of known entries per kind, including what peers hold (each
+    entry counted once even if reachable through several peers). *)
+
+val pp : Format.formatter -> t -> unit

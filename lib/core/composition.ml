@@ -1,0 +1,47 @@
+module Source = Disco_source.Source
+module Wrapper = Disco_wrapper.Wrapper
+module Grammar = Disco_wrapper.Grammar
+module Decompile = Disco_algebra.Decompile
+module V = Disco_value.Value
+
+let as_source ?latency ?schedule mediator =
+  let address =
+    Source.address
+      ~host:(Mediator.name mediator)
+      ~db_name:"mediator" ~ip:"mediator://" ()
+  in
+  (* The store kind is irrelevant: the wrapper routes everything to the
+     sub-mediator. An empty flat file stands in. *)
+  let source =
+    Source.create
+      ~id:("mediator:" ^ Mediator.name mediator)
+      ~address ?latency ?schedule
+      (Source.Flat_file (ref []))
+  in
+  let execute _source expr =
+    match Decompile.decompile_string expr with
+    | exception Decompile.Not_decompilable m -> Error (Wrapper.Refused m)
+    | oql -> (
+        match Mediator.query mediator oql with
+        | { Mediator.answer = Mediator.Complete v; _ } ->
+            Ok (v, try V.cardinal v with V.Type_error _ -> 1)
+        | { Mediator.answer = Mediator.Partial { unavailable; _ }; _ } ->
+            Error
+              (Wrapper.Native_error
+                 (Fmt.str "sub-mediator %s returned a partial answer (%s down)"
+                    (Mediator.name mediator)
+                    (String.concat ", " unavailable)))
+        | { Mediator.answer = Mediator.Unavailable repos; _ } ->
+            Error
+              (Wrapper.Native_error
+                 (Fmt.str "sub-mediator %s: sources unavailable (%s)"
+                    (Mediator.name mediator)
+                    (String.concat ", " repos)))
+        | exception Mediator.Mediator_error m -> Error (Wrapper.Native_error m))
+  in
+  let wrapper =
+    Wrapper.make
+      ~name:("WrapperMediator:" ^ Mediator.name mediator)
+      ~grammar:Grammar.full_relational ~execute
+  in
+  (source, wrapper)

@@ -1,0 +1,174 @@
+module Ast = Disco_oql.Ast
+module Registry = Disco_odl.Registry
+module V = Disco_value.Value
+
+exception Expand_error of string
+
+let expand_error fmt = Format.kasprintf (fun s -> raise (Expand_error s)) fmt
+
+module S = Set.Make (String)
+
+(* Generic scope-aware rewriting of free names. [f name] returns the
+   replacement for a free occurrence, or None to leave it. *)
+let rec rewrite_free bound f q =
+  match q with
+  | Ast.Const _ -> q
+  | Ast.Ident name ->
+      if S.mem name bound then q
+      else Option.value (f (`Ident name)) ~default:q
+  | Ast.Extent_star name ->
+      Option.value (f (`Star name)) ~default:q
+  | Ast.Path (base, field) -> Ast.Path (rewrite_free bound f base, field)
+  | Ast.Binop (op, a, b) ->
+      Ast.Binop (op, rewrite_free bound f a, rewrite_free bound f b)
+  | Ast.Unop (op, a) -> Ast.Unop (op, rewrite_free bound f a)
+  | Ast.Call (name, args) ->
+      Ast.Call (name, List.map (rewrite_free bound f) args)
+  | Ast.Struct_expr fields ->
+      Ast.Struct_expr (List.map (fun (n, e) -> (n, rewrite_free bound f e)) fields)
+  | Ast.Coll_expr (kind, elems) ->
+      Ast.Coll_expr (kind, List.map (rewrite_free bound f) elems)
+  | Ast.Quant (kind, var, coll, body) ->
+      let coll' = rewrite_free bound f coll in
+      Ast.Quant (kind, var, coll', rewrite_free (S.add var bound) f body)
+  | Ast.Select sel ->
+      let bound', from' =
+        List.fold_left
+          (fun (bound, acc) (var, coll) ->
+            let coll' = rewrite_free bound f coll in
+            (S.add var bound, (var, coll') :: acc))
+          (bound, []) sel.Ast.sel_from
+      in
+      Ast.Select
+        {
+          sel with
+          Ast.sel_from = List.rev from';
+          sel_proj = rewrite_free bound' f sel.Ast.sel_proj;
+          sel_where = Option.map (rewrite_free bound' f) sel.Ast.sel_where;
+          sel_order =
+            List.map
+              (fun (k, dir) -> (rewrite_free bound' f k, dir))
+              sel.Ast.sel_order;
+        }
+
+let substitute_collections lookup q =
+  rewrite_free S.empty
+    (function `Ident name -> lookup name | `Star _ -> None)
+    q
+
+(* Top-down: try [f] on each node whose free names do not include any
+   enclosing binding variable; recurse into children otherwise. *)
+let map_closed_subqueries f q =
+  let module SS = Set.Make (String) in
+  let closed bound q =
+    List.for_all (fun n -> not (SS.mem n bound)) (Ast.free_collections q)
+  in
+  let rec go bound q =
+    match if closed bound q then f q else None with
+    | Some replaced -> replaced
+    | None -> descend bound q
+  and descend bound q =
+    match q with
+    | Ast.Const _ | Ast.Ident _ | Ast.Extent_star _ -> q
+    | Ast.Path (base, field) -> Ast.Path (go bound base, field)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, go bound a, go bound b)
+    | Ast.Unop (op, a) -> Ast.Unop (op, go bound a)
+    | Ast.Call (name, args) -> Ast.Call (name, List.map (go bound) args)
+    | Ast.Struct_expr fields ->
+        Ast.Struct_expr (List.map (fun (n, e) -> (n, go bound e)) fields)
+    | Ast.Coll_expr (kind, elems) ->
+        Ast.Coll_expr (kind, List.map (go bound) elems)
+    | Ast.Quant (kind, var, coll, body) ->
+        Ast.Quant (kind, var, go bound coll, go (SS.add var bound) body)
+    | Ast.Select sel ->
+        let bound', from' =
+          List.fold_left
+            (fun (bound, acc) (var, coll) ->
+              (SS.add var bound, (var, go bound coll) :: acc))
+            (bound, []) sel.Ast.sel_from
+        in
+        Ast.Select
+          {
+            sel with
+            Ast.sel_from = List.rev from';
+            sel_proj = go bound' sel.Ast.sel_proj;
+            sel_where = Option.map (go bound') sel.Ast.sel_where;
+            sel_order =
+              List.map (fun (k, d) -> (go bound' k, d)) sel.Ast.sel_order;
+          }
+  in
+  go SS.empty q
+
+let union_of_extents extents =
+  match List.map (fun e -> Ast.Ident e.Registry.me_name) extents with
+  | [] -> Ast.Const (V.Bag [])
+  | [ single ] -> single
+  | many -> Ast.Call ("union", many)
+
+(* The interface whose declared extent (or own name) is [name]. *)
+let interface_for_extent_name registry name =
+  List.find_opt
+    (fun itf_name ->
+      match Registry.find_interface registry itf_name with
+      | Some { Registry.if_declared_extent = Some e; _ } -> String.equal e name
+      | _ -> false)
+    (Registry.interface_names registry)
+
+let expand registry q =
+  let rec go stack q =
+    let replace = function
+      | `Star name -> (
+          (* person* ranges over the subtype closure (Section 2.2.1). *)
+          let interface =
+            match interface_for_extent_name registry name with
+            | Some itf -> Some itf
+            | None ->
+                if Registry.find_interface registry name <> None then Some name
+                else None
+          in
+          match interface with
+          | Some itf ->
+              Some (union_of_extents (Registry.extents_of_star registry itf))
+          | None -> expand_error "%s* does not name a type's extent" name)
+      | `Ident name -> (
+          if String.equal name "metaextent" then
+            Some (Ast.Const (Registry.metaextent_bag registry))
+          else
+            match Registry.find_view registry name with
+            | Some body ->
+                if List.mem name stack then
+                  expand_error "cyclic view definition through %s" name
+                else
+                  let parsed =
+                    try Disco_oql.Parser.parse body
+                    with Disco_lex.Lexer.Error (m, _) ->
+                      expand_error "view %s does not parse: %s" name m
+                  in
+                  Some (go (name :: stack) parsed)
+            | None -> (
+                match interface_for_extent_name registry name with
+                | Some itf ->
+                    Some (union_of_extents (Registry.extents_of registry itf))
+                | None ->
+                    if Registry.find_extent registry name <> None then None
+                    else if String.equal name "repositories" then
+                      Some
+                        (Ast.Const
+                           (Registry.objects_bag ~constructor_prefix:"Repository"
+                              registry))
+                    else if String.equal name "wrappers" then
+                      Some
+                        (Ast.Const
+                           (Registry.objects_bag ~constructor_prefix:"Wrapper"
+                              registry))
+                    else if Registry.find_interface registry name <> None then
+                      Some (Ast.Const (V.String name))
+                    else
+                      expand_error
+                        "unknown name %s: not a view, extent, type extent, or \
+                         interface"
+                        name))
+    in
+    rewrite_free S.empty replace q
+  in
+  go [] q

@@ -1,0 +1,571 @@
+module V = Disco_value.Value
+module Registry = Disco_odl.Registry
+module Odl = Disco_odl.Odl_parser
+module Typemap = Disco_odl.Typemap
+module Ast = Disco_oql.Ast
+module Oql_parser = Disco_oql.Parser
+module Eval = Disco_oql.Eval
+module Expr = Disco_algebra.Expr
+module Compile = Disco_algebra.Compile
+module Rules = Disco_algebra.Rules
+module Plan = Disco_physical.Plan
+module Optimizer = Disco_optimizer.Optimizer
+module Cost_model = Disco_cost.Cost_model
+module Runtime = Disco_runtime.Runtime
+module Source = Disco_source.Source
+module Clock = Disco_source.Clock
+module Wrapper = Disco_wrapper.Wrapper
+module Catalog = Disco_catalog.Catalog
+
+let log_src = Logs.Src.create "disco.mediator" ~doc:"Disco mediator"
+
+module Log = (val Logs.src_log log_src)
+
+exception Mediator_error of string
+
+let mediator_error fmt = Format.kasprintf (fun s -> raise (Mediator_error s)) fmt
+
+type semantics = Partial_answers | Wait_all | Null_sources | Skip_sources
+
+type answer =
+  | Complete of V.t
+  | Partial of {
+      oql : string;
+      unavailable : string list;
+      stale_hint : string list;
+    }
+  | Unavailable of string list
+
+type outcome = {
+  answer : answer;
+  stats : Runtime.stats;
+  plan : Plan.plan option;
+  from_cache : bool;
+  fallback : bool;
+}
+
+type cached_plan = { c_plan : Plan.plan; c_version : int }
+
+type t = {
+  m_name : string;
+  registry : Registry.t;
+  clock : Clock.t;
+  cost : Cost_model.t;
+  params : Plan.params;
+  sources : (string, Source.t) Hashtbl.t;
+  wrappers : (string, Wrapper.t) Hashtbl.t;
+  plan_cache : (string, cached_plan) Hashtbl.t;
+}
+
+let create ?clock ?cost ?(params = Plan.default_params) ~name () =
+  {
+    m_name = name;
+    registry = Registry.create ();
+    clock = Option.value clock ~default:(Clock.create ());
+    cost = Option.value cost ~default:(Cost_model.create ());
+    params;
+    sources = Hashtbl.create 16;
+    wrappers = Hashtbl.create 16;
+    plan_cache = Hashtbl.create 32;
+  }
+
+let name t = t.m_name
+let clock t = t.clock
+let registry t = t.registry
+let cost_model t = t.cost
+
+let register_source t ~name source = Hashtbl.replace t.sources name source
+let register_wrapper t ~name wrapper = Hashtbl.replace t.wrappers name wrapper
+let find_source t name = Hashtbl.find_opt t.sources name
+
+let load_odl t text =
+  match Odl.load t.registry text with
+  | () -> ()
+  | exception Registry.Odl_error m -> mediator_error "ODL error: %s" m
+  | exception Typemap.Map_error m -> mediator_error "map error: %s" m
+  | exception Disco_lex.Lexer.Error (m, pos) ->
+      mediator_error "ODL parse error at offset %d: %s" pos m
+
+(* -- name resolution -- *)
+
+let source_of t repo =
+  match Hashtbl.find_opt t.sources repo with
+  | Some s -> Some s
+  | None -> None
+
+let wrapper_of t wname =
+  match Hashtbl.find_opt t.wrappers wname with
+  | Some w -> Some w
+  | None -> (
+      match Registry.find_object t.registry wname with
+      | Some obj -> (
+          match Wrapper.of_constructor obj.Registry.obj_constructor with
+          | Some w ->
+              Hashtbl.replace t.wrappers wname w;
+              Some w
+          | None -> None)
+      | None -> None)
+
+let binding_for t ~type_check extent_name =
+  match Registry.find_extent t.registry extent_name with
+  | None -> mediator_error "no extent named %s" extent_name
+  | Some ext -> (
+      match
+        (source_of t ext.Registry.me_repository, wrapper_of t ext.Registry.me_wrapper)
+      with
+      | None, _ ->
+          mediator_error "repository %s of extent %s has no attached source"
+            ext.Registry.me_repository extent_name
+      | _, None ->
+          mediator_error "wrapper %s of extent %s cannot be constructed"
+            ext.Registry.me_wrapper extent_name
+      | Some source, Some wrapper ->
+          let replicas =
+            List.filter_map
+              (fun repo ->
+                match source_of t repo with
+                | Some src -> Some (repo, src)
+                | None ->
+                    mediator_error
+                      "replica repository %s of extent %s has no attached \
+                       source"
+                      repo extent_name)
+              ext.Registry.me_replicas
+          in
+          {
+            Runtime.b_extent = extent_name;
+            b_repo = ext.Registry.me_repository;
+            b_source = source;
+            b_replicas = replicas;
+            b_wrapper = wrapper;
+            b_map = ext.Registry.me_map;
+            b_check =
+              (if type_check then
+                 Some
+                   (fun v ->
+                     Registry.struct_conforms t.registry
+                       ext.Registry.me_interface v)
+               else None);
+          })
+
+let runtime_env t ~type_check extents =
+  let bindings = List.map (binding_for t ~type_check) extents in
+  Runtime.env ~clock:t.clock ~cost:t.cost bindings
+
+(* Capability check used by the optimizer: every extent mentioned in the
+   candidate expression must be served by a wrapper that accepts it, and
+   a merged submit requires a single common wrapper. *)
+let can_push t ~repo expr =
+  ignore repo;
+  let extents = Expr.gets expr in
+  let wrappers =
+    List.filter_map
+      (fun extent ->
+        Option.bind (Registry.find_extent t.registry extent) (fun ext ->
+            wrapper_of t ext.Registry.me_wrapper))
+      extents
+  in
+  List.length wrappers = List.length extents
+  && (match wrappers with
+     | [] -> false
+     | first :: rest ->
+         List.for_all (fun w -> String.equal (Wrapper.name w) (Wrapper.name first)) rest)
+  && List.for_all (fun w -> Wrapper.accepts w expr) wrappers
+
+let repo_of t extent =
+  Option.map
+    (fun e -> e.Registry.me_repository)
+    (Registry.find_extent t.registry extent)
+
+(* -- answers -- *)
+
+let zero_stats =
+  {
+    Runtime.execs_issued = 0;
+    execs_answered = 0;
+    execs_blocked = 0;
+    tuples_shipped = 0;
+    elapsed_ms = 0.0;
+  }
+
+let eval_env ?(resolve = fun _ -> None) t =
+  Eval.env ~resolve ~interface_names:(Registry.interface_names t.registry) ()
+
+let to_mediator_answer env = function
+  | Runtime.Complete v -> Complete v
+  | Runtime.Partial { query; unavailable; _ } as a ->
+      Partial
+        {
+          oql = Ast.to_string query;
+          unavailable;
+          stale_hint = Runtime.resubmit_hint env a;
+        }
+
+(* Apply the chosen unavailable-data semantics to a runtime partial
+   answer. *)
+let apply_semantics t semantics answer =
+  match (semantics, answer) with
+  | (Partial_answers | Skip_sources), a -> a
+  | Wait_all, Partial { unavailable; _ } -> Unavailable unavailable
+  | Null_sources, Partial { oql; _ } -> (
+      (* unavailable sources contribute no tuples: replace the residual
+         extents with empty bags and finish locally *)
+      let residual = Oql_parser.parse oql in
+      let emptied =
+        Expand.substitute_collections
+          (fun name ->
+            if Registry.find_extent t.registry name <> None then
+              Some (Ast.Const (V.Bag []))
+            else None)
+          residual
+      in
+      match Eval.eval (eval_env t) emptied with
+      | v -> Complete v
+      | exception Eval.Eval_error m ->
+          mediator_error "null-semantics evaluation failed: %s" m)
+  | (Wait_all | Null_sources), a -> a
+
+(* -- the compiled path -- *)
+
+let compiled_outcome t ~timeout_ms ~type_check ~semantics ~oql located =
+  let cache_key = oql in
+  let version = Registry.version t.registry in
+  let cached =
+    match Hashtbl.find_opt t.plan_cache cache_key with
+    | Some { c_plan; c_version } when c_version = version -> Some c_plan
+    | _ -> None
+  in
+  let plan, from_cache =
+    match cached with
+    | Some plan -> (plan, true)
+    | None ->
+        let choice =
+          Optimizer.optimize ~params:t.params ~can_push:(can_push t)
+            ~cost:t.cost located
+        in
+        Hashtbl.replace t.plan_cache cache_key
+          { c_plan = choice.Optimizer.plan; c_version = version };
+        (choice.Optimizer.plan, false)
+  in
+  let extents =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (_, e) -> Expr.gets e) (Plan.all_source_exprs plan))
+  in
+  let env = runtime_env t ~type_check extents in
+  let run plan =
+    (* execution-layer failures (bad maps, misbehaving wrappers) surface
+       as clean mediator errors, never raw engine exceptions *)
+    match Runtime.execute ~timeout_ms env plan with
+    | answer, stats -> (to_mediator_answer env answer, stats)
+    | exception Plan.Physical_error m -> mediator_error "execution failed: %s" m
+    | exception Expr.Algebra_error m -> mediator_error "execution failed: %s" m
+    | exception V.Type_error m -> mediator_error "execution failed: %s" m
+  in
+  match run plan with
+  | answer, stats ->
+      {
+        answer = apply_semantics t semantics answer;
+        stats;
+        plan = Some plan;
+        from_cache;
+        fallback = false;
+      }
+  | exception Runtime.Runtime_error reason ->
+      (* a wrapper refused its expression: replan without pushdown *)
+      Log.warn (fun m -> m "capability fallback: %s" reason);
+      let conservative =
+        Plan.implement (Rules.normalize ~can_push:Rules.push_none located)
+      in
+      let answer, stats = run conservative in
+      {
+        answer = apply_semantics t semantics answer;
+        stats;
+        plan = Some conservative;
+        from_cache = false;
+        fallback = true;
+      }
+
+(* -- the hybrid path: full OQL with engine-executed fragments --
+
+   A query outside the algebraic subset (aggregates, correlated
+   subqueries, quantifiers, order by) still contains closed fragments
+   that ARE algebraic; each maximal such fragment is planned and executed
+   through the optimizer/runtime — so capability pushdown keeps working —
+   and the rest is evaluated on the mediator. Fragments run as successive
+   parallel rounds against the virtual clock. *)
+
+let add_stats a b =
+  {
+    Runtime.execs_issued = a.Runtime.execs_issued + b.Runtime.execs_issued;
+    execs_answered = a.Runtime.execs_answered + b.Runtime.execs_answered;
+    execs_blocked = a.Runtime.execs_blocked + b.Runtime.execs_blocked;
+    tuples_shipped = a.Runtime.tuples_shipped + b.Runtime.tuples_shipped;
+    elapsed_ms = a.Runtime.elapsed_ms +. b.Runtime.elapsed_ms;
+  }
+
+let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
+  (match
+     List.find_opt
+       (fun name -> Registry.find_extent t.registry name = None)
+       (Ast.free_collections expanded)
+   with
+  | Some unknown -> mediator_error "unresolved name %s after expansion" unknown
+  | None -> ());
+  let stats_acc = ref zero_stats in
+  let blocked_repos = ref [] in
+  let try_fragment sub =
+    match sub with
+    | Ast.Const _ | Ast.Ident _ -> None
+        (* bare extents go through the batched fetch below *)
+    | _ -> (
+        match Compile.compile sub with
+        | Error _ -> None
+        | Ok compiled -> (
+            let frees = Ast.free_collections sub in
+            if
+              frees = []
+              || not
+                   (List.for_all
+                      (fun n -> Registry.find_extent t.registry n <> None)
+                      frees)
+            then None
+            else
+              let located = Compile.locate ~repo_of:(repo_of t) compiled in
+              let choice =
+                Optimizer.optimize ~params:t.params ~can_push:(can_push t)
+                  ~cost:t.cost located
+              in
+              let extents =
+                List.sort_uniq String.compare
+                  (List.concat_map
+                     (fun (_, e) -> Expr.gets e)
+                     (Plan.all_source_exprs choice.Optimizer.plan))
+              in
+              let env = runtime_env t ~type_check extents in
+              match Runtime.execute ~timeout_ms env choice.Optimizer.plan with
+              | Runtime.Complete v, st ->
+                  stats_acc := add_stats !stats_acc st;
+                  Some (Ast.Const v)
+              | Runtime.Partial { unavailable; _ }, st ->
+                  stats_acc := add_stats !stats_acc st;
+                  blocked_repos := unavailable @ !blocked_repos;
+                  (* leave the fragment symbolic for the partial answer *)
+                  None
+              | exception Runtime.Runtime_error _ ->
+                  (* capability surprise: fall back to plain fetches *)
+                  None))
+  in
+  let substituted = Expand.map_closed_subqueries try_fragment expanded in
+  (* whatever extents remain (bare or in failed fragments) are fetched
+     whole, in one parallel round *)
+  let extents =
+    List.filter
+      (fun name -> Registry.find_extent t.registry name <> None)
+      (Ast.free_collections substituted)
+  in
+  let env = runtime_env t ~type_check extents in
+  let fetched, fetch_stats = Runtime.fetch ~timeout_ms env extents in
+  let stats = add_stats !stats_acc fetch_stats in
+  let fetch_blocked = List.filter (fun (_, v) -> v = None) fetched in
+  if fetch_blocked = [] && !blocked_repos = [] then
+    let resolve name =
+      match List.assoc_opt name fetched with Some v -> v | None -> None
+    in
+    match Eval.eval (eval_env ~resolve t) substituted with
+    | v ->
+        {
+          answer = Complete v;
+          stats;
+          plan = None;
+          from_cache = false;
+          fallback = false;
+        }
+    | exception Eval.Eval_error m -> mediator_error "evaluation failed: %s" m
+  else
+    (* general partial answer: plug what did arrive into the query *)
+    let residual =
+      Expand.substitute_collections
+        (fun name ->
+          match List.assoc_opt name fetched with
+          | Some (Some v) -> Some (Ast.Const v)
+          | _ -> None)
+        substituted
+    in
+    let unavailable =
+      List.sort_uniq String.compare
+        (!blocked_repos
+        @ List.filter_map
+            (fun (extent, _) ->
+              Option.map
+                (fun e -> e.Registry.me_repository)
+                (Registry.find_extent t.registry extent))
+            fetch_blocked)
+    in
+    let answer =
+      Partial { oql = Ast.to_string residual; unavailable; stale_hint = [] }
+    in
+    {
+      answer = apply_semantics t semantics answer;
+      stats;
+      plan = None;
+      from_cache = false;
+      fallback = false;
+    }
+
+(* -- entry points -- *)
+
+let parse_oql oql =
+  try Oql_parser.parse oql
+  with Disco_lex.Lexer.Error (m, pos) ->
+    mediator_error "OQL parse error at offset %d: %s" pos m
+
+let expand t ast =
+  try Expand.expand t.registry ast
+  with Expand.Expand_error m -> mediator_error "%s" m
+
+(* Skip_sources: drop extents whose source is down right now, before
+   planning — "as if the data source objects ... do not exist". An extent
+   with replicas is only skipped when every copy is down. *)
+let apply_skip t expanded =
+  let now = Clock.now t.clock in
+  let copy_up repo =
+    match source_of t repo with
+    | Some source -> Source.is_up source now
+    | None -> false
+  in
+  Expand.substitute_collections
+    (fun name ->
+      match Registry.find_extent t.registry name with
+      | None -> None
+      | Some ext ->
+          if
+            List.exists copy_up
+              (ext.Registry.me_repository :: ext.Registry.me_replicas)
+          then None
+          else Some (Ast.Const (V.Bag [])))
+    expanded
+
+let typecheck t oql =
+  match parse_oql oql with
+  | ast ->
+      Disco_oql.Typecheck.check
+        (Disco_oql.Typecheck.env_of_registry t.registry)
+        ast
+  | exception Mediator_error m -> Error m
+
+let validate_views t =
+  List.filter_map
+    (fun name ->
+      match
+        Disco_oql.Typecheck.check
+          (Disco_oql.Typecheck.env_of_registry t.registry)
+          (Ast.Ident name)
+      with
+      | Ok _ -> None
+      | Error m -> Some (name, m))
+    (Registry.view_names t.registry)
+
+let query ?(timeout_ms = 1000.0) ?(semantics = Partial_answers)
+    ?(type_check = false) ?(static_check = false) t oql =
+  Log.info (fun m -> m "[%s] query: %s" t.m_name oql);
+  let ast = parse_oql oql in
+  (if static_check then
+     match
+       Disco_oql.Typecheck.check
+         (Disco_oql.Typecheck.env_of_registry t.registry)
+         ast
+     with
+     | Ok _ -> ()
+     | Error m -> mediator_error "type error: %s" m);
+  let expanded = expand t ast in
+  let expanded =
+    match semantics with
+    | Skip_sources -> apply_skip t expanded
+    | Partial_answers | Wait_all | Null_sources -> expanded
+  in
+  match Compile.compile expanded with
+  | Ok compiled ->
+      let located = Compile.locate ~repo_of:(repo_of t) compiled in
+      compiled_outcome t ~timeout_ms ~type_check ~semantics
+        ~oql:(Ast.to_string expanded) located
+  | Error _ -> hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded
+
+let resubmit ?timeout_ms ?semantics t answer =
+  match answer with
+  | Complete v ->
+      {
+        answer = Complete v;
+        stats = zero_stats;
+        plan = None;
+        from_cache = false;
+        fallback = false;
+      }
+  | Partial { oql; _ } -> query ?timeout_ms ?semantics t oql
+  | Unavailable repos ->
+      mediator_error "nothing to resubmit: no answer from %s"
+        (String.concat ", " repos)
+
+let explain t oql =
+  let ast = parse_oql oql in
+  let expanded = expand t ast in
+  match Compile.compile expanded with
+  | Ok compiled ->
+      let located = Compile.locate ~repo_of:(repo_of t) compiled in
+      let choice =
+        Optimizer.optimize ~params:t.params ~can_push:(can_push t) ~cost:t.cost
+          located
+      in
+      Fmt.str "plan (%d alternatives, est. %.3f ms, %.1f rows shipped):@\n%s"
+        choice.Optimizer.alternatives choice.Optimizer.cost.Plan.time_ms
+        choice.Optimizer.cost.Plan.shipped
+        (Plan.to_string choice.Optimizer.plan)
+  | Error reason -> Fmt.str "hybrid evaluation (%s)" reason
+
+let register_in_catalog t catalog =
+  Catalog.register catalog
+    {
+      Catalog.e_kind = Catalog.Mediator;
+      e_name = t.m_name;
+      e_owner = t.m_name;
+      e_info =
+        [
+          ("interfaces", string_of_int (List.length (Registry.interface_names t.registry)));
+          ("extents", string_of_int (List.length (Registry.all_extents t.registry)));
+        ];
+    };
+  Hashtbl.iter
+    (fun name source ->
+      Catalog.register catalog
+        {
+          Catalog.e_kind = Catalog.Repository;
+          e_name = name;
+          e_owner = t.m_name;
+          e_info =
+            [
+              ("host", (Source.addr source).Source.host);
+              ("db", (Source.addr source).Source.db_name);
+            ];
+        })
+    t.sources;
+  List.iter
+    (fun wname ->
+      match Registry.find_object t.registry wname with
+      | Some obj
+        when String.length obj.Registry.obj_constructor >= 7
+             && String.sub obj.Registry.obj_constructor 0 7 = "Wrapper" ->
+          Catalog.register catalog
+            {
+              Catalog.e_kind = Catalog.Wrapper;
+              e_name = wname;
+              e_owner = t.m_name;
+              e_info = [ ("constructor", obj.Registry.obj_constructor) ];
+            }
+      | Some _ | None -> ())
+    (Registry.object_names t.registry)
+
+let source_stats t =
+  Hashtbl.fold (fun name src acc -> (name, Source.stats src) :: acc) t.sources []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let plan_cache_size t = Hashtbl.length t.plan_cache
+let clear_plan_cache t = Hashtbl.reset t.plan_cache

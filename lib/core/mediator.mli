@@ -1,0 +1,144 @@
+(** The Disco mediator — the system's primary component (paper Figure 2).
+
+    A mediator bundles the internal database (schema registry with
+    interfaces, meta-extents, views, named objects), connections to
+    simulated sources and wrappers, the learned cost model, a plan cache,
+    and the query manager that drives parse → expand → compile → optimize
+    → execute → (partial) answer.
+
+    Typical setup, mirroring Section 2.1:
+
+    {[
+      let m = Mediator.create ~name:"m0" () in
+      Mediator.register_source m ~name:"r0" source0;   (* simulated site *)
+      Mediator.load_odl m {|
+        r0 := Repository(host="rodin", name="db", address="123.45.6.7");
+        w0 := WrapperPostgres();
+        interface Person (extent person) {
+          attribute String name;
+          attribute Short salary; }
+        extent person0 of Person wrapper w0 repository r0;
+      |};
+      match Mediator.query m "select x.name from x in person where x.salary > 10" with
+      | { answer = Complete v; _ } -> ...
+      | { answer = Partial _; _ } -> ...
+    ]} *)
+
+module V := Disco_value.Value
+module Runtime := Disco_runtime.Runtime
+
+exception Mediator_error of string
+
+(** Semantics for queries touching unavailable sources (Section 4
+    discusses all three; Disco's contribution is [Partial_answers]). *)
+type semantics =
+  | Partial_answers
+      (** the answer is a query: partial evaluation (Disco's choice) *)
+  | Wait_all
+      (** classic distributed-DB semantics: no answer unless every source
+          answers — the query outcome is {!Unavailable} *)
+  | Null_sources
+      (** "the data source can be considered to have no tuples" *)
+  | Skip_sources
+      (** "as if the data source objects which reference unavailable
+          sources do not exist": implicit type extents range over
+          available sources only *)
+
+type outcome = {
+  answer : answer;
+  stats : Runtime.stats;
+  plan : Disco_physical.Plan.plan option;
+      (** the physical plan, when the compiled path ran ([None] for
+          hybrid-evaluated queries) *)
+  from_cache : bool;  (** the plan came from the plan cache *)
+  fallback : bool;
+      (** a wrapper refused its expression at run time and the query was
+          replanned without pushdown *)
+}
+
+and answer =
+  | Complete of V.t
+  | Partial of {
+      oql : string;  (** the answer-as-query, resubmittable *)
+      unavailable : string list;  (** repository names *)
+      stale_hint : string list;
+          (** sources whose data already changed since they answered *)
+    }
+  | Unavailable of string list
+      (** [Wait_all] semantics with blocked sources *)
+
+type t
+
+val create :
+  ?clock:Disco_source.Clock.t ->
+  ?cost:Disco_cost.Cost_model.t ->
+  ?params:Disco_physical.Plan.params ->
+  name:string ->
+  unit ->
+  t
+
+val name : t -> string
+val clock : t -> Disco_source.Clock.t
+val registry : t -> Disco_odl.Registry.t
+val cost_model : t -> Disco_cost.Cost_model.t
+
+val register_source : t -> name:string -> Disco_source.Source.t -> unit
+(** Attach a simulated source under a repository object name. Define the
+    matching [name := Repository(...)] object in ODL (in either order —
+    the binding is looked up at query time). *)
+
+val register_wrapper : t -> name:string -> Disco_wrapper.Wrapper.t -> unit
+(** Provide a custom wrapper object directly, bypassing the constructor
+    table. *)
+
+val find_source : t -> string -> Disco_source.Source.t option
+
+val load_odl : t -> string -> unit
+(** Parse and apply ODL text: interfaces, extents, views, and object
+    definitions. [w := WrapperX();] resolves through
+    {!Disco_wrapper.Wrapper.of_constructor} unless [w] was registered
+    explicitly. Raises {!Mediator_error} (wrapping parse and registry
+    errors) on failure. *)
+
+val query :
+  ?timeout_ms:float ->
+  ?semantics:semantics ->
+  ?type_check:bool ->
+  ?static_check:bool ->
+  t ->
+  string ->
+  outcome
+(** Run an OQL query. [timeout_ms] is the designated deadline in virtual
+    ms (default 1000). [type_check] enables the run-time source-type check
+    (default false — enable it to detect sources returning wrongly-typed
+    tuples). [static_check] runs the OQL type checker before planning
+    (default false), rejecting ill-typed queries with {!Mediator_error}.
+    Raises {!Mediator_error} on parse/expansion errors. *)
+
+val typecheck : t -> string -> (Disco_odl.Otype.t, string) result
+(** Statically type a query against the mediator schema without running
+    it. *)
+
+val validate_views : t -> (string * string) list
+(** Type-check every view definition against the current schema;
+    returns [(view, error)] pairs for the ones that no longer parse or
+    type — the DBA's consistency check after schema evolution. *)
+
+val resubmit : ?timeout_ms:float -> ?semantics:semantics -> t -> answer -> outcome
+(** Resubmit a (partial) answer as a new query (Section 4: "this partial
+    answer could be submitted as a new query"). A [Complete] answer
+    returns itself. *)
+
+val explain : t -> string -> string
+(** The chosen physical plan (or the hybrid-evaluation notice) for a
+    query, without executing it. *)
+
+val register_in_catalog : t -> Disco_catalog.Catalog.t -> unit
+(** Advertise this mediator, its repositories and wrappers. *)
+
+val source_stats : t -> (string * Disco_source.Source.stats) list
+(** Cumulative per-repository call statistics (answered/refused calls,
+    rows shipped, busy time), sorted by repository name. *)
+
+val plan_cache_size : t -> int
+val clear_plan_cache : t -> unit

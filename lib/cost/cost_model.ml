@@ -1,0 +1,118 @@
+module Expr = Disco_algebra.Expr
+module V = Disco_value.Value
+
+type basis = Exact of int | Close of int | Default
+
+type estimate = { est_time_ms : float; est_rows : float; est_basis : basis }
+
+(* Paper Section 3.3: "a default time cost of 0 and a data cost of 1". *)
+let default_estimate = { est_time_ms = 0.0; est_rows = 1.0; est_basis = Default }
+
+type record_entry = { time_ms : float; rows : int }
+
+type t = {
+  history : int;
+  smoothing : float;
+  close_matching : bool;
+  (* exact key -> most-recent-first entries *)
+  exact : (string, record_entry list) Hashtbl.t;
+  (* skeleton key -> most-recent-first entries (bounded the same way) *)
+  close : (string, record_entry list) Hashtbl.t;
+}
+
+let create ?(history = 8) ?(smoothing = 0.5) ?(close_matching = true) () =
+  if history < 1 then invalid_arg "Cost_model.create: history must be >= 1";
+  if smoothing <= 0.0 || smoothing > 1.0 then
+    invalid_arg "Cost_model.create: smoothing must be in (0, 1]";
+  {
+    history;
+    smoothing;
+    close_matching;
+    exact = Hashtbl.create 64;
+    close = Hashtbl.create 64;
+  }
+
+(* Erase constants so that only the operator structure and the compared
+   attributes remain. *)
+let rec erase_scalar = function
+  | Expr.Const _ -> Expr.Const V.Null
+  | Expr.Attr p -> Expr.Attr p
+  | Expr.Arith (op, a, b) -> Expr.Arith (op, erase_scalar a, erase_scalar b)
+
+let rec erase_pred = function
+  | Expr.True -> Expr.True
+  | Expr.Cmp (op, a, b) -> Expr.Cmp (op, erase_scalar a, erase_scalar b)
+  | Expr.Member (a, _) -> Expr.Member (erase_scalar a, V.Bag [])
+  | Expr.And (a, b) -> Expr.And (erase_pred a, erase_pred b)
+  | Expr.Or (a, b) -> Expr.Or (erase_pred a, erase_pred b)
+  | Expr.Not a -> Expr.Not (erase_pred a)
+
+let erase_head = function
+  | Expr.Hscalar s -> Expr.Hscalar (erase_scalar s)
+  | Expr.Hstruct fields ->
+      Expr.Hstruct (List.map (fun (n, s) -> (n, erase_scalar s)) fields)
+
+let rec erase = function
+  | Expr.Get name -> Expr.Get name
+  | Expr.Data _ -> Expr.Data (V.Bag [])
+  | Expr.Select (e, p) -> Expr.Select (erase e, erase_pred p)
+  | Expr.Project (e, attrs) -> Expr.Project (erase e, attrs)
+  | Expr.Map (e, h) -> Expr.Map (erase e, erase_head h)
+  | Expr.Join (l, r, pairs) -> Expr.Join (erase l, erase r, pairs)
+  | Expr.Union es -> Expr.Union (List.map erase es)
+  | Expr.Distinct e -> Expr.Distinct (erase e)
+  | Expr.Submit (repo, e) -> Expr.Submit (repo, erase e)
+
+let skeleton e = Expr.to_string (erase e)
+
+let exact_key ~repo e = repo ^ "|" ^ Expr.to_string e
+let close_key ~repo e = repo ^ "|" ^ skeleton e
+
+let push t table key entry =
+  let existing = Option.value (Hashtbl.find_opt table key) ~default:[] in
+  let trimmed = List.filteri (fun i _ -> i < t.history - 1) existing in
+  Hashtbl.replace table key (entry :: trimmed)
+
+let record t ~repo ~expr ~time_ms ~rows =
+  let entry = { time_ms; rows } in
+  push t t.exact (exact_key ~repo expr) entry;
+  push t t.close (close_key ~repo expr) entry
+
+(* Exponential smoothing, most recent first: the newest call has weight
+   alpha, the next alpha*(1-alpha), etc., renormalized over the window. *)
+let smooth t entries =
+  let alpha = t.smoothing in
+  let _, wsum, tsum, rsum =
+    List.fold_left
+      (fun (w, wsum, tsum, rsum) e ->
+        ( w *. (1.0 -. alpha),
+          wsum +. w,
+          tsum +. (w *. e.time_ms),
+          rsum +. (w *. float_of_int e.rows) ))
+      (alpha, 0.0, 0.0, 0.0) entries
+  in
+  (tsum /. wsum, rsum /. wsum)
+
+let estimate t ~repo expr =
+  match Hashtbl.find_opt t.exact (exact_key ~repo expr) with
+  | Some (_ :: _ as entries) ->
+      let time, rows = smooth t entries in
+      { est_time_ms = time; est_rows = rows; est_basis = Exact (List.length entries) }
+  | Some [] | None when t.close_matching -> (
+      match Hashtbl.find_opt t.close (close_key ~repo expr) with
+      | Some (_ :: _ as entries) ->
+          let time, rows = smooth t entries in
+          {
+            est_time_ms = time;
+            est_rows = rows;
+            est_basis = Close (List.length entries);
+          }
+      | Some [] | None -> default_estimate)
+  | Some [] | None -> default_estimate
+
+let recorded_calls t =
+  Hashtbl.fold (fun _ entries acc -> acc + List.length entries) t.exact 0
+
+let clear t =
+  Hashtbl.reset t.exact;
+  Hashtbl.reset t.close

@@ -1,0 +1,50 @@
+(** The learned cost model of paper Section 3.3.
+
+    Heterogeneous sources "may not export enough information to determine
+    the run-time cost of a physical algorithm", so Disco {e records}
+    every [exec] call — the submitted expression, the time taken and the
+    amount of data returned — and estimates future calls from history:
+
+    - an {b exact match} (same repository, same expression) combines the
+      recorded calls with a smoothing function; only a fixed number of
+      exactly matching calls are kept;
+    - a {b close match} (same expression skeleton: comparison operators
+      match but constants differ — the paper's "variant of predicate-based
+      caching") smooths over the close calls;
+    - {b no match} falls back to the defaults: {e time 0, data 1}, which
+      biases the optimizer toward maximal pushdown, exactly as the paper
+      argues. *)
+
+module Expr := Disco_algebra.Expr
+
+type basis =
+  | Exact of int  (** number of exactly matching recorded calls *)
+  | Close of int  (** number of skeleton-matching recorded calls *)
+  | Default
+
+type estimate = { est_time_ms : float; est_rows : float; est_basis : basis }
+
+val default_estimate : estimate
+(** time 0, rows 1, basis Default. *)
+
+type t
+
+val create : ?history:int -> ?smoothing:float -> ?close_matching:bool -> unit -> t
+(** [history] bounds the recorded calls kept per exact key (default 8).
+    [smoothing] is the exponential-smoothing factor applied most-recent
+    first (default 0.5). [close_matching] (default true) enables the
+    skeleton-based close matches; disabling it is the A1 ablation — only
+    exact repeats inform estimates. *)
+
+val record : t -> repo:string -> expr:Expr.expr -> time_ms:float -> rows:int -> unit
+
+val estimate : t -> repo:string -> Expr.expr -> estimate
+
+val skeleton : Expr.expr -> string
+(** The close-match fingerprint: the expression with every constant
+    erased. Exposed for tests. *)
+
+val recorded_calls : t -> int
+(** Total records currently held (after trimming). *)
+
+val clear : t -> unit

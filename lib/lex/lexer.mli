@@ -1,0 +1,83 @@
+(** A small hand-rolled tokenizer and token-stream reader shared by the
+    ODL, OQL and SQL front ends.
+
+    The tokenizer knows nothing about keywords: parsers test identifiers
+    case-insensitively with {!Stream.eat_kw} / {!Stream.peek_kw}, so the
+    same machinery serves all three languages. *)
+
+type token =
+  | Ident of string  (** identifier, case preserved *)
+  | Int of int
+  | Float of float
+  | Str of string  (** string literal, quotes and escapes resolved *)
+  | Punct of string  (** one of the punctuation strings given to {!tokenize} *)
+
+val pp_token : Format.formatter -> token -> unit
+val token_to_string : token -> string
+
+exception Error of string * int
+(** [Error (message, offset)]: lexing or parsing error with the character
+    offset in the input at which it occurred. *)
+
+val error : int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error offset fmt ...] raises {!Error} with a formatted message. *)
+
+val tokenize : puncts:string list -> string -> (token * int) list
+(** [tokenize ~puncts input] splits [input] into tokens paired with their
+    character offsets. [puncts] lists the multi- and single-character
+    punctuation tokens of the language (matched longest-first). Comments
+    of both [// ...] and [-- ...] (to end of line) and [/* ... */] forms
+    are skipped. String literals use double or single quotes with [\\]
+    escapes. Raises {!Error} on malformed input. *)
+
+(** Imperative token-stream reader used by the recursive-descent
+    parsers. *)
+module Stream : sig
+  type t
+
+  val of_tokens : (token * int) list -> t
+  val of_string : puncts:string list -> string -> t
+
+  val pos : t -> int
+  (** Character offset of the current token (or of end of input). *)
+
+  val peek : t -> token option
+  val peek2 : t -> token option
+  (** One token of lookahead past the current token. *)
+
+  val next : t -> token
+  (** Consume and return the current token. Raises {!Error} at end of
+      input. *)
+
+  val at_end : t -> bool
+
+  val save : t -> int
+  (** Snapshot the cursor for backtracking. *)
+
+  val restore : t -> int -> unit
+  (** Reset the cursor to a snapshot taken with {!save}. *)
+
+  val eat_punct : t -> string -> unit
+  (** Consume the given punctuation token or raise {!Error}. *)
+
+  val try_punct : t -> string -> bool
+  (** Consume the punctuation token if it is next; report whether it was. *)
+
+  val peek_punct : t -> string -> bool
+
+  val eat_kw : t -> string -> unit
+  (** Consume the given keyword (case-insensitive identifier) or raise
+      {!Error}. *)
+
+  val try_kw : t -> string -> bool
+  val peek_kw : t -> string -> bool
+
+  val ident : t -> string
+  (** Consume an identifier or raise {!Error}. *)
+
+  val expect_end : t -> unit
+  (** Raise {!Error} unless all input has been consumed. *)
+
+  val failf : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+  (** Raise {!Error} at the current position. *)
+end

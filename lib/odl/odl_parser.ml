@@ -1,0 +1,217 @@
+module V = Disco_value.Value
+module Lexer = Disco_lex.Lexer
+module Stream = Disco_lex.Lexer.Stream
+
+type statement =
+  | Interface_def of Registry.interface
+  | Extent_def of Registry.meta_extent
+  | Object_def of {
+      od_name : string;
+      od_constructor : string;
+      od_args : (string * V.t) list;
+    }
+  | View_def of { vd_name : string; vd_body : string }
+  | Drop_extent of string
+
+(* Includes the OQL operator tokens so that [define ... as <OQL>] bodies
+   tokenize (they are captured as raw text and recompiled by the OQL
+   layer). *)
+let puncts =
+  [
+    ":="; "{"; "}"; "("; ")"; ";"; ":"; ","; "<="; ">="; "!="; "<>"; "=";
+    "<"; ">"; "."; "*"; "+"; "-"; "/"; "%";
+  ]
+
+let parse_type s =
+  let name = Stream.ident s in
+  match Otype.of_odl_name name with
+  | Some ty -> ty
+  | None -> Otype.TInterface name
+
+let parse_interface s =
+  (* after the [interface] keyword *)
+  let name = Stream.ident s in
+  let declared_extent =
+    if Stream.try_punct s "(" then (
+      Stream.eat_kw s "extent";
+      let e = Stream.ident s in
+      Stream.eat_punct s ")";
+      Some e)
+    else None
+  in
+  let super = if Stream.try_punct s ":" then Some (Stream.ident s) else None in
+  Stream.eat_punct s "{";
+  let rec attrs acc =
+    if Stream.try_punct s "}" then List.rev acc
+    else (
+      Stream.eat_kw s "attribute";
+      let ty = parse_type s in
+      let attr_name = Stream.ident s in
+      Stream.eat_punct s ";";
+      attrs ((attr_name, ty) :: acc))
+  in
+  let attributes = attrs [] in
+  ignore (Stream.try_punct s ";");
+  Interface_def
+    {
+      Registry.if_name = name;
+      if_super = super;
+      if_declared_extent = declared_extent;
+      if_attributes = attributes;
+    }
+
+let parse_extent s =
+  (* after the [extent] keyword *)
+  let name = Stream.ident s in
+  Stream.eat_kw s "of";
+  let interface = Stream.ident s in
+  Stream.eat_kw s "wrapper";
+  let wrapper = Stream.ident s in
+  Stream.eat_kw s "repository";
+  let repository = Stream.ident s in
+  let rec replicas acc =
+    if Stream.try_kw s "replica" then replicas (Stream.ident s :: acc)
+    else List.rev acc
+  in
+  let replicas = replicas [] in
+  let map =
+    if Stream.try_kw s "map" then Typemap.parse_body s else Typemap.identity
+  in
+  Stream.eat_punct s ";";
+  Extent_def
+    {
+      Registry.me_name = name;
+      me_interface = interface;
+      me_wrapper = wrapper;
+      me_repository = repository;
+      me_replicas = replicas;
+      me_map = map;
+    }
+
+let parse_literal s =
+  match Stream.next s with
+  | Lexer.Str str -> V.String str
+  | Lexer.Int i -> V.Int i
+  | Lexer.Float f -> V.Float f
+  | Lexer.Ident id when String.lowercase_ascii id = "true" -> V.Bool true
+  | Lexer.Ident id when String.lowercase_ascii id = "false" -> V.Bool false
+  | Lexer.Ident id when String.lowercase_ascii id = "null" -> V.Null
+  | t -> Stream.failf s "expected a literal, found %s" (Lexer.token_to_string t)
+
+let parse_object name s =
+  (* after [name :=] *)
+  let constructor = Stream.ident s in
+  Stream.eat_punct s "(";
+  let rec args acc =
+    if Stream.try_punct s ")" then List.rev acc
+    else
+      let field = Stream.ident s in
+      Stream.eat_punct s "=";
+      let v = parse_literal s in
+      let acc = (field, v) :: acc in
+      if Stream.try_punct s "," then args acc
+      else (
+        Stream.eat_punct s ")";
+        List.rev acc)
+  in
+  let args = args [] in
+  Stream.eat_punct s ";";
+  Object_def { od_name = name; od_constructor = constructor; od_args = args }
+
+(* [define name as <raw OQL> ;] — the body runs to the first semicolon at
+   paren depth 0, captured as raw text from the original input. *)
+let parse_define input s =
+  let name = Stream.ident s in
+  Stream.eat_kw s "as";
+  let body_start = Stream.pos s in
+  let rec scan depth last_end =
+    match Stream.peek s with
+    | None -> Stream.failf s "unterminated define %s: expected ';'" name
+    | Some (Lexer.Punct "(") ->
+        ignore (Stream.next s);
+        scan (depth + 1) (Stream.pos s)
+    | Some (Lexer.Punct ")") ->
+        ignore (Stream.next s);
+        scan (depth - 1) (Stream.pos s)
+    | Some (Lexer.Punct ";") when depth = 0 ->
+        let body_end = Stream.pos s in
+        ignore (Stream.next s);
+        body_end
+    | Some _ ->
+        ignore (Stream.next s);
+        scan depth last_end
+  in
+  let body_end = scan 0 body_start in
+  let body = String.trim (String.sub input body_start (body_end - body_start)) in
+  View_def { vd_name = name; vd_body = body }
+
+let parse_statement input s =
+  if Stream.try_kw s "interface" then parse_interface s
+  else if Stream.try_kw s "extent" then parse_extent s
+  else if Stream.try_kw s "define" then parse_define input s
+  else if Stream.try_kw s "drop" then (
+    Stream.eat_kw s "extent";
+    let name = Stream.ident s in
+    Stream.eat_punct s ";";
+    Drop_extent name)
+  else
+    let name = Stream.ident s in
+    Stream.eat_punct s ":=";
+    parse_object name s
+
+let parse_program input =
+  let s = Stream.of_string ~puncts input in
+  let rec go acc =
+    if Stream.at_end s then List.rev acc
+    else go (parse_statement input s :: acc)
+  in
+  go []
+
+let apply registry = function
+  | Interface_def itf -> Registry.add_interface registry itf
+  | Extent_def ext -> Registry.add_extent registry ext
+  | Object_def { od_name; od_constructor; od_args } ->
+      ignore
+        (Registry.add_object registry ~name:od_name ~constructor:od_constructor
+           ~args:od_args)
+  | View_def { vd_name; vd_body } ->
+      Registry.add_view registry ~name:vd_name ~body:vd_body
+  | Drop_extent name -> Registry.remove_extent registry name
+
+let load registry input =
+  List.iter (apply registry) (parse_program input)
+
+let pp_statement ppf = function
+  | Interface_def itf ->
+      let pp_super ppf = function
+        | Some s -> Fmt.pf ppf " : %s" s
+        | None -> ()
+      in
+      let pp_ext ppf = function
+        | Some e -> Fmt.pf ppf " (extent %s)" e
+        | None -> ()
+      in
+      let pp_attr ppf (name, ty) =
+        Fmt.pf ppf "attribute %a %s;" Otype.pp ty name
+      in
+      Fmt.pf ppf "interface %s%a%a { %a }" itf.Registry.if_name pp_ext
+        itf.Registry.if_declared_extent pp_super itf.Registry.if_super
+        (Fmt.list ~sep:Fmt.sp pp_attr)
+        itf.Registry.if_attributes
+  | Extent_def e ->
+      Fmt.pf ppf "extent %s of %s wrapper %s repository %s%a%a;"
+        e.Registry.me_name e.Registry.me_interface e.Registry.me_wrapper
+        e.Registry.me_repository
+        (fun ppf -> List.iter (fun r -> Fmt.pf ppf " replica %s" r))
+        e.Registry.me_replicas
+        (fun ppf m ->
+          if m == Typemap.identity then () else Fmt.pf ppf " map %a" Typemap.pp m)
+        e.Registry.me_map
+  | Object_def { od_name; od_constructor; od_args } ->
+      let pp_arg ppf (k, v) = Fmt.pf ppf "%s=%a" k V.pp v in
+      Fmt.pf ppf "%s := %s(%a);" od_name od_constructor
+        (Fmt.list ~sep:(Fmt.any ", ") pp_arg)
+        od_args
+  | View_def { vd_name; vd_body } ->
+      Fmt.pf ppf "define %s as %s;" vd_name vd_body
+  | Drop_extent name -> Fmt.pf ppf "drop extent %s;" name

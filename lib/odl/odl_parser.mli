@@ -1,0 +1,46 @@
+(** Parser for ODL with the DISCO extensions (paper Section 2).
+
+    Accepted statement forms, each terminated by [;] except interface
+    blocks which end at their closing brace (an optional [;] is allowed):
+
+    {v
+    interface Person (extent person) {
+      attribute String name;
+      attribute Short salary; }
+    interface Student : Person { }
+    extent person0 of Person wrapper w0 repository r0;
+    extent pp0 of PersonPrime wrapper w0 repository r0
+      map ((person0=pp0),(name=n),(salary=s));
+    r0 := Repository(host="rodin", name="db", address="123.45.6.7");
+    w0 := WrapperPostgres();
+    define double as select ... ;
+    drop extent person0;
+    v}
+
+    The body of a [define] is captured as raw OQL text (compiled later by
+    the OQL layer), so the full query language is available in views. *)
+
+module V := Disco_value.Value
+
+type statement =
+  | Interface_def of Registry.interface
+  | Extent_def of Registry.meta_extent
+  | Object_def of {
+      od_name : string;
+      od_constructor : string;
+      od_args : (string * V.t) list;
+    }
+  | View_def of { vd_name : string; vd_body : string }
+  | Drop_extent of string
+
+val parse_program : string -> statement list
+(** Raises [Disco_lex.Lexer.Error] on malformed input. *)
+
+val apply : Registry.t -> statement -> unit
+(** Record a statement in the registry. Raises [Registry.Odl_error] on
+    semantic errors (duplicate names, unknown references...). *)
+
+val load : Registry.t -> string -> unit
+(** Parse and apply a whole program. *)
+
+val pp_statement : Format.formatter -> statement -> unit

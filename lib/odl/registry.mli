@@ -1,0 +1,128 @@
+(** The mediator's internal schema database (paper Section 3: "The DISCO
+    mediator contains an internal database [that] records information on
+    data sources, types, interfaces, and views").
+
+    It holds interface definitions with their subtype hierarchy, the
+    [MetaExtent] instances that attach extents to interfaces (Section
+    2.1), named objects such as repositories and wrappers (data sources
+    are first-class objects), and view definitions. A monotone version
+    counter supports plan-cache invalidation ("the mediator must monitor
+    updates to extents, and modify or recompute plans that are affected",
+    Section 3.3). *)
+
+module V := Disco_value.Value
+
+(** An interface (type signature) of the mediator schema. *)
+type interface = {
+  if_name : string;
+  if_super : string option;
+  if_declared_extent : string option;
+      (** the implicit all-sources extent, e.g. [person] for [Person] *)
+  if_attributes : (string * Otype.t) list;  (** own attributes only *)
+}
+
+(** One [MetaExtent] instance: an extent mirroring one data source
+    (Section 2.1's [interface MetaExtent]). *)
+type meta_extent = {
+  me_name : string;  (** extent name, e.g. [person0] *)
+  me_interface : string;  (** mediator type, e.g. [Person] *)
+  me_wrapper : string;  (** name of the wrapper object *)
+  me_repository : string;  (** name of the primary repository object *)
+  me_replicas : string list;
+      (** failover repositories holding the same data (an extension: the
+          paper scopes its §4 semantics to "the absence of replication";
+          replicas restore availability at the cost of maintaining
+          copies — experiment E10 contrasts the two remedies) *)
+  me_map : Typemap.t;  (** local transformation map *)
+}
+
+(** A named mediator object created by an ODL assignment such as
+    [r0 := Repository(host="rodin", ...)]. *)
+type obj = { obj_oid : V.oid; obj_constructor : string; obj_args : (string * V.t) list }
+
+type t
+
+exception Odl_error of string
+
+val create : unit -> t
+
+(** {1 Interfaces} *)
+
+val add_interface : t -> interface -> unit
+(** Raises {!Odl_error} on duplicate interface names, unknown supertypes,
+    duplicate attribute names (including inherited ones), or a declared
+    extent name that collides with an existing extent. *)
+
+val find_interface : t -> string -> interface option
+val interface_names : t -> string list
+
+val attributes_of : t -> string -> (string * Otype.t) list
+(** Own and inherited attributes, supertype attributes first. Raises
+    {!Odl_error} on unknown interfaces. *)
+
+val subtype_of : t -> sub:string -> super:string -> bool
+(** Reflexive-transitive subtype test. *)
+
+val subtypes_closure : t -> string -> string list
+(** The interface and all its (transitive) subtypes. *)
+
+val struct_conforms : t -> string -> V.t -> bool
+(** Does a struct value carry exactly the fields (with conforming atomic
+    values) of the named interface? Used by wrappers for the run-time
+    type check of Section 2.1. *)
+
+(** {1 Extents} *)
+
+val add_extent : t -> meta_extent -> unit
+(** Raises {!Odl_error} if the extent name is taken, the interface is
+    unknown, or the wrapper / repository objects are undefined. *)
+
+val remove_extent : t -> string -> unit
+val find_extent : t -> string -> meta_extent option
+
+val extents_of : t -> string -> meta_extent list
+(** Extents attached {e directly} to the interface, in definition order —
+    Section 2.2.1: "the extent of a type does not automatically reference
+    the extents of the sub-types". *)
+
+val extents_of_star : t -> string -> meta_extent list
+(** Extents of the interface and of all its subtypes — the paper's
+    [person*] syntax. *)
+
+val all_extents : t -> meta_extent list
+
+val metaextent_bag : t -> V.t
+(** The [metaextent] extent itself, as a bag of structs with fields
+    [name], [interface], [wrapper], [repository] — so that OQL queries can
+    range over the meta-data exactly as in the paper's
+    [define person as flatten(select x.e from x in metaextent ...)]. *)
+
+val objects_bag : ?constructor_prefix:string -> t -> V.t
+(** The mediator objects as a queryable bag of structs with fields
+    [name], [constructor], and one string field per constructor argument
+    — the paper's [Repository] / [Wrapper] ODMG interfaces made
+    queryable. [constructor_prefix] filters (e.g. ["Repository"],
+    ["Wrapper"]). *)
+
+(** {1 Objects} *)
+
+val add_object : t -> name:string -> constructor:string -> args:(string * V.t) list -> obj
+(** Raises {!Odl_error} on duplicate names. *)
+
+val find_object : t -> string -> obj option
+val object_names : t -> string list
+
+(** {1 Views} *)
+
+val add_view : t -> name:string -> body:string -> unit
+(** [body] is unparsed OQL text; the OQL layer compiles it on demand.
+    Raises {!Odl_error} on duplicate view names or name clashes with
+    extents. *)
+
+val find_view : t -> string -> string option
+val view_names : t -> string list
+
+(** {1 Versioning} *)
+
+val version : t -> int
+(** Bumped by every mutation. *)

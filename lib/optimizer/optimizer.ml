@@ -1,0 +1,150 @@
+module Expr = Disco_algebra.Expr
+module Rules = Disco_algebra.Rules
+module Plan = Disco_physical.Plan
+module Cost_model = Disco_cost.Cost_model
+
+let log_src = Logs.Src.create "disco.optimizer" ~doc:"Disco query optimizer"
+
+module Log = (val Logs.src_log log_src)
+
+type choice = {
+  plan : Plan.plan;
+  logical : Expr.expr;
+  cost : Plan.cost;
+  alternatives : int;
+}
+
+(* Enumerate join-commutation variants of an expression, breadth-first
+   over the join nodes, capped at [limit] variants. *)
+let join_variants ~limit e =
+  let rec commute e =
+    match e with
+    | Expr.Join (l, r, pairs) ->
+        let ls = commute l and rs = commute r in
+        List.concat_map
+          (fun l' ->
+            List.concat_map
+              (fun r' ->
+                [
+                  Expr.Join (l', r', pairs);
+                  Expr.Join (r', l', List.map (fun (a, b) -> (b, a)) pairs);
+                ])
+              rs)
+          ls
+    | Expr.Select (inner, p) ->
+        List.map (fun i -> Expr.Select (i, p)) (commute inner)
+    | Expr.Map (inner, h) -> List.map (fun i -> Expr.Map (i, h)) (commute inner)
+    | Expr.Project (inner, attrs) ->
+        List.map (fun i -> Expr.Project (i, attrs)) (commute inner)
+    | Expr.Distinct inner -> List.map (fun i -> Expr.Distinct i) (commute inner)
+    | Expr.Union es ->
+        (* unions multiply too fast; keep member order fixed *)
+        [ Expr.Union es ]
+    | Expr.Get _ | Expr.Data _ | Expr.Submit _ -> [ e ]
+  in
+  let variants = commute e in
+  List.filteri (fun i _ -> i < limit) variants
+
+(* Paper Section 3.3: when no cost information is available, "the
+   optimizer will choose plans where the maximum amount of computation is
+   done at the data source"; only then is the lowest mediator-side cost
+   chosen. Candidates whose exec estimates are all defaults are compared
+   by mediator work first; estimated times take over as soon as any
+   recorded cost informs a candidate. *)
+let better (a : Plan.cost * int * int) (b : Plan.cost * int * int) =
+  let ca, opsa, pusheda = a and cb, opsb, pushedb = b in
+  let informed c = c.Plan.defaulted_execs = 0 in
+  match (informed ca, informed cb) with
+  | true, false -> true
+  | false, true ->
+      (* a default-based estimate is optimistic fiction (time 0); never
+         let it displace a plan whose cost is actually known *)
+      false
+  | true, true ->
+      if ca.Plan.time_ms <> cb.Plan.time_ms then
+        ca.Plan.time_ms < cb.Plan.time_ms
+      else if ca.Plan.shipped <> cb.Plan.shipped then
+        ca.Plan.shipped < cb.Plan.shipped
+      else opsa < opsb
+  | false, false ->
+      (* the paper's default rule: maximum computation at the sources *)
+      if opsa <> opsb then opsa < opsb
+      else if ca.Plan.time_ms <> cb.Plan.time_ms then
+        ca.Plan.time_ms < cb.Plan.time_ms
+      else if ca.Plan.shipped <> cb.Plan.shipped then
+        ca.Plan.shipped < cb.Plan.shipped
+      else pusheda > pushedb
+
+let optimize ?params ?(max_join_variants = 8) ~can_push ~cost located =
+  let candidates =
+    (* join commutations of the located tree ... *)
+    located :: join_variants ~limit:max_join_variants located
+    (* ... each at every pushdown level: capability-maximal, none, and
+       as-written *)
+    |> List.concat_map (fun v ->
+           [
+             Rules.normalize ~can_push v;
+             Rules.normalize ~can_push:Rules.push_none v;
+             v;
+           ])
+    |> List.sort_uniq compare
+  in
+  let costed =
+    List.concat_map
+      (fun logical ->
+        match Plan.implement logical with
+        | plan ->
+            (* also cost the alternative join algorithms (hash vs merge),
+               and semijoin reductions where the cost model has real
+               statistics for both sides *)
+            let informed repo expr =
+              match
+                (Cost_model.estimate cost ~repo expr).Cost_model.est_basis
+              with
+              | Cost_model.Default -> false
+              | Cost_model.Exact _ | Cost_model.Close _ -> true
+            in
+            let pushed_size p =
+              List.fold_left
+                (fun acc (_, e) -> acc + Expr.size e)
+                0 (Plan.all_source_exprs p)
+            in
+            List.map
+              (fun p ->
+                ( logical,
+                  p,
+                  ( Plan.estimate ?params cost p,
+                    Plan.mediator_op_count p,
+                    pushed_size p ) ))
+              ((plan :: Plan.join_algorithm_variants plan)
+              @ Plan.semijoin_variants ~informed plan)
+        | exception Plan.Physical_error _ -> [])
+      candidates
+  in
+  match costed with
+  | [] ->
+      (* fall back to the located expression itself *)
+      let plan = Plan.implement located in
+      {
+        plan;
+        logical = located;
+        cost = Plan.estimate ?params cost plan;
+        alternatives = 1;
+      }
+  | first :: rest ->
+      let best_logical, best_plan, (best_cost, _, _) =
+        List.fold_left
+          (fun (bl, bp, bc) (l, p, c) ->
+            if better c bc then (l, p, c) else (bl, bp, bc))
+          first rest
+      in
+      Log.debug (fun m ->
+          m "chose plan (%.3f ms, %.1f shipped) out of %d candidates: %s"
+            best_cost.Plan.time_ms best_cost.Plan.shipped (List.length costed)
+            (Plan.to_string best_plan));
+      {
+        plan = best_plan;
+        logical = best_logical;
+        cost = best_cost;
+        alternatives = List.length costed;
+      }

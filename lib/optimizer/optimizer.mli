@@ -1,0 +1,38 @@
+(** The mediator query optimizer (paper Section 3.1).
+
+    "The optimizer searches the space of logical and physical trees for
+    the physical tree with the lowest cost": starting from a located
+    logical expression, the search enumerates
+
+    - pushdown alternatives — the capability-constrained normalization
+      applied or not (and the un-normalized original), so a plan that
+      ships whole extents competes with maximal pushdown;
+    - join alternatives — commutations of every [Join] node (bounded),
+      which choose hash-build sides and submit-merge opportunities;
+
+    implements each candidate with the physical rules, costs it against
+    the learned {!Disco_cost.Cost_model}, and keeps the cheapest.
+
+    With an empty cost store every [exec] estimates at time 0 / data 1,
+    so the maximal-pushdown plan wins — the paper's designed bias. *)
+
+module Expr := Disco_algebra.Expr
+
+type choice = {
+  plan : Disco_physical.Plan.plan;
+  logical : Expr.expr;  (** the logical tree the plan implements *)
+  cost : Disco_physical.Plan.cost;
+  alternatives : int;  (** number of candidates costed *)
+}
+
+val optimize :
+  ?params:Disco_physical.Plan.params ->
+  ?max_join_variants:int ->
+  can_push:Disco_algebra.Rules.can_push ->
+  cost:Disco_cost.Cost_model.t ->
+  Expr.expr ->
+  choice
+(** [optimize ~can_push ~cost located] plans a located logical expression.
+    [max_join_variants] bounds the commutation variants explored per
+    candidate (default 8). Ties in estimated time break toward fewer
+    shipped tuples, then smaller plans. *)

@@ -1,0 +1,41 @@
+(** The mediator-local OQL evaluator.
+
+    This is the {e reference semantics} of the system: the algebra
+    compiler, the rewrite rules and the distributed runtime are all tested
+    against it. It evaluates a query given an {!env} that resolves free
+    collection names (extents, views, [metaextent]) to values.
+
+    The evaluator performs dependent joins left-to-right over [from]
+    bindings, supports correlated subqueries anywhere an expression may
+    appear, and implements the paper's conventions: [select] yields a bag,
+    [select distinct] a set, [union] of bags is a bag. *)
+
+module V := Disco_value.Value
+
+exception Eval_error of string
+
+type env
+
+val env :
+  ?resolve:(string -> V.t option) ->
+  ?interface_names:string list ->
+  unit ->
+  env
+(** [resolve name] supplies the value of a free collection name (extent,
+    view, or [metaextent]); [interface_names] lists schema type names,
+    which evaluate to their own name as a string so that meta-data
+    comparisons like [x.interface = Person] work (Section 2.1). *)
+
+val with_binding : env -> string -> V.t -> env
+(** Extend the variable scope (innermost wins). *)
+
+val eval : env -> Ast.query -> V.t
+(** Raises {!Eval_error} on unbound names, arity errors, or type errors
+    (via [Value.Type_error] wrapped into {!Eval_error}). *)
+
+val eval_string : env -> string -> V.t
+(** Parse then evaluate. *)
+
+val truthy : V.t -> bool
+(** The boolean reading of a where-clause result: [Bool b] is [b]; every
+    other value (including [Null]) is false. *)

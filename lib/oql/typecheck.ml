@@ -1,0 +1,272 @@
+module V = Disco_value.Value
+module Otype = Disco_odl.Otype
+module Registry = Disco_odl.Registry
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+type env = {
+  vars : (string * Otype.t) list;
+  registry : Registry.t;
+  view_stack : string list;
+}
+
+let env_of_registry registry = { vars = []; registry; view_stack = [] }
+let with_var env name ty = { env with vars = (name, ty) :: env.vars }
+
+let metaextent_type =
+  Otype.TBag
+    (Otype.TStruct
+       [
+         ("name", Otype.TString);
+         ("interface", Otype.TString);
+         ("wrapper", Otype.TString);
+         ("repository", Otype.TString);
+       ])
+
+(* Least upper bound of element types: equal types, numeric widening,
+   void as bottom (empty collections / nulls), interfaces joined through
+   the subtype hierarchy. *)
+let rec lub env a b =
+  if Otype.equal a b then a
+  else
+    match (a, b) with
+    | Otype.TVoid, t | t, Otype.TVoid -> t
+    | Otype.TInt, Otype.TFloat | Otype.TFloat, Otype.TInt -> Otype.TFloat
+    | Otype.TInterface x, Otype.TInterface y ->
+        if Registry.subtype_of env.registry ~sub:x ~super:y then
+          Otype.TInterface y
+        else if Registry.subtype_of env.registry ~sub:y ~super:x then
+          Otype.TInterface x
+        else
+          type_error "interfaces %s and %s have no common supertype" x y
+    | Otype.TBag x, Otype.TBag y -> Otype.TBag (lub env x y)
+    | Otype.TSet x, Otype.TSet y -> Otype.TSet (lub env x y)
+    | Otype.TList x, Otype.TList y -> Otype.TList (lub env x y)
+    | Otype.TStruct xs, Otype.TStruct ys
+      when List.map fst xs = List.map fst ys ->
+        Otype.TStruct
+          (List.map2 (fun (n, tx) (_, ty) -> (n, lub env tx ty)) xs ys)
+    | _ ->
+        type_error "incompatible types %s and %s" (Otype.to_string a)
+          (Otype.to_string b)
+
+let rec type_of_value env v =
+  match v with
+  | V.Null -> Otype.TVoid
+  | V.Bool _ -> Otype.TBool
+  | V.Int _ -> Otype.TInt
+  | V.Float _ -> Otype.TFloat
+  | V.String _ -> Otype.TString
+  | V.Object { V.oid_class; _ } -> Otype.TInterface oid_class
+  | V.Struct fields ->
+      Otype.TStruct (List.map (fun (n, x) -> (n, type_of_value env x)) fields)
+  | V.Bag xs -> Otype.TBag (element_lub env xs)
+  | V.Set xs -> Otype.TSet (element_lub env xs)
+  | V.List xs -> Otype.TList (element_lub env xs)
+
+and element_lub env = function
+  | [] -> Otype.TVoid
+  | x :: rest ->
+      List.fold_left
+        (fun acc v -> lub env acc (type_of_value env v))
+        (type_of_value env x) rest
+
+let is_numeric = function Otype.TInt | Otype.TFloat | Otype.TVoid -> true | _ -> false
+
+let element_of name = function
+  | Otype.TBag e | Otype.TSet e | Otype.TList e -> e
+  | t -> type_error "%s expects a collection, got %s" name (Otype.to_string t)
+
+(* The interface whose declared extent is [name]. *)
+let interface_for_extent_name registry name =
+  List.find_opt
+    (fun itf ->
+      match Registry.find_interface registry itf with
+      | Some { Registry.if_declared_extent = Some e; _ } -> String.equal e name
+      | _ -> false)
+    (Registry.interface_names registry)
+
+let rec resolve_name env name =
+  if name = "metaextent" then metaextent_type
+  else
+    match List.assoc_opt name env.vars with
+    | Some ty -> ty
+    | None -> (
+        match Registry.find_view env.registry name with
+        | Some body ->
+            if List.mem name env.view_stack then
+              type_error "cyclic view definition through %s" name
+            else
+              let parsed =
+                try Parser.parse body
+                with Disco_lex.Lexer.Error (m, _) ->
+                  type_error "view %s does not parse: %s" name m
+              in
+              infer
+                { env with view_stack = name :: env.view_stack; vars = [] }
+                parsed
+        | None -> (
+            match interface_for_extent_name env.registry name with
+            | Some itf -> Otype.TBag (Otype.TInterface itf)
+            | None -> (
+                match Registry.find_extent env.registry name with
+                | Some ext ->
+                    Otype.TBag (Otype.TInterface ext.Registry.me_interface)
+                | None ->
+                    if Registry.find_interface env.registry name <> None then
+                      Otype.TString
+                    else type_error "unknown name %s" name)))
+
+and attribute_type env base_ty field =
+  match base_ty with
+  | Otype.TInterface itf -> (
+      match
+        List.assoc_opt field (Registry.attributes_of env.registry itf)
+      with
+      | Some ty -> ty
+      | None -> type_error "interface %s has no attribute %s" itf field)
+  | Otype.TStruct fields -> (
+      match List.assoc_opt field fields with
+      | Some ty -> ty
+      | None -> type_error "struct has no field %s" field)
+  | Otype.TVoid -> Otype.TVoid
+  | t -> type_error "cannot access .%s on a %s" field (Otype.to_string t)
+
+and infer env q =
+  match q with
+  | Ast.Const v -> type_of_value env v
+  | Ast.Ident name -> resolve_name env name
+  | Ast.Extent_star name -> (
+      let interface =
+        match interface_for_extent_name env.registry name with
+        | Some itf -> Some itf
+        | None ->
+            if Registry.find_interface env.registry name <> None then Some name
+            else None
+      in
+      match interface with
+      | Some itf -> Otype.TBag (Otype.TInterface itf)
+      | None -> type_error "%s* does not name a type's extent" name)
+  | Ast.Path (base, field) -> attribute_type env (infer env base) field
+  | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod) as op), a, b)
+    -> (
+      let ta = infer env a and tb = infer env b in
+      match (op, ta, tb) with
+      | Ast.Add, Otype.TString, Otype.TString -> Otype.TString
+      | _ when is_numeric ta && is_numeric tb -> lub env (lub env ta tb) Otype.TInt
+      | _ ->
+          type_error "arithmetic on %s and %s" (Otype.to_string ta)
+            (Otype.to_string tb))
+  | Ast.Binop ((Ast.And | Ast.Or), a, b) ->
+      let check side q =
+        match infer env q with
+        | Otype.TBool | Otype.TVoid -> ()
+        | t ->
+            type_error "%s operand of a boolean connective is %s" side
+              (Otype.to_string t)
+      in
+      check "left" a;
+      check "right" b;
+      Otype.TBool
+  | Ast.Binop (Ast.Like, a, b) ->
+      let check side q =
+        match infer env q with
+        | Otype.TString | Otype.TVoid -> ()
+        | t -> type_error "%s operand of like is %s" side (Otype.to_string t)
+      in
+      check "left" a;
+      check "right" b;
+      Otype.TBool
+  | Ast.Binop (_, a, b) ->
+      (* comparison: operands must share a lub *)
+      ignore (lub env (infer env a) (infer env b));
+      Otype.TBool
+  | Ast.Unop (Ast.Not, a) -> (
+      match infer env a with
+      | Otype.TBool | Otype.TVoid -> Otype.TBool
+      | t -> type_error "not applied to %s" (Otype.to_string t))
+  | Ast.Unop (Ast.Neg, a) ->
+      let t = infer env a in
+      if is_numeric t then lub env t Otype.TInt
+      else type_error "cannot negate %s" (Otype.to_string t)
+  | Ast.Call (f, args) -> infer_call env f (List.map (infer env) args)
+  | Ast.Struct_expr fields ->
+      Otype.TStruct (List.map (fun (n, e) -> (n, infer env e)) fields)
+  | Ast.Coll_expr (kind, elems) -> (
+      let elem =
+        List.fold_left
+          (fun acc e -> lub env acc (infer env e))
+          Otype.TVoid elems
+      in
+      match kind with
+      | Ast.Kbag -> Otype.TBag elem
+      | Ast.Kset -> Otype.TSet elem
+      | Ast.Klist -> Otype.TList elem)
+  | Ast.Quant (_, var, coll, body) -> (
+      let elem = element_of "quantifier" (infer env coll) in
+      match infer (with_var env var elem) body with
+      | Otype.TBool | Otype.TVoid -> Otype.TBool
+      | t -> type_error "quantifier body has type %s" (Otype.to_string t))
+  | Ast.Select sel ->
+      let env' =
+        List.fold_left
+          (fun env (var, coll) ->
+            let elem = element_of ("binding of " ^ var) (infer env coll) in
+            with_var env var elem)
+          env sel.Ast.sel_from
+      in
+      (match sel.Ast.sel_where with
+      | None -> ()
+      | Some w -> (
+          match infer env' w with
+          | Otype.TBool | Otype.TVoid -> ()
+          | t -> type_error "where-clause has type %s" (Otype.to_string t)));
+      List.iter (fun (k, _) -> ignore (infer env' k)) sel.Ast.sel_order;
+      let proj = infer env' sel.Ast.sel_proj in
+      if sel.Ast.sel_order <> [] then Otype.TList proj
+      else if sel.Ast.sel_distinct then Otype.TSet proj
+      else Otype.TBag proj
+
+and infer_call env f arg_types =
+  let one () =
+    match arg_types with
+    | [ t ] -> t
+    | _ -> type_error "%s expects one argument" f
+  in
+  match f with
+  | "union" | "intersect" | "except" ->
+      let elem =
+        List.fold_left
+          (fun acc t -> lub env acc (element_of f t))
+          Otype.TVoid arg_types
+      in
+      Otype.TBag elem
+  | "flatten" -> Otype.TBag (element_of f (element_of f (one ())))
+  | "distinct" -> Otype.TSet (element_of f (one ()))
+  | "count" ->
+      ignore (element_of f (one ()));
+      Otype.TInt
+  | "sum" | "min" | "max" ->
+      let elem = element_of f (one ()) in
+      if is_numeric elem then lub env elem Otype.TInt
+      else type_error "%s over non-numeric %s" f (Otype.to_string elem)
+  | "avg" ->
+      let elem = element_of f (one ()) in
+      if is_numeric elem then Otype.TFloat
+      else type_error "avg over non-numeric %s" (Otype.to_string elem)
+  | "element" -> element_of f (one ())
+  | "exists" ->
+      ignore (element_of f (one ()));
+      Otype.TBool
+  | "abs" ->
+      let t = one () in
+      if is_numeric t then lub env t Otype.TInt
+      else type_error "abs of %s" (Otype.to_string t)
+  | name -> type_error "unknown function %s" name
+
+let check env q =
+  match infer env q with
+  | ty -> Ok ty
+  | exception Type_error m -> Error m

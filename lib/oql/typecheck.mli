@@ -1,0 +1,35 @@
+(** Static typing of OQL queries against a mediator schema.
+
+    The checker infers an {!Disco_odl.Otype.t} for a query given the
+    schema registry: extents type as bags of their interface, views type
+    as their bodies, [metaextent] as the meta-schema bag, and interface
+    names used as values as strings (mirroring {!Eval}'s conventions).
+    Arithmetic is numeric (int unless a float forces widening), [select]
+    yields a bag of its projection type ([select distinct] a set),
+    aggregates require numeric element types.
+
+    The mediator runs this before planning when asked
+    ([Mediator.query ~static_check:true]); queries over sources with
+    mismatched maps fail here instead of at the wrappers. *)
+
+module Otype := Disco_odl.Otype
+module Registry := Disco_odl.Registry
+
+exception Type_error of string
+
+type env
+
+val env_of_registry : Registry.t -> env
+(** Collection names resolve through views, implicit/declared extents,
+    concrete extents (typed by their interface), [metaextent], and
+    interface-name constants. *)
+
+val with_var : env -> string -> Otype.t -> env
+
+val infer : env -> Ast.query -> Otype.t
+(** Raises {!Type_error} with a readable message on ill-typed queries,
+    unknown names or attributes, non-boolean where-clauses, or aggregate
+    misuse. *)
+
+val check : env -> Ast.query -> (Otype.t, string) result
+(** Exception-free wrapper around {!infer}. *)

@@ -1,0 +1,496 @@
+module Expr = Disco_algebra.Expr
+module Cost_model = Disco_cost.Cost_model
+module V = Disco_value.Value
+
+type plan =
+  | Exec of string * Expr.expr
+  | Mk_data of V.t
+  | Mk_select of plan * Expr.pred
+  | Mk_project of plan * string list
+  | Mk_map of plan * Expr.head
+  | Nested_loop_join of plan * plan * (string list * string list) list
+  | Hash_join of plan * plan * (string list * string list) list
+  | Merge_join of plan * plan * (string list * string list) list
+  | Semi_join of plan * (string * Expr.expr) * (string list * string list) list
+  | Mk_union of plan list
+  | Mk_distinct of plan
+
+exception Physical_error of string
+
+let physical_error fmt =
+  Format.kasprintf (fun s -> raise (Physical_error s)) fmt
+
+let rec pp ppf = function
+  | Exec (repo, e) -> Fmt.pf ppf "exec(%s, %a)" repo Expr.pp e
+  | Mk_data v -> Fmt.pf ppf "mkdata(%d rows)" (try V.cardinal v with V.Type_error _ -> 1)
+  | Mk_select (p, pred) -> Fmt.pf ppf "mkselect(%a, %a)" Expr.pp_pred pred pp p
+  | Mk_project (p, attrs) ->
+      Fmt.pf ppf "mkproj(%a, %a)"
+        (Fmt.list ~sep:(Fmt.any ",") Fmt.string)
+        attrs pp p
+  | Mk_map (p, h) -> (
+      match h with
+      | Expr.Hscalar s -> Fmt.pf ppf "mkmap(%a, %a)" Expr.pp_scalar s pp p
+      | Expr.Hstruct _ -> Fmt.pf ppf "mkmap(struct, %a)" pp p)
+  | Nested_loop_join (l, r, _) -> Fmt.pf ppf "nljoin(%a, %a)" pp l pp r
+  | Hash_join (l, r, _) -> Fmt.pf ppf "hashjoin(%a, %a)" pp l pp r
+  | Merge_join (l, r, _) -> Fmt.pf ppf "mergejoin(%a, %a)" pp l pp r
+  | Semi_join (l, (repo, re), _) ->
+      Fmt.pf ppf "semijoin(%a, exec(%s, %a))" pp l repo Expr.pp re
+  | Mk_union ps -> Fmt.pf ppf "mkunion(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp) ps
+  | Mk_distinct p -> Fmt.pf ppf "mkdistinct(%a)" pp p
+
+let to_string p = Fmt.str "%a" pp p
+
+let rec implement = function
+  | Expr.Submit (repo, e) -> Exec (repo, e)
+  | Expr.Get name -> physical_error "unlocated collection %s" name
+  | Expr.Data v -> Mk_data v
+  | Expr.Select (e, p) -> Mk_select (implement e, p)
+  | Expr.Project (e, attrs) -> Mk_project (implement e, attrs)
+  | Expr.Map (e, h) -> Mk_map (implement e, h)
+  | Expr.Join (l, r, pairs) ->
+      if pairs = [] then Nested_loop_join (implement l, implement r, [])
+      else Hash_join (implement l, implement r, pairs)
+  | Expr.Union es -> Mk_union (List.map implement es)
+  | Expr.Distinct e -> Mk_distinct (implement e)
+
+let rec to_logical = function
+  | Exec (repo, e) -> Expr.Submit (repo, e)
+  | Mk_data v -> Expr.Data v
+  | Mk_select (p, pred) -> Expr.Select (to_logical p, pred)
+  | Mk_project (p, attrs) -> Expr.Project (to_logical p, attrs)
+  | Mk_map (p, h) -> Expr.Map (to_logical p, h)
+  | Nested_loop_join (l, r, pairs) | Hash_join (l, r, pairs)
+  | Merge_join (l, r, pairs) ->
+      Expr.Join (to_logical l, to_logical r, pairs)
+  | Semi_join (l, (repo, re), pairs) ->
+      Expr.Join (to_logical l, Expr.Submit (repo, re), pairs)
+  | Mk_union ps -> Expr.Union (List.map to_logical ps)
+  | Mk_distinct p -> Expr.Distinct (to_logical p)
+
+let rec execs = function
+  | Exec (repo, e) -> [ (repo, e) ]
+  | Mk_data _ -> []
+  | Mk_select (p, _) | Mk_project (p, _) | Mk_map (p, _) | Mk_distinct p ->
+      execs p
+  | Nested_loop_join (l, r, _) | Hash_join (l, r, _) | Merge_join (l, r, _) ->
+      execs l @ execs r
+  | Semi_join (l, _, _) -> execs l
+  | Mk_union ps -> List.concat_map execs ps
+
+let rec substitute_execs f = function
+  | Exec (repo, e) -> f repo e
+  | Mk_data v -> Mk_data v
+  | Mk_select (p, pred) -> Mk_select (substitute_execs f p, pred)
+  | Mk_project (p, attrs) -> Mk_project (substitute_execs f p, attrs)
+  | Mk_map (p, h) -> Mk_map (substitute_execs f p, h)
+  | Nested_loop_join (l, r, pairs) ->
+      Nested_loop_join (substitute_execs f l, substitute_execs f r, pairs)
+  | Hash_join (l, r, pairs) ->
+      Hash_join (substitute_execs f l, substitute_execs f r, pairs)
+  | Merge_join (l, r, pairs) ->
+      Merge_join (substitute_execs f l, substitute_execs f r, pairs)
+  | Semi_join (l, right, pairs) -> Semi_join (substitute_execs f l, right, pairs)
+  | Mk_union ps -> Mk_union (List.map (substitute_execs f) ps)
+  | Mk_distinct p -> Mk_distinct (substitute_execs f p)
+
+(* -- local execution -- *)
+
+let rec get_path v = function
+  | [] -> v
+  | f :: rest -> get_path (V.field v f) rest
+
+let merge_structs a b =
+  match (a, b) with
+  | V.Struct fa, V.Struct fb -> V.strct (fa @ fb)
+  | _ ->
+      physical_error "join elements must be structs, got %s and %s"
+        (V.type_name a) (V.type_name b)
+
+let eval_head elem = function
+  | Expr.Hscalar s -> Expr.eval_scalar elem s
+  | Expr.Hstruct fields ->
+      V.strct (List.map (fun (n, s) -> (n, Expr.eval_scalar elem s)) fields)
+
+let rec run_local = function
+  | Exec (repo, _) ->
+      physical_error "exec(%s) not substituted before local execution" repo
+  | Mk_data v -> v
+  | Mk_select (p, pred) ->
+      V.filter_elements (fun elem -> Expr.eval_pred elem pred) (run_local p)
+  | Mk_project (p, attrs) ->
+      V.map_elements
+        (fun elem -> V.strct (List.map (fun a -> (a, get_path elem [ a ])) attrs))
+        (run_local p)
+  | Mk_map (p, h) -> V.map_elements (fun elem -> eval_head elem h) (run_local p)
+  | Nested_loop_join (l, r, pairs) ->
+      let lv = run_local l and rv = run_local r in
+      let rows =
+        List.concat_map
+          (fun le ->
+            List.filter_map
+              (fun re ->
+                let merged = merge_structs le re in
+                let ok =
+                  List.for_all
+                    (fun (pa, pb) ->
+                      Expr.eval_pred merged
+                        (Expr.Cmp (Expr.Eq, Expr.Attr pa, Expr.Attr pb)))
+                    pairs
+                in
+                if ok then Some merged else None)
+              (V.elements rv))
+          (V.elements lv)
+      in
+      V.bag rows
+  | Hash_join (l, r, pairs) ->
+      let lv = run_local l and rv = run_local r in
+      (* Build on the right input, keyed by the canonical rendering of the
+         join-key values (numeric coercion folded in by keying floats). *)
+      let key_of elem paths =
+        List.map
+          (fun path ->
+            match get_path elem path with
+            | V.Int i -> V.Float (float_of_int i)
+            | v -> v)
+          paths
+      in
+      let right_keys = List.map snd pairs and left_keys = List.map fst pairs in
+      let table = Hashtbl.create (max 16 (V.cardinal rv)) in
+      List.iter
+        (fun re -> Hashtbl.add table (key_of re right_keys) re)
+        (V.elements rv);
+      let rows =
+        List.concat_map
+          (fun le ->
+            List.rev_map
+              (fun re -> merge_structs le re)
+              (Hashtbl.find_all table (key_of le left_keys)))
+          (V.elements lv)
+      in
+      V.bag rows
+  | Merge_join (l, r, pairs) ->
+      let lv = run_local l and rv = run_local r in
+      let left_keys = List.map fst pairs and right_keys = List.map snd pairs in
+      let key_of elem paths =
+        List.map
+          (fun path ->
+            match get_path elem path with
+            | V.Int i -> V.Float (float_of_int i)
+            | v -> v)
+          paths
+      in
+      let cmp_keys a b =
+        let rec go a b =
+          match (a, b) with
+          | [], [] -> 0
+          | x :: xs, y :: ys ->
+              let c = V.compare x y in
+              if c <> 0 then c else go xs ys
+          | _ -> 0
+        in
+        go a b
+      in
+      let sort elems keys =
+        List.stable_sort
+          (fun a b -> cmp_keys (key_of a keys) (key_of b keys))
+          elems
+      in
+      let ls = sort (V.elements lv) left_keys in
+      let rs = sort (V.elements rv) right_keys in
+      (* classic merge with duplicate groups on both sides *)
+      let rec merge acc ls rs =
+        match (ls, rs) with
+        | [], _ | _, [] -> acc
+        | le :: _, re :: _ -> (
+            let kl = key_of le left_keys and kr = key_of re right_keys in
+            match cmp_keys kl kr with
+            | c when c < 0 -> merge acc (List.tl ls) rs
+            | c when c > 0 -> merge acc ls (List.tl rs)
+            | _ ->
+                let same side keys k =
+                  let rec split acc = function
+                    | e :: rest when cmp_keys (key_of e keys) k = 0 ->
+                        split (e :: acc) rest
+                    | rest -> (List.rev acc, rest)
+                  in
+                  split [] side
+                in
+                let lgroup, ls' = same ls left_keys kl in
+                let rgroup, rs' = same rs right_keys kl in
+                let acc =
+                  List.fold_left
+                    (fun acc le ->
+                      List.fold_left
+                        (fun acc re -> merge_structs le re :: acc)
+                        acc rgroup)
+                    acc lgroup
+                in
+                merge acc ls' rs')
+      in
+      V.bag (merge [] ls rs)
+  | Semi_join (_, (repo, _), _) ->
+      physical_error "semijoin(%s) must be resolved by the runtime" repo
+  | Mk_union ps ->
+      List.fold_left (fun acc p -> V.bag_union acc (run_local p)) (V.bag []) ps
+  | Mk_distinct p -> V.distinct (run_local p)
+
+let rec all_source_exprs = function
+  | Exec (repo, e) -> [ (repo, e) ]
+  | Mk_data _ -> []
+  | Mk_select (p, _) | Mk_project (p, _) | Mk_map (p, _) | Mk_distinct p ->
+      all_source_exprs p
+  | Nested_loop_join (l, r, _) | Hash_join (l, r, _) | Merge_join (l, r, _) ->
+      all_source_exprs l @ all_source_exprs r
+  | Semi_join (l, (repo, re), _) -> all_source_exprs l @ [ (repo, re) ]
+  | Mk_union ps -> List.concat_map all_source_exprs ps
+
+let rec semi_joins = function
+  | Exec _ | Mk_data _ -> 0
+  | Mk_select (p, _) | Mk_project (p, _) | Mk_map (p, _) | Mk_distinct p ->
+      semi_joins p
+  | Nested_loop_join (l, r, _) | Hash_join (l, r, _) | Merge_join (l, r, _) ->
+      semi_joins l + semi_joins r
+  | Semi_join (l, _, _) -> 1 + semi_joins l
+  | Mk_union ps -> List.fold_left (fun acc p -> acc + semi_joins p) 0 ps
+
+let rec degrade_semi_joins = function
+  | (Exec _ | Mk_data _) as p -> p
+  | Mk_select (p, pred) -> Mk_select (degrade_semi_joins p, pred)
+  | Mk_project (p, attrs) -> Mk_project (degrade_semi_joins p, attrs)
+  | Mk_map (p, h) -> Mk_map (degrade_semi_joins p, h)
+  | Mk_distinct p -> Mk_distinct (degrade_semi_joins p)
+  | Nested_loop_join (l, r, pairs) ->
+      Nested_loop_join (degrade_semi_joins l, degrade_semi_joins r, pairs)
+  | Hash_join (l, r, pairs) ->
+      Hash_join (degrade_semi_joins l, degrade_semi_joins r, pairs)
+  | Merge_join (l, r, pairs) ->
+      Merge_join (degrade_semi_joins l, degrade_semi_joins r, pairs)
+  | Semi_join (l, (repo, re), pairs) ->
+      Hash_join (degrade_semi_joins l, Exec (repo, re), pairs)
+  | Mk_union ps -> Mk_union (List.map degrade_semi_joins ps)
+
+(* Alternative physical implementations of each equi-join. *)
+let join_algorithm_variants plan =
+  let rec variants p =
+    match p with
+    | Exec _ | Mk_data _ -> [ p ]
+    | Mk_select (q, pred) -> List.map (fun q -> Mk_select (q, pred)) (variants q)
+    | Mk_project (q, attrs) -> List.map (fun q -> Mk_project (q, attrs)) (variants q)
+    | Mk_map (q, h) -> List.map (fun q -> Mk_map (q, h)) (variants q)
+    | Mk_distinct q -> List.map (fun q -> Mk_distinct q) (variants q)
+    | Mk_union ps ->
+        (* keep member plans fixed to bound the product *)
+        [ Mk_union ps ]
+    | Nested_loop_join (l, r, pairs) ->
+        List.concat_map
+          (fun l ->
+            List.map (fun r -> Nested_loop_join (l, r, pairs)) (variants r))
+          (variants l)
+    | Hash_join (l, r, pairs) | Merge_join (l, r, pairs) ->
+        List.concat_map
+          (fun l ->
+            List.concat_map
+              (fun r ->
+                [ Hash_join (l, r, pairs); Merge_join (l, r, pairs) ])
+              (variants r))
+          (variants l)
+    | Semi_join (l, right, pairs) ->
+        List.map (fun l -> Semi_join (l, right, pairs)) (variants l)
+  in
+  List.filter (fun p -> p <> plan) (variants plan)
+
+(* Semijoin alternatives for joins whose both sides are single execs to
+   distinct repositories. [informed repo expr] should report whether the
+   cost model has real (non-default) statistics for that call — with the
+   default 0/1 estimates a semijoin direction cannot be chosen sensibly,
+   so none is generated. *)
+let semijoin_variants ~informed plan =
+  let rec go p =
+    match p with
+    | Exec _ | Mk_data _ -> [ p ]
+    | Mk_select (q, pred) -> List.map (fun q -> Mk_select (q, pred)) (go q)
+    | Mk_project (q, attrs) -> List.map (fun q -> Mk_project (q, attrs)) (go q)
+    | Mk_map (q, h) -> List.map (fun q -> Mk_map (q, h)) (go q)
+    | Mk_distinct q -> List.map (fun q -> Mk_distinct q) (go q)
+    | Mk_union ps -> [ Mk_union ps ]
+    | Nested_loop_join (l, r, pairs) -> [ Nested_loop_join (l, r, pairs) ]
+    | Semi_join (l, right, pairs) -> [ Semi_join (l, right, pairs) ]
+    | Hash_join (l, r, pairs) | Merge_join (l, r, pairs) -> (
+        match (l, r) with
+        | Exec (r1, le), Exec (r2, re)
+          when r1 <> r2 && informed r1 le && informed r2 re ->
+            let swapped = List.map (fun (a, b) -> (b, a)) pairs in
+            [
+              p;
+              Semi_join (l, (r2, re), pairs);
+              Semi_join (r, (r1, le), swapped);
+            ]
+        | _ -> [ p ])
+  in
+  List.filter (fun p -> p <> plan) (go plan)
+
+(* -- cost estimation -- *)
+
+type params = {
+  c_select : float;
+  c_project : float;
+  c_hash : float;
+  c_sort : float;
+  c_merge : float;
+  c_nested : float;
+  c_union : float;
+  c_distinct : float;
+  default_selectivity : float;
+  default_join_selectivity : float;
+}
+
+let default_params =
+  {
+    c_select = 0.001;
+    c_project = 0.001;
+    c_hash = 0.002;
+    c_sort = 0.0008;
+    c_merge = 0.0005;
+    c_nested = 0.0005;
+    c_union = 0.0002;
+    c_distinct = 0.002;
+    default_selectivity = 0.33;
+    default_join_selectivity = 0.05;
+  }
+
+type cost = {
+  time_ms : float;
+  rows : float;
+  shipped : float;
+  defaulted_execs : int;
+}
+
+let rec mediator_op_count = function
+  | Exec _ | Mk_data _ -> 1
+  | Mk_select (p, _) | Mk_project (p, _) | Mk_map (p, _) | Mk_distinct p ->
+      1 + mediator_op_count p
+  | Nested_loop_join (l, r, _) | Hash_join (l, r, _) | Merge_join (l, r, _) ->
+      1 + mediator_op_count l + mediator_op_count r
+  | Semi_join (l, _, _) -> 1 + mediator_op_count l
+  | Mk_union ps -> List.fold_left (fun acc p -> acc + mediator_op_count p) 1 ps
+
+let estimate ?(params = default_params) model plan =
+  let rec go = function
+    | Exec (repo, e) ->
+        let est = Cost_model.estimate model ~repo e in
+        {
+          time_ms = est.Cost_model.est_time_ms;
+          rows = est.Cost_model.est_rows;
+          shipped = est.Cost_model.est_rows;
+          defaulted_execs =
+            (match est.Cost_model.est_basis with
+            | Cost_model.Default -> 1
+            | Cost_model.Exact _ | Cost_model.Close _ -> 0);
+        }
+    | Mk_data v ->
+        let n = try float_of_int (V.cardinal v) with V.Type_error _ -> 1.0 in
+        { time_ms = 0.0; rows = n; shipped = 0.0; defaulted_execs = 0 }
+    | Mk_select (p, _) ->
+        let c = go p in
+        {
+          c with
+          time_ms = c.time_ms +. (params.c_select *. c.rows);
+          rows = c.rows *. params.default_selectivity;
+        }
+    | Mk_project (p, _) ->
+        let c = go p in
+        {
+          c with
+          time_ms = c.time_ms +. (params.c_project *. c.rows);
+        }
+    | Mk_map (p, _) ->
+        let c = go p in
+        { c with time_ms = c.time_ms +. (params.c_project *. c.rows) }
+    | Nested_loop_join (l, r, _) ->
+        let cl = go l and cr = go r in
+        {
+          time_ms =
+            (* inputs fetched in parallel, then the pairwise scan *)
+            Float.max cl.time_ms cr.time_ms
+            +. (params.c_nested *. cl.rows *. cr.rows);
+          rows = cl.rows *. cr.rows *. params.default_join_selectivity;
+          shipped = cl.shipped +. cr.shipped;
+          defaulted_execs = cl.defaulted_execs + cr.defaulted_execs;
+        }
+    | Hash_join (l, r, _) ->
+        let cl = go l and cr = go r in
+        {
+          time_ms =
+            Float.max cl.time_ms cr.time_ms
+            +. (params.c_hash *. (cl.rows +. cr.rows));
+          rows = cl.rows *. cr.rows *. params.default_join_selectivity;
+          shipped = cl.shipped +. cr.shipped;
+          defaulted_execs = cl.defaulted_execs + cr.defaulted_execs;
+        }
+    | Merge_join (l, r, _) ->
+        let cl = go l and cr = go r in
+        let nlogn n = n *. Float.max 1.0 (Float.log (Float.max 2.0 n)) in
+        {
+          time_ms =
+            Float.max cl.time_ms cr.time_ms
+            +. (params.c_sort *. (nlogn cl.rows +. nlogn cr.rows))
+            +. (params.c_merge *. (cl.rows +. cr.rows));
+          rows = cl.rows *. cr.rows *. params.default_join_selectivity;
+          shipped = cl.shipped +. cr.shipped;
+          defaulted_execs = cl.defaulted_execs + cr.defaulted_execs;
+        }
+    | Semi_join (l, (repo, re), _) ->
+        let cl = go l in
+        let right_est = Cost_model.estimate model ~repo re in
+        (* the membership filter keeps roughly the tuples matching some
+           left key *)
+        let reduced_rows =
+          Float.min right_est.Cost_model.est_rows
+            (cl.rows *. right_est.Cost_model.est_rows
+            *. params.default_join_selectivity)
+        in
+        let reduction_ratio =
+          if right_est.Cost_model.est_rows <= 0.0 then 1.0
+          else reduced_rows /. right_est.Cost_model.est_rows
+        in
+        {
+          (* phases are sequential: left completes before the right call;
+             the reduced call is cheaper because transfer dominates *)
+          time_ms =
+            cl.time_ms
+            +. (right_est.Cost_model.est_time_ms
+               *. (0.2 +. (0.8 *. reduction_ratio)))
+            +. (params.c_hash *. (cl.rows +. reduced_rows));
+          rows = cl.rows *. right_est.Cost_model.est_rows
+                 *. params.default_join_selectivity;
+          shipped = cl.shipped +. reduced_rows;
+          defaulted_execs =
+            (cl.defaulted_execs
+            +
+            match right_est.Cost_model.est_basis with
+            | Cost_model.Default -> 1
+            | Cost_model.Exact _ | Cost_model.Close _ -> 0);
+        }
+    | Mk_union ps ->
+        let cs = List.map go ps in
+        {
+          time_ms =
+            List.fold_left (fun acc c -> Float.max acc c.time_ms) 0.0 cs
+            +. params.c_union
+               *. List.fold_left (fun acc c -> acc +. c.rows) 0.0 cs;
+          rows = List.fold_left (fun acc c -> acc +. c.rows) 0.0 cs;
+          shipped = List.fold_left (fun acc c -> acc +. c.shipped) 0.0 cs;
+          defaulted_execs =
+            List.fold_left (fun acc c -> acc + c.defaulted_execs) 0 cs;
+        }
+    | Mk_distinct p ->
+        let c = go p in
+        {
+          c with
+          time_ms = c.time_ms +. (params.c_distinct *. c.rows);
+          rows = c.rows *. 0.7;
+        }
+  in
+  go plan

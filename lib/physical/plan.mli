@@ -1,0 +1,133 @@
+(** The physical algebra (paper Section 3.3).
+
+    Implementation rules turn logical expressions into physical plans; the
+    [submit] logical operator is implemented by the {!constructor:Exec}
+    physical algorithm, whose second argument {e remains a logical
+    expression} "because the wrapper interface accepts a logical
+    expression". Mediator-side operators get real algorithms (hash join
+    vs. nested loops, streaming select/map, bag union).
+
+    Every physical operation has a corresponding logical operation
+    ({!to_logical}), which is what makes partial evaluation possible:
+    a partly executed plan converts back to a logical expression and then
+    to OQL (Section 4). *)
+
+module Expr := Disco_algebra.Expr
+module V := Disco_value.Value
+
+type plan =
+  | Exec of string * Expr.expr
+      (** [Exec (repo, logical)] — ships [logical] to [repo]'s wrapper *)
+  | Mk_data of V.t
+  | Mk_select of plan * Expr.pred
+  | Mk_project of plan * string list
+  | Mk_map of plan * Expr.head
+  | Nested_loop_join of plan * plan * (string list * string list) list
+  | Hash_join of plan * plan * (string list * string list) list
+      (** builds a hash table on the right input's key paths *)
+  | Merge_join of plan * plan * (string list * string list) list
+      (** sorts both inputs on their key paths, then merge-scans — the
+          paper's merge-join physical algorithm (Section 3.1) *)
+  | Semi_join of plan * (string * Expr.expr) * (string list * string list) list
+      (** [Semi_join (left, (repo, right_expr), pairs)]: evaluate [left]
+          first, then ship the distinct join keys to [repo] as a
+          membership filter on [right_expr] and hash-join the reduced
+          answer. Extends the paper's model (Sections 3.2 / 6.2: [submit]
+          alone "cannot express" semijoins); the key data flows through
+          the mediator, never source-to-source. Requires the runtime's
+          multi-round execution; {!run_local} rejects it. *)
+  | Mk_union of plan list
+  | Mk_distinct of plan
+
+val pp : Format.formatter -> plan -> unit
+val to_string : plan -> string
+
+exception Physical_error of string
+
+val implement : Expr.expr -> plan
+(** Implementation rules: [Submit] → [Exec], [Join] with equality pairs →
+    [Hash_join], without → [Nested_loop_join], the rest one-to-one.
+    Raises {!Physical_error} on an unlocated [Get] (every source
+    collection must sit under a [Submit] by planning time). *)
+
+val semijoin_variants : informed:(string -> Expr.expr -> bool) -> plan -> plan list
+(** Semijoin alternatives (both directions) for equi-joins whose sides
+    are single execs to distinct repositories — generated only when
+    [informed] reports real cost statistics for both calls, since the
+    default estimates cannot rank the direction. The original plan is not
+    included. *)
+
+val join_algorithm_variants : plan -> plan list
+(** Alternative plans obtained by re-implementing each equi-join with the
+    other algorithms (hash ↔ merge); the optimizer costs them all. The
+    original plan is not included. *)
+
+val to_logical : plan -> Expr.expr
+(** The inverse correspondence used by partial evaluation. *)
+
+val execs : plan -> (string * Expr.expr) list
+(** All [Exec] nodes ready to issue, preorder. The dependent right side
+    of a {!constructor:Semi_join} is {e not} included — it only becomes
+    issuable once the left side has materialized. *)
+
+val all_source_exprs : plan -> (string * Expr.expr) list
+(** Every source expression the plan may ever issue: ready [Exec]s plus
+    the dependent right sides of [Semi_join]s. The mediator derives its
+    runtime bindings from this. *)
+
+val semi_joins : plan -> int
+(** Number of [Semi_join] nodes remaining. *)
+
+val degrade_semi_joins : plan -> plan
+(** Replace every [Semi_join] by a plain [Hash_join] over the original
+    (unreduced) right expression — used when building residual queries
+    for partial answers. *)
+
+val substitute_execs : (string -> Expr.expr -> plan) -> plan -> plan
+(** Replace every [Exec] node (e.g. answered ones by [Mk_data]). *)
+
+(** {1 Mediator-side execution}
+
+    Executes the mediator-resident part of a plan; [Exec] nodes must have
+    been substituted away ({!Physical_error} otherwise). Hash join really
+    builds a hash table; the two join algorithms agree with the logical
+    [Join] semantics. *)
+
+val run_local : plan -> V.t
+
+(** {1 Cost estimation} *)
+
+(** Mediator-side cost constants (virtual ms per tuple). *)
+type params = {
+  c_select : float;
+  c_project : float;
+  c_hash : float;  (** per tuple hashed or probed *)
+  c_sort : float;  (** per tuple-comparison while sorting for merge join *)
+  c_merge : float;  (** per tuple during the merge scan *)
+  c_nested : float;  (** per tuple pair compared *)
+  c_union : float;
+  c_distinct : float;
+  default_selectivity : float;  (** for selects without statistics *)
+  default_join_selectivity : float;
+}
+
+val default_params : params
+
+type cost = {
+  time_ms : float;
+  rows : float;
+  shipped : float;
+  defaulted_execs : int;
+      (** [exec] nodes whose estimate fell back to the default (no
+          recorded calls) *)
+}
+(** [shipped] counts tuples crossing the wrapper interface (the quantity
+    experiment E4 measures). *)
+
+val mediator_op_count : plan -> int
+(** Number of mediator-side physical operators ([Exec] bodies count as a
+    single node): the quantity the optimizer minimizes when every exec
+    estimate is a default — the paper's "maximum amount of computation
+    done at the data source" rule (Section 3.3). *)
+
+val estimate : ?params:params -> Disco_cost.Cost_model.t -> plan -> cost

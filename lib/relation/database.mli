@@ -1,0 +1,24 @@
+(** A named collection of tables — the storage behind one repository. *)
+
+type t
+
+val create : name:string -> t
+val name : t -> string
+
+val create_table : t -> name:string -> Schema.t -> Table.t
+(** Raises [Schema.Schema_error] if a table with that name exists. *)
+
+val drop_table : t -> string -> unit
+val find_table : t -> string -> Table.t option
+
+val get_table : t -> string -> Table.t
+(** Raises [Schema.Schema_error] if absent. *)
+
+val table_names : t -> string list
+(** Sorted. *)
+
+val version : t -> int
+(** Sum of all table versions plus a counter of DDL operations; monotone
+    under any mutation. *)
+
+val pp : Format.formatter -> t -> unit

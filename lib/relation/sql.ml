@@ -1,0 +1,512 @@
+module V = Disco_value.Value
+module Lexer = Disco_lex.Lexer
+module Stream = Disco_lex.Lexer.Stream
+
+type scalar =
+  | Col of string option * string
+  | Lit of V.t
+  | Arith of arith_op * scalar * scalar
+
+and arith_op = Add | Sub | Mul | Div | Mod
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge | Like
+
+type pred =
+  | True
+  | Cmp of cmp * scalar * scalar
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type item = Star | Item of scalar * string option
+
+type query = {
+  distinct : bool;
+  items : item list;
+  from : (string * string option) list;
+  where : pred;
+  order_by : (scalar * [ `Asc | `Desc ]) list;
+  limit : int option;
+}
+
+let select ?(distinct = false) ?(where = True) ?(order_by = []) ?limit items
+    from =
+  { distinct; items; from; where; order_by; limit }
+
+(* -- printing -- *)
+
+let arith_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let cmp_symbol = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Like -> "LIKE"
+
+let pp_lit ppf = function
+  | V.Null -> Fmt.string ppf "NULL"
+  | V.Bool true -> Fmt.string ppf "TRUE"
+  | V.Bool false -> Fmt.string ppf "FALSE"
+  | V.Int i -> Fmt.int ppf i
+  | V.Float f -> Fmt.pf ppf "%.12g" f
+  | V.String s -> Fmt.pf ppf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | v -> invalid_arg ("non-atomic SQL literal: " ^ V.type_name v)
+
+let rec pp_scalar ppf = function
+  | Col (None, c) -> Fmt.string ppf c
+  | Col (Some t, c) -> Fmt.pf ppf "%s.%s" t c
+  | Lit v -> pp_lit ppf v
+  | Arith (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_scalar a (arith_symbol op) pp_scalar b
+
+let rec pp_pred ppf = function
+  | True -> Fmt.string ppf "TRUE"
+  | Cmp (op, a, b) -> Fmt.pf ppf "%a %s %a" pp_scalar a (cmp_symbol op) pp_scalar b
+  | And (a, b) -> Fmt.pf ppf "(%a AND %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp_pred a pp_pred b
+  | Not a -> Fmt.pf ppf "NOT (%a)" pp_pred a
+
+let pp_item ppf = function
+  | Star -> Fmt.string ppf "*"
+  | Item (s, None) -> pp_scalar ppf s
+  | Item (s, Some a) -> Fmt.pf ppf "%a AS %s" pp_scalar s a
+
+let pp_from ppf (table, alias) =
+  match alias with
+  | None -> Fmt.string ppf table
+  | Some a -> Fmt.pf ppf "%s %s" table a
+
+let pp_query ppf q =
+  Fmt.pf ppf "SELECT %s%a FROM %a"
+    (if q.distinct then "DISTINCT " else "")
+    (Fmt.list ~sep:(Fmt.any ", ") pp_item)
+    q.items
+    (Fmt.list ~sep:(Fmt.any ", ") pp_from)
+    q.from;
+  (match q.where with
+  | True -> ()
+  | p -> Fmt.pf ppf " WHERE %a" pp_pred p);
+  (match q.order_by with
+  | [] -> ()
+  | obs ->
+      let pp_ob ppf (s, dir) =
+        Fmt.pf ppf "%a %s" pp_scalar s
+          (match dir with `Asc -> "ASC" | `Desc -> "DESC")
+      in
+      Fmt.pf ppf " ORDER BY %a" (Fmt.list ~sep:(Fmt.any ", ") pp_ob) obs);
+  match q.limit with None -> () | Some n -> Fmt.pf ppf " LIMIT %d" n
+
+let to_string q = Fmt.str "%a" pp_query q
+
+(* -- parsing -- *)
+
+let puncts =
+  [ "<="; ">="; "<>"; "!="; "="; "<"; ">"; "("; ")"; ","; "."; "+"; "-"; "*"; "/"; "%" ]
+
+let rec parse_scalar s = parse_additive s
+
+and parse_additive s =
+  let left = parse_multiplicative s in
+  if Stream.try_punct s "+" then Arith (Add, left, parse_additive s)
+  else if Stream.try_punct s "-" then
+    (* left-associate subtraction chains *)
+    let rec chain acc =
+      let right = parse_multiplicative s in
+      let acc = Arith (Sub, acc, right) in
+      if Stream.try_punct s "-" then chain acc
+      else if Stream.try_punct s "+" then Arith (Add, acc, parse_additive s)
+      else acc
+    in
+    chain left
+  else left
+
+and parse_multiplicative s =
+  let left = parse_atom s in
+  if Stream.try_punct s "*" then Arith (Mul, left, parse_multiplicative s)
+  else if Stream.try_punct s "/" then Arith (Div, left, parse_multiplicative s)
+  else if Stream.try_punct s "%" then Arith (Mod, left, parse_multiplicative s)
+  else left
+
+and parse_atom s =
+  match Stream.peek s with
+  | Some (Lexer.Int i) ->
+      ignore (Stream.next s);
+      Lit (V.Int i)
+  | Some (Lexer.Float f) ->
+      ignore (Stream.next s);
+      Lit (V.Float f)
+  | Some (Lexer.Str str) ->
+      ignore (Stream.next s);
+      Lit (V.String str)
+  | Some (Lexer.Punct "(") ->
+      ignore (Stream.next s);
+      let e = parse_scalar s in
+      Stream.eat_punct s ")";
+      e
+  | Some (Lexer.Punct "-") ->
+      ignore (Stream.next s);
+      Arith (Sub, Lit (V.Int 0), parse_atom s)
+  | Some (Lexer.Ident id) when String.lowercase_ascii id = "null" ->
+      ignore (Stream.next s);
+      Lit V.Null
+  | Some (Lexer.Ident id) when String.lowercase_ascii id = "true" ->
+      ignore (Stream.next s);
+      Lit (V.Bool true)
+  | Some (Lexer.Ident id) when String.lowercase_ascii id = "false" ->
+      ignore (Stream.next s);
+      Lit (V.Bool false)
+  | Some (Lexer.Ident _) ->
+      let first = Stream.ident s in
+      if Stream.try_punct s "." then Col (Some first, Stream.ident s)
+      else Col (None, first)
+  | _ -> Stream.failf s "expected a scalar expression"
+
+let parse_cmp_op s =
+  if Stream.try_kw s "like" then Like
+  else if Stream.try_punct s "=" then Eq
+  else if Stream.try_punct s "<>" then Ne
+  else if Stream.try_punct s "!=" then Ne
+  else if Stream.try_punct s "<=" then Le
+  else if Stream.try_punct s ">=" then Ge
+  else if Stream.try_punct s "<" then Lt
+  else if Stream.try_punct s ">" then Gt
+  else Stream.failf s "expected a comparison operator"
+
+let rec parse_pred s = parse_or s
+
+and parse_or s =
+  let left = parse_and s in
+  if Stream.try_kw s "or" then Or (left, parse_or s) else left
+
+and parse_and s =
+  let left = parse_not s in
+  if Stream.try_kw s "and" then And (left, parse_and s) else left
+
+and parse_not s =
+  if Stream.try_kw s "not" then Not (parse_not s) else parse_pred_atom s
+
+and parse_pred_atom s =
+  let comparison s =
+    let left = parse_scalar s in
+    let op = parse_cmp_op s in
+    let right = parse_scalar s in
+    Cmp (op, left, right)
+  in
+  if Stream.peek_punct s "(" then (
+    (* "(" opens either a parenthesized predicate or a parenthesized
+       scalar that begins a comparison; try the predicate reading and
+       backtrack on failure. *)
+    let saved = Stream.save s in
+    match
+      (try
+         Stream.eat_punct s "(";
+         let inner = parse_pred s in
+         Stream.eat_punct s ")";
+         Some inner
+       with Lexer.Error _ -> None)
+    with
+    | Some inner -> inner
+    | None ->
+        Stream.restore s saved;
+        comparison s)
+  else if Stream.try_kw s "true" then True
+  else comparison s
+
+let parse_item s =
+  if Stream.try_punct s "*" then Star
+  else
+    let e = parse_scalar s in
+    if Stream.try_kw s "as" then Item (e, Some (Stream.ident s))
+    else Item (e, None)
+
+let reserved =
+  [ "from"; "where"; "order"; "limit"; "group"; "as"; "and"; "or"; "not"; "asc"; "desc" ]
+
+let parse_from_entry s =
+  let table = Stream.ident s in
+  match Stream.peek s with
+  | Some (Lexer.Ident id)
+    when not (List.mem (String.lowercase_ascii id) reserved) ->
+      ignore (Stream.next s);
+      (table, Some id)
+  | _ -> (table, None)
+
+let rec parse_comma_list s elem =
+  let first = elem s in
+  if Stream.try_punct s "," then first :: parse_comma_list s elem else [ first ]
+
+let parse_query s =
+  Stream.eat_kw s "select";
+  let distinct = Stream.try_kw s "distinct" in
+  let items = parse_comma_list s parse_item in
+  Stream.eat_kw s "from";
+  let from = parse_comma_list s parse_from_entry in
+  let where = if Stream.try_kw s "where" then parse_pred s else True in
+  let order_by =
+    if Stream.try_kw s "order" then (
+      Stream.eat_kw s "by";
+      parse_comma_list s (fun s ->
+          let e = parse_scalar s in
+          let dir =
+            if Stream.try_kw s "desc" then `Desc
+            else (
+              ignore (Stream.try_kw s "asc");
+              `Asc)
+          in
+          (e, dir)))
+    else []
+  in
+  let limit =
+    if Stream.try_kw s "limit" then
+      match Stream.next s with
+      | Lexer.Int n -> Some n
+      | t -> Stream.failf s "expected an integer limit, found %s" (Lexer.token_to_string t)
+    else None
+  in
+  { distinct; items; from; where; order_by; limit }
+
+let parse input =
+  let s = Stream.of_string ~puncts input in
+  let q = parse_query s in
+  ignore (Stream.try_punct s ";");
+  Stream.expect_end s;
+  q
+
+(* -- results -- *)
+
+type result = { columns : string list; rows : V.t array list }
+
+let result_to_bag r =
+  V.bag
+    (List.map
+       (fun row -> V.strct (List.mapi (fun i c -> (c, row.(i))) r.columns))
+       r.rows)
+
+let pp_result ppf r =
+  Fmt.pf ppf "%a@\n" (Fmt.list ~sep:(Fmt.any " | ") Fmt.string) r.columns;
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "%a@\n"
+        (Fmt.array ~sep:(Fmt.any " | ") V.pp)
+        row)
+    r.rows
+
+(* -- evaluation -- *)
+
+exception Sql_error of string
+
+let sql_error fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
+
+(* A binding environment: one (alias, schema, row) frame per FROM entry. *)
+type frame = { alias : string; schema : Schema.t; mutable row : V.t array }
+
+let lookup_col frames qualifier column =
+  let candidates =
+    List.filter
+      (fun f ->
+        (match qualifier with
+        | Some q -> String.equal q f.alias
+        | None -> true)
+        && Schema.mem f.schema column)
+      frames
+  in
+  match candidates with
+  | [ f ] -> (f, Schema.index_of f.schema column)
+  | [] ->
+      sql_error "unknown column %s%s"
+        (match qualifier with Some q -> q ^ "." | None -> "")
+        column
+  | _ -> sql_error "ambiguous column %s" column
+
+let numeric_arith op a b =
+  match (op, a, b) with
+  | _, V.Null, _ | _, _, V.Null -> V.Null
+  | Add, V.Int x, V.Int y -> V.Int (x + y)
+  | Sub, V.Int x, V.Int y -> V.Int (x - y)
+  | Mul, V.Int x, V.Int y -> V.Int (x * y)
+  | Div, V.Int x, V.Int y ->
+      if y = 0 then sql_error "division by zero" else V.Int (x / y)
+  | Mod, V.Int x, V.Int y ->
+      if y = 0 then sql_error "modulo by zero" else V.Int (x mod y)
+  | Mod, _, _ -> sql_error "modulo requires integers"
+  | _, (V.Int _ | V.Float _), (V.Int _ | V.Float _) ->
+      let x = V.to_float a and y = V.to_float b in
+      V.Float
+        (match op with
+        | Add -> x +. y
+        | Sub -> x -. y
+        | Mul -> x *. y
+        | Div -> if y = 0.0 then sql_error "division by zero" else x /. y
+        | Mod -> assert false)
+  | Add, V.String x, V.String y -> V.String (x ^ y)
+  | _ ->
+      sql_error "arithmetic on non-numeric values %s and %s" (V.type_name a)
+        (V.type_name b)
+
+let rec eval_scalar frames = function
+  | Lit v -> v
+  | Col (q, c) ->
+      let f, i = lookup_col frames q c in
+      f.row.(i)
+  | Arith (op, a, b) ->
+      numeric_arith op (eval_scalar frames a) (eval_scalar frames b)
+
+let eval_cmp op a b =
+  (* SQL three-valued logic collapsed to two values: comparisons against
+     NULL are false (except NULL = NULL, used by wrappers for missing
+     data joins). *)
+  match op with
+  | Like -> (
+      match (a, b) with
+      | V.String s, V.String pattern -> V.like_match ~pattern s
+      | V.Null, _ | _, V.Null -> false
+      | _ -> sql_error "LIKE requires strings")
+  | _ ->
+  match V.numeric_compare a b with
+  | None -> sql_error "type mismatch comparing %s and %s" (V.type_name a) (V.type_name b)
+  | Some c -> (
+      match op with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+      | Like -> assert false)
+
+let rec eval_pred frames = function
+  | True -> true
+  | Cmp (op, a, b) -> eval_cmp op (eval_scalar frames a) (eval_scalar frames b)
+  | And (a, b) -> eval_pred frames a && eval_pred frames b
+  | Or (a, b) -> eval_pred frames a || eval_pred frames b
+  | Not a -> not (eval_pred frames a)
+
+let scalar_output_name = function
+  | Col (_, c) -> c
+  | Lit _ -> "literal"
+  | Arith _ -> "expr"
+
+let run db q =
+  if q.items = [] then sql_error "empty select list";
+  if q.from = [] then sql_error "empty from list";
+  let frames =
+    List.map
+      (fun (table_name, alias) ->
+        match Database.find_table db table_name with
+        | None -> sql_error "no table named %s" table_name
+        | Some t ->
+            {
+              alias = Option.value alias ~default:table_name;
+              schema = Table.schema t;
+              row = [||];
+            })
+      q.from
+  in
+  (let aliases = List.map (fun f -> f.alias) frames in
+   if List.length (List.sort_uniq String.compare aliases) <> List.length aliases
+   then sql_error "duplicate table alias in FROM");
+  let tables =
+    List.map (fun (table_name, _) -> Database.get_table db table_name) q.from
+  in
+  (* Expand * into per-frame column items. *)
+  let items =
+    List.concat_map
+      (function
+        | Star ->
+            List.concat_map
+              (fun f ->
+                List.map
+                  (fun c -> Item (Col (Some f.alias, c), Some c))
+                  (Schema.column_names f.schema))
+              frames
+        | Item _ as it -> [ it ])
+      q.items
+  in
+  let columns =
+    List.map
+      (function
+        | Item (s, Some a) -> ignore s; a
+        | Item (s, None) -> scalar_output_name s
+        | Star -> assert false)
+      items
+  in
+  let out = ref [] in
+  let emit () =
+    if eval_pred frames q.where then
+      let row =
+        Array.of_list
+          (List.map
+             (function
+               | Item (s, _) -> eval_scalar frames s
+               | Star -> assert false)
+             items)
+      in
+      out := row :: !out
+  in
+  (* Nested-loop cartesian product over the FROM frames. *)
+  let rec product frames_tables =
+    match frames_tables with
+    | [] -> emit ()
+    | (frame, table) :: rest ->
+        List.iter
+          (fun row ->
+            frame.row <- row;
+            product rest)
+          (Table.rows table)
+  in
+  product (List.combine frames tables);
+  let rows = List.rev !out in
+  let rows =
+    if q.distinct then
+      List.sort_uniq (fun a b -> V.compare (V.List (Array.to_list a)) (V.List (Array.to_list b))) rows
+    else rows
+  in
+  let rows =
+    match q.order_by with
+    | [] -> rows
+    | order_by ->
+        (* Order-by keys are evaluated against the *output* row when the
+           scalar is a bare output column, else against the input frames
+           (already consumed); we support output-column ordering, which is
+           what the wrappers generate. *)
+        let key_indices =
+          List.map
+            (fun (s, dir) ->
+              match s with
+              | Col (None, c) -> (
+                  match
+                    List.find_index (fun col -> String.equal col c) columns
+                  with
+                  | Some i -> (i, dir)
+                  | None -> sql_error "ORDER BY column %s not in select list" c)
+              | _ -> sql_error "ORDER BY supports plain output columns only")
+            order_by
+        in
+        let cmp_rows a b =
+          let rec go = function
+            | [] -> 0
+            | (i, dir) :: rest ->
+                let c = V.compare a.(i) b.(i) in
+                let c = match dir with `Asc -> c | `Desc -> -c in
+                if c <> 0 then c else go rest
+          in
+          go key_indices
+        in
+        List.stable_sort cmp_rows rows
+  in
+  let rows =
+    match q.limit with
+    | None -> rows
+    | Some n -> List.filteri (fun i _ -> i < n) rows
+  in
+  { columns; rows }
+
+let run_string db sql = run db (parse sql)

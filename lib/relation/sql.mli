@@ -1,0 +1,72 @@
+(** The native query language of relational data sources.
+
+    Wrappers with SQL capability translate Disco logical expressions into
+    this dialect (paper Section 1.1: "Wrappers map from a subset of a
+    general query language, used by the mediators, to the particular query
+    language of the data source"). The dialect supports single-block
+    [SELECT [DISTINCT] items FROM tables [WHERE pred] [ORDER BY ...]
+    [LIMIT n]] queries with arithmetic, comparisons and boolean
+    connectives. *)
+
+type scalar =
+  | Col of string option * string
+      (** column reference, optionally qualified by a table alias *)
+  | Lit of Disco_value.Value.t  (** only atoms: null/bool/int/float/string *)
+  | Arith of arith_op * scalar * scalar
+
+and arith_op = Add | Sub | Mul | Div | Mod
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge | Like
+
+type pred =
+  | True
+  | Cmp of cmp * scalar * scalar
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type item =
+  | Star  (** [SELECT *] *)
+  | Item of scalar * string option  (** expression with optional [AS] alias *)
+
+type query = {
+  distinct : bool;
+  items : item list;
+  from : (string * string option) list;  (** table name, optional alias *)
+  where : pred;
+  order_by : (scalar * [ `Asc | `Desc ]) list;
+  limit : int option;
+}
+
+val select : ?distinct:bool -> ?where:pred -> ?order_by:(scalar * [ `Asc | `Desc ]) list -> ?limit:int -> item list -> (string * string option) list -> query
+(** Convenience constructor; [where] defaults to {!True}. *)
+
+val pp_query : Format.formatter -> query -> unit
+(** Prints standard SQL text. *)
+
+val to_string : query -> string
+
+val parse : string -> query
+(** Parses the dialect. Raises [Disco_lex.Lexer.Error] on malformed
+    input. *)
+
+(** {1 Results} *)
+
+type result = { columns : string list; rows : Disco_value.Value.t array list }
+
+val result_to_bag : result -> Disco_value.Value.t
+(** Rows as a bag of structs keyed by the result column names. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+(** {1 Execution} *)
+
+exception Sql_error of string
+
+val run : Database.t -> query -> result
+(** Evaluate a query against a database. Raises {!Sql_error} on unknown
+    tables or columns, ambiguous references, or type errors in
+    predicates. *)
+
+val run_string : Database.t -> string -> result
+(** [run_string db sql] = [run db (parse sql)]. *)

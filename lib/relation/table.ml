@@ -1,0 +1,39 @@
+module V = Disco_value.Value
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  mutable stored : V.t array list;  (* reverse insertion order *)
+  mutable count : int;
+  mutable version : int;
+}
+
+let create ~name schema = { name; schema; stored = []; count = 0; version = 0 }
+let name t = t.name
+let schema t = t.schema
+
+let insert t row =
+  Schema.check_row t.schema row;
+  t.stored <- row :: t.stored;
+  t.count <- t.count + 1;
+  t.version <- t.version + 1
+
+let insert_struct t v = insert t (Schema.struct_to_row t.schema v)
+let insert_all t rows = List.iter (insert t) rows
+
+let delete_where t pred =
+  let keep, drop = List.partition (fun row -> not (pred row)) t.stored in
+  let removed = List.length drop in
+  if removed > 0 then (
+    t.stored <- keep;
+    t.count <- t.count - removed;
+    t.version <- t.version + 1);
+  removed
+
+let rows t = List.rev t.stored
+let cardinality t = t.count
+let to_bag t = V.bag (List.map (Schema.row_to_struct t.schema) t.stored)
+let version t = t.version
+
+let pp ppf t =
+  Fmt.pf ppf "table %s%a [%d rows]" t.name Schema.pp t.schema t.count

@@ -1,0 +1,34 @@
+(** A named in-memory relation: a schema plus a mutable row store. *)
+
+type t
+
+val create : name:string -> Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+
+val insert : t -> Disco_value.Value.t array -> unit
+(** Append a row. Raises {!Schema.Schema_error} if the row does not conform. *)
+
+val insert_struct : t -> Disco_value.Value.t -> unit
+(** Insert a row given as a struct (missing fields become [Null]). *)
+
+val insert_all : t -> Disco_value.Value.t array list -> unit
+
+val delete_where : t -> (Disco_value.Value.t array -> bool) -> int
+(** Remove rows matching the predicate; returns the number removed. *)
+
+val rows : t -> Disco_value.Value.t array list
+(** Rows in insertion order. The arrays are owned by the table: do not
+    mutate them. *)
+
+val cardinality : t -> int
+
+val to_bag : t -> Disco_value.Value.t
+(** The table contents as a bag of structs — the extent view a wrapper
+    presents to a mediator. *)
+
+val version : t -> int
+(** Monotone counter bumped by every mutation; used for plan-cache
+    invalidation. *)
+
+val pp : Format.formatter -> t -> unit

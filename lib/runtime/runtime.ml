@@ -1,0 +1,420 @@
+module Expr = Disco_algebra.Expr
+module Decompile = Disco_algebra.Decompile
+module Plan = Disco_physical.Plan
+module Cost_model = Disco_cost.Cost_model
+module Source = Disco_source.Source
+module Clock = Disco_source.Clock
+module Wrapper = Disco_wrapper.Wrapper
+module Translate = Disco_wrapper.Translate
+module Typemap = Disco_odl.Typemap
+module Ast = Disco_oql.Ast
+module V = Disco_value.Value
+
+let log_src = Logs.Src.create "disco.runtime" ~doc:"Disco run-time system"
+
+module Log = (val Logs.src_log log_src)
+
+exception Runtime_error of string
+
+let runtime_error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type binding = {
+  b_extent : string;
+  b_repo : string;
+  b_source : Source.t;
+  b_replicas : (string * Source.t) list;
+  b_wrapper : Wrapper.t;
+  b_map : Typemap.t;
+  b_check : (V.t -> bool) option;
+}
+
+type env = {
+  clock : Clock.t;
+  cost : Cost_model.t;
+  bindings : binding list;
+}
+
+let env ~clock ~cost bindings = { clock; cost; bindings }
+
+let binding_of env extent =
+  match
+    List.find_opt (fun b -> String.equal b.b_extent extent) env.bindings
+  with
+  | Some b -> b
+  | None -> runtime_error "no binding for extent %s" extent
+
+type answer =
+  | Complete of V.t
+  | Partial of {
+      query : Ast.query;
+      unavailable : string list;
+      versions : (string * int) list;
+    }
+
+let answer_oql = function
+  | Complete v -> V.to_string v
+  | Partial { query; _ } -> Ast.to_string query
+
+type stats = {
+  execs_issued : int;
+  execs_answered : int;
+  execs_blocked : int;
+  tuples_shipped : int;
+  elapsed_ms : float;
+}
+
+(* One exec call: translate to the source name space, run the wrapper
+   through the simulated network, reformat and type-check the answer. *)
+type exec_result =
+  | Done of V.t * float  (** mediator-name-space value, completion time *)
+  | Blocked
+
+let issue_exec env ~deadline repo logical =
+  let extents = Expr.gets logical in
+  let bindings = List.map (binding_of env) extents in
+  let binding =
+    match bindings with
+    | [] -> runtime_error "exec(%s) references no extent" repo
+    | first :: _ -> first
+  in
+  List.iter
+    (fun b ->
+      if not (String.equal b.b_repo repo) then
+        runtime_error "exec(%s) references extent %s bound to %s" repo
+          b.b_extent b.b_repo)
+    bindings;
+  let map_of extent =
+    match
+      List.find_opt (fun b -> String.equal b.b_extent extent) bindings
+    with
+    | Some b -> b.b_map
+    | None -> Typemap.identity
+  in
+  let source_expr = Translate.to_source ~map_of logical in
+  let rename = Translate.answer_renamer ~map_of logical in
+  (* replication failover: if the primary is down at issue time, try the
+     replicas in declaration order *)
+  let now = Clock.now env.clock in
+  let chosen =
+    let candidates =
+      (binding.b_repo, binding.b_source) :: binding.b_replicas
+    in
+    match List.find_opt (fun (_, src) -> Source.is_up src now) candidates with
+    | Some (replica_repo, src) ->
+        if not (String.equal replica_repo binding.b_repo) then
+          Log.info (fun m ->
+              m "exec(%s): primary down, failing over to replica %s" repo
+                replica_repo);
+        src
+    | None -> binding.b_source (* all down: the call reports Unavailable *)
+  in
+  let outcome =
+    Source.call chosen ~clock:env.clock ~deadline (fun () ->
+        match Wrapper.execute binding.b_wrapper chosen source_expr with
+        | Ok (v, rows) -> (Ok v, rows)
+        | Error err -> (Error err, 0))
+  in
+  match outcome with
+  | Source.Unavailable | Source.Timed_out _ ->
+      Log.debug (fun m ->
+          m "exec(%s) blocked: %s" repo (Expr.to_string logical));
+      Blocked
+  | Source.Answered (Error err, _) ->
+      runtime_error "wrapper %s on %s: %s"
+        (Wrapper.name binding.b_wrapper)
+        repo (Wrapper.error_message err)
+  | Source.Answered (Ok v, finish) ->
+      Log.debug (fun m ->
+          m "exec(%s) answered %d rows at t=%.1f" repo
+            (try V.cardinal v with V.Type_error _ -> 1)
+            finish);
+      let renamed = rename v in
+      (match binding.b_check with
+      | Some check when V.is_collection renamed ->
+          List.iter
+            (fun elem ->
+              if not (check elem) then
+                runtime_error
+                  "type mismatch: source %s returned %s for extent %s" repo
+                  (V.to_string elem) binding.b_extent)
+            (V.elements renamed)
+      | _ -> ());
+      Done (renamed, finish)
+
+(* Fold every exec-free subtree into materialized data: "processing as
+   much of the query as is possible" (Section 1.3). *)
+let rec fold_ready plan =
+  match Plan.execs plan with
+  | [] -> Plan.Mk_data (Plan.run_local plan)
+  | _ -> (
+      match plan with
+      | Plan.Exec _ | Plan.Mk_data _ -> plan
+      | Plan.Mk_select (p, pred) -> Plan.Mk_select (fold_ready p, pred)
+      | Plan.Mk_project (p, attrs) -> Plan.Mk_project (fold_ready p, attrs)
+      | Plan.Mk_map (p, h) -> Plan.Mk_map (fold_ready p, h)
+      | Plan.Nested_loop_join (l, r, pairs) ->
+          Plan.Nested_loop_join (fold_ready l, fold_ready r, pairs)
+      | Plan.Hash_join (l, r, pairs) ->
+          Plan.Hash_join (fold_ready l, fold_ready r, pairs)
+      | Plan.Merge_join (l, r, pairs) ->
+          Plan.Merge_join (fold_ready l, fold_ready r, pairs)
+      | Plan.Semi_join (l, right, pairs) ->
+          Plan.Semi_join (fold_ready l, right, pairs)
+      | Plan.Mk_union ps -> Plan.Mk_union (List.map fold_ready ps)
+      | Plan.Mk_distinct p -> Plan.Mk_distinct (fold_ready p))
+
+(* One parallel round: issue every ready exec, substitute the answers. *)
+let run_round env ~deadline plan =
+  let t0 = Clock.now env.clock in
+  let execs = Plan.execs plan in
+  let results =
+    List.map
+      (fun (repo, logical) ->
+        ((repo, logical), issue_exec env ~deadline repo logical))
+      execs
+  in
+  let answered =
+    List.filter_map
+      (function key, Done (v, finish) -> Some (key, v, finish) | _, Blocked -> None)
+      results
+  in
+  let blocked =
+    List.filter_map
+      (function key, Blocked -> Some key | _, Done _ -> None)
+      results
+  in
+  List.iter
+    (fun ((repo, logical), v, finish) ->
+      Cost_model.record env.cost ~repo ~expr:logical ~time_ms:(finish -. t0)
+        ~rows:(try V.cardinal v with V.Type_error _ -> 1))
+    answered;
+  let tuples_shipped =
+    List.fold_left
+      (fun acc (_, v, _) -> acc + (try V.cardinal v with V.Type_error _ -> 1))
+      0 answered
+  in
+  let finish_time =
+    if blocked <> [] then deadline
+    else List.fold_left (fun acc (_, _, f) -> Float.max acc f) t0 answered
+  in
+  Clock.advance_to env.clock finish_time;
+  let substituted =
+    Plan.substitute_execs
+      (fun repo logical ->
+        match
+          List.find_opt
+            (fun ((r, l), _, _) -> String.equal r repo && Expr.equal l logical)
+            answered
+        with
+        | Some (_, v, _) -> Plan.Mk_data v
+        | None -> Plan.Exec (repo, logical))
+      plan
+  in
+  let versions =
+    List.filter_map
+      (fun ((repo, logical), _, _) ->
+        match Expr.gets logical with
+        | extent :: _ ->
+            let b = binding_of env extent in
+            Some (repo, Source.data_version b.b_source)
+        | [] -> None)
+      answered
+  in
+  let stats =
+    {
+      execs_issued = List.length execs;
+      execs_answered = List.length answered;
+      execs_blocked = List.length blocked;
+      tuples_shipped;
+      elapsed_ms = finish_time -. t0;
+    }
+  in
+  (substituted, List.map fst blocked, versions, stats)
+
+(* Resolve semi-joins whose left side is fully materialized: compute the
+   distinct keys and turn the node into a hash join over the reduced
+   right exec. Bounded key lists; the wrapper's grammar is consulted and
+   the filter dropped when refused. *)
+let max_semijoin_keys = 1000
+
+let rec resolve_semi_joins env plan =
+  match plan with
+  | Plan.Exec _ | Plan.Mk_data _ -> plan
+  | Plan.Mk_select (p, pred) -> Plan.Mk_select (resolve_semi_joins env p, pred)
+  | Plan.Mk_project (p, attrs) -> Plan.Mk_project (resolve_semi_joins env p, attrs)
+  | Plan.Mk_map (p, h) -> Plan.Mk_map (resolve_semi_joins env p, h)
+  | Plan.Mk_distinct p -> Plan.Mk_distinct (resolve_semi_joins env p)
+  | Plan.Nested_loop_join (l, r, pairs) ->
+      Plan.Nested_loop_join (resolve_semi_joins env l, resolve_semi_joins env r, pairs)
+  | Plan.Hash_join (l, r, pairs) ->
+      Plan.Hash_join (resolve_semi_joins env l, resolve_semi_joins env r, pairs)
+  | Plan.Merge_join (l, r, pairs) ->
+      Plan.Merge_join (resolve_semi_joins env l, resolve_semi_joins env r, pairs)
+  | Plan.Mk_union ps -> Plan.Mk_union (List.map (resolve_semi_joins env) ps)
+  | Plan.Semi_join (l, (repo, rexpr), pairs) ->
+      let l = resolve_semi_joins env l in
+      if Plan.execs l <> [] || Plan.semi_joins l > 0 then
+        Plan.Semi_join (l, (repo, rexpr), pairs)
+      else
+        let left_v = Plan.run_local l in
+        let keys_for (lpath, _) =
+          List.sort_uniq V.compare
+            (List.map
+               (fun elem -> Expr.eval_scalar elem (Expr.Attr lpath))
+               (V.elements left_v))
+        in
+        let filters =
+          List.map
+            (fun ((_, rpath) as pair) ->
+              Expr.Member (Expr.Attr rpath, V.bag (keys_for pair)))
+            pairs
+        in
+        let small =
+          List.for_all
+            (fun (pair : string list * string list) ->
+              List.length (keys_for pair) <= max_semijoin_keys)
+            pairs
+        in
+        let reduced =
+          match filters with
+          | [] -> rexpr
+          | first :: rest ->
+              Expr.Select
+                (rexpr, List.fold_left (fun acc f -> Expr.And (acc, f)) first rest)
+        in
+        let wrapper_accepts =
+          match Expr.gets rexpr with
+          | extent :: _ ->
+              let b = binding_of env extent in
+              Wrapper.accepts b.b_wrapper reduced
+          | [] -> false
+        in
+        let final_expr =
+          if small && wrapper_accepts then (
+            Log.info (fun m ->
+                m "semijoin: reducing exec(%s) with %d key filter(s)" repo
+                  (List.length filters));
+            reduced)
+          else (
+            Log.info (fun m ->
+                m "semijoin: falling back to the unreduced exec(%s)" repo);
+            rexpr)
+        in
+        Plan.Hash_join (Plan.Mk_data left_v, Plan.Exec (repo, final_expr), pairs)
+
+let add_stats a b =
+  {
+    execs_issued = a.execs_issued + b.execs_issued;
+    execs_answered = a.execs_answered + b.execs_answered;
+    execs_blocked = a.execs_blocked + b.execs_blocked;
+    tuples_shipped = a.tuples_shipped + b.tuples_shipped;
+    elapsed_ms = a.elapsed_ms +. b.elapsed_ms;
+  }
+
+let zero_stats =
+  {
+    execs_issued = 0;
+    execs_answered = 0;
+    execs_blocked = 0;
+    tuples_shipped = 0;
+    elapsed_ms = 0.0;
+  }
+
+let execute ?(timeout_ms = 1000.0) env plan =
+  let deadline = Clock.now env.clock +. timeout_ms in
+  (* Rounds: each issues every ready exec in parallel, then resolves the
+     semi-joins unlocked by the new data. A plan without semi-joins is
+     exactly one round — the paper's model. *)
+  let rec loop plan stats_acc versions_acc =
+    let substituted, blocked, versions, stats = run_round env ~deadline plan in
+    let stats_acc = add_stats stats_acc stats in
+    let versions_acc = versions @ versions_acc in
+    if blocked <> [] then (
+      let degraded = Plan.degrade_semi_joins substituted in
+      let folded = fold_ready degraded in
+      let residual_logical = Plan.to_logical folded in
+      let query = Decompile.decompile residual_logical in
+      let unavailable = List.sort_uniq String.compare blocked in
+      Log.info (fun m ->
+          m "partial answer: %d execs blocked (%s)" (List.length blocked)
+            (String.concat ", " unavailable));
+      ( Partial
+          {
+            query;
+            unavailable;
+            versions = List.sort_uniq compare versions_acc;
+          },
+        stats_acc ))
+    else if Plan.semi_joins substituted > 0 then
+      loop (resolve_semi_joins env substituted) stats_acc versions_acc
+    else (
+      Log.info (fun m ->
+          m "executed %d execs: %d answered, %d tuples, %.1f ms"
+            stats_acc.execs_issued stats_acc.execs_answered
+            stats_acc.tuples_shipped stats_acc.elapsed_ms);
+      (Complete (Plan.run_local substituted), stats_acc))
+  in
+  loop plan zero_stats []
+
+let fetch ?(timeout_ms = 1000.0) env extents =
+  let t0 = Clock.now env.clock in
+  let deadline = t0 +. timeout_ms in
+  let results =
+    List.map
+      (fun extent ->
+        let b = binding_of env extent in
+        (extent, issue_exec env ~deadline b.b_repo (Expr.Get extent)))
+      extents
+  in
+  List.iter
+    (fun (extent, r) ->
+      match r with
+      | Done (v, finish) ->
+          let b = binding_of env extent in
+          Cost_model.record env.cost ~repo:b.b_repo ~expr:(Expr.Get extent)
+            ~time_ms:(finish -. t0)
+            ~rows:(try V.cardinal v with V.Type_error _ -> 1)
+      | Blocked -> ())
+    results;
+  let answered =
+    List.filter_map
+      (function _, Done (v, f) -> Some (v, f) | _, Blocked -> None)
+      results
+  in
+  let any_blocked = List.exists (function _, Blocked -> true | _ -> false) results in
+  let finish_time =
+    if any_blocked then deadline
+    else List.fold_left (fun acc (_, f) -> Float.max acc f) t0 answered
+  in
+  Clock.advance_to env.clock finish_time;
+  let stats =
+    {
+      execs_issued = List.length results;
+      execs_answered = List.length answered;
+      execs_blocked = List.length results - List.length answered;
+      tuples_shipped =
+        List.fold_left
+          (fun acc (v, _) -> acc + (try V.cardinal v with V.Type_error _ -> 1))
+          0 answered;
+      elapsed_ms = finish_time -. t0;
+    }
+  in
+  ( List.map
+      (fun (extent, r) ->
+        (extent, match r with Done (v, _) -> Some v | Blocked -> None))
+      results,
+    stats )
+
+let resubmit_hint env = function
+  | Complete _ -> []
+  | Partial { versions; _ } ->
+      List.filter_map
+        (fun (repo, recorded_version) ->
+          let current =
+            List.find_opt (fun b -> String.equal b.b_repo repo) env.bindings
+          in
+          match current with
+          | Some b when Source.data_version b.b_source <> recorded_version ->
+              Some repo
+          | _ -> None)
+        versions

@@ -1,0 +1,88 @@
+(** The mediator run-time system (paper Sections 3.3 and 4).
+
+    Executes a physical plan: [exec] nodes are issued {e in parallel}
+    against their sources at the current virtual time; calls to available
+    sources complete at [now + latency], calls to unavailable sources
+    block. "After a designated time period, query evaluation stops" — the
+    runtime classifies sources, folds every answered subtree into data,
+    converts the remainder back to a logical expression and then to OQL,
+    and returns it as a {!Partial} answer. When every source answers, the
+    mediator-side operators run locally and the answer is {!Complete}.
+
+    Each [exec] that completes is recorded in the {!Disco_cost.Cost_model}
+    with its elapsed time and row count (Section 3.3). *)
+
+module Expr := Disco_algebra.Expr
+module Ast := Disco_oql.Ast
+module V := Disco_value.Value
+
+exception Runtime_error of string
+(** Raised when a wrapper refuses an expression at run time (a capability
+    mismatch the optimizer should have prevented — the mediator retries
+    with pushdown disabled), when an extent has no binding, or when a
+    run-time type check fails. *)
+
+(** How one extent reaches its data (assembled by the mediator from the
+    registry: extent → wrapper object, repository object, map). *)
+type binding = {
+  b_extent : string;  (** mediator extent name *)
+  b_repo : string;  (** primary repository object name *)
+  b_source : Disco_source.Source.t;
+  b_replicas : (string * Disco_source.Source.t) list;
+      (** failover copies tried in order when the primary is down at
+          issue time (replication extension; see DESIGN.md §4b) *)
+  b_wrapper : Disco_wrapper.Wrapper.t;
+  b_map : Disco_odl.Typemap.t;
+  b_check : (V.t -> bool) option;
+      (** run-time element type check (Section 2.1: "at run-time, the
+          wrapper checks that these types are indeed the same") *)
+}
+
+type env
+
+val env :
+  clock:Disco_source.Clock.t ->
+  cost:Disco_cost.Cost_model.t ->
+  binding list ->
+  env
+
+type answer =
+  | Complete of V.t
+  | Partial of {
+      query : Ast.query;
+          (** the whole answer, as a query — resubmit it when sources
+              recover (Section 4) *)
+      unavailable : string list;  (** repositories that did not answer *)
+      versions : (string * int) list;
+          (** data versions of the sources that {e did} answer, for the
+              staleness check of Section 4's discussion *)
+    }
+
+val answer_oql : answer -> string
+(** The OQL text of an answer: a collection literal for {!Complete}, the
+    residual query for {!Partial}. *)
+
+(** Per-execution statistics (drives experiments E2/E4). *)
+type stats = {
+  execs_issued : int;
+  execs_answered : int;
+  execs_blocked : int;
+  tuples_shipped : int;
+  elapsed_ms : float;  (** virtual time from issue to answer *)
+}
+
+val execute : ?timeout_ms:float -> env -> Disco_physical.Plan.plan -> answer * stats
+(** [timeout_ms] is the designated deadline (default 1000 virtual ms).
+    Advances the env's clock to the completion (or deadline) time. *)
+
+val fetch :
+  ?timeout_ms:float -> env -> string list -> (string * V.t option) list * stats
+(** Materialize whole extents in one parallel round of [exec(repo,
+    get(extent))] calls — the fallback the mediator's hybrid evaluator
+    uses for queries outside the algebraic subset. [None] marks extents
+    whose source did not answer by the deadline. *)
+
+val resubmit_hint : env -> answer -> string list
+(** For a partial answer: the repositories whose data changed since the
+    answer was produced (the staleness check). Empty for complete
+    answers. *)

@@ -1,0 +1,10 @@
+type t = { mutable now : float }
+
+let create ?(start = 0.0) () = { now = start }
+let now t = t.now
+
+let advance t delta =
+  if delta < 0.0 then invalid_arg "Clock.advance: negative delta";
+  t.now <- t.now +. delta
+
+let advance_to t time = if time > t.now then t.now <- time

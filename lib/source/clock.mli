@@ -1,0 +1,20 @@
+(** A virtual clock measuring simulated milliseconds.
+
+    Every latency, deadline and timestamp in the Disco simulation is
+    expressed against a virtual clock, which makes runs deterministic and
+    lets benchmarks sweep deadlines without wall-clock sleeps. A clock is
+    shared by a mediator and all the sources it reaches. *)
+
+type t
+
+val create : ?start:float -> unit -> t
+(** A clock reading [start] (default 0.0) virtual ms. *)
+
+val now : t -> float
+
+val advance : t -> float -> unit
+(** Move the clock forward; negative amounts are an error. *)
+
+val advance_to : t -> float -> unit
+(** Move the clock forward to an absolute time; earlier times are
+    ignored (the clock never runs backwards). *)

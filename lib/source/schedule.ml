@@ -1,0 +1,61 @@
+type t =
+  | Always_up
+  | Always_down
+  | Down_during of (float * float) list
+  | Flaky of { seed : int; period : float; availability : float }
+
+let always_up = Always_up
+let always_down = Always_down
+
+let down_during intervals =
+  List.iter
+    (fun (a, b) ->
+      if b < a then invalid_arg "Schedule.down_during: empty interval")
+    intervals;
+  Down_during (List.sort Stdlib.compare intervals)
+
+let flaky ~seed ~period ~availability =
+  if period <= 0.0 then invalid_arg "Schedule.flaky: period must be positive";
+  if availability < 0.0 || availability > 1.0 then
+    invalid_arg "Schedule.flaky: availability must be in [0,1]";
+  Flaky { seed; period; availability }
+
+(* A deterministic hash of (seed, bucket) mapped to [0,1). *)
+let bucket_unit seed bucket =
+  let h = Hashtbl.hash (seed, bucket, 0x5151) in
+  float_of_int (h land 0xFFFFFF) /. float_of_int 0x1000000
+
+let is_up t time =
+  match t with
+  | Always_up -> true
+  | Always_down -> false
+  | Down_during intervals ->
+      not (List.exists (fun (a, b) -> time >= a && time < b) intervals)
+  | Flaky { seed; period; availability } ->
+      let bucket = int_of_float (Float.floor (time /. period)) in
+      bucket_unit seed bucket < availability
+
+let next_transition t time =
+  match t with
+  | Always_up | Always_down -> None
+  | Down_during intervals ->
+      List.filter_map
+        (fun (a, b) ->
+          if a > time then Some a else if b > time then Some b else None)
+        intervals
+      |> List.sort Float.compare
+      |> fun l -> (match l with [] -> None | x :: _ -> Some x)
+  | Flaky { period; _ } ->
+      let bucket = Float.floor (time /. period) in
+      Some ((bucket +. 1.0) *. period)
+
+let pp ppf = function
+  | Always_up -> Fmt.string ppf "always-up"
+  | Always_down -> Fmt.string ppf "always-down"
+  | Down_during intervals ->
+      Fmt.pf ppf "down-during[%a]"
+        (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (a, b) -> Fmt.pf ppf "%g..%g" a b))
+        intervals
+  | Flaky { seed; period; availability } ->
+      Fmt.pf ppf "flaky(seed=%d, period=%g, availability=%g)" seed period
+        availability

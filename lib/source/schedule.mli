@@ -1,0 +1,29 @@
+(** Availability schedules for simulated data sources.
+
+    The paper's central operational assumption (Section 1, Section 4) is
+    that in a system with many autonomous sources, some sources are
+    unavailable at query time. A schedule answers "is this source up at
+    virtual time [t]?" deterministically. *)
+
+type t
+
+val always_up : t
+val always_down : t
+
+val down_during : (float * float) list -> t
+(** [down_during intervals] is up except during the half-open virtual-time
+    intervals [[start, stop)]. *)
+
+val flaky : seed:int -> period:float -> availability:float -> t
+(** A source that is up during each period of length [period] with
+    probability [availability], decided by hashing [(seed, period index)]
+    — deterministic in virtual time, independent across seeds. *)
+
+val is_up : t -> float -> bool
+
+val next_transition : t -> float -> float option
+(** The earliest time strictly after [t] at which the up/down state may
+    change, if one is known ([None] for constant schedules). Used by the
+    simulation to wake blocked calls. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,161 @@
+module V = Disco_value.Value
+module Database = Disco_relation.Database
+module Sql = Disco_relation.Sql
+
+type address = {
+  host : string;
+  db_name : string;
+  ip : string;
+  maintainer : string option;
+  cost_hint : float option;
+}
+
+let address ?maintainer ?cost_hint ~host ~db_name ~ip () =
+  { host; db_name; ip; maintainer; cost_hint }
+
+type latency = { base_ms : float; per_row_ms : float; jitter : float }
+
+let default_latency = { base_ms = 5.0; per_row_ms = 0.01; jitter = 0.1 }
+
+type kind =
+  | Relational of Database.t
+  | Key_value of (string, V.t) Hashtbl.t
+  | Flat_file of V.t list ref
+  | Text of Text_index.t
+
+type stats = {
+  calls_answered : int;
+  calls_refused : int;
+  rows_shipped : int;
+  busy_ms : float;
+}
+
+let zero_stats =
+  { calls_answered = 0; calls_refused = 0; rows_shipped = 0; busy_ms = 0.0 }
+
+type t = {
+  id : string;
+  addr : address;
+  kind : kind;
+  latency : latency;
+  mutable schedule : Schedule.t;
+  mutable stats : stats;
+  mutable call_counter : int;  (* drives deterministic jitter *)
+  mutable kv_version : int;  (* mutations of kv / flat-file stores *)
+}
+
+let create ~id ~address ?(latency = default_latency)
+    ?(schedule = Schedule.always_up) kind =
+  {
+    id;
+    addr = address;
+    kind;
+    latency;
+    schedule;
+    stats = zero_stats;
+    call_counter = 0;
+    kv_version = 0;
+  }
+
+let id t = t.id
+let addr t = t.addr
+let kind t = t.kind
+let schedule t = t.schedule
+let set_schedule t s = t.schedule <- s
+let is_up t time = Schedule.is_up t.schedule time
+
+let data_version t =
+  match t.kind with
+  | Relational db -> Database.version db
+  | Text idx -> Text_index.version idx
+  | Key_value _ | Flat_file _ -> t.kv_version
+
+let exec_sql t q =
+  match t.kind with
+  | Relational db -> Sql.run db q
+  | Key_value _ | Flat_file _ | Text _ ->
+      raise (Sql.Sql_error (Fmt.str "source %s is not relational" t.id))
+
+let kv_table t =
+  match t.kind with
+  | Key_value tbl -> tbl
+  | Relational _ | Flat_file _ | Text _ ->
+      invalid_arg (Fmt.str "source %s is not a key-value store" t.id)
+
+let kv_get t key = Hashtbl.find_opt (kv_table t) key
+
+let kv_put t key v =
+  Hashtbl.replace (kv_table t) key v;
+  t.kv_version <- t.kv_version + 1
+
+let kv_scan t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) (kv_table t) []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let file_store t =
+  match t.kind with
+  | Flat_file records -> records
+  | Relational _ | Key_value _ | Text _ ->
+      invalid_arg (Fmt.str "source %s is not a flat file" t.id)
+
+let file_append t v =
+  let store = file_store t in
+  store := v :: !store;
+  t.kv_version <- t.kv_version + 1
+
+let file_records t = List.rev !(file_store t)
+
+let text_index t =
+  match t.kind with
+  | Text idx -> idx
+  | Relational _ | Key_value _ | Flat_file _ ->
+      invalid_arg (Fmt.str "source %s is not a text server" t.id)
+
+type 'a outcome = Answered of 'a * float | Unavailable | Timed_out of float
+
+(* Deterministic jitter in [0, jitter] as a fraction of the nominal
+   latency, derived from the call counter. *)
+let jitter_fraction t =
+  let h = Hashtbl.hash (t.id, t.call_counter, 0xD15C0) in
+  t.latency.jitter *. (float_of_int (h land 0xFFFF) /. 65536.0)
+
+let call t ~clock ?deadline f =
+  let issue_time = Clock.now clock in
+  t.call_counter <- t.call_counter + 1;
+  if not (is_up t issue_time) then (
+    t.stats <- { t.stats with calls_refused = t.stats.calls_refused + 1 };
+    Unavailable)
+  else
+    let payload, rows = f () in
+    let nominal =
+      t.latency.base_ms +. (t.latency.per_row_ms *. float_of_int rows)
+    in
+    let elapsed = nominal *. (1.0 +. jitter_fraction t) in
+    let completion = issue_time +. elapsed in
+    match deadline with
+    | Some d when completion > d ->
+        t.stats <- { t.stats with calls_refused = t.stats.calls_refused + 1 };
+        Timed_out completion
+    | _ ->
+        t.stats <-
+          {
+            calls_answered = t.stats.calls_answered + 1;
+            calls_refused = t.stats.calls_refused;
+            rows_shipped = t.stats.rows_shipped + rows;
+            busy_ms = t.stats.busy_ms +. elapsed;
+          };
+        Answered (payload, completion)
+
+let stats t = t.stats
+let reset_stats t = t.stats <- zero_stats
+
+let pp ppf t =
+  let kind_name =
+    match t.kind with
+    | Relational _ -> "relational"
+    | Key_value _ -> "key-value"
+    | Flat_file _ -> "flat-file"
+    | Text _ -> "text"
+  in
+  Fmt.pf ppf "source %s (%s at %s/%s, %a)" t.id kind_name t.addr.host
+    t.addr.db_name Schedule.pp t.schedule

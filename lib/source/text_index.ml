@@ -1,0 +1,64 @@
+module V = Disco_value.Value
+
+type doc = { doc_id : int; title : string; body : string }
+
+type t = {
+  mutable docs : doc list;  (* reverse insertion order *)
+  index : (string, int list ref) Hashtbl.t;  (* word -> doc ids *)
+  title_index : (string, int list ref) Hashtbl.t;
+  mutable next_id : int;
+  mutable version : int;
+}
+
+let create () =
+  {
+    docs = [];
+    index = Hashtbl.create 256;
+    title_index = Hashtbl.create 64;
+    next_id = 0;
+    version = 0;
+  }
+
+let words text =
+  String.lowercase_ascii text
+  |> String.map (fun c ->
+         if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else ' ')
+  |> String.split_on_char ' '
+  |> List.filter (fun w -> w <> "")
+  |> List.sort_uniq String.compare
+
+let post index word doc_id =
+  match Hashtbl.find_opt index word with
+  | Some ids -> ids := doc_id :: !ids
+  | None -> Hashtbl.replace index word (ref [ doc_id ])
+
+let add t ~title ~body =
+  let doc_id = t.next_id in
+  t.next_id <- doc_id + 1;
+  t.docs <- { doc_id; title; body } :: t.docs;
+  List.iter (fun w -> post t.index w doc_id) (words body);
+  List.iter (fun w -> post t.title_index w doc_id) (words title);
+  t.version <- t.version + 1;
+  doc_id
+
+let all t = List.rev t.docs
+
+let lookup t index keyword =
+  match Hashtbl.find_opt index (String.lowercase_ascii keyword) with
+  | None -> []
+  | Some ids ->
+      let wanted = !ids in
+      List.filter (fun d -> List.mem d.doc_id wanted) (all t)
+
+let search t keyword = lookup t t.index keyword
+let search_title t keyword = lookup t t.title_index keyword
+let cardinal t = List.length t.docs
+let version t = t.version
+
+let doc_to_struct d =
+  V.strct
+    [
+      ("id", V.Int d.doc_id);
+      ("title", V.String d.title);
+      ("body", V.String d.body);
+    ]

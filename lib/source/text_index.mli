@@ -1,0 +1,35 @@
+(** A WAIS-style document server (paper Section 2.2: "the DISCO model can
+    be applied to a variety of information servers, such as WAIS
+    servers").
+
+    Documents carry a title and a body; an inverted index serves keyword
+    lookups. The matching wrapper exposes this through the ordinary
+    extent interface: a scan returns every document, and a
+    [body like "%word%"] filter is answered from the index instead of a
+    scan — the WAIS query model expressed as a capability. *)
+
+module V := Disco_value.Value
+
+type doc = { doc_id : int; title : string; body : string }
+
+type t
+
+val create : unit -> t
+
+val add : t -> title:string -> body:string -> int
+(** Index a document; returns its id. *)
+
+val all : t -> doc list
+(** Every document, in insertion order. *)
+
+val search : t -> string -> doc list
+(** Documents whose body contains the (case-insensitive) keyword, served
+    by the inverted index; insertion order. *)
+
+val search_title : t -> string -> doc list
+
+val cardinal : t -> int
+val version : t -> int
+
+val doc_to_struct : doc -> V.t
+(** [struct(id: ..., title: ..., body: ...)]. *)

@@ -1,0 +1,293 @@
+module Expr = Disco_algebra.Expr
+
+type symbol = T of string | N of string
+type production = { lhs : string; rhs : symbol list }
+type t = { start : string; productions : production list }
+
+let pp_symbol ppf = function
+  | T s -> Fmt.string ppf s
+  | N s -> Fmt.string ppf s
+
+let pp ppf g =
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "%s :- %a@\n" p.lhs
+        (Fmt.list ~sep:Fmt.sp pp_symbol)
+        p.rhs)
+    g.productions
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let split_production line =
+    match Str_split.split_on_substring ~sep:":-" line with
+    | [ lhs; rhs ] ->
+        ( String.trim lhs,
+          String.split_on_char ' ' (String.trim rhs)
+          |> List.filter (fun s -> s <> "") )
+    | _ -> invalid_arg ("Grammar.parse: malformed production: " ^ line)
+  in
+  let raw = List.map split_production lines in
+  let nonterminals = List.map fst raw in
+  let symbol s = if List.mem s nonterminals then N s else T s in
+  let productions =
+    List.map (fun (lhs, rhs) -> { lhs; rhs = List.map symbol rhs }) raw
+  in
+  match productions with
+  | [] -> invalid_arg "Grammar.parse: empty grammar"
+  | first :: _ -> { start = first.lhs; productions }
+
+(* -- serialization -- *)
+
+let cmp_token = function
+  | Expr.Eq -> "="
+  | Expr.Ne -> "!="
+  | Expr.Lt -> "<"
+  | Expr.Le -> "<="
+  | Expr.Gt -> ">"
+  | Expr.Ge -> ">="
+  | Expr.Like -> "like"
+
+let rec scalar_tokens = function
+  | Expr.Attr _ -> [ "ATTRIBUTE" ]
+  | Expr.Const _ -> [ "CONST" ]
+  | Expr.Arith (_, a, b) ->
+      (* arithmetic collapses to one ARITH marker surrounding operands *)
+      ("ARITH" :: scalar_tokens a) @ scalar_tokens b
+
+let rec pred_tokens = function
+  | Expr.True -> [ "CONST" ]
+  | Expr.Cmp (op, a, b) -> scalar_tokens a @ [ cmp_token op ] @ scalar_tokens b
+  | Expr.Member (a, _) -> scalar_tokens a @ [ "member"; "CONST" ]
+  | Expr.And (a, b) -> pred_tokens a @ [ "and" ] @ pred_tokens b
+  | Expr.Or (a, b) -> pred_tokens a @ [ "or" ] @ pred_tokens b
+  | Expr.Not a -> "not" :: pred_tokens a
+
+let head_tokens = function
+  | Expr.Hscalar s -> scalar_tokens s
+  | Expr.Hstruct fields ->
+      List.concat
+        (List.mapi
+           (fun i (_, s) -> if i = 0 then scalar_tokens s else "COMMA" :: scalar_tokens s)
+           fields)
+
+let rec tokens_of_expr = function
+  | Expr.Get _ -> [ "get"; "OPEN"; "SOURCE"; "CLOSE" ]
+  | Expr.Data _ -> [ "CONST" ]
+  | Expr.Select (e, p) ->
+      [ "select"; "OPEN" ] @ pred_tokens p @ [ "COMMA" ] @ tokens_of_expr e
+      @ [ "CLOSE" ]
+  | Expr.Project (e, attrs) ->
+      let attr_toks =
+        List.concat
+          (List.mapi
+             (fun i _ -> if i = 0 then [ "ATTRIBUTE" ] else [ "COMMA"; "ATTRIBUTE" ])
+             attrs)
+      in
+      [ "project"; "OPEN" ] @ attr_toks @ [ "COMMA" ] @ tokens_of_expr e
+      @ [ "CLOSE" ]
+  | Expr.Map (e, Expr.Hstruct [ (_, Expr.Attr []) ]) ->
+      (* a pure bind (aliasing), distinguished from computed maps *)
+      [ "BIND"; "OPEN" ] @ tokens_of_expr e @ [ "CLOSE" ]
+  | Expr.Map (e, h) ->
+      [ "map"; "OPEN" ] @ head_tokens h @ [ "COMMA" ] @ tokens_of_expr e
+      @ [ "CLOSE" ]
+  | Expr.Join (l, r, pairs) ->
+      let pair_toks =
+        List.concat
+          (List.mapi
+             (fun i _ ->
+               let eq = [ "ATTRIBUTE"; "="; "ATTRIBUTE" ] in
+               if i = 0 then eq else "COMMA" :: eq)
+             pairs)
+      in
+      [ "join"; "OPEN" ] @ tokens_of_expr l @ [ "COMMA" ] @ tokens_of_expr r
+      @ (if pairs = [] then [] else "COMMA" :: pair_toks)
+      @ [ "CLOSE" ]
+  | Expr.Union es ->
+      [ "union"; "OPEN" ]
+      @ List.concat
+          (List.mapi
+             (fun i e ->
+               if i = 0 then tokens_of_expr e else "COMMA" :: tokens_of_expr e)
+             es)
+      @ [ "CLOSE" ]
+  | Expr.Distinct e -> [ "distinct"; "OPEN" ] @ tokens_of_expr e @ [ "CLOSE" ]
+  | Expr.Submit (_, _) -> [ "SUBMIT" ]
+(* nested submits never reach a wrapper; the token makes them unparseable *)
+
+(* -- Earley recognition -- *)
+
+type item = { prod : production; dot : int; origin : int }
+
+let derives g tokens =
+  let tokens = Array.of_list tokens in
+  let n = Array.length tokens in
+  let chart = Array.make (n + 1) [] in
+  let add k item =
+    if not (List.mem item chart.(k)) then (
+      chart.(k) <- item :: chart.(k);
+      true)
+    else false
+  in
+  let predict k nt =
+    List.iter
+      (fun p -> if p.lhs = nt then ignore (add k { prod = p; dot = 0; origin = k }))
+      g.productions
+  in
+  (* seed *)
+  predict 0 g.start;
+  let rec process k =
+    (* iterate until chart.(k) stops growing *)
+    let changed = ref false in
+    let items = chart.(k) in
+    List.iter
+      (fun item ->
+        if item.dot < List.length item.prod.rhs then
+          match List.nth item.prod.rhs item.dot with
+          | N nt ->
+              (* predictor *)
+              List.iter
+                (fun p ->
+                  if p.lhs = nt then
+                    if add k { prod = p; dot = 0; origin = k } then
+                      changed := true)
+                g.productions;
+              (* completer for already-complete items starting at k
+                 (nullable rules) *)
+              List.iter
+                (fun c ->
+                  if
+                    c.origin = k && c.dot = List.length c.prod.rhs
+                    && c.prod.lhs = nt
+                  then if add k { item with dot = item.dot + 1 } then changed := true)
+                chart.(k)
+          | T _ -> ()
+        else
+          (* completer: item is complete; advance items waiting on its lhs *)
+          List.iter
+            (fun waiting ->
+              if waiting.dot < List.length waiting.prod.rhs then
+                match List.nth waiting.prod.rhs waiting.dot with
+                | N nt when nt = item.prod.lhs ->
+                    if add k { waiting with dot = waiting.dot + 1 } then
+                      changed := true
+                | _ -> ())
+            chart.(item.origin))
+      items;
+    if !changed then process k
+  in
+  process 0;
+  let scan k =
+    if k < n then
+      List.iter
+        (fun item ->
+          if item.dot < List.length item.prod.rhs then
+            match List.nth item.prod.rhs item.dot with
+            | T t when t = tokens.(k) ->
+                ignore (add (k + 1) { item with dot = item.dot + 1 })
+            | _ -> ())
+        chart.(k)
+  in
+  for k = 0 to n - 1 do
+    scan k;
+    process (k + 1)
+  done;
+  List.exists
+    (fun item ->
+      item.prod.lhs = g.start
+      && item.origin = 0
+      && item.dot = List.length item.prod.rhs)
+    chart.(n)
+
+let accepts g e = derives g (tokens_of_expr e)
+
+(* -- standard grammars -- *)
+
+let get_only =
+  parse {|
+    a :- get OPEN SOURCE CLOSE
+  |}
+
+let project_no_compose =
+  parse
+    {|
+    a :- b
+    a :- c
+    b :- get OPEN SOURCE CLOSE
+    c :- project OPEN attrs COMMA b CLOSE
+    attrs :- ATTRIBUTE
+    attrs :- ATTRIBUTE COMMA attrs
+  |}
+
+let select_pushdown ?(comparisons = [ "="; "!="; "<"; "<="; ">"; ">=" ]) () =
+  let cmp_prods =
+    comparisons
+    |> List.map (fun c -> Fmt.str "cmp :- %s" c)
+    |> String.concat "\n"
+  in
+  parse
+    (Fmt.str
+       {|
+    a :- b
+    a :- s
+    b :- get OPEN SOURCE CLOSE
+    s :- select OPEN pred COMMA b CLOSE
+    pred :- operand cmp operand
+    pred :- pred and pred
+    pred :- pred or pred
+    pred :- not pred
+    pred :- CONST
+    operand :- ATTRIBUTE
+    operand :- CONST
+    %s
+  |}
+       cmp_prods)
+
+let full_relational =
+  parse
+    {|
+    a :- b
+    a :- select OPEN pred COMMA a CLOSE
+    a :- project OPEN attrs COMMA a CLOSE
+    a :- map OPEN heads COMMA a CLOSE
+    a :- join OPEN a COMMA a CLOSE
+    a :- join OPEN a COMMA a COMMA eqs CLOSE
+    a :- distinct OPEN a CLOSE
+    a :- BIND OPEN a CLOSE
+    b :- get OPEN SOURCE CLOSE
+    attrs :- ATTRIBUTE
+    attrs :- ATTRIBUTE COMMA attrs
+    heads :- scalar
+    heads :- scalar COMMA heads
+    scalar :- ATTRIBUTE
+    scalar :- CONST
+    scalar :- ARITH scalar scalar
+    eqs :- ATTRIBUTE = ATTRIBUTE
+    eqs :- ATTRIBUTE = ATTRIBUTE COMMA eqs
+    pred :- operand cmp operand
+    pred :- operand member CONST
+    pred :- pred and pred
+    pred :- pred or pred
+    pred :- not pred
+    pred :- CONST
+    operand :- scalar
+    cmp :- =
+    cmp :- !=
+    cmp :- <
+    cmp :- <=
+    cmp :- >
+    cmp :- >=
+    cmp :- like
+  |}
+
+let key_lookup =
+  parse
+    {|
+    a :- b
+    a :- select OPEN ATTRIBUTE = CONST COMMA b CLOSE
+    b :- get OPEN SOURCE CLOSE
+  |}

@@ -1,0 +1,75 @@
+(** Wrapper capability grammars (paper Section 3.2).
+
+    A wrapper describes the logical expressions it accepts by returning a
+    context-free grammar over operator tokens; the mediator serializes a
+    candidate [Submit] argument into a token string and checks
+    derivability. This module implements the grammar representation, an
+    Earley recognizer (the grammars are tiny, so worst-case cubic cost is
+    irrelevant), the serializer, and builders for the paper's grammar
+    shapes — including its literal example: a wrapper that understands
+    [get] and [project] of sources but not their composition:
+
+    {v
+    a :- b
+    a :- c
+    b :- get OPEN SOURCE CLOSE
+    c :- project OPEN ATTRIBUTE COMMA SOURCE CLOSE
+    v} *)
+
+type symbol = T of string | N of string
+
+type production = { lhs : string; rhs : symbol list }
+
+type t = { start : string; productions : production list }
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's [a :- b] notation. *)
+
+val parse : string -> t
+(** Parse the paper notation: one production per line, [lhs :- sym sym
+    ...]; UPPERCASE and punctuation-like names are terminals, lowercase
+    names that appear as a lhs are nonterminals; the first lhs is the
+    start symbol. *)
+
+(** {1 Serialization of logical expressions} *)
+
+val tokens_of_expr : Disco_algebra.Expr.expr -> string list
+(** The token string of a logical expression. Terminals used: operator
+    names ([get], [select], [project], [map], [join], [union],
+    [distinct]), [OPEN], [CLOSE], [COMMA], [SOURCE], [ATTRIBUTE], [CONST],
+    [ARITH], comparison symbols ([=], [!=], [<], [<=], [>], [>=]),
+    [and], [or], [not], and [BIND] for the binding-struct constructor
+    [Map(e, struct(x: @elem))] (so grammars can distinguish aliasing from
+    computed maps). *)
+
+(** {1 Recognition} *)
+
+val derives : t -> string list -> bool
+(** Earley recognition: does the grammar derive the token string? *)
+
+val accepts : t -> Disco_algebra.Expr.expr -> bool
+(** [derives g (tokens_of_expr e)]. *)
+
+(** {1 Standard grammars} *)
+
+val get_only : t
+(** Only [get(SOURCE)]. *)
+
+val project_no_compose : t
+(** The paper's example: [get(SOURCE)] or [project(attrs, get(SOURCE))],
+    no composition. *)
+
+val select_pushdown : ?comparisons:string list -> unit -> t
+(** [get], and [select(pred, get(SOURCE))] with the given comparison
+    operators (default: all six); conjunction/disjunction/negation
+    allowed. *)
+
+val full_relational : t
+(** Arbitrary composition of get/select/project/map/join/distinct with
+    binds and all comparisons (including [like] and membership) — what a
+    SQL wrapper advertises. Unions stay on the mediator: the paper's
+    [mkunion] is always a mediator-side algorithm. *)
+
+val key_lookup : t
+(** [get(SOURCE)] or [select(ATTRIBUTE = CONST, get(SOURCE))] — a
+    key-value store: scan or exact-match lookup only. *)

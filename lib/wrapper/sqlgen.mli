@@ -1,0 +1,34 @@
+(** Translation of (source-name-space) logical expressions into the SQL
+    dialect of relational sources — the query-language transformation a
+    wrapper performs (paper Section 1.1: wrappers "map from a subset of a
+    general query language ... to the particular query language of the
+    data source").
+
+    The generator covers the normal forms the rule pipeline produces
+    inside a single [Submit]: an optional [Distinct], an optional
+    projection ([Map]/[Project]), an optional residual [Select], over a
+    join tree of binding leaves (each a [Select]-filtered [Get]). Shapes
+    outside this subset raise {!Unsupported} — the wrapper then refuses
+    the expression, which the mediator treats as a capability miss. *)
+
+module Expr := Disco_algebra.Expr
+module Sql := Disco_relation.Sql
+module V := Disco_value.Value
+
+exception Unsupported of string
+
+type compiled = {
+  sql : Sql.query;
+  rebuild : Sql.result -> V.t;
+      (** turn the flat SQL result back into the expression's value (bag
+          of tuples / binding structs / computed values) *)
+}
+
+val compile :
+  schema_of:(string -> string list option) ->
+  Expr.expr ->
+  compiled
+(** [schema_of table] lists the column names of a source table (needed to
+    expand whole-tuple outputs). Raises {!Unsupported} when the expression
+    is outside the supported subset, and [Invalid_argument] if a table has
+    no schema. *)

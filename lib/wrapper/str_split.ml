@@ -1,0 +1,17 @@
+(* Substring-based splitting, used by the grammar notation parser (":-"
+   is two characters, so String.split_on_char does not apply). *)
+
+let split_on_substring ~sep s =
+  let sep_len = String.length sep in
+  if sep_len = 0 then invalid_arg "split_on_substring: empty separator";
+  let rec go start acc =
+    let rec find i =
+      if i + sep_len > String.length s then None
+      else if String.sub s i sep_len = sep then Some i
+      else find (i + 1)
+    in
+    match find start with
+    | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+    | Some i -> go (i + sep_len) (String.sub s start (i - start) :: acc)
+  in
+  go 0 []

@@ -1,0 +1,233 @@
+module Expr = Disco_algebra.Expr
+module Source = Disco_source.Source
+module Sql = Disco_relation.Sql
+module Database = Disco_relation.Database
+module Table = Disco_relation.Table
+module Schema = Disco_relation.Schema
+module V = Disco_value.Value
+
+type error = Refused of string | Native_error of string
+
+let error_message = function
+  | Refused m -> "refused: " ^ m
+  | Native_error m -> "source error: " ^ m
+
+type t = {
+  name : string;
+  grammar : Grammar.t;
+  execute : Source.t -> Expr.expr -> (V.t * int, error) result;
+}
+
+let name t = t.name
+let functionality t = t.grammar
+let accepts t e = Grammar.accepts t.grammar e
+let execute t source e = t.execute source e
+let make ~name ~grammar ~execute = { name; grammar; execute }
+
+let refuse fmt = Format.kasprintf (fun m -> Error (Refused m)) fmt
+
+let with_result v = Ok (v, V.cardinal v)
+
+let relational_db source =
+  match Source.kind source with
+  | Source.Relational db -> Ok db
+  | Source.Key_value _ | Source.Flat_file _ | Source.Text _ ->
+      Error (Native_error (Source.id source ^ " is not relational"))
+
+let table_bag db table_name =
+  match Database.find_table db table_name with
+  | Some table -> Ok (Table.to_bag table)
+  | None -> Error (Native_error ("no collection named " ^ table_name))
+
+(* -- SQL wrapper: full relational pushdown -- *)
+
+let sql_execute source e =
+  match relational_db source with
+  | Error _ as err -> err
+  | Ok db -> (
+      let schema_of table =
+        Option.map
+          (fun t -> Schema.column_names (Table.schema t))
+          (Database.find_table db table)
+      in
+      match Sqlgen.compile ~schema_of e with
+      | exception Sqlgen.Unsupported m -> Error (Refused m)
+      | exception Invalid_argument m -> Error (Native_error m)
+      | { Sqlgen.sql; rebuild } -> (
+          match Sql.run db sql with
+          | exception Sql.Sql_error m -> Error (Native_error m)
+          | result -> with_result (rebuild result)))
+
+let sql_wrapper () =
+  {
+    name = "WrapperSql";
+    grammar = Grammar.full_relational;
+    execute = sql_execute;
+  }
+
+(* -- evaluation-based wrappers over relational sources -- *)
+
+(* Evaluate a restricted shape locally against the source's tables; used
+   by the low-capability wrappers whose sources can only scan/filter. *)
+let eval_against_db db e =
+  let resolve name =
+    match Database.find_table db name with
+    | Some table -> Some (Table.to_bag table)
+    | None -> None
+  in
+  match Expr.eval ~resolve e with
+  | v -> with_result v
+  | exception Expr.Algebra_error m -> Error (Native_error m)
+
+let scan_execute source e =
+  match relational_db source with
+  | Error _ as err -> err
+  | Ok db -> (
+      match e with
+      | Expr.Get table -> Result.bind (table_bag db table) with_result
+      | e -> refuse "scan-only source cannot evaluate %s" (Expr.to_string e))
+
+let scan_wrapper () =
+  { name = "WrapperScan"; grammar = Grammar.get_only; execute = scan_execute }
+
+let select_execute source e =
+  match relational_db source with
+  | Error _ as err -> err
+  | Ok db -> (
+      match e with
+      | Expr.Get _ | Expr.Select (Expr.Get _, _) -> eval_against_db db e
+      | e -> refuse "select wrapper cannot evaluate %s" (Expr.to_string e))
+
+let select_wrapper ?comparisons () =
+  {
+    name = "WrapperSelect";
+    grammar = Grammar.select_pushdown ?comparisons ();
+    execute = select_execute;
+  }
+
+let project_execute source e =
+  match relational_db source with
+  | Error _ as err -> err
+  | Ok db -> (
+      match e with
+      | Expr.Get _ | Expr.Project (Expr.Get _, _) -> eval_against_db db e
+      | e -> refuse "project wrapper cannot evaluate %s" (Expr.to_string e))
+
+let project_wrapper () =
+  {
+    name = "WrapperProject";
+    grammar = Grammar.project_no_compose;
+    execute = project_execute;
+  }
+
+(* -- key-value wrapper -- *)
+
+let kv_bag source =
+  V.bag (List.map snd (Source.kv_scan source))
+
+let kv_execute source e =
+  match Source.kind source with
+  | Source.Relational _ | Source.Flat_file _ | Source.Text _ ->
+      Error (Native_error (Source.id source ^ " is not a key-value store"))
+  | Source.Key_value _ -> (
+      match e with
+      | Expr.Get _ -> with_result (kv_bag source)
+      | Expr.Select
+          (Expr.Get _, Expr.Cmp (Expr.Eq, Expr.Attr [ "key" ], Expr.Const (V.String k)))
+      | Expr.Select
+          (Expr.Get _, Expr.Cmp (Expr.Eq, Expr.Const (V.String k), Expr.Attr [ "key" ]))
+        -> (
+          (* exact-match lookup served by the store's index *)
+          match Source.kv_get source k with
+          | Some v -> with_result (V.bag [ v ])
+          | None -> with_result (V.bag []))
+      | Expr.Select (Expr.Get _, _) ->
+          refuse "key-value store supports only equality on 'key'"
+      | e -> refuse "key-value store cannot evaluate %s" (Expr.to_string e))
+
+let kv_wrapper () =
+  { name = "WrapperKV"; grammar = Grammar.key_lookup; execute = kv_execute }
+
+(* -- flat-file wrapper -- *)
+
+let file_execute source e =
+  match Source.kind source with
+  | Source.Relational _ | Source.Key_value _ | Source.Text _ ->
+      Error (Native_error (Source.id source ^ " is not a flat file"))
+  | Source.Flat_file _ -> (
+      match e with
+      | Expr.Get _ -> with_result (V.bag (Source.file_records source))
+      | e -> refuse "flat file supports scans only, not %s" (Expr.to_string e))
+
+let file_wrapper () =
+  { name = "WrapperFile"; grammar = Grammar.get_only; execute = file_execute }
+
+(* -- WAIS-style text wrapper -- *)
+
+(* A pattern of the form %word% (one keyword) is served by the inverted
+   index; anything more general is refused — the WAIS query model. *)
+let single_keyword pattern =
+  let n = String.length pattern in
+  if n >= 2 && pattern.[0] = '%' && pattern.[n - 1] = '%' then
+    let inner = String.sub pattern 1 (n - 2) in
+    if
+      inner <> ""
+      && String.for_all
+           (fun c ->
+             (c >= 'a' && c <= 'z')
+             || (c >= 'A' && c <= 'Z')
+             || (c >= '0' && c <= '9'))
+           inner
+    then Some inner
+    else None
+  else None
+
+let text_execute source e =
+  match Source.kind source with
+  | Source.Relational _ | Source.Key_value _ | Source.Flat_file _ ->
+      Error (Native_error (Source.id source ^ " is not a text server"))
+  | Source.Text idx -> (
+      let module Text_index = Disco_source.Text_index in
+      let docs_value docs =
+        V.bag (List.map Text_index.doc_to_struct docs)
+      in
+      match e with
+      | Expr.Get _ -> with_result (docs_value (Text_index.all idx))
+      | Expr.Select
+          (Expr.Get _, Expr.Cmp (Expr.Like, Expr.Attr [ field ], Expr.Const (V.String pattern)))
+        -> (
+          match (field, single_keyword pattern) with
+          | "body", Some keyword ->
+              with_result (docs_value (Text_index.search idx keyword))
+          | "title", Some keyword ->
+              with_result (docs_value (Text_index.search_title idx keyword))
+          | _, Some _ -> refuse "text server indexes only title and body"
+          | _, None ->
+              refuse
+                "text server answers single-keyword patterns (%%word%%), not                  %s"
+                pattern)
+      | e -> refuse "text server cannot evaluate %s" (Expr.to_string e))
+
+let text_wrapper () =
+  {
+    name = "WrapperText";
+    grammar =
+      Grammar.parse
+        {|
+        a :- b
+        a :- select OPEN ATTRIBUTE like CONST COMMA b CLOSE
+        b :- get OPEN SOURCE CLOSE
+      |};
+    execute = text_execute;
+  }
+
+let of_constructor ctor =
+  match String.lowercase_ascii ctor with
+  | "wrapperpostgres" | "wrappersql" -> Some (sql_wrapper ())
+  | "wrapperselect" -> Some (select_wrapper ())
+  | "wrapperproject" -> Some (project_wrapper ())
+  | "wrapperscan" -> Some (scan_wrapper ())
+  | "wrapperkv" -> Some (kv_wrapper ())
+  | "wrapperfile" -> Some (file_wrapper ())
+  | "wrapperwais" | "wrappertext" -> Some (text_wrapper ())
+  | _ -> None

@@ -1,0 +1,80 @@
+(** The wrapper interface and the built-in wrapper implementations.
+
+    A wrapper (paper Sections 1.4 and 3.2) advertises its functionality as
+    a {!Grammar.t} (the [submit-functionality] call) and executes logical
+    expressions against a data source, translating them to the source's
+    native operations and reformatting answers. Expressions arrive in the
+    {e source} name space — the mediator's [exec] applies the extent map
+    before calling ({!Translate}).
+
+    Built-in wrappers, by decreasing capability:
+    - {!sql_wrapper} — full relational pushdown via SQL generation
+      (the paper's [WrapperPostgres]);
+    - {!select_wrapper} — scan plus server-side filtering;
+    - {!project_wrapper} — the paper's get/project-without-composition
+      example;
+    - {!scan_wrapper} — [get] only: ships whole collections;
+    - {!kv_wrapper} — key-value stores: scan or exact key lookup;
+    - {!file_wrapper} — flat record files: scan only. *)
+
+module Expr := Disco_algebra.Expr
+module Source := Disco_source.Source
+module V := Disco_value.Value
+
+type error =
+  | Refused of string
+      (** the expression is outside the wrapper's functionality *)
+  | Native_error of string  (** the source failed executing it *)
+
+val error_message : error -> string
+
+type t
+
+val name : t -> string
+
+val functionality : t -> Grammar.t
+(** The paper's [submit-functionality] method. *)
+
+val accepts : t -> Expr.expr -> bool
+(** Grammar derivability of the serialized expression — what
+    transformation rules consult before pushing an operator into a
+    [Submit]. *)
+
+val execute : t -> Source.t -> Expr.expr -> (V.t * int, error) result
+(** Run a source-name-space logical expression against the source's
+    native store. Returns the (source-name-space) answer and its row
+    count (used to price the transfer). Never raises: native failures are
+    [Error (Native_error _)], out-of-capability shapes
+    [Error (Refused _)]. Wrappers re-validate shapes independently of the
+    grammar, so a mediator that ignores {!accepts} still gets a clean
+    refusal. *)
+
+val make :
+  name:string ->
+  grammar:Grammar.t ->
+  execute:(Source.t -> Expr.expr -> (V.t * int, error) result) ->
+  t
+(** Build a custom wrapper (how a DBI extends the system). *)
+
+(** {1 Built-in wrappers} *)
+
+val sql_wrapper : unit -> t
+val select_wrapper : ?comparisons:string list -> unit -> t
+val project_wrapper : unit -> t
+val scan_wrapper : unit -> t
+val kv_wrapper : unit -> t
+(** Stored values must be structs; exact-match lookups are served by the
+    store's index when the filter is an equality on the [key] field. *)
+
+val file_wrapper : unit -> t
+
+val text_wrapper : unit -> t
+(** WAIS-style document server: scans, or single-keyword [like "%w%"]
+    filters on [title] / [body] served by the inverted index. *)
+
+val of_constructor : string -> t option
+(** Resolve an ODL constructor name ([w0 := WrapperPostgres();]) to a
+    wrapper: [WrapperPostgres] / [WrapperSql] → {!sql_wrapper},
+    [WrapperSelect] → {!select_wrapper}, [WrapperProject] →
+    {!project_wrapper}, [WrapperScan] → {!scan_wrapper}, [WrapperKV] →
+    {!kv_wrapper}, [WrapperFile] → {!file_wrapper}. Case-insensitive. *)

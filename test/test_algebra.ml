@@ -1,0 +1,410 @@
+(* Tests for the logical algebra: compilation from OQL, reference
+   evaluation, decompilation back to OQL, and the transformation rules.
+
+   The central properties (paper Sections 3.2 and 4):
+   - compiling an OQL query and evaluating the algebra tree agrees with
+     the OQL reference evaluator;
+   - every rewrite rule preserves evaluation;
+   - decompiling any (possibly rewritten) tree yields OQL that evaluates
+     to the same result — the closure property partial answers rely on. *)
+
+module V = Disco_value.Value
+module Ast = Disco_oql.Ast
+module Parser = Disco_oql.Parser
+module Eval = Disco_oql.Eval
+module Expr = Disco_algebra.Expr
+module Compile = Disco_algebra.Compile
+module Decompile = Disco_algebra.Decompile
+module Rules = Disco_algebra.Rules
+
+let check_value = Alcotest.testable V.pp V.equal
+
+(* A small two-source database. *)
+let person ?(id = 0) name salary =
+  V.strct [ ("id", V.Int id); ("name", V.String name); ("salary", V.Int salary) ]
+
+let person0 =
+  V.bag [ person ~id:1 "Mary" 200; person ~id:3 "Ana" 5; person ~id:4 "Bob" 90 ]
+
+let person1 = V.bag [ person ~id:2 "Sam" 50; person ~id:4 "Bob" 60 ]
+
+let resolve = function
+  | "person0" -> Some person0
+  | "person1" -> Some person1
+  | "person" -> Some (V.bag_union person0 person1)
+  | _ -> None
+
+let oql_env = Eval.env ~resolve ()
+let eval_alg e = Expr.eval ~resolve e
+
+let compile_ok q =
+  match Compile.compile (Parser.parse q) with
+  | Ok e -> e
+  | Error reason -> Alcotest.fail ("compile rejected: " ^ reason)
+
+(* Check compile + every normalization stage + decompile against the OQL
+   reference evaluator. *)
+let assert_coherent ?(can_push = Rules.push_all) oql =
+  let expected = Eval.eval_string oql_env oql in
+  let compiled = compile_ok oql in
+  Alcotest.check check_value
+    (Fmt.str "compiled %s" oql)
+    expected (eval_alg compiled);
+  let located =
+    Compile.locate
+      ~repo_of:(fun name ->
+        if String.length name >= 6 && String.sub name 0 6 = "person" then
+          Some ("r_" ^ name)
+        else None)
+      compiled
+  in
+  let normalized = Rules.normalize ~can_push located in
+  Alcotest.check check_value
+    (Fmt.str "normalized %s" oql)
+    expected (eval_alg normalized);
+  let round_tripped = Decompile.decompile normalized in
+  Alcotest.check check_value
+    (Fmt.str "decompiled %s -> %s" oql (Ast.to_string round_tripped))
+    expected
+    (Eval.eval oql_env round_tripped)
+
+(* -- compilation -- *)
+
+let test_compile_simple () =
+  let e = compile_ok "select x.name from x in person0 where x.salary > 10" in
+  (* shape: Map(Select(Bind(x, Get person0), pred), head) *)
+  match e with
+  | Expr.Map
+      ( Expr.Select
+          (Expr.Map (Expr.Get "person0", Expr.Hstruct [ ("x", Expr.Attr []) ]), _),
+        Expr.Hscalar (Expr.Attr [ "x"; "name" ]) ) ->
+      ()
+  | _ -> Alcotest.fail ("unexpected shape: " ^ Expr.to_string e)
+
+let test_compile_rejects () =
+  let expect_reject q =
+    match Compile.compile (Parser.parse q) with
+    | Error _ -> ()
+    | Ok e -> Alcotest.fail ("should reject, got " ^ Expr.to_string e)
+  in
+  (* correlated subquery in projection *)
+  expect_reject
+    "select struct(n: x.name, t: sum(select z.salary from z in person where \
+     z.id = x.id)) from x in person";
+  (* dependent from binding *)
+  expect_reject "select i from g in groups, i in g.items";
+  (* aggregate call as collection *)
+  expect_reject "sum(person0)";
+  (* unexpanded star *)
+  expect_reject "select x from x in person*"
+
+let test_locate () =
+  let e = compile_ok "select x.name from x in union(person0, person1)" in
+  let located =
+    Compile.locate
+      ~repo_of:(function
+        | "person0" -> Some "r0" | "person1" -> Some "r1" | _ -> None)
+      e
+  in
+  let submits = Expr.submits located in
+  Alcotest.(check (list string)) "submits introduced" [ "r0"; "r1" ]
+    (List.map fst submits)
+
+(* -- coherence across the pipeline -- *)
+
+let coherence_cases =
+  [
+    "select x.name from x in person where x.salary > 10";
+    "select x from x in person0";
+    "select distinct x.salary from x in person";
+    "select struct(name: x.name, double: x.salary * 2) from x in person0 \
+     where x.salary >= 5 and not (x.name = \"Ana\")";
+    "select struct(a: x.name, b: y.name) from x in person0, y in person1 \
+     where x.id = y.id";
+    "select struct(a: x.name, s: x.salary + y.salary) from x in person0 and \
+     y in person1 where x.id = y.id and x.salary > 50";
+    "union(select x.name from x in person0, select y.name from y in person1)";
+    "select p.name from p in union(person0, person1) where p.salary < 100";
+    "select struct(x: a.id + 1, y: a.salary - 1) from a in person1";
+    "distinct(select x.name from x in person)";
+    "select t.name from t in (select u from u in person0 where u.salary > 10) \
+     where t.salary < 500";
+    "select struct(l: x.name, r: y.name, z: z.id) from x in person0, y in \
+     person1, z in person0 where x.id = z.id and y.salary > 50";
+    "union(bag(1, 2), bag(3))";
+    {|select x.name from x in person where x.name like "%a%"|};
+    {|select struct(n: x.name) from x in person0 where x.name like "M%" or x.salary > 100|};
+  ]
+
+let test_pipeline_coherence () = List.iter assert_coherent coherence_cases
+
+let test_pipeline_coherence_no_push () =
+  List.iter (assert_coherent ~can_push:Rules.push_none) coherence_cases
+
+(* -- rules in isolation -- *)
+
+let test_extract_join_pairs () =
+  let e =
+    compile_ok
+      "select struct(a: x.name, b: y.name) from x in person0, y in person1 \
+       where x.id = y.id and x.salary > 10"
+  in
+  let e' = Rules.extract_join_pairs e in
+  let rec find_join = function
+    | Expr.Join (_, _, pairs) -> Some pairs
+    | Expr.Map (inner, _) | Expr.Select (inner, _) | Expr.Distinct inner ->
+        find_join inner
+    | _ -> None
+  in
+  match find_join e' with
+  | Some [ ([ "x"; "id" ], [ "y"; "id" ]) ] -> ()
+  | Some _ | None -> Alcotest.fail ("pairs not extracted: " ^ Expr.to_string e')
+
+let test_push_select_through_union () =
+  let e =
+    Expr.Select
+      ( Expr.Union [ Expr.Get "person0"; Expr.Get "person1" ],
+        Expr.Cmp (Expr.Gt, Expr.Attr [ "salary" ], Expr.Const (V.Int 10)) )
+  in
+  match Rules.push_selects e with
+  | Expr.Union [ Expr.Select (Expr.Get "person0", _); Expr.Select (Expr.Get "person1", _) ] ->
+      ()
+  | e' -> Alcotest.fail ("not distributed: " ^ Expr.to_string e')
+
+let test_push_select_strips_binding () =
+  (* Select over a bind moves inside with the variable prefix stripped. *)
+  let bind = Expr.Map (Expr.Get "person0", Expr.Hstruct [ ("x", Expr.Attr []) ]) in
+  let e =
+    Expr.Select
+      (bind, Expr.Cmp (Expr.Gt, Expr.Attr [ "x"; "salary" ], Expr.Const (V.Int 10)))
+  in
+  match Rules.push_selects e with
+  | Expr.Map (Expr.Select (Expr.Get "person0", Expr.Cmp (Expr.Gt, Expr.Attr [ "salary" ], _)), _) ->
+      ()
+  | e' -> Alcotest.fail ("binding not stripped: " ^ Expr.to_string e')
+
+let test_absorb_respects_capability () =
+  let submit = Expr.Submit ("r0", Expr.Get "person0") in
+  let sel =
+    Expr.Select
+      (submit, Expr.Cmp (Expr.Gt, Expr.Attr [ "salary" ], Expr.Const (V.Int 10)))
+  in
+  (match Rules.absorb ~can_push:Rules.push_all sel with
+  | Expr.Submit ("r0", Expr.Select (Expr.Get "person0", _)) -> ()
+  | e' -> Alcotest.fail ("not absorbed: " ^ Expr.to_string e'));
+  match Rules.absorb ~can_push:Rules.push_none sel with
+  | Expr.Select (Expr.Submit ("r0", Expr.Get "person0"), _) -> ()
+  | e' -> Alcotest.fail ("absorbed against capability: " ^ Expr.to_string e')
+
+let test_join_pushdown_same_repo () =
+  (* Paper Section 3.2: join of two submits to the same repository merges
+     into one submit when the wrapper accepts joins. *)
+  let j =
+    Expr.Join
+      ( Expr.Map (Expr.Submit ("r0", Expr.Get "employee0"), Expr.Hstruct [ ("e", Expr.Attr []) ]),
+        Expr.Map (Expr.Submit ("r0", Expr.Get "manager0"), Expr.Hstruct [ ("m", Expr.Attr []) ]),
+        [ ([ "e"; "dept" ], [ "m"; "dept" ]) ] )
+  in
+  (* Map over submit absorbs first, then the join merges. *)
+  let e' = Rules.normalize ~can_push:Rules.push_all j in
+  match Expr.submits e' with
+  | [ ("r0", Expr.Join (_, _, _)) ] -> ()
+  | other ->
+      Alcotest.fail
+        (Fmt.str "expected one merged submit, got %d: %s" (List.length other)
+           (Expr.to_string e'))
+
+let test_no_cross_source_merge () =
+  (* Submits to different repositories must never merge (no semijoin /
+     data shipping between sources, paper Section 3.2). *)
+  let j =
+    Expr.Join
+      ( Expr.Map (Expr.Submit ("r0", Expr.Get "person0"), Expr.Hstruct [ ("x", Expr.Attr []) ]),
+        Expr.Map (Expr.Submit ("r1", Expr.Get "person1"), Expr.Hstruct [ ("y", Expr.Attr []) ]),
+        [ ([ "x"; "id" ], [ "y"; "id" ]) ] )
+  in
+  let e' = Rules.normalize ~can_push:Rules.push_all j in
+  let submit_repos = List.map fst (Expr.submits e') in
+  Alcotest.(check (list string)) "two submits remain" [ "r0"; "r1" ] submit_repos;
+  (* no submit nested inside another *)
+  List.iter
+    (fun (_, body) ->
+      Alcotest.(check (list string)) "no nested submit" []
+        (List.map fst (Expr.submits body)))
+    (Expr.submits e')
+
+let test_simplify () =
+  let e = Expr.Select (Expr.Get "person0", Expr.True) in
+  Alcotest.(check bool) "select true dropped" true
+    (Expr.equal (Rules.simplify e) (Expr.Get "person0"));
+  let u = Expr.Union [ Expr.Union [ Expr.Get "a"; Expr.Get "b" ]; Expr.Get "c" ] in
+  Alcotest.(check bool) "nested union flattened" true
+    (Expr.equal (Rules.simplify u)
+       (Expr.Union [ Expr.Get "a"; Expr.Get "b"; Expr.Get "c" ]))
+
+(* -- decompilation -- *)
+
+let test_decompile_paper_form () =
+  (* The compiled paper query decompiles back to a single
+     select-from-where. *)
+  let e = compile_ok "select x.name from x in person0 where x.salary > 10" in
+  let q = Decompile.decompile e in
+  Alcotest.(check string) "paper form"
+    "select x.name from x in person0 where x.salary > 10" (Ast.to_string q)
+
+let test_decompile_partial_answer_shape () =
+  (* Build the paper's Section 1.3 partial answer: person1 answered with
+     Bag("Sam"); person0 still a query. *)
+  let residual =
+    Expr.Union
+      [
+        Expr.Map
+          ( Expr.Select
+              ( Expr.Map (Expr.Submit ("r0", Expr.Get "person0"), Expr.Hstruct [ ("y", Expr.Attr []) ]),
+                Expr.Cmp (Expr.Gt, Expr.Attr [ "y"; "salary" ], Expr.Const (V.Int 10)) ),
+            Expr.Hscalar (Expr.Attr [ "y"; "name" ]) );
+        Expr.Data (V.bag [ V.String "Sam" ]);
+      ]
+  in
+  let text = Decompile.decompile_string residual in
+  Alcotest.(check string) "paper partial answer"
+    {|union(select y.name from y in person0 where y.salary > 10, Bag("Sam"))|}
+    text;
+  (* and resubmitting it yields the full answer *)
+  Alcotest.check check_value "resubmission"
+    (V.bag [ V.String "Bob"; V.String "Mary"; V.String "Sam" ])
+    (Eval.eval_string oql_env text)
+
+let test_decompile_general_join () =
+  let j =
+    Expr.Join
+      ( Expr.Map (Expr.Get "person0", Expr.Hstruct [ ("x", Expr.Attr []) ]),
+        Expr.Map (Expr.Get "person1", Expr.Hstruct [ ("y", Expr.Attr []) ]),
+        [ ([ "x"; "id" ], [ "y"; "id" ]) ] )
+  in
+  (* wrap so the select-shape path is not taken for the join itself *)
+  let q = Decompile.decompile (Expr.Distinct j) in
+  let expected = eval_alg (Expr.Distinct j) in
+  Alcotest.check check_value "general join decompiles and evaluates" expected
+    (Eval.eval oql_env q)
+
+(* -- property tests -- *)
+
+(* Random select-from-where queries over person0/person1. *)
+let arb_oql_query =
+  let open QCheck.Gen in
+  let cmp = oneofl [ "="; "!="; "<"; "<="; ">"; ">=" ] in
+  let gen =
+    let* nvars = int_range 1 2 in
+    let vars = List.init nvars (fun i -> Printf.sprintf "v%d" i) in
+    let* colls =
+      flatten_l (List.map (fun _ -> oneofl [ "person0"; "person1" ]) vars)
+    in
+    let scalar_of v =
+      oneofl
+        [ v ^ ".salary"; v ^ ".id"; string_of_int (Random.State.int (Random.State.make [|0|]) 1) ]
+    in
+    ignore scalar_of;
+    let* conds =
+      flatten_l
+        (List.map
+           (fun v ->
+             let* kind = int_range 0 3 in
+             if kind = 0 then
+               let* pat = oneofl [ "%a%"; "M%"; "%_"; "%ar%" ] in
+               return (Printf.sprintf {|%s.name like "%s"|} v pat)
+             else
+               let* op = cmp in
+               let* rhs = int_range 0 300 in
+               return (Printf.sprintf "%s.salary %s %d" v op rhs))
+           vars)
+    in
+    let* join_cond =
+      if nvars = 2 then
+        oneofl [ []; [ "v0.id = v1.id" ]; [ "v0.salary = v1.salary" ] ]
+      else return []
+    in
+    let where = String.concat " and " (conds @ join_cond) in
+    let proj =
+      match vars with
+      | [ v ] -> Printf.sprintf "struct(n: %s.name, s: %s.salary * 2)" v v
+      | v0 :: v1 :: _ -> Printf.sprintf "struct(a: %s.name, b: %s.salary)" v0 v1
+      | [] -> assert false
+    in
+    let from =
+      String.concat ", "
+        (List.map2 (fun v c -> Printf.sprintf "%s in %s" v c) vars colls)
+    in
+    return (Printf.sprintf "select %s from %s where %s" proj from where)
+  in
+  QCheck.make ~print:(fun s -> s) gen
+
+let prop_compile_eval_agree =
+  QCheck.Test.make ~name:"compile/eval agreement" ~count:300 arb_oql_query
+    (fun oql ->
+      let expected = Eval.eval_string oql_env oql in
+      let compiled = compile_ok oql in
+      V.equal expected (eval_alg compiled))
+
+let prop_normalize_preserves =
+  QCheck.Test.make ~name:"normalize preserves evaluation" ~count:300
+    arb_oql_query (fun oql ->
+      let compiled = compile_ok oql in
+      let normalized = Rules.normalize ~can_push:Rules.push_all compiled in
+      V.equal (eval_alg compiled) (eval_alg normalized))
+
+let prop_decompile_roundtrip =
+  QCheck.Test.make ~name:"decompile roundtrip" ~count:300 arb_oql_query
+    (fun oql ->
+      let compiled = compile_ok oql in
+      let normalized = Rules.normalize ~can_push:Rules.push_all compiled in
+      let oql' = Decompile.decompile normalized in
+      V.equal (eval_alg compiled) (Eval.eval oql_env oql'))
+
+let () =
+  Alcotest.run "disco_algebra"
+    [
+      ( "compile",
+        [
+          Alcotest.test_case "simple shape" `Quick test_compile_simple;
+          Alcotest.test_case "rejections" `Quick test_compile_rejects;
+          Alcotest.test_case "submit introduction" `Quick test_locate;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "coherence (full pushdown)" `Quick
+            test_pipeline_coherence;
+          Alcotest.test_case "coherence (no pushdown)" `Quick
+            test_pipeline_coherence_no_push;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "join pair extraction" `Quick
+            test_extract_join_pairs;
+          Alcotest.test_case "select through union" `Quick
+            test_push_select_through_union;
+          Alcotest.test_case "select strips binding" `Quick
+            test_push_select_strips_binding;
+          Alcotest.test_case "absorb respects capability" `Quick
+            test_absorb_respects_capability;
+          Alcotest.test_case "join pushdown same repo" `Quick
+            test_join_pushdown_same_repo;
+          Alcotest.test_case "no cross-source merge" `Quick
+            test_no_cross_source_merge;
+          Alcotest.test_case "simplify" `Quick test_simplify;
+        ] );
+      ( "decompile",
+        [
+          Alcotest.test_case "paper select form" `Quick test_decompile_paper_form;
+          Alcotest.test_case "paper partial answer" `Quick
+            test_decompile_partial_answer_shape;
+          Alcotest.test_case "general join" `Quick test_decompile_general_join;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compile_eval_agree;
+            prop_normalize_preserves;
+            prop_decompile_roundtrip;
+          ] );
+    ]

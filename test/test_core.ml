@@ -1,0 +1,1236 @@
+(* End-to-end tests of the Disco mediator: the paper's running examples
+   (Sections 1.2-2.3), partial evaluation (Section 4), the four
+   unavailable-data semantics, plan caching, wrapper fallback, views,
+   maps, subtyping, catalogs, and mediator composition (Figure 1). *)
+
+module V = Disco_value.Value
+module Source = Disco_source.Source
+module Schedule = Disco_source.Schedule
+module Clock = Disco_source.Clock
+module Datagen = Disco_source.Datagen
+module Database = Disco_relation.Database
+module Wrapper = Disco_wrapper.Wrapper
+module Catalog = Disco_catalog.Catalog
+module Mediator = Disco_core.Mediator
+module Maintenance = Disco_core.Maintenance
+module Composition = Disco_core.Composition
+module Plan = Disco_physical.Plan
+
+let check_value = Alcotest.testable V.pp V.equal
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let addr host = Source.address ~host ~db_name:"db" ~ip:"123.45.6.7" ()
+
+(* The paper's two-source world: r0 holds Mary/200, r1 holds Sam/50. *)
+let person_row id name salary = [| V.Int id; V.String name; V.Int salary |]
+
+let paper_source ~id ~host rows =
+  let db = Database.create ~name:"db" in
+  ignore (Datagen.table_of db ~name:("person" ^ string_of_int id) Datagen.person_schema rows);
+  Source.create ~id:(Fmt.str "src%d" id) ~address:(addr host)
+    ~latency:{ Source.base_ms = 5.0; per_row_ms = 0.0; jitter = 0.0 }
+    (Source.Relational db)
+
+let paper_odl =
+  {|
+  r0 := Repository(host="rodin", name="db", address="123.45.6.7");
+  r1 := Repository(host="umiacs", name="db", address="123.45.6.8");
+  w0 := WrapperPostgres();
+  interface Person (extent person) {
+    attribute String name;
+    attribute Short salary; }
+  extent person0 of Person wrapper w0 repository r0;
+  extent person1 of Person wrapper w0 repository r1;
+|}
+
+let paper_mediator () =
+  let m = Mediator.create ~name:"m0" () in
+  Mediator.register_source m ~name:"r0"
+    (paper_source ~id:0 ~host:"rodin" [ person_row 1 "Mary" 200 ]);
+  Mediator.register_source m ~name:"r1"
+    (paper_source ~id:1 ~host:"umiacs" [ person_row 1 "Sam" 50 ]);
+  Mediator.load_odl m paper_odl;
+  m
+
+let complete outcome =
+  match outcome.Mediator.answer with
+  | Mediator.Complete v -> v
+  | Mediator.Partial { oql; _ } -> Alcotest.fail ("unexpected partial: " ^ oql)
+  | Mediator.Unavailable repos ->
+      Alcotest.fail ("unavailable: " ^ String.concat "," repos)
+
+(* -- the paper's Section 1.2 example -- *)
+
+let test_paper_intro_query () =
+  let m = paper_mediator () in
+  let v =
+    complete
+      (Mediator.query m "select x.name from x in person where x.salary > 10")
+  in
+  Alcotest.check check_value "Bag(Mary, Sam)"
+    (V.bag [ V.String "Mary"; V.String "Sam" ])
+    v
+
+let test_explicit_extents () =
+  let m = paper_mediator () in
+  let v =
+    complete
+      (Mediator.query m
+         "select x.name from x in union(person0, person1) where x.salary > 10")
+  in
+  Alcotest.check check_value "explicit union"
+    (V.bag [ V.String "Mary"; V.String "Sam" ])
+    v;
+  let v0 =
+    complete (Mediator.query m "select x.name from x in person0 where x.salary > 10")
+  in
+  Alcotest.check check_value "single extent" (V.bag [ V.String "Mary" ]) v0
+
+(* Section 1.2: "the addition of a new data source ... simply requires the
+   addition of a new extent ... the query itself does not change". *)
+let test_add_source_same_query () =
+  let m = paper_mediator () in
+  let q = "select x.name from x in person where x.salary > 10" in
+  ignore (complete (Mediator.query m q));
+  Mediator.register_source m ~name:"r2"
+    (paper_source ~id:2 ~host:"lip6" [ person_row 9 "Zoe" 75 ]);
+  Mediator.load_odl m
+    {|r2 := Repository(host="lip6", name="db", address="123.45.6.9");
+      extent person2 of Person wrapper w0 repository r2;|};
+  let v = complete (Mediator.query m q) in
+  Alcotest.check check_value "three sources now"
+    (V.bag [ V.String "Mary"; V.String "Sam"; V.String "Zoe" ])
+    v
+
+(* -- Section 1.3 / 4: partial evaluation -- *)
+
+let test_partial_answer_paper_form () =
+  let m = paper_mediator () in
+  (* r0 does not respond *)
+  (match Mediator.find_source m "r0" with
+  | Some src -> Source.set_schedule src (Schedule.down_during [ (0.0, 500.0) ])
+  | None -> Alcotest.fail "no r0");
+  let outcome =
+    Mediator.query ~timeout_ms:100.0 m
+      "select x.name from x in person where x.salary > 10"
+  in
+  match outcome.Mediator.answer with
+  | Mediator.Partial { oql; unavailable; _ } ->
+      Alcotest.(check (list string)) "r0 unavailable" [ "r0" ] unavailable;
+      (* the paper's exact answer shape: union(select..., Bag("Sam")) *)
+      Alcotest.(check string) "paper partial answer"
+        {|union(select x.name from x in person0 where x.salary > 10, Bag("Sam"))|}
+        oql;
+      (* Section 4: when r0 becomes available, resubmitting yields the
+         answer to the original query *)
+      Clock.advance (Mediator.clock m) 600.0;
+      let v = complete (Mediator.resubmit m outcome.Mediator.answer) in
+      Alcotest.check check_value "resubmission"
+        (V.bag [ V.String "Mary"; V.String "Sam" ])
+        v
+  | _ -> Alcotest.fail "expected a partial answer"
+
+let test_semantics_variants () =
+  let make_down () =
+    let m = paper_mediator () in
+    (match Mediator.find_source m "r0" with
+    | Some src -> Source.set_schedule src Schedule.always_down
+    | None -> ());
+    m
+  in
+  let q = "select x.name from x in person where x.salary > 10" in
+  (* Wait_all: no answer *)
+  let m = make_down () in
+  (match (Mediator.query ~semantics:Mediator.Wait_all ~timeout_ms:50.0 m q).Mediator.answer with
+  | Mediator.Unavailable [ "r0" ] -> ()
+  | _ -> Alcotest.fail "expected Unavailable");
+  (* Null_sources: complete answer over available data *)
+  let m = make_down () in
+  (match (Mediator.query ~semantics:Mediator.Null_sources ~timeout_ms:50.0 m q).Mediator.answer with
+  | Mediator.Complete v ->
+      Alcotest.check check_value "null semantics" (V.bag [ V.String "Sam" ]) v
+  | _ -> Alcotest.fail "expected Complete under null semantics");
+  (* Skip_sources: same data, but no timeout wait *)
+  let m = make_down () in
+  let t0 = Clock.now (Mediator.clock m) in
+  (match (Mediator.query ~semantics:Mediator.Skip_sources ~timeout_ms:5000.0 m q).Mediator.answer with
+  | Mediator.Complete v ->
+      Alcotest.check check_value "skip semantics" (V.bag [ V.String "Sam" ]) v;
+      let elapsed = Clock.now (Mediator.clock m) -. t0 in
+      Alcotest.(check bool) "no deadline wait" true (elapsed < 100.0)
+  | _ -> Alcotest.fail "expected Complete under skip semantics")
+
+(* -- Section 2.2.2: maps -- *)
+
+let test_type_map_end_to_end () =
+  let m = paper_mediator () in
+  Mediator.load_odl m
+    {|
+    interface PersonPrime {
+      attribute String n;
+      attribute Short s; }
+    extent personprime0 of PersonPrime wrapper w0 repository r0
+      map ((person0=personprime0),(name=n),(salary=s));
+  |};
+  let v =
+    complete (Mediator.query m "select x.n from x in personprime0 where x.s > 10")
+  in
+  Alcotest.check check_value "mapped query" (V.bag [ V.String "Mary" ]) v
+
+(* Section 6.2's closing example: yearly mediator salaries over a
+   weekly-paid source, via a value-transform map. *)
+let test_value_transform_map () =
+  let m = Mediator.create ~name:"vt" () in
+  let db = Database.create ~name:"db" in
+  ignore
+    (Datagen.table_of db ~name:"weekly0" Datagen.person_schema
+       [ person_row 1 "Mary" 10; person_row 2 "Sam" 5 ]);
+  Mediator.register_source m ~name:"r0"
+    (Source.create ~id:"payroll" ~address:(addr "site") (Source.Relational db));
+  Mediator.load_odl m
+    {|r0 := Repository(host="site", name="db", address="0");
+      w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short yearly; }
+      extent person0 of Person wrapper w0 repository r0
+        map ((weekly0=person0),(salary*52=yearly));|};
+  (* predicates compare in mediator (yearly) units, pushed to the source *)
+  let o =
+    Mediator.query m "select x.name from x in person where x.yearly > 400"
+  in
+  Alcotest.check check_value "filter in yearly units"
+    (V.bag [ V.String "Mary" ])
+    (complete o);
+  Alcotest.(check int) "filter ran at the source" 1
+    o.Mediator.stats.Disco_runtime.Runtime.tuples_shipped;
+  (* raw tuples come back converted *)
+  let v = complete (Mediator.query m "select x.yearly from x in person") in
+  Alcotest.check check_value "values converted"
+    (V.bag [ V.Int 260; V.Int 520 ])
+    v;
+  (* computed heads convert too *)
+  let v2 =
+    complete
+      (Mediator.query m
+         {|select struct(n: x.name, monthly: x.yearly / 12) from x in person where x.name = "Mary"|})
+  in
+  Alcotest.check check_value "arithmetic over converted field"
+    (V.bag [ V.strct [ ("n", V.String "Mary"); ("monthly", V.Int 43) ] ])
+    v2
+
+(* Join pushdown into ONE repository whose two relations both need maps:
+   the merged submit must translate each extent through its own map. *)
+let test_same_repo_join_with_maps () =
+  let m = Mediator.create ~name:"jm" () in
+  let db = Database.create ~name:"db" in
+  let emp_schema =
+    Disco_relation.Schema.make
+      [ ("nom", Disco_relation.Schema.TString);
+        ("svc", Disco_relation.Schema.TString) ]
+  in
+  let mgr_schema =
+    Disco_relation.Schema.make
+      [ ("chef", Disco_relation.Schema.TString);
+        ("service", Disco_relation.Schema.TString) ]
+  in
+  ignore
+    (Datagen.table_of db ~name:"employes" emp_schema
+       [ [| V.String "Ana"; V.String "it" |];
+         [| V.String "Bob"; V.String "hr" |] ]);
+  ignore
+    (Datagen.table_of db ~name:"chefs" mgr_schema
+       [ [| V.String "Max"; V.String "it" |] ]);
+  Mediator.register_source m ~name:"r0"
+    (Source.create ~id:"site" ~address:(addr "site") (Source.Relational db));
+  Mediator.load_odl m
+    {|r0 := Repository(host="site", name="db", address="0");
+      w0 := WrapperPostgres();
+      interface Employee {
+        attribute String name;
+        attribute String dept; }
+      interface Manager {
+        attribute String name;
+        attribute String dept; }
+      extent employee0 of Employee wrapper w0 repository r0
+        map ((employes=employee0),(nom=name),(svc=dept));
+      extent manager0 of Manager wrapper w0 repository r0
+        map ((chefs=manager0),(chef=name),(service=dept));|};
+  let o =
+    Mediator.query m
+      "select struct(who: e.name, boss: b.name) from e in employee0, b in        manager0 where e.dept = b.dept"
+  in
+  Alcotest.check check_value "join through two maps"
+    (V.bag [ V.strct [ ("who", V.String "Ana"); ("boss", V.String "Max") ] ])
+    (complete o);
+  (* the join was pushed: one exec, only the joined row shipped *)
+  Alcotest.(check int) "one exec (merged submit)" 1
+    o.Mediator.stats.Disco_runtime.Runtime.execs_issued;
+  Alcotest.(check int) "one tuple shipped" 1
+    o.Mediator.stats.Disco_runtime.Runtime.tuples_shipped
+
+(* Maps work across source kinds: a key-value store whose French field
+   names map onto the mediator type, with the indexed lookup preserved. *)
+let test_kv_with_map () =
+  let m = Mediator.create ~name:"kvm" () in
+  let tbl = Hashtbl.create 8 in
+  let kv =
+    Source.create ~id:"cache" ~address:(addr "cache") (Source.Key_value tbl)
+  in
+  Source.kv_put kv "mary"
+    (V.strct [ ("key", V.String "mary"); ("paie", V.Int 200) ]);
+  Source.kv_put kv "sam"
+    (V.strct [ ("key", V.String "sam"); ("paie", V.Int 50) ]);
+  Mediator.register_source m ~name:"rk" kv;
+  Mediator.load_odl m
+    {|rk := Repository(host="cache", name="kv", address="0");
+      wk := WrapperKV();
+      interface Entry (extent entries) {
+        attribute String key;
+        attribute Short salary; }
+      extent entries0 of Entry wrapper wk repository rk
+        map ((entries0=entries0),(paie=salary));|};
+  (* the indexed lookup still reaches the store *)
+  let o =
+    Mediator.query m {|select e.salary from e in entries where e.key = "mary"|}
+  in
+  Alcotest.check check_value "lookup through map" (V.bag [ V.Int 200 ])
+    (complete o);
+  Alcotest.(check int) "index served one row" 1
+    o.Mediator.stats.Disco_runtime.Runtime.tuples_shipped;
+  (* scans rename the value fields *)
+  let v = complete (Mediator.query m "select e.salary from e in entries") in
+  Alcotest.check check_value "scan renamed" (V.bag [ V.Int 50; V.Int 200 ]) v
+
+(* -- Section 2.2.1: subtyping and star -- *)
+
+let student_odl =
+  {|
+  r2 := Repository(host="ens", name="db", address="123.45.6.10");
+  interface Student : Person { }
+  extent student0 of Student wrapper w0 repository r2;
+|}
+
+let add_students m =
+  let db = Database.create ~name:"db" in
+  ignore
+    (Datagen.table_of db ~name:"student0" Datagen.person_schema
+       [ person_row 7 "Stu" 42 ]);
+  Mediator.register_source m ~name:"r2"
+    (Source.create ~id:"src2" ~address:(addr "ens")
+       ~latency:{ Source.base_ms = 5.0; per_row_ms = 0.0; jitter = 0.0 }
+       (Source.Relational db));
+  Mediator.load_odl m student_odl
+
+let test_subtype_star () =
+  let m = paper_mediator () in
+  add_students m;
+  (* person does NOT include student extents *)
+  let v = complete (Mediator.query m "select x.name from x in person") in
+  Alcotest.check check_value "person excludes subtypes"
+    (V.bag [ V.String "Mary"; V.String "Sam" ])
+    v;
+  (* person* does *)
+  let v' = complete (Mediator.query m "select x.name from x in person*") in
+  Alcotest.check check_value "person* includes subtypes"
+    (V.bag [ V.String "Mary"; V.String "Sam"; V.String "Stu" ])
+    v'
+
+(* -- Section 2.1: metaextent queries -- *)
+
+let test_metaextent_query () =
+  let m = paper_mediator () in
+  let v =
+    complete
+      (Mediator.query m
+         {|select x.name from x in metaextent where x.interface = Person|})
+  in
+  Alcotest.check check_value "metaextent"
+    (V.bag [ V.String "person0"; V.String "person1" ])
+    v
+
+let test_meta_collections () =
+  let m = paper_mediator () in
+  let v =
+    complete
+      (Mediator.query m
+         "select r.host from r in repositories order by r.host")
+  in
+  Alcotest.check check_value "repository hosts"
+    (V.List [ V.String "rodin"; V.String "umiacs" ])
+    v;
+  let w = complete (Mediator.query m "select w.constructor from w in wrappers") in
+  Alcotest.check check_value "wrapper constructors"
+    (V.bag [ V.String "WrapperPostgres" ])
+    w
+
+let test_order_by_through_mediator () =
+  let m = paper_mediator () in
+  let v =
+    complete
+      (Mediator.query m
+         "select x.name from x in person order by x.salary desc")
+  in
+  Alcotest.check check_value "ordered result"
+    (V.List [ V.String "Mary"; V.String "Sam" ])
+    v
+
+let test_like_operator () =
+  let m = paper_mediator () in
+  (* like pushes into the SQL wrapper (full_relational includes it) *)
+  let v =
+    complete
+      (Mediator.query m {|select x.name from x in person where x.name like "M%"|})
+  in
+  Alcotest.check check_value "like" (V.bag [ V.String "Mary" ]) v;
+  let o =
+    Mediator.query m {|select x.name from x in person0 where x.name like "%a%"|}
+  in
+  (match o.Mediator.plan with
+  | Some plan ->
+      (* the filter ran at the source: only the match shipped *)
+      Alcotest.(check int) "pushed like ships matches only" 1
+        o.Mediator.stats.Disco_runtime.Runtime.tuples_shipped;
+      ignore plan
+  | None -> Alcotest.fail "expected compiled path");
+  (* underscore wildcard *)
+  let v2 =
+    complete
+      (Mediator.query m {|select x.name from x in person where x.name like "S_m"|})
+  in
+  Alcotest.check check_value "underscore" (V.bag [ V.String "Sam" ]) v2
+
+let test_like_not_in_weak_wrapper_grammar () =
+  let weak = Disco_wrapper.Grammar.select_pushdown () in
+  let like_sel =
+    Disco_algebra.Expr.Select
+      ( Disco_algebra.Expr.Get "t",
+        Disco_algebra.Expr.Cmp
+          ( Disco_algebra.Expr.Like,
+            Disco_algebra.Expr.Attr [ "name" ],
+            Disco_algebra.Expr.Const (V.String "M%") ) )
+  in
+  Alcotest.(check bool) "default select wrapper refuses like" false
+    (Disco_wrapper.Grammar.accepts weak like_sel);
+  let with_like =
+    Disco_wrapper.Grammar.select_pushdown
+      ~comparisons:[ "="; "like" ] ()
+  in
+  Alcotest.(check bool) "like-capable grammar accepts" true
+    (Disco_wrapper.Grammar.accepts with_like like_sel)
+
+(* -- Section 2.2.3 / 2.3: views -- *)
+
+let test_views_double_multiple () =
+  let m = paper_mediator () in
+  (* make the two persons share an id so double is non-empty *)
+  Mediator.load_odl m
+    {|
+    define double as
+      select struct(name: x.name, salary: x.salary + y.salary)
+      from x in person0 and y in person1
+      where x.id = y.id;
+    define multiple as
+      select struct(name: x.name,
+                    salary: sum(select z.salary from z in person where x.id = z.id))
+      from x in person*;
+  |};
+  let v = complete (Mediator.query m "select d from d in double") in
+  Alcotest.check check_value "double reconciles"
+    (V.bag [ V.strct [ ("name", V.String "Mary"); ("salary", V.Int 250) ] ])
+    v;
+  (* multiple: correlated aggregate (hybrid path) over person* *)
+  let v' = complete (Mediator.query m "select r.salary from r in multiple") in
+  Alcotest.check check_value "multiple sums by id"
+    (V.bag [ V.Int 250; V.Int 250 ])
+    v'
+
+let test_view_over_view_and_cycles () =
+  let m = paper_mediator () in
+  Mediator.load_odl m
+    {|
+    define rich as select p from p in person where p.salary > 100;
+    define richnames as select r.name from r in rich;
+  |};
+  let v = complete (Mediator.query m "richnames") in
+  Alcotest.check check_value "view over view" (V.bag [ V.String "Mary" ]) v;
+  Mediator.load_odl m
+    {|
+    define a1 as select x from x in b1;
+    define b1 as select y from y in a1;
+  |};
+  try
+    ignore (Mediator.query m "a1");
+    Alcotest.fail "expected cycle error"
+  with Mediator.Mediator_error msg ->
+    Alcotest.(check bool) "cycle reported" true (contains msg "cyclic")
+
+(* -- Section 2.3: dissimilar structures -- *)
+
+let test_personnew_reconciliation () =
+  let m = paper_mediator () in
+  let db = Database.create ~name:"db" in
+  ignore
+    (Datagen.table_of db ~name:"persontwo0" Datagen.person_two_schema
+       [ [| V.Int 5; V.String "Pat"; V.Int 30; V.Int 12 |] ]);
+  Mediator.register_source m ~name:"r5"
+    (Source.create ~id:"src5" ~address:(addr "inria")
+       (Source.Relational db));
+  Mediator.load_odl m
+    {|
+    r5 := Repository(host="inria", name="db", address="123.45.6.11");
+    interface PersonTwo {
+      attribute String name;
+      attribute Short regular;
+      attribute Short consult; }
+    extent persontwo0 of PersonTwo wrapper w0 repository r5;
+    define personnew as
+      union(select struct(name: x.name, salary: x.salary) from x in person,
+            select struct(name: x.name, salary: x.regular + x.consult)
+            from x in persontwo0);
+  |};
+  let v = complete (Mediator.query m "select p.salary from p in personnew where p.name = \"Pat\"") in
+  Alcotest.check check_value "split pay reconciled" (V.bag [ V.Int 42 ]) v
+
+(* -- replication extension -- *)
+
+let test_replica_failover () =
+  let m = Mediator.create ~name:"mr" () in
+  (* primary r0 and replica r9 hold the same data *)
+  Mediator.register_source m ~name:"r0"
+    (paper_source ~id:0 ~host:"rodin" [ person_row 1 "Mary" 200 ]);
+  let replica_db = Database.create ~name:"db" in
+  ignore
+    (Datagen.table_of replica_db ~name:"person0" Datagen.person_schema
+       [ person_row 1 "Mary" 200 ]);
+  Mediator.register_source m ~name:"r9"
+    (Source.create ~id:"mirror" ~address:(addr "mirror")
+       ~latency:{ Source.base_ms = 20.0; per_row_ms = 0.0; jitter = 0.0 }
+       (Source.Relational replica_db));
+  Mediator.load_odl m
+    {|r0 := Repository(host="rodin", name="db", address="1");
+      r9 := Repository(host="mirror", name="db", address="9");
+      w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute String name;
+        attribute Short salary; }
+      extent person0 of Person wrapper w0 repository r0 replica r9;|};
+  let q = "select x.name from x in person where x.salary > 10" in
+  (* primary up: normal *)
+  Alcotest.check check_value "primary serves" (V.bag [ V.String "Mary" ])
+    (complete (Mediator.query m q));
+  (* primary down: the replica answers, still a complete answer *)
+  (match Mediator.find_source m "r0" with
+  | Some src -> Source.set_schedule src Schedule.always_down
+  | None -> ());
+  Alcotest.check check_value "replica serves" (V.bag [ V.String "Mary" ])
+    (complete (Mediator.query ~timeout_ms:100.0 m q));
+  (* both down: back to a partial answer *)
+  (match Mediator.find_source m "r9" with
+  | Some src -> Source.set_schedule src Schedule.always_down
+  | None -> ());
+  match (Mediator.query ~timeout_ms:50.0 m q).Mediator.answer with
+  | Mediator.Partial { unavailable = [ "r0" ]; _ } -> ()
+  | _ -> Alcotest.fail "expected partial once all copies are down"
+
+let test_replica_requires_attached_source () =
+  let m = paper_mediator () in
+  Mediator.load_odl m
+    {|r9 := Repository(host="ghost", name="db", address="9");
+      extent person9 of Person wrapper w0 repository r0 replica r9;|};
+  try
+    ignore (Mediator.query m "select x from x in person9");
+    Alcotest.fail "expected error about unattached replica"
+  with Mediator.Mediator_error msg ->
+    Alcotest.(check bool) "mentions replica" true (contains msg "replica")
+
+(* -- hybrid fragment pushdown -- *)
+
+let test_hybrid_fragment_pushdown () =
+  (* an aggregate is outside the algebra, but its inner select is a closed
+     fragment: the filter must still run at the source *)
+  let m = Mediator.create ~name:"hf" () in
+  let rows = List.init 500 (fun i -> person_row i (Fmt.str "p%d" i) i) in
+  Mediator.register_source m ~name:"r0" (paper_source ~id:0 ~host:"h" rows);
+  Mediator.load_odl m
+    {|r0 := Repository(host="h", name="db", address="0");
+      w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }
+      extent person0 of Person wrapper w0 repository r0;|};
+  let o =
+    Mediator.query m "sum(select x.salary from x in person where x.salary > 450)"
+  in
+  (match o.Mediator.answer with
+  | Mediator.Complete (V.Int total) ->
+      Alcotest.(check int) "sum of 451..499" (49 * (451 + 499) / 2) total
+  | _ -> Alcotest.fail "expected a sum");
+  Alcotest.(check int) "only matching tuples shipped" 49
+    o.Mediator.stats.Disco_runtime.Runtime.tuples_shipped;
+  (* correlated aggregates still work (fragments must skip open
+     subqueries) *)
+  let o2 =
+    Mediator.query m
+      "select struct(n: x.name, peers: count(select y from y in person where        y.salary = x.salary)) from x in person where x.salary > 497"
+  in
+  match o2.Mediator.answer with
+  | Mediator.Complete v -> Alcotest.(check int) "two rows" 2 (V.cardinal v)
+  | _ -> Alcotest.fail "expected complete"
+
+let test_hybrid_fragment_partial () =
+  let m = paper_mediator () in
+  (match Mediator.find_source m "r1" with
+  | Some src -> Source.set_schedule src Schedule.always_down
+  | None -> ());
+  (* the aggregate query's fragment over person1 blocks: partial answer *)
+  let o =
+    Mediator.query ~timeout_ms:50.0 m
+      "sum(select x.salary from x in person where x.salary > 10)"
+  in
+  match o.Mediator.answer with
+  | Mediator.Partial { oql; unavailable; _ } ->
+      Alcotest.(check (list string)) "r1 blocked" [ "r1" ] unavailable;
+      (* recovery: the resubmitted text gives the true sum *)
+      (match Mediator.find_source m "r1" with
+      | Some src -> Source.set_schedule src Schedule.always_up
+      | None -> ());
+      (match (Mediator.resubmit m o.Mediator.answer).Mediator.answer with
+      | Mediator.Complete (V.Int 250) -> ()
+      | Mediator.Complete v -> Alcotest.fail (V.to_string v)
+      | _ -> Alcotest.fail "resubmission failed");
+      ignore oql
+  | _ -> Alcotest.fail "expected partial"
+
+(* -- semijoin reduction (future-work extension, Sections 3.2 / 6.2) -- *)
+
+let test_semijoin_reduction () =
+  let m = Mediator.create ~name:"sj" () in
+  (* a tiny "managers" source and a large "employees" source at different
+     sites; transfer costs dominate the large side *)
+  let small_db = Database.create ~name:"db" in
+  ignore
+    (Datagen.table_of small_db ~name:"vip0" Datagen.person_schema
+       (List.init 5 (fun i -> person_row (i * 400) (Fmt.str "vip%d" i) 999)));
+  let big_db = Database.create ~name:"db" in
+  ignore
+    (Datagen.table_of big_db ~name:"staff0" Datagen.person_schema
+       (Datagen.person_rows ~seed:77 ~n:5000));
+  Mediator.register_source m ~name:"r0"
+    (Source.create ~id:"small" ~address:(addr "hq")
+       ~latency:{ Source.base_ms = 10.0; per_row_ms = 0.05; jitter = 0.0 }
+       (Source.Relational small_db));
+  Mediator.register_source m ~name:"r1"
+    (Source.create ~id:"big" ~address:(addr "plant")
+       ~latency:{ Source.base_ms = 10.0; per_row_ms = 0.05; jitter = 0.0 }
+       (Source.Relational big_db));
+  Mediator.load_odl m
+    {|r0 := Repository(host="hq", name="db", address="0");
+      r1 := Repository(host="plant", name="db", address="1");
+      w0 := WrapperPostgres();
+      interface Person {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }
+      extent vip0 of Person wrapper w0 repository r0;
+      extent staff0 of Person wrapper w0 repository r1;|};
+  let q =
+    "select struct(a: x.name, b: y.name) from x in vip0, y in staff0 where      x.id = y.id"
+  in
+  (* run 1: no cost information, maximal pushdown ships everything *)
+  let o1 = Mediator.query ~timeout_ms:10_000.0 m q in
+  let shipped1 = o1.Mediator.stats.Disco_runtime.Runtime.tuples_shipped in
+  Alcotest.(check bool) "first run ships the big extent" true (shipped1 >= 5000);
+  (* run 2: learned costs make the semijoin plan win *)
+  Mediator.clear_plan_cache m;
+  let o2 = Mediator.query ~timeout_ms:10_000.0 m q in
+  let shipped2 = o2.Mediator.stats.Disco_runtime.Runtime.tuples_shipped in
+  (match o2.Mediator.plan with
+  | Some plan ->
+      Alcotest.(check bool)
+        (Fmt.str "semijoin chosen: %s" (Disco_physical.Plan.to_string plan))
+        true
+        (Disco_physical.Plan.semi_joins plan > 0)
+  | None -> Alcotest.fail "expected a compiled plan");
+  Alcotest.(check bool)
+    (Fmt.str "reduced shipping: %d -> %d" shipped1 shipped2)
+    true
+    (shipped2 < shipped1 / 10);
+  (* and the answers agree *)
+  Alcotest.check check_value "same answer" (complete o1) (complete o2)
+
+let test_semijoin_partial_degrades () =
+  (* if the reduced side is down, the residual query must be the plain
+     join over the original expressions *)
+  let m = paper_mediator () in
+  let cost = Mediator.cost_model m in
+  ignore cost;
+  (* force a semijoin plan by learning costs first *)
+  let q =
+    "select struct(a: x.name, b: y.name) from x in person0, y in person1      where x.salary = y.salary"
+  in
+  ignore (Mediator.query m q);
+  Mediator.clear_plan_cache m;
+  (match Mediator.find_source m "r1" with
+  | Some src -> Source.set_schedule src Schedule.always_down
+  | None -> ());
+  let o = Mediator.query ~timeout_ms:50.0 m q in
+  (match o.Mediator.answer with
+  | Mediator.Partial { oql; _ } ->
+      (* resubmittable after recovery *)
+      (match Mediator.find_source m "r1" with
+      | Some src -> Source.set_schedule src Schedule.always_up
+      | None -> ());
+      let v = complete (Mediator.resubmit m o.Mediator.answer) in
+      ignore v;
+      ignore oql
+  | Mediator.Complete _ -> () (* optimizer may not have picked semijoin *)
+  | Mediator.Unavailable _ -> Alcotest.fail "unexpected wait-all");
+  ()
+
+let test_skip_respects_replicas () =
+  let m = Mediator.create ~name:"sr" () in
+  Mediator.register_source m ~name:"r0"
+    (paper_source ~id:0 ~host:"a" [ person_row 1 "Mary" 200 ]);
+  Mediator.register_source m ~name:"r9"
+    (paper_source ~id:0 ~host:"b" [ person_row 1 "Mary" 200 ]);
+  Mediator.load_odl m
+    {|r0 := Repository(host="a", name="db", address="0");
+      r9 := Repository(host="b", name="db", address="9");
+      w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }
+      extent person0 of Person wrapper w0 repository r0 replica r9;|};
+  (match Mediator.find_source m "r0" with
+  | Some src -> Source.set_schedule src Schedule.always_down
+  | None -> ());
+  (* primary down but replica up: skip semantics must NOT drop the data *)
+  (match
+     (Mediator.query ~semantics:Mediator.Skip_sources m
+        "select x.name from x in person")
+       .Mediator.answer
+   with
+  | Mediator.Complete v ->
+      Alcotest.check check_value "replica kept the extent alive"
+        (V.bag [ V.String "Mary" ]) v
+  | _ -> Alcotest.fail "expected complete");
+  (match Mediator.find_source m "r9" with
+  | Some src -> Source.set_schedule src Schedule.always_down
+  | None -> ());
+  match
+    (Mediator.query ~semantics:Mediator.Skip_sources m
+       "select x.name from x in person")
+      .Mediator.answer
+  with
+  | Mediator.Complete v ->
+      Alcotest.check check_value "all copies down: skipped" (V.bag []) v
+  | _ -> Alcotest.fail "expected complete empty"
+
+let test_order_by_partial () =
+  let m = paper_mediator () in
+  (match Mediator.find_source m "r0" with
+  | Some src -> Source.set_schedule src (Schedule.down_during [ (0.0, 500.0) ])
+  | None -> ());
+  let o =
+    Mediator.query ~timeout_ms:50.0 m
+      "select x.name from x in person order by x.salary desc"
+  in
+  match o.Mediator.answer with
+  | Mediator.Partial _ ->
+      Clock.advance (Mediator.clock m) 600.0;
+      (match (Mediator.resubmit m o.Mediator.answer).Mediator.answer with
+      | Mediator.Complete v ->
+          Alcotest.check check_value "ordered after recovery"
+            (V.List [ V.String "Mary"; V.String "Sam" ])
+            v
+      | _ -> Alcotest.fail "resubmission failed")
+  | _ -> Alcotest.fail "expected partial"
+
+let test_wait_all_hybrid () =
+  let m = paper_mediator () in
+  (match Mediator.find_source m "r0" with
+  | Some src -> Source.set_schedule src Schedule.always_down
+  | None -> ());
+  match
+    (Mediator.query ~semantics:Mediator.Wait_all ~timeout_ms:50.0 m
+       "count(select x from x in person where x.salary > 10)")
+      .Mediator.answer
+  with
+  | Mediator.Unavailable repos ->
+      Alcotest.(check (list string)) "r0 reported" [ "r0" ] repos
+  | _ -> Alcotest.fail "expected Unavailable on the hybrid path"
+
+let test_null_semantics_hybrid () =
+  let m = paper_mediator () in
+  (match Mediator.find_source m "r0" with
+  | Some src -> Source.set_schedule src Schedule.always_down
+  | None -> ());
+  match
+    (Mediator.query ~semantics:Mediator.Null_sources ~timeout_ms:50.0 m
+       "sum(select x.salary from x in person)")
+      .Mediator.answer
+  with
+  | Mediator.Complete (V.Int 50) -> ()
+  | Mediator.Complete v -> Alcotest.fail (V.to_string v)
+  | _ -> Alcotest.fail "expected complete under null semantics"
+
+(* -- plan caching -- *)
+
+let test_source_stats () =
+  let m = paper_mediator () in
+  ignore (Mediator.query m "select x.name from x in person");
+  (match Mediator.source_stats m with
+  | [ ("r0", s0); ("r1", s1) ] ->
+      Alcotest.(check int) "r0 answered" 1 s0.Source.calls_answered;
+      Alcotest.(check int) "r1 answered" 1 s1.Source.calls_answered;
+      Alcotest.(check int) "r0 rows" 1 s0.Source.rows_shipped
+  | other -> Alcotest.fail (Fmt.str "%d entries" (List.length other)));
+  ()
+
+let test_plan_cache () =
+  let m = paper_mediator () in
+  let q = "select x.name from x in person where x.salary > 10" in
+  let o1 = Mediator.query m q in
+  Alcotest.(check bool) "first run plans" false o1.Mediator.from_cache;
+  let o2 = Mediator.query m q in
+  Alcotest.(check bool) "second run cached" true o2.Mediator.from_cache;
+  (* adding an extent invalidates: the same query text now sees 3 sources *)
+  Mediator.register_source m ~name:"r2"
+    (paper_source ~id:2 ~host:"lip6" [ person_row 3 "Zoe" 80 ]);
+  Mediator.load_odl m
+    {|r2 := Repository(host="lip6", name="db", address="x");
+      extent person2 of Person wrapper w0 repository r2;|};
+  let o3 = Mediator.query m q in
+  Alcotest.(check bool) "invalidated" false o3.Mediator.from_cache;
+  Alcotest.check check_value "new source visible"
+    (V.bag [ V.String "Mary"; V.String "Sam"; V.String "Zoe" ])
+    (complete o3)
+
+(* -- wrapper capability fallback -- *)
+
+let test_runtime_fallback_on_refusal () =
+  (* A lying wrapper: advertises full capability, refuses everything but
+     get. The mediator must fall back and still answer. *)
+  let lying =
+    Wrapper.make ~name:"WrapperLiar"
+      ~grammar:Disco_wrapper.Grammar.full_relational
+      ~execute:(fun source e ->
+        match e with
+        | Disco_algebra.Expr.Get _ ->
+            Wrapper.execute (Wrapper.scan_wrapper ()) source e
+        | _ -> Error (Wrapper.Refused "liar"))
+  in
+  let m = Mediator.create ~name:"m1" () in
+  Mediator.register_source m ~name:"r0"
+    (paper_source ~id:0 ~host:"rodin" [ person_row 1 "Mary" 200 ]);
+  Mediator.register_wrapper m ~name:"w0" lying;
+  Mediator.load_odl m
+    {|
+    r0 := Repository(host="rodin", name="db", address="x");
+    w0 := WrapperCustom();
+    interface Person (extent person) {
+      attribute String name;
+      attribute Short salary; }
+    extent person0 of Person wrapper w0 repository r0;
+  |};
+  let o = Mediator.query m "select x.name from x in person where x.salary > 10" in
+  Alcotest.(check bool) "fallback used" true o.Mediator.fallback;
+  Alcotest.check check_value "still answered" (V.bag [ V.String "Mary" ]) (complete o)
+
+(* A custom wrapper registered via the API: the optimizer must push what
+   its grammar allows (project) and keep the rest (select) local. *)
+let test_custom_wrapper_capability () =
+  let custom =
+    Wrapper.make ~name:"WrapperCustomProject"
+      ~grammar:Disco_wrapper.Grammar.project_no_compose
+      ~execute:(fun source e ->
+        Wrapper.execute (Wrapper.project_wrapper ()) source e)
+  in
+  let m = Mediator.create ~name:"cw" () in
+  let rows = List.init 50 (fun i -> person_row i (Fmt.str "p%d" i) i) in
+  Mediator.register_source m ~name:"r0" (paper_source ~id:0 ~host:"h" rows);
+  Mediator.register_wrapper m ~name:"w0" custom;
+  Mediator.load_odl m
+    {|r0 := Repository(host="h", name="db", address="0");
+      w0 := WrapperCustomProject();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }
+      extent person0 of Person wrapper w0 repository r0;|};
+  (* pure projection: pushed, ships all 50 single-column tuples *)
+  let o1 = Mediator.query m "select x.name from x in person" in
+  Alcotest.(check int) "projection pushed" 50
+    o1.Mediator.stats.Disco_runtime.Runtime.tuples_shipped;
+  (match o1.Mediator.plan with
+  | Some plan -> (
+      match Plan.all_source_exprs plan with
+      | [ ("r0", Disco_algebra.Expr.Project (Disco_algebra.Expr.Get "person0", [ "name" ])) ] ->
+          ()
+      | _ -> Alcotest.fail ("project not pushed: " ^ Plan.to_string plan))
+  | None -> Alcotest.fail "expected compiled plan");
+  (* a filter cannot push: the select runs on the mediator over a scan *)
+  let o2 = Mediator.query m "select x.name from x in person where x.salary > 48" in
+  Alcotest.(check int) "one row answer" 1
+    (V.cardinal (complete o2));
+  Alcotest.(check int) "scan shipped everything" 50
+    o2.Mediator.stats.Disco_runtime.Runtime.tuples_shipped
+
+(* -- pushdown shape: scan wrapper ships everything, sql wrapper filters
+   at the source -- *)
+
+let test_pushdown_tuples_shipped () =
+  let run wrapper_ctor =
+    let m = Mediator.create ~name:"m" () in
+    let rows = List.init 100 (fun i -> person_row i (Fmt.str "p%d" i) i) in
+    Mediator.register_source m ~name:"r0" (paper_source ~id:0 ~host:"h" rows);
+    Mediator.load_odl m
+      (Fmt.str
+         {|r0 := Repository(host="h", name="db", address="x");
+           w0 := %s();
+           interface Person (extent person) {
+             attribute Short id;
+             attribute String name;
+             attribute Short salary; }
+           extent person0 of Person wrapper w0 repository r0;|}
+         wrapper_ctor);
+    let o = Mediator.query m "select x.name from x in person where x.salary > 90" in
+    (V.cardinal (complete o), o.Mediator.stats.Disco_runtime.Runtime.tuples_shipped)
+  in
+  let n_sql, shipped_sql = run "WrapperPostgres" in
+  let n_scan, shipped_scan = run "WrapperScan" in
+  Alcotest.(check int) "same answer size" n_sql n_scan;
+  Alcotest.(check int) "sql ships only matches" 9 shipped_sql;
+  Alcotest.(check int) "scan ships everything" 100 shipped_scan
+
+(* -- run-time type check -- *)
+
+let test_type_check_detects_mismatch () =
+  let m = Mediator.create ~name:"m" () in
+  (* source stores a relation whose fields do not match Person *)
+  let db = Database.create ~name:"db" in
+  let schema =
+    Disco_relation.Schema.make
+      [ ("nom", Disco_relation.Schema.TString); ("paie", Disco_relation.Schema.TInt) ]
+  in
+  ignore (Datagen.table_of db ~name:"person0" schema [ [| V.String "X"; V.Int 1 |] ]);
+  Mediator.register_source m ~name:"r0"
+    (Source.create ~id:"s" ~address:(addr "h") (Source.Relational db));
+  Mediator.load_odl m
+    {|r0 := Repository(host="h", name="db", address="x");
+      w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute String name;
+        attribute Short salary; }
+      extent person0 of Person wrapper w0 repository r0;|};
+  try
+    ignore (Mediator.query ~type_check:true m "select x from x in person0");
+    Alcotest.fail "expected type mismatch"
+  with Disco_runtime.Runtime.Runtime_error msg | Mediator.Mediator_error msg ->
+    Alcotest.(check bool) "mentions mismatch" true (contains msg "mismatch")
+
+(* -- maintenance models (E3 sanity) -- *)
+
+let test_maintenance_models () =
+  let d10 = Maintenance.disco ~n:10 and d50 = Maintenance.disco ~n:50 in
+  Alcotest.(check int) "disco query constant" d10.Maintenance.query_size
+    d50.Maintenance.query_size;
+  Alcotest.(check int) "disco one statement" 1 d50.Maintenance.statements;
+  let u10 = Maintenance.explicit_union ~n:10
+  and u50 = Maintenance.explicit_union ~n:50 in
+  Alcotest.(check bool) "union query grows" true
+    (u50.Maintenance.query_size > u10.Maintenance.query_size);
+  let g50 = Maintenance.global_schema ~n:50 in
+  Alcotest.(check int) "global schema touches all" 50
+    g50.Maintenance.redefined_entities;
+  (* the generated texts actually parse *)
+  ignore (Disco_oql.Parser.parse (Maintenance.explicit_union_query ~n:20));
+  ignore (Disco_oql.Parser.parse (Maintenance.disco_query ~n:20))
+
+(* -- catalog and composition (Figure 1) -- *)
+
+let test_catalog () =
+  let m = paper_mediator () in
+  let c = Catalog.create ~name:"c0" in
+  Mediator.register_in_catalog m c;
+  (match Catalog.lookup c Catalog.Mediator "m0" with
+  | Some e -> Alcotest.(check string) "owner" "m0" e.Catalog.e_owner
+  | None -> Alcotest.fail "mediator not registered");
+  let peer = Catalog.create ~name:"c1" in
+  Catalog.add_peer peer c;
+  (match Catalog.lookup peer Catalog.Repository "r0" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "peer lookup failed");
+  let counts = Catalog.overview peer in
+  Alcotest.(check bool) "overview sees repositories" true
+    (List.assoc_opt Catalog.Repository counts = Some 2)
+
+let test_mediator_composition () =
+  (* child mediator owns the two person sources; parent re-exports the
+     implicit extent through a mediator-wrapper (A -> M -> M -> W -> D). *)
+  let child = paper_mediator () in
+  let parent = Mediator.create ~name:"parent" ~clock:(Mediator.clock child) () in
+  let src, wrap = Composition.as_source child in
+  Mediator.register_source parent ~name:"rm" src;
+  Mediator.register_wrapper parent ~name:"wm" wrap;
+  Mediator.load_odl parent
+    {|
+    rm := Repository(host="child", name="mediator", address="mediator://");
+    wm := WrapperMediator();
+    interface Person (extent people) {
+      attribute String name;
+      attribute Short salary; }
+    extent person of Person wrapper wm repository rm;
+  |};
+  let v =
+    complete
+      (Mediator.query parent "select x.name from x in people where x.salary > 10")
+  in
+  Alcotest.check check_value "through two mediators"
+    (V.bag [ V.String "Mary"; V.String "Sam" ])
+    v
+
+(* -- explain -- *)
+
+let test_explain () =
+  let m = paper_mediator () in
+  let text = Mediator.explain m "select x.name from x in person where x.salary > 10" in
+  Alcotest.(check bool) "shows exec" true (contains text "exec");
+  let hybrid = Mediator.explain m "sum(select x.salary from x in person)" in
+  Alcotest.(check bool) "hybrid notice" true (contains hybrid "hybrid")
+
+(* -- hybrid partial answers -- *)
+
+let test_hybrid_partial_answer () =
+  let m = paper_mediator () in
+  (match Mediator.find_source m "r1" with
+  | Some src -> Source.set_schedule src Schedule.always_down
+  | None -> ());
+  (* correlated aggregate: not algebra-compilable, hybrid path *)
+  let o =
+    Mediator.query ~timeout_ms:50.0 m
+      "select struct(n: x.name, t: sum(select z.salary from z in person0 \
+       where z.id = x.id)) from x in person"
+  in
+  match o.Mediator.answer with
+  | Mediator.Partial { oql; unavailable; _ } ->
+      Alcotest.(check (list string)) "r1 down" [ "r1" ] unavailable;
+      Alcotest.(check bool) "mentions person1" true (contains oql "person1");
+      (* materialized person0 is inlined as data *)
+      Alcotest.(check bool) "person0 inlined" true (contains oql "Mary");
+      (* recovery: resubmit gives the full answer *)
+      (match Mediator.find_source m "r1" with
+      | Some src -> Source.set_schedule src Schedule.always_up
+      | None -> ());
+      let v = complete (Mediator.resubmit m o.Mediator.answer) in
+      Alcotest.(check int) "two rows" 2 (V.cardinal v)
+  | _ -> Alcotest.fail "expected hybrid partial"
+
+(* -- end-to-end property: the full engine (compile, pushdown, SQL,
+   wrappers, runtime) agrees with the reference evaluator -- *)
+
+let prop_engine_matches_reference =
+  let gen =
+    QCheck.Gen.(
+      let* threshold = int_range 0 300 in
+      let* shape = int_range 0 5 in
+      return
+        (match shape with
+        | 0 -> Fmt.str "select x.name from x in person where x.salary > %d" threshold
+        | 1 -> Fmt.str "select struct(n: x.name, s: x.salary * 2) from x in person where x.salary <= %d" threshold
+        | 2 -> Fmt.str "select distinct x.salary from x in person where x.salary != %d" threshold
+        | 3 -> "select struct(a: x.name, b: y.name) from x in person0, y in person1 where x.id = y.id"
+        | 4 -> Fmt.str "count(select p from p in person where p.salary < %d)" threshold
+        | _ -> Fmt.str "sum(select p.salary from p in person where p.salary >= %d)" threshold))
+  in
+  QCheck.Test.make ~name:"engine agrees with the reference evaluator"
+    ~count:100
+    (QCheck.make ~print:Fun.id gen)
+    (fun q ->
+      let m = Mediator.create ~name:"prop" () in
+      Mediator.register_source m ~name:"r0"
+        (paper_source ~id:0 ~host:"a"
+           (Datagen.person_rows ~seed:11 ~n:25));
+      Mediator.register_source m ~name:"r1"
+        (paper_source ~id:1 ~host:"b"
+           (Datagen.person_rows ~seed:12 ~n:25));
+      Mediator.load_odl m paper_odl;
+      let engine =
+        match (Mediator.query m q).Mediator.answer with
+        | Mediator.Complete v -> v
+        | _ -> QCheck.assume_fail ()
+      in
+      let table name =
+        match Mediator.find_source m (if name = "person0" then "r0" else "r1") with
+        | Some src -> (
+            match Source.kind src with
+            | Source.Relational db ->
+                Option.map Disco_relation.Table.to_bag
+                  (Database.find_table db name)
+            | _ -> None)
+        | None -> None
+      in
+      let resolve = function
+        | "person0" -> table "person0"
+        | "person1" -> table "person1"
+        | "person" -> (
+            match (table "person0", table "person1") with
+            | Some a, Some b -> Some (V.bag_union a b)
+            | _ -> None)
+        | _ -> None
+      in
+      let reference =
+        Disco_oql.Eval.eval_string (Disco_oql.Eval.env ~resolve ()) q
+      in
+      V.equal engine reference)
+
+let test_validate_views () =
+  let m = paper_mediator () in
+  Mediator.load_odl m
+    {|define good as select p.name from p in person;
+      define bad as select p.age from p in person;|};
+  let errors = Mediator.validate_views m in
+  Alcotest.(check int) "one bad view" 1 (List.length errors);
+  match errors with
+  | [ ("bad", msg) ] ->
+      Alcotest.(check bool) "mentions the attribute" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected the bad view flagged"
+
+(* -- scale stress: 64 sources, mixed availability -- *)
+
+let test_scale_64_sources () =
+  let m = Mediator.create ~name:"big" () in
+  Mediator.load_odl m
+    {|w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }|};
+  for i = 0 to 63 do
+    Mediator.register_source m ~name:(Fmt.str "r%d" i)
+      (paper_source ~id:i ~host:(Fmt.str "h%d" i)
+         (Datagen.person_rows ~seed:(3000 + i) ~n:20));
+    Mediator.load_odl m
+      (Fmt.str
+         {|r%d := Repository(host="h%d", name="db", address="0");
+           extent person%d of Person wrapper w0 repository r%d;|}
+         i i i i)
+  done;
+  (* all up: full answer over 64 sources *)
+  let q = "select x.name from x in person where x.salary > 400" in
+  let reference = complete (Mediator.query m q) in
+  Alcotest.(check bool) "non-trivial answer" true (V.cardinal reference > 50);
+  (* a third of the fleet goes down: partial, then recovery equivalence *)
+  for i = 0 to 63 do
+    if i mod 3 = 0 then
+      match Mediator.find_source m (Fmt.str "r%d" i) with
+      | Some src -> Source.set_schedule src Schedule.always_down
+      | None -> ()
+  done;
+  Mediator.clear_plan_cache m;
+  let o = Mediator.query ~timeout_ms:50.0 m q in
+  (match o.Mediator.answer with
+  | Mediator.Partial { unavailable; _ } ->
+      Alcotest.(check int) "22 sources down" 22 (List.length unavailable);
+      for i = 0 to 63 do
+        match Mediator.find_source m (Fmt.str "r%d" i) with
+        | Some src -> Source.set_schedule src Schedule.always_up
+        | None -> ()
+      done;
+      let v = complete (Mediator.resubmit m o.Mediator.answer) in
+      Alcotest.check check_value "recovery equals reference" reference v
+  | _ -> Alcotest.fail "expected partial");
+  ()
+
+let () =
+  Alcotest.run "disco_core"
+    [
+      ( "paper-examples",
+        [
+          Alcotest.test_case "Section 1.2 query" `Quick test_paper_intro_query;
+          Alcotest.test_case "explicit extents" `Quick test_explicit_extents;
+          Alcotest.test_case "add source, same query" `Quick
+            test_add_source_same_query;
+          Alcotest.test_case "metaextent" `Quick test_metaextent_query;
+          Alcotest.test_case "repositories/wrappers collections" `Quick
+            test_meta_collections;
+          Alcotest.test_case "order by through mediator" `Quick
+            test_order_by_through_mediator;
+          Alcotest.test_case "like operator" `Quick test_like_operator;
+          Alcotest.test_case "like capability" `Quick
+            test_like_not_in_weak_wrapper_grammar;
+        ] );
+      ( "partial-evaluation",
+        [
+          Alcotest.test_case "paper partial answer form" `Quick
+            test_partial_answer_paper_form;
+          Alcotest.test_case "semantics variants" `Quick test_semantics_variants;
+          Alcotest.test_case "hybrid partial answer" `Quick
+            test_hybrid_partial_answer;
+          Alcotest.test_case "skip respects replicas" `Quick
+            test_skip_respects_replicas;
+          Alcotest.test_case "order by partial" `Quick test_order_by_partial;
+          Alcotest.test_case "null semantics on hybrid" `Quick
+            test_null_semantics_hybrid;
+          Alcotest.test_case "wait-all on hybrid" `Quick test_wait_all_hybrid;
+        ] );
+      ( "modeling",
+        [
+          Alcotest.test_case "type maps" `Quick test_type_map_end_to_end;
+          Alcotest.test_case "value-transform maps" `Quick
+            test_value_transform_map;
+          Alcotest.test_case "same-repo join with maps" `Quick
+            test_same_repo_join_with_maps;
+          Alcotest.test_case "kv source with map" `Quick test_kv_with_map;
+          Alcotest.test_case "subtyping and star" `Quick test_subtype_star;
+          Alcotest.test_case "views double/multiple" `Quick
+            test_views_double_multiple;
+          Alcotest.test_case "views over views, cycles" `Quick
+            test_view_over_view_and_cycles;
+          Alcotest.test_case "personnew reconciliation" `Quick
+            test_personnew_reconciliation;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "hybrid fragment pushdown" `Quick
+            test_hybrid_fragment_pushdown;
+          Alcotest.test_case "hybrid fragment partial" `Quick
+            test_hybrid_fragment_partial;
+          Alcotest.test_case "semijoin reduction" `Quick test_semijoin_reduction;
+          Alcotest.test_case "semijoin degrades on outage" `Quick
+            test_semijoin_partial_degrades;
+          Alcotest.test_case "replica failover" `Quick test_replica_failover;
+          Alcotest.test_case "replica needs a source" `Quick
+            test_replica_requires_attached_source;
+          Alcotest.test_case "plan cache" `Quick test_plan_cache;
+          Alcotest.test_case "per-source stats" `Quick test_source_stats;
+          Alcotest.test_case "fallback on wrapper refusal" `Quick
+            test_runtime_fallback_on_refusal;
+          Alcotest.test_case "pushdown tuples shipped" `Quick
+            test_pushdown_tuples_shipped;
+          Alcotest.test_case "custom wrapper capability" `Quick
+            test_custom_wrapper_capability;
+          Alcotest.test_case "run-time type check" `Quick
+            test_type_check_detects_mismatch;
+          Alcotest.test_case "explain" `Quick test_explain;
+        ] );
+      ( "system",
+        [
+          QCheck_alcotest.to_alcotest prop_engine_matches_reference;
+          Alcotest.test_case "view validation" `Quick test_validate_views;
+          Alcotest.test_case "maintenance models" `Quick test_maintenance_models;
+          Alcotest.test_case "catalog" `Quick test_catalog;
+          Alcotest.test_case "mediator composition" `Quick
+            test_mediator_composition;
+          Alcotest.test_case "scale: 64 sources" `Slow test_scale_64_sources;
+        ] );
+    ]

@@ -1,0 +1,251 @@
+(* Oracle-based property tests for the trickiest machinery:
+
+   - the Earley recognizer against a brute-force derivation enumerator;
+   - the like-matcher against a naive backtracking oracle;
+   - the three join algorithms against each other on random data;
+   - cost-model smoothing bounds;
+   - type-map composition. *)
+
+module V = Disco_value.Value
+module Expr = Disco_algebra.Expr
+module Grammar = Disco_wrapper.Grammar
+module Typemap = Disco_odl.Typemap
+module Cost_model = Disco_cost.Cost_model
+module Plan = Disco_physical.Plan
+
+(* -- Earley vs brute force -- *)
+
+(* Enumerate every token string the grammar derives up to a length bound,
+   by breadth-first expansion of sentential forms. Exponential, fine for
+   tiny grammars. *)
+let brute_force_language (g : Grammar.t) ~max_len =
+  let expand_first form =
+    (* find the first nonterminal and expand it each possible way *)
+    let rec go prefix = function
+      | [] -> None
+      | Grammar.N nt :: rest ->
+          Some
+            (List.filter_map
+               (fun (p : Grammar.production) ->
+                 if p.Grammar.lhs = nt then
+                   Some (List.rev_append prefix (p.Grammar.rhs @ rest))
+                 else None)
+               g.Grammar.productions)
+      | (Grammar.T _ as t) :: rest -> go (t :: prefix) rest
+    in
+    go [] form
+  in
+  let terminal_only form =
+    if List.for_all (function Grammar.T _ -> true | Grammar.N _ -> false) form
+    then Some (List.map (function Grammar.T t -> t | _ -> assert false) form)
+    else None
+  in
+  let results = Hashtbl.create 64 in
+  let rec walk form =
+    if List.length form <= max_len + 4 then
+      match terminal_only form with
+      | Some tokens ->
+          if List.length tokens <= max_len then
+            Hashtbl.replace results tokens ()
+      | None -> (
+          match expand_first form with
+          | Some expansions -> List.iter walk expansions
+          | None -> ())
+  in
+  walk [ Grammar.N g.Grammar.start ];
+  Hashtbl.fold (fun k () acc -> k :: acc) results []
+
+let tiny_grammar =
+  Grammar.parse
+    {|
+    a :- b
+    a :- select OPEN p COMMA b CLOSE
+    b :- get OPEN SOURCE CLOSE
+    p :- ATTRIBUTE = CONST
+    p :- p and p
+  |}
+
+let tiny_tokens =
+  [ "a"; "b"; "select"; "get"; "OPEN"; "CLOSE"; "COMMA"; "SOURCE"; "ATTRIBUTE"; "CONST"; "="; "and" ]
+
+let test_earley_vs_brute_force () =
+  let max_len = 15 in
+  let language = brute_force_language tiny_grammar ~max_len in
+  Alcotest.(check bool) "language non-trivial" true (List.length language >= 2);
+  (* everything derivable is accepted *)
+  List.iter
+    (fun tokens ->
+      Alcotest.(check bool)
+        (Fmt.str "derives [%s]" (String.concat " " tokens))
+        true
+        (Grammar.derives tiny_grammar tokens))
+    language;
+  (* and nothing else of the same lengths is: sample random strings *)
+  let in_language tokens = List.mem tokens language in
+  let rand_string seed len =
+    List.init len (fun i ->
+        List.nth tiny_tokens (Hashtbl.hash (seed, i) mod List.length tiny_tokens))
+  in
+  for seed = 0 to 499 do
+    let len = 1 + (Hashtbl.hash (seed, "len") mod max_len) in
+    let tokens = rand_string seed len in
+    Alcotest.(check bool)
+      (Fmt.str "agrees on [%s]" (String.concat " " tokens))
+      (in_language tokens)
+      (Grammar.derives tiny_grammar tokens)
+  done
+
+(* -- like vs naive oracle -- *)
+
+let oracle_like ~pattern s =
+  (* dynamic programming over (pattern index, string index) *)
+  let np = String.length pattern and ns = String.length s in
+  let dp = Array.make_matrix (np + 1) (ns + 1) false in
+  dp.(0).(0) <- true;
+  for i = 1 to np do
+    if pattern.[i - 1] = '%' then dp.(i).(0) <- dp.(i - 1).(0)
+  done;
+  for i = 1 to np do
+    for j = 1 to ns do
+      dp.(i).(j) <-
+        (match pattern.[i - 1] with
+        | '%' -> dp.(i - 1).(j) || dp.(i).(j - 1)
+        | '_' -> dp.(i - 1).(j - 1)
+        | c -> c = s.[j - 1] && dp.(i - 1).(j - 1))
+    done
+  done;
+  dp.(np).(ns)
+
+let prop_like_matches_oracle =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'a'; 'b'; '%'; '_' ]) (int_range 0 8))
+        (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range 0 10)))
+  in
+  QCheck.Test.make ~name:"like matches the DP oracle" ~count:2000
+    (QCheck.make ~print:(fun (p, s) -> Fmt.str "pattern %S string %S" p s) gen)
+    (fun (pattern, s) -> V.like_match ~pattern s = oracle_like ~pattern s)
+
+(* -- join algorithms agree on random inputs -- *)
+
+let join_input_gen side =
+  QCheck.Gen.(
+    map
+      (fun rows ->
+        V.bag
+          (List.map
+             (fun (k, v) ->
+               V.strct
+                 [ (side, V.strct [ ("k", V.Int k); ("v", V.Int v) ]) ])
+             rows))
+      (list_size (int_range 0 15) (pair (int_range 0 4) (int_range 0 100))))
+
+let prop_join_algorithms_agree =
+  let gen = QCheck.Gen.pair (join_input_gen "x") (join_input_gen "y") in
+  QCheck.Test.make ~name:"hash = merge = nested-loop on random bags"
+    ~count:300
+    (QCheck.make ~print:(fun (l, r) -> Fmt.str "%s | %s" (V.to_string l) (V.to_string r)) gen)
+    (fun (l, r) ->
+      let pairs = [ ([ "x"; "k" ], [ "y"; "k" ]) ] in
+      let nl = Plan.run_local (Plan.Nested_loop_join (Plan.Mk_data l, Plan.Mk_data r, pairs)) in
+      let hj = Plan.run_local (Plan.Hash_join (Plan.Mk_data l, Plan.Mk_data r, pairs)) in
+      let mj = Plan.run_local (Plan.Merge_join (Plan.Mk_data l, Plan.Mk_data r, pairs)) in
+      V.equal nl hj && V.equal hj mj)
+
+(* -- cost smoothing stays within observed bounds -- *)
+
+let prop_smoothing_bounded =
+  let gen = QCheck.Gen.(list_size (int_range 1 12) (int_range 1 1000)) in
+  QCheck.Test.make ~name:"smoothed estimate within min/max of history"
+    ~count:500
+    (QCheck.make ~print:(fun l -> String.concat "," (List.map string_of_int l)) gen)
+    (fun times ->
+      let m = Cost_model.create ~history:16 () in
+      let e = Expr.Get "t" in
+      List.iter
+        (fun t ->
+          Cost_model.record m ~repo:"r" ~expr:e ~time_ms:(float_of_int t)
+            ~rows:t)
+        times;
+      let est = Cost_model.estimate m ~repo:"r" e in
+      let lo = float_of_int (List.fold_left min max_int times) in
+      let hi = float_of_int (List.fold_left max 0 times) in
+      est.Cost_model.est_time_ms >= lo -. 1e-9
+      && est.Cost_model.est_time_ms <= hi +. 1e-9)
+
+(* -- recency: the smoothed estimate tracks a level shift -- *)
+
+let test_smoothing_tracks_shift () =
+  let m = Cost_model.create ~history:8 ~smoothing:0.5 () in
+  let e = Expr.Get "t" in
+  for _ = 1 to 8 do
+    Cost_model.record m ~repo:"r" ~expr:e ~time_ms:100.0 ~rows:10
+  done;
+  for _ = 1 to 4 do
+    Cost_model.record m ~repo:"r" ~expr:e ~time_ms:500.0 ~rows:10
+  done;
+  let est = Cost_model.estimate m ~repo:"r" e in
+  Alcotest.(check bool)
+    (Fmt.str "estimate %.0f leans to the new level" est.Cost_model.est_time_ms)
+    true
+    (est.Cost_model.est_time_ms > 400.0)
+
+(* -- typemap composition -- *)
+
+let test_typemap_compose () =
+  let inner = Typemap.make ~collection:("mid", "top") [ ("m1", "t1") ] in
+  let outer = Typemap.make ~collection:("src", "mid") [ ("s1", "m1") ] in
+  let composed = Typemap.compose_flat outer inner in
+  Alcotest.(check string) "field chains through" "s1"
+    (Typemap.source_field composed "t1");
+  Alcotest.(check string) "reverse direction" "t1"
+    (Typemap.mediator_field composed "s1");
+  Alcotest.(check string) "collection" "src"
+    (Typemap.source_collection composed "top")
+
+let prop_typemap_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 5)
+        (pair
+           (string_size ~gen:(char_range 'a' 'e') (return 2))
+           (string_size ~gen:(char_range 'f' 'j') (return 2))))
+  in
+  QCheck.Test.make ~name:"typemap source/mediator roundtrip" ~count:300
+    (QCheck.make
+       ~print:(fun l -> String.concat ";" (List.map (fun (a, b) -> a ^ "=" ^ b) l))
+       gen)
+    (fun pairs ->
+      (* deduplicate both sides to satisfy the map invariant *)
+      let dedup =
+        List.fold_left
+          (fun acc (s, m) ->
+            if List.exists (fun (s', m') -> s = s' || m = m') acc then acc
+            else (s, m) :: acc)
+          [] pairs
+      in
+      let map = Typemap.make dedup in
+      List.for_all
+        (fun (s, m) ->
+          Typemap.source_field map m = s && Typemap.mediator_field map s = m)
+        dedup)
+
+let () =
+  Alcotest.run "disco_properties"
+    [
+      ( "grammar-oracle",
+        [ Alcotest.test_case "earley vs brute force" `Quick test_earley_vs_brute_force ] );
+      ( "qcheck",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_like_matches_oracle;
+            prop_join_algorithms_agree;
+            prop_smoothing_bounded;
+            prop_typemap_roundtrip;
+          ] );
+      ( "smoothing",
+        [ Alcotest.test_case "tracks level shifts" `Quick test_smoothing_tracks_shift ] );
+      ( "typemap",
+        [ Alcotest.test_case "composition" `Quick test_typemap_compose ] );
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the relational substrate: schemas, tables, the SQL dialect
+   (lexing, parsing, printing, execution). *)
+
+module V = Disco_value.Value
+module Schema = Disco_relation.Schema
+module Table = Disco_relation.Table
+module Database = Disco_relation.Database
+module Sql = Disco_relation.Sql
+module Lexer = Disco_lex.Lexer
+
+let check_value = Alcotest.testable V.pp V.equal
+
+let person_schema =
+  Schema.make
+    [ ("id", Schema.TInt); ("name", Schema.TString); ("salary", Schema.TInt) ]
+
+let sample_db () =
+  let db = Database.create ~name:"db" in
+  let t = Database.create_table db ~name:"person" person_schema in
+  Table.insert t [| V.Int 1; V.String "Mary"; V.Int 200 |];
+  Table.insert t [| V.Int 2; V.String "Sam"; V.Int 50 |];
+  Table.insert t [| V.Int 3; V.String "Ana"; V.Int 5 |];
+  db
+
+(* -- lexer -- *)
+
+let test_lexer_basic () =
+  let toks =
+    Lexer.tokenize ~puncts:[ "<="; "<"; "("; ")"; "." ]
+      "select x.name (42) 3.5 'it''?' <= -- comment\n done"
+  in
+  let kinds = List.map fst toks in
+  Alcotest.(check int) "token count" 12 (List.length kinds);
+  (match kinds with
+  | Lexer.Ident "select"
+    :: Lexer.Ident "x"
+    :: Lexer.Punct "."
+    :: Lexer.Ident "name" :: _ ->
+      ()
+  | _ -> Alcotest.fail "unexpected token sequence");
+  match List.rev kinds with
+  | Lexer.Ident "done" :: Lexer.Punct "<=" :: Lexer.Str "?" :: Lexer.Str "it" :: _ -> ()
+  | _ -> Alcotest.fail "unexpected tail"
+
+let test_lexer_errors () =
+  let tk s = ignore (Lexer.tokenize ~puncts:[ "(" ] s) in
+  Alcotest.check_raises "bad char" (Lexer.Error ("unexpected character '@'", 0))
+    (fun () -> tk "@");
+  Alcotest.check_raises "unterminated string"
+    (Lexer.Error ("unterminated string literal", 0)) (fun () -> tk "\"abc")
+
+(* -- schema / table -- *)
+
+let test_schema_dup () =
+  Alcotest.check_raises "dup column" (Schema.Schema_error "duplicate column a")
+    (fun () -> ignore (Schema.make [ ("a", Schema.TInt); ("a", Schema.TInt) ]))
+
+let test_row_conformance () =
+  let t = Table.create ~name:"t" person_schema in
+  Alcotest.check_raises "arity"
+    (Schema.Schema_error "row arity 1 does not match schema arity 3")
+    (fun () -> Table.insert t [| V.Int 1 |]);
+  (try
+     Table.insert t [| V.String "x"; V.String "y"; V.Int 1 |];
+     Alcotest.fail "type error expected"
+   with Schema.Schema_error _ -> ());
+  Table.insert t [| V.Null; V.String "ok"; V.Null |];
+  Alcotest.(check int) "null conforms" 1 (Table.cardinality t)
+
+let test_struct_roundtrip () =
+  let row = [| V.Int 1; V.String "Mary"; V.Int 200 |] in
+  let s = Schema.row_to_struct person_schema row in
+  Alcotest.check check_value "roundtrip"
+    (V.strct [ ("id", V.Int 1); ("name", V.String "Mary"); ("salary", V.Int 200) ])
+    s;
+  let row' = Schema.struct_to_row person_schema s in
+  Alcotest.(check bool) "row equal" true (row = row')
+
+let test_delete_version () =
+  let db = sample_db () in
+  let t = Database.get_table db "person" in
+  let v0 = Table.version t in
+  let removed =
+    Table.delete_where t (fun row -> V.equal row.(2) (V.Int 50))
+  in
+  Alcotest.(check int) "one removed" 1 removed;
+  Alcotest.(check int) "two left" 2 (Table.cardinality t);
+  Alcotest.(check bool) "version bumped" true (Table.version t > v0)
+
+(* -- SQL parse / print -- *)
+
+let test_sql_roundtrip () =
+  let inputs =
+    [
+      "SELECT name FROM person";
+      "SELECT DISTINCT name, salary FROM person WHERE salary > 10";
+      "SELECT p.name FROM person p, person q WHERE p.id = q.id AND q.salary <= 100";
+      "SELECT * FROM person ORDER BY name DESC LIMIT 2";
+      "SELECT (salary + 1) * 2 AS s2 FROM person WHERE NOT (salary = 5 OR salary = 6)";
+      "SELECT name FROM person WHERE salary + 2 * id > 50";
+    ]
+  in
+  List.iter
+    (fun sql ->
+      let q = Sql.parse sql in
+      let printed = Sql.to_string q in
+      let q2 = Sql.parse printed in
+      Alcotest.(check string)
+        (Fmt.str "stable print of %s" sql)
+        printed (Sql.to_string q2))
+    inputs
+
+let test_sql_parse_error () =
+  (try
+     ignore (Sql.parse "SELECT FROM person");
+     Alcotest.fail "expected parse error"
+   with Lexer.Error _ -> ());
+  try
+    ignore (Sql.parse "SELECT a FROM person WHERE");
+    Alcotest.fail "expected parse error"
+  with Lexer.Error _ -> ()
+
+(* -- SQL execution -- *)
+
+let names result =
+  List.map (fun row -> row.(0)) result.Sql.rows
+
+let test_sql_select () =
+  let db = sample_db () in
+  let r = Sql.run_string db "SELECT name FROM person WHERE salary > 10" in
+  Alcotest.(check (list string))
+    "columns" [ "name" ] r.Sql.columns;
+  Alcotest.check check_value "rows"
+    (V.bag [ V.String "Mary"; V.String "Sam" ])
+    (V.bag (names r))
+
+let test_sql_star_order_limit () =
+  let db = sample_db () in
+  let r = Sql.run_string db "SELECT * FROM person ORDER BY salary DESC LIMIT 2" in
+  Alcotest.(check (list string)) "columns" [ "id"; "name"; "salary" ] r.Sql.columns;
+  Alcotest.(check int) "limit" 2 (List.length r.Sql.rows);
+  match r.Sql.rows with
+  | [ a; b ] ->
+      Alcotest.check check_value "first" (V.Int 200) a.(2);
+      Alcotest.check check_value "second" (V.Int 50) b.(2)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_sql_join () =
+  let db = sample_db () in
+  let r =
+    Sql.run_string db
+      "SELECT p.name, q.name FROM person p, person q WHERE p.salary < q.salary"
+  in
+  Alcotest.(check int) "pairs" 3 (List.length r.Sql.rows)
+
+let test_sql_arith () =
+  let db = sample_db () in
+  let r = Sql.run_string db "SELECT salary * 2 + 1 AS d FROM person WHERE id = 1" in
+  Alcotest.check check_value "arith" (V.Int 401) (List.hd r.Sql.rows).(0)
+
+let test_sql_distinct () =
+  let db = sample_db () in
+  let r = Sql.run_string db "SELECT DISTINCT 1 AS one FROM person" in
+  Alcotest.(check int) "distinct" 1 (List.length r.Sql.rows)
+
+let test_sql_errors () =
+  let db = sample_db () in
+  let expect_err sql =
+    try
+      ignore (Sql.run_string db sql);
+      Alcotest.fail ("expected Sql_error for " ^ sql)
+    with Sql.Sql_error _ -> ()
+  in
+  expect_err "SELECT x FROM person";
+  expect_err "SELECT name FROM nosuch";
+  expect_err "SELECT name FROM person WHERE name > 3";
+  expect_err "SELECT p.name FROM person p, person p";
+  expect_err "SELECT salary / 0 FROM person"
+
+let test_sql_null_semantics () =
+  let db = Database.create ~name:"db" in
+  let t = Database.create_table db ~name:"t" person_schema in
+  Table.insert t [| V.Int 1; V.Null; V.Null |];
+  Table.insert t [| V.Int 2; V.String "Bo"; V.Int 7 |];
+  let r = Sql.run_string db "SELECT id FROM t WHERE salary > 0" in
+  (* NULL is below every value in the collapsed 3VL, so only row 2 passes. *)
+  Alcotest.check check_value "null filtered" (V.bag [ V.Int 2 ]) (V.bag (names r));
+  let r2 = Sql.run_string db "SELECT id FROM t WHERE name = NULL" in
+  Alcotest.check check_value "null = null" (V.bag [ V.Int 1 ]) (V.bag (names r2))
+
+let test_result_to_bag () =
+  let db = sample_db () in
+  let r = Sql.run_string db "SELECT name FROM person WHERE id = 2" in
+  Alcotest.check check_value "bag of structs"
+    (V.bag [ V.strct [ ("name", V.String "Sam") ] ])
+    (Sql.result_to_bag r)
+
+let () =
+  Alcotest.run "disco_relation"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic tokens" `Quick test_lexer_basic;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "duplicate columns" `Quick test_schema_dup;
+          Alcotest.test_case "row conformance" `Quick test_row_conformance;
+          Alcotest.test_case "struct roundtrip" `Quick test_struct_roundtrip;
+          Alcotest.test_case "delete and version" `Quick test_delete_version;
+        ] );
+      ( "sql",
+        [
+          Alcotest.test_case "parse/print roundtrip" `Quick test_sql_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_sql_parse_error;
+          Alcotest.test_case "select-where" `Quick test_sql_select;
+          Alcotest.test_case "star/order/limit" `Quick test_sql_star_order_limit;
+          Alcotest.test_case "join" `Quick test_sql_join;
+          Alcotest.test_case "arithmetic" `Quick test_sql_arith;
+          Alcotest.test_case "distinct" `Quick test_sql_distinct;
+          Alcotest.test_case "errors" `Quick test_sql_errors;
+          Alcotest.test_case "null semantics" `Quick test_sql_null_semantics;
+          Alcotest.test_case "result to bag" `Quick test_result_to_bag;
+        ] );
+    ]

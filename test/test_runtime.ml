@@ -1,0 +1,486 @@
+(* Tests for the cost model, physical plans, optimizer, and the runtime's
+   parallel execution and partial evaluation. *)
+
+module V = Disco_value.Value
+module Source = Disco_source.Source
+module Schedule = Disco_source.Schedule
+module Clock = Disco_source.Clock
+module Datagen = Disco_source.Datagen
+module Typemap = Disco_odl.Typemap
+module Expr = Disco_algebra.Expr
+module Rules = Disco_algebra.Rules
+module Cost_model = Disco_cost.Cost_model
+module Plan = Disco_physical.Plan
+module Optimizer = Disco_optimizer.Optimizer
+module Runtime = Disco_runtime.Runtime
+module Wrapper = Disco_wrapper.Wrapper
+module Eval = Disco_oql.Eval
+module Ast = Disco_oql.Ast
+
+let check_value = Alcotest.testable V.pp V.equal
+
+(* naive substring test for answer-text assertions *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let get0 = Expr.Get "person0"
+let gt p = Expr.Cmp (Expr.Gt, Expr.Attr [ "salary" ], Expr.Const (V.Int p))
+let bind v e = Expr.Map (e, Expr.Hstruct [ (v, Expr.Attr []) ])
+
+(* -- cost model -- *)
+
+let test_cost_default () =
+  let m = Cost_model.create () in
+  let est = Cost_model.estimate m ~repo:"r0" get0 in
+  Alcotest.(check (float 0.0)) "default time 0" 0.0 est.Cost_model.est_time_ms;
+  Alcotest.(check (float 0.0)) "default rows 1" 1.0 est.Cost_model.est_rows;
+  Alcotest.(check bool) "basis default" true (est.Cost_model.est_basis = Cost_model.Default)
+
+let test_cost_exact_smoothing () =
+  let m = Cost_model.create ~smoothing:0.5 () in
+  Cost_model.record m ~repo:"r0" ~expr:get0 ~time_ms:100.0 ~rows:10;
+  Cost_model.record m ~repo:"r0" ~expr:get0 ~time_ms:200.0 ~rows:20;
+  let est = Cost_model.estimate m ~repo:"r0" get0 in
+  (match est.Cost_model.est_basis with
+  | Cost_model.Exact 2 -> ()
+  | _ -> Alcotest.fail "expected exact basis with 2 records");
+  (* most recent (200) weighted 0.5, older (100) 0.25, renormalized:
+     (0.5*200 + 0.25*100)/0.75 = 166.67 *)
+  Alcotest.(check (float 0.1)) "smoothed time" 166.666 est.Cost_model.est_time_ms;
+  (* per-repo isolation *)
+  Alcotest.(check bool) "other repo default" true
+    ((Cost_model.estimate m ~repo:"r1" get0).Cost_model.est_basis = Cost_model.Default)
+
+let test_cost_close_match () =
+  let m = Cost_model.create () in
+  let sel c = Expr.Select (get0, gt c) in
+  Cost_model.record m ~repo:"r0" ~expr:(sel 10) ~time_ms:50.0 ~rows:5;
+  (* same skeleton, different constant *)
+  let est = Cost_model.estimate m ~repo:"r0" (sel 99) in
+  (match est.Cost_model.est_basis with
+  | Cost_model.Close 1 -> ()
+  | _ -> Alcotest.fail "expected close basis");
+  Alcotest.(check (float 0.001)) "close time" 50.0 est.Cost_model.est_time_ms;
+  (* different comparison operator: no close match *)
+  let lt = Expr.Select (get0, Expr.Cmp (Expr.Lt, Expr.Attr [ "salary" ], Expr.Const (V.Int 10))) in
+  Alcotest.(check bool) "operator mismatch is default" true
+    ((Cost_model.estimate m ~repo:"r0" lt).Cost_model.est_basis = Cost_model.Default)
+
+let test_cost_history_bound () =
+  let m = Cost_model.create ~history:3 () in
+  for i = 1 to 10 do
+    Cost_model.record m ~repo:"r0" ~expr:get0 ~time_ms:(float_of_int i) ~rows:i
+  done;
+  match (Cost_model.estimate m ~repo:"r0" get0).Cost_model.est_basis with
+  | Cost_model.Exact 3 -> ()
+  | _ -> Alcotest.fail "history not bounded"
+
+(* -- physical plans -- *)
+
+let test_implement_shapes () =
+  let located = Expr.Submit ("r0", Expr.Select (get0, gt 10)) in
+  (match Plan.implement located with
+  | Plan.Exec ("r0", Expr.Select _) -> ()
+  | p -> Alcotest.fail (Plan.to_string p));
+  let join =
+    Expr.Join (bind "x" get0, bind "y" (Expr.Get "person1"), [ ([ "x"; "id" ], [ "y"; "id" ]) ])
+  in
+  (match Plan.implement (Rules.normalize join) with
+  | exception Plan.Physical_error _ -> () (* unlocated gets *)
+  | _ -> Alcotest.fail "expected error on unlocated get");
+  let located_join =
+    Expr.Join
+      ( bind "x" (Expr.Submit ("r0", get0)),
+        bind "y" (Expr.Submit ("r1", Expr.Get "person1")),
+        [ ([ "x"; "id" ], [ "y"; "id" ]) ] )
+  in
+  match Plan.implement located_join with
+  | Plan.Hash_join _ -> ()
+  | p -> Alcotest.fail ("expected hash join: " ^ Plan.to_string p)
+
+let test_plan_logical_roundtrip () =
+  let located =
+    Expr.Union
+      [
+        Expr.Map (Expr.Submit ("r0", Expr.Select (get0, gt 10)), Expr.Hscalar (Expr.Attr [ "name" ]));
+        Expr.Data (V.bag [ V.String "Sam" ]);
+      ]
+  in
+  let plan = Plan.implement located in
+  Alcotest.(check bool) "to_logical inverts implement" true
+    (Expr.equal (Plan.to_logical plan) located)
+
+let test_hash_vs_nested_loop () =
+  (* both join algorithms agree with the logical semantics *)
+  let rows_l =
+    V.bag (List.map (fun i -> V.strct [ ("x", V.strct [ ("id", V.Int (i mod 5)); ("a", V.Int i) ]) ]) (List.init 20 Fun.id))
+  in
+  let rows_r =
+    V.bag (List.map (fun i -> V.strct [ ("y", V.strct [ ("id", V.Int (i mod 5)); ("b", V.Int i) ]) ]) (List.init 15 Fun.id))
+  in
+  let pairs = [ ([ "x"; "id" ], [ "y"; "id" ]) ] in
+  let nl = Plan.Nested_loop_join (Plan.Mk_data rows_l, Plan.Mk_data rows_r, pairs) in
+  let hj = Plan.Hash_join (Plan.Mk_data rows_l, Plan.Mk_data rows_r, pairs) in
+  Alcotest.check check_value "hash = nested loop" (Plan.run_local nl) (Plan.run_local hj);
+  let logical = Expr.Join (Expr.Data rows_l, Expr.Data rows_r, pairs) in
+  Alcotest.check check_value "hash = logical"
+    (Expr.eval ~resolve:(fun _ -> None) logical)
+    (Plan.run_local hj)
+
+let test_merge_join_agrees () =
+  (* all three join algorithms agree with the logical semantics, including
+     duplicate key groups on both sides *)
+  let mk side n =
+    V.bag
+      (List.map
+         (fun i ->
+           V.strct
+             [ (side, V.strct [ ("id", V.Int (i mod 4)); ("v", V.Int i) ]) ])
+         (List.init n Fun.id))
+  in
+  let rows_l = mk "x" 17 and rows_r = mk "y" 13 in
+  let pairs = [ ([ "x"; "id" ], [ "y"; "id" ]) ] in
+  let nl = Plan.Nested_loop_join (Plan.Mk_data rows_l, Plan.Mk_data rows_r, pairs) in
+  let hj = Plan.Hash_join (Plan.Mk_data rows_l, Plan.Mk_data rows_r, pairs) in
+  let mj = Plan.Merge_join (Plan.Mk_data rows_l, Plan.Mk_data rows_r, pairs) in
+  Alcotest.check check_value "merge = nested" (Plan.run_local nl) (Plan.run_local mj);
+  Alcotest.check check_value "merge = hash" (Plan.run_local hj) (Plan.run_local mj)
+
+let test_join_algorithm_variants () =
+  let j =
+    Plan.Hash_join
+      ( Plan.Exec ("r0", get0),
+        Plan.Exec ("r1", Expr.Get "person1"),
+        [ ([ "x"; "id" ], [ "y"; "id" ]) ] )
+  in
+  let variants = Plan.join_algorithm_variants j in
+  Alcotest.(check int) "one algorithmic alternative (merge)" 1
+    (List.length variants);
+  (match variants with
+  | [ Plan.Merge_join _ ] -> ()
+  | _ -> Alcotest.fail "expected a merge-join variant");
+  (* semijoins are generated separately, and only with informed costs *)
+  Alcotest.(check int) "no semijoin without statistics" 0
+    (List.length (Plan.semijoin_variants ~informed:(fun _ _ -> false) j));
+  let semis = Plan.semijoin_variants ~informed:(fun _ _ -> true) j in
+  Alcotest.(check int) "two directions when informed" 2 (List.length semis);
+  Alcotest.(check bool) "both are semijoins" true
+    (List.for_all (function Plan.Semi_join _ -> true | _ -> false) semis)
+
+let test_run_local_requires_substitution () =
+  Alcotest.check_raises "exec must be substituted"
+    (Plan.Physical_error "exec(r0) not substituted before local execution")
+    (fun () -> ignore (Plan.run_local (Plan.Exec ("r0", get0))))
+
+(* -- optimizer -- *)
+
+let test_optimizer_default_pushes_down () =
+  (* Paper Section 3.3: with no cost information the optimizer chooses
+     maximal pushdown. *)
+  let located = Expr.Select (Expr.Submit ("r0", get0), gt 10) in
+  let cost = Cost_model.create () in
+  let choice = Optimizer.optimize ~can_push:Rules.push_all ~cost located in
+  (match choice.Optimizer.plan with
+  | Plan.Exec ("r0", Expr.Select _) -> ()
+  | p -> Alcotest.fail ("expected pushed plan: " ^ Plan.to_string p));
+  Alcotest.(check bool) "several alternatives" true (choice.Optimizer.alternatives >= 2)
+
+let test_optimizer_respects_capability () =
+  let located = Expr.Select (Expr.Submit ("r0", get0), gt 10) in
+  let cost = Cost_model.create () in
+  let choice = Optimizer.optimize ~can_push:Rules.push_none ~cost located in
+  match choice.Optimizer.plan with
+  | Plan.Mk_select (Plan.Exec ("r0", Expr.Get "person0"), _) -> ()
+  | p -> Alcotest.fail ("expected mediator-side select: " ^ Plan.to_string p)
+
+let test_optimizer_learns () =
+  (* After recording that the pushed select is expensive and the raw scan
+     cheap and small, the optimizer switches plans. *)
+  let located = Expr.Select (Expr.Submit ("r0", get0), gt 10) in
+  let cost = Cost_model.create () in
+  let pushed = Expr.Select (get0, gt 10) in
+  Cost_model.record cost ~repo:"r0" ~expr:pushed ~time_ms:5000.0 ~rows:900;
+  Cost_model.record cost ~repo:"r0" ~expr:get0 ~time_ms:1.0 ~rows:10;
+  let choice = Optimizer.optimize ~can_push:Rules.push_all ~cost located in
+  match choice.Optimizer.plan with
+  | Plan.Mk_select (Plan.Exec _, _) -> ()
+  | p -> Alcotest.fail ("expected scan + local select: " ^ Plan.to_string p)
+
+(* -- runtime -- *)
+
+let addr = Source.address ~host:"h" ~db_name:"db" ~ip:"0.0.0.0" ()
+
+let make_env ?(latency = { Source.base_ms = 10.0; per_row_ms = 0.0; jitter = 0.0 })
+    ?(schedules = []) () =
+  let clock = Clock.create () in
+  let cost = Cost_model.create () in
+  let mk i =
+    let db = Datagen.person_db ~seed:i ~name:(Fmt.str "person%d" i) ~n:20 in
+    let schedule =
+      Option.value (List.assoc_opt i schedules) ~default:Schedule.always_up
+    in
+    let source =
+      Source.create ~id:(Fmt.str "src%d" i) ~address:addr ~latency ~schedule
+        (Source.Relational db)
+    in
+    {
+      Runtime.b_extent = Fmt.str "person%d" i;
+      b_repo = Fmt.str "r%d" i;
+      b_source = source;
+      b_replicas = [];
+      b_wrapper = Wrapper.sql_wrapper ();
+      b_map = Typemap.identity;
+      b_check = None;
+    }
+  in
+  let bindings = List.map mk [ 0; 1 ] in
+  (Runtime.env ~clock ~cost bindings, clock, cost)
+
+let paper_plan =
+  (* union(project(name, submit(r0, select(get person0))),
+            project(name, submit(r1, select(get person1)))) *)
+  let part i =
+    Expr.Map
+      ( Expr.Submit (Fmt.str "r%d" i, Expr.Select (Expr.Get (Fmt.str "person%d" i), gt 10)),
+        Expr.Hscalar (Expr.Attr [ "name" ]) )
+  in
+  Plan.implement (Expr.Union [ part 0; part 1 ])
+
+let test_runtime_complete () =
+  let env, clock, cost = make_env () in
+  let answer, stats = Runtime.execute env paper_plan in
+  (match answer with
+  | Runtime.Complete v -> Alcotest.(check bool) "non-empty" true (V.cardinal v > 0)
+  | Runtime.Partial _ -> Alcotest.fail "expected complete");
+  Alcotest.(check int) "both answered" 2 stats.Runtime.execs_answered;
+  (* parallel issue: elapsed is ~one latency, not two *)
+  Alcotest.(check bool) "parallel" true (stats.Runtime.elapsed_ms < 15.0);
+  Alcotest.(check bool) "clock advanced" true (Clock.now clock >= 10.0);
+  Alcotest.(check bool) "costs recorded" true (Cost_model.recorded_calls cost = 2)
+
+let test_runtime_partial_and_resubmit () =
+  let env, clock, _ = make_env ~schedules:[ (0, Schedule.down_during [ (0.0, 500.0) ]) ] () in
+  let answer, stats = Runtime.execute ~timeout_ms:100.0 env paper_plan in
+  Alcotest.(check int) "one blocked" 1 stats.Runtime.execs_blocked;
+  (match answer with
+  | Runtime.Partial { query; unavailable; _ } ->
+      Alcotest.(check (list string)) "r0 down" [ "r0" ] unavailable;
+      (* deadline consumed *)
+      Alcotest.(check (float 0.001)) "waited to deadline" 100.0 stats.Runtime.elapsed_ms;
+      (* the partial answer must mention person0 and contain data *)
+      let text = Ast.to_string query in
+      Alcotest.(check bool) "mentions person0" true
+        (contains text "person0");
+      (* once the source recovers, resubmitting the partial answer over
+         the same (semantic) collections equals the full answer *)
+      Clock.advance clock 600.0;
+      let answer2, _ = Runtime.execute env paper_plan in
+      let full = match answer2 with
+        | Runtime.Complete v -> v
+        | Runtime.Partial _ -> Alcotest.fail "expected recovery"
+      in
+      (* evaluate the partial answer text against the same data *)
+      let resolve name =
+        List.find_map
+          (fun b ->
+            if String.equal b.Runtime.b_extent name then
+              match Source.kind b.Runtime.b_source with
+              | Source.Relational db ->
+                  Option.map Disco_relation.Table.to_bag
+                    (Disco_relation.Database.find_table db name)
+              | _ -> None
+            else None)
+          [] (* bindings are private; re-derive below *)
+      in
+      ignore resolve;
+      let resolve name =
+        let i = if name = "person0" then 0 else 1 in
+        let db = Datagen.person_db ~seed:i ~name ~n:20 in
+        Option.map Disco_relation.Table.to_bag
+          (Disco_relation.Database.find_table db name)
+      in
+      let v = Eval.eval (Eval.env ~resolve ()) query in
+      Alcotest.check check_value "resubmission equals full answer" full v
+  | Runtime.Complete _ -> Alcotest.fail "expected partial")
+
+let test_runtime_all_blocked () =
+  let env, _, _ =
+    make_env
+      ~schedules:
+        [ (0, Schedule.always_down); (1, Schedule.always_down) ]
+      ()
+  in
+  let answer, stats = Runtime.execute ~timeout_ms:50.0 env paper_plan in
+  Alcotest.(check int) "none answered" 0 stats.Runtime.execs_answered;
+  match answer with
+  | Runtime.Partial { query; unavailable; _ } ->
+      Alcotest.(check int) "both unavailable" 2 (List.length unavailable);
+      (* the answer should be (equivalent to) the original query *)
+      let text = Ast.to_string query in
+      Alcotest.(check bool) "still a query over both" true
+        (contains text "person0"
+        && contains text "person1")
+  | Runtime.Complete _ -> Alcotest.fail "expected partial"
+
+let test_runtime_fold_ready () =
+  (* The available side is folded to data in the partial answer, matching
+     the paper's union(query, data) form. *)
+  let env, _, _ = make_env ~schedules:[ (0, Schedule.always_down) ] () in
+  let answer, _ = Runtime.execute ~timeout_ms:50.0 env paper_plan in
+  match answer with
+  | Runtime.Partial { query; _ } -> (
+      match query with
+      | Ast.Call ("union", [ Ast.Select _; Ast.Const (V.Bag _) ]) -> ()
+      | q -> Alcotest.fail ("expected union(select, Bag): " ^ Ast.to_string q))
+  | Runtime.Complete _ -> Alcotest.fail "expected partial"
+
+let test_runtime_fetch () =
+  let env, _, _ = make_env ~schedules:[ (1, Schedule.always_down) ] () in
+  let fetched, stats = Runtime.fetch ~timeout_ms:50.0 env [ "person0"; "person1" ] in
+  Alcotest.(check int) "issued" 2 stats.Runtime.execs_issued;
+  (match List.assoc "person0" fetched with
+  | Some v -> Alcotest.(check int) "20 rows" 20 (V.cardinal v)
+  | None -> Alcotest.fail "person0 should answer");
+  match List.assoc "person1" fetched with
+  | None -> ()
+  | Some _ -> Alcotest.fail "person1 should be blocked"
+
+let test_runtime_wrapper_refusal () =
+  (* a scan-only wrapper receiving a pushed select: runtime error *)
+  let clock = Clock.create () in
+  let cost = Cost_model.create () in
+  let db = Datagen.person_db ~seed:0 ~name:"person0" ~n:5 in
+  let source = Source.create ~id:"s" ~address:addr (Source.Relational db) in
+  let binding =
+    {
+      Runtime.b_extent = "person0";
+      b_repo = "r0";
+      b_source = source;
+      b_replicas = [];
+      b_wrapper = Wrapper.scan_wrapper ();
+      b_map = Typemap.identity;
+      b_check = None;
+    }
+  in
+  let env = Runtime.env ~clock ~cost [ binding ] in
+  let plan = Plan.Exec ("r0", Expr.Select (get0, gt 10)) in
+  try
+    ignore (Runtime.execute env plan);
+    Alcotest.fail "expected Runtime_error"
+  with Runtime.Runtime_error _ -> ()
+
+let test_runtime_type_check () =
+  let clock = Clock.create () in
+  let cost = Cost_model.create () in
+  let db = Datagen.person_db ~seed:0 ~name:"person0" ~n:3 in
+  let source = Source.create ~id:"s" ~address:addr (Source.Relational db) in
+  let reject_all _ = false in
+  let binding =
+    {
+      Runtime.b_extent = "person0";
+      b_repo = "r0";
+      b_source = source;
+      b_replicas = [];
+      b_wrapper = Wrapper.sql_wrapper ();
+      b_map = Typemap.identity;
+      b_check = Some reject_all;
+    }
+  in
+  let env = Runtime.env ~clock ~cost [ binding ] in
+  try
+    ignore (Runtime.execute env (Plan.Exec ("r0", get0)));
+    Alcotest.fail "expected type mismatch"
+  with Runtime.Runtime_error m ->
+    Alcotest.(check bool) "mentions type" true (contains m "type mismatch")
+
+let test_runtime_map_namespace () =
+  (* extent with a type map: query in mediator names, source stores
+     different names, answers come back in mediator names *)
+  let clock = Clock.create () in
+  let cost = Cost_model.create () in
+  let db = Disco_relation.Database.create ~name:"db" in
+  ignore
+    (Datagen.table_of db ~name:"person0" Datagen.person_schema
+       (Datagen.person_rows ~seed:1 ~n:10));
+  let source = Source.create ~id:"s" ~address:addr (Source.Relational db) in
+  let map =
+    Typemap.make
+      ~collection:("person0", "personprime0")
+      [ ("name", "n"); ("salary", "s") ]
+  in
+  let binding =
+    {
+      Runtime.b_extent = "personprime0";
+      b_repo = "r0";
+      b_source = source;
+      b_replicas = [];
+      b_wrapper = Wrapper.sql_wrapper ();
+      b_map = map;
+      b_check = None;
+    }
+  in
+  let env = Runtime.env ~clock ~cost [ binding ] in
+  let plan =
+    Plan.Exec
+      ( "r0",
+        Expr.Select
+          ( Expr.Get "personprime0",
+            Expr.Cmp (Expr.Gt, Expr.Attr [ "s" ], Expr.Const (V.Int 10)) ) )
+  in
+  match Runtime.execute env plan with
+  | Runtime.Complete v, _ ->
+      Alcotest.(check bool) "rows returned" true (V.cardinal v > 0);
+      List.iter
+        (fun p ->
+          match p with
+          | V.Struct [ ("id", _); ("n", _); ("s", sal) ] ->
+              Alcotest.(check bool) "filter applied at source" true
+                (V.to_int sal > 10)
+          | _ -> Alcotest.fail ("bad mediator-ns struct: " ^ V.to_string p))
+        (V.elements v)
+  | Runtime.Partial _, _ -> Alcotest.fail "expected complete"
+
+let () =
+  Alcotest.run "disco_runtime"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "default 0/1" `Quick test_cost_default;
+          Alcotest.test_case "exact smoothing" `Quick test_cost_exact_smoothing;
+          Alcotest.test_case "close match" `Quick test_cost_close_match;
+          Alcotest.test_case "history bound" `Quick test_cost_history_bound;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "implementation rules" `Quick test_implement_shapes;
+          Alcotest.test_case "logical roundtrip" `Quick test_plan_logical_roundtrip;
+          Alcotest.test_case "hash vs nested loop" `Quick test_hash_vs_nested_loop;
+          Alcotest.test_case "merge join agrees" `Quick test_merge_join_agrees;
+          Alcotest.test_case "join algorithm variants" `Quick
+            test_join_algorithm_variants;
+          Alcotest.test_case "exec substitution required" `Quick
+            test_run_local_requires_substitution;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "default costs push down" `Quick
+            test_optimizer_default_pushes_down;
+          Alcotest.test_case "capability respected" `Quick
+            test_optimizer_respects_capability;
+          Alcotest.test_case "learning flips the plan" `Quick test_optimizer_learns;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "complete answer" `Quick test_runtime_complete;
+          Alcotest.test_case "partial + resubmit" `Quick
+            test_runtime_partial_and_resubmit;
+          Alcotest.test_case "all blocked" `Quick test_runtime_all_blocked;
+          Alcotest.test_case "available side folded" `Quick test_runtime_fold_ready;
+          Alcotest.test_case "fetch" `Quick test_runtime_fetch;
+          Alcotest.test_case "wrapper refusal" `Quick test_runtime_wrapper_refusal;
+          Alcotest.test_case "run-time type check" `Quick test_runtime_type_check;
+          Alcotest.test_case "type maps end to end" `Quick test_runtime_map_namespace;
+        ] );
+    ]

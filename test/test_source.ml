@@ -1,0 +1,226 @@
+(* Tests for the source simulation: virtual clock, availability schedules,
+   latency-priced calls, and the native store kinds. *)
+
+module V = Disco_value.Value
+module Clock = Disco_source.Clock
+module Schedule = Disco_source.Schedule
+module Source = Disco_source.Source
+module Datagen = Disco_source.Datagen
+module Sql = Disco_relation.Sql
+
+let addr = Source.address ~host:"rodin" ~db_name:"db" ~ip:"123.45.6.7" ()
+
+let relational_source ?latency ?schedule ~seed ~n () =
+  let db = Datagen.person_db ~seed ~name:"person0" ~n in
+  Source.create ~id:"r0" ~address:addr ?latency ?schedule (Source.Relational db)
+
+(* -- clock -- *)
+
+let test_clock () =
+  let c = Clock.create () in
+  Alcotest.(check (float 0.0)) "t0" 0.0 (Clock.now c);
+  Clock.advance c 10.0;
+  Clock.advance_to c 5.0;
+  Alcotest.(check (float 0.0)) "never backwards" 10.0 (Clock.now c);
+  Clock.advance_to c 25.0;
+  Alcotest.(check (float 0.0)) "advance_to" 25.0 (Clock.now c);
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.advance: negative delta")
+    (fun () -> Clock.advance c (-1.0))
+
+(* -- schedules -- *)
+
+let test_schedule_constants () =
+  Alcotest.(check bool) "up" true (Schedule.is_up Schedule.always_up 42.0);
+  Alcotest.(check bool) "down" false (Schedule.is_up Schedule.always_down 42.0)
+
+let test_schedule_intervals () =
+  let s = Schedule.down_during [ (10.0, 20.0); (30.0, 35.0) ] in
+  Alcotest.(check bool) "before" true (Schedule.is_up s 5.0);
+  Alcotest.(check bool) "inside" false (Schedule.is_up s 10.0);
+  Alcotest.(check bool) "boundary is up" true (Schedule.is_up s 20.0);
+  Alcotest.(check bool) "second interval" false (Schedule.is_up s 31.0);
+  Alcotest.(check (option (float 0.0))) "next transition" (Some 10.0)
+    (Schedule.next_transition s 0.0);
+  Alcotest.(check (option (float 0.0))) "inside transition" (Some 20.0)
+    (Schedule.next_transition s 12.0)
+
+let test_schedule_flaky_deterministic () =
+  let s1 = Schedule.flaky ~seed:7 ~period:10.0 ~availability:0.5 in
+  let s2 = Schedule.flaky ~seed:7 ~period:10.0 ~availability:0.5 in
+  for i = 0 to 100 do
+    let t = float_of_int i *. 3.7 in
+    Alcotest.(check bool)
+      (Fmt.str "deterministic at %g" t)
+      (Schedule.is_up s1 t) (Schedule.is_up s2 t)
+  done
+
+let test_schedule_flaky_rate () =
+  let s = Schedule.flaky ~seed:3 ~period:1.0 ~availability:0.9 in
+  let ups = ref 0 in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    if Schedule.is_up s (float_of_int i +. 0.5) then incr ups
+  done;
+  let rate = float_of_int !ups /. float_of_int n in
+  Alcotest.(check bool)
+    (Fmt.str "rate %g near 0.9" rate)
+    true
+    (rate > 0.87 && rate < 0.93)
+
+(* -- calls -- *)
+
+let test_call_answered () =
+  let src =
+    relational_source
+      ~latency:{ Source.base_ms = 5.0; per_row_ms = 1.0; jitter = 0.0 }
+      ~seed:1 ~n:100 ()
+  in
+  let clock = Clock.create () in
+  let outcome =
+    Source.call src ~clock (fun () ->
+        let r = Source.exec_sql src (Sql.parse "SELECT name FROM person0") in
+        (r, List.length r.Sql.rows))
+  in
+  (match outcome with
+  | Source.Answered (r, finish) ->
+      Alcotest.(check int) "rows" 100 (List.length r.Sql.rows);
+      Alcotest.(check (float 0.001)) "latency = base + rows" 105.0 finish
+  | _ -> Alcotest.fail "expected an answer");
+  let stats = Source.stats src in
+  Alcotest.(check int) "stat answered" 1 stats.Source.calls_answered;
+  Alcotest.(check int) "stat rows" 100 stats.Source.rows_shipped
+
+let test_call_unavailable () =
+  let src = relational_source ~schedule:Schedule.always_down ~seed:1 ~n:10 () in
+  let clock = Clock.create () in
+  (match Source.call src ~clock (fun () -> ((), 0)) with
+  | Source.Unavailable -> ()
+  | _ -> Alcotest.fail "expected Unavailable");
+  Alcotest.(check int) "refused" 1 (Source.stats src).Source.calls_refused
+
+let test_call_deadline () =
+  let src =
+    relational_source
+      ~latency:{ Source.base_ms = 50.0; per_row_ms = 0.0; jitter = 0.0 }
+      ~seed:1 ~n:10 ()
+  in
+  let clock = Clock.create () in
+  (match Source.call src ~clock ~deadline:20.0 (fun () -> ((), 0)) with
+  | Source.Timed_out finish -> Alcotest.(check (float 0.001)) "finish" 50.0 finish
+  | _ -> Alcotest.fail "expected Timed_out");
+  match Source.call src ~clock ~deadline:60.0 (fun () -> ((), 0)) with
+  | Source.Answered ((), _) -> ()
+  | _ -> Alcotest.fail "expected answer under looser deadline"
+
+let test_call_deadline_boundary () =
+  (* completion exactly at the deadline counts as answered *)
+  let src =
+    relational_source
+      ~latency:{ Source.base_ms = 50.0; per_row_ms = 0.0; jitter = 0.0 }
+      ~seed:1 ~n:10 ()
+  in
+  let clock = Clock.create () in
+  match Source.call src ~clock ~deadline:50.0 (fun () -> ((), 0)) with
+  | Source.Answered ((), 50.0) -> ()
+  | Source.Answered ((), t) -> Alcotest.fail (Fmt.str "finish %g" t)
+  | _ -> Alcotest.fail "boundary should answer"
+
+let test_call_schedule_recovery () =
+  let src =
+    relational_source ~schedule:(Schedule.down_during [ (0.0, 100.0) ]) ~seed:1
+      ~n:10 ()
+  in
+  let clock = Clock.create () in
+  (match Source.call src ~clock (fun () -> ((), 0)) with
+  | Source.Unavailable -> ()
+  | _ -> Alcotest.fail "down at t=0");
+  Clock.advance clock 150.0;
+  match Source.call src ~clock (fun () -> ((), 0)) with
+  | Source.Answered _ -> ()
+  | _ -> Alcotest.fail "recovered at t=150"
+
+(* -- stores -- *)
+
+let test_kv_store () =
+  let tbl = Hashtbl.create 8 in
+  let src = Source.create ~id:"kv0" ~address:addr (Source.Key_value tbl) in
+  Source.kv_put src "mary" (V.strct [ ("salary", V.Int 200) ]);
+  Source.kv_put src "sam" (V.strct [ ("salary", V.Int 50) ]);
+  Alcotest.(check bool) "get" true (Source.kv_get src "mary" <> None);
+  Alcotest.(check (list string)) "scan sorted" [ "mary"; "sam" ]
+    (List.map fst (Source.kv_scan src));
+  let v0 = Source.data_version src in
+  Source.kv_put src "zoe" V.Null;
+  Alcotest.(check bool) "version bumps" true (Source.data_version src > v0);
+  Alcotest.check_raises "wrong kind"
+    (Invalid_argument "source kv0 is not a flat file") (fun () ->
+      ignore (Source.file_records src))
+
+let test_flat_file () =
+  let src = Source.create ~id:"f0" ~address:addr (Source.Flat_file (ref [])) in
+  Source.file_append src (V.strct [ ("line", V.Int 1) ]);
+  Source.file_append src (V.strct [ ("line", V.Int 2) ]);
+  Alcotest.(check int) "records in order" 2 (List.length (Source.file_records src));
+  match Source.file_records src with
+  | first :: _ ->
+      Alcotest.(check bool) "order" true (V.equal (V.field first "line") (V.Int 1))
+  | [] -> Alcotest.fail "no records"
+
+(* -- datagen determinism -- *)
+
+let test_datagen_deterministic () =
+  let a = Datagen.person_rows ~seed:42 ~n:50 in
+  let b = Datagen.person_rows ~seed:42 ~n:50 in
+  let c = Datagen.person_rows ~seed:43 ~n:50 in
+  Alcotest.(check bool) "same seed same rows" true (a = b);
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  List.iteri
+    (fun i row ->
+      Alcotest.(check bool)
+        "salary in range" true
+        (match row.(2) with V.Int s -> s >= 10 && s <= 500 | _ -> false);
+      Alcotest.(check bool) "id" true (V.equal row.(0) (V.Int i)))
+    a
+
+let test_datagen_water () =
+  let rows = Datagen.water_rows ~seed:1 ~station:"st1" ~n:20 in
+  List.iter
+    (fun row ->
+      match (row.(2), row.(4)) with
+      | V.Float ph, V.Float oxy ->
+          Alcotest.(check bool) "ph range" true (ph >= 6.0 && ph <= 8.5);
+          Alcotest.(check bool) "oxygen range" true (oxy >= 4.0 && oxy <= 12.0)
+      | _ -> Alcotest.fail "bad row shape")
+    rows
+
+let () =
+  Alcotest.run "disco_source"
+    [
+      ("clock", [ Alcotest.test_case "virtual clock" `Quick test_clock ]);
+      ( "schedule",
+        [
+          Alcotest.test_case "constants" `Quick test_schedule_constants;
+          Alcotest.test_case "intervals" `Quick test_schedule_intervals;
+          Alcotest.test_case "flaky deterministic" `Quick
+            test_schedule_flaky_deterministic;
+          Alcotest.test_case "flaky rate" `Quick test_schedule_flaky_rate;
+        ] );
+      ( "call",
+        [
+          Alcotest.test_case "answered with latency" `Quick test_call_answered;
+          Alcotest.test_case "unavailable" `Quick test_call_unavailable;
+          Alcotest.test_case "deadline" `Quick test_call_deadline;
+          Alcotest.test_case "deadline boundary" `Quick test_call_deadline_boundary;
+          Alcotest.test_case "recovery" `Quick test_call_schedule_recovery;
+        ] );
+      ( "stores",
+        [
+          Alcotest.test_case "key-value" `Quick test_kv_store;
+          Alcotest.test_case "flat file" `Quick test_flat_file;
+        ] );
+      ( "datagen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_datagen_deterministic;
+          Alcotest.test_case "water ranges" `Quick test_datagen_water;
+        ] );
+    ]

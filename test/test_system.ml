@@ -1,0 +1,244 @@
+(* System-level coverage: catalog peering edge cases, mediator
+   composition under failure, source statistics, schedule transitions,
+   the text index, and schema evolution corner cases. *)
+
+module V = Disco_value.Value
+module Source = Disco_source.Source
+module Schedule = Disco_source.Schedule
+module Clock = Disco_source.Clock
+module Datagen = Disco_source.Datagen
+module Database = Disco_relation.Database
+module Text_index = Disco_source.Text_index
+module Registry = Disco_odl.Registry
+module Odl = Disco_odl.Odl_parser
+module Catalog = Disco_catalog.Catalog
+module Mediator = Disco_core.Mediator
+module Composition = Disco_core.Composition
+module Wrapper = Disco_wrapper.Wrapper
+
+let check_value = Alcotest.testable V.pp V.equal
+
+(* -- catalog -- *)
+
+let entry kind name owner =
+  { Catalog.e_kind = kind; e_name = name; e_owner = owner; e_info = [] }
+
+let test_catalog_peering_cycles () =
+  let a = Catalog.create ~name:"a" in
+  let b = Catalog.create ~name:"b" in
+  let c = Catalog.create ~name:"c" in
+  (* a <-> b cycle, c hangs off b *)
+  Catalog.add_peer a b;
+  Catalog.add_peer b a;
+  Catalog.add_peer b c;
+  Catalog.register c (entry Catalog.Repository "deep" "c");
+  (match Catalog.lookup a Catalog.Repository "deep" with
+  | Some e -> Alcotest.(check string) "found through the cycle" "c" e.Catalog.e_owner
+  | None -> Alcotest.fail "peer chase failed");
+  Alcotest.(check bool) "missing stays missing" true
+    (Catalog.lookup a Catalog.Wrapper "nope" = None)
+
+let test_catalog_overview_dedup () =
+  let a = Catalog.create ~name:"a" in
+  let b = Catalog.create ~name:"b" in
+  Catalog.add_peer a b;
+  Catalog.add_peer b a;
+  (* the same entry registered in both *)
+  Catalog.register a (entry Catalog.Mediator "m" "x");
+  Catalog.register b (entry Catalog.Mediator "m" "x");
+  Catalog.register b (entry Catalog.Mediator "n" "x");
+  let counts = Catalog.overview a in
+  Alcotest.(check (option int)) "deduplicated" (Some 2)
+    (List.assoc_opt Catalog.Mediator counts)
+
+let test_catalog_reregistration () =
+  let a = Catalog.create ~name:"a" in
+  Catalog.register a (entry Catalog.Wrapper "w" "old");
+  Catalog.register a { (entry Catalog.Wrapper "w" "new") with Catalog.e_info = [ ("v", "2") ] };
+  (match Catalog.lookup a Catalog.Wrapper "w" with
+  | Some e -> Alcotest.(check string) "last wins" "new" e.Catalog.e_owner
+  | None -> Alcotest.fail "lost");
+  Alcotest.(check int) "no duplicate entries" 1 (List.length (Catalog.entries a));
+  Catalog.deregister a Catalog.Wrapper "w";
+  Alcotest.(check int) "deregistered" 0 (List.length (Catalog.entries a))
+
+(* -- composition under failure -- *)
+
+let child_mediator ?(schedule = Schedule.always_up) () =
+  let m = Mediator.create ~name:"child" () in
+  let db = Datagen.person_db ~seed:9 ~name:"person0" ~n:6 in
+  Mediator.register_source m ~name:"r0"
+    (Source.create ~id:"s"
+       ~address:(Source.address ~host:"h" ~db_name:"d" ~ip:"0" ())
+       ~schedule (Source.Relational db));
+  Mediator.load_odl m
+    {|r0 := Repository(host="h", name="d", address="0");
+      w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }
+      extent person0 of Person wrapper w0 repository r0;|};
+  m
+
+let parent_over child =
+  let parent = Mediator.create ~name:"parent" ~clock:(Mediator.clock child) () in
+  let src, wrap = Composition.as_source child in
+  Mediator.register_source parent ~name:"rm" src;
+  Mediator.register_wrapper parent ~name:"wm" wrap;
+  Mediator.load_odl parent
+    {|rm := Repository(host="child", name="mediator", address="m");
+      wm := WrapperMediator();
+      interface Person (extent people) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }
+      extent person0 of Person wrapper wm repository rm;|};
+  parent
+
+let test_composition_child_source_down () =
+  (* the child's backing source is down: the child returns a partial, the
+     composition wrapper reports it as a source error, and the parent's
+     fallback also fails -> a clean mediator error, not a wrong answer *)
+  let child = child_mediator ~schedule:Schedule.always_down () in
+  let parent = parent_over child in
+  match Mediator.query ~timeout_ms:50.0 parent "select x.name from x in people" with
+  | exception Disco_runtime.Runtime.Runtime_error _ -> ()
+  | exception Mediator.Mediator_error _ -> ()
+  | o -> (
+      match o.Mediator.answer with
+      | Mediator.Complete v when V.cardinal v = 0 ->
+          Alcotest.fail "empty answer would be wrong"
+      | Mediator.Complete _ -> Alcotest.fail "cannot be complete"
+      | _ -> ())
+
+let test_composition_parent_link_down () =
+  (* the mediator-to-mediator link itself is down: the parent treats the
+     child like any unavailable source and returns a partial answer *)
+  let child = child_mediator () in
+  let parent = parent_over child in
+  (match Mediator.find_source parent "rm" with
+  | Some src -> Source.set_schedule src Schedule.always_down
+  | None -> Alcotest.fail "no link source");
+  match (Mediator.query ~timeout_ms:50.0 parent "select x.name from x in people").Mediator.answer with
+  | Mediator.Partial { unavailable = [ "rm" ]; _ } -> ()
+  | _ -> Alcotest.fail "expected partial over the mediator link"
+
+(* -- source statistics -- *)
+
+let test_source_stats_accumulate () =
+  let db = Datagen.person_db ~seed:4 ~name:"person0" ~n:10 in
+  let src =
+    Source.create ~id:"s"
+      ~address:(Source.address ~host:"h" ~db_name:"d" ~ip:"0" ())
+      ~latency:{ Source.base_ms = 10.0; per_row_ms = 1.0; jitter = 0.0 }
+      (Source.Relational db)
+  in
+  let clock = Clock.create () in
+  (match Source.call src ~clock (fun () -> ((), 10)) with
+  | Source.Answered ((), t) -> Alcotest.(check (float 0.001)) "latency" 20.0 t
+  | _ -> Alcotest.fail "call failed");
+  ignore (Source.call src ~clock (fun () -> ((), 5)));
+  let stats = Source.stats src in
+  Alcotest.(check int) "answered" 2 stats.Source.calls_answered;
+  Alcotest.(check int) "rows" 15 stats.Source.rows_shipped;
+  Alcotest.(check (float 0.001)) "busy" 35.0 stats.Source.busy_ms;
+  Source.reset_stats src;
+  Alcotest.(check int) "reset" 0 (Source.stats src).Source.calls_answered
+
+(* -- schedules: transitions -- *)
+
+let test_flaky_transitions () =
+  let s = Schedule.flaky ~seed:1 ~period:10.0 ~availability:0.5 in
+  (match Schedule.next_transition s 12.5 with
+  | Some t -> Alcotest.(check (float 0.001)) "next period boundary" 20.0 t
+  | None -> Alcotest.fail "flaky has transitions");
+  Alcotest.(check (option (float 0.0))) "constant has none" None
+    (Schedule.next_transition Schedule.always_up 5.0)
+
+(* -- text index -- *)
+
+let test_text_index_details () =
+  let idx = Text_index.create () in
+  let d1 = Text_index.add idx ~title:"Alpha Beta" ~body:"the quick fox" in
+  let d2 = Text_index.add idx ~title:"Beta Gamma" ~body:"lazy dogs sleep" in
+  Alcotest.(check int) "ids sequential" 1 (d2 - d1);
+  Alcotest.(check int) "cardinal" 2 (Text_index.cardinal idx);
+  Alcotest.(check int) "body search" 1 (List.length (Text_index.search idx "FOX"));
+  Alcotest.(check int) "title search both" 2
+    (List.length (Text_index.search_title idx "beta"));
+  Alcotest.(check int) "missing keyword" 0 (List.length (Text_index.search idx "cat"));
+  let v0 = Text_index.version idx in
+  ignore (Text_index.add idx ~title:"New" ~body:"fox again");
+  Alcotest.(check bool) "version bumps" true (Text_index.version idx > v0);
+  Alcotest.(check int) "index updated" 2 (List.length (Text_index.search idx "fox"))
+
+(* -- schema evolution corners -- *)
+
+let test_drop_and_redefine_extent () =
+  let reg = Registry.create () in
+  Odl.load reg
+    {|r0 := Repository(host="h", name="d", address="0");
+      w0 := WrapperPostgres();
+      interface Person { attribute String name; }
+      extent person0 of Person wrapper w0 repository r0;|};
+  Odl.load reg "drop extent person0;";
+  Alcotest.(check bool) "gone" true (Registry.find_extent reg "person0" = None);
+  (* redefinition after drop is allowed, now with a replica *)
+  Odl.load reg
+    {|r1 := Repository(host="h2", name="d", address="1");
+      extent person0 of Person wrapper w0 repository r0 replica r1;|};
+  match Registry.find_extent reg "person0" with
+  | Some e ->
+      Alcotest.(check (list string)) "replicas recorded" [ "r1" ]
+        e.Registry.me_replicas
+  | None -> Alcotest.fail "redefinition failed"
+
+let test_objects_bag_filtering () =
+  let reg = Registry.create () in
+  Odl.load reg
+    {|r0 := Repository(host="h", name="d", address="0");
+      r1 := Repository(host="h2", name="d", address="1");
+      w0 := WrapperPostgres();|};
+  Alcotest.(check int) "repositories" 2
+    (V.cardinal (Registry.objects_bag ~constructor_prefix:"Repository" reg));
+  Alcotest.(check int) "wrappers" 1
+    (V.cardinal (Registry.objects_bag ~constructor_prefix:"Wrapper" reg));
+  Alcotest.(check int) "all" 3 (V.cardinal (Registry.objects_bag reg));
+  (* struct shape carries the constructor arguments *)
+  let repos = Registry.objects_bag ~constructor_prefix:"Repository" reg in
+  List.iter
+    (fun r ->
+      Alcotest.check check_value "constructor field" (V.String "Repository")
+        (V.field r "constructor");
+      Alcotest.(check bool) "has host" true (V.field_opt r "host" <> None))
+    (V.elements repos)
+
+let () =
+  Alcotest.run "disco_system"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "peering with cycles" `Quick test_catalog_peering_cycles;
+          Alcotest.test_case "overview dedup" `Quick test_catalog_overview_dedup;
+          Alcotest.test_case "re-registration" `Quick test_catalog_reregistration;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "child source down" `Quick
+            test_composition_child_source_down;
+          Alcotest.test_case "mediator link down" `Quick
+            test_composition_parent_link_down;
+        ] );
+      ( "sources",
+        [
+          Alcotest.test_case "stats accumulate" `Quick test_source_stats_accumulate;
+          Alcotest.test_case "flaky transitions" `Quick test_flaky_transitions;
+          Alcotest.test_case "text index" `Quick test_text_index_details;
+        ] );
+      ( "evolution",
+        [
+          Alcotest.test_case "drop and redefine" `Quick test_drop_and_redefine_extent;
+          Alcotest.test_case "objects bag" `Quick test_objects_bag_filtering;
+        ] );
+    ]

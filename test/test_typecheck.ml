@@ -1,0 +1,224 @@
+(* Tests for the OQL static type checker and the quantifier forms. *)
+
+module V = Disco_value.Value
+module Otype = Disco_odl.Otype
+module Registry = Disco_odl.Registry
+module Odl = Disco_odl.Odl_parser
+module Parser = Disco_oql.Parser
+module Eval = Disco_oql.Eval
+module Ast = Disco_oql.Ast
+module Typecheck = Disco_oql.Typecheck
+
+let schema =
+  {|
+  r0 := Repository(host="h", name="d", address="a");
+  w0 := WrapperPostgres();
+  interface Person (extent person) {
+    attribute Short id;
+    attribute String name;
+    attribute Short salary; }
+  extent person0 of Person wrapper w0 repository r0;
+  extent person1 of Person wrapper w0 repository r0;
+  interface Student : Person {
+    attribute String school; }
+  extent student0 of Student wrapper w0 repository r0;
+  define rich as select p from p in person where p.salary > 100;
+  define names as select p.name from p in rich;
+|}
+
+let env () =
+  let reg = Registry.create () in
+  Odl.load reg schema;
+  Typecheck.env_of_registry reg
+
+let infer q = Typecheck.infer (env ()) (Parser.parse q)
+
+let check_ty = Alcotest.testable (fun ppf t -> Fmt.string ppf (Otype.to_string t)) Otype.equal
+
+let expect_ok q ty () = Alcotest.check check_ty q ty (infer q)
+
+let expect_err fragment q () =
+  match Typecheck.check (env ()) (Parser.parse q) with
+  | Ok ty -> Alcotest.fail ("expected type error, got " ^ Otype.to_string ty)
+  | Error m ->
+      let contains s sub =
+        let n = String.length s and k = String.length sub in
+        let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+        k = 0 || go 0
+      in
+      Alcotest.(check bool) (Fmt.str "%S mentions %S" m fragment) true
+        (contains m fragment)
+
+let ok_cases =
+  [
+    ("extent", "person0", Otype.TBag (Otype.TInterface "Person"));
+    ("implicit extent", "person", Otype.TBag (Otype.TInterface "Person"));
+    ("star", "person*", Otype.TBag (Otype.TInterface "Person"));
+    ( "paper query",
+      "select x.name from x in person where x.salary > 10",
+      Otype.TBag Otype.TString );
+    ( "struct projection",
+      "select struct(n: x.name, s2: x.salary * 2) from x in person0",
+      Otype.TBag (Otype.TStruct [ ("n", Otype.TString); ("s2", Otype.TInt) ]) );
+    ("distinct", "select distinct x.salary from x in person", Otype.TSet Otype.TInt);
+    ("count", "count(person)", Otype.TInt);
+    ("avg", "avg(select x.salary from x in person)", Otype.TFloat);
+    ("sum int", "sum(select x.salary from x in person)", Otype.TInt);
+    ( "union of extents",
+      "union(person0, person1)",
+      Otype.TBag (Otype.TInterface "Person") );
+    ( "union joins subtypes upward",
+      "union(person0, student0)",
+      Otype.TBag (Otype.TInterface "Person") );
+    ("view", "names", Otype.TBag Otype.TString);
+    ( "metaextent",
+      "select m.interface from m in metaextent",
+      Otype.TBag Otype.TString );
+    ("interface as string", "select m.name from m in metaextent where m.interface = Person",
+      Otype.TBag Otype.TString);
+    ("inherited attribute", "select s.name from s in student0", Otype.TBag Otype.TString);
+    ("own attribute", "select s.school from s in student0", Otype.TBag Otype.TString);
+    ("exists quantifier", "exists p in person : p.salary > 100", Otype.TBool);
+    ( "forall in where",
+      "select x.name from x in person where for all y in person : x.salary >= \
+       y.salary",
+      Otype.TBag Otype.TString );
+    ("numeric widening", "select x.salary + 0.5 from x in person", Otype.TBag Otype.TFloat);
+    ("string concat", {|"a" + "b"|}, Otype.TString);
+    ("empty bag", "bag()", Otype.TBag Otype.TVoid);
+    ("element", "element(select x.id from x in person0)", Otype.TInt);
+  ]
+
+let err_cases =
+  [
+    ("unknown name", "unknown name", "select x from x in nosuch");
+    ("bad attribute", "no attribute", "select x.age from x in person");
+    ( "school not on Person",
+      "no attribute",
+      "select x.school from x in person" );
+    ("arith on string", "arithmetic", "select x.name * 2 from x in person");
+    ("where not bool", "where-clause", "select x from x in person where x.salary");
+    ("sum of strings", "non-numeric", "sum(select x.name from x in person)");
+    ("flatten flat", "collection", "flatten(select x.id from x in person)");
+    ("compare incompatible", "incompatible", {|select x from x in person where x.name = 3|});
+    ("quantifier body", "quantifier body", "exists p in person : p.salary");
+    ("count of scalar", "collection", "count(1)");
+    ("and of ints", "boolean connective", "1 and 2");
+  ]
+
+(* quantifier evaluation and round-trip *)
+
+let people =
+  V.bag
+    [
+      V.strct [ ("name", V.String "Mary"); ("salary", V.Int 200) ];
+      V.strct [ ("name", V.String "Sam"); ("salary", V.Int 50) ];
+    ]
+
+let eval_env =
+  Eval.env ~resolve:(function "person" -> Some people | _ -> None) ()
+
+let test_quant_eval () =
+  let check_value = Alcotest.testable V.pp V.equal in
+  Alcotest.check check_value "exists true" (V.Bool true)
+    (Eval.eval_string eval_env "exists p in person : p.salary > 100");
+  Alcotest.check check_value "exists false" (V.Bool false)
+    (Eval.eval_string eval_env "exists p in person : p.salary > 500");
+  Alcotest.check check_value "forall true" (V.Bool true)
+    (Eval.eval_string eval_env "for all p in person : p.salary >= 50");
+  Alcotest.check check_value "forall false" (V.Bool false)
+    (Eval.eval_string eval_env "for all p in person : p.salary > 100");
+  Alcotest.check check_value "forall over empty" (V.Bool true)
+    (Eval.eval_string eval_env "for all p in bag() : p > 1");
+  (* in a where clause, with the quantifier var shadowing *)
+  Alcotest.check check_value "max by forall"
+    (V.bag [ V.String "Mary" ])
+    (Eval.eval_string eval_env
+       "select x.name from x in person where for all y in person : x.salary \
+        >= y.salary")
+
+let test_quant_roundtrip () =
+  List.iter
+    (fun q ->
+      let ast = Parser.parse q in
+      let printed = Ast.to_string ast in
+      Alcotest.(check bool)
+        (Fmt.str "roundtrip %s -> %s" q printed)
+        true
+        (Ast.equal ast (Parser.parse printed)))
+    [
+      "exists p in person : p.salary > 100";
+      "for all p in person : p.salary > 100 and p.id > 0";
+      "(exists p in person : p.id = 1) and (for all q in person : q.id > 0)";
+      "select x from x in person where exists y in person : y.id = x.id";
+      "not (exists p in person : p.salary > 3)";
+    ]
+
+let test_quant_through_mediator () =
+  (* quantifiers take the hybrid path end to end *)
+  let module Mediator = Disco_core.Mediator in
+  let module Source = Disco_source.Source in
+  let module Datagen = Disco_source.Datagen in
+  let m = Mediator.create ~name:"tq" () in
+  Mediator.register_source m ~name:"r0"
+    (Source.create ~id:"s"
+       ~address:(Source.address ~host:"h" ~db_name:"d" ~ip:"0" ())
+       (Source.Relational (Datagen.person_db ~seed:5 ~name:"person0" ~n:20)));
+  Mediator.load_odl m
+    {|r0 := Repository(host="h", name="d", address="0");
+      w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }
+      extent person0 of Person wrapper w0 repository r0;|};
+  match
+    (Mediator.query ~static_check:true m
+       "select x.name from x in person where for all y in person : x.salary \
+        >= y.salary")
+      .Mediator.answer
+  with
+  | Mediator.Complete v -> Alcotest.(check int) "one maximum" 1 (V.cardinal v)
+  | _ -> Alcotest.fail "expected complete"
+
+let test_static_check_rejects () =
+  let module Mediator = Disco_core.Mediator in
+  let m = Mediator.create ~name:"tsc" () in
+  Mediator.load_odl m
+    {|w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute String name;
+        attribute Short salary; }|};
+  (match Mediator.typecheck m "select x.name from x in person" with
+  | Ok (Otype.TBag Otype.TString) -> ()
+  | Ok t -> Alcotest.fail (Otype.to_string t)
+  | Error m -> Alcotest.fail m);
+  try
+    ignore (Mediator.query ~static_check:true m "select x.age from x in person");
+    Alcotest.fail "expected static rejection"
+  with Mediator.Mediator_error msg ->
+    Alcotest.(check bool) "type error surfaced" true
+      (String.length msg > 0)
+
+let () =
+  Alcotest.run "disco_typecheck"
+    [
+      ( "well-typed",
+        List.map
+          (fun (name, q, ty) -> Alcotest.test_case name `Quick (expect_ok q ty))
+          ok_cases );
+      ( "ill-typed",
+        List.map
+          (fun (name, frag, q) ->
+            Alcotest.test_case name `Quick (expect_err frag q))
+          err_cases );
+      ( "quantifiers",
+        [
+          Alcotest.test_case "evaluation" `Quick test_quant_eval;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_quant_roundtrip;
+          Alcotest.test_case "through the mediator" `Quick
+            test_quant_through_mediator;
+          Alcotest.test_case "static check on query" `Quick
+            test_static_check_rejects;
+        ] );
+    ]

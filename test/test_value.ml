@@ -1,0 +1,220 @@
+(* Unit and property tests for Disco_value.Value: the ODMG value domain. *)
+
+module V = Disco_value.Value
+
+let check_value = Alcotest.testable V.pp V.equal
+let v_int i = V.Int i
+let v_str s = V.String s
+
+(* A qcheck generator of values, bounded in depth so canonicalization work
+   stays small. *)
+let value_gen =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        return V.Null;
+        map (fun b -> V.Bool b) bool;
+        map (fun i -> V.Int i) (int_range (-1000) 1000);
+        map (fun f -> V.Float f) (float_range (-1e6) 1e6);
+        map (fun s -> V.String s) (string_size ~gen:printable (int_range 0 8));
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (1, map V.bag (list_size (int_range 0 4) (value (depth - 1))));
+          (1, map V.set (list_size (int_range 0 4) (value (depth - 1))));
+          (1, map V.list (list_size (int_range 0 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun vs ->
+                V.strct (List.mapi (fun i v -> (Printf.sprintf "f%d" i, v)) vs))
+              (list_size (int_range 0 3) (value (depth - 1))) );
+        ]
+  in
+  value 3
+
+let arb_value = QCheck.make ~print:V.to_string value_gen
+
+(* -- unit tests -- *)
+
+let test_bag_canonical () =
+  Alcotest.check check_value "bag order irrelevant"
+    (V.bag [ v_str "Mary"; v_str "Sam" ])
+    (V.bag [ v_str "Sam"; v_str "Mary" ]);
+  Alcotest.check Alcotest.bool "bag keeps duplicates" true
+    (V.equal (V.bag [ v_int 1; v_int 1 ]) (V.Bag [ V.Int 1; V.Int 1 ]))
+
+let test_set_dedup () =
+  Alcotest.check check_value "set dedups"
+    (V.set [ v_int 1; v_int 1; v_int 2 ])
+    (V.set [ v_int 2; v_int 1 ])
+
+let test_struct_sorted () =
+  let s = V.strct [ ("salary", v_int 200); ("name", v_str "Mary") ] in
+  match s with
+  | V.Struct [ ("name", _); ("salary", _) ] -> ()
+  | _ -> Alcotest.fail "struct fields not sorted"
+
+let test_struct_dup_field () =
+  Alcotest.check_raises "duplicate field rejected"
+    (V.Type_error "duplicate struct field a") (fun () ->
+      ignore (V.strct [ ("a", v_int 1); ("a", v_int 2) ]))
+
+let test_field_access () =
+  let s = V.strct [ ("name", v_str "Mary"); ("salary", v_int 200) ] in
+  Alcotest.check check_value "field" (v_str "Mary") (V.field s "name");
+  Alcotest.check check_value "null propagates" V.Null (V.field V.Null "name");
+  Alcotest.check_raises "missing field" (V.Type_error "struct has no field x")
+    (fun () -> ignore (V.field s "x"))
+
+let test_bag_union () =
+  (* Paper Section 1.3: the union of two bags is a bag. *)
+  let u =
+    V.bag_union (V.bag [ v_str "Mary" ]) (V.bag [ v_str "Sam"; v_str "Mary" ])
+  in
+  Alcotest.check check_value "multiset sum"
+    (V.bag [ v_str "Mary"; v_str "Mary"; v_str "Sam" ])
+    u
+
+let test_flatten () =
+  let nested = V.bag [ V.bag [ v_int 1; v_int 2 ]; V.bag [ v_int 3 ] ] in
+  Alcotest.check check_value "flatten"
+    (V.bag [ v_int 1; v_int 2; v_int 3 ])
+    (V.flatten nested);
+  let sets = V.set [ V.set [ v_int 1 ]; V.set [ v_int 1; v_int 2 ] ] in
+  Alcotest.check check_value "flatten sets stays set"
+    (V.set [ v_int 1; v_int 2 ])
+    (V.flatten sets)
+
+let test_aggregates () =
+  let c = V.bag [ v_int 10; v_int 20; V.Null; v_int 30 ] in
+  Alcotest.check check_value "count includes null" (v_int 4) (V.agg_count c);
+  Alcotest.check check_value "sum skips null" (v_int 60) (V.agg_sum c);
+  Alcotest.check check_value "avg" (V.Float 20.0) (V.agg_avg c);
+  Alcotest.check check_value "min" (v_int 10) (V.agg_min c);
+  Alcotest.check check_value "max" (v_int 30) (V.agg_max c);
+  Alcotest.check check_value "sum of empty" (v_int 0) (V.agg_sum (V.bag []));
+  Alcotest.check check_value "min of empty" V.Null (V.agg_min (V.bag []));
+  Alcotest.check check_value "mixed numeric sum" (V.Float 3.5)
+    (V.agg_sum (V.bag [ v_int 1; V.Float 2.5 ]))
+
+let test_numeric_compare () =
+  Alcotest.(check (option int))
+    "int vs float" (Some 0)
+    (V.numeric_compare (v_int 2) (V.Float 2.0));
+  Alcotest.(check (option int))
+    "incomparable" None
+    (V.numeric_compare (v_int 2) (v_str "a"));
+  Alcotest.(check bool)
+    "null below all" true
+    (V.numeric_compare V.Null (v_int 0) = Some (-1))
+
+let test_inter_diff () =
+  let a = V.bag [ v_int 1; v_int 1; v_int 2 ] in
+  let b = V.bag [ v_int 1; v_int 2; v_int 3 ] in
+  Alcotest.check check_value "bag inter"
+    (V.bag [ v_int 1; v_int 2 ])
+    (V.inter a b);
+  Alcotest.check check_value "bag diff" (V.bag [ v_int 1 ]) (V.diff a b);
+  Alcotest.check check_value "set diff"
+    (V.set [ v_int 3 ])
+    (V.diff (V.set [ v_int 1; v_int 3 ]) (V.set [ v_int 1 ]))
+
+let test_pp () =
+  Alcotest.(check string)
+    "paper rendering" {|Bag("Mary", "Sam")|}
+    (V.to_string (V.bag [ v_str "Sam"; v_str "Mary" ]));
+  Alcotest.(check string)
+    "struct rendering" {|struct(name: "Mary", salary: 200)|}
+    (V.to_string (V.strct [ ("salary", v_int 200); ("name", v_str "Mary") ]))
+
+(* -- property tests -- *)
+
+let prop_compare_refl =
+  QCheck.Test.make ~name:"compare is reflexive" ~count:200 arb_value (fun v ->
+      V.compare v v = 0)
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare is antisymmetric" ~count:200
+    (QCheck.pair arb_value arb_value) (fun (a, b) ->
+      let c1 = V.compare a b and c2 = V.compare b a in
+      (c1 = 0 && c2 = 0) || (c1 > 0 && c2 < 0) || (c1 < 0 && c2 > 0))
+
+let prop_compare_trans =
+  QCheck.Test.make ~name:"compare is transitive" ~count:200
+    (QCheck.triple arb_value arb_value arb_value) (fun (a, b, c) ->
+      let sorted = List.sort V.compare [ a; b; c ] in
+      match sorted with
+      | [ x; y; z ] -> V.compare x y <= 0 && V.compare y z <= 0 && V.compare x z <= 0
+      | _ -> false)
+
+let prop_bag_union_comm =
+  QCheck.Test.make ~name:"bag union commutes" ~count:200
+    (QCheck.pair
+       (QCheck.map V.bag (QCheck.list_of_size (QCheck.Gen.int_range 0 6) arb_value))
+       (QCheck.map V.bag (QCheck.list_of_size (QCheck.Gen.int_range 0 6) arb_value)))
+    (fun (a, b) -> V.equal (V.bag_union a b) (V.bag_union b a))
+
+let prop_bag_union_cardinal =
+  QCheck.Test.make ~name:"bag union adds cardinalities" ~count:200
+    (QCheck.pair
+       (QCheck.map V.bag (QCheck.list_of_size (QCheck.Gen.int_range 0 6) arb_value))
+       (QCheck.map V.bag (QCheck.list_of_size (QCheck.Gen.int_range 0 6) arb_value)))
+    (fun (a, b) ->
+      V.cardinal (V.bag_union a b) = V.cardinal a + V.cardinal b)
+
+let prop_set_idempotent =
+  QCheck.Test.make ~name:"set union is idempotent" ~count:200
+    (QCheck.map V.set (QCheck.list_of_size (QCheck.Gen.int_range 0 6) arb_value))
+    (fun s -> V.equal (V.set_union s s) s)
+
+let prop_distinct_subset =
+  QCheck.Test.make ~name:"distinct never grows a bag" ~count:200
+    (QCheck.map V.bag (QCheck.list_of_size (QCheck.Gen.int_range 0 8) arb_value))
+    (fun b -> V.cardinal (V.distinct b) <= V.cardinal b)
+
+let prop_inter_diff_partition =
+  QCheck.Test.make ~name:"inter + diff partition a bag" ~count:200
+    (QCheck.pair
+       (QCheck.map V.bag (QCheck.list_of_size (QCheck.Gen.int_range 0 8) arb_value))
+       (QCheck.map V.bag (QCheck.list_of_size (QCheck.Gen.int_range 0 8) arb_value)))
+    (fun (a, b) ->
+      V.equal (V.bag_union (V.inter a b) (V.diff a b)) a)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_compare_refl;
+      prop_compare_antisym;
+      prop_compare_trans;
+      prop_bag_union_comm;
+      prop_bag_union_cardinal;
+      prop_set_idempotent;
+      prop_distinct_subset;
+      prop_inter_diff_partition;
+    ]
+
+let () =
+  Alcotest.run "disco_value"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "bag canonical form" `Quick test_bag_canonical;
+          Alcotest.test_case "set dedup" `Quick test_set_dedup;
+          Alcotest.test_case "struct field sorting" `Quick test_struct_sorted;
+          Alcotest.test_case "struct duplicate field" `Quick test_struct_dup_field;
+          Alcotest.test_case "field access" `Quick test_field_access;
+          Alcotest.test_case "bag union" `Quick test_bag_union;
+          Alcotest.test_case "flatten" `Quick test_flatten;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "numeric compare" `Quick test_numeric_compare;
+          Alcotest.test_case "inter and diff" `Quick test_inter_diff;
+          Alcotest.test_case "pretty printing" `Quick test_pp;
+        ] );
+      ("value.properties", qcheck_cases);
+    ]
