@@ -31,6 +31,8 @@ module Plan = Disco_physical.Plan
 module Optimizer = Disco_optimizer.Optimizer
 module Runtime = Disco_runtime.Runtime
 module Mediator = Disco_core.Mediator
+module Answer_cache = Disco_cache.Answer_cache
+module Resubmission = Disco_cache.Resubmission
 module Maintenance = Disco_core.Maintenance
 module Composition = Disco_core.Composition
 
@@ -71,8 +73,8 @@ let person_source ?(latency = { Source.base_ms = 10.0; per_row_ms = 0.01; jitter
 
 (* A mediator federating [n] person sources under one Person type. *)
 let person_federation ?latency ?(rows = 5) ?(wrapper = "WrapperPostgres")
-    ?(schedule_of = fun _ -> Schedule.always_up) n =
-  let m = Mediator.create ~name:(Fmt.str "fed%d" n) () in
+    ?(schedule_of = fun _ -> Schedule.always_up) ?cache n =
+  let m = Mediator.create ~name:(Fmt.str "fed%d" n) ?cache () in
   Mediator.load_odl m
     (Fmt.str
        {|w0 := %s();
@@ -737,6 +739,138 @@ let e10 () =
      partial-answer semantics needs neither — the paper's premise quantified.)@."
 
 (* ==================================================================== *)
+(* E11 - semantic answer cache: stale fallback, warm-up, resubmission   *)
+(* (extension of the Section 4 staleness discussion)                    *)
+(* ==================================================================== *)
+
+let e11 () =
+  header "E11: answer cache - stale fallback, warm-up, resubmission drain";
+  (* Part 1: under heavy outages, Cached_fallback answers queries from
+     cached fragments that plain partial evaluation leaves residual. *)
+  Fmt.pr
+    "part 1: 8 sources, p(up)=0.50 - fraction of extents contributing data\n\
+     per query, and total tuples shipped, with and without the cache@.@.";
+  let n = 8 and p = 0.50 and trials = 100 in
+  let run_federation ~label ~semantics ~cache =
+    let m =
+      person_federation
+        ~schedule_of:(fun i ->
+          Schedule.flaky ~seed:(104729 * (i + 1)) ~period:1000.0
+            ~availability:p)
+        ?cache n
+    in
+    let data_fraction = ref 0.0 and shipped = ref 0 and complete = ref 0 in
+    for trial = 0 to trials - 1 do
+      Clock.advance_to (Mediator.clock m) (float_of_int trial *. 1000.0);
+      let o = Mediator.query ~timeout_ms:400.0 ~semantics m paper_query in
+      shipped := !shipped + o.Mediator.stats.Runtime.tuples_shipped;
+      match o.Mediator.answer with
+      | Mediator.Complete _ ->
+          incr complete;
+          data_fraction := !data_fraction +. 1.0
+      | Mediator.Partial { unavailable; _ } ->
+          data_fraction :=
+            !data_fraction
+            +. (float_of_int (n - List.length unavailable) /. float_of_int n)
+      | Mediator.Unavailable _ -> ()
+    done;
+    ( label,
+      !data_fraction /. float_of_int trials,
+      float_of_int !complete /. float_of_int trials,
+      !shipped,
+      Mediator.answer_cache_stats m )
+  in
+  let results =
+    [
+      run_federation ~label:"partial answers (no cache)"
+        ~semantics:Mediator.Partial_answers ~cache:None;
+      run_federation ~label:"cached fallback (10s staleness)"
+        ~semantics:(Mediator.Cached_fallback { max_stale_ms = 10_000.0 })
+        ~cache:(Some (Answer_cache.create ()));
+    ]
+  in
+  table
+    ~columns:[ "configuration"; "data fraction"; "complete"; "tuples shipped" ]
+    (List.map
+       (fun (label, frac, complete, shipped, _) ->
+         [
+           label; Fmt.str "%.3f" frac; Fmt.str "%.2f" complete;
+           string_of_int shipped;
+         ])
+       results);
+  (match results with
+  | [ (_, frac_plain, _, shipped_plain, _); (_, frac_cached, _, shipped_cached, stats) ]
+    ->
+      (match stats with
+      | Some s ->
+          Fmt.pr "cache counters: %a@." Answer_cache.pp_stats s
+      | None -> ());
+      assert (frac_cached > frac_plain);
+      assert (shipped_cached < shipped_plain);
+      Fmt.pr
+        "(once warm, outages are bridged by cached fragments: more of each\n\
+         answer is data, and hits ship no tuples over the wire.)@."
+  | _ -> assert false);
+  (* Part 2: warm-up on a healthy federation - repeated identical queries
+     ship tuples exactly once. *)
+  Fmt.pr "@.part 2: repeated identical query on a healthy 4-source federation@.@.";
+  let m = person_federation ~cache:(Answer_cache.create ()) 4 in
+  let rows = ref [] in
+  for k = 1 to 3 do
+    let o = Mediator.query m paper_query in
+    let s = o.Mediator.stats in
+    rows :=
+      [
+        string_of_int k;
+        string_of_int s.Runtime.tuples_shipped;
+        string_of_int s.Runtime.cache_hits;
+        Fmt.str "%.1f" s.Runtime.elapsed_ms;
+      ]
+      :: !rows;
+    if k > 1 then assert (s.Runtime.tuples_shipped = 0)
+  done;
+  table
+    ~columns:[ "run"; "tuples shipped"; "cache hits"; "virtual ms" ]
+    (List.rev !rows);
+  (* Part 3: the resubmission manager drives partial answers to
+     completion as sources recover. *)
+  Fmt.pr
+    "@.part 3: resubmission - sources recover staggered at t=2s/4s/6s;\n\
+     every partial converges to a complete answer@.@.";
+  let m =
+    person_federation
+      ~schedule_of:(fun i ->
+        if i = 0 then Schedule.always_up
+        else Schedule.down_during [ (0.0, float_of_int i *. 2000.0) ])
+      ~cache:(Answer_cache.create ())
+      4
+  in
+  let o = Mediator.query m paper_query in
+  let queue = Resubmission.create ~clock:(Mediator.clock m) () in
+  (match Mediator.record_partial queue o with
+  | None -> assert false
+  | Some _ -> ());
+  let converged =
+    Resubmission.drain queue
+      ~source_of:(Mediator.find_source m)
+      ~run:(Mediator.resubmission_runner m)
+  in
+  List.iter
+    (fun e ->
+      match e.Resubmission.state with
+      | Resubmission.Converged rounds ->
+          Fmt.pr "partial #%d: complete after %d resubmission round(s), t=%.1f@."
+            e.Resubmission.id rounds
+            (Clock.now (Mediator.clock m))
+      | Resubmission.Pending -> Fmt.pr "partial #%d: still pending@." e.Resubmission.id)
+    (Resubmission.entries queue);
+  assert (converged = 1);
+  assert (Resubmission.pending queue = []);
+  Fmt.pr
+    "(the queue watches availability schedules and replays residual\n\
+     queries only when a blocking source transitions to up.)@."
+
+(* ==================================================================== *)
 (* A1/A2 - ablations of design choices (DESIGN.md Section 7)            *)
 (* ==================================================================== *)
 
@@ -958,7 +1092,8 @@ let bechamel_suite () =
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("a1", a1); ("a2", a2); ("a3", a3);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("a1", a1); ("a2", a2); ("a3", a3);
   ]
 
 let () =
@@ -974,7 +1109,7 @@ let () =
       match List.assoc_opt name experiments with
       | Some f -> f ()
       | None ->
-          Fmt.epr "unknown experiment %s (e1..e9)@." name;
+          Fmt.epr "unknown experiment %s (e1..e11, a1..a3)@." name;
           exit 1)
   | None ->
       List.iter (fun (_, f) -> f ()) experiments;

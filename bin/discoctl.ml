@@ -10,7 +10,9 @@
      discoctl query --sources 8 --down r1,r3 --timeout 50 "..."
      discoctl explain "select x.name from x in person"
      discoctl repl --sources 4
-     discoctl schema --odl my_schema.odl *)
+     discoctl schema --odl my_schema.odl
+     discoctl cache-stats --repeat 5 "select x.name from x in person"
+     discoctl resubmit --down r0 --recover-at 500 "..." *)
 
 module V = Disco_value.Value
 module Source = Disco_source.Source
@@ -19,6 +21,8 @@ module Datagen = Disco_source.Datagen
 module Database = Disco_relation.Database
 module Mediator = Disco_core.Mediator
 module Registry = Disco_odl.Registry
+module Answer_cache = Disco_cache.Answer_cache
+module Resubmission = Disco_cache.Resubmission
 
 open Cmdliner
 
@@ -37,8 +41,8 @@ let verbosity_arg =
 
 (* -- federation setup -- *)
 
-let build_mediator ~sources ~rows ~wrapper ~down ~odl_file =
-  let m = Mediator.create ~name:"discoctl" () in
+let build_mediator ?cache ?recover_at ~sources ~rows ~wrapper ~down ~odl_file () =
+  let m = Mediator.create ?cache ~name:"discoctl" () in
   (match odl_file with
   | Some path ->
       let ic = open_in path in
@@ -73,10 +77,16 @@ let build_mediator ~sources ~rows ~wrapper ~down ~odl_file =
                extent person%d of Person wrapper w0 repository r%d;|}
              i i i i i)
       done);
+  let outage =
+    (* --recover-at makes outages end, so resubmission can converge *)
+    match recover_at with
+    | Some t -> Schedule.down_during [ (0.0, t) ]
+    | None -> Schedule.always_down
+  in
   List.iter
     (fun repo ->
       match Mediator.find_source m repo with
-      | Some src -> Source.set_schedule src Schedule.always_down
+      | Some src -> Source.set_schedule src outage
       | None -> Fmt.epr "warning: no source attached to %s@." repo)
     down;
   m
@@ -101,7 +111,14 @@ let print_outcome outcome =
     s.Disco_runtime.Runtime.execs_blocked
     s.Disco_runtime.Runtime.tuples_shipped s.Disco_runtime.Runtime.elapsed_ms
     (if outcome.Mediator.from_cache then ", cached plan" else "")
-    (if outcome.Mediator.fallback then ", capability fallback" else "")
+    (if outcome.Mediator.fallback then ", capability fallback" else "");
+  let c = outcome.Mediator.answer_cache in
+  if c.Mediator.answer_hits > 0 || c.Mediator.stale_hits > 0 then
+    Fmt.pr "answer cache: %d fresh hit(s), %d stale serve(s)%s@."
+      c.Mediator.answer_hits c.Mediator.stale_hits
+      (if c.Mediator.stale_hits > 0 then
+         Fmt.str " (max staleness %.1f ms)" c.Mediator.stale_ms
+       else "")
 
 (* -- common options -- *)
 
@@ -135,22 +152,48 @@ let odl_arg =
 
 let semantics_arg =
   let doc =
-    "Unavailable-data semantics: partial (default), wait-all, null, skip."
+    "Unavailable-data semantics: partial (default), wait-all, null, skip, or \
+     cached (serve outages from the answer cache, see --max-stale; implies \
+     --cache)."
   in
+  (* 'cached' needs the --max-stale budget, so the enum carries
+     constructors applied once both options are parsed *)
   let choices =
     Arg.enum
       [
-        ("partial", Mediator.Partial_answers);
-        ("wait-all", Mediator.Wait_all);
-        ("null", Mediator.Null_sources);
-        ("skip", Mediator.Skip_sources);
+        ("partial", fun _ -> Mediator.Partial_answers);
+        ("wait-all", fun _ -> Mediator.Wait_all);
+        ("null", fun _ -> Mediator.Null_sources);
+        ("skip", fun _ -> Mediator.Skip_sources);
+        ("cached", fun ms -> Mediator.Cached_fallback { max_stale_ms = ms });
       ]
   in
-  Arg.(value & opt choices Mediator.Partial_answers & info [ "semantics" ] ~doc)
+  Arg.(
+    value
+    & opt choices (fun _ -> Mediator.Partial_answers)
+    & info [ "semantics" ] ~doc)
 
-let with_mediator f sources rows wrapper down odl_file verbosity =
+let max_stale_arg =
+  let doc =
+    "Staleness budget (virtual ms) for --semantics cached: outage fallbacks \
+     are only served from cache entries at most this old."
+  in
+  Arg.(value & opt float 60_000.0 & info [ "max-stale" ] ~docv:"MS" ~doc)
+
+let cache_arg =
+  let doc = "Attach a semantic answer cache to the mediator." in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+let is_cached_semantics = function
+  | Mediator.Cached_fallback _ -> true
+  | Mediator.Partial_answers | Mediator.Wait_all | Mediator.Null_sources
+  | Mediator.Skip_sources ->
+      false
+
+let with_mediator ?cache ?recover_at f sources rows wrapper down odl_file
+    verbosity =
   setup_logs (List.length verbosity);
-  match f (build_mediator ~sources ~rows ~wrapper ~down ~odl_file) with
+  match f (build_mediator ?cache ?recover_at ~sources ~rows ~wrapper ~down ~odl_file ()) with
   | () -> `Ok ()
   | exception Mediator.Mediator_error m -> `Error (false, m)
   | exception Disco_runtime.Runtime.Runtime_error m -> `Error (false, m)
@@ -161,8 +204,15 @@ let query_cmd =
   let q_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
   in
-  let run sources rows wrapper down odl_file timeout semantics verbosity q =
-    with_mediator
+  let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
+      verbosity q =
+    let semantics = sem_of max_stale in
+    let cache =
+      if use_cache || is_cached_semantics semantics then
+        Some (Answer_cache.create ())
+      else None
+    in
+    with_mediator ?cache
       (fun m -> print_outcome (Mediator.query ~timeout_ms:timeout ~semantics m q))
       sources rows wrapper down odl_file verbosity
   in
@@ -171,7 +221,8 @@ let query_cmd =
     Term.(
       ret
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ timeout_arg $ semantics_arg $ verbosity_arg $ q_arg))
+       $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
+       $ verbosity_arg $ q_arg))
 
 let explain_cmd =
   let q_arg =
@@ -223,8 +274,15 @@ let schema_cmd =
        $ verbosity_arg))
 
 let repl_cmd =
-  let run sources rows wrapper down odl_file timeout semantics verbosity =
-    with_mediator
+  let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
+      verbosity =
+    let semantics = sem_of max_stale in
+    let cache =
+      if use_cache || is_cached_semantics semantics then
+        Some (Answer_cache.create ())
+      else None
+    in
+    with_mediator ?cache
       (fun m ->
         Fmt.pr
           "disco repl — OQL queries, ':odl <stmt>' to define, ':quit' to \
@@ -255,7 +313,8 @@ let repl_cmd =
     Term.(
       ret
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ timeout_arg $ semantics_arg $ verbosity_arg))
+       $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
+       $ verbosity_arg))
 
 let catalog_cmd =
   let run sources rows wrapper down odl_file verbosity =
@@ -283,10 +342,114 @@ let catalog_cmd =
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
        $ verbosity_arg))
 
+let print_cache_stats m =
+  (match Mediator.answer_cache_stats m with
+  | Some s -> Fmt.pr "answer cache: %a@." Answer_cache.pp_stats s
+  | None -> Fmt.pr "answer cache: none attached@.");
+  let p = Mediator.plan_cache_stats m in
+  Fmt.pr "plan cache: %d/%d entries, %d hits, %d misses, %d evictions@."
+    p.Mediator.p_size p.Mediator.p_capacity p.Mediator.p_hits
+    p.Mediator.p_misses p.Mediator.p_evictions
+
+let cache_stats_cmd =
+  let q_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
+  in
+  let repeat_arg =
+    let doc = "Number of times to run the query (warm-up effects show)." in
+    Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"K" ~doc)
+  in
+  let run sources rows wrapper down odl_file timeout verbosity repeat q =
+    with_mediator ~cache:(Answer_cache.create ())
+      (fun m ->
+        for k = 1 to repeat do
+          let o = Mediator.query ~timeout_ms:timeout m q in
+          let s = o.Mediator.stats in
+          Fmt.pr
+            "run %d: %d execs, %d answered from source, %d from cache, %d \
+             tuples shipped, %.1f virtual ms@."
+            k s.Disco_runtime.Runtime.execs_issued
+            (s.Disco_runtime.Runtime.execs_answered
+            - s.Disco_runtime.Runtime.cache_hits
+            - s.Disco_runtime.Runtime.cache_stale_hits)
+            s.Disco_runtime.Runtime.cache_hits
+            s.Disco_runtime.Runtime.tuples_shipped
+            s.Disco_runtime.Runtime.elapsed_ms
+        done;
+        print_cache_stats m)
+      sources rows wrapper down odl_file verbosity
+  in
+  Cmd.v
+    (Cmd.info "cache-stats"
+       ~doc:
+         "Run a query repeatedly with the semantic answer cache attached and \
+          print hit/miss/eviction counters.")
+    Term.(
+      ret
+        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
+       $ timeout_arg $ verbosity_arg $ repeat_arg $ q_arg))
+
+let resubmit_cmd =
+  let q_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
+  in
+  let recover_arg =
+    let doc =
+      "Virtual time (ms) at which the --down repositories come back up."
+    in
+    Arg.(value & opt float 500.0 & info [ "recover-at" ] ~docv:"MS" ~doc)
+  in
+  let run sources rows wrapper down odl_file timeout verbosity recover_at q =
+    with_mediator ~cache:(Answer_cache.create ()) ~recover_at
+      (fun m ->
+        let o = Mediator.query ~timeout_ms:timeout m q in
+        Fmt.pr "initial answer:@.";
+        print_outcome o;
+        let queue = Resubmission.create ~clock:(Mediator.clock m) () in
+        match Mediator.record_partial queue o with
+        | None -> Fmt.pr "@.nothing to resubmit: the answer is complete.@."
+        | Some id ->
+            Fmt.pr "@.recorded partial #%d; draining as sources recover...@." id;
+            let converged =
+              Resubmission.drain queue
+                ~source_of:(Mediator.find_source m)
+                ~run:(Mediator.resubmission_runner ~timeout_ms:timeout m)
+            in
+            List.iter
+              (fun e ->
+                match e.Resubmission.state with
+                | Resubmission.Converged rounds ->
+                    Fmt.pr "partial #%d converged after %d round(s) at t=%.1f@."
+                      e.Resubmission.id rounds
+                      (Disco_source.Clock.now (Mediator.clock m))
+                | Resubmission.Pending ->
+                    Fmt.pr "partial #%d still pending (no recovery in sight)@."
+                      e.Resubmission.id)
+              (Resubmission.entries queue);
+            if converged > 0 then (
+              Fmt.pr "@.re-running the original query (cache is now warm):@.";
+              print_outcome (Mediator.query ~timeout_ms:timeout m q));
+            print_cache_stats m)
+      sources rows wrapper down odl_file verbosity
+  in
+  Cmd.v
+    (Cmd.info "resubmit"
+       ~doc:
+         "Run a query against a federation with recovering outages, record \
+          the partial answer, and drive it to completion through the \
+          resubmission manager.")
+    Term.(
+      ret
+        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
+       $ timeout_arg $ verbosity_arg $ recover_arg $ q_arg))
+
 let main =
   Cmd.group
     (Cmd.info "discoctl" ~version:"1.0.0"
        ~doc:"Drive a Disco heterogeneous-database mediator.")
-    [ query_cmd; explain_cmd; schema_cmd; repl_cmd; catalog_cmd ]
+    [
+      query_cmd; explain_cmd; schema_cmd; repl_cmd; catalog_cmd;
+      cache_stats_cmd; resubmit_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,93 @@
+type ('k, 'v) node = {
+  n_key : 'k;
+  mutable n_value : 'v;
+  mutable n_prev : ('k, 'v) node option;  (* towards MRU *)
+  mutable n_next : ('k, 'v) node option;  (* towards LRU *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most recently used *)
+  mutable tail : ('k, 'v) node option;  (* least recently used *)
+  mutable evicted : int;
+}
+
+let create ?(capacity = 128) () =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { cap = capacity; tbl = Hashtbl.create capacity; head = None; tail = None; evicted = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let unlink t node =
+  (match node.n_prev with
+  | Some p -> p.n_next <- node.n_next
+  | None -> t.head <- node.n_next);
+  (match node.n_next with
+  | Some n -> n.n_prev <- node.n_prev
+  | None -> t.tail <- node.n_prev);
+  node.n_prev <- None;
+  node.n_next <- None
+
+let push_front t node =
+  node.n_prev <- None;
+  node.n_next <- t.head;
+  (match t.head with Some h -> h.n_prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      Some node.n_value
+
+let peek t key = Option.map (fun n -> n.n_value) (Hashtbl.find_opt t.tbl key)
+
+let evict_over_capacity t =
+  while Hashtbl.length t.tbl > t.cap do
+    match t.tail with
+    | None -> assert false (* length > cap >= 1 implies a tail *)
+    | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.tbl lru.n_key;
+        t.evicted <- t.evicted + 1
+  done
+
+let add t key value =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+      node.n_value <- value;
+      unlink t node;
+      push_front t node
+  | None ->
+      let node = { n_key = key; n_value = value; n_prev = None; n_next = None } in
+      Hashtbl.replace t.tbl key node;
+      push_front t node);
+  evict_over_capacity t
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.tbl key
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+let evictions t = t.evicted
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.n_key, n.n_value) :: acc) n.n_next
+  in
+  go [] t.head
+
+let fold f t init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (to_list t)

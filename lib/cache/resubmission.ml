@@ -1,0 +1,102 @@
+module Clock = Disco_source.Clock
+module Schedule = Disco_source.Schedule
+module Source = Disco_source.Source
+
+let log_src = Logs.Src.create "disco.resubmit" ~doc:"Disco resubmission manager"
+
+module Log = (val Logs.src_log log_src)
+
+type run_result =
+  | Run_complete
+  | Run_partial of { oql : string; unavailable : string list }
+
+type state = Pending | Converged of int
+
+type entry = {
+  id : int;
+  original_oql : string;
+  mutable oql : string;
+  mutable unavailable : string list;
+  mutable rounds : int;
+  mutable state : state;
+}
+
+type t = {
+  clock : Clock.t;
+  mutable next_id : int;
+  mutable queue : entry list;  (* newest first *)
+}
+
+let create ~clock () = { clock; next_id = 0; queue = [] }
+
+let record t ~oql ~unavailable =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.queue <-
+    { id; original_oql = oql; oql; unavailable; rounds = 0; state = Pending }
+    :: t.queue;
+  Log.info (fun m ->
+      m "recorded partial #%d (blocked on %s)" id (String.concat ", " unavailable));
+  id
+
+let entries t = List.rev t.queue
+let pending t = List.filter (fun e -> e.state = Pending) (entries t)
+
+let next_recovery t ~source_of =
+  let now = Clock.now t.clock in
+  List.fold_left
+    (fun acc e ->
+      List.fold_left
+        (fun acc repo ->
+          match Option.map Source.schedule (source_of repo) with
+          | Some sched -> (
+              match Schedule.next_transition sched now with
+              | Some when_ -> (
+                  match acc with
+                  | Some best -> Some (Float.min best when_)
+                  | None -> Some when_)
+              | None -> acc)
+          | None -> acc)
+        acc e.unavailable)
+    None (pending t)
+
+let worth_trying t ~source_of e =
+  let now = Clock.now t.clock in
+  e.unavailable = []
+  || List.exists
+       (fun repo ->
+         match source_of repo with
+         | Some src -> Source.is_up src now
+         | None -> false)
+       e.unavailable
+
+let step t ~source_of ~run =
+  List.fold_left
+    (fun converged e ->
+      if worth_trying t ~source_of e then (
+        e.rounds <- e.rounds + 1;
+        match run e.oql with
+        | Run_complete ->
+            e.state <- Converged e.rounds;
+            e.unavailable <- [];
+            Log.info (fun m -> m "partial #%d converged after %d round(s)" e.id e.rounds);
+            converged + 1
+        | Run_partial { oql; unavailable } ->
+            e.oql <- oql;
+            e.unavailable <- unavailable;
+            converged)
+      else converged)
+    0 (pending t)
+
+let drain ?(max_rounds = 100) t ~source_of ~run =
+  let rec go jumps converged =
+    let converged = converged + step t ~source_of ~run in
+    if pending t = [] || jumps >= max_rounds then converged
+    else
+      match next_recovery t ~source_of with
+      | None -> converged (* nothing will ever come back *)
+      | Some when_ ->
+          Clock.advance_to t.clock when_;
+          go (jumps + 1) converged
+  in
+  go 0 0

@@ -1,0 +1,76 @@
+(** The automatic resubmission manager (paper §4: "this partial answer
+    could be submitted as a new query").
+
+    Records every partial answer the mediator produces, watches the
+    availability schedules of the repositories that blocked it, and —
+    when the virtual clock reaches a possible recovery — replays the
+    residual OQL. Each replay either completes the query or shrinks the
+    residual further (partial answers fold already-arrived data into the
+    query text), so under any schedule that eventually brings sources
+    back, every entry converges to [Complete]; the per-query round count
+    is the convergence measure experiment E11 reports.
+
+    The manager is deliberately decoupled from the mediator: replays go
+    through a [run] callback (the mediator side provides one, see
+    [Disco_core.Mediator.resubmission_runner]), and recovery detection
+    only needs a [source_of] lookup. Recovered data flows back into the
+    {!Answer_cache} automatically when the mediator runs with one. *)
+
+module Clock := Disco_source.Clock
+module Source := Disco_source.Source
+
+(** What one replay of a recorded query produced. *)
+type run_result =
+  | Run_complete
+  | Run_partial of { oql : string; unavailable : string list }
+      (** the (possibly smaller) residual and the repositories still
+          blocking it *)
+
+type state =
+  | Pending
+  | Converged of int  (** rounds of resubmission until [Complete] *)
+
+type entry = {
+  id : int;
+  original_oql : string;  (** the residual as first recorded *)
+  mutable oql : string;  (** the current residual (shrinks per round) *)
+  mutable unavailable : string list;
+  mutable rounds : int;
+  mutable state : state;
+}
+
+type t
+
+val create : clock:Clock.t -> unit -> t
+
+val record : t -> oql:string -> unavailable:string list -> int
+(** Enqueue a partial answer's residual query; returns its id. *)
+
+val entries : t -> entry list
+(** All entries, in recording order. *)
+
+val pending : t -> entry list
+
+val next_recovery : t -> source_of:(string -> Source.t option) -> float option
+(** The earliest virtual time strictly after now at which a repository
+    blocking some pending entry may change availability
+    ({!Disco_source.Schedule.next_transition}); [None] when every
+    blocking schedule is constant (no recovery will ever happen) or
+    nothing is pending. *)
+
+val step : t -> source_of:(string -> Source.t option) -> run:(string -> run_result) -> int
+(** Replay each pending entry whose blocking repositories include one
+    that is up at the current virtual time (an entry with no recorded
+    blockers is always tried). Returns the number of entries that
+    converged this round. *)
+
+val drain :
+  ?max_rounds:int ->
+  t ->
+  source_of:(string -> Source.t option) ->
+  run:(string -> run_result) ->
+  int
+(** Alternate {!step} with advancing the clock to {!next_recovery} until
+    every entry converges, no recovery is in sight, or [max_rounds]
+    (default 100) clock jumps have been taken. Returns the number of
+    entries converged during the drain. *)

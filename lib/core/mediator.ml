@@ -16,6 +16,9 @@ module Source = Disco_source.Source
 module Clock = Disco_source.Clock
 module Wrapper = Disco_wrapper.Wrapper
 module Catalog = Disco_catalog.Catalog
+module Lru = Disco_cache.Lru
+module Answer_cache = Disco_cache.Answer_cache
+module Resubmission = Disco_cache.Resubmission
 
 let log_src = Logs.Src.create "disco.mediator" ~doc:"Disco mediator"
 
@@ -25,7 +28,12 @@ exception Mediator_error of string
 
 let mediator_error fmt = Format.kasprintf (fun s -> raise (Mediator_error s)) fmt
 
-type semantics = Partial_answers | Wait_all | Null_sources | Skip_sources
+type semantics =
+  | Partial_answers
+  | Wait_all
+  | Null_sources
+  | Skip_sources
+  | Cached_fallback of { max_stale_ms : float }
 
 type answer =
   | Complete of V.t
@@ -36,12 +44,27 @@ type answer =
     }
   | Unavailable of string list
 
+type answer_cache_use = {
+  answer_hits : int;
+  stale_hits : int;
+  stale_ms : float;
+}
+
 type outcome = {
   answer : answer;
   stats : Runtime.stats;
   plan : Plan.plan option;
   from_cache : bool;
+  answer_cache : answer_cache_use;
   fallback : bool;
+}
+
+type plan_cache_stats = {
+  p_hits : int;
+  p_misses : int;
+  p_size : int;
+  p_capacity : int;
+  p_evictions : int;
 }
 
 type cached_plan = { c_plan : Plan.plan; c_version : int }
@@ -54,10 +77,14 @@ type t = {
   params : Plan.params;
   sources : (string, Source.t) Hashtbl.t;
   wrappers : (string, Wrapper.t) Hashtbl.t;
-  plan_cache : (string, cached_plan) Hashtbl.t;
+  plan_cache : (string, cached_plan) Lru.t;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  cache : Answer_cache.t option;
 }
 
-let create ?clock ?cost ?(params = Plan.default_params) ~name () =
+let create ?clock ?cost ?(params = Plan.default_params)
+    ?(plan_cache_capacity = 128) ?cache ~name () =
   {
     m_name = name;
     registry = Registry.create ();
@@ -66,13 +93,18 @@ let create ?clock ?cost ?(params = Plan.default_params) ~name () =
     params;
     sources = Hashtbl.create 16;
     wrappers = Hashtbl.create 16;
-    plan_cache = Hashtbl.create 32;
+    plan_cache = Lru.create ~capacity:plan_cache_capacity ();
+    plan_hits = 0;
+    plan_misses = 0;
+    cache;
   }
 
 let name t = t.m_name
 let clock t = t.clock
 let registry t = t.registry
 let cost_model t = t.cost
+let answer_cache t = t.cache
+let answer_cache_stats t = Option.map Answer_cache.stats t.cache
 
 let register_source t ~name source = Hashtbl.replace t.sources name source
 let register_wrapper t ~name wrapper = Hashtbl.replace t.wrappers name wrapper
@@ -148,9 +180,18 @@ let binding_for t ~type_check extent_name =
                else None);
           })
 
-let runtime_env t ~type_check extents =
+(* Cached_fallback is partial-answer semantics with the runtime allowed
+   to answer blocked execs from cached fragments within the staleness
+   budget. *)
+let serve_stale_of = function
+  | Cached_fallback { max_stale_ms } -> Some max_stale_ms
+  | Partial_answers | Wait_all | Null_sources | Skip_sources -> None
+
+let runtime_env t ~type_check ~semantics extents =
   let bindings = List.map (binding_for t ~type_check) extents in
-  Runtime.env ~clock:t.clock ~cost:t.cost bindings
+  Runtime.env ?cache:t.cache
+    ?serve_stale_ms:(serve_stale_of semantics)
+    ~clock:t.clock ~cost:t.cost bindings
 
 (* Capability check used by the optimizer: every extent mentioned in the
    candidate expression must be served by a wrapper that accepts it, and
@@ -186,7 +227,19 @@ let zero_stats =
     execs_blocked = 0;
     tuples_shipped = 0;
     elapsed_ms = 0.0;
+    cache_hits = 0;
+    cache_stale_hits = 0;
+    cache_stale_ms = 0.0;
   }
+
+let cache_use_of (stats : Runtime.stats) =
+  {
+    answer_hits = stats.Runtime.cache_hits;
+    stale_hits = stats.Runtime.cache_stale_hits;
+    stale_ms = stats.Runtime.cache_stale_ms;
+  }
+
+let no_cache_use = { answer_hits = 0; stale_hits = 0; stale_ms = 0.0 }
 
 let eval_env ?(resolve = fun _ -> None) t =
   Eval.env ~resolve ~interface_names:(Registry.interface_names t.registry) ()
@@ -205,7 +258,7 @@ let to_mediator_answer env = function
    answer. *)
 let apply_semantics t semantics answer =
   match (semantics, answer) with
-  | (Partial_answers | Skip_sources), a -> a
+  | (Partial_answers | Skip_sources | Cached_fallback _), a -> a
   | Wait_all, Partial { unavailable; _ } -> Unavailable unavailable
   | Null_sources, Partial { oql; _ } -> (
       (* unavailable sources contribute no tuples: replace the residual
@@ -231,19 +284,22 @@ let compiled_outcome t ~timeout_ms ~type_check ~semantics ~oql located =
   let cache_key = oql in
   let version = Registry.version t.registry in
   let cached =
-    match Hashtbl.find_opt t.plan_cache cache_key with
+    match Lru.find t.plan_cache cache_key with
     | Some { c_plan; c_version } when c_version = version -> Some c_plan
     | _ -> None
   in
   let plan, from_cache =
     match cached with
-    | Some plan -> (plan, true)
+    | Some plan ->
+        t.plan_hits <- t.plan_hits + 1;
+        (plan, true)
     | None ->
+        t.plan_misses <- t.plan_misses + 1;
         let choice =
           Optimizer.optimize ~params:t.params ~can_push:(can_push t)
             ~cost:t.cost located
         in
-        Hashtbl.replace t.plan_cache cache_key
+        Lru.add t.plan_cache cache_key
           { c_plan = choice.Optimizer.plan; c_version = version };
         (choice.Optimizer.plan, false)
   in
@@ -251,7 +307,7 @@ let compiled_outcome t ~timeout_ms ~type_check ~semantics ~oql located =
     List.sort_uniq String.compare
       (List.concat_map (fun (_, e) -> Expr.gets e) (Plan.all_source_exprs plan))
   in
-  let env = runtime_env t ~type_check extents in
+  let env = runtime_env t ~type_check ~semantics extents in
   let run plan =
     (* execution-layer failures (bad maps, misbehaving wrappers) surface
        as clean mediator errors, never raw engine exceptions *)
@@ -268,6 +324,7 @@ let compiled_outcome t ~timeout_ms ~type_check ~semantics ~oql located =
         stats;
         plan = Some plan;
         from_cache;
+        answer_cache = cache_use_of stats;
         fallback = false;
       }
   | exception Runtime.Runtime_error reason ->
@@ -282,6 +339,7 @@ let compiled_outcome t ~timeout_ms ~type_check ~semantics ~oql located =
         stats;
         plan = Some conservative;
         from_cache = false;
+        answer_cache = cache_use_of stats;
         fallback = true;
       }
 
@@ -301,6 +359,9 @@ let add_stats a b =
     execs_blocked = a.Runtime.execs_blocked + b.Runtime.execs_blocked;
     tuples_shipped = a.Runtime.tuples_shipped + b.Runtime.tuples_shipped;
     elapsed_ms = a.Runtime.elapsed_ms +. b.Runtime.elapsed_ms;
+    cache_hits = a.Runtime.cache_hits + b.Runtime.cache_hits;
+    cache_stale_hits = a.Runtime.cache_stale_hits + b.Runtime.cache_stale_hits;
+    cache_stale_ms = Float.max a.Runtime.cache_stale_ms b.Runtime.cache_stale_ms;
   }
 
 let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
@@ -341,7 +402,7 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
                      (fun (_, e) -> Expr.gets e)
                      (Plan.all_source_exprs choice.Optimizer.plan))
               in
-              let env = runtime_env t ~type_check extents in
+              let env = runtime_env t ~type_check ~semantics extents in
               match Runtime.execute ~timeout_ms env choice.Optimizer.plan with
               | Runtime.Complete v, st ->
                   stats_acc := add_stats !stats_acc st;
@@ -363,7 +424,7 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
       (fun name -> Registry.find_extent t.registry name <> None)
       (Ast.free_collections substituted)
   in
-  let env = runtime_env t ~type_check extents in
+  let env = runtime_env t ~type_check ~semantics extents in
   let fetched, fetch_stats = Runtime.fetch ~timeout_ms env extents in
   let stats = add_stats !stats_acc fetch_stats in
   let fetch_blocked = List.filter (fun (_, v) -> v = None) fetched in
@@ -378,6 +439,7 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
           stats;
           plan = None;
           from_cache = false;
+          answer_cache = cache_use_of stats;
           fallback = false;
         }
     | exception Eval.Eval_error m -> mediator_error "evaluation failed: %s" m
@@ -409,6 +471,7 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
       stats;
       plan = None;
       from_cache = false;
+      answer_cache = cache_use_of stats;
       fallback = false;
     }
 
@@ -481,7 +544,7 @@ let query ?(timeout_ms = 1000.0) ?(semantics = Partial_answers)
   let expanded =
     match semantics with
     | Skip_sources -> apply_skip t expanded
-    | Partial_answers | Wait_all | Null_sources -> expanded
+    | Partial_answers | Wait_all | Null_sources | Cached_fallback _ -> expanded
   in
   match Compile.compile expanded with
   | Ok compiled ->
@@ -498,12 +561,30 @@ let resubmit ?timeout_ms ?semantics t answer =
         stats = zero_stats;
         plan = None;
         from_cache = false;
+        answer_cache = no_cache_use;
         fallback = false;
       }
   | Partial { oql; _ } -> query ?timeout_ms ?semantics t oql
   | Unavailable repos ->
       mediator_error "nothing to resubmit: no answer from %s"
         (String.concat ", " repos)
+
+(* Feed the resubmission manager: replay a residual query and classify
+   the result. Records fresh data into the answer cache as a side effect
+   when the mediator runs with one. *)
+let resubmission_runner ?timeout_ms ?semantics t oql =
+  match (query ?timeout_ms ?semantics t oql).answer with
+  | Complete _ -> Resubmission.Run_complete
+  | Partial { oql; unavailable; _ } ->
+      Resubmission.Run_partial { oql; unavailable }
+  | Unavailable unavailable ->
+      Resubmission.Run_partial { oql; unavailable }
+
+let record_partial resubmissions outcome =
+  match outcome.answer with
+  | Partial { oql; unavailable; _ } ->
+      Some (Resubmission.record resubmissions ~oql ~unavailable)
+  | Complete _ | Unavailable _ -> None
 
 let explain t oql =
   let ast = parse_oql oql in
@@ -567,5 +648,25 @@ let source_stats t =
   Hashtbl.fold (fun name src acc -> (name, Source.stats src) :: acc) t.sources []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let plan_cache_size t = Hashtbl.length t.plan_cache
-let clear_plan_cache t = Hashtbl.reset t.plan_cache
+let plan_cache_size t = Lru.length t.plan_cache
+
+let plan_cache_stats t =
+  {
+    p_hits = t.plan_hits;
+    p_misses = t.plan_misses;
+    p_size = Lru.length t.plan_cache;
+    p_capacity = Lru.capacity t.plan_cache;
+    p_evictions = Lru.evictions t.plan_cache;
+  }
+
+let clear_plan_cache t =
+  Lru.clear t.plan_cache;
+  t.plan_hits <- 0;
+  t.plan_misses <- 0
+
+let clear_answer_cache t =
+  match t.cache with
+  | Some cache ->
+      Answer_cache.clear cache;
+      Answer_cache.reset_stats cache
+  | None -> ()

@@ -30,7 +30,9 @@ module Runtime := Disco_runtime.Runtime
 exception Mediator_error of string
 
 (** Semantics for queries touching unavailable sources (Section 4
-    discusses all three; Disco's contribution is [Partial_answers]). *)
+    discusses the first four; Disco's contribution is [Partial_answers],
+    and [Cached_fallback] is the answer-cache extension of its staleness
+    discussion). *)
 type semantics =
   | Partial_answers
       (** the answer is a query: partial evaluation (Disco's choice) *)
@@ -43,6 +45,24 @@ type semantics =
       (** "as if the data source objects which reference unavailable
           sources do not exist": implicit type extents range over
           available sources only *)
+  | Cached_fallback of { max_stale_ms : float }
+      (** partial-answer semantics, but execs to unavailable sources are
+          answered from cached fragments no older than [max_stale_ms]
+          virtual ms (requires a mediator created with [?cache]); the
+          served staleness is reported in [outcome.answer_cache]. Only
+          fragments with no eligible cache entry remain residual. *)
+
+(** How the answer cache contributed to one outcome ([outcome.from_cache]
+    reports the {e plan} cache; these fields report the {e answer}
+    cache — the two are independent). *)
+type answer_cache_use = {
+  answer_hits : int;
+      (** execs answered from cache at a fresh data version *)
+  stale_hits : int;
+      (** execs to unavailable sources served stale under
+          {!Cached_fallback} *)
+  stale_ms : float;  (** maximum staleness age served, virtual ms *)
+}
 
 type outcome = {
   answer : answer;
@@ -51,6 +71,7 @@ type outcome = {
       (** the physical plan, when the compiled path ran ([None] for
           hybrid-evaluated queries) *)
   from_cache : bool;  (** the plan came from the plan cache *)
+  answer_cache : answer_cache_use;
   fallback : bool;
       (** a wrapper refused its expression at run time and the query was
           replanned without pushdown *)
@@ -67,20 +88,39 @@ and answer =
   | Unavailable of string list
       (** [Wait_all] semantics with blocked sources *)
 
+(** Plan-cache counters ({!plan_cache_stats}). *)
+type plan_cache_stats = {
+  p_hits : int;
+  p_misses : int;
+  p_size : int;
+  p_capacity : int;
+  p_evictions : int;
+}
+
 type t
 
 val create :
   ?clock:Disco_source.Clock.t ->
   ?cost:Disco_cost.Cost_model.t ->
   ?params:Disco_physical.Plan.params ->
+  ?plan_cache_capacity:int ->
+  ?cache:Disco_cache.Answer_cache.t ->
   name:string ->
   unit ->
   t
+(** [plan_cache_capacity] bounds the LRU plan cache (default 128
+    entries). [cache] attaches a semantic answer cache: completed execs
+    are recorded in it and later execs served from it (see
+    {!Disco_cache.Answer_cache}); omitted, the mediator never caches
+    answers and behaves exactly as before. *)
 
 val name : t -> string
 val clock : t -> Disco_source.Clock.t
 val registry : t -> Disco_odl.Registry.t
 val cost_model : t -> Disco_cost.Cost_model.t
+
+val answer_cache : t -> Disco_cache.Answer_cache.t option
+val answer_cache_stats : t -> Disco_cache.Answer_cache.stats option
 
 val register_source : t -> name:string -> Disco_source.Source.t -> unit
 (** Attach a simulated source under a repository object name. Define the
@@ -129,6 +169,22 @@ val resubmit : ?timeout_ms:float -> ?semantics:semantics -> t -> answer -> outco
     answer could be submitted as a new query"). A [Complete] answer
     returns itself. *)
 
+val resubmission_runner :
+  ?timeout_ms:float ->
+  ?semantics:semantics ->
+  t ->
+  string ->
+  Disco_cache.Resubmission.run_result
+(** The [run] callback for {!Disco_cache.Resubmission.drain}: replays a
+    residual OQL query through this mediator and classifies the result.
+    With an answer cache attached, recovered data is folded into the
+    cache as it arrives. *)
+
+val record_partial : Disco_cache.Resubmission.t -> outcome -> int option
+(** Enqueue an outcome's partial answer on a resubmission queue; [None]
+    for complete answers ([Unavailable] outcomes carry no residual to
+    replay either). *)
+
 val explain : t -> string -> string
 (** The chosen physical plan (or the hybrid-evaluation notice) for a
     query, without executing it. *)
@@ -141,4 +197,13 @@ val source_stats : t -> (string * Disco_source.Source.stats) list
     rows shipped, busy time), sorted by repository name. *)
 
 val plan_cache_size : t -> int
+
+val plan_cache_stats : t -> plan_cache_stats
+(** Hit/miss/eviction counters of the LRU-bounded plan cache. *)
+
 val clear_plan_cache : t -> unit
+(** Drop every cached plan {e and} reset the hit/miss counters. *)
+
+val clear_answer_cache : t -> unit
+(** Drop every cached answer and reset its counters; a no-op on a
+    mediator without an answer cache. *)

@@ -30,6 +30,9 @@ module Grammar = Disco_wrapper.Grammar
 module Translate = Disco_wrapper.Translate
 module Wrapper = Disco_wrapper.Wrapper
 module Cost_model = Disco_cost.Cost_model
+module Lru = Disco_cache.Lru
+module Answer_cache = Disco_cache.Answer_cache
+module Resubmission = Disco_cache.Resubmission
 module Plan = Disco_physical.Plan
 module Optimizer = Disco_optimizer.Optimizer
 module Runtime = Disco_runtime.Runtime

@@ -9,6 +9,7 @@ module Translate = Disco_wrapper.Translate
 module Typemap = Disco_odl.Typemap
 module Ast = Disco_oql.Ast
 module V = Disco_value.Value
+module Answer_cache = Disco_cache.Answer_cache
 
 let log_src = Logs.Src.create "disco.runtime" ~doc:"Disco run-time system"
 
@@ -32,9 +33,14 @@ type env = {
   clock : Clock.t;
   cost : Cost_model.t;
   bindings : binding list;
+  cache : Answer_cache.t option;
+  serve_stale_ms : float option;
+      (* when set, execs to unavailable sources are answered from cached
+         fragments no older than this (the Cached_fallback semantics) *)
 }
 
-let env ~clock ~cost bindings = { clock; cost; bindings }
+let env ?cache ?serve_stale_ms ~clock ~cost bindings =
+  { clock; cost; bindings; cache; serve_stale_ms }
 
 let binding_of env extent =
   match
@@ -61,13 +67,18 @@ type stats = {
   execs_blocked : int;
   tuples_shipped : int;
   elapsed_ms : float;
+  cache_hits : int;
+  cache_stale_hits : int;
+  cache_stale_ms : float;
 }
 
-(* One exec call: translate to the source name space, run the wrapper
-   through the simulated network, reformat and type-check the answer. *)
-type exec_result =
-  | Done of V.t * float  (** mediator-name-space value, completion time *)
-  | Blocked
+(* One exec call: consult the answer cache, else translate to the source
+   name space, run the wrapper through the simulated network, reformat
+   and type-check the answer. *)
+type origin = From_source | From_cache | From_stale of float
+
+type exec_done = { value : V.t; finish : float; shipped : int; origin : origin }
+type exec_result = Done of exec_done | Blocked
 
 let issue_exec env ~deadline repo logical =
   let extents = Expr.gets logical in
@@ -108,38 +119,67 @@ let issue_exec env ~deadline repo logical =
         src
     | None -> binding.b_source (* all down: the call reports Unavailable *)
   in
-  let outcome =
-    Source.call chosen ~clock:env.clock ~deadline (fun () ->
-        match Wrapper.execute binding.b_wrapper chosen source_expr with
-        | Ok (v, rows) -> (Ok v, rows)
-        | Error err -> (Error err, 0))
+  let version = Source.data_version chosen in
+  let fresh_hit =
+    match env.cache with
+    | Some cache -> Answer_cache.find_fresh cache ~repo ~version logical
+    | None -> None
   in
-  match outcome with
-  | Source.Unavailable | Source.Timed_out _ ->
+  match fresh_hit with
+  | Some value ->
       Log.debug (fun m ->
-          m "exec(%s) blocked: %s" repo (Expr.to_string logical));
-      Blocked
-  | Source.Answered (Error err, _) ->
-      runtime_error "wrapper %s on %s: %s"
-        (Wrapper.name binding.b_wrapper)
-        repo (Wrapper.error_message err)
-  | Source.Answered (Ok v, finish) ->
-      Log.debug (fun m ->
-          m "exec(%s) answered %d rows at t=%.1f" repo
-            (try V.cardinal v with V.Type_error _ -> 1)
-            finish);
-      let renamed = rename v in
-      (match binding.b_check with
-      | Some check when V.is_collection renamed ->
-          List.iter
-            (fun elem ->
-              if not (check elem) then
-                runtime_error
-                  "type mismatch: source %s returned %s for extent %s" repo
-                  (V.to_string elem) binding.b_extent)
-            (V.elements renamed)
-      | _ -> ());
-      Done (renamed, finish)
+          m "exec(%s) answered from cache: %s" repo (Expr.to_string logical));
+      Done { value; finish = now; shipped = 0; origin = From_cache }
+  | None -> (
+      let outcome =
+        Source.call chosen ~clock:env.clock ~deadline (fun () ->
+            match Wrapper.execute binding.b_wrapper chosen source_expr with
+            | Ok (v, rows) -> (Ok v, rows)
+            | Error err -> (Error err, 0))
+      in
+      match outcome with
+      | Source.Unavailable | Source.Timed_out _ -> (
+          match (env.cache, env.serve_stale_ms) with
+          | Some cache, Some max_stale_ms -> (
+              match
+                Answer_cache.find_stale cache ~repo ~now ~max_stale_ms logical
+              with
+              | Some (value, age) ->
+                  Done { value; finish = now; shipped = 0; origin = From_stale age }
+              | None ->
+                  Log.debug (fun m ->
+                      m "exec(%s) blocked: %s" repo (Expr.to_string logical));
+                  Blocked)
+          | _ ->
+              Log.debug (fun m ->
+                  m "exec(%s) blocked: %s" repo (Expr.to_string logical));
+              Blocked)
+      | Source.Answered (Error err, _) ->
+          runtime_error "wrapper %s on %s: %s"
+            (Wrapper.name binding.b_wrapper)
+            repo (Wrapper.error_message err)
+      | Source.Answered (Ok v, finish) ->
+          Log.debug (fun m ->
+              m "exec(%s) answered %d rows at t=%.1f" repo
+                (try V.cardinal v with V.Type_error _ -> 1)
+                finish);
+          let renamed = rename v in
+          (match binding.b_check with
+          | Some check when V.is_collection renamed ->
+              List.iter
+                (fun elem ->
+                  if not (check elem) then
+                    runtime_error
+                      "type mismatch: source %s returned %s for extent %s" repo
+                      (V.to_string elem) binding.b_extent)
+                (V.elements renamed)
+          | _ -> ());
+          (match env.cache with
+          | Some cache ->
+              Answer_cache.store cache ~repo ~version ~now:finish logical renamed
+          | None -> ());
+          let shipped = try V.cardinal renamed with V.Type_error _ -> 1 in
+          Done { value = renamed; finish; shipped; origin = From_source })
 
 (* Fold every exec-free subtree into materialized data: "processing as
    much of the query as is possible" (Section 1.3). *)
@@ -175,7 +215,7 @@ let run_round env ~deadline plan =
   in
   let answered =
     List.filter_map
-      (function key, Done (v, finish) -> Some (key, v, finish) | _, Blocked -> None)
+      (function key, Done d -> Some (key, d) | _, Blocked -> None)
       results
   in
   let blocked =
@@ -183,19 +223,23 @@ let run_round env ~deadline plan =
       (function key, Blocked -> Some key | _, Done _ -> None)
       results
   in
+  (* only real source calls feed the learned cost model — cache serves
+     complete in zero time and would corrupt the estimates *)
   List.iter
-    (fun ((repo, logical), v, finish) ->
-      Cost_model.record env.cost ~repo ~expr:logical ~time_ms:(finish -. t0)
-        ~rows:(try V.cardinal v with V.Type_error _ -> 1))
+    (fun ((repo, logical), d) ->
+      match d.origin with
+      | From_source ->
+          Cost_model.record env.cost ~repo ~expr:logical
+            ~time_ms:(d.finish -. t0)
+            ~rows:(try V.cardinal d.value with V.Type_error _ -> 1)
+      | From_cache | From_stale _ -> ())
     answered;
   let tuples_shipped =
-    List.fold_left
-      (fun acc (_, v, _) -> acc + (try V.cardinal v with V.Type_error _ -> 1))
-      0 answered
+    List.fold_left (fun acc (_, d) -> acc + d.shipped) 0 answered
   in
   let finish_time =
     if blocked <> [] then deadline
-    else List.fold_left (fun acc (_, _, f) -> Float.max acc f) t0 answered
+    else List.fold_left (fun acc (_, d) -> Float.max acc d.finish) t0 answered
   in
   Clock.advance_to env.clock finish_time;
   let substituted =
@@ -203,22 +247,33 @@ let run_round env ~deadline plan =
       (fun repo logical ->
         match
           List.find_opt
-            (fun ((r, l), _, _) -> String.equal r repo && Expr.equal l logical)
+            (fun ((r, l), _) -> String.equal r repo && Expr.equal l logical)
             answered
         with
-        | Some (_, v, _) -> Plan.Mk_data v
+        | Some (_, d) -> Plan.Mk_data d.value
         | None -> Plan.Exec (repo, logical))
       plan
   in
   let versions =
     List.filter_map
-      (fun ((repo, logical), _, _) ->
+      (fun ((repo, logical), _) ->
         match Expr.gets logical with
         | extent :: _ ->
             let b = binding_of env extent in
             Some (repo, Source.data_version b.b_source)
         | [] -> None)
       answered
+  in
+  let cache_hits =
+    List.length (List.filter (fun (_, d) -> d.origin = From_cache) answered)
+  in
+  let stale_hits, stale_ms =
+    List.fold_left
+      (fun (n, age) (_, d) ->
+        match d.origin with
+        | From_stale a -> (n + 1, Float.max age a)
+        | From_source | From_cache -> (n, age))
+      (0, 0.0) answered
   in
   let stats =
     {
@@ -227,6 +282,9 @@ let run_round env ~deadline plan =
       execs_blocked = List.length blocked;
       tuples_shipped;
       elapsed_ms = finish_time -. t0;
+      cache_hits;
+      cache_stale_hits = stale_hits;
+      cache_stale_ms = stale_ms;
     }
   in
   (substituted, List.map fst blocked, versions, stats)
@@ -309,6 +367,9 @@ let add_stats a b =
     execs_blocked = a.execs_blocked + b.execs_blocked;
     tuples_shipped = a.tuples_shipped + b.tuples_shipped;
     elapsed_ms = a.elapsed_ms +. b.elapsed_ms;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_stale_hits = a.cache_stale_hits + b.cache_stale_hits;
+    cache_stale_ms = Float.max a.cache_stale_ms b.cache_stale_ms;
   }
 
 let zero_stats =
@@ -318,6 +379,9 @@ let zero_stats =
     execs_blocked = 0;
     tuples_shipped = 0;
     elapsed_ms = 0.0;
+    cache_hits = 0;
+    cache_stale_hits = 0;
+    cache_stale_ms = 0.0;
   }
 
 let execute ?(timeout_ms = 1000.0) env plan =
@@ -369,39 +433,46 @@ let fetch ?(timeout_ms = 1000.0) env extents =
   List.iter
     (fun (extent, r) ->
       match r with
-      | Done (v, finish) ->
+      | Done { origin = From_source; value; finish; _ } ->
           let b = binding_of env extent in
           Cost_model.record env.cost ~repo:b.b_repo ~expr:(Expr.Get extent)
             ~time_ms:(finish -. t0)
-            ~rows:(try V.cardinal v with V.Type_error _ -> 1)
-      | Blocked -> ())
+            ~rows:(try V.cardinal value with V.Type_error _ -> 1)
+      | Done _ | Blocked -> ())
     results;
   let answered =
-    List.filter_map
-      (function _, Done (v, f) -> Some (v, f) | _, Blocked -> None)
-      results
+    List.filter_map (function _, Done d -> Some d | _, Blocked -> None) results
   in
   let any_blocked = List.exists (function _, Blocked -> true | _ -> false) results in
   let finish_time =
     if any_blocked then deadline
-    else List.fold_left (fun acc (_, f) -> Float.max acc f) t0 answered
+    else List.fold_left (fun acc d -> Float.max acc d.finish) t0 answered
   in
   Clock.advance_to env.clock finish_time;
+  let stale_hits, stale_ms =
+    List.fold_left
+      (fun (n, age) d ->
+        match d.origin with
+        | From_stale a -> (n + 1, Float.max age a)
+        | From_source | From_cache -> (n, age))
+      (0, 0.0) answered
+  in
   let stats =
     {
       execs_issued = List.length results;
       execs_answered = List.length answered;
       execs_blocked = List.length results - List.length answered;
-      tuples_shipped =
-        List.fold_left
-          (fun acc (v, _) -> acc + (try V.cardinal v with V.Type_error _ -> 1))
-          0 answered;
+      tuples_shipped = List.fold_left (fun acc d -> acc + d.shipped) 0 answered;
       elapsed_ms = finish_time -. t0;
+      cache_hits =
+        List.length (List.filter (fun d -> d.origin = From_cache) answered);
+      cache_stale_hits = stale_hits;
+      cache_stale_ms = stale_ms;
     }
   in
   ( List.map
       (fun (extent, r) ->
-        (extent, match r with Done (v, _) -> Some v | Blocked -> None))
+        (extent, match r with Done d -> Some d.value | Blocked -> None))
       results,
     stats )
 

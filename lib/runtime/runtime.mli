@@ -41,10 +41,20 @@ type binding = {
 type env
 
 val env :
+  ?cache:Disco_cache.Answer_cache.t ->
+  ?serve_stale_ms:float ->
   clock:Disco_source.Clock.t ->
   cost:Disco_cost.Cost_model.t ->
   binding list ->
   env
+(** [cache] enables the semantic answer cache: every completed exec is
+    recorded under its (repository, normalized expression) key, and
+    later execs whose key is cached at the source's current data version
+    are answered without touching the source (shipping 0 tuples).
+    [serve_stale_ms] additionally answers execs to {e unavailable}
+    sources from cached fragments no older than the given age — the
+    mediator's [Cached_fallback] semantics; without it, blocked execs
+    yield partial answers as usual. *)
 
 type answer =
   | Complete of V.t
@@ -62,13 +72,18 @@ val answer_oql : answer -> string
 (** The OQL text of an answer: a collection literal for {!Complete}, the
     residual query for {!Partial}. *)
 
-(** Per-execution statistics (drives experiments E2/E4). *)
+(** Per-execution statistics (drives experiments E2/E4/E11). *)
 type stats = {
   execs_issued : int;
   execs_answered : int;
   execs_blocked : int;
   tuples_shipped : int;
   elapsed_ms : float;  (** virtual time from issue to answer *)
+  cache_hits : int;  (** execs answered from the cache at a fresh version *)
+  cache_stale_hits : int;
+      (** execs to unavailable sources answered from stale cache entries
+          (only under [serve_stale_ms]) *)
+  cache_stale_ms : float;  (** maximum staleness age served, virtual ms *)
 }
 
 val execute : ?timeout_ms:float -> env -> Disco_physical.Plan.plan -> answer * stats

@@ -231,6 +231,73 @@ let prop_typemap_roundtrip =
           Typemap.source_field map m = s && Typemap.mediator_field map s = m)
         dedup)
 
+(* -- answer cache vs no cache: semantically invisible when sources are up -- *)
+
+module Source = Disco_source.Source
+module Datagen = Disco_source.Datagen
+module Database = Disco_relation.Database
+module Mediator = Disco_core.Mediator
+module Answer_cache = Disco_cache.Answer_cache
+
+let federation ?cache () =
+  let m = Mediator.create ~name:"prop" ?cache () in
+  Mediator.load_odl m
+    {|w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }|};
+  for i = 0 to 2 do
+    let db = Database.create ~name:"db" in
+    ignore
+      (Datagen.table_of db
+         ~name:(Fmt.str "person%d" i)
+         Datagen.person_schema
+         (Datagen.person_rows ~seed:(1000 + i) ~n:8));
+    Mediator.register_source m
+      ~name:(Fmt.str "r%d" i)
+      (Source.create ~id:(Fmt.str "p%d" i)
+         ~address:
+           (Source.address ~host:(Fmt.str "h%d" i) ~db_name:"db" ~ip:"0" ())
+         (Source.Relational db));
+    Mediator.load_odl m
+      (Fmt.str
+         {|r%d := Repository(host="h%d", name="db", address="0");
+           extent person%d of Person wrapper w0 repository r%d;|}
+         i i i i)
+  done;
+  m
+
+(* Random single-extent selections: attribute, comparator, threshold,
+   projection. Small space, but it exercises normalization (flipped
+   comparators share slots) and repeated thresholds (warm hits). *)
+let query_gen =
+  QCheck.Gen.(
+    map3
+      (fun attrib op threshold ->
+        Fmt.str "select x.name from x in person where x.%s %s %d" attrib op
+          threshold)
+      (oneofl [ "salary"; "id" ])
+      (oneofl [ ">"; "<"; ">="; "<="; "="; "!=" ])
+      (int_range 0 30))
+
+let prop_cache_transparent =
+  QCheck.Test.make ~name:"answer cache is semantically invisible" ~count:60
+    (QCheck.make
+       ~print:(fun qs -> String.concat " ; " qs)
+       QCheck.Gen.(list_size (int_range 1 6) query_gen))
+    (fun queries ->
+      let plain = federation () in
+      let cached = federation ~cache:(Answer_cache.create ()) () in
+      List.for_all
+        (fun q ->
+          let a = (Mediator.query plain q).Mediator.answer
+          and b = (Mediator.query cached q).Mediator.answer in
+          match (a, b) with
+          | Mediator.Complete va, Mediator.Complete vb -> V.equal va vb
+          | _ -> false)
+        queries)
+
 let () =
   Alcotest.run "disco_properties"
     [
@@ -243,6 +310,7 @@ let () =
             prop_join_algorithms_agree;
             prop_smoothing_bounded;
             prop_typemap_roundtrip;
+            prop_cache_transparent;
           ] );
       ( "smoothing",
         [ Alcotest.test_case "tracks level shifts" `Quick test_smoothing_tracks_shift ] );
