@@ -41,8 +41,21 @@ let verbosity_arg =
 
 (* -- federation setup -- *)
 
-let build_mediator ?cache ?recover_at ~sources ~rows ~wrapper ~down ~odl_file () =
-  let m = Mediator.create ?cache ~name:"discoctl" () in
+let qopts ?(timeout_ms = 1000.0) ?(semantics = Mediator.Partial_answers) () =
+  { Mediator.Query_opts.default with timeout_ms; semantics }
+
+let build_mediator ?cache ?trace_sink ?metrics ?recover_at ~sources ~rows
+    ~wrapper ~down ~odl_file () =
+  let config =
+    {
+      Mediator.Config.default with
+      cache;
+      trace_sink;
+      metrics =
+        Option.value metrics ~default:Mediator.Config.default.Mediator.Config.metrics;
+    }
+  in
+  let m = Mediator.create ~config ~name:"discoctl" () in
   (match odl_file with
   | Some path ->
       let ic = open_in path in
@@ -91,16 +104,17 @@ let build_mediator ?cache ?recover_at ~sources ~rows ~wrapper ~down ~odl_file ()
     down;
   m
 
-let print_outcome outcome =
+let print_outcome m outcome =
   (match outcome.Mediator.answer with
   | Mediator.Complete v -> Fmt.pr "answer: %a@." V.pp v
-  | Mediator.Partial { oql; unavailable; stale_hint } ->
+  | Mediator.Partial { unavailable; _ } as answer ->
       Fmt.pr "partial answer (unavailable: %s):@.  %s@."
         (String.concat ", " unavailable)
-        oql;
-      if stale_hint <> [] then
+        (Mediator.answer_oql answer);
+      let stale = Mediator.stale_hint m answer in
+      if stale <> [] then
         Fmt.pr "note: data changed at %s since it answered@."
-          (String.concat ", " stale_hint)
+          (String.concat ", " stale)
   | Mediator.Unavailable repos ->
       Fmt.pr "no answer: %s unavailable@." (String.concat ", " repos));
   let s = outcome.Mediator.stats in
@@ -190,10 +204,14 @@ let is_cached_semantics = function
   | Mediator.Skip_sources ->
       false
 
-let with_mediator ?cache ?recover_at f sources rows wrapper down odl_file
-    verbosity =
+let with_mediator ?cache ?trace_sink ?metrics ?recover_at f sources rows wrapper
+    down odl_file verbosity =
   setup_logs (List.length verbosity);
-  match f (build_mediator ?cache ?recover_at ~sources ~rows ~wrapper ~down ~odl_file ()) with
+  match
+    f
+      (build_mediator ?cache ?trace_sink ?metrics ?recover_at ~sources ~rows
+         ~wrapper ~down ~odl_file ())
+  with
   | () -> `Ok ()
   | exception Mediator.Mediator_error m -> `Error (false, m)
   | exception Disco_runtime.Runtime.Runtime_error m -> `Error (false, m)
@@ -213,7 +231,9 @@ let query_cmd =
       else None
     in
     with_mediator ?cache
-      (fun m -> print_outcome (Mediator.query ~timeout_ms:timeout ~semantics m q))
+      (fun m ->
+        print_outcome m
+          (Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q))
       sources rows wrapper down odl_file verbosity
   in
   Cmd.v
@@ -299,7 +319,10 @@ let repl_cmd =
               loop ()
           | Some q ->
               (try
-                 print_outcome (Mediator.query ~timeout_ms:timeout ~semantics m q)
+                 print_outcome m
+                   (Mediator.query
+                      ~opts:(qopts ~timeout_ms:timeout ~semantics ())
+                      m q)
                with
               | Mediator.Mediator_error e -> Fmt.pr "error: %s@." e
               | Disco_runtime.Runtime.Runtime_error e -> Fmt.pr "error: %s@." e);
@@ -363,7 +386,7 @@ let cache_stats_cmd =
     with_mediator ~cache:(Answer_cache.create ())
       (fun m ->
         for k = 1 to repeat do
-          let o = Mediator.query ~timeout_ms:timeout m q in
+          let o = Mediator.query ~opts:(qopts ~timeout_ms:timeout ()) m q in
           let s = o.Mediator.stats in
           Fmt.pr
             "run %d: %d execs, %d answered from source, %d from cache, %d \
@@ -389,6 +412,93 @@ let cache_stats_cmd =
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
        $ timeout_arg $ verbosity_arg $ repeat_arg $ q_arg))
 
+let trace_cmd =
+  let q_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
+  in
+  let json_arg =
+    let doc = "Emit the trace as JSON instead of the pretty span tree." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
+      verbosity json q =
+    let semantics = sem_of max_stale in
+    let cache =
+      if use_cache || is_cached_semantics semantics then
+        Some (Answer_cache.create ())
+      else None
+    in
+    let traces = ref [] in
+    let sink trace = traces := trace :: !traces in
+    with_mediator ?cache ~trace_sink:sink
+      (fun m ->
+        let o =
+          Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q
+        in
+        List.iter
+          (fun trace ->
+            if json then Fmt.pr "%s@." (Disco_obs.Trace.to_json trace)
+            else Fmt.pr "%a" Disco_obs.Trace.pp trace)
+          (List.rev !traces);
+        if not json then print_outcome m o)
+      sources rows wrapper down odl_file verbosity
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a query with tracing enabled and print its span tree: \
+          per-phase virtual timings plus one line per exec with \
+          repository, origin (source/cache/stale/failover), elapsed ms \
+          and tuples shipped.")
+    Term.(
+      ret
+        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
+       $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
+       $ verbosity_arg $ json_arg $ q_arg))
+
+let metrics_cmd =
+  let q_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
+  in
+  let repeat_arg =
+    let doc = "Number of times to run the query before dumping the registry." in
+    Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"K" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the metrics registry as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
+      verbosity repeat json q =
+    let semantics = sem_of max_stale in
+    let cache =
+      if use_cache || is_cached_semantics semantics then
+        Some (Answer_cache.create ())
+      else None
+    in
+    (* an isolated registry: only this invocation's counters show *)
+    let metrics = Disco_obs.Metrics.create () in
+    with_mediator ?cache ~metrics
+      (fun m ->
+        for _ = 1 to repeat do
+          ignore
+            (Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q)
+        done;
+        if json then Fmt.pr "%s@." (Disco_obs.Metrics.to_json metrics)
+        else Fmt.pr "%a" Disco_obs.Metrics.pp metrics)
+      sources rows wrapper down odl_file verbosity
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a query repeatedly and dump the mediator's metrics registry \
+          (execs by origin, plan-cache hits, optimizer rules fired, ...).")
+    Term.(
+      ret
+        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
+       $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
+       $ verbosity_arg $ repeat_arg $ json_arg $ q_arg))
+
 let resubmit_cmd =
   let q_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
@@ -402,9 +512,9 @@ let resubmit_cmd =
   let run sources rows wrapper down odl_file timeout verbosity recover_at q =
     with_mediator ~cache:(Answer_cache.create ()) ~recover_at
       (fun m ->
-        let o = Mediator.query ~timeout_ms:timeout m q in
+        let o = Mediator.query ~opts:(qopts ~timeout_ms:timeout ()) m q in
         Fmt.pr "initial answer:@.";
-        print_outcome o;
+        print_outcome m o;
         let queue = Resubmission.create ~clock:(Mediator.clock m) () in
         match Mediator.record_partial queue o with
         | None -> Fmt.pr "@.nothing to resubmit: the answer is complete.@."
@@ -413,7 +523,10 @@ let resubmit_cmd =
             let converged =
               Resubmission.drain queue
                 ~source_of:(Mediator.find_source m)
-                ~run:(Mediator.resubmission_runner ~timeout_ms:timeout m)
+                ~run:
+                  (Mediator.resubmission_runner
+                     ~opts:(qopts ~timeout_ms:timeout ())
+                     m)
             in
             List.iter
               (fun e ->
@@ -428,7 +541,8 @@ let resubmit_cmd =
               (Resubmission.entries queue);
             if converged > 0 then (
               Fmt.pr "@.re-running the original query (cache is now warm):@.";
-              print_outcome (Mediator.query ~timeout_ms:timeout m q));
+              print_outcome m
+                (Mediator.query ~opts:(qopts ~timeout_ms:timeout ()) m q));
             print_cache_stats m)
       sources rows wrapper down odl_file verbosity
   in
@@ -449,7 +563,7 @@ let main =
        ~doc:"Drive a Disco heterogeneous-database mediator.")
     [
       query_cmd; explain_cmd; schema_cmd; repl_cmd; catalog_cmd;
-      cache_stats_cmd; resubmit_cmd;
+      cache_stats_cmd; resubmit_cmd; trace_cmd; metrics_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -109,7 +109,8 @@ let () =
     Fmt.pr "@.-- %s@.   %s@." title q;
     match (Mediator.query m q).Mediator.answer with
     | Mediator.Complete v -> Fmt.pr "   %a@." V.pp v
-    | Mediator.Partial { oql; _ } -> Fmt.pr "   partial: %s@." oql
+    | Mediator.Partial _ as partial ->
+        Fmt.pr "   partial: %s@." (Mediator.answer_oql partial)
     | Mediator.Unavailable rs -> Fmt.pr "   unavailable: %s@." (String.concat "," rs)
   in
 

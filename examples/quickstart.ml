@@ -66,12 +66,16 @@ let () =
   (match Mediator.find_source m "r0" with
   | Some src -> Source.set_schedule src (Schedule.down_during [ (0.0, 2000.0) ])
   | None -> assert false);
-  let outcome = Mediator.query ~timeout_ms:200.0 m q in
+  let outcome =
+    Mediator.query
+      ~opts:{ Mediator.Query_opts.default with timeout_ms = 200.0 }
+      m q
+  in
   let partial = outcome.Mediator.answer in
   (match partial with
-  | Mediator.Partial { oql; unavailable; _ } ->
+  | Mediator.Partial { unavailable; _ } ->
       Fmt.pr "unavailable: %s@." (String.concat ", " unavailable);
-      Fmt.pr "partial answer (a query!):@.  %s@." oql
+      Fmt.pr "partial answer (a query!):@.  %s@." (Mediator.answer_oql partial)
   | _ -> assert false);
 
   section "r0 recovers: resubmit the partial answer";

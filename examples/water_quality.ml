@@ -72,7 +72,11 @@ let () =
      x.turbidity) from x in reading where x.oxygen < 4.4 and x.turbidity > 38.0"
   in
   Fmt.pr "@.pollution scan: %s@." q;
-  let o = Mediator.query ~timeout_ms:500.0 m q in
+  let o =
+    Mediator.query
+      ~opts:{ Mediator.Query_opts.default with timeout_ms = 500.0 }
+      m q
+  in
   (match o.Mediator.answer with
   | Mediator.Complete v ->
       Fmt.pr "alerts: %d readings from %d stations shipped %d tuples in %.1f \
@@ -93,15 +97,19 @@ let () =
   Fmt.pr "@.storm: stations %s offline@."
     (String.concat ", " (List.map (fun i -> List.nth station_names i) storm));
 
-  let o = Mediator.query ~timeout_ms:300.0 m q in
+  let o =
+    Mediator.query
+      ~opts:{ Mediator.Query_opts.default with timeout_ms = 300.0 }
+      m q
+  in
   (match o.Mediator.answer with
-  | Mediator.Partial { oql; unavailable; _ } ->
+  | Mediator.Partial { unavailable; _ } as partial ->
       Fmt.pr "partial answer over %d live stations; %d unavailable@."
         (List.length station_names - List.length unavailable)
         (List.length unavailable);
       Fmt.pr "residual query is %d characters of OQL (data from live \
               stations inlined)@."
-        (String.length oql)
+        (String.length (Mediator.answer_oql partial))
   | Mediator.Complete _ -> Fmt.pr "unexpectedly complete@."
   | Mediator.Unavailable _ -> assert false);
 

@@ -222,9 +222,20 @@ let simplify e =
   in
   bottom_up step e
 
-let normalize ?(can_push = push_none) e =
+let normalize ?(can_push = push_none) ?on_rule e =
+  let stage name f e =
+    let e' = f e in
+    (match on_rule with
+    | Some fire when not (equal e e') -> fire name
+    | _ -> ());
+    e'
+  in
   let pipeline e =
-    e |> extract_join_pairs |> push_selects |> push_heads
-    |> absorb ~can_push |> simplify
+    e
+    |> stage "extract_join_pairs" extract_join_pairs
+    |> stage "push_selects" push_selects
+    |> stage "push_heads" push_heads
+    |> stage "absorb" (absorb ~can_push)
+    |> stage "simplify" simplify
   in
   fixpoint pipeline e

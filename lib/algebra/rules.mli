@@ -44,8 +44,15 @@ val simplify : Expr.expr -> Expr.expr
 (** Cleanups: drop [Select true], collapse nested selects and singleton
     unions, remove identity maps. *)
 
-val normalize : ?can_push:can_push -> Expr.expr -> Expr.expr
+val normalize :
+  ?can_push:can_push -> ?on_rule:(string -> unit) -> Expr.expr -> Expr.expr
 (** The standard pipeline:
     [simplify ∘ absorb ∘ push_heads ∘ push_selects ∘ extract_join_pairs]
     iterated to a fixpoint. Without [can_push], nothing is absorbed into
-    submits (maximally conservative). *)
+    submits (maximally conservative).
+
+    [on_rule] is called with the stage name ([extract_join_pairs],
+    [push_selects], [push_heads], [absorb] or [simplify]) each time that
+    stage rewrites the expression — i.e. its output differs from its
+    input.  Observability hooks (optimizer rule-fired metrics) use it;
+    it has no effect on the result. *)

@@ -19,6 +19,8 @@ module Catalog = Disco_catalog.Catalog
 module Lru = Disco_cache.Lru
 module Answer_cache = Disco_cache.Answer_cache
 module Resubmission = Disco_cache.Resubmission
+module Trace = Disco_obs.Trace
+module Metrics = Disco_obs.Metrics
 
 let log_src = Logs.Src.create "disco.mediator" ~doc:"Disco mediator"
 
@@ -35,13 +37,49 @@ type semantics =
   | Skip_sources
   | Cached_fallback of { max_stale_ms : float }
 
+module Config = struct
+  type t = {
+    clock : Clock.t option;
+    cost : Cost_model.t option;
+    params : Plan.params;
+    plan_cache_capacity : int;
+    cache : Answer_cache.t option;
+    trace_sink : Trace.sink option;
+    metrics : Metrics.t;
+  }
+
+  let default =
+    {
+      clock = None;
+      cost = None;
+      params = Plan.default_params;
+      plan_cache_capacity = 128;
+      cache = None;
+      trace_sink = None;
+      metrics = Metrics.default;
+    }
+end
+
+module Query_opts = struct
+  type t = {
+    timeout_ms : float;
+    semantics : semantics;
+    type_check : bool;
+    static_check : bool;
+  }
+
+  let default =
+    {
+      timeout_ms = 1000.0;
+      semantics = Partial_answers;
+      type_check = false;
+      static_check = false;
+    }
+end
+
 type answer =
   | Complete of V.t
-  | Partial of {
-      oql : string;
-      unavailable : string list;
-      stale_hint : string list;
-    }
+  | Partial of Runtime.partial
   | Unavailable of string list
 
 type answer_cache_use = {
@@ -81,22 +119,25 @@ type t = {
   mutable plan_hits : int;
   mutable plan_misses : int;
   cache : Answer_cache.t option;
+  trace_sink : Trace.sink option;
+  metrics : Metrics.t;
 }
 
-let create ?clock ?cost ?(params = Plan.default_params)
-    ?(plan_cache_capacity = 128) ?cache ~name () =
+let create ?(config = Config.default) ~name () =
   {
     m_name = name;
     registry = Registry.create ();
-    clock = Option.value clock ~default:(Clock.create ());
-    cost = Option.value cost ~default:(Cost_model.create ());
-    params;
+    clock = Option.value config.Config.clock ~default:(Clock.create ());
+    cost = Option.value config.Config.cost ~default:(Cost_model.create ());
+    params = config.Config.params;
     sources = Hashtbl.create 16;
     wrappers = Hashtbl.create 16;
-    plan_cache = Lru.create ~capacity:plan_cache_capacity ();
+    plan_cache = Lru.create ~capacity:config.Config.plan_cache_capacity ();
     plan_hits = 0;
     plan_misses = 0;
-    cache;
+    cache = config.Config.cache;
+    trace_sink = config.Config.trace_sink;
+    metrics = config.Config.metrics;
   }
 
 let name t = t.m_name
@@ -105,6 +146,7 @@ let registry t = t.registry
 let cost_model t = t.cost
 let answer_cache t = t.cache
 let answer_cache_stats t = Option.map Answer_cache.stats t.cache
+let metrics t = t.metrics
 
 let register_source t ~name source = Hashtbl.replace t.sources name source
 let register_wrapper t ~name wrapper = Hashtbl.replace t.wrappers name wrapper
@@ -187,11 +229,34 @@ let serve_stale_of = function
   | Cached_fallback { max_stale_ms } -> Some max_stale_ms
   | Partial_answers | Wait_all | Null_sources | Skip_sources -> None
 
-let runtime_env t ~type_check ~semantics extents =
+let runtime_env t ~type_check ~semantics ~tr extents =
   let bindings = List.map (binding_for t ~type_check) extents in
-  Runtime.env ?cache:t.cache
-    ?serve_stale_ms:(serve_stale_of semantics)
-    ~clock:t.clock ~cost:t.cost bindings
+  Runtime.env
+    (Runtime.Config.make ?cache:t.cache
+       ?serve_stale_ms:(serve_stale_of semantics)
+       ?trace:tr ~metrics:t.metrics ~clock:t.clock ~cost:t.cost ())
+    bindings
+
+(* -- tracing helpers --
+
+   [tr] is [Some builder] only when the mediator was created with a
+   trace sink; the [None] path never touches the clock or allocates, so
+   disabled tracing costs nothing. *)
+
+let in_span t tr name f =
+  match tr with
+  | None -> f ()
+  | Some b -> (
+      Trace.enter b ~now:(Clock.now t.clock) name;
+      match f () with
+      | r ->
+          Trace.leave b ~now:(Clock.now t.clock);
+          r
+      | exception e ->
+          Trace.leave b ~now:(Clock.now t.clock);
+          raise e)
+
+let span_meta tr k v = Option.iter (fun b -> Trace.meta b k v) tr
 
 (* Capability check used by the optimizer: every extent mentioned in the
    candidate expression must be served by a wrapper that accepts it, and
@@ -244,26 +309,44 @@ let no_cache_use = { answer_hits = 0; stale_hits = 0; stale_ms = 0.0 }
 let eval_env ?(resolve = fun _ -> None) t =
   Eval.env ~resolve ~interface_names:(Registry.interface_names t.registry) ()
 
-let to_mediator_answer env = function
+(* The runtime and the mediator share one partial-answer payload
+   ([Runtime.partial]); converting is constructor renaming only. *)
+let answer_of_runtime = function
   | Runtime.Complete v -> Complete v
-  | Runtime.Partial { query; unavailable; _ } as a ->
-      Partial
-        {
-          oql = Ast.to_string query;
-          unavailable;
-          stale_hint = Runtime.resubmit_hint env a;
-        }
+  | Runtime.Partial p -> Partial p
+
+let runtime_of_answer = function
+  | Complete v -> Some (Runtime.Complete v)
+  | Partial p -> Some (Runtime.Partial p)
+  | Unavailable _ -> None
+
+let answer_oql answer =
+  match runtime_of_answer answer with
+  | Some a -> Runtime.answer_oql a
+  | None -> mediator_error "no answer to render: every source unavailable"
+
+(* The staleness check of Section 4: which sources that answered have
+   already changed their data? Computed on demand from the versions the
+   partial answer recorded. *)
+let stale_hint t = function
+  | Complete _ | Unavailable _ -> []
+  | Partial { Runtime.versions; _ } ->
+      List.filter_map
+        (fun (repo, recorded_version) ->
+          match source_of t repo with
+          | Some s when Source.data_version s <> recorded_version -> Some repo
+          | Some _ | None -> None)
+        versions
 
 (* Apply the chosen unavailable-data semantics to a runtime partial
    answer. *)
 let apply_semantics t semantics answer =
   match (semantics, answer) with
   | (Partial_answers | Skip_sources | Cached_fallback _), a -> a
-  | Wait_all, Partial { unavailable; _ } -> Unavailable unavailable
-  | Null_sources, Partial { oql; _ } -> (
+  | Wait_all, Partial { Runtime.unavailable; _ } -> Unavailable unavailable
+  | Null_sources, Partial { Runtime.query = residual; _ } -> (
       (* unavailable sources contribute no tuples: replace the residual
          extents with empty bags and finish locally *)
-      let residual = Oql_parser.parse oql in
       let emptied =
         Expand.substitute_collections
           (fun name ->
@@ -280,7 +363,7 @@ let apply_semantics t semantics answer =
 
 (* -- the compiled path -- *)
 
-let compiled_outcome t ~timeout_ms ~type_check ~semantics ~oql located =
+let compiled_outcome t ~timeout_ms ~type_check ~semantics ~tr ~oql located =
   let cache_key = oql in
   let version = Registry.version t.registry in
   let cached =
@@ -289,30 +372,41 @@ let compiled_outcome t ~timeout_ms ~type_check ~semantics ~oql located =
     | _ -> None
   in
   let plan, from_cache =
-    match cached with
-    | Some plan ->
-        t.plan_hits <- t.plan_hits + 1;
-        (plan, true)
-    | None ->
-        t.plan_misses <- t.plan_misses + 1;
-        let choice =
-          Optimizer.optimize ~params:t.params ~can_push:(can_push t)
-            ~cost:t.cost located
-        in
-        Lru.add t.plan_cache cache_key
-          { c_plan = choice.Optimizer.plan; c_version = version };
-        (choice.Optimizer.plan, false)
+    in_span t tr "optimize" (fun () ->
+        match cached with
+        | Some plan ->
+            t.plan_hits <- t.plan_hits + 1;
+            Metrics.incr t.metrics "plan_cache.hit";
+            span_meta tr "plan_cache" "hit";
+            (plan, true)
+        | None ->
+            t.plan_misses <- t.plan_misses + 1;
+            Metrics.incr t.metrics "plan_cache.miss";
+            span_meta tr "plan_cache" "miss";
+            let choice =
+              Optimizer.optimize ~params:t.params ~metrics:t.metrics
+                ~can_push:(can_push t) ~cost:t.cost located
+            in
+            span_meta tr "alternatives"
+              (string_of_int choice.Optimizer.alternatives);
+            span_meta tr "est_time_ms"
+              (Printf.sprintf "%.3f" choice.Optimizer.cost.Plan.time_ms);
+            Lru.add t.plan_cache cache_key
+              { c_plan = choice.Optimizer.plan; c_version = version };
+            (choice.Optimizer.plan, false))
   in
   let extents =
     List.sort_uniq String.compare
       (List.concat_map (fun (_, e) -> Expr.gets e) (Plan.all_source_exprs plan))
   in
-  let env = runtime_env t ~type_check ~semantics extents in
+  let env = runtime_env t ~type_check ~semantics ~tr extents in
   let run plan =
     (* execution-layer failures (bad maps, misbehaving wrappers) surface
        as clean mediator errors, never raw engine exceptions *)
-    match Runtime.execute ~timeout_ms env plan with
-    | answer, stats -> (to_mediator_answer env answer, stats)
+    match
+      in_span t tr "execute" (fun () -> Runtime.execute ~timeout_ms env plan)
+    with
+    | answer, stats -> (answer_of_runtime answer, stats)
     | exception Plan.Physical_error m -> mediator_error "execution failed: %s" m
     | exception Expr.Algebra_error m -> mediator_error "execution failed: %s" m
     | exception V.Type_error m -> mediator_error "execution failed: %s" m
@@ -330,8 +424,10 @@ let compiled_outcome t ~timeout_ms ~type_check ~semantics ~oql located =
   | exception Runtime.Runtime_error reason ->
       (* a wrapper refused its expression: replan without pushdown *)
       Log.warn (fun m -> m "capability fallback: %s" reason);
+      Metrics.incr t.metrics "mediator.capability_fallback";
       let conservative =
-        Plan.implement (Rules.normalize ~can_push:Rules.push_none located)
+        in_span t tr "replan" (fun () ->
+            Plan.implement (Rules.normalize ~can_push:Rules.push_none located))
       in
       let answer, stats = run conservative in
       {
@@ -364,7 +460,7 @@ let add_stats a b =
     cache_stale_ms = Float.max a.Runtime.cache_stale_ms b.Runtime.cache_stale_ms;
   }
 
-let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
+let hybrid_outcome t ~timeout_ms ~type_check ~semantics ~tr expanded =
   (match
      List.find_opt
        (fun name -> Registry.find_extent t.registry name = None)
@@ -372,6 +468,7 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
    with
   | Some unknown -> mediator_error "unresolved name %s after expansion" unknown
   | None -> ());
+  span_meta tr "mode" "hybrid";
   let stats_acc = ref zero_stats in
   let blocked_repos = ref [] in
   let try_fragment sub =
@@ -393,8 +490,8 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
             else
               let located = Compile.locate ~repo_of:(repo_of t) compiled in
               let choice =
-                Optimizer.optimize ~params:t.params ~can_push:(can_push t)
-                  ~cost:t.cost located
+                Optimizer.optimize ~params:t.params ~metrics:t.metrics
+                  ~can_push:(can_push t) ~cost:t.cost located
               in
               let extents =
                 List.sort_uniq String.compare
@@ -402,7 +499,7 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
                      (fun (_, e) -> Expr.gets e)
                      (Plan.all_source_exprs choice.Optimizer.plan))
               in
-              let env = runtime_env t ~type_check ~semantics extents in
+              let env = runtime_env t ~type_check ~semantics ~tr extents in
               match Runtime.execute ~timeout_ms env choice.Optimizer.plan with
               | Runtime.Complete v, st ->
                   stats_acc := add_stats !stats_acc st;
@@ -416,16 +513,20 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
                   (* capability surprise: fall back to plain fetches *)
                   None))
   in
-  let substituted = Expand.map_closed_subqueries try_fragment expanded in
-  (* whatever extents remain (bare or in failed fragments) are fetched
-     whole, in one parallel round *)
-  let extents =
-    List.filter
-      (fun name -> Registry.find_extent t.registry name <> None)
-      (Ast.free_collections substituted)
+  let substituted, fetched, fetch_stats =
+    in_span t tr "execute" (fun () ->
+        let substituted = Expand.map_closed_subqueries try_fragment expanded in
+        (* whatever extents remain (bare or in failed fragments) are
+           fetched whole, in one parallel round *)
+        let extents =
+          List.filter
+            (fun name -> Registry.find_extent t.registry name <> None)
+            (Ast.free_collections substituted)
+        in
+        let env = runtime_env t ~type_check ~semantics ~tr extents in
+        let fetched, fetch_stats = Runtime.fetch ~timeout_ms env extents in
+        (substituted, fetched, fetch_stats))
   in
-  let env = runtime_env t ~type_check ~semantics extents in
-  let fetched, fetch_stats = Runtime.fetch ~timeout_ms env extents in
   let stats = add_stats !stats_acc fetch_stats in
   let fetch_blocked = List.filter (fun (_, v) -> v = None) fetched in
   if fetch_blocked = [] && !blocked_repos = [] then
@@ -464,7 +565,7 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded =
             fetch_blocked)
     in
     let answer =
-      Partial { oql = Ast.to_string residual; unavailable; stale_hint = [] }
+      Partial { Runtime.query = residual; unavailable; versions = [] }
     in
     {
       answer = apply_semantics t semantics answer;
@@ -528,32 +629,62 @@ let validate_views t =
       | Error m -> Some (name, m))
     (Registry.view_names t.registry)
 
-let query ?(timeout_ms = 1000.0) ?(semantics = Partial_answers)
-    ?(type_check = false) ?(static_check = false) t oql =
+let query ?(opts = Query_opts.default) t oql =
+  let { Query_opts.timeout_ms; semantics; type_check; static_check } = opts in
   Log.info (fun m -> m "[%s] query: %s" t.m_name oql);
-  let ast = parse_oql oql in
-  (if static_check then
-     match
-       Disco_oql.Typecheck.check
-         (Disco_oql.Typecheck.env_of_registry t.registry)
-         ast
-     with
-     | Ok _ -> ()
-     | Error m -> mediator_error "type error: %s" m);
-  let expanded = expand t ast in
-  let expanded =
-    match semantics with
-    | Skip_sources -> apply_skip t expanded
-    | Partial_answers | Wait_all | Null_sources | Cached_fallback _ -> expanded
+  Metrics.incr t.metrics "mediator.queries";
+  let tr =
+    Option.map
+      (fun _ -> Trace.make ~query:oql ~now:(Clock.now t.clock))
+      t.trace_sink
   in
-  match Compile.compile expanded with
-  | Ok compiled ->
-      let located = Compile.locate ~repo_of:(repo_of t) compiled in
-      compiled_outcome t ~timeout_ms ~type_check ~semantics
-        ~oql:(Ast.to_string expanded) located
-  | Error _ -> hybrid_outcome t ~timeout_ms ~type_check ~semantics expanded
+  let outcome =
+    let ast = in_span t tr "parse" (fun () -> parse_oql oql) in
+    (if static_check then
+       match
+         Disco_oql.Typecheck.check
+           (Disco_oql.Typecheck.env_of_registry t.registry)
+           ast
+       with
+       | Ok _ -> ()
+       | Error m -> mediator_error "type error: %s" m);
+    let expanded = in_span t tr "expand" (fun () -> expand t ast) in
+    let expanded =
+      match semantics with
+      | Skip_sources -> apply_skip t expanded
+      | Partial_answers | Wait_all | Null_sources | Cached_fallback _ ->
+          expanded
+    in
+    match in_span t tr "compile" (fun () -> Compile.compile expanded) with
+    | Ok compiled ->
+        let located = Compile.locate ~repo_of:(repo_of t) compiled in
+        compiled_outcome t ~timeout_ms ~type_check ~semantics ~tr
+          ~oql:(Ast.to_string expanded) located
+    | Error _ -> hybrid_outcome t ~timeout_ms ~type_check ~semantics ~tr expanded
+  in
+  (match outcome.answer with
+  | Complete _ -> Metrics.incr t.metrics "mediator.answers.complete"
+  | Partial _ -> Metrics.incr t.metrics "mediator.answers.partial"
+  | Unavailable _ -> Metrics.incr t.metrics "mediator.answers.unavailable");
+  Metrics.observe t.metrics "query.elapsed_virtual_ms"
+    outcome.stats.Runtime.elapsed_ms;
+  (match (tr, t.trace_sink) with
+  | Some b, Some sink ->
+      span_meta tr "answer"
+        (match outcome.answer with
+        | Complete _ -> "complete"
+        | Partial _ -> "partial"
+        | Unavailable _ -> "unavailable");
+      span_meta tr "execs"
+        (string_of_int outcome.stats.Runtime.execs_answered);
+      span_meta tr "tuples_shipped"
+        (string_of_int outcome.stats.Runtime.tuples_shipped);
+      if outcome.fallback then span_meta tr "fallback" "capability";
+      sink (Trace.finish b ~now:(Clock.now t.clock))
+  | _ -> ());
+  outcome
 
-let resubmit ?timeout_ms ?semantics t answer =
+let resubmit ?opts t answer =
   match answer with
   | Complete v ->
       {
@@ -564,7 +695,7 @@ let resubmit ?timeout_ms ?semantics t answer =
         answer_cache = no_cache_use;
         fallback = false;
       }
-  | Partial { oql; _ } -> query ?timeout_ms ?semantics t oql
+  | Partial p -> query ?opts t (Ast.to_string p.Runtime.query)
   | Unavailable repos ->
       mediator_error "nothing to resubmit: no answer from %s"
         (String.concat ", " repos)
@@ -572,18 +703,24 @@ let resubmit ?timeout_ms ?semantics t answer =
 (* Feed the resubmission manager: replay a residual query and classify
    the result. Records fresh data into the answer cache as a side effect
    when the mediator runs with one. *)
-let resubmission_runner ?timeout_ms ?semantics t oql =
-  match (query ?timeout_ms ?semantics t oql).answer with
-  | Complete _ -> Resubmission.Run_complete
-  | Partial { oql; unavailable; _ } ->
-      Resubmission.Run_partial { oql; unavailable }
-  | Unavailable unavailable ->
-      Resubmission.Run_partial { oql; unavailable }
+let resubmission_runner ?opts t oql =
+  Metrics.incr t.metrics "resubmission.replays";
+  match (query ?opts t oql).answer with
+  | Complete _ ->
+      Metrics.incr t.metrics "resubmission.converged";
+      Resubmission.Run_complete
+  | Partial p ->
+      Resubmission.Run_partial
+        { oql = Ast.to_string p.Runtime.query; unavailable = p.Runtime.unavailable }
+  | Unavailable unavailable -> Resubmission.Run_partial { oql; unavailable }
 
 let record_partial resubmissions outcome =
   match outcome.answer with
-  | Partial { oql; unavailable; _ } ->
-      Some (Resubmission.record resubmissions ~oql ~unavailable)
+  | Partial p ->
+      Some
+        (Resubmission.record resubmissions
+           ~oql:(Ast.to_string p.Runtime.query)
+           ~unavailable:p.Runtime.unavailable)
   | Complete _ | Unavailable _ -> None
 
 let explain t oql =
@@ -670,3 +807,20 @@ let clear_answer_cache t =
       Answer_cache.clear cache;
       Answer_cache.reset_stats cache
   | None -> ()
+
+(* -- deprecated optional-label entry points -- *)
+
+module Legacy = struct
+  let create ?clock ?cost ?(params = Plan.default_params)
+      ?(plan_cache_capacity = 128) ?cache ~name () =
+    create
+      ~config:
+        { Config.default with clock; cost; params; plan_cache_capacity; cache }
+      ~name ()
+
+  let query ?(timeout_ms = 1000.0) ?(semantics = Partial_answers)
+      ?(type_check = false) ?(static_check = false) t oql =
+    query
+      ~opts:{ Query_opts.timeout_ms; semantics; type_check; static_check }
+      t oql
+end

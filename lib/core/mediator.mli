@@ -79,12 +79,11 @@ type outcome = {
 
 and answer =
   | Complete of V.t
-  | Partial of {
-      oql : string;  (** the answer-as-query, resubmittable *)
-      unavailable : string list;  (** repository names *)
-      stale_hint : string list;
-          (** sources whose data already changed since they answered *)
-    }
+  | Partial of Runtime.partial
+      (** the answer-as-query (see {!Disco_runtime.Runtime.partial}):
+          the residual query, the repositories that did not answer, and
+          the data versions of those that did. Render with
+          {!answer_oql}; check staleness with {!stale_hint}. *)
   | Unavailable of string list
       (** [Wait_all] semantics with blocked sources *)
 
@@ -99,25 +98,60 @@ type plan_cache_stats = {
 
 type t
 
-val create :
-  ?clock:Disco_source.Clock.t ->
-  ?cost:Disco_cost.Cost_model.t ->
-  ?params:Disco_physical.Plan.params ->
-  ?plan_cache_capacity:int ->
-  ?cache:Disco_cache.Answer_cache.t ->
-  name:string ->
-  unit ->
-  t
-(** [plan_cache_capacity] bounds the LRU plan cache (default 128
-    entries). [cache] attaches a semantic answer cache: completed execs
-    are recorded in it and later execs served from it (see
-    {!Disco_cache.Answer_cache}); omitted, the mediator never caches
-    answers and behaves exactly as before. *)
+(** Everything {!create} accepts, as one record. Build with
+    [{ Config.default with ... }]. *)
+module Config : sig
+  type t = {
+    clock : Disco_source.Clock.t option;
+        (** [None]: a fresh virtual clock per mediator *)
+    cost : Disco_cost.Cost_model.t option;
+        (** [None]: a fresh (empty) learned cost model *)
+    params : Disco_physical.Plan.params;
+    plan_cache_capacity : int;
+        (** bound of the LRU plan cache (default 128 entries) *)
+    cache : Disco_cache.Answer_cache.t option;
+        (** semantic answer cache: completed execs are recorded in it
+            and later execs served from it (see
+            {!Disco_cache.Answer_cache}); [None], the mediator never
+            caches answers *)
+    trace_sink : Disco_obs.Trace.sink option;
+        (** called with the finished span tree of every query; [None]
+            disables tracing entirely (no builder is ever allocated) *)
+    metrics : Disco_obs.Metrics.t;
+        (** registry receiving the mediator's counters (defaults to
+            {!Disco_obs.Metrics.default}) *)
+  }
+
+  val default : t
+end
+
+(** Everything {!query} accepts besides the OQL text. Build with
+    [{ Query_opts.default with ... }]. *)
+module Query_opts : sig
+  type t = {
+    timeout_ms : float;  (** designated deadline, virtual ms *)
+    semantics : semantics;
+    type_check : bool;
+        (** run-time source-type check — enable it to detect sources
+            returning wrongly-typed tuples *)
+    static_check : bool;
+        (** run the OQL type checker before planning, rejecting
+            ill-typed queries with {!Mediator_error} *)
+  }
+
+  val default : t
+  (** 1000 virtual ms, [Partial_answers], both checks off. *)
+end
+
+val create : ?config:Config.t -> name:string -> unit -> t
 
 val name : t -> string
 val clock : t -> Disco_source.Clock.t
 val registry : t -> Disco_odl.Registry.t
 val cost_model : t -> Disco_cost.Cost_model.t
+
+val metrics : t -> Disco_obs.Metrics.t
+(** The registry this mediator reports into. *)
 
 val answer_cache : t -> Disco_cache.Answer_cache.t option
 val answer_cache_stats : t -> Disco_cache.Answer_cache.stats option
@@ -140,20 +174,23 @@ val load_odl : t -> string -> unit
     explicitly. Raises {!Mediator_error} (wrapping parse and registry
     errors) on failure. *)
 
-val query :
-  ?timeout_ms:float ->
-  ?semantics:semantics ->
-  ?type_check:bool ->
-  ?static_check:bool ->
-  t ->
-  string ->
-  outcome
-(** Run an OQL query. [timeout_ms] is the designated deadline in virtual
-    ms (default 1000). [type_check] enables the run-time source-type check
-    (default false — enable it to detect sources returning wrongly-typed
-    tuples). [static_check] runs the OQL type checker before planning
-    (default false), rejecting ill-typed queries with {!Mediator_error}.
-    Raises {!Mediator_error} on parse/expansion errors. *)
+val query : ?opts:Query_opts.t -> t -> string -> outcome
+(** Run an OQL query ([opts] defaults to {!Query_opts.default}). Raises
+    {!Mediator_error} on parse/expansion errors. When the mediator was
+    created with a [trace_sink], the sink receives the query's span tree
+    — phases parse → expand → compile → optimize → execute with one exec
+    leaf per issued exec — after the outcome is computed. *)
+
+val answer_oql : answer -> string
+(** The OQL text of an answer: a collection literal for {!Complete}, the
+    residual query for {!Partial} (delegates to
+    {!Disco_runtime.Runtime.answer_oql} — the single renderer). Raises
+    {!Mediator_error} for {!Unavailable}, which carries no answer. *)
+
+val stale_hint : t -> answer -> string list
+(** For a partial answer: the repositories that answered but whose data
+    has already changed since — resubmitting would yield fresher data
+    (Section 4's staleness check). Empty otherwise. *)
 
 val typecheck : t -> string -> (Disco_odl.Otype.t, string) result
 (** Statically type a query against the mediator schema without running
@@ -164,21 +201,18 @@ val validate_views : t -> (string * string) list
     returns [(view, error)] pairs for the ones that no longer parse or
     type — the DBA's consistency check after schema evolution. *)
 
-val resubmit : ?timeout_ms:float -> ?semantics:semantics -> t -> answer -> outcome
+val resubmit : ?opts:Query_opts.t -> t -> answer -> outcome
 (** Resubmit a (partial) answer as a new query (Section 4: "this partial
     answer could be submitted as a new query"). A [Complete] answer
     returns itself. *)
 
 val resubmission_runner :
-  ?timeout_ms:float ->
-  ?semantics:semantics ->
-  t ->
-  string ->
-  Disco_cache.Resubmission.run_result
+  ?opts:Query_opts.t -> t -> string -> Disco_cache.Resubmission.run_result
 (** The [run] callback for {!Disco_cache.Resubmission.drain}: replays a
-    residual OQL query through this mediator and classifies the result.
-    With an answer cache attached, recovered data is folded into the
-    cache as it arrives. *)
+    residual OQL query through this mediator and classifies the result
+    (counted as [resubmission.replays] / [resubmission.converged] in the
+    metrics registry). With an answer cache attached, recovered data is
+    folded into the cache as it arrives. *)
 
 val record_partial : Disco_cache.Resubmission.t -> outcome -> int option
 (** Enqueue an outcome's partial answer on a resubmission queue; [None]
@@ -207,3 +241,30 @@ val clear_plan_cache : t -> unit
 val clear_answer_cache : t -> unit
 (** Drop every cached answer and reset its counters; a no-op on a
     mediator without an answer cache. *)
+
+(** The pre-[Config]/[Query_opts] optional-label entry points, kept as
+    thin aliases so callers can migrate incrementally. New code should
+    use {!create} with a [Config.t] and {!query} with a
+    [Query_opts.t]. *)
+module Legacy : sig
+  val create :
+    ?clock:Disco_source.Clock.t ->
+    ?cost:Disco_cost.Cost_model.t ->
+    ?params:Disco_physical.Plan.params ->
+    ?plan_cache_capacity:int ->
+    ?cache:Disco_cache.Answer_cache.t ->
+    name:string ->
+    unit ->
+    t
+  [@@ocaml.deprecated "Use Mediator.create ?config instead."]
+
+  val query :
+    ?timeout_ms:float ->
+    ?semantics:semantics ->
+    ?type_check:bool ->
+    ?static_check:bool ->
+    t ->
+    string ->
+    outcome
+  [@@ocaml.deprecated "Use Mediator.query ?opts instead."]
+end

@@ -30,6 +30,8 @@ module Grammar = Disco_wrapper.Grammar
 module Translate = Disco_wrapper.Translate
 module Wrapper = Disco_wrapper.Wrapper
 module Cost_model = Disco_cost.Cost_model
+module Trace = Disco_obs.Trace
+module Metrics = Disco_obs.Metrics
 module Lru = Disco_cache.Lru
 module Answer_cache = Disco_cache.Answer_cache
 module Resubmission = Disco_cache.Resubmission

@@ -1,0 +1,77 @@
+type histogram = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+type value = Counter of int | Histogram of histogram
+
+type t = (string, value) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+let default : t = create ()
+let reset t = Hashtbl.reset t
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t name with
+  | None -> Hashtbl.replace t name (Counter by)
+  | Some (Counter n) -> Hashtbl.replace t name (Counter (n + by))
+  | Some (Histogram _) ->
+      invalid_arg (Printf.sprintf "Metrics.incr: %S is a histogram" name)
+
+let observe t name v =
+  match Hashtbl.find_opt t name with
+  | None ->
+      Hashtbl.replace t name
+        (Histogram { h_count = 1; h_sum = v; h_min = v; h_max = v })
+  | Some (Histogram h) ->
+      Hashtbl.replace t name
+        (Histogram
+           {
+             h_count = h.h_count + 1;
+             h_sum = h.h_sum +. v;
+             h_min = Float.min h.h_min v;
+             h_max = Float.max h.h_max v;
+           })
+  | Some (Counter _) ->
+      invalid_arg (Printf.sprintf "Metrics.observe: %S is a counter" name)
+
+let find_counter t name =
+  match Hashtbl.find_opt t name with Some (Counter n) -> n | _ -> 0
+
+let find_histogram t name =
+  match Hashtbl.find_opt t name with Some (Histogram h) -> Some h | _ -> None
+
+let dump t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> Fmt.pf ppf "%-40s %d@." name n
+      | Histogram h ->
+          Fmt.pf ppf "%-40s count=%d sum=%.1f min=%.1f max=%.1f mean=%.2f@."
+            name h.h_count h.h_sum h.h_min h.h_max
+            (h.h_sum /. float_of_int (max 1 h.h_count)))
+    (dump t)
+
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%S:" name);
+      match v with
+      | Counter n -> Buffer.add_string b (string_of_int n)
+      | Histogram h ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"count\":%d,\"sum\":%.6g,\"min\":%.6g,\"max\":%.6g}"
+               h.h_count h.h_sum h.h_min h.h_max))
+    (dump t);
+  Buffer.add_char b '}';
+  Buffer.contents b

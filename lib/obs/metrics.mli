@@ -1,0 +1,56 @@
+(** Named counters and histograms.
+
+    A registry maps metric names (dot-separated, e.g.
+    ["exec.origin.cache"]) to values.  The library keeps one
+    process-wide {!default} registry that all Disco subsystems write to
+    unless a different registry is supplied through their configuration
+    records; tests that need isolation create their own with
+    {!create}.
+
+    Counters are monotonic ints; histograms keep count/sum/min/max of
+    observed values (enough for means and ranges without binning).
+    Incrementing a name that exists as the other kind raises
+    [Invalid_argument] — metric names are a namespace, not dynamically
+    typed. *)
+
+type histogram = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+type value = Counter of int | Histogram of histogram
+
+type t
+(** A metrics registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry. *)
+
+val reset : t -> unit
+(** Drop every metric in the registry. *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter, creating it at zero first if absent. *)
+
+val observe : t -> string -> float -> unit
+(** Record one histogram observation, creating the histogram if
+    absent. *)
+
+val find_counter : t -> string -> int
+(** Current value, 0 if the counter does not exist. *)
+
+val find_histogram : t -> string -> histogram option
+
+val dump : t -> (string * value) list
+(** All metrics, sorted by name. *)
+
+val pp : t Fmt.t
+(** One metric per line, sorted by name. *)
+
+val to_json : t -> string
+(** [{"name": 3, "hist": {"count":2,"sum":...,"min":...,"max":...}}],
+    keys sorted. *)

@@ -75,7 +75,15 @@ let better (a : Plan.cost * int * int) (b : Plan.cost * int * int) =
         ca.Plan.shipped < cb.Plan.shipped
       else pusheda > pushedb
 
-let optimize ?params ?(max_join_variants = 8) ~can_push ~cost located =
+let optimize ?params ?(max_join_variants = 8) ?metrics ~can_push ~cost located
+    =
+  let on_rule =
+    Option.map
+      (fun m stage ->
+        Disco_obs.Metrics.incr m "optimizer.rules_fired";
+        Disco_obs.Metrics.incr m ("optimizer.rule." ^ stage))
+      metrics
+  in
   let candidates =
     (* join commutations of the located tree ... *)
     located :: join_variants ~limit:max_join_variants located
@@ -83,8 +91,8 @@ let optimize ?params ?(max_join_variants = 8) ~can_push ~cost located =
        as-written *)
     |> List.concat_map (fun v ->
            [
-             Rules.normalize ~can_push v;
-             Rules.normalize ~can_push:Rules.push_none v;
+             Rules.normalize ~can_push ?on_rule v;
+             Rules.normalize ~can_push:Rules.push_none ?on_rule v;
              v;
            ])
     |> List.sort_uniq compare
@@ -121,6 +129,11 @@ let optimize ?params ?(max_join_variants = 8) ~can_push ~cost located =
         | exception Plan.Physical_error _ -> [])
       candidates
   in
+  Option.iter
+    (fun m ->
+      Disco_obs.Metrics.observe m "optimizer.candidates"
+        (float_of_int (max 1 (List.length costed))))
+    metrics;
   match costed with
   | [] ->
       (* fall back to the located expression itself *)

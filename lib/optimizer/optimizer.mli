@@ -28,6 +28,7 @@ type choice = {
 val optimize :
   ?params:Disco_physical.Plan.params ->
   ?max_join_variants:int ->
+  ?metrics:Disco_obs.Metrics.t ->
   can_push:Disco_algebra.Rules.can_push ->
   cost:Disco_cost.Cost_model.t ->
   Expr.expr ->
@@ -35,4 +36,10 @@ val optimize :
 (** [optimize ~can_push ~cost located] plans a located logical expression.
     [max_join_variants] bounds the commutation variants explored per
     candidate (default 8). Ties in estimated time break toward fewer
-    shipped tuples, then smaller plans. *)
+    shipped tuples, then smaller plans.
+
+    When [metrics] is given, the search reports into it:
+    [optimizer.rules_fired] / [optimizer.rule.<stage>] count each
+    normalization stage that rewrote a candidate, and
+    [optimizer.candidates] is a histogram of costed candidates per
+    call. *)

@@ -10,6 +10,8 @@ module Typemap = Disco_odl.Typemap
 module Ast = Disco_oql.Ast
 module V = Disco_value.Value
 module Answer_cache = Disco_cache.Answer_cache
+module Trace = Disco_obs.Trace
+module Metrics = Disco_obs.Metrics
 
 let log_src = Logs.Src.create "disco.runtime" ~doc:"Disco run-time system"
 
@@ -29,6 +31,21 @@ type binding = {
   b_check : (V.t -> bool) option;
 }
 
+module Config = struct
+  type t = {
+    clock : Clock.t;
+    cost : Cost_model.t;
+    cache : Answer_cache.t option;
+    serve_stale_ms : float option;
+    trace : Trace.t option;
+    metrics : Metrics.t;
+  }
+
+  let make ?cache ?serve_stale_ms ?trace ?(metrics = Metrics.default) ~clock
+      ~cost () =
+    { clock; cost; cache; serve_stale_ms; trace; metrics }
+end
+
 type env = {
   clock : Clock.t;
   cost : Cost_model.t;
@@ -37,10 +54,20 @@ type env = {
   serve_stale_ms : float option;
       (* when set, execs to unavailable sources are answered from cached
          fragments no older than this (the Cached_fallback semantics) *)
+  trace : Trace.t option;
+  metrics : Metrics.t;
 }
 
-let env ?cache ?serve_stale_ms ~clock ~cost bindings =
-  { clock; cost; bindings; cache; serve_stale_ms }
+let env (c : Config.t) bindings =
+  {
+    clock = c.Config.clock;
+    cost = c.Config.cost;
+    bindings;
+    cache = c.Config.cache;
+    serve_stale_ms = c.Config.serve_stale_ms;
+    trace = c.Config.trace;
+    metrics = c.Config.metrics;
+  }
 
 let binding_of env extent =
   match
@@ -49,13 +76,13 @@ let binding_of env extent =
   | Some b -> b
   | None -> runtime_error "no binding for extent %s" extent
 
-type answer =
-  | Complete of V.t
-  | Partial of {
-      query : Ast.query;
-      unavailable : string list;
-      versions : (string * int) list;
-    }
+type partial = {
+  query : Ast.query;
+  unavailable : string list;
+  versions : (string * int) list;
+}
+
+type answer = Complete of V.t | Partial of partial
 
 let answer_oql = function
   | Complete v -> V.to_string v
@@ -75,10 +102,43 @@ type stats = {
 (* One exec call: consult the answer cache, else translate to the source
    name space, run the wrapper through the simulated network, reformat
    and type-check the answer. *)
-type origin = From_source | From_cache | From_stale of float
+type exec_done = {
+  value : V.t;
+  finish : float;
+  shipped : int;
+  origin : Trace.origin;
+}
 
-type exec_done = { value : V.t; finish : float; shipped : int; origin : origin }
 type exec_result = Done of exec_done | Blocked
+
+(* every exec outcome lands in the metrics registry; the trace leaf is
+   built only when a trace is attached *)
+let observe_exec env ~repo ~wrapper ~logical ~start ~finish ~origin ~shipped
+    ~rows ~predicted =
+  Metrics.incr env.metrics ("exec.origin." ^ Trace.origin_label origin);
+  if shipped > 0 then Metrics.incr ~by:shipped env.metrics "exec.tuples_shipped";
+  match env.trace with
+  | None -> ()
+  | Some tr ->
+      let p_ms, p_rows =
+        match predicted with
+        | Some (e : Cost_model.estimate) ->
+            (Some e.Cost_model.est_time_ms, Some e.Cost_model.est_rows)
+        | None -> (None, None)
+      in
+      Trace.exec tr
+        {
+          Trace.x_repo = repo;
+          x_wrapper = wrapper;
+          x_expr = Expr.to_string logical;
+          x_origin = origin;
+          x_start_ms = start;
+          x_elapsed_ms = finish -. start;
+          x_tuples = shipped;
+          x_rows = rows;
+          x_predicted_ms = p_ms;
+          x_predicted_rows = p_rows;
+        }
 
 let issue_exec env ~deadline repo logical =
   let extents = Expr.gets logical in
@@ -106,7 +166,7 @@ let issue_exec env ~deadline repo logical =
   (* replication failover: if the primary is down at issue time, try the
      replicas in declaration order *)
   let now = Clock.now env.clock in
-  let chosen =
+  let chosen_repo, chosen =
     let candidates =
       (binding.b_repo, binding.b_source) :: binding.b_replicas
     in
@@ -116,8 +176,22 @@ let issue_exec env ~deadline repo logical =
           Log.info (fun m ->
               m "exec(%s): primary down, failing over to replica %s" repo
                 replica_repo);
-        src
-    | None -> binding.b_source (* all down: the call reports Unavailable *)
+        (replica_repo, src)
+    | None ->
+        (* all down: the call reports Unavailable *)
+        (binding.b_repo, binding.b_source)
+  in
+  let wrapper = Wrapper.name binding.b_wrapper in
+  let predicted =
+    (* the cost model is only consulted when the exec will land in a
+       trace span — keeps the untraced path identical to before *)
+    match env.trace with
+    | None -> None
+    | Some _ -> Some (Cost_model.estimate env.cost ~repo logical)
+  in
+  let observe ~finish ~origin ~shipped ~rows =
+    observe_exec env ~repo ~wrapper ~logical ~start:now ~finish ~origin ~shipped
+      ~rows ~predicted
   in
   let version = Source.data_version chosen in
   let fresh_hit =
@@ -129,8 +203,16 @@ let issue_exec env ~deadline repo logical =
   | Some value ->
       Log.debug (fun m ->
           m "exec(%s) answered from cache: %s" repo (Expr.to_string logical));
-      Done { value; finish = now; shipped = 0; origin = From_cache }
+      let rows = try V.cardinal value with V.Type_error _ -> 1 in
+      observe ~finish:now ~origin:Trace.Cache ~shipped:0 ~rows;
+      Done { value; finish = now; shipped = 0; origin = Trace.Cache }
   | None -> (
+      let blocked () =
+        Log.debug (fun m ->
+            m "exec(%s) blocked: %s" repo (Expr.to_string logical));
+        observe ~finish:deadline ~origin:Trace.Blocked ~shipped:0 ~rows:0;
+        Blocked
+      in
       let outcome =
         Source.call chosen ~clock:env.clock ~deadline (fun () ->
             match Wrapper.execute binding.b_wrapper chosen source_expr with
@@ -145,15 +227,12 @@ let issue_exec env ~deadline repo logical =
                 Answer_cache.find_stale cache ~repo ~now ~max_stale_ms logical
               with
               | Some (value, age) ->
-                  Done { value; finish = now; shipped = 0; origin = From_stale age }
-              | None ->
-                  Log.debug (fun m ->
-                      m "exec(%s) blocked: %s" repo (Expr.to_string logical));
-                  Blocked)
-          | _ ->
-              Log.debug (fun m ->
-                  m "exec(%s) blocked: %s" repo (Expr.to_string logical));
-              Blocked)
+                  let rows = try V.cardinal value with V.Type_error _ -> 1 in
+                  observe ~finish:now ~origin:(Trace.Stale age) ~shipped:0 ~rows;
+                  Done
+                    { value; finish = now; shipped = 0; origin = Trace.Stale age }
+              | None -> blocked ())
+          | _ -> blocked ())
       | Source.Answered (Error err, _) ->
           runtime_error "wrapper %s on %s: %s"
             (Wrapper.name binding.b_wrapper)
@@ -179,7 +258,12 @@ let issue_exec env ~deadline repo logical =
               Answer_cache.store cache ~repo ~version ~now:finish logical renamed
           | None -> ());
           let shipped = try V.cardinal renamed with V.Type_error _ -> 1 in
-          Done { value = renamed; finish; shipped; origin = From_source })
+          let origin =
+            if String.equal chosen_repo binding.b_repo then Trace.Source
+            else Trace.Failover chosen_repo
+          in
+          observe ~finish ~origin ~shipped ~rows:shipped;
+          Done { value = renamed; finish; shipped; origin })
 
 (* Fold every exec-free subtree into materialized data: "processing as
    much of the query as is possible" (Section 1.3). *)
@@ -228,11 +312,11 @@ let run_round env ~deadline plan =
   List.iter
     (fun ((repo, logical), d) ->
       match d.origin with
-      | From_source ->
+      | Trace.Source | Trace.Failover _ ->
           Cost_model.record env.cost ~repo ~expr:logical
             ~time_ms:(d.finish -. t0)
             ~rows:(try V.cardinal d.value with V.Type_error _ -> 1)
-      | From_cache | From_stale _ -> ())
+      | Trace.Cache | Trace.Stale _ | Trace.Blocked -> ())
     answered;
   let tuples_shipped =
     List.fold_left (fun acc (_, d) -> acc + d.shipped) 0 answered
@@ -265,14 +349,14 @@ let run_round env ~deadline plan =
       answered
   in
   let cache_hits =
-    List.length (List.filter (fun (_, d) -> d.origin = From_cache) answered)
+    List.length (List.filter (fun (_, d) -> d.origin = Trace.Cache) answered)
   in
   let stale_hits, stale_ms =
     List.fold_left
       (fun (n, age) (_, d) ->
         match d.origin with
-        | From_stale a -> (n + 1, Float.max age a)
-        | From_source | From_cache -> (n, age))
+        | Trace.Stale a -> (n + 1, Float.max age a)
+        | _ -> (n, age))
       (0, 0.0) answered
   in
   let stats =
@@ -433,7 +517,7 @@ let fetch ?(timeout_ms = 1000.0) env extents =
   List.iter
     (fun (extent, r) ->
       match r with
-      | Done { origin = From_source; value; finish; _ } ->
+      | Done { origin = Trace.Source | Trace.Failover _; value; finish; _ } ->
           let b = binding_of env extent in
           Cost_model.record env.cost ~repo:b.b_repo ~expr:(Expr.Get extent)
             ~time_ms:(finish -. t0)
@@ -453,8 +537,8 @@ let fetch ?(timeout_ms = 1000.0) env extents =
     List.fold_left
       (fun (n, age) d ->
         match d.origin with
-        | From_stale a -> (n + 1, Float.max age a)
-        | From_source | From_cache -> (n, age))
+        | Trace.Stale a -> (n + 1, Float.max age a)
+        | _ -> (n, age))
       (0, 0.0) answered
   in
   let stats =
@@ -465,7 +549,7 @@ let fetch ?(timeout_ms = 1000.0) env extents =
       tuples_shipped = List.fold_left (fun acc d -> acc + d.shipped) 0 answered;
       elapsed_ms = finish_time -. t0;
       cache_hits =
-        List.length (List.filter (fun d -> d.origin = From_cache) answered);
+        List.length (List.filter (fun d -> d.origin = Trace.Cache) answered);
       cache_stale_hits = stale_hits;
       cache_stale_ms = stale_ms;
     }

@@ -40,33 +40,59 @@ type binding = {
 
 type env
 
-val env :
-  ?cache:Disco_cache.Answer_cache.t ->
-  ?serve_stale_ms:float ->
-  clock:Disco_source.Clock.t ->
-  cost:Disco_cost.Cost_model.t ->
-  binding list ->
-  env
-(** [cache] enables the semantic answer cache: every completed exec is
-    recorded under its (repository, normalized expression) key, and
-    later execs whose key is cached at the source's current data version
-    are answered without touching the source (shipping 0 tuples).
-    [serve_stale_ms] additionally answers execs to {e unavailable}
-    sources from cached fragments no older than the given age — the
-    mediator's [Cached_fallback] semantics; without it, blocked execs
-    yield partial answers as usual. *)
+(** Everything the runtime needs besides the bindings, as one record —
+    the single configuration surface [Mediator] builds internally. *)
+module Config : sig
+  type t = {
+    clock : Disco_source.Clock.t;
+    cost : Disco_cost.Cost_model.t;
+    cache : Disco_cache.Answer_cache.t option;
+        (** semantic answer cache: every completed exec is recorded
+            under its (repository, normalized expression) key, and later
+            execs whose key is cached at the source's current data
+            version are answered without touching the source (shipping 0
+            tuples) *)
+    serve_stale_ms : float option;
+        (** additionally answer execs to {e unavailable} sources from
+            cached fragments no older than this — the mediator's
+            [Cached_fallback] semantics; without it, blocked execs yield
+            partial answers as usual *)
+    trace : Disco_obs.Trace.t option;
+        (** trace builder to receive one exec span per issued exec; when
+            [None] the runtime never consults the cost model for
+            predictions, so the untraced path is unchanged *)
+    metrics : Disco_obs.Metrics.t;
+        (** registry receiving [exec.origin.*] and
+            [exec.tuples_shipped] *)
+  }
 
-type answer =
-  | Complete of V.t
-  | Partial of {
-      query : Ast.query;
-          (** the whole answer, as a query — resubmit it when sources
-              recover (Section 4) *)
-      unavailable : string list;  (** repositories that did not answer *)
-      versions : (string * int) list;
-          (** data versions of the sources that {e did} answer, for the
-              staleness check of Section 4's discussion *)
-    }
+  val make :
+    ?cache:Disco_cache.Answer_cache.t ->
+    ?serve_stale_ms:float ->
+    ?trace:Disco_obs.Trace.t ->
+    ?metrics:Disco_obs.Metrics.t ->
+    clock:Disco_source.Clock.t ->
+    cost:Disco_cost.Cost_model.t ->
+    unit ->
+    t
+  (** [metrics] defaults to {!Disco_obs.Metrics.default}. *)
+end
+
+val env : Config.t -> binding list -> env
+
+type partial = {
+  query : Ast.query;
+      (** the whole answer, as a query — resubmit it when sources
+          recover (Section 4) *)
+  unavailable : string list;  (** repositories that did not answer *)
+  versions : (string * int) list;
+      (** data versions of the sources that {e did} answer, for the
+          staleness check of Section 4's discussion *)
+}
+(** The payload of a partial answer — shared verbatim with
+    [Mediator.answer], so the residual-query renderer exists once. *)
+
+type answer = Complete of V.t | Partial of partial
 
 val answer_oql : answer -> string
 (** The OQL text of an answer: a collection literal for {!Complete}, the

@@ -16,6 +16,10 @@ module Answer_cache = Disco_cache.Answer_cache
 module Resubmission = Disco_cache.Resubmission
 module Mediator = Disco_core.Mediator
 
+let qopts ?(timeout_ms = 1000.0) ?(semantics = Mediator.Partial_answers)
+    ?(type_check = false) ?(static_check = false) () =
+  { Mediator.Query_opts.timeout_ms; semantics; type_check; static_check }
+
 let check_value = Alcotest.testable V.pp V.equal
 
 (* -- LRU policy -- *)
@@ -140,8 +144,19 @@ let open_source ~id ~host rows =
       (Source.Relational db),
     tbl )
 
-let cached_mediator () =
-  let m = Mediator.create ~name:"m0" ~cache:(Answer_cache.create ()) () in
+let cached_mediator ?metrics () =
+  let m =
+    Mediator.create
+      ~config:
+        {
+          Mediator.Config.default with
+          cache = Some (Answer_cache.create ());
+          metrics =
+            Option.value metrics
+              ~default:Mediator.Config.default.Mediator.Config.metrics;
+        }
+      ~name:"m0" ()
+  in
   let s0, t0 = open_source ~id:0 ~host:"rodin" [ person_row 1 "Mary" 200 ] in
   let s1, t1 = open_source ~id:1 ~host:"umiacs" [ person_row 1 "Sam" 50 ] in
   Mediator.register_source m ~name:"r0" s0;
@@ -164,7 +179,8 @@ let q = "select x.name from x in person where x.salary > 10"
 let complete outcome =
   match outcome.Mediator.answer with
   | Mediator.Complete v -> v
-  | Mediator.Partial { oql; _ } -> Alcotest.fail ("unexpected partial: " ^ oql)
+  | Mediator.Partial _ as p ->
+      Alcotest.fail ("unexpected partial: " ^ Mediator.answer_oql p)
   | Mediator.Unavailable repos ->
       Alcotest.fail ("unavailable: " ^ String.concat "," repos)
 
@@ -208,7 +224,7 @@ let test_cached_fallback_serves_stale () =
   Table.insert t0 (person_row 2 "Zoe" 300);
   Source.set_schedule s0 Schedule.always_down;
   let sem = Mediator.Cached_fallback { max_stale_ms = 60_000.0 } in
-  let o = Mediator.query ~semantics:sem m q in
+  let o = Mediator.query ~opts:(qopts ~semantics:sem ()) m q in
   Alcotest.check check_value "stale fragment bridges the outage"
     (V.bag [ V.String "Mary"; V.String "Sam" ])
     (complete o);
@@ -219,14 +235,14 @@ let test_cached_fallback_serves_stale () =
   (* beyond the budget the outage is visible again *)
   Clock.advance_to (Mediator.clock m) 120_000.0;
   let tight = Mediator.Cached_fallback { max_stale_ms = 10.0 } in
-  (match (Mediator.query ~semantics:tight m q).Mediator.answer with
+  (match (Mediator.query ~opts:(qopts ~semantics:tight ()) m q).Mediator.answer with
   | Mediator.Partial { unavailable; _ } ->
       Alcotest.(check (list string)) "r0 residual" [ "r0" ] unavailable
   | Mediator.Complete _ -> Alcotest.fail "expected partial beyond budget"
   | Mediator.Unavailable _ -> Alcotest.fail "unexpected unavailable")
 
 let test_plan_cache_bounded () =
-  let m = Mediator.create ~name:"m1" ~plan_cache_capacity:2 () in
+  let m = Mediator.create ~config:{ Mediator.Config.default with plan_cache_capacity = 2 } ~name:"m1" () in
   let s0, _ = open_source ~id:0 ~host:"rodin" [ person_row 1 "Mary" 200 ] in
   Mediator.register_source m ~name:"r0" s0;
   Mediator.load_odl m
@@ -257,10 +273,46 @@ let test_plan_cache_bounded () =
   Alcotest.(check int) "clear resets hits" 0 p.Mediator.p_hits;
   Alcotest.(check int) "clear resets misses" 0 p.Mediator.p_misses
 
+(* -- metric counters along the cache paths -- *)
+
+let test_cache_metrics_counters () =
+  let module Metrics = Disco_obs.Metrics in
+  let reg = Metrics.create () in
+  let m, s0, _, t0, _ = cached_mediator ~metrics:reg () in
+  (* cold: both execs answered by their sources *)
+  ignore (complete (Mediator.query m q));
+  Alcotest.(check int) "cold execs from sources" 2
+    (Metrics.find_counter reg "exec.origin.source");
+  Alcotest.(check int) "cold tuples counted" 2
+    (Metrics.find_counter reg "exec.tuples_shipped");
+  (* warm: both execs served from the cache, nothing shipped *)
+  ignore (complete (Mediator.query m q));
+  Alcotest.(check int) "warm execs from cache" 2
+    (Metrics.find_counter reg "exec.origin.cache");
+  Alcotest.(check int) "no extra tuples" 2
+    (Metrics.find_counter reg "exec.tuples_shipped");
+  Alcotest.(check int) "plan cache hit counted" 1
+    (Metrics.find_counter reg "plan_cache.hit");
+  (* stale serve: r0's data moves and the source goes down *)
+  Table.insert t0 (person_row 2 "Zoe" 300);
+  Source.set_schedule s0 Schedule.always_down;
+  let sem = Mediator.Cached_fallback { max_stale_ms = 60_000.0 } in
+  ignore (complete (Mediator.query ~opts:(qopts ~semantics:sem ()) m q));
+  Alcotest.(check int) "stale serve counted" 1
+    (Metrics.find_counter reg "exec.origin.stale");
+  Alcotest.(check int) "three queries" 3
+    (Metrics.find_counter reg "mediator.queries");
+  Alcotest.(check int) "all complete" 3
+    (Metrics.find_counter reg "mediator.answers.complete");
+  (* the elapsed histogram saw every query *)
+  match Metrics.find_histogram reg "query.elapsed_virtual_ms" with
+  | Some h -> Alcotest.(check int) "histogram count" 3 h.Metrics.h_count
+  | None -> Alcotest.fail "elapsed histogram missing"
+
 (* -- resubmission -- *)
 
 let test_resubmission_converges () =
-  let m = Mediator.create ~name:"m2" ~cache:(Answer_cache.create ()) () in
+  let m = Mediator.create ~config:{ Mediator.Config.default with cache = Some (Answer_cache.create ()) } ~name:"m2" () in
   let s0, _ = open_source ~id:0 ~host:"rodin" [ person_row 1 "Mary" 200 ] in
   let s1, _ = open_source ~id:1 ~host:"umiacs" [ person_row 2 "Sam" 50 ] in
   Source.set_schedule s1 (Schedule.down_during [ (0.0, 2000.0) ]);
@@ -359,6 +411,8 @@ let () =
           Alcotest.test_case "cached fallback serves stale" `Quick
             test_cached_fallback_serves_stale;
           Alcotest.test_case "plan cache bounded" `Quick test_plan_cache_bounded;
+          Alcotest.test_case "metric counters" `Quick
+            test_cache_metrics_counters;
         ] );
       ( "resubmission",
         [

@@ -16,6 +16,10 @@ module Maintenance = Disco_core.Maintenance
 module Composition = Disco_core.Composition
 module Plan = Disco_physical.Plan
 
+let qopts ?(timeout_ms = 1000.0) ?(semantics = Mediator.Partial_answers)
+    ?(type_check = false) ?(static_check = false) () =
+  { Mediator.Query_opts.timeout_ms; semantics; type_check; static_check }
+
 let check_value = Alcotest.testable V.pp V.equal
 
 let contains s sub =
@@ -59,7 +63,8 @@ let paper_mediator () =
 let complete outcome =
   match outcome.Mediator.answer with
   | Mediator.Complete v -> v
-  | Mediator.Partial { oql; _ } -> Alcotest.fail ("unexpected partial: " ^ oql)
+  | Mediator.Partial _ as p ->
+      Alcotest.fail ("unexpected partial: " ^ Mediator.answer_oql p)
   | Mediator.Unavailable repos ->
       Alcotest.fail ("unavailable: " ^ String.concat "," repos)
 
@@ -115,11 +120,12 @@ let test_partial_answer_paper_form () =
   | Some src -> Source.set_schedule src (Schedule.down_during [ (0.0, 500.0) ])
   | None -> Alcotest.fail "no r0");
   let outcome =
-    Mediator.query ~timeout_ms:100.0 m
+    Mediator.query ~opts:(qopts ~timeout_ms:100.0 ()) m
       "select x.name from x in person where x.salary > 10"
   in
   match outcome.Mediator.answer with
-  | Mediator.Partial { oql; unavailable; _ } ->
+  | Mediator.Partial { unavailable; _ } as p ->
+      let oql = Mediator.answer_oql p in
       Alcotest.(check (list string)) "r0 unavailable" [ "r0" ] unavailable;
       (* the paper's exact answer shape: union(select..., Bag("Sam")) *)
       Alcotest.(check string) "paper partial answer"
@@ -145,19 +151,19 @@ let test_semantics_variants () =
   let q = "select x.name from x in person where x.salary > 10" in
   (* Wait_all: no answer *)
   let m = make_down () in
-  (match (Mediator.query ~semantics:Mediator.Wait_all ~timeout_ms:50.0 m q).Mediator.answer with
+  (match (Mediator.query ~opts:(qopts ~semantics:Mediator.Wait_all ~timeout_ms:50.0 ()) m q).Mediator.answer with
   | Mediator.Unavailable [ "r0" ] -> ()
   | _ -> Alcotest.fail "expected Unavailable");
   (* Null_sources: complete answer over available data *)
   let m = make_down () in
-  (match (Mediator.query ~semantics:Mediator.Null_sources ~timeout_ms:50.0 m q).Mediator.answer with
+  (match (Mediator.query ~opts:(qopts ~semantics:Mediator.Null_sources ~timeout_ms:50.0 ()) m q).Mediator.answer with
   | Mediator.Complete v ->
       Alcotest.check check_value "null semantics" (V.bag [ V.String "Sam" ]) v
   | _ -> Alcotest.fail "expected Complete under null semantics");
   (* Skip_sources: same data, but no timeout wait *)
   let m = make_down () in
   let t0 = Clock.now (Mediator.clock m) in
-  (match (Mediator.query ~semantics:Mediator.Skip_sources ~timeout_ms:5000.0 m q).Mediator.answer with
+  (match (Mediator.query ~opts:(qopts ~semantics:Mediator.Skip_sources ~timeout_ms:5000.0 ()) m q).Mediator.answer with
   | Mediator.Complete v ->
       Alcotest.check check_value "skip semantics" (V.bag [ V.String "Sam" ]) v;
       let elapsed = Clock.now (Mediator.clock m) -. t0 in
@@ -529,12 +535,12 @@ let test_replica_failover () =
   | Some src -> Source.set_schedule src Schedule.always_down
   | None -> ());
   Alcotest.check check_value "replica serves" (V.bag [ V.String "Mary" ])
-    (complete (Mediator.query ~timeout_ms:100.0 m q));
+    (complete (Mediator.query ~opts:(qopts ~timeout_ms:100.0 ()) m q));
   (* both down: back to a partial answer *)
   (match Mediator.find_source m "r9" with
   | Some src -> Source.set_schedule src Schedule.always_down
   | None -> ());
-  match (Mediator.query ~timeout_ms:50.0 m q).Mediator.answer with
+  match (Mediator.query ~opts:(qopts ~timeout_ms:50.0 ()) m q).Mediator.answer with
   | Mediator.Partial { unavailable = [ "r0" ]; _ } -> ()
   | _ -> Alcotest.fail "expected partial once all copies are down"
 
@@ -591,11 +597,11 @@ let test_hybrid_fragment_partial () =
   | None -> ());
   (* the aggregate query's fragment over person1 blocks: partial answer *)
   let o =
-    Mediator.query ~timeout_ms:50.0 m
+    Mediator.query ~opts:(qopts ~timeout_ms:50.0 ()) m
       "sum(select x.salary from x in person where x.salary > 10)"
   in
   match o.Mediator.answer with
-  | Mediator.Partial { oql; unavailable; _ } ->
+  | Mediator.Partial { unavailable; _ } ->
       Alcotest.(check (list string)) "r1 blocked" [ "r1" ] unavailable;
       (* recovery: the resubmitted text gives the true sum *)
       (match Mediator.find_source m "r1" with
@@ -604,8 +610,7 @@ let test_hybrid_fragment_partial () =
       (match (Mediator.resubmit m o.Mediator.answer).Mediator.answer with
       | Mediator.Complete (V.Int 250) -> ()
       | Mediator.Complete v -> Alcotest.fail (V.to_string v)
-      | _ -> Alcotest.fail "resubmission failed");
-      ignore oql
+      | _ -> Alcotest.fail "resubmission failed")
   | _ -> Alcotest.fail "expected partial"
 
 (* -- semijoin reduction (future-work extension, Sections 3.2 / 6.2) -- *)
@@ -644,12 +649,12 @@ let test_semijoin_reduction () =
     "select struct(a: x.name, b: y.name) from x in vip0, y in staff0 where      x.id = y.id"
   in
   (* run 1: no cost information, maximal pushdown ships everything *)
-  let o1 = Mediator.query ~timeout_ms:10_000.0 m q in
+  let o1 = Mediator.query ~opts:(qopts ~timeout_ms:10_000.0 ()) m q in
   let shipped1 = o1.Mediator.stats.Disco_runtime.Runtime.tuples_shipped in
   Alcotest.(check bool) "first run ships the big extent" true (shipped1 >= 5000);
   (* run 2: learned costs make the semijoin plan win *)
   Mediator.clear_plan_cache m;
-  let o2 = Mediator.query ~timeout_ms:10_000.0 m q in
+  let o2 = Mediator.query ~opts:(qopts ~timeout_ms:10_000.0 ()) m q in
   let shipped2 = o2.Mediator.stats.Disco_runtime.Runtime.tuples_shipped in
   (match o2.Mediator.plan with
   | Some plan ->
@@ -680,16 +685,15 @@ let test_semijoin_partial_degrades () =
   (match Mediator.find_source m "r1" with
   | Some src -> Source.set_schedule src Schedule.always_down
   | None -> ());
-  let o = Mediator.query ~timeout_ms:50.0 m q in
+  let o = Mediator.query ~opts:(qopts ~timeout_ms:50.0 ()) m q in
   (match o.Mediator.answer with
-  | Mediator.Partial { oql; _ } ->
+  | Mediator.Partial _ ->
       (* resubmittable after recovery *)
       (match Mediator.find_source m "r1" with
       | Some src -> Source.set_schedule src Schedule.always_up
       | None -> ());
       let v = complete (Mediator.resubmit m o.Mediator.answer) in
-      ignore v;
-      ignore oql
+      ignore v
   | Mediator.Complete _ -> () (* optimizer may not have picked semijoin *)
   | Mediator.Unavailable _ -> Alcotest.fail "unexpected wait-all");
   ()
@@ -714,7 +718,7 @@ let test_skip_respects_replicas () =
   | None -> ());
   (* primary down but replica up: skip semantics must NOT drop the data *)
   (match
-     (Mediator.query ~semantics:Mediator.Skip_sources m
+     (Mediator.query ~opts:(qopts ~semantics:Mediator.Skip_sources ()) m
         "select x.name from x in person")
        .Mediator.answer
    with
@@ -726,7 +730,7 @@ let test_skip_respects_replicas () =
   | Some src -> Source.set_schedule src Schedule.always_down
   | None -> ());
   match
-    (Mediator.query ~semantics:Mediator.Skip_sources m
+    (Mediator.query ~opts:(qopts ~semantics:Mediator.Skip_sources ()) m
        "select x.name from x in person")
       .Mediator.answer
   with
@@ -740,7 +744,7 @@ let test_order_by_partial () =
   | Some src -> Source.set_schedule src (Schedule.down_during [ (0.0, 500.0) ])
   | None -> ());
   let o =
-    Mediator.query ~timeout_ms:50.0 m
+    Mediator.query ~opts:(qopts ~timeout_ms:50.0 ()) m
       "select x.name from x in person order by x.salary desc"
   in
   match o.Mediator.answer with
@@ -760,7 +764,7 @@ let test_wait_all_hybrid () =
   | Some src -> Source.set_schedule src Schedule.always_down
   | None -> ());
   match
-    (Mediator.query ~semantics:Mediator.Wait_all ~timeout_ms:50.0 m
+    (Mediator.query ~opts:(qopts ~semantics:Mediator.Wait_all ~timeout_ms:50.0 ()) m
        "count(select x from x in person where x.salary > 10)")
       .Mediator.answer
   with
@@ -774,7 +778,7 @@ let test_null_semantics_hybrid () =
   | Some src -> Source.set_schedule src Schedule.always_down
   | None -> ());
   match
-    (Mediator.query ~semantics:Mediator.Null_sources ~timeout_ms:50.0 m
+    (Mediator.query ~opts:(qopts ~semantics:Mediator.Null_sources ~timeout_ms:50.0 ()) m
        "sum(select x.salary from x in person)")
       .Mediator.answer
   with
@@ -932,7 +936,7 @@ let test_type_check_detects_mismatch () =
         attribute Short salary; }
       extent person0 of Person wrapper w0 repository r0;|};
   try
-    ignore (Mediator.query ~type_check:true m "select x from x in person0");
+    ignore (Mediator.query ~opts:(qopts ~type_check:true ()) m "select x from x in person0");
     Alcotest.fail "expected type mismatch"
   with Disco_runtime.Runtime.Runtime_error msg | Mediator.Mediator_error msg ->
     Alcotest.(check bool) "mentions mismatch" true (contains msg "mismatch")
@@ -977,7 +981,7 @@ let test_mediator_composition () =
   (* child mediator owns the two person sources; parent re-exports the
      implicit extent through a mediator-wrapper (A -> M -> M -> W -> D). *)
   let child = paper_mediator () in
-  let parent = Mediator.create ~name:"parent" ~clock:(Mediator.clock child) () in
+  let parent = Mediator.create ~config:{ Mediator.Config.default with clock = Some (Mediator.clock child) } ~name:"parent" () in
   let src, wrap = Composition.as_source child in
   Mediator.register_source parent ~name:"rm" src;
   Mediator.register_wrapper parent ~name:"wm" wrap;
@@ -1016,12 +1020,13 @@ let test_hybrid_partial_answer () =
   | None -> ());
   (* correlated aggregate: not algebra-compilable, hybrid path *)
   let o =
-    Mediator.query ~timeout_ms:50.0 m
+    Mediator.query ~opts:(qopts ~timeout_ms:50.0 ()) m
       "select struct(n: x.name, t: sum(select z.salary from z in person0 \
        where z.id = x.id)) from x in person"
   in
   match o.Mediator.answer with
-  | Mediator.Partial { oql; unavailable; _ } ->
+  | Mediator.Partial { unavailable; _ } as p ->
+      let oql = Mediator.answer_oql p in
       Alcotest.(check (list string)) "r1 down" [ "r1" ] unavailable;
       Alcotest.(check bool) "mentions person1" true (contains oql "person1");
       (* materialized person0 is inlined as data *)
@@ -1137,7 +1142,7 @@ let test_scale_64_sources () =
       | None -> ()
   done;
   Mediator.clear_plan_cache m;
-  let o = Mediator.query ~timeout_ms:50.0 m q in
+  let o = Mediator.query ~opts:(qopts ~timeout_ms:50.0 ()) m q in
   (match o.Mediator.answer with
   | Mediator.Partial { unavailable; _ } ->
       Alcotest.(check int) "22 sources down" 22 (List.length unavailable);

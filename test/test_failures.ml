@@ -17,6 +17,10 @@ module Grammar = Disco_wrapper.Grammar
 module Expr = Disco_algebra.Expr
 module Mediator = Disco_core.Mediator
 
+let qopts ?(timeout_ms = 1000.0) ?(semantics = Mediator.Partial_answers)
+    ?(type_check = false) ?(static_check = false) () =
+  { Mediator.Query_opts.timeout_ms; semantics; type_check; static_check }
+
 let _check_value = Alcotest.testable V.pp V.equal
 
 let federation ?(n = 6) ?(rows = 8) () =
@@ -84,7 +88,7 @@ let prop_resubmission_equivalence =
       for i = 0 to 5 do
         if mask land (1 lsl i) <> 0 then set_down m i
       done;
-      let o = Mediator.query ~timeout_ms:50.0 m query in
+      let o = Mediator.query ~opts:(qopts ~timeout_ms:50.0 ()) m query in
       for i = 0 to 5 do
         set_up m i
       done;
@@ -105,7 +109,7 @@ let test_source_recovers_between_queries () =
   (match Mediator.find_source m "r1" with
   | Some src -> Source.set_schedule src (Schedule.down_during [ (0.0, 100.0) ])
   | None -> ());
-  let o1 = Mediator.query ~timeout_ms:20.0 m q in
+  let o1 = Mediator.query ~opts:(qopts ~timeout_ms:20.0 ()) m q in
   (match o1.Mediator.answer with
   | Mediator.Partial { unavailable = [ "r1" ]; _ } -> ()
   | _ -> Alcotest.fail "expected r1 partial");
@@ -125,10 +129,11 @@ let test_flapping_source () =
   (* many queries against a flapping source: always an answer, never a
      crash, and partials always resubmittable text *)
   for _ = 1 to 40 do
-    let o = Mediator.query ~timeout_ms:25.0 m q in
+    let o = Mediator.query ~opts:(qopts ~timeout_ms:25.0 ()) m q in
     (match o.Mediator.answer with
     | Mediator.Complete _ -> ()
-    | Mediator.Partial { oql; _ } -> ignore (Disco_oql.Parser.parse oql)
+    | Mediator.Partial _ as p ->
+        ignore (Disco_oql.Parser.parse (Mediator.answer_oql p))
     | Mediator.Unavailable _ -> Alcotest.fail "unexpected wait-all result");
     Clock.advance (Mediator.clock m) 50.0
   done
@@ -222,10 +227,11 @@ let test_source_without_attachment () =
 let test_stale_hint () =
   let m = federation ~n:2 () in
   set_down m 1;
-  let o = Mediator.query ~timeout_ms:20.0 m q in
+  let o = Mediator.query ~opts:(qopts ~timeout_ms:20.0 ()) m q in
   (match o.Mediator.answer with
-  | Mediator.Partial { stale_hint = []; _ } -> ()
-  | Mediator.Partial _ -> Alcotest.fail "nothing stale yet"
+  | Mediator.Partial _ as p ->
+      Alcotest.(check (list string)) "nothing stale yet" []
+        (Mediator.stale_hint m p)
   | _ -> Alcotest.fail "expected partial");
   (* mutate the answered source, then ask again for the hint *)
   (match Mediator.find_source m "r0" with
@@ -236,6 +242,8 @@ let test_stale_hint () =
           Disco_relation.Table.insert t [| V.Int 99; V.String "New"; V.Int 999 |]
       | _ -> ())
   | None -> ());
+  Alcotest.(check (list string)) "answered source now stale" [ "r0" ]
+    (Mediator.stale_hint m o.Mediator.answer);
   set_up m 1;
   (* re-running the query gives the fresh complete answer including the
      new row *)

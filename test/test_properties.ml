@@ -240,7 +240,7 @@ module Mediator = Disco_core.Mediator
 module Answer_cache = Disco_cache.Answer_cache
 
 let federation ?cache () =
-  let m = Mediator.create ~name:"prop" ?cache () in
+  let m = Mediator.create ~config:{ Mediator.Config.default with cache } ~name:"prop" () in
   Mediator.load_odl m
     {|w0 := WrapperPostgres();
       interface Person (extent person) {

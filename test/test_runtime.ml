@@ -236,7 +236,7 @@ let make_env ?(latency = { Source.base_ms = 10.0; per_row_ms = 0.0; jitter = 0.0
     }
   in
   let bindings = List.map mk [ 0; 1 ] in
-  (Runtime.env ~clock ~cost bindings, clock, cost)
+  (Runtime.env (Runtime.Config.make ~clock ~cost ()) bindings, clock, cost)
 
 let paper_plan =
   (* union(project(name, submit(r0, select(get person0))),
@@ -364,7 +364,7 @@ let test_runtime_wrapper_refusal () =
       b_check = None;
     }
   in
-  let env = Runtime.env ~clock ~cost [ binding ] in
+  let env = Runtime.env (Runtime.Config.make ~clock ~cost ()) [ binding ] in
   let plan = Plan.Exec ("r0", Expr.Select (get0, gt 10)) in
   try
     ignore (Runtime.execute env plan);
@@ -388,7 +388,7 @@ let test_runtime_type_check () =
       b_check = Some reject_all;
     }
   in
-  let env = Runtime.env ~clock ~cost [ binding ] in
+  let env = Runtime.env (Runtime.Config.make ~clock ~cost ()) [ binding ] in
   try
     ignore (Runtime.execute env (Plan.Exec ("r0", get0)));
     Alcotest.fail "expected type mismatch"
@@ -421,7 +421,7 @@ let test_runtime_map_namespace () =
       b_check = None;
     }
   in
-  let env = Runtime.env ~clock ~cost [ binding ] in
+  let env = Runtime.env (Runtime.Config.make ~clock ~cost ()) [ binding ] in
   let plan =
     Plan.Exec
       ( "r0",

@@ -16,6 +16,10 @@ module Mediator = Disco_core.Mediator
 module Composition = Disco_core.Composition
 module Wrapper = Disco_wrapper.Wrapper
 
+let qopts ?(timeout_ms = 1000.0) ?(semantics = Mediator.Partial_answers)
+    ?(type_check = false) ?(static_check = false) () =
+  { Mediator.Query_opts.timeout_ms; semantics; type_check; static_check }
+
 let check_value = Alcotest.testable V.pp V.equal
 
 (* -- catalog -- *)
@@ -82,7 +86,7 @@ let child_mediator ?(schedule = Schedule.always_up) () =
   m
 
 let parent_over child =
-  let parent = Mediator.create ~name:"parent" ~clock:(Mediator.clock child) () in
+  let parent = Mediator.create ~config:{ Mediator.Config.default with clock = Some (Mediator.clock child) } ~name:"parent" () in
   let src, wrap = Composition.as_source child in
   Mediator.register_source parent ~name:"rm" src;
   Mediator.register_wrapper parent ~name:"wm" wrap;
@@ -102,7 +106,7 @@ let test_composition_child_source_down () =
      fallback also fails -> a clean mediator error, not a wrong answer *)
   let child = child_mediator ~schedule:Schedule.always_down () in
   let parent = parent_over child in
-  match Mediator.query ~timeout_ms:50.0 parent "select x.name from x in people" with
+  match Mediator.query ~opts:(qopts ~timeout_ms:50.0 ()) parent "select x.name from x in people" with
   | exception Disco_runtime.Runtime.Runtime_error _ -> ()
   | exception Mediator.Mediator_error _ -> ()
   | o -> (
@@ -120,7 +124,7 @@ let test_composition_parent_link_down () =
   (match Mediator.find_source parent "rm" with
   | Some src -> Source.set_schedule src Schedule.always_down
   | None -> Alcotest.fail "no link source");
-  match (Mediator.query ~timeout_ms:50.0 parent "select x.name from x in people").Mediator.answer with
+  match (Mediator.query ~opts:(qopts ~timeout_ms:50.0 ()) parent "select x.name from x in people").Mediator.answer with
   | Mediator.Partial { unavailable = [ "rm" ]; _ } -> ()
   | _ -> Alcotest.fail "expected partial over the mediator link"
 

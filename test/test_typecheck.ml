@@ -173,7 +173,7 @@ let test_quant_through_mediator () =
         attribute Short salary; }
       extent person0 of Person wrapper w0 repository r0;|};
   match
-    (Mediator.query ~static_check:true m
+    (Mediator.query ~opts:{ Mediator.Query_opts.default with static_check = true } m
        "select x.name from x in person where for all y in person : x.salary \
         >= y.salary")
       .Mediator.answer
@@ -194,7 +194,7 @@ let test_static_check_rejects () =
   | Ok t -> Alcotest.fail (Otype.to_string t)
   | Error m -> Alcotest.fail m);
   try
-    ignore (Mediator.query ~static_check:true m "select x.age from x in person");
+    ignore (Mediator.query ~opts:{ Mediator.Query_opts.default with static_check = true } m "select x.age from x in person");
     Alcotest.fail "expected static rejection"
   with Mediator.Mediator_error msg ->
     Alcotest.(check bool) "type error surfaced" true
