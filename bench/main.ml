@@ -2,7 +2,7 @@
 
    The paper (INRIA RR-2704 / ICDCS'96) is a design paper: its two figures
    are architecture diagrams and it reports no measurements. Each
-   experiment below (E1-E11 plus ablations A1-A3, indexed in DESIGN.md
+   experiment below (E1-E12 plus ablations A1-A3, indexed in DESIGN.md
    and EXPERIMENTS.md) quantifies one of the paper's load-bearing claims
    on the simulated substrate, printing a table; the bechamel suite at
    the end times the system's hot paths (one Test.make per experiment
@@ -91,6 +91,41 @@ let reset_observations () =
   traces_seen := 0;
   Metrics.reset bench_metrics
 
+(* One JSON record per experiment, accumulated across the run and written
+   to BENCH_RESULTS.json at exit (CI uploads the file as an artifact). *)
+let bench_results : string list ref = ref []
+
+let capture_results name =
+  let phase_count p =
+    match Hashtbl.find_opt phase_acc p with Some (c, _) -> c | None -> 0
+  in
+  let virtual_ms =
+    match Metrics.find_histogram bench_metrics "query.elapsed_virtual_ms" with
+    | Some h ->
+        Fmt.str "{\"count\":%d,\"sum\":%.1f,\"min\":%.1f,\"max\":%.1f}"
+          h.Metrics.h_count h.Metrics.h_sum h.Metrics.h_min h.Metrics.h_max
+    | None -> "null"
+  in
+  bench_results :=
+    Fmt.str
+      "{\"experiment\":%S,\"trials\":%d,\"queries\":%d,\"virtual_ms\":%s,\"execs\":%d,\"tuples_shipped\":%d,\"batch_rounds\":%d,\"batch_dedup_hits\":%d}"
+      name !traces_seen
+      (Metrics.find_counter bench_metrics "mediator.queries")
+      virtual_ms (phase_count "exec")
+      (Metrics.find_counter bench_metrics "exec.tuples_shipped")
+      (Metrics.find_counter bench_metrics "runtime.batch.rounds")
+      (Metrics.find_counter bench_metrics "runtime.batch.dedup_hits")
+    :: !bench_results
+
+let write_results_file () =
+  let oc = open_out "BENCH_RESULTS.json" in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev !bench_results));
+  output_string oc "\n]\n";
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_RESULTS.json (%d experiments)@."
+    (List.length !bench_results)
+
 let emit_summary name =
   let phases =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) phase_acc []
@@ -101,11 +136,12 @@ let emit_summary name =
   in
   Fmt.pr "@.TRACE_SUMMARY {\"experiment\":%S,\"traces\":%d,\"phases\":{%s},\"metrics\":%s}@."
     name !traces_seen phases
-    (Metrics.to_json bench_metrics)
+    (Metrics.to_json bench_metrics);
+  capture_results name
 
 (* Mediators used by the experiments all route traces and metrics into
    the shared observers above. *)
-let mk_mediator ?clock ?cost ?cache ~name () =
+let mk_mediator ?clock ?cost ?cache ?(batch = true) ~name () =
   Mediator.create
     ~config:
       {
@@ -113,6 +149,7 @@ let mk_mediator ?clock ?cost ?cache ~name () =
         clock;
         cost;
         cache;
+        batch;
         trace_sink = Some bench_sink;
         metrics = bench_metrics;
       }
@@ -941,6 +978,113 @@ let e11 () =
      queries only when a blocking source transitions to up.)@."
 
 (* ==================================================================== *)
+(* E12 - per-source exec batching (DESIGN.md Section 4e)                *)
+(* ==================================================================== *)
+
+(* [sources] sites each holding [extents_per] Person extents, so a query
+   over the implicit extent issues sources x extents_per execs —
+   extents_per of them bound for each site. *)
+let multi_extent_federation ~batch ~sources ~extents_per ~rows ~latency () =
+  let m =
+    mk_mediator ~batch ~name:(Fmt.str "e12_%b_%d" batch extents_per) ()
+  in
+  Mediator.load_odl m
+    {|w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }|};
+  for s = 0 to sources - 1 do
+    let db = Database.create ~name:"db" in
+    for e = 0 to extents_per - 1 do
+      let idx = (s * extents_per) + e in
+      ignore
+        (Datagen.table_of db ~name:(Fmt.str "person%d" idx)
+           Datagen.person_schema
+           (Datagen.person_rows ~seed:(1000 + idx) ~n:rows))
+    done;
+    Mediator.register_source m ~name:(Fmt.str "r%d" s)
+      (Source.create ~id:(Fmt.str "site%d" s)
+         ~address:
+           (Source.address ~host:(Fmt.str "site%d" s) ~db_name:"db" ~ip:"0" ())
+         ~latency (Source.Relational db));
+    Mediator.load_odl m
+      (Fmt.str {|r%d := Repository(host="site%d", name="db", address="0");|} s
+         s);
+    for e = 0 to extents_per - 1 do
+      let idx = (s * extents_per) + e in
+      Mediator.load_odl m
+        (Fmt.str "extent person%d of Person wrapper w0 repository r%d;" idx s)
+    done
+  done;
+  m
+
+let e12 () =
+  header "E12: per-source exec batching (DESIGN.md Section 4e)";
+  Fmt.pr
+    "4 sources x E extents each, base 10 ms, jitter 0.3: the batched\n\
+     transport pays one round-trip per source instead of one per extent,\n\
+     and each round waits on one jitter draw instead of the max of E.@.@.";
+  let sources = 4 in
+  let latency = { Source.base_ms = 10.0; per_row_ms = 0.0; jitter = 0.3 } in
+  let trials = trials ~default:30 in
+  let run ~batch ~extents_per =
+    let m =
+      multi_extent_federation ~batch ~sources ~extents_per ~rows:5 ~latency ()
+    in
+    let elapsed = ref 0.0 and rts = ref 0 and execs = ref 0 and tuples = ref 0 in
+    for _ = 1 to trials do
+      let o = Mediator.query m paper_query in
+      (match o.Mediator.answer with
+      | Mediator.Complete _ -> ()
+      | _ -> assert false);
+      let s = o.Mediator.stats in
+      elapsed := !elapsed +. s.Runtime.elapsed_ms;
+      rts := !rts + s.Runtime.round_trips;
+      execs := !execs + s.Runtime.execs_issued;
+      tuples := !tuples + s.Runtime.tuples_shipped
+    done;
+    (!elapsed /. float_of_int trials, !rts / trials, !execs / trials, !tuples)
+  in
+  let rows = ref [] in
+  List.iter
+    (fun extents_per ->
+      let ms_u, rt_u, ex_u, tup_u = run ~batch:false ~extents_per in
+      let ms_b, rt_b, ex_b, tup_b = run ~batch:true ~extents_per in
+      (* identical answers: same execs issued, same tuples shipped *)
+      assert (ex_b = ex_u);
+      assert (tup_b = tup_u);
+      (* the acceptance claim: at >= 4 extents per source, batching
+         strictly reduces both round-trips and virtual latency *)
+      if extents_per >= 4 then (
+        assert (rt_b < rt_u);
+        assert (ms_b < ms_u));
+      rows :=
+        [
+          string_of_int extents_per;
+          string_of_int ex_u;
+          string_of_int rt_u;
+          string_of_int rt_b;
+          Fmt.str "%.1f" ms_u;
+          Fmt.str "%.1f" ms_b;
+          Fmt.str "%.2fx" (ms_u /. ms_b);
+        ]
+        :: !rows)
+    [ 1; 2; 4; 8 ];
+  table
+    ~columns:
+      [
+        "extents/source"; "execs/query"; "round-trips unbatched";
+        "round-trips batched"; "virtual ms unbatched"; "virtual ms batched";
+        "speedup";
+      ]
+    (List.rev !rows);
+  Fmt.pr
+    "(answers are identical both ways; per-query numbers averaged over %d\n\
+     trials.)@."
+    trials
+
+(* ==================================================================== *)
 (* A1/A2 - ablations of design choices (DESIGN.md Section 7)            *)
 (* ==================================================================== *)
 
@@ -1161,7 +1305,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("a1", a1); ("a2", a2); ("a3", a3);
+    ("e12", e12); ("a1", a1); ("a2", a2); ("a3", a3);
   ]
 
 let () =
@@ -1184,13 +1328,14 @@ let () =
     f ();
     emit_summary name
   in
-  match !wanted with
+  (match !wanted with
   | Some name -> (
       match List.assoc_opt name experiments with
       | Some f -> run (name, f)
       | None ->
-          Fmt.epr "unknown experiment %s (e1..e11, a1..a3)@." name;
+          Fmt.epr "unknown experiment %s (e1..e12, a1..a3)@." name;
           exit 1)
   | None ->
       List.iter run experiments;
-      if not no_bechamel then bechamel_suite ()
+      if not no_bechamel then bechamel_suite ());
+  write_results_file ()

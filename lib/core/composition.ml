@@ -42,6 +42,6 @@ let as_source ?latency ?schedule mediator =
   let wrapper =
     Wrapper.make
       ~name:("WrapperMediator:" ^ Mediator.name mediator)
-      ~grammar:Grammar.full_relational ~execute
+      ~grammar:Grammar.full_relational ~execute ()
   in
   (source, wrapper)

@@ -46,6 +46,7 @@ module Config = struct
     cache : Answer_cache.t option;
     trace_sink : Trace.sink option;
     metrics : Metrics.t;
+    batch : bool;
   }
 
   let default =
@@ -57,6 +58,7 @@ module Config = struct
       cache = None;
       trace_sink = None;
       metrics = Metrics.default;
+      batch = true;
     }
 end
 
@@ -121,6 +123,7 @@ type t = {
   cache : Answer_cache.t option;
   trace_sink : Trace.sink option;
   metrics : Metrics.t;
+  batch : bool;
 }
 
 let create ?(config = Config.default) ~name () =
@@ -138,6 +141,7 @@ let create ?(config = Config.default) ~name () =
     cache = config.Config.cache;
     trace_sink = config.Config.trace_sink;
     metrics = config.Config.metrics;
+    batch = config.Config.batch;
   }
 
 let name t = t.m_name
@@ -234,7 +238,8 @@ let runtime_env t ~type_check ~semantics ~tr extents =
   Runtime.env
     (Runtime.Config.make ?cache:t.cache
        ?serve_stale_ms:(serve_stale_of semantics)
-       ?trace:tr ~metrics:t.metrics ~clock:t.clock ~cost:t.cost ())
+       ?trace:tr ~metrics:t.metrics ~batch:t.batch ~clock:t.clock ~cost:t.cost
+       ())
     bindings
 
 (* -- tracing helpers --
@@ -295,6 +300,7 @@ let zero_stats =
     cache_hits = 0;
     cache_stale_hits = 0;
     cache_stale_ms = 0.0;
+    round_trips = 0;
   }
 
 let cache_use_of (stats : Runtime.stats) =
@@ -385,7 +391,7 @@ let compiled_outcome t ~timeout_ms ~type_check ~semantics ~tr ~oql located =
             span_meta tr "plan_cache" "miss";
             let choice =
               Optimizer.optimize ~params:t.params ~metrics:t.metrics
-                ~can_push:(can_push t) ~cost:t.cost located
+                ~batch:t.batch ~can_push:(can_push t) ~cost:t.cost located
             in
             span_meta tr "alternatives"
               (string_of_int choice.Optimizer.alternatives);
@@ -458,6 +464,7 @@ let add_stats a b =
     cache_hits = a.Runtime.cache_hits + b.Runtime.cache_hits;
     cache_stale_hits = a.Runtime.cache_stale_hits + b.Runtime.cache_stale_hits;
     cache_stale_ms = Float.max a.Runtime.cache_stale_ms b.Runtime.cache_stale_ms;
+    round_trips = a.Runtime.round_trips + b.Runtime.round_trips;
   }
 
 let hybrid_outcome t ~timeout_ms ~type_check ~semantics ~tr expanded =
@@ -491,7 +498,7 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics ~tr expanded =
               let located = Compile.locate ~repo_of:(repo_of t) compiled in
               let choice =
                 Optimizer.optimize ~params:t.params ~metrics:t.metrics
-                  ~can_push:(can_push t) ~cost:t.cost located
+                  ~batch:t.batch ~can_push:(can_push t) ~cost:t.cost located
               in
               let extents =
                 List.sort_uniq String.compare
@@ -730,8 +737,8 @@ let explain t oql =
   | Ok compiled ->
       let located = Compile.locate ~repo_of:(repo_of t) compiled in
       let choice =
-        Optimizer.optimize ~params:t.params ~can_push:(can_push t) ~cost:t.cost
-          located
+        Optimizer.optimize ~params:t.params ~batch:t.batch
+          ~can_push:(can_push t) ~cost:t.cost located
       in
       Fmt.str "plan (%d alternatives, est. %.3f ms, %.1f rows shipped):@\n%s"
         choice.Optimizer.alternatives choice.Optimizer.cost.Plan.time_ms

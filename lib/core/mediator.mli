@@ -120,6 +120,15 @@ module Config : sig
     metrics : Disco_obs.Metrics.t;
         (** registry receiving the mediator's counters (defaults to
             {!Disco_obs.Metrics.default}) *)
+    batch : bool;
+        (** per-source exec batching and shared-scan deduplication
+            (default [true]): within an execution round, structurally
+            identical execs are answered once, and execs bound for the
+            same repository share one wrapper round-trip (one [base_ms],
+            one jitter draw).  The optimizer costs plans batch-aware.
+            [false] restores the historical one-call-per-exec transport
+            bit-for-bit — answers, stats and the virtual clock are
+            identical to pre-batching builds. *)
   }
 
   val default : t

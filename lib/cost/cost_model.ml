@@ -10,6 +10,10 @@ let default_estimate = { est_time_ms = 0.0; est_rows = 1.0; est_basis = Default 
 
 type record_entry = { time_ms : float; rows : int }
 
+(* One observed batched round-trip: [b_size] expressions answered by one
+   wrapper call taking [b_time_ms] total. *)
+type batch_entry = { b_size : int; b_time_ms : float }
+
 type t = {
   history : int;
   smoothing : float;
@@ -18,6 +22,8 @@ type t = {
   exact : (string, record_entry list) Hashtbl.t;
   (* skeleton key -> most-recent-first entries (bounded the same way) *)
   close : (string, record_entry list) Hashtbl.t;
+  (* repo -> most-recent-first batched round-trips (bounded the same way) *)
+  batch : (string, batch_entry list) Hashtbl.t;
 }
 
 let create ?(history = 8) ?(smoothing = 0.5) ?(close_matching = true) () =
@@ -30,6 +36,7 @@ let create ?(history = 8) ?(smoothing = 0.5) ?(close_matching = true) () =
     close_matching;
     exact = Hashtbl.create 64;
     close = Hashtbl.create 64;
+    batch = Hashtbl.create 16;
   }
 
 (* Erase constants so that only the operator structure and the compared
@@ -110,9 +117,50 @@ let estimate t ~repo expr =
       | Some [] | None -> default_estimate)
   | Some [] | None -> default_estimate
 
+let record_batch t ~repo ~size ~time_ms =
+  if size < 1 then invalid_arg "Cost_model.record_batch: size must be >= 1";
+  let existing = Option.value (Hashtbl.find_opt t.batch repo) ~default:[] in
+  let trimmed = List.filteri (fun i _ -> i < t.history - 1) existing in
+  Hashtbl.replace t.batch repo ({ b_size = size; b_time_ms = time_ms } :: trimmed)
+
+(* Calibrate the batched round-trip the same way Section 3.3 calibrates
+   single calls: from recorded (size, time) pairs, fit
+   [time = overhead + marginal * size] by least squares.  With a single
+   observed size the slope is unidentifiable, so fall back to scaling the
+   mean time by size — pessimistic (it re-charges the overhead per call)
+   but monotone, and it self-corrects once a second size is observed. *)
+let estimate_batch t ~repo ~size =
+  match Hashtbl.find_opt t.batch repo with
+  | None | Some [] -> None
+  | Some entries ->
+      let n = float_of_int (List.length entries) in
+      let sx, sy, sxx, sxy =
+        List.fold_left
+          (fun (sx, sy, sxx, sxy) e ->
+            let x = float_of_int e.b_size in
+            (sx +. x, sy +. e.b_time_ms, sxx +. (x *. x), sxy +. (x *. e.b_time_ms)))
+          (0.0, 0.0, 0.0, 0.0) entries
+      in
+      let mean_x = sx /. n and mean_y = sy /. n in
+      let denom = sxx -. (sx *. sx /. n) in
+      let k = float_of_int size in
+      let predicted =
+        if denom > 1e-9 then
+          let marginal = (sxy -. (sx *. sy /. n)) /. denom in
+          let overhead = mean_y -. (marginal *. mean_x) in
+          overhead +. (marginal *. k)
+        else if mean_x > 0.0 then mean_y /. mean_x *. k
+        else mean_y
+      in
+      Some (Float.max 0.0 predicted)
+
+let recorded_batches t =
+  Hashtbl.fold (fun _ entries acc -> acc + List.length entries) t.batch 0
+
 let recorded_calls t =
   Hashtbl.fold (fun _ entries acc -> acc + List.length entries) t.exact 0
 
 let clear t =
   Hashtbl.reset t.exact;
-  Hashtbl.reset t.close
+  Hashtbl.reset t.close;
+  Hashtbl.reset t.batch

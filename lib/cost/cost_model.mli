@@ -40,6 +40,23 @@ val record : t -> repo:string -> expr:Expr.expr -> time_ms:float -> rows:int -> 
 
 val estimate : t -> repo:string -> Expr.expr -> estimate
 
+val record_batch : t -> repo:string -> size:int -> time_ms:float -> unit
+(** Record one batched round-trip to [repo]: [size] expressions answered
+    by a single wrapper call taking [time_ms] total. Bounded by the same
+    [history] window as per-call records. Raises [Invalid_argument] when
+    [size < 1]. *)
+
+val estimate_batch : t -> repo:string -> size:int -> float option
+(** Predicted total time of a batched round-trip of [size] expressions to
+    [repo], calibrated from recorded batches: a least-squares fit of
+    [time = overhead + marginal * size] when at least two distinct batch
+    sizes were observed, a proportional scaling of the mean otherwise.
+    [None] when no batch to [repo] has been recorded — callers fall back
+    to per-call estimates. *)
+
+val recorded_batches : t -> int
+(** Total batched round-trips currently held (after trimming). *)
+
 val skeleton : Expr.expr -> string
 (** The close-match fingerprint: the expression with every constant
     erased. Exposed for tests. *)

@@ -30,6 +30,8 @@ type exec = {
   x_rows : int;
   x_predicted_ms : float option;
   x_predicted_rows : float option;
+  x_batch_id : int option;
+  x_batch_size : int;
 }
 
 type span = {
@@ -123,6 +125,9 @@ let pp_exec ppf x =
   | Some ms, Some rows -> Fmt.pf ppf " (predicted %.1fms / %.0f rows)" ms rows
   | Some ms, None -> Fmt.pf ppf " (predicted %.1fms)" ms
   | None, _ -> ());
+  (match x.x_batch_id with
+  | Some id -> Fmt.pf ppf " [batch %d/%d]" id x.x_batch_size
+  | None -> ());
   Fmt.pf ppf " :: %s <- %s" x.x_wrapper x.x_expr
 
 let rec pp_span ~prefix ~last ppf sp =
@@ -204,6 +209,11 @@ let add_exec b x =
   (match x.x_predicted_ms with Some ms -> num "predicted_ms" ms | None -> ());
   (match x.x_predicted_rows with
   | Some rows -> num "predicted_rows" rows
+  | None -> ());
+  (match x.x_batch_id with
+  | Some id ->
+      int "batch_id" id;
+      int "batch_size" x.x_batch_size
   | None -> ());
   Buffer.add_char b '}'
 

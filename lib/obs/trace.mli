@@ -39,6 +39,10 @@ type exec = {
   x_rows : int;  (** rows in the materialized answer *)
   x_predicted_ms : float option;  (** cost-model prediction, if traced *)
   x_predicted_rows : float option;
+  x_batch_id : int option;
+      (** batched round-trip this exec rode in, if any; execs sharing an
+          id shared one wrapper call (and one [base_ms]) *)
+  x_batch_size : int;  (** execs in that round-trip; 1 when unbatched *)
 }
 
 type span = {

@@ -75,8 +75,8 @@ let better (a : Plan.cost * int * int) (b : Plan.cost * int * int) =
         ca.Plan.shipped < cb.Plan.shipped
       else pusheda > pushedb
 
-let optimize ?params ?(max_join_variants = 8) ?metrics ~can_push ~cost located
-    =
+let optimize ?params ?(max_join_variants = 8) ?metrics ?(batch = false)
+    ~can_push ~cost located =
   let on_rule =
     Option.map
       (fun m stage ->
@@ -84,7 +84,7 @@ let optimize ?params ?(max_join_variants = 8) ?metrics ~can_push ~cost located
         Disco_obs.Metrics.incr m ("optimizer.rule." ^ stage))
       metrics
   in
-  let candidates =
+  let enumerated =
     (* join commutations of the located tree ... *)
     located :: join_variants ~limit:max_join_variants located
     (* ... each at every pushdown level: capability-maximal, none, and
@@ -95,42 +95,75 @@ let optimize ?params ?(max_join_variants = 8) ?metrics ~can_push ~cost located
              Rules.normalize ~can_push:Rules.push_none ?on_rule v;
              v;
            ])
-    |> List.sort_uniq compare
   in
-  let costed =
-    List.concat_map
+  let candidates = List.sort_uniq compare enumerated in
+  let informed repo expr =
+    match (Cost_model.estimate cost ~repo expr).Cost_model.est_basis with
+    | Cost_model.Default -> false
+    | Cost_model.Exact _ | Cost_model.Close _ -> true
+  in
+  let pushed_size p =
+    List.fold_left
+      (fun acc (_, e) -> acc + Expr.size e)
+      0 (Plan.all_source_exprs p)
+  in
+  let per_candidate =
+    List.map
       (fun logical ->
         match Plan.implement logical with
         | plan ->
-            (* also cost the alternative join algorithms (hash vs merge),
-               and semijoin reductions where the cost model has real
-               statistics for both sides *)
-            let informed repo expr =
-              match
-                (Cost_model.estimate cost ~repo expr).Cost_model.est_basis
-              with
-              | Cost_model.Default -> false
-              | Cost_model.Exact _ | Cost_model.Close _ -> true
-            in
-            let pushed_size p =
-              List.fold_left
-                (fun acc (_, e) -> acc + Expr.size e)
-                0 (Plan.all_source_exprs p)
-            in
-            List.map
-              (fun p ->
-                ( logical,
-                  p,
-                  ( Plan.estimate ?params cost p,
-                    Plan.mediator_op_count p,
-                    pushed_size p ) ))
-              ((plan :: Plan.join_algorithm_variants plan)
-              @ Plan.semijoin_variants ~informed plan)
-        | exception Plan.Physical_error _ -> [])
+            (* also consider the alternative join algorithms (hash vs
+               merge), and semijoin reductions where the cost model has
+               real statistics for both sides *)
+            ( logical,
+              List.map
+                (fun p -> (logical, p))
+                ((plan :: Plan.join_algorithm_variants plan)
+                @ Plan.semijoin_variants ~informed plan) )
+        | exception Plan.Physical_error _ -> (logical, []))
       candidates
+  in
+  let implemented = List.concat_map snd per_candidate in
+  (* The enumeration re-derives the same candidate along many paths: a
+     pushdown level that rewrote nothing, a commutation that recreated
+     the original order, two logicals implementing to one physical tree.
+     Cost each distinct plan exactly once — keeping the first occurrence
+     preserves the final choice, because [better] is strict and the
+     selection fold keeps the earliest among equals. *)
+  let unique =
+    List.rev
+      (List.fold_left
+         (fun acc ((_, p) as cand) ->
+           if List.exists (fun (_, p') -> p' = p) acc then acc
+           else cand :: acc)
+         [] implemented)
+  in
+  let costed =
+    List.map
+      (fun (logical, p) ->
+        ( logical,
+          p,
+          ( Plan.estimate ?params ~batch cost p,
+            Plan.mediator_op_count p,
+            pushed_size p ) ))
+      unique
+  in
+  (* what the enumeration produced before any deduplication: duplicate
+     logical candidates contribute their whole plan-variant list *)
+  let raw_count =
+    List.fold_left
+      (fun acc l ->
+        acc
+        +
+        match List.assoc_opt l per_candidate with
+        | Some plans -> List.length plans
+        | None -> 0)
+      0 enumerated
   in
   Option.iter
     (fun m ->
+      Disco_obs.Metrics.observe m "optimizer.candidates_raw"
+        (float_of_int (max 1 raw_count));
       Disco_obs.Metrics.observe m "optimizer.candidates"
         (float_of_int (max 1 (List.length costed))))
     metrics;
@@ -141,7 +174,7 @@ let optimize ?params ?(max_join_variants = 8) ?metrics ~can_push ~cost located
       {
         plan;
         logical = located;
-        cost = Plan.estimate ?params cost plan;
+        cost = Plan.estimate ?params ~batch cost plan;
         alternatives = 1;
       }
   | first :: rest ->

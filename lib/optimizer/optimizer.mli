@@ -29,6 +29,7 @@ val optimize :
   ?params:Disco_physical.Plan.params ->
   ?max_join_variants:int ->
   ?metrics:Disco_obs.Metrics.t ->
+  ?batch:bool ->
   can_push:Disco_algebra.Rules.can_push ->
   cost:Disco_cost.Cost_model.t ->
   Expr.expr ->
@@ -38,8 +39,17 @@ val optimize :
     candidate (default 8). Ties in estimated time break toward fewer
     shipped tuples, then smaller plans.
 
+    Candidate plans are structurally deduplicated before costing (the
+    enumeration re-derives the same physical tree along many paths), so
+    each distinct plan is costed exactly once; the first occurrence is
+    kept, which preserves the choice under the strict comparison.
+
+    [batch] (default [false]) costs candidates for the batched transport
+    — see {!Disco_physical.Plan.estimate}.
+
     When [metrics] is given, the search reports into it:
     [optimizer.rules_fired] / [optimizer.rule.<stage>] count each
-    normalization stage that rewrote a candidate, and
-    [optimizer.candidates] is a histogram of costed candidates per
-    call. *)
+    normalization stage that rewrote a candidate,
+    [optimizer.candidates_raw] is a histogram of enumerated candidates
+    per call, and [optimizer.candidates] of the distinct candidates
+    actually costed. *)

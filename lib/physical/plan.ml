@@ -113,6 +113,28 @@ let eval_head elem = function
   | Expr.Hstruct fields ->
       V.strct (List.map (fun (n, s) -> (n, Expr.eval_scalar elem s)) fields)
 
+(* The hash join builds its table on the smaller input (fewer build rows
+   for the same output); ties keep the historical right-side build. *)
+let hash_build_side ~left ~right =
+  let card v = try V.cardinal v with V.Type_error _ -> 1 in
+  if card left < card right then `Left else `Right
+
+(* Merge-join key comparison.  Both key lists are projected from the same
+   join-pair list, so unequal lengths can only mean a corrupted plan —
+   fail loudly instead of silently declaring the keys equal. *)
+let compare_key_lists ka kb =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> 0
+    | x :: xs, y :: ys ->
+        let c = V.compare x y in
+        if c <> 0 then c else go xs ys
+    | _ ->
+        physical_error "merge join: key lists of unequal length (%d vs %d)"
+          (List.length ka) (List.length kb)
+  in
+  go ka kb
+
 let rec run_local = function
   | Exec (repo, _) ->
       physical_error "exec(%s) not substituted before local execution" repo
@@ -146,8 +168,10 @@ let rec run_local = function
       V.bag rows
   | Hash_join (l, r, pairs) ->
       let lv = run_local l and rv = run_local r in
-      (* Build on the right input, keyed by the canonical rendering of the
-         join-key values (numeric coercion folded in by keying floats). *)
+      (* Build on the smaller input, keyed by the canonical rendering of
+         the join-key values (numeric coercion folded in by keying
+         floats); probe with the larger.  The merged struct keeps left
+         fields first regardless of which side built. *)
       let key_of elem paths =
         List.map
           (fun path ->
@@ -157,17 +181,32 @@ let rec run_local = function
           paths
       in
       let right_keys = List.map snd pairs and left_keys = List.map fst pairs in
-      let table = Hashtbl.create (max 16 (V.cardinal rv)) in
+      let build_elems, build_keys, probe_elems, probe_keys, merge =
+        match hash_build_side ~left:lv ~right:rv with
+        | `Right ->
+            ( V.elements rv,
+              right_keys,
+              V.elements lv,
+              left_keys,
+              fun probe build -> merge_structs probe build )
+        | `Left ->
+            ( V.elements lv,
+              left_keys,
+              V.elements rv,
+              right_keys,
+              fun probe build -> merge_structs build probe )
+      in
+      let table = Hashtbl.create (max 16 (List.length build_elems)) in
       List.iter
-        (fun re -> Hashtbl.add table (key_of re right_keys) re)
-        (V.elements rv);
+        (fun be -> Hashtbl.add table (key_of be build_keys) be)
+        build_elems;
       let rows =
         List.concat_map
-          (fun le ->
+          (fun pe ->
             List.rev_map
-              (fun re -> merge_structs le re)
-              (Hashtbl.find_all table (key_of le left_keys)))
-          (V.elements lv)
+              (fun be -> merge pe be)
+              (Hashtbl.find_all table (key_of pe probe_keys)))
+          probe_elems
       in
       V.bag rows
   | Merge_join (l, r, pairs) ->
@@ -181,17 +220,7 @@ let rec run_local = function
             | v -> v)
           paths
       in
-      let cmp_keys a b =
-        let rec go a b =
-          match (a, b) with
-          | [], [] -> 0
-          | x :: xs, y :: ys ->
-              let c = V.compare x y in
-              if c <> 0 then c else go xs ys
-          | _ -> 0
-        in
-        go a b
-      in
+      let cmp_keys = compare_key_lists in
       let sort elems keys =
         List.stable_sort
           (fun a b -> cmp_keys (key_of a keys) (key_of b keys))
@@ -376,12 +405,43 @@ let rec mediator_op_count = function
   | Semi_join (l, _, _) -> 1 + mediator_op_count l
   | Mk_union ps -> List.fold_left (fun acc p -> acc + mediator_op_count p) 1 ps
 
-let estimate ?(params = default_params) model plan =
+let estimate ?(params = default_params) ?(batch = false) model plan =
+  (* Under the batched transport, the first-round execs sharing a
+     repository ride one round-trip: when the cost model has batch
+     calibration for that repository, charge each member its amortized
+     share of the predicted batch time instead of a stand-alone call. *)
+  let batch_time =
+    if not batch then fun _repo -> None
+    else
+      let uniq =
+        List.fold_left
+          (fun acc (repo, e) ->
+            if
+              List.exists
+                (fun (r, e') -> String.equal r repo && Expr.equal e e')
+                acc
+            then acc
+            else (repo, e) :: acc)
+          [] (execs plan)
+      in
+      fun repo ->
+        let k =
+          List.length (List.filter (fun (r, _) -> String.equal r repo) uniq)
+        in
+        if k < 2 then None
+        else
+          match Cost_model.estimate_batch model ~repo ~size:k with
+          | None -> None
+          | Some t -> Some (t /. float_of_int k)
+  in
   let rec go = function
     | Exec (repo, e) ->
         let est = Cost_model.estimate model ~repo e in
         {
-          time_ms = est.Cost_model.est_time_ms;
+          time_ms =
+            (match batch_time repo with
+            | Some t -> t
+            | None -> est.Cost_model.est_time_ms);
           rows = est.Cost_model.est_rows;
           shipped = est.Cost_model.est_rows;
           defaulted_execs =

@@ -24,7 +24,9 @@ type plan =
   | Mk_map of plan * Expr.head
   | Nested_loop_join of plan * plan * (string list * string list) list
   | Hash_join of plan * plan * (string list * string list) list
-      (** builds a hash table on the right input's key paths *)
+      (** builds a hash table on the smaller input (see
+          {!hash_build_side}) and probes with the other; the joined
+          struct keeps left fields first either way *)
   | Merge_join of plan * plan * (string list * string list) list
       (** sorts both inputs on their key paths, then merge-scans — the
           paper's merge-join physical algorithm (Section 3.1) *)
@@ -95,6 +97,17 @@ val substitute_execs : (string -> Expr.expr -> plan) -> plan -> plan
 
 val run_local : plan -> V.t
 
+val hash_build_side : left:V.t -> right:V.t -> [ `Left | `Right ]
+(** Which input the hash join builds its table on: the one with fewer
+    elements (non-collections count as 1); ties keep the historical
+    [`Right] build. Exposed for tests. *)
+
+val compare_key_lists : V.t list -> V.t list -> int
+(** Lexicographic comparison of merge-join key lists. Raises
+    {!Physical_error} when the lists have different lengths — that means
+    a corrupted plan, and silently calling such keys equal would produce
+    wrong join results. *)
+
 (** {1 Cost estimation} *)
 
 (** Mediator-side cost constants (virtual ms per tuple). *)
@@ -130,4 +143,10 @@ val mediator_op_count : plan -> int
     estimate is a default — the paper's "maximum amount of computation
     done at the data source" rule (Section 3.3). *)
 
-val estimate : ?params:params -> Disco_cost.Cost_model.t -> plan -> cost
+val estimate :
+  ?params:params -> ?batch:bool -> Disco_cost.Cost_model.t -> plan -> cost
+(** [batch] (default [false]) costs the plan for the batched transport:
+    first-round execs sharing a repository are charged the amortized
+    share of the {!Disco_cost.Cost_model.estimate_batch} prediction when
+    the model has batch calibration for that repository (falling back to
+    the stand-alone call estimate otherwise). *)

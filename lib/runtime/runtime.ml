@@ -39,11 +39,12 @@ module Config = struct
     serve_stale_ms : float option;
     trace : Trace.t option;
     metrics : Metrics.t;
+    batch : bool;
   }
 
-  let make ?cache ?serve_stale_ms ?trace ?(metrics = Metrics.default) ~clock
-      ~cost () =
-    { clock; cost; cache; serve_stale_ms; trace; metrics }
+  let make ?cache ?serve_stale_ms ?trace ?(metrics = Metrics.default)
+      ?(batch = true) ~clock ~cost () =
+    { clock; cost; cache; serve_stale_ms; trace; metrics; batch }
 end
 
 type env = {
@@ -56,6 +57,10 @@ type env = {
          fragments no older than this (the Cached_fallback semantics) *)
   trace : Trace.t option;
   metrics : Metrics.t;
+  batch : bool;
+      (* group same-destination execs into one wrapper round-trip; off
+         reproduces the historical one-call-per-exec transport exactly *)
+  batch_seq : int ref; (* distinguishes batched round-trips in traces *)
 }
 
 let env (c : Config.t) bindings =
@@ -67,6 +72,8 @@ let env (c : Config.t) bindings =
     serve_stale_ms = c.Config.serve_stale_ms;
     trace = c.Config.trace;
     metrics = c.Config.metrics;
+    batch = c.Config.batch;
+    batch_seq = ref 0;
   }
 
 let binding_of env extent =
@@ -97,6 +104,7 @@ type stats = {
   cache_hits : int;
   cache_stale_hits : int;
   cache_stale_ms : float;
+  round_trips : int;
 }
 
 (* One exec call: consult the answer cache, else translate to the source
@@ -114,7 +122,7 @@ type exec_result = Done of exec_done | Blocked
 (* every exec outcome lands in the metrics registry; the trace leaf is
    built only when a trace is attached *)
 let observe_exec env ~repo ~wrapper ~logical ~start ~finish ~origin ~shipped
-    ~rows ~predicted =
+    ~rows ~predicted ~batch =
   Metrics.incr env.metrics ("exec.origin." ^ Trace.origin_label origin);
   if shipped > 0 then Metrics.incr ~by:shipped env.metrics "exec.tuples_shipped";
   match env.trace with
@@ -125,6 +133,11 @@ let observe_exec env ~repo ~wrapper ~logical ~start ~finish ~origin ~shipped
         | Some (e : Cost_model.estimate) ->
             (Some e.Cost_model.est_time_ms, Some e.Cost_model.est_rows)
         | None -> (None, None)
+      in
+      let batch_id, batch_size =
+        match batch with
+        | Some (id, size) -> (Some id, size)
+        | None -> (None, 1)
       in
       Trace.exec tr
         {
@@ -138,6 +151,8 @@ let observe_exec env ~repo ~wrapper ~logical ~start ~finish ~origin ~shipped
           x_rows = rows;
           x_predicted_ms = p_ms;
           x_predicted_rows = p_rows;
+          x_batch_id = batch_id;
+          x_batch_size = batch_size;
         }
 
 let issue_exec env ~deadline repo logical =
@@ -191,7 +206,7 @@ let issue_exec env ~deadline repo logical =
   in
   let observe ~finish ~origin ~shipped ~rows =
     observe_exec env ~repo ~wrapper ~logical ~start:now ~finish ~origin ~shipped
-      ~rows ~predicted
+      ~rows ~predicted ~batch:None
   in
   let version = Source.data_version chosen in
   let fresh_hit =
@@ -265,6 +280,265 @@ let issue_exec env ~deadline repo logical =
           observe ~finish ~origin ~shipped ~rows:shipped;
           Done { value = renamed; finish; shipped; origin })
 
+(* -- batched transport (Config.batch) --
+
+   Preparation mirrors [issue_exec] decision-for-decision: the same
+   binding resolution, translation, failover choice and cache lookups
+   are taken per exec.  Only the transport is shared — execs whose
+   chosen destination coincides ride one [Wrapper.execute_batch]
+   round-trip, paying the source's [base_ms] (and a single jitter draw)
+   once for the whole group. *)
+
+type prepared = {
+  p_repo : string;
+  p_logical : Expr.expr;
+  p_binding : binding;
+  p_source_expr : Expr.expr;
+  p_rename : V.t -> V.t;
+  p_chosen_repo : string;
+  p_chosen : Source.t;
+  p_predicted : Cost_model.estimate option;
+}
+
+let prepare_exec env ~now repo logical =
+  let extents = Expr.gets logical in
+  let bindings = List.map (binding_of env) extents in
+  let binding =
+    match bindings with
+    | [] -> runtime_error "exec(%s) references no extent" repo
+    | first :: _ -> first
+  in
+  List.iter
+    (fun b ->
+      if not (String.equal b.b_repo repo) then
+        runtime_error "exec(%s) references extent %s bound to %s" repo
+          b.b_extent b.b_repo)
+    bindings;
+  let map_of extent =
+    match
+      List.find_opt (fun b -> String.equal b.b_extent extent) bindings
+    with
+    | Some b -> b.b_map
+    | None -> Typemap.identity
+  in
+  let source_expr = Translate.to_source ~map_of logical in
+  let rename = Translate.answer_renamer ~map_of logical in
+  let chosen_repo, chosen =
+    let candidates =
+      (binding.b_repo, binding.b_source) :: binding.b_replicas
+    in
+    match List.find_opt (fun (_, src) -> Source.is_up src now) candidates with
+    | Some (replica_repo, src) ->
+        if not (String.equal replica_repo binding.b_repo) then
+          Log.info (fun m ->
+              m "exec(%s): primary down, failing over to replica %s" repo
+                replica_repo);
+        (replica_repo, src)
+    | None -> (binding.b_repo, binding.b_source)
+  in
+  let predicted =
+    match env.trace with
+    | None -> None
+    | Some _ -> Some (Cost_model.estimate env.cost ~repo logical)
+  in
+  {
+    p_repo = repo;
+    p_logical = logical;
+    p_binding = binding;
+    p_source_expr = source_expr;
+    p_rename = rename;
+    p_chosen_repo = chosen_repo;
+    p_chosen = chosen;
+    p_predicted = predicted;
+  }
+
+let typecheck_answer p renamed =
+  match p.p_binding.b_check with
+  | Some check when V.is_collection renamed ->
+      List.iter
+        (fun elem ->
+          if not (check elem) then
+            runtime_error "type mismatch: source %s returned %s for extent %s"
+              p.p_repo (V.to_string elem) p.p_binding.b_extent)
+        (V.elements renamed)
+  | _ -> ()
+
+(* Issue a round of (unique) execs with per-destination batching.
+   Results come back in input order; the second component counts the
+   wrapper round-trips actually attempted. *)
+let issue_execs_batched env ~deadline execs =
+  let now = Clock.now env.clock in
+  let round_trips = ref 0 in
+  let observe p ~finish ~origin ~shipped ~rows ~batch =
+    observe_exec env ~repo:p.p_repo
+      ~wrapper:(Wrapper.name p.p_binding.b_wrapper)
+      ~logical:p.p_logical ~start:now ~finish ~origin ~shipped ~rows
+      ~predicted:p.p_predicted ~batch
+  in
+  (* fresh cache hits never reach the wire *)
+  let classified =
+    List.map
+      (fun (repo, logical) ->
+        let p = prepare_exec env ~now repo logical in
+        let version = Source.data_version p.p_chosen in
+        let fresh_hit =
+          match env.cache with
+          | Some cache ->
+              Answer_cache.find_fresh cache ~repo ~version logical
+          | None -> None
+        in
+        match fresh_hit with
+        | Some value ->
+            Log.debug (fun m ->
+                m "exec(%s) answered from cache: %s" repo
+                  (Expr.to_string logical));
+            let rows = try V.cardinal value with V.Type_error _ -> 1 in
+            observe p ~finish:now ~origin:Trace.Cache ~shipped:0 ~rows
+              ~batch:None;
+            ( p,
+              `Done
+                (Done { value; finish = now; shipped = 0; origin = Trace.Cache })
+            )
+        | None -> (p, `Pending version))
+      execs
+  in
+  let pendings =
+    List.filter_map
+      (function p, `Pending version -> Some (p, version) | _, `Done _ -> None)
+      classified
+  in
+  let group_key p = (p.p_chosen_repo, Wrapper.name p.p_binding.b_wrapper) in
+  let keys =
+    List.fold_left
+      (fun acc (p, _) ->
+        let key = group_key p in
+        if List.mem key acc then acc else acc @ [ key ])
+      [] pendings
+  in
+  (* (repo, printed logical) -> exec_result for the pending execs *)
+  let table = Hashtbl.create 16 in
+  let store p r = Hashtbl.replace table (p.p_repo, Expr.to_string p.p_logical) r in
+  List.iter
+    (fun ((grepo, gwrapper) as key) ->
+      let members =
+        List.filter (fun (p, _) -> group_key p = key) pendings
+      in
+      let size = List.length members in
+      let chosen, wrapper_t =
+        match members with
+        | (p, _) :: _ -> (p.p_chosen, p.p_binding.b_wrapper)
+        | [] -> assert false
+      in
+      incr round_trips;
+      Metrics.incr env.metrics "runtime.batch.rounds";
+      incr env.batch_seq;
+      let batch_id = !(env.batch_seq) in
+      let batch = if size > 1 then Some (batch_id, size) else None in
+      let exprs = List.map (fun (p, _) -> p.p_source_expr) members in
+      let outcome =
+        Source.call chosen ~clock:env.clock ~deadline (fun () ->
+            let answers = Wrapper.execute_batch wrapper_t chosen exprs in
+            let rows =
+              List.fold_left
+                (fun acc r ->
+                  match r with Ok (_, n) -> acc + n | Error _ -> acc)
+                0 answers
+            in
+            (answers, rows))
+      in
+      match outcome with
+      | Source.Unavailable | Source.Timed_out _ ->
+          List.iter
+            (fun (p, _) ->
+              let blocked () =
+                Log.debug (fun m ->
+                    m "exec(%s) blocked: %s" p.p_repo
+                      (Expr.to_string p.p_logical));
+                observe p ~finish:deadline ~origin:Trace.Blocked ~shipped:0
+                  ~rows:0 ~batch;
+                Blocked
+              in
+              let r =
+                match (env.cache, env.serve_stale_ms) with
+                | Some cache, Some max_stale_ms -> (
+                    match
+                      Answer_cache.find_stale cache ~repo:p.p_repo ~now
+                        ~max_stale_ms p.p_logical
+                    with
+                    | Some (value, age) ->
+                        let rows =
+                          try V.cardinal value with V.Type_error _ -> 1
+                        in
+                        observe p ~finish:now ~origin:(Trace.Stale age)
+                          ~shipped:0 ~rows ~batch:None;
+                        Done
+                          {
+                            value;
+                            finish = now;
+                            shipped = 0;
+                            origin = Trace.Stale age;
+                          }
+                    | None -> blocked ())
+                | _ -> blocked ()
+              in
+              store p r)
+            members
+      | Source.Answered (answers, finish) ->
+          if List.length answers <> size then
+            runtime_error "wrapper %s on %s answered %d of a batch of %d"
+              gwrapper grepo (List.length answers) size;
+          Cost_model.record_batch env.cost ~repo:grepo ~size
+            ~time_ms:(finish -. now);
+          List.iter2
+            (fun (p, version) answer ->
+              match answer with
+              | Error err ->
+                  runtime_error "wrapper %s on %s: %s" gwrapper p.p_repo
+                    (Wrapper.error_message err)
+              | Ok (v, _rows) ->
+                  Log.debug (fun m ->
+                      m "exec(%s) answered %d rows at t=%.1f" p.p_repo
+                        (try V.cardinal v with V.Type_error _ -> 1)
+                        finish);
+                  let renamed = p.p_rename v in
+                  typecheck_answer p renamed;
+                  (match env.cache with
+                  | Some cache ->
+                      Answer_cache.store cache ~repo:p.p_repo ~version
+                        ~now:finish p.p_logical renamed
+                  | None -> ());
+                  let shipped =
+                    try V.cardinal renamed with V.Type_error _ -> 1
+                  in
+                  let origin =
+                    if String.equal p.p_chosen_repo p.p_binding.b_repo then
+                      Trace.Source
+                    else Trace.Failover p.p_chosen_repo
+                  in
+                  (* amortize the shared round-trip across the group so
+                     the per-call Section 3.3 estimates stay comparable
+                     with unbatched execution *)
+                  Cost_model.record env.cost ~repo:p.p_repo ~expr:p.p_logical
+                    ~time_ms:((finish -. now) /. float_of_int size)
+                    ~rows:shipped;
+                  observe p ~finish ~origin ~shipped ~rows:shipped ~batch;
+                  store p (Done { value = renamed; finish; shipped; origin }))
+            members answers)
+    keys;
+  let results =
+    List.map
+      (fun (p, c) ->
+        let r =
+          match c with
+          | `Done r -> r
+          | `Pending _ ->
+              Hashtbl.find table (p.p_repo, Expr.to_string p.p_logical)
+        in
+        ((p.p_repo, p.p_logical), r))
+      classified
+  in
+  (results, !round_trips)
+
 (* Fold every exec-free subtree into materialized data: "processing as
    much of the query as is possible" (Section 1.3). *)
 let rec fold_ready plan =
@@ -287,16 +561,10 @@ let rec fold_ready plan =
       | Plan.Mk_union ps -> Plan.Mk_union (List.map fold_ready ps)
       | Plan.Mk_distinct p -> Plan.Mk_distinct (fold_ready p))
 
-(* One parallel round: issue every ready exec, substitute the answers. *)
-let run_round env ~deadline plan =
-  let t0 = Clock.now env.clock in
-  let execs = Plan.execs plan in
-  let results =
-    List.map
-      (fun (repo, logical) ->
-        ((repo, logical), issue_exec env ~deadline repo logical))
-      execs
-  in
+(* Shared tail of an execution round: fold the per-exec results into the
+   substituted plan, the blocked list, the version vector and the round's
+   stats. *)
+let round_result env ~deadline ~t0 ~execs_issued ~round_trips results plan =
   let answered =
     List.filter_map
       (function key, Done d -> Some (key, d) | _, Blocked -> None)
@@ -307,17 +575,6 @@ let run_round env ~deadline plan =
       (function key, Blocked -> Some key | _, Done _ -> None)
       results
   in
-  (* only real source calls feed the learned cost model — cache serves
-     complete in zero time and would corrupt the estimates *)
-  List.iter
-    (fun ((repo, logical), d) ->
-      match d.origin with
-      | Trace.Source | Trace.Failover _ ->
-          Cost_model.record env.cost ~repo ~expr:logical
-            ~time_ms:(d.finish -. t0)
-            ~rows:(try V.cardinal d.value with V.Type_error _ -> 1)
-      | Trace.Cache | Trace.Stale _ | Trace.Blocked -> ())
-    answered;
   let tuples_shipped =
     List.fold_left (fun acc (_, d) -> acc + d.shipped) 0 answered
   in
@@ -361,7 +618,7 @@ let run_round env ~deadline plan =
   in
   let stats =
     {
-      execs_issued = List.length execs;
+      execs_issued;
       execs_answered = List.length answered;
       execs_blocked = List.length blocked;
       tuples_shipped;
@@ -369,9 +626,75 @@ let run_round env ~deadline plan =
       cache_hits;
       cache_stale_hits = stale_hits;
       cache_stale_ms = stale_ms;
+      round_trips;
     }
   in
   (substituted, List.map fst blocked, versions, stats)
+
+(* One parallel round, historical transport: one wrapper call per exec. *)
+let run_round_seq env ~deadline plan =
+  let t0 = Clock.now env.clock in
+  let execs = Plan.execs plan in
+  let results =
+    List.map
+      (fun (repo, logical) ->
+        ((repo, logical), issue_exec env ~deadline repo logical))
+      execs
+  in
+  (* only real source calls feed the learned cost model — cache serves
+     complete in zero time and would corrupt the estimates *)
+  List.iter
+    (function
+      | (repo, logical), Done d -> (
+          match d.origin with
+          | Trace.Source | Trace.Failover _ ->
+              Cost_model.record env.cost ~repo ~expr:logical
+                ~time_ms:(d.finish -. t0)
+                ~rows:(try V.cardinal d.value with V.Type_error _ -> 1)
+          | Trace.Cache | Trace.Stale _ | Trace.Blocked -> ())
+      | _, Blocked -> ())
+    results;
+  let cache_hits =
+    List.length
+      (List.filter
+         (function _, Done d -> d.origin = Trace.Cache | _, Blocked -> false)
+         results)
+  in
+  (* every non-cache-hit exec was its own wrapper round-trip (including
+     the ones that came back unavailable) *)
+  let round_trips = List.length execs - cache_hits in
+  round_result env ~deadline ~t0 ~execs_issued:(List.length execs) ~round_trips
+    results plan
+
+(* One parallel round, batched transport: dedupe structurally identical
+   execs, then one wrapper round-trip per destination. *)
+let run_round_batched env ~deadline plan =
+  let t0 = Clock.now env.clock in
+  let execs = Plan.execs plan in
+  let unique =
+    List.rev
+      (List.fold_left
+         (fun acc ((repo, logical) as key) ->
+           if
+             List.exists
+               (fun (r, l) -> String.equal r repo && Expr.equal l logical)
+               acc
+           then acc
+           else key :: acc)
+         [] execs)
+  in
+  let dedup_hits = List.length execs - List.length unique in
+  if dedup_hits > 0 then (
+    Log.debug (fun m ->
+        m "dedup: %d duplicate exec(s) share answers this round" dedup_hits);
+    Metrics.incr ~by:dedup_hits env.metrics "runtime.batch.dedup_hits");
+  let results, round_trips = issue_execs_batched env ~deadline unique in
+  round_result env ~deadline ~t0 ~execs_issued:(List.length unique)
+    ~round_trips results plan
+
+let run_round env ~deadline plan =
+  if env.batch then run_round_batched env ~deadline plan
+  else run_round_seq env ~deadline plan
 
 (* Resolve semi-joins whose left side is fully materialized: compute the
    distinct keys and turn the node into a hash join over the reduced
@@ -454,6 +777,7 @@ let add_stats a b =
     cache_hits = a.cache_hits + b.cache_hits;
     cache_stale_hits = a.cache_stale_hits + b.cache_stale_hits;
     cache_stale_ms = Float.max a.cache_stale_ms b.cache_stale_ms;
+    round_trips = a.round_trips + b.round_trips;
   }
 
 let zero_stats =
@@ -466,6 +790,7 @@ let zero_stats =
     cache_hits = 0;
     cache_stale_hits = 0;
     cache_stale_ms = 0.0;
+    round_trips = 0;
   }
 
 let execute ?(timeout_ms = 1000.0) env plan =
@@ -507,23 +832,49 @@ let execute ?(timeout_ms = 1000.0) env plan =
 let fetch ?(timeout_ms = 1000.0) env extents =
   let t0 = Clock.now env.clock in
   let deadline = t0 +. timeout_ms in
-  let results =
-    List.map
-      (fun extent ->
-        let b = binding_of env extent in
-        (extent, issue_exec env ~deadline b.b_repo (Expr.Get extent)))
-      extents
+  let results, round_trips =
+    if env.batch then
+      (* one batched round-trip per repository holding several of the
+         fetched extents *)
+      let keyed =
+        List.map
+          (fun extent ->
+            let b = binding_of env extent in
+            (extent, (b.b_repo, Expr.Get extent)))
+          extents
+      in
+      let batched, round_trips =
+        issue_execs_batched env ~deadline (List.map snd keyed)
+      in
+      (List.map2 (fun (extent, _) (_, r) -> (extent, r)) keyed batched, round_trips)
+    else
+      let results =
+        List.map
+          (fun extent ->
+            let b = binding_of env extent in
+            (extent, issue_exec env ~deadline b.b_repo (Expr.Get extent)))
+          extents
+      in
+      List.iter
+        (fun (extent, r) ->
+          match r with
+          | Done { origin = Trace.Source | Trace.Failover _; value; finish; _ }
+            ->
+              let b = binding_of env extent in
+              Cost_model.record env.cost ~repo:b.b_repo ~expr:(Expr.Get extent)
+                ~time_ms:(finish -. t0)
+                ~rows:(try V.cardinal value with V.Type_error _ -> 1)
+          | Done _ | Blocked -> ())
+        results;
+      let cache_hits =
+        List.length
+          (List.filter
+             (function
+               | _, Done d -> d.origin = Trace.Cache | _, Blocked -> false)
+             results)
+      in
+      (results, List.length results - cache_hits)
   in
-  List.iter
-    (fun (extent, r) ->
-      match r with
-      | Done { origin = Trace.Source | Trace.Failover _; value; finish; _ } ->
-          let b = binding_of env extent in
-          Cost_model.record env.cost ~repo:b.b_repo ~expr:(Expr.Get extent)
-            ~time_ms:(finish -. t0)
-            ~rows:(try V.cardinal value with V.Type_error _ -> 1)
-      | Done _ | Blocked -> ())
-    results;
   let answered =
     List.filter_map (function _, Done d -> Some d | _, Blocked -> None) results
   in
@@ -552,6 +903,7 @@ let fetch ?(timeout_ms = 1000.0) env extents =
         List.length (List.filter (fun d -> d.origin = Trace.Cache) answered);
       cache_stale_hits = stale_hits;
       cache_stale_ms = stale_ms;
+      round_trips;
     }
   in
   ( List.map

@@ -62,8 +62,17 @@ module Config : sig
             [None] the runtime never consults the cost model for
             predictions, so the untraced path is unchanged *)
     metrics : Disco_obs.Metrics.t;
-        (** registry receiving [exec.origin.*] and
-            [exec.tuples_shipped] *)
+        (** registry receiving [exec.origin.*], [exec.tuples_shipped],
+            [runtime.batch.rounds] and [runtime.batch.dedup_hits] *)
+    batch : bool;
+        (** batched transport: within a round, structurally identical
+            [(repo, expr)] execs are deduplicated (the answer is computed
+            once and substituted everywhere), and the remaining execs are
+            grouped by destination so each group rides one
+            {!Disco_wrapper.Wrapper.execute_batch} round-trip, paying the
+            source's [base_ms] (and a single jitter draw) once.  When
+            [false], every exec is its own wrapper call — the historical
+            transport, reproduced exactly. *)
   }
 
   val make :
@@ -71,11 +80,13 @@ module Config : sig
     ?serve_stale_ms:float ->
     ?trace:Disco_obs.Trace.t ->
     ?metrics:Disco_obs.Metrics.t ->
+    ?batch:bool ->
     clock:Disco_source.Clock.t ->
     cost:Disco_cost.Cost_model.t ->
     unit ->
     t
-  (** [metrics] defaults to {!Disco_obs.Metrics.default}. *)
+  (** [metrics] defaults to {!Disco_obs.Metrics.default}; [batch]
+      defaults to [true]. *)
 end
 
 val env : Config.t -> binding list -> env
@@ -110,6 +121,10 @@ type stats = {
       (** execs to unavailable sources answered from stale cache entries
           (only under [serve_stale_ms]) *)
   cache_stale_ms : float;  (** maximum staleness age served, virtual ms *)
+  round_trips : int;
+      (** wrapper round-trips attempted on the (simulated) wire — under
+          the batched transport one round-trip can carry several execs,
+          so this is the number the batching layer actually reduces *)
 }
 
 val execute : ?timeout_ms:float -> env -> Disco_physical.Plan.plan -> answer * stats

@@ -16,13 +16,22 @@ type t = {
   name : string;
   grammar : Grammar.t;
   execute : Source.t -> Expr.expr -> (V.t * int, error) result;
+  execute_batch :
+    (Source.t -> Expr.expr list -> (V.t * int, error) result list) option;
 }
 
 let name t = t.name
 let functionality t = t.grammar
 let accepts t e = Grammar.accepts t.grammar e
 let execute t source e = t.execute source e
-let make ~name ~grammar ~execute = { name; grammar; execute }
+
+let execute_batch t source es =
+  match t.execute_batch with
+  | Some f -> f source es
+  | None -> List.map (t.execute source) es
+
+let make ?execute_batch ~name ~grammar ~execute () =
+  { name; grammar; execute; execute_batch }
 
 let refuse fmt = Format.kasprintf (fun m -> Error (Refused m)) fmt
 
@@ -63,6 +72,7 @@ let sql_wrapper () =
     name = "WrapperSql";
     grammar = Grammar.full_relational;
     execute = sql_execute;
+    execute_batch = None;
   }
 
 (* -- evaluation-based wrappers over relational sources -- *)
@@ -88,7 +98,8 @@ let scan_execute source e =
       | e -> refuse "scan-only source cannot evaluate %s" (Expr.to_string e))
 
 let scan_wrapper () =
-  { name = "WrapperScan"; grammar = Grammar.get_only; execute = scan_execute }
+  { name = "WrapperScan"; grammar = Grammar.get_only; execute = scan_execute;
+    execute_batch = None }
 
 let select_execute source e =
   match relational_db source with
@@ -103,6 +114,7 @@ let select_wrapper ?comparisons () =
     name = "WrapperSelect";
     grammar = Grammar.select_pushdown ?comparisons ();
     execute = select_execute;
+    execute_batch = None;
   }
 
 let project_execute source e =
@@ -118,6 +130,7 @@ let project_wrapper () =
     name = "WrapperProject";
     grammar = Grammar.project_no_compose;
     execute = project_execute;
+    execute_batch = None;
   }
 
 (* -- key-value wrapper -- *)
@@ -146,7 +159,8 @@ let kv_execute source e =
       | e -> refuse "key-value store cannot evaluate %s" (Expr.to_string e))
 
 let kv_wrapper () =
-  { name = "WrapperKV"; grammar = Grammar.key_lookup; execute = kv_execute }
+  { name = "WrapperKV"; grammar = Grammar.key_lookup; execute = kv_execute;
+    execute_batch = None }
 
 (* -- flat-file wrapper -- *)
 
@@ -160,7 +174,8 @@ let file_execute source e =
       | e -> refuse "flat file supports scans only, not %s" (Expr.to_string e))
 
 let file_wrapper () =
-  { name = "WrapperFile"; grammar = Grammar.get_only; execute = file_execute }
+  { name = "WrapperFile"; grammar = Grammar.get_only; execute = file_execute;
+    execute_batch = None }
 
 (* -- WAIS-style text wrapper -- *)
 
@@ -219,6 +234,7 @@ let text_wrapper () =
         b :- get OPEN SOURCE CLOSE
       |};
     execute = text_execute;
+    execute_batch = None;
   }
 
 let of_constructor ctor =

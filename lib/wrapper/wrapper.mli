@@ -49,12 +49,28 @@ val execute : t -> Source.t -> Expr.expr -> (V.t * int, error) result
     grammar, so a mediator that ignores {!accepts} still gets a clean
     refusal. *)
 
+val execute_batch :
+  t -> Source.t -> Expr.expr list -> (V.t * int, error) result list
+(** Run several expressions against the source in one round-trip. The
+    result list is positional: element [i] answers expression [i], and
+    the list always has exactly one element per input expression.
+    Wrappers that do not opt in (via {!make}'s [?execute_batch]) fall
+    back to sequential per-expression {!execute} — semantics are
+    identical either way; only the latency accounting differs (the
+    runtime prices a batched call's [base_ms] once). *)
+
 val make :
+  ?execute_batch:(Source.t -> Expr.expr list -> (V.t * int, error) result list) ->
   name:string ->
   grammar:Grammar.t ->
   execute:(Source.t -> Expr.expr -> (V.t * int, error) result) ->
+  unit ->
   t
-(** Build a custom wrapper (how a DBI extends the system). *)
+(** Build a custom wrapper (how a DBI extends the system).
+    [?execute_batch] opts into native multi-expression round-trips; when
+    omitted, {!execute_batch} falls back to per-expression {!execute}.
+    An implementation must return exactly one (positional) result per
+    input expression. *)
 
 (** {1 Built-in wrappers} *)
 

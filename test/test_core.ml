@@ -831,6 +831,7 @@ let test_runtime_fallback_on_refusal () =
         | Disco_algebra.Expr.Get _ ->
             Wrapper.execute (Wrapper.scan_wrapper ()) source e
         | _ -> Error (Wrapper.Refused "liar"))
+      ()
   in
   let m = Mediator.create ~name:"m1" () in
   Mediator.register_source m ~name:"r0"
@@ -857,6 +858,7 @@ let test_custom_wrapper_capability () =
       ~grammar:Disco_wrapper.Grammar.project_no_compose
       ~execute:(fun source e ->
         Wrapper.execute (Wrapper.project_wrapper ()) source e)
+      ()
   in
   let m = Mediator.create ~name:"cw" () in
   let rows = List.init 50 (fun i -> person_row i (Fmt.str "p%d" i) i) in

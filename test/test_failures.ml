@@ -147,6 +147,7 @@ let test_wrapper_raises () =
   let bomb =
     Wrapper.make ~name:"WrapperBomb" ~grammar:Grammar.full_relational
       ~execute:(fun _ _ -> Error (Wrapper.Native_error "boom"))
+      ()
   in
   let m = federation ~n:1 () in
   Mediator.register_wrapper m ~name:"w0" bomb;
@@ -164,6 +165,7 @@ let test_wrapper_returns_garbage_shape () =
   let weird =
     Wrapper.make ~name:"WrapperWeird" ~grammar:Grammar.get_only
       ~execute:(fun _ _ -> Ok (V.Int 42, 1))
+      ()
   in
   let m = federation ~n:1 () in
   Mediator.register_wrapper m ~name:"w0" weird;

@@ -40,6 +40,8 @@ let test_trace_builder () =
       x_rows = 3;
       x_predicted_ms = None;
       x_predicted_rows = None;
+      x_batch_id = None;
+      x_batch_size = 1;
     };
   (* leaving more often than entering must not underflow the root *)
   Trace.leave b ~now:14.0;

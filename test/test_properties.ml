@@ -234,13 +234,19 @@ let prop_typemap_roundtrip =
 (* -- answer cache vs no cache: semantically invisible when sources are up -- *)
 
 module Source = Disco_source.Source
+module Schedule = Disco_source.Schedule
 module Datagen = Disco_source.Datagen
 module Database = Disco_relation.Database
 module Mediator = Disco_core.Mediator
+module Runtime = Disco_runtime.Runtime
 module Answer_cache = Disco_cache.Answer_cache
 
-let federation ?cache () =
-  let m = Mediator.create ~config:{ Mediator.Config.default with cache } ~name:"prop" () in
+let federation ?cache ?(batch = true) () =
+  let m =
+    Mediator.create
+      ~config:{ Mediator.Config.default with cache; batch }
+      ~name:"prop" ()
+  in
   Mediator.load_odl m
     {|w0 := WrapperPostgres();
       interface Person (extent person) {
@@ -298,6 +304,107 @@ let prop_cache_transparent =
           | _ -> false)
         queries)
 
+(* -- batched transport vs one-call-per-exec: same answers everywhere -- *)
+
+(* A federation of [repos] sources each holding [extents_per] Person
+   extents; repositories listed in [down] never answer.  Both transports
+   get an answer cache, so repeated queries also exercise the cache-hit
+   path under batching. *)
+let batch_federation ~batch ~repos ~extents_per ~down () =
+  let m =
+    Mediator.create
+      ~config:
+        {
+          Mediator.Config.default with
+          batch;
+          cache = Some (Answer_cache.create ());
+        }
+      ~name:"prop_batch" ()
+  in
+  Mediator.load_odl m
+    {|w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }|};
+  for r = 0 to repos - 1 do
+    let db = Database.create ~name:"db" in
+    for e = 0 to extents_per - 1 do
+      let idx = (r * extents_per) + e in
+      ignore
+        (Datagen.table_of db
+           ~name:(Fmt.str "person%d" idx)
+           Datagen.person_schema
+           (Datagen.person_rows ~seed:(1000 + idx) ~n:6))
+    done;
+    let schedule =
+      if List.mem r down then Schedule.down_during [ (0.0, 1e12) ]
+      else Schedule.always_up
+    in
+    Mediator.register_source m
+      ~name:(Fmt.str "r%d" r)
+      (Source.create ~id:(Fmt.str "p%d" r)
+         ~address:
+           (Source.address ~host:(Fmt.str "h%d" r) ~db_name:"db" ~ip:"0" ())
+         ~schedule (Source.Relational db));
+    Mediator.load_odl m
+      (Fmt.str {|r%d := Repository(host="h%d", name="db", address="0");|} r r);
+    for e = 0 to extents_per - 1 do
+      let idx = (r * extents_per) + e in
+      Mediator.load_odl m
+        (Fmt.str "extent person%d of Person wrapper w0 repository r%d;" idx r)
+    done
+  done;
+  m
+
+let prop_batch_transparent =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (pair (int_range 1 3) (int_range 1 3))
+        (pair
+           (list_size (int_range 0 2) (int_range 0 2))
+           (list_size (int_range 1 4) query_gen)))
+  in
+  let print ((repos, extents_per), (down, queries)) =
+    Fmt.str "repos=%d extents=%d down=[%s] %s" repos extents_per
+      (String.concat "," (List.map string_of_int down))
+      (String.concat " ; " queries)
+  in
+  QCheck.Test.make ~name:"batched transport is semantically invisible"
+    ~count:40
+    (QCheck.make ~print gen)
+    (fun ((repos, extents_per), (down, queries)) ->
+      let down = List.sort_uniq compare (List.filter (fun r -> r < repos) down) in
+      let mb = batch_federation ~batch:true ~repos ~extents_per ~down () in
+      let mu = batch_federation ~batch:false ~repos ~extents_per ~down () in
+      let agree q =
+        let a = (Mediator.query mb q).Mediator.answer
+        and b = (Mediator.query mu q).Mediator.answer in
+        match (a, b) with
+        | Mediator.Complete va, Mediator.Complete vb -> V.equal va vb
+        | Mediator.Partial pa, Mediator.Partial pb ->
+            List.sort compare pa.Runtime.unavailable
+            = List.sort compare pb.Runtime.unavailable
+            && String.equal (Mediator.answer_oql a) (Mediator.answer_oql b)
+        | _ -> false
+      in
+      (* the second pass answers from the warm cache on both sides *)
+      List.for_all agree queries && List.for_all agree queries)
+
+(* The batch:false transport must be the historical one-call-per-exec
+   path, reproduced exactly: pin its stats on a fixed scenario. *)
+let test_unbatched_pinned_stats () =
+  let m = federation ~batch:false () in
+  let o = Mediator.query m "select x.name from x in person where x.salary > 10" in
+  let s = o.Mediator.stats in
+  Alcotest.(check int) "execs issued" 3 s.Runtime.execs_issued;
+  Alcotest.(check int) "execs answered" 3 s.Runtime.execs_answered;
+  Alcotest.(check int) "round trips" 3 s.Runtime.round_trips;
+  Alcotest.(check int) "tuples shipped" 24 s.Runtime.tuples_shipped;
+  Alcotest.(check (float 1e-9)) "virtual elapsed (incl. jitter draws)"
+    5.4815723876953131 s.Runtime.elapsed_ms
+
 let () =
   Alcotest.run "disco_properties"
     [
@@ -311,7 +418,13 @@ let () =
             prop_smoothing_bounded;
             prop_typemap_roundtrip;
             prop_cache_transparent;
+            prop_batch_transparent;
           ] );
+      ( "batching",
+        [
+          Alcotest.test_case "batch:false pinned stats" `Quick
+            test_unbatched_pinned_stats;
+        ] );
       ( "smoothing",
         [ Alcotest.test_case "tracks level shifts" `Quick test_smoothing_tracks_shift ] );
       ( "typemap",

@@ -77,6 +77,20 @@ let test_cost_history_bound () =
   | Cost_model.Exact 3 -> ()
   | _ -> Alcotest.fail "history not bounded"
 
+let test_cost_batch_calibration () =
+  let m = Cost_model.create () in
+  Alcotest.(check bool) "no history: no estimate" true
+    (Cost_model.estimate_batch m ~repo:"r0" ~size:4 = None);
+  (* perfectly linear samples: time = 10 + 2 * size *)
+  Cost_model.record_batch m ~repo:"r0" ~size:1 ~time_ms:12.0;
+  Cost_model.record_batch m ~repo:"r0" ~size:2 ~time_ms:14.0;
+  Cost_model.record_batch m ~repo:"r0" ~size:4 ~time_ms:18.0;
+  (match Cost_model.estimate_batch m ~repo:"r0" ~size:8 with
+  | Some t -> Alcotest.(check (float 0.01)) "extrapolates the fit" 26.0 t
+  | None -> Alcotest.fail "expected a batch estimate");
+  Alcotest.(check bool) "other repo has no calibration" true
+    (Cost_model.estimate_batch m ~repo:"r1" ~size:2 = None)
+
 (* -- physical plans -- *)
 
 let test_implement_shapes () =
@@ -169,6 +183,39 @@ let test_join_algorithm_variants () =
   Alcotest.(check bool) "both are semijoins" true
     (List.for_all (function Plan.Semi_join _ -> true | _ -> false) semis)
 
+let test_hash_build_side () =
+  let bag n = V.bag (List.init n (fun i -> V.strct [ ("id", V.Int i) ])) in
+  Alcotest.(check bool) "smaller right builds right" true
+    (Plan.hash_build_side ~left:(bag 10) ~right:(bag 3) = `Right);
+  Alcotest.(check bool) "smaller left flips the build" true
+    (Plan.hash_build_side ~left:(bag 3) ~right:(bag 10) = `Left);
+  Alcotest.(check bool) "ties keep the historical right build" true
+    (Plan.hash_build_side ~left:(bag 5) ~right:(bag 5) = `Right);
+  (* the flipped build changes the table side, not the answer (and the
+     merged struct still keeps left fields first) *)
+  let mk side n =
+    V.bag
+      (List.init n (fun i ->
+           V.strct [ (side, V.strct [ ("id", V.Int (i mod 4)); ("v", V.Int i) ]) ]))
+  in
+  let pairs = [ ([ "x"; "id" ], [ "y"; "id" ]) ] in
+  let check_agrees l r =
+    let nl = Plan.Nested_loop_join (Plan.Mk_data l, Plan.Mk_data r, pairs) in
+    let hj = Plan.Hash_join (Plan.Mk_data l, Plan.Mk_data r, pairs) in
+    Alcotest.check check_value "hash join agrees whichever side builds"
+      (Plan.run_local nl) (Plan.run_local hj)
+  in
+  check_agrees (mk "x" 12) (mk "y" 3);
+  check_agrees (mk "x" 3) (mk "y" 12)
+
+let test_merge_key_length_invariant () =
+  Alcotest.check_raises "unequal key lists raise"
+    (Plan.Physical_error "merge join: key lists of unequal length (2 vs 1)")
+    (fun () ->
+      ignore (Plan.compare_key_lists [ V.Int 1; V.Int 2 ] [ V.Int 1 ]));
+  Alcotest.(check int) "equal-length lists compare" 0
+    (Plan.compare_key_lists [ V.Int 1; V.String "a" ] [ V.Int 1; V.String "a" ])
+
 let test_run_local_requires_substitution () =
   Alcotest.check_raises "exec must be substituted"
     (Plan.Physical_error "exec(r0) not substituted before local execution")
@@ -207,6 +254,24 @@ let test_optimizer_learns () =
   match choice.Optimizer.plan with
   | Plan.Mk_select (Plan.Exec _, _) -> ()
   | p -> Alcotest.fail ("expected scan + local select: " ^ Plan.to_string p)
+
+let test_optimizer_dedups_candidates () =
+  let metrics = Disco_obs.Metrics.create () in
+  let located = Expr.Select (Expr.Submit ("r0", get0), gt 10) in
+  let cost = Cost_model.create () in
+  let choice =
+    Optimizer.optimize ~metrics ~can_push:Rules.push_all ~cost located
+  in
+  let hist name =
+    match Disco_obs.Metrics.find_histogram metrics name with
+    | Some h -> h.Disco_obs.Metrics.h_sum
+    | None -> Alcotest.fail ("missing histogram " ^ name)
+  in
+  Alcotest.(check bool) "dedup drops the candidate count" true
+    (hist "optimizer.candidates" < hist "optimizer.candidates_raw");
+  Alcotest.(check int) "alternatives reflect the deduped count"
+    (int_of_float (hist "optimizer.candidates"))
+    choice.Optimizer.alternatives
 
 (* -- runtime -- *)
 
@@ -395,6 +460,92 @@ let test_runtime_type_check () =
   with Runtime.Runtime_error m ->
     Alcotest.(check bool) "mentions type" true (contains m "type mismatch")
 
+(* -- batched transport (DESIGN.md Section 4e) -- *)
+
+(* [n_extents] Person extents all bound to ONE repository/source, so a
+   round over them exercises per-source grouping. *)
+let make_shared_env ?metrics ~batch ~n_extents () =
+  let clock = Clock.create () in
+  let cost = Cost_model.create () in
+  let db = Disco_relation.Database.create ~name:"db" in
+  let source =
+    Source.create ~id:"shared" ~address:addr
+      ~latency:{ Source.base_ms = 10.0; per_row_ms = 0.0; jitter = 0.0 }
+      (Source.Relational db)
+  in
+  let bindings =
+    List.init n_extents (fun i ->
+        ignore
+          (Datagen.table_of db ~name:(Fmt.str "person%d" i)
+             Datagen.person_schema
+             (Datagen.person_rows ~seed:i ~n:10));
+        {
+          Runtime.b_extent = Fmt.str "person%d" i;
+          b_repo = "r0";
+          b_source = source;
+          b_replicas = [];
+          b_wrapper = Wrapper.sql_wrapper ();
+          b_map = Typemap.identity;
+          b_check = None;
+        })
+  in
+  (Runtime.env (Runtime.Config.make ?metrics ~batch ~clock ~cost ()) bindings, clock, cost)
+
+let shared_plan n =
+  Plan.implement
+    (Expr.Union
+       (List.init n (fun i ->
+            Expr.Map
+              ( Expr.Submit
+                  ( "r0",
+                    Expr.Select (Expr.Get (Fmt.str "person%d" i), gt 10) ),
+                Expr.Hscalar (Expr.Attr [ "name" ]) ))))
+
+let test_runtime_batched_round_trips () =
+  let run batch =
+    let env, _, _ = make_shared_env ~batch ~n_extents:4 () in
+    Runtime.execute env (shared_plan 4)
+  in
+  let a_b, s_b = run true and a_u, s_u = run false in
+  (match (a_b, a_u) with
+  | Runtime.Complete vb, Runtime.Complete vu ->
+      Alcotest.check check_value "batched answer = unbatched" vu vb
+  | _ -> Alcotest.fail "expected complete answers");
+  Alcotest.(check int) "unbatched: one round-trip per exec" 4
+    s_u.Runtime.round_trips;
+  Alcotest.(check int) "batched: one round-trip per source" 1
+    s_b.Runtime.round_trips;
+  Alcotest.(check int) "same execs issued" s_u.Runtime.execs_issued
+    s_b.Runtime.execs_issued;
+  Alcotest.(check int) "same tuples shipped" s_u.Runtime.tuples_shipped
+    s_b.Runtime.tuples_shipped;
+  Alcotest.(check bool) "batched not slower" true
+    (s_b.Runtime.elapsed_ms <= s_u.Runtime.elapsed_ms)
+
+let test_runtime_dedup_shared_scan () =
+  (* the same (repo, expr) appears twice in one plan: computed once,
+     substituted everywhere *)
+  let part = Expr.Map
+      ( Expr.Submit ("r0", Expr.Select (Expr.Get "person0", gt 10)),
+        Expr.Hscalar (Expr.Attr [ "name" ]) )
+  in
+  let plan = Plan.implement (Expr.Union [ part; part ]) in
+  let metrics = Disco_obs.Metrics.create () in
+  let env_b, _, _ = make_shared_env ~metrics ~batch:true ~n_extents:1 () in
+  let a_b, s_b = Runtime.execute env_b plan in
+  let env_u, _, _ = make_shared_env ~batch:false ~n_extents:1 () in
+  let a_u, s_u = Runtime.execute env_u plan in
+  (match (a_b, a_u) with
+  | Runtime.Complete vb, Runtime.Complete vu ->
+      Alcotest.check check_value "shared answer substituted everywhere" vu vb
+  | _ -> Alcotest.fail "expected complete answers");
+  Alcotest.(check int) "unbatched issues both copies" 2 s_u.Runtime.execs_issued;
+  Alcotest.(check int) "batched issues the unique exec once" 1
+    s_b.Runtime.execs_issued;
+  Alcotest.(check int) "dedup hit counted" 1
+    (Disco_obs.Metrics.find_counter metrics "runtime.batch.dedup_hits");
+  Alcotest.(check int) "one round-trip" 1 s_b.Runtime.round_trips
+
 let test_runtime_map_namespace () =
   (* extent with a type map: query in mediator names, source stores
      different names, answers come back in mediator names *)
@@ -451,6 +602,8 @@ let () =
           Alcotest.test_case "exact smoothing" `Quick test_cost_exact_smoothing;
           Alcotest.test_case "close match" `Quick test_cost_close_match;
           Alcotest.test_case "history bound" `Quick test_cost_history_bound;
+          Alcotest.test_case "batch calibration" `Quick
+            test_cost_batch_calibration;
         ] );
       ( "plan",
         [
@@ -460,6 +613,9 @@ let () =
           Alcotest.test_case "merge join agrees" `Quick test_merge_join_agrees;
           Alcotest.test_case "join algorithm variants" `Quick
             test_join_algorithm_variants;
+          Alcotest.test_case "hash build side" `Quick test_hash_build_side;
+          Alcotest.test_case "merge key length invariant" `Quick
+            test_merge_key_length_invariant;
           Alcotest.test_case "exec substitution required" `Quick
             test_run_local_requires_substitution;
         ] );
@@ -470,6 +626,8 @@ let () =
           Alcotest.test_case "capability respected" `Quick
             test_optimizer_respects_capability;
           Alcotest.test_case "learning flips the plan" `Quick test_optimizer_learns;
+          Alcotest.test_case "candidate dedup" `Quick
+            test_optimizer_dedups_candidates;
         ] );
       ( "runtime",
         [
@@ -482,5 +640,12 @@ let () =
           Alcotest.test_case "wrapper refusal" `Quick test_runtime_wrapper_refusal;
           Alcotest.test_case "run-time type check" `Quick test_runtime_type_check;
           Alcotest.test_case "type maps end to end" `Quick test_runtime_map_namespace;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "grouped round-trips" `Quick
+            test_runtime_batched_round_trips;
+          Alcotest.test_case "shared-scan dedup" `Quick
+            test_runtime_dedup_shared_scan;
         ] );
     ]
