@@ -23,6 +23,15 @@ module Mediator = Disco_core.Mediator
 module Registry = Disco_odl.Registry
 module Answer_cache = Disco_cache.Answer_cache
 module Resubmission = Disco_cache.Resubmission
+module Check = Disco_check.Check
+module Expr = Disco_algebra.Expr
+module Rules = Disco_algebra.Rules
+module Compile = Disco_algebra.Compile
+module Wrapper = Disco_wrapper.Wrapper
+module Odl_parser = Disco_odl.Odl_parser
+module Typecheck = Disco_oql.Typecheck
+module Oql_parser = Disco_oql.Parser
+module Expand = Disco_core.Expand
 
 open Cmdliner
 
@@ -557,13 +566,236 @@ let resubmit_cmd =
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
        $ timeout_arg $ verbosity_arg $ recover_arg $ q_arg))
 
+(* -- lint: static verification of schema and query files -- *)
+
+(* Recursively collect .odl / .oql files under each path, sorted so runs
+   are deterministic. *)
+let rec lint_collect path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.concat_map (fun f -> lint_collect (Filename.concat path f))
+  else if
+    Filename.check_suffix path ".odl" || Filename.check_suffix path ".oql"
+  then [ path ]
+  else []
+
+let lint_diag ~code ~severity ~path fmt =
+  Format.kasprintf
+    (fun d_message ->
+      { Check.d_code = code; d_severity = severity; d_path = path; d_message })
+    fmt
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+(* One query per line; blank lines and [--] comments are skipped. A
+   [--@full-pushdown] directive line applies to the next query: its
+   capability-maximal normalization must be fully accepted by the
+   wrappers (DISCO-E005 otherwise). *)
+let lint_queries reg checker ~can_push ~wrapper_of ~repo_of file =
+  let diags = ref [] in
+  let add line ds =
+    diags :=
+      !diags @ List.map (fun d -> (Fmt.str "%s:%d" file line, d)) ds
+  in
+  let full_pushdown = ref false in
+  let check_full_pushdown lineno located =
+    let pushed = Rules.normalize ~can_push:Rules.push_all located in
+    List.iter
+      (fun (repo, sub) ->
+        let ws = List.filter_map wrapper_of (Expr.gets sub) in
+        match ws with
+        | w :: _ when not (Wrapper.accepts w sub) ->
+            add lineno
+              [
+                lint_diag ~code:"DISCO-E005" ~severity:Check.Error
+                  ~path:(Fmt.str "submit(%s)" repo)
+                  "full-pushdown directive: wrapper %s refuses %s" (Wrapper.name w)
+                  (Expr.to_string sub);
+              ]
+        | _ -> ())
+      (Expr.submits pushed)
+  in
+  let lint_query lineno q =
+    match Oql_parser.parse q with
+    | exception Disco_lex.Lexer.Error (msg, pos) ->
+        add lineno
+          [
+            lint_diag ~code:"DISCO-E012" ~severity:Check.Error ~path:"query"
+              "parse error at offset %d: %s" pos msg;
+          ]
+    | ast -> (
+        match Expand.expand reg ast with
+        | exception Expand.Expand_error msg ->
+            add lineno
+              [
+                lint_diag ~code:"DISCO-E013" ~severity:Check.Error ~path:"query"
+                  "expansion failed: %s" msg;
+              ]
+        | expanded -> (
+            match Typecheck.check (Typecheck.env_of_registry reg) expanded with
+            | Error msg ->
+                add lineno
+                  [
+                    lint_diag ~code:"DISCO-E013" ~severity:Check.Error
+                      ~path:"query" "type error: %s" msg;
+                  ]
+            | Ok _ -> (
+                match Compile.compile expanded with
+                | Error _ ->
+                    (* outside the algebraic subset: the mediator evaluates
+                       such queries hybrid, nothing to verify statically *)
+                    ()
+                | Ok compiled ->
+                    let located = Compile.locate ~repo_of compiled in
+                    add lineno
+                      (Check.check_expr checker
+                         (Rules.normalize ~can_push located));
+                    if !full_pushdown then check_full_pushdown lineno located)))
+  in
+  List.iteri
+    (fun i raw ->
+      let line = String.trim raw in
+      let directive = "--@full-pushdown" in
+      if line = "" then ()
+      else if line = directive then full_pushdown := true
+      else if String.length line >= 2 && String.sub line 0 2 = "--" then ()
+      else (
+        lint_query (i + 1) line;
+        full_pushdown := false))
+    (String.split_on_char '\n' (read_file file));
+  !diags
+
+(* Conformance audit of every wrapper object in the registry: the
+   constructor must resolve, and the grammar must not over-claim on the
+   extents the wrapper serves. *)
+let lint_audit reg =
+  List.concat_map
+    (fun name ->
+      match Registry.find_object reg name with
+      | Some o
+        when String.length o.Registry.obj_constructor >= 7
+             && String.sub o.Registry.obj_constructor 0 7 = "Wrapper" -> (
+          match Wrapper.of_constructor o.Registry.obj_constructor with
+          | None ->
+              [
+                ( "(registry)",
+                  lint_diag ~code:"DISCO-E010" ~severity:Check.Error ~path:name
+                    "wrapper constructor %s is unknown"
+                    o.Registry.obj_constructor );
+              ]
+          | Some w ->
+              Registry.all_extents reg
+              |> List.filter (fun me -> me.Registry.me_wrapper = name)
+              |> List.concat_map (fun me ->
+                     Check.audit_wrapper ~extent:me.Registry.me_name
+                       ~attrs:
+                         (Registry.attributes_of reg me.Registry.me_interface)
+                       w
+                     |> List.map (fun d -> ("(registry)", d))))
+      | _ -> [])
+    (List.sort String.compare (Registry.object_names reg))
+
+let lint_cmd =
+  let paths_arg =
+    let doc =
+      "Files or directories to lint; directories are searched recursively \
+       for .odl schema files and .oql query files (one query per line, \
+       [--] comments)."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit diagnostics as a JSON array (stable ordering)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run verbosity json paths =
+    setup_logs (List.length verbosity);
+    let files = List.sort String.compare (List.concat_map lint_collect paths) in
+    let odl_files = List.filter (fun f -> Filename.check_suffix f ".odl") files in
+    let oql_files = List.filter (fun f -> Filename.check_suffix f ".oql") files in
+    let reg = Registry.create () in
+    let schema_diags =
+      List.concat_map
+        (fun f ->
+          match Odl_parser.load reg (read_file f) with
+          | () -> []
+          | exception Registry.Odl_error msg ->
+              [
+                ( f,
+                  lint_diag ~code:"DISCO-E011" ~severity:Check.Error
+                    ~path:"schema" "%s" msg );
+              ]
+          | exception Disco_lex.Lexer.Error (msg, pos) ->
+              [
+                ( f,
+                  lint_diag ~code:"DISCO-E011" ~severity:Check.Error
+                    ~path:"schema" "lex error at offset %d: %s" pos msg );
+              ])
+        odl_files
+    in
+    let wrapper_of ext =
+      Option.bind (Registry.find_extent reg ext) (fun me ->
+          Option.bind (Registry.find_object reg me.Registry.me_wrapper)
+            (fun o -> Wrapper.of_constructor o.Registry.obj_constructor))
+    in
+    let repo_of ext =
+      Option.map
+        (fun me -> me.Registry.me_repository)
+        (Registry.find_extent reg ext)
+    in
+    let can_push ~repo:_ expr =
+      let extents = Expr.gets expr in
+      let ws = List.filter_map wrapper_of extents in
+      List.length ws = List.length extents
+      && (match ws with
+         | [] -> false
+         | first :: rest ->
+             List.for_all (fun w -> Wrapper.name w = Wrapper.name first) rest)
+      && List.for_all (fun w -> Wrapper.accepts w expr) ws
+    in
+    let checker = Check.of_registry reg in
+    let query_diags =
+      List.concat_map
+        (lint_queries reg checker ~can_push ~wrapper_of ~repo_of)
+        oql_files
+    in
+    let audit_diags = lint_audit reg in
+    let diags = schema_diags @ query_diags @ audit_diags in
+    let errors =
+      List.length (List.filter (fun (_, d) -> d.Check.d_severity = Check.Error) diags)
+    in
+    let warnings = List.length diags - errors in
+    if json then Fmt.pr "%s@." (Check.json_of_diags diags)
+    else (
+      List.iter (fun (f, d) -> Fmt.pr "%s: %a@." f Check.pp_diag d) diags;
+      Fmt.pr "%d file(s) checked, %d error(s), %d warning(s)@."
+        (List.length files) errors warnings);
+    Format.print_flush ();
+    if errors > 0 then Stdlib.exit 1;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify ODL schemas and OQL query files: schema-aware \
+          typing, wrapper capability conformance, decompilability, and a \
+          wrapper over-claim audit. Exits non-zero on any DISCO-E \
+          diagnostic.")
+    Term.(ret (const run $ verbosity_arg $ json_arg $ paths_arg))
+
 let main =
   Cmd.group
     (Cmd.info "discoctl" ~version:"1.0.0"
        ~doc:"Drive a Disco heterogeneous-database mediator.")
     [
       query_cmd; explain_cmd; schema_cmd; repl_cmd; catalog_cmd;
-      cache_stats_cmd; resubmit_cmd; trace_cmd; metrics_cmd;
+      cache_stats_cmd; resubmit_cmd; trace_cmd; metrics_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval main)

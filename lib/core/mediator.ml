@@ -10,6 +10,7 @@ module Compile = Disco_algebra.Compile
 module Rules = Disco_algebra.Rules
 module Plan = Disco_physical.Plan
 module Optimizer = Disco_optimizer.Optimizer
+module Check = Disco_check.Check
 module Cost_model = Disco_cost.Cost_model
 module Runtime = Disco_runtime.Runtime
 module Source = Disco_source.Source
@@ -47,6 +48,7 @@ module Config = struct
     trace_sink : Trace.sink option;
     metrics : Metrics.t;
     batch : bool;
+    check : Check.mode;
   }
 
   let default =
@@ -59,6 +61,7 @@ module Config = struct
       trace_sink = None;
       metrics = Metrics.default;
       batch = true;
+      check = Check.Warn;
     }
 end
 
@@ -124,6 +127,7 @@ type t = {
   trace_sink : Trace.sink option;
   metrics : Metrics.t;
   batch : bool;
+  check : Check.mode;
 }
 
 let create ?(config = Config.default) ~name () =
@@ -142,6 +146,7 @@ let create ?(config = Config.default) ~name () =
     trace_sink = config.Config.trace_sink;
     metrics = config.Config.metrics;
     batch = config.Config.batch;
+    check = config.Config.check;
   }
 
 let name t = t.m_name
@@ -233,13 +238,33 @@ let serve_stale_of = function
   | Cached_fallback { max_stale_ms } -> Some max_stale_ms
   | Partial_answers | Wait_all | Null_sources | Skip_sources -> None
 
+(* The static verifier's view of this mediator: extents type by the
+   registry, wrappers resolve through the extent's wrapper object, and a
+   repository is known if it has an attached source or a registry
+   object. Handed to both the optimizer (checking every candidate) and
+   the runtime's debug gate. *)
+let checker_for t =
+  Check.make ~registry:t.registry
+    ~wrapper_of:(fun ext ->
+      Option.bind (Registry.find_extent t.registry ext) (fun me ->
+          wrapper_of t me.Registry.me_wrapper))
+    ~repo_of:(fun ext ->
+      Option.map
+        (fun me -> me.Registry.me_repository)
+        (Registry.find_extent t.registry ext))
+    ~repo_known:(fun r ->
+      Hashtbl.mem t.sources r || Registry.find_object t.registry r <> None)
+    ()
+
+let opt_check t = (checker_for t, t.check)
+
 let runtime_env t ~type_check ~semantics ~tr extents =
   let bindings = List.map (binding_for t ~type_check) extents in
   Runtime.env
     (Runtime.Config.make ?cache:t.cache
        ?serve_stale_ms:(serve_stale_of semantics)
-       ?trace:tr ~metrics:t.metrics ~batch:t.batch ~clock:t.clock ~cost:t.cost
-       ())
+       ?trace:tr ~metrics:t.metrics ~batch:t.batch ~check:t.check
+       ~checker:(checker_for t) ~clock:t.clock ~cost:t.cost ())
     bindings
 
 (* -- tracing helpers --
@@ -391,7 +416,8 @@ let compiled_outcome t ~timeout_ms ~type_check ~semantics ~tr ~oql located =
             span_meta tr "plan_cache" "miss";
             let choice =
               Optimizer.optimize ~params:t.params ~metrics:t.metrics
-                ~batch:t.batch ~can_push:(can_push t) ~cost:t.cost located
+                ~batch:t.batch ~check:(opt_check t) ~can_push:(can_push t)
+                ~cost:t.cost located
             in
             span_meta tr "alternatives"
               (string_of_int choice.Optimizer.alternatives);
@@ -498,7 +524,8 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics ~tr expanded =
               let located = Compile.locate ~repo_of:(repo_of t) compiled in
               let choice =
                 Optimizer.optimize ~params:t.params ~metrics:t.metrics
-                  ~batch:t.batch ~can_push:(can_push t) ~cost:t.cost located
+                  ~batch:t.batch ~check:(opt_check t) ~can_push:(can_push t)
+                  ~cost:t.cost located
               in
               let extents =
                 List.sort_uniq String.compare
@@ -738,7 +765,7 @@ let explain t oql =
       let located = Compile.locate ~repo_of:(repo_of t) compiled in
       let choice =
         Optimizer.optimize ~params:t.params ~batch:t.batch
-          ~can_push:(can_push t) ~cost:t.cost located
+          ~check:(opt_check t) ~can_push:(can_push t) ~cost:t.cost located
       in
       Fmt.str "plan (%d alternatives, est. %.3f ms, %.1f rows shipped):@\n%s"
         choice.Optimizer.alternatives choice.Optimizer.cost.Plan.time_ms

@@ -129,6 +129,15 @@ module Config : sig
             [false] restores the historical one-call-per-exec transport
             bit-for-bit — answers, stats and the virtual clock are
             identical to pre-batching builds. *)
+    check : Disco_check.Check.mode;
+        (** static verification of plans ({!Disco_check.Check}): [Warn]
+            (the default) runs the verifier over every optimizer
+            candidate and every executed plan, counting violations into
+            [check.violations] / [check.warnings] metrics; [Enforce]
+            additionally excludes candidates with error diagnostics from
+            the search and raises {!Disco_check.Check.Check_error} if a
+            plan about to execute (or every candidate of a query) fails;
+            [Off] skips verification. *)
   }
 
   val default : t

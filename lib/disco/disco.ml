@@ -36,6 +36,7 @@ module Lru = Disco_cache.Lru
 module Answer_cache = Disco_cache.Answer_cache
 module Resubmission = Disco_cache.Resubmission
 module Plan = Disco_physical.Plan
+module Check = Disco_check.Check
 module Optimizer = Disco_optimizer.Optimizer
 module Runtime = Disco_runtime.Runtime
 module Catalog = Disco_catalog.Catalog

@@ -1,6 +1,7 @@
 module Expr = Disco_algebra.Expr
 module Rules = Disco_algebra.Rules
 module Plan = Disco_physical.Plan
+module Check = Disco_check.Check
 module Cost_model = Disco_cost.Cost_model
 
 let log_src = Logs.Src.create "disco.optimizer" ~doc:"Disco query optimizer"
@@ -75,7 +76,58 @@ let better (a : Plan.cost * int * int) (b : Plan.cost * int * int) =
         ca.Plan.shipped < cb.Plan.shipped
       else pusheda > pushedb
 
-let optimize ?params ?(max_join_variants = 8) ?metrics ?(batch = false)
+(* Run the static verifier over each implemented candidate. In [Warn]
+   mode violations only feed metrics and the log; in [Enforce] mode
+   failing candidates are dropped from the search space, and if nothing
+   survives the error diagnostics of the first candidate are raised. *)
+let verify_candidates ?metrics ~check candidates =
+  match check with
+  | None | Some (_, Check.Off) -> candidates
+  | Some (checker, mode) -> (
+      let verdicts =
+        List.map
+          (fun ((_, p) as cand) -> (cand, Check.check_plan checker p))
+          candidates
+      in
+      let errs, warns =
+        List.fold_left
+          (fun (e, w) (_, ds) ->
+            let ne = List.length (Check.errors ds) in
+            (e + ne, w + (List.length ds - ne)))
+          (0, 0) verdicts
+      in
+      Option.iter
+        (fun m ->
+          if errs > 0 then
+            Disco_obs.Metrics.incr ~by:errs m "check.violations";
+          if warns > 0 then
+            Disco_obs.Metrics.incr ~by:warns m "check.warnings")
+        metrics;
+      List.iter
+        (fun (_, ds) ->
+          List.iter
+            (fun d ->
+              Log.debug (fun f -> f "%a" Check.pp_diag d))
+            ds)
+        verdicts;
+      match mode with
+      | Check.Enforce -> (
+          match
+            List.filter_map
+              (fun (cand, ds) ->
+                if Check.has_errors ds then None else Some cand)
+              verdicts
+          with
+          | [] ->
+              raise
+                (Check.Check_error
+                   (match verdicts with
+                   | (_, ds) :: _ -> Check.errors ds
+                   | [] -> []))
+          | ok -> ok)
+      | Check.Off | Check.Warn -> candidates)
+
+let optimize ?params ?(max_join_variants = 8) ?metrics ?(batch = false) ?check
     ~can_push ~cost located =
   let on_rule =
     Option.map
@@ -138,6 +190,7 @@ let optimize ?params ?(max_join_variants = 8) ?metrics ?(batch = false)
            else cand :: acc)
          [] implemented)
   in
+  let unique = verify_candidates ?metrics ~check unique in
   let costed =
     List.map
       (fun (logical, p) ->
@@ -169,8 +222,9 @@ let optimize ?params ?(max_join_variants = 8) ?metrics ?(batch = false)
     metrics;
   match costed with
   | [] ->
-      (* fall back to the located expression itself *)
+      (* fall back to the located expression itself (still verified) *)
       let plan = Plan.implement located in
+      ignore (verify_candidates ?metrics ~check [ (located, plan) ]);
       {
         plan;
         logical = located;

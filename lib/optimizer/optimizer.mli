@@ -30,6 +30,7 @@ val optimize :
   ?max_join_variants:int ->
   ?metrics:Disco_obs.Metrics.t ->
   ?batch:bool ->
+  ?check:Disco_check.Check.t * Disco_check.Check.mode ->
   can_push:Disco_algebra.Rules.can_push ->
   cost:Disco_cost.Cost_model.t ->
   Expr.expr ->
@@ -52,4 +53,11 @@ val optimize :
     normalization stage that rewrote a candidate,
     [optimizer.candidates_raw] is a histogram of enumerated candidates
     per call, and [optimizer.candidates] of the distinct candidates
-    actually costed. *)
+    actually costed.
+
+    When [check] is given, every distinct implemented candidate (and the
+    no-candidate fallback plan) is run through the static verifier
+    ({!Disco_check.Check.check_plan}). In [Warn] mode violations count
+    into [check.violations] / [check.warnings] metrics; in [Enforce]
+    mode candidates with error diagnostics are excluded from the search,
+    and {!Disco_check.Check.Check_error} is raised if none survive. *)

@@ -10,6 +10,7 @@ module Typemap = Disco_odl.Typemap
 module Ast = Disco_oql.Ast
 module V = Disco_value.Value
 module Answer_cache = Disco_cache.Answer_cache
+module Check = Disco_check.Check
 module Trace = Disco_obs.Trace
 module Metrics = Disco_obs.Metrics
 
@@ -40,11 +41,23 @@ module Config = struct
     trace : Trace.t option;
     metrics : Metrics.t;
     batch : bool;
+    check : Check.mode;
+    checker : Check.t option;
   }
 
   let make ?cache ?serve_stale_ms ?trace ?(metrics = Metrics.default)
-      ?(batch = true) ~clock ~cost () =
-    { clock; cost; cache; serve_stale_ms; trace; metrics; batch }
+      ?(batch = true) ?(check = Check.Warn) ?checker ~clock ~cost () =
+    {
+      clock;
+      cost;
+      cache;
+      serve_stale_ms;
+      trace;
+      metrics;
+      batch;
+      check;
+      checker;
+    }
 end
 
 type env = {
@@ -61,6 +74,8 @@ type env = {
       (* group same-destination execs into one wrapper round-trip; off
          reproduces the historical one-call-per-exec transport exactly *)
   batch_seq : int ref; (* distinguishes batched round-trips in traces *)
+  check : Check.mode;
+  checker : Check.t option;
 }
 
 let env (c : Config.t) bindings =
@@ -74,6 +89,8 @@ let env (c : Config.t) bindings =
     metrics = c.Config.metrics;
     batch = c.Config.batch;
     batch_seq = ref 0;
+    check = c.Config.check;
+    checker = c.Config.checker;
   }
 
 let binding_of env extent =
@@ -793,7 +810,49 @@ let zero_stats =
     round_trips = 0;
   }
 
+(* The runtime's debug gate: verify a plan against the bindings before
+   issuing anything. When the caller supplied no checker (standalone
+   runtime use), one is derived from the bindings — wrappers and
+   repositories are known, the schema is not. *)
+let checker_of_bindings bindings =
+  let find ext =
+    List.find_opt (fun b -> String.equal b.b_extent ext) bindings
+  in
+  let repos =
+    List.concat_map
+      (fun b -> b.b_repo :: List.map fst b.b_replicas)
+      bindings
+  in
+  Check.make
+    ~wrapper_of:(fun ext -> Option.map (fun b -> b.b_wrapper) (find ext))
+    ~repo_of:(fun ext -> Option.map (fun b -> b.b_repo) (find ext))
+    ~repo_known:(fun r -> List.mem r repos)
+    ()
+
+let verify env plan =
+  match env.check with
+  | Check.Off -> ()
+  | mode -> (
+      let checker =
+        match env.checker with
+        | Some c -> c
+        | None -> checker_of_bindings env.bindings
+      in
+      let diags = Check.check_plan checker plan in
+      let errs = Check.errors diags in
+      let warns = List.length diags - List.length errs in
+      if warns > 0 then Metrics.incr ~by:warns env.metrics "check.warnings";
+      if errs <> [] then (
+        Metrics.incr ~by:(List.length errs) env.metrics "check.violations";
+        List.iter
+          (fun d -> Log.warn (fun m -> m "%a" Check.pp_diag d))
+          errs;
+        match mode with
+        | Check.Enforce -> raise (Check.Check_error errs)
+        | Check.Off | Check.Warn -> ()))
+
 let execute ?(timeout_ms = 1000.0) env plan =
+  verify env plan;
   let deadline = Clock.now env.clock +. timeout_ms in
   (* Rounds: each issues every ready exec in parallel, then resolves the
      semi-joins unlocked by the new data. A plan without semi-joins is

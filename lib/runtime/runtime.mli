@@ -73,6 +73,17 @@ module Config : sig
             source's [base_ms] (and a single jitter draw) once.  When
             [false], every exec is its own wrapper call — the historical
             transport, reproduced exactly. *)
+    check : Disco_check.Check.mode;
+        (** the debug gate: {!execute} verifies every plan with the
+            static verifier before issuing anything. [Warn] (the
+            default) counts violations into [check.violations] /
+            [check.warnings] metrics and logs them; [Enforce]
+            additionally raises {!Disco_check.Check.Check_error} on any
+            error-severity diagnostic, refusing the plan before
+            execution; [Off] skips verification *)
+    checker : Disco_check.Check.t option;
+        (** the checker the gate uses; when [None] one is derived from
+            the bindings (wrappers and repositories known, no schema) *)
   }
 
   val make :
@@ -81,12 +92,14 @@ module Config : sig
     ?trace:Disco_obs.Trace.t ->
     ?metrics:Disco_obs.Metrics.t ->
     ?batch:bool ->
+    ?check:Disco_check.Check.mode ->
+    ?checker:Disco_check.Check.t ->
     clock:Disco_source.Clock.t ->
     cost:Disco_cost.Cost_model.t ->
     unit ->
     t
   (** [metrics] defaults to {!Disco_obs.Metrics.default}; [batch]
-      defaults to [true]. *)
+      defaults to [true]; [check] defaults to [Warn]. *)
 end
 
 val env : Config.t -> binding list -> env

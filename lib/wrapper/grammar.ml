@@ -32,7 +32,30 @@ let parse text =
   in
   let raw = List.map split_production lines in
   let nonterminals = List.map fst raw in
-  let symbol s = if List.mem s nonterminals then N s else T s in
+  (* the terminal vocabulary [tokens_of_expr] can actually emit: operator
+     names plus predicate connectives. Anything else lowercase on a rhs
+     is a typo'd nonterminal — a silent one would make the production
+     underivable forever, so reject it here. *)
+  let operator_terminals =
+    [
+      "get"; "select"; "project"; "map"; "join"; "union"; "distinct";
+      "like"; "and"; "or"; "not"; "member";
+    ]
+  in
+  let symbol s =
+    if List.mem s nonterminals then N s
+    else
+      let lowercase_name =
+        s <> "" && (match s.[0] with 'a' .. 'z' -> true | _ -> false)
+      in
+      if (not lowercase_name) || List.mem s operator_terminals then T s
+      else
+        invalid_arg
+          (Printf.sprintf
+             "Grammar.parse: %S is neither a defined nonterminal nor a \
+              known terminal"
+             s)
+  in
   let productions =
     List.map (fun (lhs, rhs) -> { lhs; rhs = List.map symbol rhs }) raw
   in

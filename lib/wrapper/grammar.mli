@@ -29,7 +29,12 @@ val parse : string -> t
 (** Parse the paper notation: one production per line, [lhs :- sym sym
     ...]; UPPERCASE and punctuation-like names are terminals, lowercase
     names that appear as a lhs are nonterminals; the first lhs is the
-    start symbol. *)
+    start symbol. An empty rhs is an empty production. Lowercase rhs
+    names that are neither a defined nonterminal nor part of the
+    serializer's terminal vocabulary (the operator names and predicate
+    connectives of {!tokens_of_expr}) raise [Invalid_argument] — such a
+    production could never derive anything and previously failed
+    silently. *)
 
 (** {1 Serialization of logical expressions} *)
 

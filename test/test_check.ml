@@ -1,0 +1,435 @@
+(* Tests for the static verifier (lib/check): golden diagnostics per
+   DISCO code, the optimizer and runtime Enforce gates, the wrapper
+   conformance audit, capability-grammar edge cases, and the JSON
+   diagnostic rendering. *)
+
+module V = Disco_value.Value
+module Source = Disco_source.Source
+module Clock = Disco_source.Clock
+module Datagen = Disco_source.Datagen
+module Registry = Disco_odl.Registry
+module Odl_parser = Disco_odl.Odl_parser
+module Otype = Disco_odl.Otype
+module Typemap = Disco_odl.Typemap
+module Expr = Disco_algebra.Expr
+module Rules = Disco_algebra.Rules
+module Cost_model = Disco_cost.Cost_model
+module Plan = Disco_physical.Plan
+module Optimizer = Disco_optimizer.Optimizer
+module Runtime = Disco_runtime.Runtime
+module Wrapper = Disco_wrapper.Wrapper
+module Grammar = Disco_wrapper.Grammar
+module Check = Disco_check.Check
+module Mediator = Disco_core.Mediator
+module Metrics = Disco_obs.Metrics
+
+let addr host = Source.address ~host ~db_name:"db" ~ip:"0.0.0.0" ()
+
+(* first index of [sub] in [s], or -1 *)
+let index_of s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then -1 else if String.sub s i m = sub then i else go (i + 1)
+  in
+  go 0
+
+let contains s sub = index_of s sub >= 0
+
+let schema =
+  {|
+  r0 := Repository(host="h0", name="db", address="1");
+  r1 := Repository(host="h1", name="db", address="2");
+  w0 := WrapperPostgres();
+  w1 := WrapperScan();
+  wX := WrapperBogus();
+  interface Person (extent person) {
+    attribute Short id;
+    attribute String name;
+    attribute Short salary;
+  }
+  extent person0 of Person wrapper w0 repository r0;
+  extent person1 of Person wrapper w1 repository r1;
+  extent broken0 of Person wrapper wX repository r0;
+|}
+
+let registry () =
+  let r = Registry.create () in
+  Odl_parser.load r schema;
+  r
+
+let checker () = Check.of_registry (registry ())
+let codes ds = List.map (fun d -> d.Check.d_code) ds
+
+let check_has c ds =
+  Alcotest.(check bool)
+    (c ^ " present in " ^ String.concat "," (codes ds))
+    true
+    (List.mem c (codes ds))
+
+let bind v e = Expr.Map (e, Expr.Hstruct [ (v, Expr.Attr []) ])
+let const_i n = Expr.Const (V.Int n)
+let get0 = Expr.Get "person0"
+
+(* -- golden diagnostics, one per code -- *)
+
+let test_clean_tree () =
+  let e =
+    Expr.Map
+      ( Expr.Select
+          (bind "x" get0, Expr.Cmp (Expr.Gt, Expr.Attr [ "x"; "salary" ], const_i 10)),
+        Expr.Hscalar (Expr.Attr [ "x"; "name" ]) )
+  in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes (Check.check_expr (checker ()) e))
+
+let test_e001_unknown_collection () =
+  check_has "DISCO-E001" (Check.check_expr (checker ()) (Expr.Get "nosuch"))
+
+let test_e002_unresolved_attribute () =
+  let e =
+    Expr.Select (get0, Expr.Cmp (Expr.Eq, Expr.Attr [ "nosuch" ], const_i 1))
+  in
+  check_has "DISCO-E002" (Check.check_expr (checker ()) e)
+
+let test_e003_type_mismatch () =
+  let e =
+    Expr.Select (get0, Expr.Cmp (Expr.Gt, Expr.Attr [ "name" ], const_i 3))
+  in
+  check_has "DISCO-E003" (Check.check_expr (checker ()) e)
+
+let test_e004_nonconstant_membership () =
+  let e = Expr.Select (get0, Expr.Member (Expr.Attr [ "id" ], V.Int 3)) in
+  check_has "DISCO-E004" (Check.check_expr (checker ()) e)
+
+let test_e005_grammar_refusal () =
+  (* person1 is behind a scan-only wrapper: project must not be pushed *)
+  let e = Expr.Submit ("r1", Expr.Project (Expr.Get "person1", [ "name" ])) in
+  check_has "DISCO-E005" (Check.check_expr (checker ()) e)
+
+let test_e005_wrapper_span () =
+  let e =
+    Expr.Submit
+      ( "r0",
+        Expr.Join
+          ( bind "x" get0,
+            bind "y" (Expr.Get "person1"),
+            [ ([ "x"; "id" ], [ "y"; "id" ]) ] ) )
+  in
+  check_has "DISCO-E005" (Check.check_expr (checker ()) e)
+
+let test_e006_not_decompilable () =
+  (* a join over raw elements, outside the binding-struct discipline *)
+  let e = Expr.Join (get0, get0, [ ([ "id" ], [ "id" ]) ]) in
+  check_has "DISCO-E006" (Check.check_expr (checker ()) e)
+
+let test_e007_unknown_repository () =
+  check_has "DISCO-E007"
+    (Check.check_plan (checker ()) (Plan.Exec ("nowhere", get0)));
+  (* person0 is bound to r0, not r1 *)
+  check_has "DISCO-E007" (Check.check_plan (checker ()) (Plan.Exec ("r1", get0)))
+
+let test_e008_empty_join_keys () =
+  let p =
+    Plan.Hash_join (Plan.Mk_data (V.bag []), Plan.Mk_data (V.bag []), [])
+  in
+  check_has "DISCO-E008" (Check.check_plan (checker ()) p)
+
+let test_e009_binding_overlap () =
+  let e =
+    Expr.Join
+      (bind "x" get0, bind "x" get0, [ ([ "x"; "id" ], [ "x"; "id" ]) ])
+  in
+  check_has "DISCO-E009" (Check.check_expr (checker ()) e)
+
+let test_e010_unresolvable_wrapper () =
+  let e = Expr.Submit ("r0", Expr.Get "broken0") in
+  check_has "DISCO-E010" (Check.check_expr (checker ()) e)
+
+let test_w001_union_drift () =
+  let e = Expr.Union [ get0; Expr.Data (V.bag [ V.Int 1 ]) ] in
+  check_has "DISCO-W001" (Check.check_expr (checker ()) e)
+
+let test_w003_roundtrip_drift () =
+  (* a right-deep join tree recompiles to the canonical left-deep form *)
+  let e =
+    Expr.Join
+      ( bind "x" get0,
+        Expr.Join
+          ( bind "y" get0,
+            bind "z" get0,
+            [ ([ "y"; "id" ], [ "z"; "id" ]) ] ),
+        [ ([ "x"; "id" ], [ "y"; "id" ]) ] )
+  in
+  check_has "DISCO-W003" (Check.check_expr (checker ()) e)
+
+(* -- the optimizer gate -- *)
+
+let test_optimizer_enforce_raises () =
+  let located = Expr.Submit ("r1", Expr.Project (Expr.Get "person1", [ "name" ])) in
+  try
+    ignore
+      (Optimizer.optimize
+         ~check:(checker (), Check.Enforce)
+         ~can_push:Rules.push_none ~cost:(Cost_model.create ()) located);
+    Alcotest.fail "expected Check_error"
+  with Check.Check_error ds -> check_has "DISCO-E005" ds
+
+let test_optimizer_warn_counts () =
+  let metrics = Metrics.create () in
+  let located = Expr.Submit ("r1", Expr.Project (Expr.Get "person1", [ "name" ])) in
+  ignore
+    (Optimizer.optimize ~metrics
+       ~check:(checker (), Check.Warn)
+       ~can_push:Rules.push_none ~cost:(Cost_model.create ()) located);
+  Alcotest.(check bool)
+    "violations counted" true
+    (Metrics.find_counter metrics "check.violations" > 0)
+
+(* -- the runtime gate: a capability-violating plan is refused before
+   anything reaches a source -- *)
+
+let test_runtime_enforce_refuses () =
+  let clock = Clock.create () in
+  let cost = Cost_model.create () in
+  let db = Datagen.person_db ~seed:0 ~name:"person0" ~n:5 in
+  let source = Source.create ~id:"s" ~address:(addr "h") (Source.Relational db) in
+  let binding =
+    {
+      Runtime.b_extent = "person0";
+      b_repo = "r0";
+      b_source = source;
+      b_replicas = [];
+      b_wrapper = Wrapper.scan_wrapper ();
+      b_map = Typemap.identity;
+      b_check = None;
+    }
+  in
+  let env =
+    Runtime.env (Runtime.Config.make ~check:Check.Enforce ~clock ~cost ()) [ binding ]
+  in
+  let plan = Plan.Exec ("r0", Expr.Project (get0, [ "name" ])) in
+  (try
+     ignore (Runtime.execute env plan);
+     Alcotest.fail "expected Check_error"
+   with Check.Check_error ds -> check_has "DISCO-E005" ds);
+  Alcotest.(check int)
+    "source untouched" 0
+    (Source.stats source).Source.calls_answered;
+  Alcotest.(check (float 0.0)) "clock unchanged" 0.0 (Clock.now clock)
+
+(* -- mediator integration under Enforce -- *)
+
+let person_schema_odl w0 w1 =
+  Fmt.str
+    {|
+    r0 := Repository(host="h0", name="db", address="1");
+    r1 := Repository(host="h1", name="db", address="2");
+    w0 := %s();
+    w1 := %s();
+    interface Person (extent person) {
+      attribute Short id;
+      attribute String name;
+      attribute Short salary; }
+    extent person0 of Person wrapper w0 repository r0;
+    extent person1 of Person wrapper w1 repository r1;
+  |}
+    w0 w1
+
+let mk_mediator ?(metrics = Metrics.create ()) ~w0 ~w1 () =
+  let config =
+    { Mediator.Config.default with check = Check.Enforce; metrics }
+  in
+  let m = Mediator.create ~config ~name:"t" () in
+  let s0 =
+    Source.create ~id:"s0" ~address:(addr "h0")
+      (Source.Relational (Datagen.person_db ~seed:0 ~name:"person0" ~n:8))
+  in
+  let s1 =
+    Source.create ~id:"s1" ~address:(addr "h1")
+      (Source.Relational (Datagen.person_db ~seed:1 ~name:"person1" ~n:8))
+  in
+  Mediator.register_source m ~name:"r0" s0;
+  Mediator.register_source m ~name:"r1" s1;
+  Mediator.load_odl m (person_schema_odl w0 w1);
+  m
+
+let query_pool =
+  [|
+    "select x.name from x in person where x.salary > 10";
+    "select x from x in person1";
+    "select struct(a: x.name, b: y.name) from x in person0, y in person1 \
+     where x.name = y.name";
+    "select distinct x.name from x in person";
+    "select struct(n: x.name, s: x.salary * 2) from x in person0 where \
+     x.name like \"%a%\"";
+    "select x.name from x in person where x.salary > 10 and x.salary < 100";
+  |]
+
+let test_mediator_enforce_clean () =
+  let metrics = Metrics.create () in
+  let m = mk_mediator ~metrics ~w0:"WrapperPostgres" ~w1:"WrapperScan" () in
+  Array.iter
+    (fun q ->
+      match (Mediator.query m q).Mediator.answer with
+      | Mediator.Complete _ -> ()
+      | _ -> Alcotest.fail ("not complete: " ^ q))
+    query_pool;
+  Alcotest.(check int)
+    "no violations" 0
+    (Metrics.find_counter metrics "check.violations")
+
+let wrappers = [| "WrapperPostgres"; "WrapperSelect"; "WrapperScan" |]
+
+let prop_enforce_random_federations =
+  QCheck.Test.make ~count:15
+    ~name:"every optimized plan passes the verifier under Enforce"
+    QCheck.(triple (int_bound 2) (int_bound 2) (int_bound 5))
+    (fun (w0, w1, qi) ->
+      let m = mk_mediator ~w0:wrappers.(w0) ~w1:wrappers.(w1) () in
+      match (Mediator.query m query_pool.(qi)).Mediator.answer with
+      | Mediator.Complete _ -> true
+      | _ -> false)
+
+(* -- the wrapper conformance audit -- *)
+
+let person_attrs =
+  [ ("id", Otype.TInt); ("name", Otype.TString); ("salary", Otype.TInt) ]
+
+let test_audit_sql_clean () =
+  let ds =
+    Check.audit_wrapper ~extent:"person0" ~attrs:person_attrs
+      (Wrapper.sql_wrapper ())
+  in
+  Alcotest.(check (list string)) "sql audit clean" [] (codes ds)
+
+let test_audit_scan_clean () =
+  let ds =
+    Check.audit_wrapper ~extent:"person0" ~attrs:person_attrs
+      (Wrapper.scan_wrapper ())
+  in
+  Alcotest.(check (list string)) "scan audit clean" [] (codes ds)
+
+let test_audit_kv_overclaims () =
+  (* the key-value grammar advertises select(ATTRIBUTE = CONST, ...) for
+     any attribute, but the wrapper only serves lookups on "key" *)
+  let tbl = Hashtbl.create 4 in
+  Hashtbl.replace tbl "alpha"
+    (V.Struct [ ("key", V.String "alpha"); ("value", V.String "v") ]);
+  let src = Source.create ~id:"kv" ~address:(addr "kv") (Source.Key_value tbl) in
+  let ds =
+    Check.audit_wrapper ~source:src ~extent:"kv0"
+      ~attrs:[ ("key", Otype.TString); ("value", Otype.TString) ]
+      (Wrapper.kv_wrapper ())
+  in
+  check_has "DISCO-W002" ds
+
+(* -- capability-grammar edge cases -- *)
+
+let test_grammar_empty_production () =
+  let g = Grammar.parse "a :- b c\nb :-\nc :- get OPEN SOURCE CLOSE" in
+  Alcotest.(check bool) "nullable prefix" true (Grammar.accepts g (Expr.Get "s"));
+  let g0 = Grammar.parse "a :-" in
+  Alcotest.(check bool) "empty sentence" true (Grammar.derives g0 [])
+
+let test_grammar_distinct_over_union () =
+  let g =
+    Grammar.parse
+      "a :- distinct OPEN u CLOSE\n\
+       u :- union OPEN g COMMA g CLOSE\n\
+       g :- get OPEN SOURCE CLOSE"
+  in
+  Alcotest.(check bool)
+    "distinct over union accepted" true
+    (Grammar.accepts g (Expr.Distinct (Expr.Union [ Expr.Get "s"; Expr.Get "t" ])));
+  Alcotest.(check bool)
+    "bare union rejected" false
+    (Grammar.accepts g (Expr.Union [ Expr.Get "s"; Expr.Get "t" ]))
+
+let test_grammar_unknown_rhs_rejected () =
+  try
+    ignore (Grammar.parse "a :- foo");
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument msg ->
+    Alcotest.(check bool) "names the symbol" true (contains msg "foo")
+
+(* -- JSON rendering: stable (file, code, path, message) ordering -- *)
+
+let test_json_ordering () =
+  let d code path =
+    { Check.d_code = code; d_severity = Check.Error; d_path = path; d_message = "m" }
+  in
+  let j =
+    Check.json_of_diags
+      [
+        ("b.oql", d "DISCO-E002" "q");
+        ("a.oql", d "DISCO-E001" "q");
+        ("a.oql", d "DISCO-E001" "p");
+      ]
+  in
+  Alcotest.(check bool) "a before b" true (index_of j "a.oql" < index_of j "b.oql");
+  Alcotest.(check bool)
+    "path p before path q" true
+    (index_of j "\"path\":\"p\"" < index_of j "\"path\":\"q\"");
+  Alcotest.(check bool) "escaped fields" true (contains j "\"severity\":\"error\"")
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "clean tree" `Quick test_clean_tree;
+          Alcotest.test_case "E001 unknown collection" `Quick
+            test_e001_unknown_collection;
+          Alcotest.test_case "E002 unresolved attribute" `Quick
+            test_e002_unresolved_attribute;
+          Alcotest.test_case "E003 type mismatch" `Quick test_e003_type_mismatch;
+          Alcotest.test_case "E004 non-constant membership" `Quick
+            test_e004_nonconstant_membership;
+          Alcotest.test_case "E005 grammar refusal" `Quick
+            test_e005_grammar_refusal;
+          Alcotest.test_case "E005 wrapper span" `Quick test_e005_wrapper_span;
+          Alcotest.test_case "E006 not decompilable" `Quick
+            test_e006_not_decompilable;
+          Alcotest.test_case "E007 unknown repository" `Quick
+            test_e007_unknown_repository;
+          Alcotest.test_case "E008 empty join keys" `Quick
+            test_e008_empty_join_keys;
+          Alcotest.test_case "E009 binding overlap" `Quick
+            test_e009_binding_overlap;
+          Alcotest.test_case "E010 unresolvable wrapper" `Quick
+            test_e010_unresolvable_wrapper;
+          Alcotest.test_case "W001 union drift" `Quick test_w001_union_drift;
+          Alcotest.test_case "W003 round-trip drift" `Quick
+            test_w003_roundtrip_drift;
+        ] );
+      ( "gates",
+        [
+          Alcotest.test_case "optimizer Enforce raises" `Quick
+            test_optimizer_enforce_raises;
+          Alcotest.test_case "optimizer Warn counts" `Quick
+            test_optimizer_warn_counts;
+          Alcotest.test_case "runtime Enforce refuses before execution" `Quick
+            test_runtime_enforce_refuses;
+          Alcotest.test_case "mediator Enforce clean corpus" `Quick
+            test_mediator_enforce_clean;
+          QCheck_alcotest.to_alcotest prop_enforce_random_federations;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "sql wrapper audit clean" `Quick
+            test_audit_sql_clean;
+          Alcotest.test_case "scan wrapper audit clean" `Quick
+            test_audit_scan_clean;
+          Alcotest.test_case "kv wrapper over-claims" `Quick
+            test_audit_kv_overclaims;
+        ] );
+      ( "grammar",
+        [
+          Alcotest.test_case "empty productions" `Quick
+            test_grammar_empty_production;
+          Alcotest.test_case "distinct over union" `Quick
+            test_grammar_distinct_over_union;
+          Alcotest.test_case "unknown rhs rejected" `Quick
+            test_grammar_unknown_rhs_rejected;
+        ] );
+      ("json", [ Alcotest.test_case "stable ordering" `Quick test_json_ordering ]);
+    ]
