@@ -32,6 +32,7 @@ module Odl_parser = Disco_odl.Odl_parser
 module Typecheck = Disco_oql.Typecheck
 module Oql_parser = Disco_oql.Parser
 module Expand = Disco_core.Expand
+module Runtime = Disco_runtime.Runtime
 
 open Cmdliner
 
@@ -53,8 +54,8 @@ let verbosity_arg =
 let qopts ?(timeout_ms = 1000.0) ?(semantics = Mediator.Partial_answers) () =
   { Mediator.Query_opts.default with timeout_ms; semantics }
 
-let build_mediator ?cache ?trace_sink ?metrics ?recover_at ~sources ~rows
-    ~wrapper ~down ~odl_file () =
+let build_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry ~sources
+    ~rows ~wrapper ~down ~odl_file () =
   let config =
     {
       Mediator.Config.default with
@@ -62,6 +63,7 @@ let build_mediator ?cache ?trace_sink ?metrics ?recover_at ~sources ~rows
       trace_sink;
       metrics =
         Option.value metrics ~default:Mediator.Config.default.Mediator.Config.metrics;
+      retry;
     }
   in
   let m = Mediator.create ~config ~name:"discoctl" () in
@@ -207,19 +209,96 @@ let cache_arg =
   let doc = "Attach a semantic answer cache to the mediator." in
   Arg.(value & flag & info [ "cache" ] ~doc)
 
+(* -- retry/hedge/breaker options (DESIGN.md §4g) -- *)
+
+let retry_term =
+  let retry_flag =
+    let doc =
+      "Enable the deadline-aware retry scheduler: blocked execs are \
+       re-polled on exponential backoff within the query deadline instead \
+       of finalizing at issue time."
+    in
+    Arg.(value & flag & info [ "retry" ] ~doc)
+  in
+  let initial =
+    let doc = "Delay (virtual ms) before the first re-poll." in
+    Arg.(value & opt float 50.0 & info [ "retry-initial" ] ~docv:"MS" ~doc)
+  in
+  let multiplier =
+    let doc = "Backoff multiplier between re-polls." in
+    Arg.(value & opt float 2.0 & info [ "retry-multiplier" ] ~docv:"X" ~doc)
+  in
+  let attempts =
+    let doc = "Maximum re-polls per blocked exec." in
+    Arg.(value & opt int 4 & info [ "retry-attempts" ] ~docv:"N" ~doc)
+  in
+  let hedge =
+    let doc =
+      "Hedge delay (virtual ms): when the primary's answer would land later \
+       than this, also dial the first live replica and keep the earlier \
+       completion. Implies --retry."
+    in
+    Arg.(value & opt (some float) None & info [ "hedge" ] ~docv:"MS" ~doc)
+  in
+  let breaker =
+    let doc =
+      "Circuit-breaker threshold: skip re-polls/hedges to a source after \
+       this many consecutive failures. Implies --retry."
+    in
+    Arg.(value & opt (some int) None & info [ "breaker" ] ~docv:"N" ~doc)
+  in
+  let cooldown =
+    let doc =
+      "How long (virtual ms) an open breaker rejects calls before a \
+       half-open probe."
+    in
+    Arg.(
+      value & opt float 400.0 & info [ "breaker-cooldown" ] ~docv:"MS" ~doc)
+  in
+  let mk enabled initial_ms multiplier max_attempts hedge_ms breaker_threshold
+      breaker_cooldown_ms =
+    if enabled || hedge_ms <> None || breaker_threshold <> None then
+      Some
+        (Runtime.Retry.make ~initial_ms ~multiplier ~max_attempts ?hedge_ms
+           ?breaker_threshold ~breaker_cooldown_ms ())
+    else None
+  in
+  Term.(
+    const mk $ retry_flag $ initial $ multiplier $ attempts $ hedge $ breaker
+    $ cooldown)
+
+let print_breaker_state m =
+  match Mediator.retry_policy m with
+  | None -> ()
+  | Some _ -> (
+      match Mediator.breaker_snapshot m with
+      | [] -> ()
+      | rows ->
+          List.iter
+            (fun (id, fails, opened_at) ->
+              match opened_at with
+              | Some t ->
+                  Fmt.pr
+                    "breaker: %s OPEN since t=%.1f (%d consecutive failures)@."
+                    id t fails
+              | None ->
+                  Fmt.pr "breaker: %s closed (%d consecutive failure(s))@." id
+                    fails)
+            rows)
+
 let is_cached_semantics = function
   | Mediator.Cached_fallback _ -> true
   | Mediator.Partial_answers | Mediator.Wait_all | Mediator.Null_sources
   | Mediator.Skip_sources ->
       false
 
-let with_mediator ?cache ?trace_sink ?metrics ?recover_at f sources rows wrapper
-    down odl_file verbosity =
+let with_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry f sources rows
+    wrapper down odl_file verbosity =
   setup_logs (List.length verbosity);
   match
     f
-      (build_mediator ?cache ?trace_sink ?metrics ?recover_at ~sources ~rows
-         ~wrapper ~down ~odl_file ())
+      (build_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry ~sources
+         ~rows ~wrapper ~down ~odl_file ())
   with
   | () -> `Ok ()
   | exception Mediator.Mediator_error m -> `Error (false, m)
@@ -231,18 +310,26 @@ let query_cmd =
   let q_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
   in
+  let recover_arg =
+    let doc =
+      "Virtual time (ms) at which the --down repositories come back up — \
+       with --retry, the scheduler's re-polls pick them up mid-query."
+    in
+    Arg.(value & opt (some float) None & info [ "recover-at" ] ~docv:"MS" ~doc)
+  in
   let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
-      verbosity q =
+      verbosity retry recover_at q =
     let semantics = sem_of max_stale in
     let cache =
       if use_cache || is_cached_semantics semantics then
         Some (Answer_cache.create ())
       else None
     in
-    with_mediator ?cache
+    with_mediator ?cache ?recover_at ?retry
       (fun m ->
         print_outcome m
-          (Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q))
+          (Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q);
+        print_breaker_state m)
       sources rows wrapper down odl_file verbosity
   in
   Cmd.v
@@ -251,7 +338,7 @@ let query_cmd =
       ret
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
        $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
-       $ verbosity_arg $ q_arg))
+       $ verbosity_arg $ retry_term $ recover_arg $ q_arg))
 
 let explain_cmd =
   let q_arg =
@@ -429,8 +516,14 @@ let trace_cmd =
     let doc = "Emit the trace as JSON instead of the pretty span tree." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let recover_arg =
+    let doc =
+      "Virtual time (ms) at which the --down repositories come back up."
+    in
+    Arg.(value & opt (some float) None & info [ "recover-at" ] ~docv:"MS" ~doc)
+  in
   let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
-      verbosity json q =
+      verbosity retry recover_at json q =
     let semantics = sem_of max_stale in
     let cache =
       if use_cache || is_cached_semantics semantics then
@@ -439,7 +532,7 @@ let trace_cmd =
     in
     let traces = ref [] in
     let sink trace = traces := trace :: !traces in
-    with_mediator ?cache ~trace_sink:sink
+    with_mediator ?cache ?recover_at ?retry ~trace_sink:sink
       (fun m ->
         let o =
           Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q
@@ -458,12 +551,13 @@ let trace_cmd =
          "Run a query with tracing enabled and print its span tree: \
           per-phase virtual timings plus one line per exec with \
           repository, origin (source/cache/stale/failover), elapsed ms \
-          and tuples shipped.")
+          and tuples shipped. With --retry, re-polls show as child spans \
+          of their exec.")
     Term.(
       ret
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
        $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
-       $ verbosity_arg $ json_arg $ q_arg))
+       $ verbosity_arg $ retry_term $ recover_arg $ json_arg $ q_arg))
 
 let metrics_cmd =
   let q_arg =
@@ -478,7 +572,7 @@ let metrics_cmd =
     Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
-      verbosity repeat json q =
+      verbosity retry repeat json q =
     let semantics = sem_of max_stale in
     let cache =
       if use_cache || is_cached_semantics semantics then
@@ -487,26 +581,28 @@ let metrics_cmd =
     in
     (* an isolated registry: only this invocation's counters show *)
     let metrics = Disco_obs.Metrics.create () in
-    with_mediator ?cache ~metrics
+    with_mediator ?cache ?retry ~metrics
       (fun m ->
         for _ = 1 to repeat do
           ignore
             (Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q)
         done;
         if json then Fmt.pr "%s@." (Disco_obs.Metrics.to_json metrics)
-        else Fmt.pr "%a" Disco_obs.Metrics.pp metrics)
+        else Fmt.pr "%a" Disco_obs.Metrics.pp metrics;
+        print_breaker_state m)
       sources rows wrapper down odl_file verbosity
   in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Run a query repeatedly and dump the mediator's metrics registry \
-          (execs by origin, plan-cache hits, optimizer rules fired, ...).")
+          (execs by origin, plan-cache hits, optimizer rules fired, \
+          runtime.retry.* / runtime.hedge.* under --retry, ...).")
     Term.(
       ret
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
        $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
-       $ verbosity_arg $ repeat_arg $ json_arg $ q_arg))
+       $ verbosity_arg $ retry_term $ repeat_arg $ json_arg $ q_arg))
 
 let resubmit_cmd =
   let q_arg =

@@ -49,6 +49,7 @@ module Config = struct
     metrics : Metrics.t;
     batch : bool;
     check : Check.mode;
+    retry : Runtime.Retry.t option;
   }
 
   let default =
@@ -62,6 +63,7 @@ module Config = struct
       metrics = Metrics.default;
       batch = true;
       check = Check.Warn;
+      retry = None;
     }
 end
 
@@ -128,6 +130,10 @@ type t = {
   metrics : Metrics.t;
   batch : bool;
   check : Check.mode;
+  retry : Runtime.Retry.t option;
+  breaker : Runtime.Breaker.t;
+      (* one breaker table per federation, threaded into every runtime
+         env so circuit state persists across queries *)
 }
 
 let create ?(config = Config.default) ~name () =
@@ -147,6 +153,8 @@ let create ?(config = Config.default) ~name () =
     metrics = config.Config.metrics;
     batch = config.Config.batch;
     check = config.Config.check;
+    retry = config.Config.retry;
+    breaker = Runtime.Breaker.create ();
   }
 
 let name t = t.m_name
@@ -156,6 +164,8 @@ let cost_model t = t.cost
 let answer_cache t = t.cache
 let answer_cache_stats t = Option.map Answer_cache.stats t.cache
 let metrics t = t.metrics
+let retry_policy t = t.retry
+let breaker_snapshot t = Runtime.Breaker.snapshot t.breaker
 
 let register_source t ~name source = Hashtbl.replace t.sources name source
 let register_wrapper t ~name wrapper = Hashtbl.replace t.wrappers name wrapper
@@ -264,7 +274,8 @@ let runtime_env t ~type_check ~semantics ~tr extents =
     (Runtime.Config.make ?cache:t.cache
        ?serve_stale_ms:(serve_stale_of semantics)
        ?trace:tr ~metrics:t.metrics ~batch:t.batch ~check:t.check
-       ~checker:(checker_for t) ~clock:t.clock ~cost:t.cost ())
+       ~checker:(checker_for t) ?retry:t.retry ~breaker:t.breaker
+       ~clock:t.clock ~cost:t.cost ())
     bindings
 
 (* -- tracing helpers --

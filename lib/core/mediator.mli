@@ -138,6 +138,14 @@ module Config : sig
             the search and raises {!Disco_check.Check.Check_error} if a
             plan about to execute (or every candidate of a query) fails;
             [Off] skips verification. *)
+    retry : Disco_runtime.Runtime.Retry.t option;
+        (** deadline-aware retry scheduler
+            ({!Disco_runtime.Runtime.Retry}): blocked execs are re-polled
+            on exponential backoff within the query deadline, slow
+            primaries are optionally hedged with a replica, and
+            consistently-refusing sources trip a per-federation circuit
+            breaker.  [None] (the default) reproduces the one-shot
+            behavior bit-for-bit. *)
   }
 
   val default : t
@@ -170,6 +178,15 @@ val cost_model : t -> Disco_cost.Cost_model.t
 
 val metrics : t -> Disco_obs.Metrics.t
 (** The registry this mediator reports into. *)
+
+val retry_policy : t -> Disco_runtime.Runtime.Retry.t option
+(** The retry policy this mediator was created with, if any. *)
+
+val breaker_snapshot : t -> (string * int * float option) list
+(** Current circuit-breaker state, one row per source the breaker has
+    seen: [(source id, consecutive failures, opened-at virtual time)].
+    Empty until a retry policy with [breaker_threshold] records its
+    first failure. *)
 
 val answer_cache : t -> Disco_cache.Answer_cache.t option
 val answer_cache_stats : t -> Disco_cache.Answer_cache.stats option

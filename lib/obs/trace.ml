@@ -34,6 +34,13 @@ type exec = {
   x_batch_size : int;
 }
 
+type attempt = {
+  a_number : int;
+  a_start_ms : float;
+  a_elapsed_ms : float;
+  a_outcome : string;
+}
+
 type span = {
   s_name : string;
   s_start_ms : float;
@@ -85,7 +92,18 @@ let leave t ~now =
       t.b_stack <- rest
   | _ -> ()
 
-let exec t x =
+let attempt_span a =
+  {
+    s_name = "retry";
+    s_start_ms = a.a_start_ms;
+    s_elapsed_ms = a.a_elapsed_ms;
+    s_meta =
+      [ ("attempt", string_of_int a.a_number); ("outcome", a.a_outcome) ];
+    s_exec = None;
+    s_children = [];
+  }
+
+let exec ?(attempts = []) t x =
   match t.b_stack with
   | f :: _ ->
       let leaf =
@@ -95,7 +113,7 @@ let exec t x =
           s_elapsed_ms = x.x_elapsed_ms;
           s_meta = [];
           s_exec = Some x;
-          s_children = [];
+          s_children = List.map attempt_span attempts;
         }
       in
       f.f_children <- leaf :: f.f_children

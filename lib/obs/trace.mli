@@ -45,6 +45,17 @@ type exec = {
   x_batch_size : int;  (** execs in that round-trip; 1 when unbatched *)
 }
 
+(** One re-poll (or hedge) of an exec by the retry scheduler, rendered
+    as a child span of the exec leaf. *)
+type attempt = {
+  a_number : int;  (** 1-based re-poll number within the exec *)
+  a_start_ms : float;  (** virtual time the re-poll was issued *)
+  a_elapsed_ms : float;  (** until its own completion or failure *)
+  a_outcome : string;
+      (** ["recovered"], ["unavailable"], ["timed-out"], ["breaker-open"]
+          or ["hedge-won"] *)
+}
+
 type span = {
   s_name : string;
   s_start_ms : float;
@@ -77,8 +88,11 @@ val leave : t -> now:float -> unit
 val meta : t -> string -> string -> unit
 (** Attach a key/value annotation to the current span. *)
 
-val exec : t -> exec -> unit
-(** Record an exec leaf under the current span. *)
+val exec : ?attempts:attempt list -> t -> exec -> unit
+(** Record an exec leaf under the current span. [attempts] (issue order)
+    become child spans named ["retry"] under the leaf, carrying the
+    attempt number and outcome as span metadata — the retry scheduler's
+    re-polls stay attached to the exec they served. *)
 
 val finish : t -> now:float -> trace
 (** Close any spans still open (root included) and return the

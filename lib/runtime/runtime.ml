@@ -32,6 +32,101 @@ type binding = {
   b_check : (V.t -> bool) option;
 }
 
+(* Deadline-aware retry policy: how blocked/timed-out execs are
+   re-polled inside the query's time budget, whether slow primaries are
+   hedged with a replica, and when a consistently-refusing source trips
+   its circuit breaker. *)
+module Retry = struct
+  type t = {
+    initial_ms : float;
+    multiplier : float;
+    max_attempts : int;
+    hedge_ms : float option;
+    breaker_threshold : int option;
+    breaker_cooldown_ms : float;
+  }
+
+  let make ?(initial_ms = 50.0) ?(multiplier = 2.0) ?(max_attempts = 4)
+      ?hedge_ms ?breaker_threshold ?(breaker_cooldown_ms = 400.0) () =
+    if initial_ms <= 0.0 then
+      invalid_arg "Retry.make: initial_ms must be positive";
+    if multiplier < 1.0 then
+      invalid_arg "Retry.make: multiplier must be at least 1";
+    if max_attempts < 0 then
+      invalid_arg "Retry.make: max_attempts must be non-negative";
+    (match hedge_ms with
+    | Some h when h < 0.0 -> invalid_arg "Retry.make: hedge_ms must be non-negative"
+    | _ -> ());
+    (match breaker_threshold with
+    | Some n when n < 1 ->
+        invalid_arg "Retry.make: breaker_threshold must be at least 1"
+    | _ -> ());
+    if breaker_cooldown_ms < 0.0 then
+      invalid_arg "Retry.make: breaker_cooldown_ms must be non-negative";
+    {
+      initial_ms;
+      multiplier;
+      max_attempts;
+      hedge_ms;
+      breaker_threshold;
+      breaker_cooldown_ms;
+    }
+
+  let default = make ()
+end
+
+(* Per-source circuit breaker: after [breaker_threshold] consecutive
+   refusals the source is skipped by re-polls and hedges until
+   [breaker_cooldown_ms] has passed, when one half-open probe is allowed
+   through (success closes the breaker, failure re-opens it).  The table
+   is keyed by source id and meant to outlive a single query — the
+   mediator holds one per federation so the state is visible across
+   queries. *)
+module Breaker = struct
+  type entry = { mutable fails : int; mutable opened_at : float option }
+  type t = (string, entry) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let entry (t : t) id =
+    match Hashtbl.find_opt t id with
+    | Some e -> e
+    | None ->
+        let e = { fails = 0; opened_at = None } in
+        Hashtbl.replace t id e;
+        e
+
+  let allows (t : t) ~cooldown_ms ~now id =
+    match Hashtbl.find_opt t id with
+    | None | Some { opened_at = None; _ } -> true
+    | Some { opened_at = Some since; _ } -> now >= since +. cooldown_ms
+
+  (* true when this failure opened (or re-opened after a failed
+     half-open probe) the breaker *)
+  let note_failure (t : t) ~threshold ~cooldown_ms ~now id =
+    let e = entry t id in
+    e.fails <- e.fails + 1;
+    match e.opened_at with
+    | None when e.fails >= threshold ->
+        e.opened_at <- Some now;
+        true
+    | Some since when now >= since +. cooldown_ms ->
+        e.opened_at <- Some now;
+        true
+    | _ -> false
+
+  let note_success (t : t) id =
+    match Hashtbl.find_opt t id with
+    | Some e ->
+        e.fails <- 0;
+        e.opened_at <- None
+    | None -> ()
+
+  let snapshot (t : t) =
+    Hashtbl.fold (fun id e acc -> (id, e.fails, e.opened_at) :: acc) t []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+end
+
 module Config = struct
   type t = {
     clock : Clock.t;
@@ -43,10 +138,13 @@ module Config = struct
     batch : bool;
     check : Check.mode;
     checker : Check.t option;
+    retry : Retry.t option;
+    breaker : Breaker.t option;
   }
 
   let make ?cache ?serve_stale_ms ?trace ?(metrics = Metrics.default)
-      ?(batch = true) ?(check = Check.Warn) ?checker ~clock ~cost () =
+      ?(batch = true) ?(check = Check.Warn) ?checker ?retry ?breaker ~clock
+      ~cost () =
     {
       clock;
       cost;
@@ -57,6 +155,8 @@ module Config = struct
       batch;
       check;
       checker;
+      retry;
+      breaker;
     }
 end
 
@@ -76,6 +176,14 @@ type env = {
   batch_seq : int ref; (* distinguishes batched round-trips in traces *)
   check : Check.mode;
   checker : Check.t option;
+  retry : Retry.t option;
+      (* when set, blocked execs become pending events re-polled until
+         the deadline instead of finalizing at issue time; None is the
+         historical one-shot behavior, reproduced exactly *)
+  breaker : Breaker.t;
+  extra_trips : int ref;
+      (* wrapper round-trips issued by the retry scheduler and hedging
+         on top of the round's own calls *)
 }
 
 let env (c : Config.t) bindings =
@@ -91,6 +199,12 @@ let env (c : Config.t) bindings =
     batch_seq = ref 0;
     check = c.Config.check;
     checker = c.Config.checker;
+    retry = c.Config.retry;
+    breaker =
+      (match c.Config.breaker with
+      | Some b -> b
+      | None -> Breaker.create ());
+    extra_trips = ref 0;
   }
 
 let binding_of env extent =
@@ -132,14 +246,19 @@ type exec_done = {
   finish : float;
   shipped : int;
   origin : Trace.origin;
+  answered_by : string * int;
+      (* the repository that actually produced the answer (primary,
+         failover replica, hedge winner, or the cache's key repository)
+         and its data version at answer time — what Section 4's
+         staleness check must validate against *)
 }
 
 type exec_result = Done of exec_done | Blocked
 
 (* every exec outcome lands in the metrics registry; the trace leaf is
    built only when a trace is attached *)
-let observe_exec env ~repo ~wrapper ~logical ~start ~finish ~origin ~shipped
-    ~rows ~predicted ~batch =
+let observe_exec ?(attempts = []) env ~repo ~wrapper ~logical ~start ~finish
+    ~origin ~shipped ~rows ~predicted ~batch =
   Metrics.incr env.metrics ("exec.origin." ^ Trace.origin_label origin);
   if shipped > 0 then Metrics.incr ~by:shipped env.metrics "exec.tuples_shipped";
   match env.trace with
@@ -156,7 +275,7 @@ let observe_exec env ~repo ~wrapper ~logical ~start ~finish ~origin ~shipped
         | Some (id, size) -> (Some id, size)
         | None -> (None, 1)
       in
-      Trace.exec tr
+      Trace.exec ~attempts tr
         {
           Trace.x_repo = repo;
           x_wrapper = wrapper;
@@ -172,139 +291,10 @@ let observe_exec env ~repo ~wrapper ~logical ~start ~finish ~origin ~shipped
           x_batch_size = batch_size;
         }
 
-let issue_exec env ~deadline repo logical =
-  let extents = Expr.gets logical in
-  let bindings = List.map (binding_of env) extents in
-  let binding =
-    match bindings with
-    | [] -> runtime_error "exec(%s) references no extent" repo
-    | first :: _ -> first
-  in
-  List.iter
-    (fun b ->
-      if not (String.equal b.b_repo repo) then
-        runtime_error "exec(%s) references extent %s bound to %s" repo
-          b.b_extent b.b_repo)
-    bindings;
-  let map_of extent =
-    match
-      List.find_opt (fun b -> String.equal b.b_extent extent) bindings
-    with
-    | Some b -> b.b_map
-    | None -> Typemap.identity
-  in
-  let source_expr = Translate.to_source ~map_of logical in
-  let rename = Translate.answer_renamer ~map_of logical in
-  (* replication failover: if the primary is down at issue time, try the
-     replicas in declaration order *)
-  let now = Clock.now env.clock in
-  let chosen_repo, chosen =
-    let candidates =
-      (binding.b_repo, binding.b_source) :: binding.b_replicas
-    in
-    match List.find_opt (fun (_, src) -> Source.is_up src now) candidates with
-    | Some (replica_repo, src) ->
-        if not (String.equal replica_repo binding.b_repo) then
-          Log.info (fun m ->
-              m "exec(%s): primary down, failing over to replica %s" repo
-                replica_repo);
-        (replica_repo, src)
-    | None ->
-        (* all down: the call reports Unavailable *)
-        (binding.b_repo, binding.b_source)
-  in
-  let wrapper = Wrapper.name binding.b_wrapper in
-  let predicted =
-    (* the cost model is only consulted when the exec will land in a
-       trace span — keeps the untraced path identical to before *)
-    match env.trace with
-    | None -> None
-    | Some _ -> Some (Cost_model.estimate env.cost ~repo logical)
-  in
-  let observe ~finish ~origin ~shipped ~rows =
-    observe_exec env ~repo ~wrapper ~logical ~start:now ~finish ~origin ~shipped
-      ~rows ~predicted ~batch:None
-  in
-  let version = Source.data_version chosen in
-  let fresh_hit =
-    match env.cache with
-    | Some cache -> Answer_cache.find_fresh cache ~repo ~version logical
-    | None -> None
-  in
-  match fresh_hit with
-  | Some value ->
-      Log.debug (fun m ->
-          m "exec(%s) answered from cache: %s" repo (Expr.to_string logical));
-      let rows = try V.cardinal value with V.Type_error _ -> 1 in
-      observe ~finish:now ~origin:Trace.Cache ~shipped:0 ~rows;
-      Done { value; finish = now; shipped = 0; origin = Trace.Cache }
-  | None -> (
-      let blocked () =
-        Log.debug (fun m ->
-            m "exec(%s) blocked: %s" repo (Expr.to_string logical));
-        observe ~finish:deadline ~origin:Trace.Blocked ~shipped:0 ~rows:0;
-        Blocked
-      in
-      let outcome =
-        Source.call chosen ~clock:env.clock ~deadline (fun () ->
-            match Wrapper.execute binding.b_wrapper chosen source_expr with
-            | Ok (v, rows) -> (Ok v, rows)
-            | Error err -> (Error err, 0))
-      in
-      match outcome with
-      | Source.Unavailable | Source.Timed_out _ -> (
-          match (env.cache, env.serve_stale_ms) with
-          | Some cache, Some max_stale_ms -> (
-              match
-                Answer_cache.find_stale cache ~repo ~now ~max_stale_ms logical
-              with
-              | Some (value, age) ->
-                  let rows = try V.cardinal value with V.Type_error _ -> 1 in
-                  observe ~finish:now ~origin:(Trace.Stale age) ~shipped:0 ~rows;
-                  Done
-                    { value; finish = now; shipped = 0; origin = Trace.Stale age }
-              | None -> blocked ())
-          | _ -> blocked ())
-      | Source.Answered (Error err, _) ->
-          runtime_error "wrapper %s on %s: %s"
-            (Wrapper.name binding.b_wrapper)
-            repo (Wrapper.error_message err)
-      | Source.Answered (Ok v, finish) ->
-          Log.debug (fun m ->
-              m "exec(%s) answered %d rows at t=%.1f" repo
-                (try V.cardinal v with V.Type_error _ -> 1)
-                finish);
-          let renamed = rename v in
-          (match binding.b_check with
-          | Some check when V.is_collection renamed ->
-              List.iter
-                (fun elem ->
-                  if not (check elem) then
-                    runtime_error
-                      "type mismatch: source %s returned %s for extent %s" repo
-                      (V.to_string elem) binding.b_extent)
-                (V.elements renamed)
-          | _ -> ());
-          (match env.cache with
-          | Some cache ->
-              Answer_cache.store cache ~repo ~version ~now:finish logical renamed
-          | None -> ());
-          let shipped = try V.cardinal renamed with V.Type_error _ -> 1 in
-          let origin =
-            if String.equal chosen_repo binding.b_repo then Trace.Source
-            else Trace.Failover chosen_repo
-          in
-          observe ~finish ~origin ~shipped ~rows:shipped;
-          Done { value = renamed; finish; shipped; origin })
-
-(* -- batched transport (Config.batch) --
-
-   Preparation mirrors [issue_exec] decision-for-decision: the same
-   binding resolution, translation, failover choice and cache lookups
-   are taken per exec.  Only the transport is shared — execs whose
-   chosen destination coincides ride one [Wrapper.execute_batch]
-   round-trip, paying the source's [base_ms] (and a single jitter draw)
-   once for the whole group. *)
+(* Every exec — sequential, batched, retried or hedged — flows through
+   one preparation step ([prepare_exec]: binding resolution, translation,
+   failover choice) and one completion step ([complete_answer]: rename,
+   type check, cache store).  Only the transport in between differs. *)
 
 type prepared = {
   p_repo : string;
@@ -380,7 +370,227 @@ let typecheck_answer p renamed =
         (V.elements renamed)
   | _ -> ()
 
-(* Issue a round of (unique) execs with per-destination batching.
+(* The wrapper call for one prepared exec, parameterized by the source
+   actually dialed — the same thunk serves the chosen source, a hedged
+   replica, and retry re-polls. *)
+let wrapper_thunk p src () =
+  match Wrapper.execute p.p_binding.b_wrapper src p.p_source_expr with
+  | Ok (v, rows) -> (Ok v, rows)
+  | Error err -> (Error err, 0)
+
+let observe_prepared ?attempts env (p : prepared) ~start ~finish ~origin
+    ~shipped ~rows =
+  observe_exec ?attempts env ~repo:p.p_repo
+    ~wrapper:(Wrapper.name p.p_binding.b_wrapper)
+    ~logical:p.p_logical ~start ~finish ~origin ~shipped ~rows
+    ~predicted:p.p_predicted ~batch:None
+
+(* -- circuit breaker hooks (active only under Config.retry with a
+   breaker_threshold) -- *)
+
+let breaker_allows env ~now src =
+  match env.retry with
+  | Some
+      { Retry.breaker_threshold = Some _; Retry.breaker_cooldown_ms; _ } ->
+      Breaker.allows env.breaker ~cooldown_ms:breaker_cooldown_ms ~now
+        (Source.id src)
+  | _ -> true
+
+let breaker_note env ~now src outcome =
+  match env.retry with
+  | Some
+      { Retry.breaker_threshold = Some n; Retry.breaker_cooldown_ms; _ } -> (
+      match outcome with
+      | `Success -> Breaker.note_success env.breaker (Source.id src)
+      | `Failure ->
+          if
+            Breaker.note_failure env.breaker ~threshold:n
+              ~cooldown_ms:breaker_cooldown_ms ~now (Source.id src)
+          then Metrics.incr env.metrics "runtime.breaker.open")
+  | _ -> ()
+
+(* Replica hedging (Config.retry.hedge_ms): when the chosen source's
+   answer would land later than [now + hedge_ms] — or not at all within
+   the deadline — race the first live, breaker-permitted replica, issued
+   at the hedge instant, and keep whichever completion is earlier.  In
+   the discrete-event simulation both completions are known at issue
+   time, so the race resolves immediately.  A primary that is down at
+   issue time is not hedged: issue-time failover already switched to a
+   replica, and the retry scheduler covers later recovery.  Returns the
+   answering repository, its source, and the winning outcome. *)
+let hedged_call env ~now ~deadline (p : prepared) =
+  let primary =
+    Source.call_at p.p_chosen ~now ~deadline (wrapper_thunk p p.p_chosen)
+  in
+  (match primary with
+  | Source.Answered _ -> breaker_note env ~now p.p_chosen `Success
+  | Source.Unavailable | Source.Timed_out _ ->
+      breaker_note env ~now p.p_chosen `Failure);
+  let hedge_candidate =
+    match env.retry with
+    | Some { Retry.hedge_ms = Some h; _ } ->
+        let hedge_at = now +. h in
+        let worth =
+          hedge_at < deadline
+          &&
+          match primary with
+          | Source.Answered (_, finish) -> finish > hedge_at
+          | Source.Timed_out _ -> true
+          | Source.Unavailable -> false
+        in
+        if not worth then None
+        else
+          let candidates =
+            (p.p_binding.b_repo, p.p_binding.b_source)
+            :: p.p_binding.b_replicas
+          in
+          Option.map
+            (fun c -> (c, hedge_at))
+            (List.find_opt
+               (fun (repo, src) ->
+                 (not (String.equal repo p.p_chosen_repo))
+                 && Source.is_up src hedge_at
+                 && breaker_allows env ~now:hedge_at src)
+               candidates)
+    | _ -> None
+  in
+  match hedge_candidate with
+  | None -> (p.p_chosen_repo, p.p_chosen, primary)
+  | Some ((hrepo, hsrc), hedge_at) ->
+      Metrics.incr env.metrics "runtime.hedge.issued";
+      incr env.extra_trips;
+      let hedge =
+        Source.call_at hsrc ~now:hedge_at ~deadline (wrapper_thunk p hsrc)
+      in
+      (match hedge with
+      | Source.Answered _ -> breaker_note env ~now:hedge_at hsrc `Success
+      | Source.Unavailable | Source.Timed_out _ ->
+          breaker_note env ~now:hedge_at hsrc `Failure);
+      let hedge_wins =
+        match (primary, hedge) with
+        | Source.Answered (_, fp), Source.Answered (_, fh) -> fh < fp
+        | (Source.Unavailable | Source.Timed_out _), Source.Answered _ -> true
+        | _, (Source.Unavailable | Source.Timed_out _) -> false
+      in
+      if hedge_wins then (
+        Metrics.incr env.metrics "runtime.hedge.won";
+        Log.info (fun m ->
+            m "exec(%s): hedge to replica %s won the race" p.p_repo hrepo);
+        (hrepo, hsrc, hedge))
+      else (p.p_chosen_repo, p.p_chosen, primary)
+
+(* Shared completion: rename into the mediator name space, run the
+   run-time type check, record the fragment in the answer cache, and
+   stamp the answer with the repository that actually produced it. *)
+let complete_answer env (p : prepared) ~finish ~answered_repo ~answered_src v =
+  let renamed = p.p_rename v in
+  typecheck_answer p renamed;
+  let version = Source.data_version answered_src in
+  (match env.cache with
+  | Some cache ->
+      Answer_cache.store cache ~repo:p.p_repo ~version ~now:finish p.p_logical
+        renamed
+  | None -> ());
+  let shipped = try V.cardinal renamed with V.Type_error _ -> 1 in
+  let origin =
+    if String.equal answered_repo p.p_binding.b_repo then Trace.Source
+    else Trace.Failover answered_repo
+  in
+  { value = renamed; finish; shipped; origin; answered_by = (answered_repo, version) }
+
+(* One unbatched exec issued at [now]: consult the answer cache, else go
+   over the (simulated) wire — hedged when configured — then reformat
+   and check the answer, falling back to stale fragments when allowed.
+   Under Config.retry a blocked exec is observed by the retry scheduler
+   (which owns its final outcome), not here. *)
+let issue_one env ~now ~deadline (p : prepared) =
+  let observe ~finish ~origin ~shipped ~rows =
+    observe_prepared env p ~start:now ~finish ~origin ~shipped ~rows
+  in
+  let version = Source.data_version p.p_chosen in
+  let fresh_hit =
+    match env.cache with
+    | Some cache ->
+        Answer_cache.find_fresh cache ~repo:p.p_repo ~version p.p_logical
+    | None -> None
+  in
+  match fresh_hit with
+  | Some value ->
+      Log.debug (fun m ->
+          m "exec(%s) answered from cache: %s" p.p_repo
+            (Expr.to_string p.p_logical));
+      let rows = try V.cardinal value with V.Type_error _ -> 1 in
+      observe ~finish:now ~origin:Trace.Cache ~shipped:0 ~rows;
+      Done
+        {
+          value;
+          finish = now;
+          shipped = 0;
+          origin = Trace.Cache;
+          answered_by = (p.p_chosen_repo, version);
+        }
+  | None -> (
+      let blocked () =
+        Log.debug (fun m ->
+            m "exec(%s) blocked: %s" p.p_repo (Expr.to_string p.p_logical));
+        if env.retry = None then
+          observe ~finish:deadline ~origin:Trace.Blocked ~shipped:0 ~rows:0;
+        Blocked
+      in
+      let answered_repo, answered_src, outcome =
+        hedged_call env ~now ~deadline p
+      in
+      match outcome with
+      | Source.Unavailable | Source.Timed_out _ -> (
+          match (env.cache, env.serve_stale_ms) with
+          | Some cache, Some max_stale_ms -> (
+              match
+                Answer_cache.find_stale cache ~repo:p.p_repo ~now ~max_stale_ms
+                  p.p_logical
+              with
+              | Some (value, age) ->
+                  let rows = try V.cardinal value with V.Type_error _ -> 1 in
+                  observe ~finish:now ~origin:(Trace.Stale age) ~shipped:0 ~rows;
+                  Done
+                    {
+                      value;
+                      finish = now;
+                      shipped = 0;
+                      origin = Trace.Stale age;
+                      answered_by =
+                        (p.p_repo, Source.data_version p.p_binding.b_source);
+                    }
+              | None -> blocked ())
+          | _ -> blocked ())
+      | Source.Answered (Error err, _) ->
+          runtime_error "wrapper %s on %s: %s"
+            (Wrapper.name p.p_binding.b_wrapper)
+            p.p_repo (Wrapper.error_message err)
+      | Source.Answered (Ok v, finish) ->
+          Log.debug (fun m ->
+              m "exec(%s) answered %d rows at t=%.1f" p.p_repo
+                (try V.cardinal v with V.Type_error _ -> 1)
+                finish);
+          let d =
+            complete_answer env p ~finish ~answered_repo ~answered_src v
+          in
+          observe ~finish ~origin:d.origin ~shipped:d.shipped ~rows:d.shipped;
+          Done d)
+
+let issue_exec env ~deadline repo logical =
+  let now = Clock.now env.clock in
+  issue_one env ~now ~deadline (prepare_exec env ~now repo logical)
+
+(* -- batched transport (Config.batch) --
+
+   Preparation is shared with the sequential path, so the same binding
+   resolution, translation, failover choice and cache lookups are taken
+   per exec.  Only the transport differs — execs whose chosen
+   destination coincides ride one [Wrapper.execute_batch] round-trip,
+   paying the source's [base_ms] (and a single jitter draw) once for the
+   whole group.
+
+   Issue a round of (unique) execs with per-destination batching.
    Results come back in input order; the second component counts the
    wrapper round-trips actually attempted. *)
 let issue_execs_batched env ~deadline execs =
@@ -414,8 +624,14 @@ let issue_execs_batched env ~deadline execs =
               ~batch:None;
             ( p,
               `Done
-                (Done { value; finish = now; shipped = 0; origin = Trace.Cache })
-            )
+                (Done
+                   {
+                     value;
+                     finish = now;
+                     shipped = 0;
+                     origin = Trace.Cache;
+                     answered_by = (p.p_chosen_repo, version);
+                   }) )
         | None -> (p, `Pending version))
       execs
   in
@@ -446,6 +662,19 @@ let issue_execs_batched env ~deadline execs =
         | (p, _) :: _ -> (p.p_chosen, p.p_binding.b_wrapper)
         | [] -> assert false
       in
+      if size = 1 && env.retry <> None then (
+        (* under the retry scheduler, singleton groups take the
+           sequential transport so they can be hedged; the round-trip
+           accounting is identical either way.  Multi-member batches are
+           never hedged — one racing replica per wrapper call would undo
+           the batching win. *)
+        incr round_trips;
+        Metrics.incr env.metrics "runtime.batch.rounds";
+        incr env.batch_seq;
+        match members with
+        | [ (p, _) ] -> store p (issue_one env ~now ~deadline p)
+        | _ -> assert false)
+      else (
       incr round_trips;
       Metrics.incr env.metrics "runtime.batch.rounds";
       incr env.batch_seq;
@@ -471,8 +700,9 @@ let issue_execs_batched env ~deadline execs =
                 Log.debug (fun m ->
                     m "exec(%s) blocked: %s" p.p_repo
                       (Expr.to_string p.p_logical));
-                observe p ~finish:deadline ~origin:Trace.Blocked ~shipped:0
-                  ~rows:0 ~batch;
+                if env.retry = None then
+                  observe p ~finish:deadline ~origin:Trace.Blocked ~shipped:0
+                    ~rows:0 ~batch;
                 Blocked
               in
               let r =
@@ -494,6 +724,9 @@ let issue_execs_batched env ~deadline execs =
                             finish = now;
                             shipped = 0;
                             origin = Trace.Stale age;
+                            answered_by =
+                              ( p.p_repo,
+                                Source.data_version p.p_binding.b_source );
                           }
                     | None -> blocked ())
                 | _ -> blocked ()
@@ -539,8 +772,16 @@ let issue_execs_batched env ~deadline execs =
                     ~time_ms:((finish -. now) /. float_of_int size)
                     ~rows:shipped;
                   observe p ~finish ~origin ~shipped ~rows:shipped ~batch;
-                  store p (Done { value = renamed; finish; shipped; origin }))
-            members answers)
+                  store p
+                    (Done
+                       {
+                         value = renamed;
+                         finish;
+                         shipped;
+                         origin;
+                         answered_by = (p.p_chosen_repo, version);
+                       }))
+            members answers))
     keys;
   let results =
     List.map
@@ -555,6 +796,157 @@ let issue_execs_batched env ~deadline execs =
       classified
   in
   (results, !round_trips)
+
+(* -- deadline-aware retry scheduler (Config.retry) --
+
+   Blocked execs do not finalize at issue time: each becomes a pending
+   event on the virtual clock, re-polled on exponential backoff
+   ([initial_ms], [multiplier]) until it recovers, exhausts
+   [max_attempts], or runs out of deadline.  Events across execs are
+   processed in virtual-time order — like a real event loop — so shared
+   state (the circuit breaker, source call counters) evolves the same
+   way it would under a reactor.  Each re-poll re-prepares the exec, so
+   failover re-evaluates source availability at the re-poll instant: a
+   source whose schedule flips up at t=300ms answers a 1000ms-deadline
+   query instead of forcing a partial answer.
+
+   A retried exec contributes exactly one trace leaf: Done (with its
+   failed attempts as child spans) if some re-poll recovered, else
+   Blocked at the deadline. *)
+type retry_event = {
+  ev_seq : int;  (* position in the round's result list *)
+  ev_repo : string;
+  ev_logical : Expr.expr;
+  ev_attempt : int;  (* 1-based *)
+  ev_at : float;  (* virtual instant of this re-poll *)
+  ev_history : Trace.attempt list;  (* newest first *)
+}
+
+let apply_retries env ~deadline results =
+  match env.retry with
+  | None -> results
+  | Some r ->
+      let t0 = Clock.now env.clock in
+      let finals = Hashtbl.create 8 in
+      let queue = ref [] in
+      List.iteri
+        (fun seq ((repo, logical), res) ->
+          match res with
+          | Blocked ->
+              queue :=
+                {
+                  ev_seq = seq;
+                  ev_repo = repo;
+                  ev_logical = logical;
+                  ev_attempt = 1;
+                  ev_at = t0 +. r.Retry.initial_ms;
+                  ev_history = [];
+                }
+                :: !queue
+          | Done _ -> ())
+        results;
+      let pop () =
+        match !queue with
+        | [] -> None
+        | evs ->
+            let best =
+              List.fold_left
+                (fun acc ev ->
+                  match acc with
+                  | Some b
+                    when b.ev_at < ev.ev_at
+                         || (b.ev_at = ev.ev_at && b.ev_seq < ev.ev_seq) ->
+                      acc
+                  | _ -> Some ev)
+                None evs
+            in
+            (match best with
+            | Some b -> queue := List.filter (fun e -> e != b) !queue
+            | None -> ());
+            best
+      in
+      let requeue ev att =
+        queue :=
+          {
+            ev with
+            ev_attempt = ev.ev_attempt + 1;
+            ev_at =
+              ev.ev_at
+              +. (r.Retry.initial_ms
+                 *. (r.Retry.multiplier ** float_of_int ev.ev_attempt));
+            ev_history = att :: ev.ev_history;
+          }
+          :: !queue
+      in
+      let attempt_of ev ~elapsed outcome =
+        {
+          Trace.a_number = ev.ev_attempt;
+          a_start_ms = ev.ev_at;
+          a_elapsed_ms = elapsed;
+          a_outcome = outcome;
+        }
+      in
+      let rec drain () =
+        match pop () with
+        | None -> ()
+        | Some ev ->
+            (if ev.ev_at >= deadline || ev.ev_attempt > r.Retry.max_attempts
+             then (
+               (* out of budget: finalize as blocked, with the re-poll
+                  history attached to the leaf *)
+               let p = prepare_exec env ~now:deadline ev.ev_repo ev.ev_logical in
+               observe_prepared
+                 ~attempts:(List.rev ev.ev_history)
+                 env p ~start:t0 ~finish:deadline ~origin:Trace.Blocked
+                 ~shipped:0 ~rows:0;
+               Hashtbl.replace finals ev.ev_seq Blocked)
+             else
+               let p = prepare_exec env ~now:ev.ev_at ev.ev_repo ev.ev_logical in
+               if not (breaker_allows env ~now:ev.ev_at p.p_chosen) then
+                 requeue ev (attempt_of ev ~elapsed:0.0 "breaker-open")
+               else (
+                 Metrics.incr env.metrics "runtime.retry.attempts";
+                 incr env.extra_trips;
+                 let answered_repo, answered_src, outcome =
+                   hedged_call env ~now:ev.ev_at ~deadline p
+                 in
+                 match outcome with
+                 | Source.Unavailable ->
+                     requeue ev (attempt_of ev ~elapsed:0.0 "unavailable")
+                 | Source.Timed_out completion ->
+                     requeue ev
+                       (attempt_of ev ~elapsed:(completion -. ev.ev_at)
+                          "timed-out")
+                 | Source.Answered (Error err, _) ->
+                     runtime_error "wrapper %s on %s: %s"
+                       (Wrapper.name p.p_binding.b_wrapper)
+                       p.p_repo (Wrapper.error_message err)
+                 | Source.Answered (Ok v, finish) ->
+                     Metrics.incr env.metrics "runtime.retry.recovered";
+                     Log.info (fun m ->
+                         m "exec(%s) recovered on re-poll %d at t=%.1f"
+                           p.p_repo ev.ev_attempt finish);
+                     let d =
+                       complete_answer env p ~finish ~answered_repo
+                         ~answered_src v
+                     in
+                     let won =
+                       attempt_of ev ~elapsed:(finish -. ev.ev_at) "recovered"
+                     in
+                     observe_prepared
+                       ~attempts:(List.rev (won :: ev.ev_history))
+                       env p ~start:ev.ev_at ~finish ~origin:d.origin
+                       ~shipped:d.shipped ~rows:d.shipped;
+                     Hashtbl.replace finals ev.ev_seq (Done d)));
+            drain ()
+      in
+      drain ();
+      List.mapi
+        (fun seq (key, res) ->
+          match Hashtbl.find_opt finals seq with
+          | Some res' -> (key, res')
+          | None -> (key, res))
+        results
 
 (* Fold every exec-free subtree into materialized data: "processing as
    much of the query as is possible" (Section 1.3). *)
@@ -612,16 +1004,10 @@ let round_result env ~deadline ~t0 ~execs_issued ~round_trips results plan =
         | None -> Plan.Exec (repo, logical))
       plan
   in
-  let versions =
-    List.filter_map
-      (fun ((repo, logical), _) ->
-        match Expr.gets logical with
-        | extent :: _ ->
-            let b = binding_of env extent in
-            Some (repo, Source.data_version b.b_source)
-        | [] -> None)
-      answered
-  in
+  (* the version vector records who actually answered — when a replica
+     served the exec, pinning the primary's version here would make the
+     staleness check (Section 4) watch the wrong repository *)
+  let versions = List.map (fun (_, d) -> d.answered_by) answered in
   let cache_hits =
     List.length (List.filter (fun (_, d) -> d.origin = Trace.Cache) answered)
   in
@@ -651,6 +1037,7 @@ let round_result env ~deadline ~t0 ~execs_issued ~round_trips results plan =
 (* One parallel round, historical transport: one wrapper call per exec. *)
 let run_round_seq env ~deadline plan =
   let t0 = Clock.now env.clock in
+  let trips0 = !(env.extra_trips) in
   let execs = Plan.execs plan in
   let results =
     List.map
@@ -658,6 +1045,7 @@ let run_round_seq env ~deadline plan =
         ((repo, logical), issue_exec env ~deadline repo logical))
       execs
   in
+  let results = apply_retries env ~deadline results in
   (* only real source calls feed the learned cost model — cache serves
      complete in zero time and would corrupt the estimates *)
   List.iter
@@ -678,8 +1066,11 @@ let run_round_seq env ~deadline plan =
          results)
   in
   (* every non-cache-hit exec was its own wrapper round-trip (including
-     the ones that came back unavailable) *)
-  let round_trips = List.length execs - cache_hits in
+     the ones that came back unavailable); hedges and re-polls add their
+     own trips on top *)
+  let round_trips =
+    List.length execs - cache_hits + (!(env.extra_trips) - trips0)
+  in
   round_result env ~deadline ~t0 ~execs_issued:(List.length execs) ~round_trips
     results plan
 
@@ -687,6 +1078,7 @@ let run_round_seq env ~deadline plan =
    execs, then one wrapper round-trip per destination. *)
 let run_round_batched env ~deadline plan =
   let t0 = Clock.now env.clock in
+  let trips0 = !(env.extra_trips) in
   let execs = Plan.execs plan in
   let unique =
     List.rev
@@ -706,6 +1098,8 @@ let run_round_batched env ~deadline plan =
         m "dedup: %d duplicate exec(s) share answers this round" dedup_hits);
     Metrics.incr ~by:dedup_hits env.metrics "runtime.batch.dedup_hits");
   let results, round_trips = issue_execs_batched env ~deadline unique in
+  let results = apply_retries env ~deadline results in
+  let round_trips = round_trips + (!(env.extra_trips) - trips0) in
   round_result env ~deadline ~t0 ~execs_issued:(List.length unique)
     ~round_trips results plan
 
@@ -890,41 +1284,27 @@ let execute ?(timeout_ms = 1000.0) env plan =
 
 let fetch ?(timeout_ms = 1000.0) env extents =
   let t0 = Clock.now env.clock in
+  let trips0 = !(env.extra_trips) in
   let deadline = t0 +. timeout_ms in
+  let keyed =
+    List.map
+      (fun extent ->
+        let b = binding_of env extent in
+        (extent, (b.b_repo, Expr.Get extent)))
+      extents
+  in
   let results, round_trips =
     if env.batch then
       (* one batched round-trip per repository holding several of the
          fetched extents *)
-      let keyed =
-        List.map
-          (fun extent ->
-            let b = binding_of env extent in
-            (extent, (b.b_repo, Expr.Get extent)))
-          extents
-      in
-      let batched, round_trips =
-        issue_execs_batched env ~deadline (List.map snd keyed)
-      in
-      (List.map2 (fun (extent, _) (_, r) -> (extent, r)) keyed batched, round_trips)
+      issue_execs_batched env ~deadline (List.map snd keyed)
     else
       let results =
         List.map
-          (fun extent ->
-            let b = binding_of env extent in
-            (extent, issue_exec env ~deadline b.b_repo (Expr.Get extent)))
-          extents
+          (fun (_, (repo, logical)) ->
+            ((repo, logical), issue_exec env ~deadline repo logical))
+          keyed
       in
-      List.iter
-        (fun (extent, r) ->
-          match r with
-          | Done { origin = Trace.Source | Trace.Failover _; value; finish; _ }
-            ->
-              let b = binding_of env extent in
-              Cost_model.record env.cost ~repo:b.b_repo ~expr:(Expr.Get extent)
-                ~time_ms:(finish -. t0)
-                ~rows:(try V.cardinal value with V.Type_error _ -> 1)
-          | Done _ | Blocked -> ())
-        results;
       let cache_hits =
         List.length
           (List.filter
@@ -933,6 +1313,21 @@ let fetch ?(timeout_ms = 1000.0) env extents =
              results)
       in
       (results, List.length results - cache_hits)
+  in
+  let results = apply_retries env ~deadline results in
+  let round_trips = round_trips + (!(env.extra_trips) - trips0) in
+  if not env.batch then
+    List.iter
+      (fun ((repo, logical), r) ->
+        match r with
+        | Done { origin = Trace.Source | Trace.Failover _; value; finish; _ } ->
+            Cost_model.record env.cost ~repo ~expr:logical
+              ~time_ms:(finish -. t0)
+              ~rows:(try V.cardinal value with V.Type_error _ -> 1)
+        | Done _ | Blocked -> ())
+      results;
+  let results =
+    List.map2 (fun (extent, _) (_, r) -> (extent, r)) keyed results
   in
   let answered =
     List.filter_map (function _, Done d -> Some d | _, Blocked -> None) results
@@ -976,11 +1371,21 @@ let resubmit_hint env = function
   | Partial { versions; _ } ->
       List.filter_map
         (fun (repo, recorded_version) ->
-          let current =
-            List.find_opt (fun b -> String.equal b.b_repo repo) env.bindings
+          (* the recorded repository may be a replica (hedge or failover
+             winner), which has no binding of its own — look it up among
+             the replicas too *)
+          let source =
+            match
+              List.find_opt (fun b -> String.equal b.b_repo repo) env.bindings
+            with
+            | Some b -> Some b.b_source
+            | None ->
+                List.find_map
+                  (fun b -> List.assoc_opt repo b.b_replicas)
+                  env.bindings
           in
-          match current with
-          | Some b when Source.data_version b.b_source <> recorded_version ->
+          match source with
+          | Some src when Source.data_version src <> recorded_version ->
               Some repo
           | _ -> None)
         versions

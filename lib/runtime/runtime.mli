@@ -40,6 +40,65 @@ type binding = {
 
 type env
 
+(** Deadline-aware retry policy (DESIGN.md §4g).  When attached to
+    {!Config.t}, blocked execs do not finalize at issue time: each
+    becomes a pending event on the virtual clock, re-polled on
+    exponential backoff until it recovers, exhausts [max_attempts], or
+    runs out of deadline — a source whose schedule flips up mid-query
+    answers instead of forcing a partial answer.  [hedge_ms] additionally
+    races a replica against a slow (or timed-out) primary; the first
+    completion wins. *)
+module Retry : sig
+  type t = {
+    initial_ms : float;  (** delay before the first re-poll *)
+    multiplier : float;  (** backoff factor between re-polls (>= 1) *)
+    max_attempts : int;  (** re-polls per exec; 0 disables re-polling *)
+    hedge_ms : float option;
+        (** when set, an exec whose primary answer would land after
+            [issue + hedge_ms] also dials the first live replica at that
+            instant and keeps the earlier completion *)
+    breaker_threshold : int option;
+        (** consecutive failures after which a source's circuit breaker
+            opens; [None] disables the breaker *)
+    breaker_cooldown_ms : float;
+        (** how long an open breaker rejects re-polls/hedges before one
+            half-open probe is allowed through *)
+  }
+
+  val make :
+    ?initial_ms:float ->
+    ?multiplier:float ->
+    ?max_attempts:int ->
+    ?hedge_ms:float ->
+    ?breaker_threshold:int ->
+    ?breaker_cooldown_ms:float ->
+    unit ->
+    t
+  (** Defaults: 50 ms initial, multiplier 2, 4 attempts, no hedging, no
+      breaker, 400 ms cooldown.  Raises [Invalid_argument] on
+      non-positive [initial_ms], [multiplier < 1], negative
+      [max_attempts]/[hedge_ms]/[breaker_cooldown_ms], or
+      [breaker_threshold < 1]. *)
+
+  val default : t
+end
+
+(** Per-source circuit breaker state, keyed by source id.  The mediator
+    holds one per federation so breaker state persists across queries;
+    it only gates re-polls and hedge candidates — the initial issue of
+    an exec is never blocked (the first refusal per query must be
+    observed to count failures). *)
+module Breaker : sig
+  type t
+
+  val create : unit -> t
+
+  val snapshot : t -> (string * int * float option) list
+  (** [(source id, consecutive failures, opened-at virtual time)] for
+      every source the breaker has seen, sorted by id.  [opened_at =
+      None] means closed. *)
+end
+
 (** Everything the runtime needs besides the bindings, as one record —
     the single configuration surface [Mediator] builds internally. *)
 module Config : sig
@@ -84,6 +143,14 @@ module Config : sig
     checker : Disco_check.Check.t option;
         (** the checker the gate uses; when [None] one is derived from
             the bindings (wrappers and repositories known, no schema) *)
+    retry : Retry.t option;
+        (** deadline-aware retry scheduler; [None] (the default) is the
+            historical one-shot behavior — blocked execs finalize at
+            issue time — reproduced bit-for-bit *)
+    breaker : Breaker.t option;
+        (** circuit-breaker state to use (and mutate); when [None] a
+            fresh table is created per env, so breaker state is
+            per-query.  Pass a shared one to persist across queries. *)
   }
 
   val make :
@@ -94,12 +161,15 @@ module Config : sig
     ?batch:bool ->
     ?check:Disco_check.Check.mode ->
     ?checker:Disco_check.Check.t ->
+    ?retry:Retry.t ->
+    ?breaker:Breaker.t ->
     clock:Disco_source.Clock.t ->
     cost:Disco_cost.Cost_model.t ->
     unit ->
     t
   (** [metrics] defaults to {!Disco_obs.Metrics.default}; [batch]
-      defaults to [true]; [check] defaults to [Warn]. *)
+      defaults to [true]; [check] defaults to [Warn]; [retry] defaults
+      to [None] (no re-polling, no hedging, no breaker). *)
 end
 
 val env : Config.t -> binding list -> env

@@ -3,16 +3,36 @@ type t =
   | Always_down
   | Down_during of (float * float) list
   | Flaky of { seed : int; period : float; availability : float }
+  | Flapping of { period : float; up_ms : float }
+  | Slow_during of { intervals : (float * float) list; factor : float }
 
 let always_up = Always_up
 let always_down = Always_down
 
-let down_during intervals =
+(* Shared validation for interval lists: no reversed intervals, and once
+   sorted no two intervals may overlap (touching is fine — [stop] is
+   exclusive, so [(0,10); (10,20)] is one contiguous outage, and an
+   empty [(a,a)] is a harmless no-op). *)
+let validate_intervals ~what intervals =
   List.iter
     (fun (a, b) ->
-      if b < a then invalid_arg "Schedule.down_during: empty interval")
+      if b < a then
+        invalid_arg (Fmt.str "Schedule.%s: reversed interval %g..%g" what a b))
     intervals;
-  Down_during (List.sort Stdlib.compare intervals)
+  let sorted = List.sort Stdlib.compare intervals in
+  let rec check = function
+    | (_, b1) :: (((a2, _) :: _) as rest) ->
+        if a2 < b1 then
+          invalid_arg
+            (Fmt.str "Schedule.%s: overlapping intervals at %g" what a2);
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let down_during intervals =
+  Down_during (validate_intervals ~what:"down_during" intervals)
 
 let flaky ~seed ~period ~availability =
   if period <= 0.0 then invalid_arg "Schedule.flaky: period must be positive";
@@ -20,25 +40,56 @@ let flaky ~seed ~period ~availability =
     invalid_arg "Schedule.flaky: availability must be in [0,1]";
   Flaky { seed; period; availability }
 
+let flapping ~period ~up_ms =
+  if period <= 0.0 then
+    invalid_arg "Schedule.flapping: period must be positive";
+  if up_ms < 0.0 || up_ms > period then
+    invalid_arg "Schedule.flapping: up_ms must be in [0, period]";
+  Flapping { period; up_ms }
+
+let slow_during intervals ~factor =
+  if factor < 1.0 then
+    invalid_arg "Schedule.slow_during: factor must be at least 1";
+  Slow_during
+    { intervals = validate_intervals ~what:"slow_during" intervals; factor }
+
 (* A deterministic hash of (seed, bucket) mapped to [0,1). *)
 let bucket_unit seed bucket =
   let h = Hashtbl.hash (seed, bucket, 0x5151) in
   float_of_int (h land 0xFFFFFF) /. float_of_int 0x1000000
 
+(* Position of [time] within its flapping cycle, in [0, period). *)
+let cycle_phase ~period time =
+  let phase = Float.rem time period in
+  if phase < 0.0 then phase +. period else phase
+
 let is_up t time =
   match t with
-  | Always_up -> true
+  | Always_up | Slow_during _ -> true
   | Always_down -> false
   | Down_during intervals ->
       not (List.exists (fun (a, b) -> time >= a && time < b) intervals)
   | Flaky { seed; period; availability } ->
       let bucket = int_of_float (Float.floor (time /. period)) in
       bucket_unit seed bucket < availability
+  | Flapping { period; up_ms } -> cycle_phase ~period time < up_ms
+
+(* The latency multiplier at [time]: 1 everywhere except inside a
+   [slow_during] interval. Every pre-existing schedule answers exactly
+   1.0, so multiplying by it is a bit-for-bit no-op on those paths. *)
+let latency_factor t time =
+  match t with
+  | Slow_during { intervals; factor }
+    when List.exists (fun (a, b) -> time >= a && time < b) intervals ->
+      factor
+  | Always_up | Always_down | Down_during _ | Flaky _ | Flapping _
+  | Slow_during _ ->
+      1.0
 
 let next_transition t time =
   match t with
   | Always_up | Always_down -> None
-  | Down_during intervals ->
+  | Down_during intervals | Slow_during { intervals; _ } ->
       List.filter_map
         (fun (a, b) ->
           if a > time then Some a else if b > time then Some b else None)
@@ -48,6 +99,11 @@ let next_transition t time =
   | Flaky { period; _ } ->
       let bucket = Float.floor (time /. period) in
       Some ((bucket +. 1.0) *. period)
+  | Flapping { period; up_ms } ->
+      let cycle = Float.floor (time /. period) *. period in
+      let phase = cycle_phase ~period time in
+      if up_ms > 0.0 && phase < up_ms then Some (cycle +. up_ms)
+      else Some (cycle +. period)
 
 let pp ppf = function
   | Always_up -> Fmt.string ppf "always-up"
@@ -59,3 +115,9 @@ let pp ppf = function
   | Flaky { seed; period; availability } ->
       Fmt.pf ppf "flaky(seed=%d, period=%g, availability=%g)" seed period
         availability
+  | Flapping { period; up_ms } ->
+      Fmt.pf ppf "flapping(period=%g, up=%g)" period up_ms
+  | Slow_during { intervals; factor } ->
+      Fmt.pf ppf "slow-during[%a]x%g"
+        (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (a, b) -> Fmt.pf ppf "%g..%g" a b))
+        intervals factor

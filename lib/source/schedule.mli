@@ -12,14 +12,35 @@ val always_down : t
 
 val down_during : (float * float) list -> t
 (** [down_during intervals] is up except during the half-open virtual-time
-    intervals [[start, stop)]. *)
+    intervals [[start, stop)]: the source is down at exactly [start] and
+    up again at exactly [stop]. Raises [Invalid_argument] on a reversed
+    interval ([stop < start]) or when two intervals overlap; touching
+    intervals ([stop = next start]) merge into one contiguous outage. *)
 
 val flaky : seed:int -> period:float -> availability:float -> t
 (** A source that is up during each period of length [period] with
     probability [availability], decided by hashing [(seed, period index)]
     — deterministic in virtual time, independent across seeds. *)
 
+val flapping : period:float -> up_ms:float -> t
+(** A deterministic square wave: within every cycle of length [period]
+    the source is up during the first [up_ms] (half-open, like
+    {!down_during}) and down for the rest. The retry scheduler's
+    canonical fault-injection shape. Raises [Invalid_argument] unless
+    [0 <= up_ms <= period] and [period > 0]. *)
+
+val slow_during : (float * float) list -> factor:float -> t
+(** Always up, but calls issued inside one of the half-open intervals
+    run at [factor] times their nominal latency ({!latency_factor}) —
+    the degraded-but-alive shape that makes replica hedging pay off.
+    Raises [Invalid_argument] on reversed or overlapping intervals or a
+    [factor < 1]. *)
+
 val is_up : t -> float -> bool
+
+val latency_factor : t -> float -> float
+(** The latency multiplier for a call issued at the given virtual time:
+    [factor] inside a {!slow_during} interval, [1.0] everywhere else. *)
 
 val next_transition : t -> float -> float option
 (** The earliest time strictly after [t] at which the up/down state may

@@ -26,12 +26,19 @@ type kind =
 type stats = {
   calls_answered : int;
   calls_refused : int;
+  calls_timed_out : int;
   rows_shipped : int;
   busy_ms : float;
 }
 
 let zero_stats =
-  { calls_answered = 0; calls_refused = 0; rows_shipped = 0; busy_ms = 0.0 }
+  {
+    calls_answered = 0;
+    calls_refused = 0;
+    calls_timed_out = 0;
+    rows_shipped = 0;
+    busy_ms = 0.0;
+  }
 
 type t = {
   id : string;
@@ -119,8 +126,8 @@ let jitter_fraction t =
   let h = Hashtbl.hash (t.id, t.call_counter, 0xD15C0) in
   t.latency.jitter *. (float_of_int (h land 0xFFFF) /. 65536.0)
 
-let call t ~clock ?deadline f =
-  let issue_time = Clock.now clock in
+let call_at t ~now ?deadline f =
+  let issue_time = now in
   t.call_counter <- t.call_counter + 1;
   if not (is_up t issue_time) then (
     t.stats <- { t.stats with calls_refused = t.stats.calls_refused + 1 };
@@ -130,21 +137,34 @@ let call t ~clock ?deadline f =
     let nominal =
       t.latency.base_ms +. (t.latency.per_row_ms *. float_of_int rows)
     in
-    let elapsed = nominal *. (1.0 +. jitter_fraction t) in
+    let elapsed =
+      nominal *. (1.0 +. jitter_fraction t)
+      *. Schedule.latency_factor t.schedule issue_time
+    in
     let completion = issue_time +. elapsed in
     match deadline with
     | Some d when completion > d ->
-        t.stats <- { t.stats with calls_refused = t.stats.calls_refused + 1 };
+        (* the source did the work even though the answer arrives too
+           late — its time is spent and the outcome is a timeout, not a
+           refusal *)
+        t.stats <-
+          {
+            t.stats with
+            calls_timed_out = t.stats.calls_timed_out + 1;
+            busy_ms = t.stats.busy_ms +. elapsed;
+          };
         Timed_out completion
     | _ ->
         t.stats <-
           {
+            t.stats with
             calls_answered = t.stats.calls_answered + 1;
-            calls_refused = t.stats.calls_refused;
             rows_shipped = t.stats.rows_shipped + rows;
             busy_ms = t.stats.busy_ms +. elapsed;
           };
         Answered (payload, completion)
+
+let call t ~clock ?deadline f = call_at t ~now:(Clock.now clock) ?deadline f
 
 let stats t = t.stats
 let reset_stats t = t.stats <- zero_stats

@@ -96,10 +96,20 @@ val call : t -> clock:Clock.t -> ?deadline:float -> (unit -> 'a * int) -> 'a out
     caller coordinates parallel calls and advances time itself. Statistics
     are recorded on the source. *)
 
+val call_at : t -> now:float -> ?deadline:float -> (unit -> 'a * int) -> 'a outcome
+(** Like {!call} but issued at an explicit virtual time rather than the
+    clock's current reading. This is the issue-time/completion split the
+    retry scheduler needs: re-polls and hedges are issued at {e future}
+    virtual instants within one round, without advancing the shared
+    clock. [call t ~clock] is [call_at t ~now:(Clock.now clock)]. *)
+
 (** Cumulative per-source counters, for the experiment harness. *)
 type stats = {
   calls_answered : int;
-  calls_refused : int;  (** down or timed out *)
+  calls_refused : int;  (** down at issue time: the source did no work *)
+  calls_timed_out : int;
+      (** the answer would land past the deadline; the source {e did}
+          the work (its time shows in [busy_ms]) but nothing shipped *)
   rows_shipped : int;
   busy_ms : float;  (** total virtual time spent serving *)
 }

@@ -241,10 +241,10 @@ module Mediator = Disco_core.Mediator
 module Runtime = Disco_runtime.Runtime
 module Answer_cache = Disco_cache.Answer_cache
 
-let federation ?cache ?(batch = true) () =
+let federation ?cache ?(batch = true) ?retry () =
   let m =
     Mediator.create
-      ~config:{ Mediator.Config.default with cache; batch }
+      ~config:{ Mediator.Config.default with cache; batch; retry }
       ~name:"prop" ()
   in
   Mediator.load_odl m
@@ -405,6 +405,31 @@ let test_unbatched_pinned_stats () =
   Alcotest.(check (float 1e-9)) "virtual elapsed (incl. jitter draws)"
     5.4815723876953131 s.Runtime.elapsed_ms
 
+(* The retry scheduler must be invisible unless it fires: with no policy
+   configured the seed one-shot path runs bit-for-bit (the pinned stats
+   above still hold), and a policy attached to an all-healthy federation
+   must not change a single stat either — no spurious re-polls, hedges,
+   or extra round-trips. *)
+let test_retry_idle_stats_identical () =
+  let q = "select x.name from x in person where x.salary > 10" in
+  let s_off = (Mediator.query (federation ()) q).Mediator.stats in
+  let retry =
+    Runtime.Retry.make ~hedge_ms:100.0 ~breaker_threshold:3 ()
+  in
+  let s_on = (Mediator.query (federation ~retry ()) q).Mediator.stats in
+  Alcotest.(check int) "execs issued" s_off.Runtime.execs_issued
+    s_on.Runtime.execs_issued;
+  Alcotest.(check int) "execs answered" s_off.Runtime.execs_answered
+    s_on.Runtime.execs_answered;
+  Alcotest.(check int) "execs blocked" s_off.Runtime.execs_blocked
+    s_on.Runtime.execs_blocked;
+  Alcotest.(check int) "round trips" s_off.Runtime.round_trips
+    s_on.Runtime.round_trips;
+  Alcotest.(check int) "tuples shipped" s_off.Runtime.tuples_shipped
+    s_on.Runtime.tuples_shipped;
+  Alcotest.(check (float 1e-9)) "virtual elapsed" s_off.Runtime.elapsed_ms
+    s_on.Runtime.elapsed_ms
+
 let () =
   Alcotest.run "disco_properties"
     [
@@ -424,6 +449,8 @@ let () =
         [
           Alcotest.test_case "batch:false pinned stats" `Quick
             test_unbatched_pinned_stats;
+          Alcotest.test_case "idle retry changes nothing" `Quick
+            test_retry_idle_stats_identical;
         ] );
       ( "smoothing",
         [ Alcotest.test_case "tracks level shifts" `Quick test_smoothing_tracks_shift ] );

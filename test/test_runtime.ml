@@ -278,7 +278,7 @@ let test_optimizer_dedups_candidates () =
 let addr = Source.address ~host:"h" ~db_name:"db" ~ip:"0.0.0.0" ()
 
 let make_env ?(latency = { Source.base_ms = 10.0; per_row_ms = 0.0; jitter = 0.0 })
-    ?(schedules = []) () =
+    ?(schedules = []) ?(replicas = []) ?retry ?breaker ?metrics () =
   let clock = Clock.create () in
   let cost = Cost_model.create () in
   let mk i =
@@ -294,14 +294,18 @@ let make_env ?(latency = { Source.base_ms = 10.0; per_row_ms = 0.0; jitter = 0.0
       Runtime.b_extent = Fmt.str "person%d" i;
       b_repo = Fmt.str "r%d" i;
       b_source = source;
-      b_replicas = [];
+      b_replicas = Option.value (List.assoc_opt i replicas) ~default:[];
       b_wrapper = Wrapper.sql_wrapper ();
       b_map = Typemap.identity;
       b_check = None;
     }
   in
   let bindings = List.map mk [ 0; 1 ] in
-  (Runtime.env (Runtime.Config.make ~clock ~cost ()) bindings, clock, cost)
+  ( Runtime.env
+      (Runtime.Config.make ?retry ?breaker ?metrics ~clock ~cost ())
+      bindings,
+    clock,
+    cost )
 
 let paper_plan =
   (* union(project(name, submit(r0, select(get person0))),
@@ -459,6 +463,189 @@ let test_runtime_type_check () =
     Alcotest.fail "expected type mismatch"
   with Runtime.Runtime_error m ->
     Alcotest.(check bool) "mentions type" true (contains m "type mismatch")
+
+(* -- retry scheduler, hedging, breaker (DESIGN.md Section 4g) -- *)
+
+let nominal_latency = { Source.base_ms = 10.0; per_row_ms = 0.0; jitter = 0.0 }
+
+let person_source ?schedule ~id ~seed () =
+  let db = Datagen.person_db ~seed ~name:"person0" ~n:20 in
+  Source.create ~id ~address:addr ~latency:nominal_latency ?schedule
+    (Source.Relational db)
+
+let counter metrics name = Disco_obs.Metrics.find_counter metrics name
+
+let test_retry_recovers () =
+  (* r0 is down until t=300 under a 1000 ms deadline: without retries the
+     answer is partial; with the default policy the re-poll at t=350 finds
+     the source back up and the answer completes *)
+  let schedules = [ (0, Schedule.down_during [ (0.0, 300.0) ]) ] in
+  let env_off, _, _ = make_env ~schedules () in
+  (match Runtime.execute env_off paper_plan with
+  | Runtime.Partial _, _ -> ()
+  | Runtime.Complete _, _ -> Alcotest.fail "one-shot issue should block");
+  let metrics = Disco_obs.Metrics.create () in
+  let env, _, _ = make_env ~schedules ~retry:(Runtime.Retry.make ()) ~metrics () in
+  let answer, stats = Runtime.execute env paper_plan in
+  (match answer with
+  | Runtime.Complete v -> Alcotest.(check bool) "non-empty" true (V.cardinal v > 0)
+  | Runtime.Partial _ -> Alcotest.fail "retry should recover the answer");
+  Alcotest.(check int) "nothing blocked" 0 stats.Runtime.execs_blocked;
+  Alcotest.(check int) "both answered" 2 stats.Runtime.execs_answered;
+  (* re-polls at 50, 150, 350; recovery at 300 means the third lands *)
+  Alcotest.(check (float 0.001)) "answered at re-poll + latency" 360.0
+    stats.Runtime.elapsed_ms;
+  Alcotest.(check int) "three re-polls" 3 (counter metrics "runtime.retry.attempts");
+  Alcotest.(check int) "one recovery" 1 (counter metrics "runtime.retry.recovered");
+  (* each re-poll is a wire round-trip on top of the two initial issues *)
+  Alcotest.(check int) "round trips include re-polls" 5 stats.Runtime.round_trips
+
+let test_retry_exhausts () =
+  (* a source that never comes back: the scheduler spends its attempts and
+     the exec finalizes as blocked at the deadline, exactly like one-shot *)
+  let metrics = Disco_obs.Metrics.create () in
+  let env, _, _ =
+    make_env
+      ~schedules:[ (0, Schedule.always_down) ]
+      ~retry:(Runtime.Retry.make ~max_attempts:2 ())
+      ~metrics ()
+  in
+  let answer, stats = Runtime.execute env paper_plan in
+  (match answer with
+  | Runtime.Partial { unavailable; _ } ->
+      Alcotest.(check (list string)) "r0 residual" [ "r0" ] unavailable
+  | Runtime.Complete _ -> Alcotest.fail "expected partial");
+  Alcotest.(check int) "one blocked" 1 stats.Runtime.execs_blocked;
+  Alcotest.(check (float 0.001)) "deadline consumed" 1000.0 stats.Runtime.elapsed_ms;
+  Alcotest.(check int) "both re-polls spent" 2
+    (counter metrics "runtime.retry.attempts");
+  Alcotest.(check int) "nothing recovered" 0
+    (counter metrics "runtime.retry.recovered")
+
+let test_retry_hedge () =
+  (* the primary is alive but degraded 20x (200 ms); with a 30 ms hedge
+     delay the replica is dialed at t=30 and answers at t=40, far ahead of
+     the primary's completion *)
+  let slow = Schedule.slow_during [ (0.0, 1e9) ] ~factor:20.0 in
+  let replica = person_source ~id:"src0b" ~seed:0 () in
+  let metrics = Disco_obs.Metrics.create () in
+  let env, _, _ =
+    make_env
+      ~schedules:[ (0, slow) ]
+      ~replicas:[ (0, [ ("r0b", replica) ]) ]
+      ~retry:(Runtime.Retry.make ~hedge_ms:30.0 ())
+      ~metrics ()
+  in
+  let answer, stats = Runtime.execute env paper_plan in
+  (match answer with
+  | Runtime.Complete v -> Alcotest.(check bool) "non-empty" true (V.cardinal v > 0)
+  | Runtime.Partial _ -> Alcotest.fail "expected complete");
+  Alcotest.(check (float 0.001)) "replica's finish wins" 40.0
+    stats.Runtime.elapsed_ms;
+  Alcotest.(check int) "one hedge issued" 1 (counter metrics "runtime.hedge.issued");
+  Alcotest.(check int) "the hedge won" 1 (counter metrics "runtime.hedge.won");
+  (* the hedged answer must equal what the slow primary would have sent *)
+  let env_slow, _, _ = make_env ~schedules:[ (0, slow) ] () in
+  match (answer, Runtime.execute env_slow paper_plan) with
+  | Runtime.Complete hedged, (Runtime.Complete direct, _) ->
+      Alcotest.check check_value "same rows either way" direct hedged
+  | _ -> Alcotest.fail "expected complete answers"
+
+let test_retry_breaker () =
+  (* two consecutive refusals trip src0's breaker; with a cooldown longer
+     than the deadline every later re-poll is skipped, not issued *)
+  let breaker = Runtime.Breaker.create () in
+  let metrics = Disco_obs.Metrics.create () in
+  let retry =
+    Runtime.Retry.make ~max_attempts:6 ~breaker_threshold:2
+      ~breaker_cooldown_ms:5000.0 ()
+  in
+  let env, _, _ =
+    make_env ~schedules:[ (0, Schedule.always_down) ] ~retry ~breaker ~metrics ()
+  in
+  let answer, _ = Runtime.execute env paper_plan in
+  (match answer with
+  | Runtime.Partial { unavailable; _ } ->
+      Alcotest.(check (list string)) "still residual" [ "r0" ] unavailable
+  | Runtime.Complete _ -> Alcotest.fail "expected partial");
+  (* the initial issue failed (fails=1), the re-poll at t=50 failed and
+     opened the breaker (fails=2); no further call reaches the source *)
+  Alcotest.(check int) "only the pre-open re-poll issued" 1
+    (counter metrics "runtime.retry.attempts");
+  Alcotest.(check int) "breaker opened once" 1
+    (counter metrics "runtime.breaker.open");
+  match Runtime.Breaker.snapshot breaker with
+  | [ ("src0", fails, Some since) ] ->
+      Alcotest.(check int) "consecutive failures" 2 fails;
+      Alcotest.(check (float 0.001)) "opened at the failing re-poll" 50.0 since
+  | s ->
+      Alcotest.fail
+        (Fmt.str "unexpected breaker snapshot (%d entries)" (List.length s))
+
+let test_failover_records_replica_version () =
+  (* regression: when the replica answers for a down primary, the partial
+     answer's version vector must carry the replica's repo and version —
+     recording the primary's would make the staleness check watch the
+     wrong database *)
+  let clock = Clock.create () in
+  let cost = Cost_model.create () in
+  let primary = person_source ~id:"p0" ~seed:0 ~schedule:Schedule.always_down () in
+  let replica = person_source ~id:"p0x" ~seed:7 () in
+  let replica_db =
+    match Source.kind replica with
+    | Source.Relational db -> db
+    | _ -> assert false
+  in
+  (* make the two versions numerically distinct so a swapped recording
+     cannot pass by coincidence *)
+  (match Disco_relation.Database.find_table replica_db "person0" with
+  | Some t ->
+      Disco_relation.Table.insert t [| V.Int 990; V.String "zz"; V.Int 40 |]
+  | None -> Alcotest.fail "replica table missing");
+  Alcotest.(check bool) "versions differ" true
+    (Source.data_version primary <> Source.data_version replica);
+  let bindings =
+    [
+      {
+        Runtime.b_extent = "person0";
+        b_repo = "r0";
+        b_source = primary;
+        b_replicas = [ ("r0x", replica) ];
+        b_wrapper = Wrapper.sql_wrapper ();
+        b_map = Typemap.identity;
+        b_check = None;
+      };
+      {
+        Runtime.b_extent = "person1";
+        b_repo = "r1";
+        b_source = person_source ~id:"p1" ~seed:1 ~schedule:Schedule.always_down ();
+        b_replicas = [];
+        b_wrapper = Wrapper.sql_wrapper ();
+        b_map = Typemap.identity;
+        b_check = None;
+      };
+    ]
+  in
+  let env = Runtime.env (Runtime.Config.make ~clock ~cost ()) bindings in
+  let answer, stats = Runtime.execute ~timeout_ms:100.0 env paper_plan in
+  Alcotest.(check int) "replica answered" 1 stats.Runtime.execs_answered;
+  (match answer with
+  | Runtime.Partial { unavailable; versions; _ } ->
+      Alcotest.(check (list string)) "r1 residual" [ "r1" ] unavailable;
+      Alcotest.(check (list (pair string int)))
+        "the answering replica's repo and version recorded"
+        [ ("r0x", Source.data_version replica) ]
+        versions
+  | Runtime.Complete _ -> Alcotest.fail "expected partial");
+  (* the staleness check now watches the replica, not the primary *)
+  Alcotest.(check (list string)) "fresh answer: no hint" []
+    (Runtime.resubmit_hint env answer);
+  (match Disco_relation.Database.find_table replica_db "person0" with
+  | Some t ->
+      Disco_relation.Table.insert t [| V.Int 991; V.String "zy"; V.Int 41 |]
+  | None -> Alcotest.fail "replica table missing");
+  Alcotest.(check (list string)) "replica change flags the answer" [ "r0x" ]
+    (Runtime.resubmit_hint env answer)
 
 (* -- batched transport (DESIGN.md Section 4e) -- *)
 
@@ -640,6 +827,15 @@ let () =
           Alcotest.test_case "wrapper refusal" `Quick test_runtime_wrapper_refusal;
           Alcotest.test_case "run-time type check" `Quick test_runtime_type_check;
           Alcotest.test_case "type maps end to end" `Quick test_runtime_map_namespace;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "re-poll recovers" `Quick test_retry_recovers;
+          Alcotest.test_case "attempts exhaust" `Quick test_retry_exhausts;
+          Alcotest.test_case "replica hedging" `Quick test_retry_hedge;
+          Alcotest.test_case "circuit breaker" `Quick test_retry_breaker;
+          Alcotest.test_case "failover records replica version" `Quick
+            test_failover_records_replica_version;
         ] );
       ( "batching",
         [

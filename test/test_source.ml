@@ -44,6 +44,60 @@ let test_schedule_intervals () =
   Alcotest.(check (option (float 0.0))) "inside transition" (Some 20.0)
     (Schedule.next_transition s 12.0)
 
+let test_schedule_validation () =
+  Alcotest.check_raises "reversed interval"
+    (Invalid_argument "Schedule.down_during: reversed interval 20..10")
+    (fun () -> ignore (Schedule.down_during [ (20.0, 10.0) ]));
+  Alcotest.check_raises "overlapping intervals"
+    (Invalid_argument "Schedule.down_during: overlapping intervals at 5")
+    (fun () -> ignore (Schedule.down_during [ (0.0, 10.0); (5.0, 15.0) ]));
+  (* touching intervals merge into one contiguous outage *)
+  let s = Schedule.down_during [ (0.0, 10.0); (10.0, 20.0) ] in
+  Alcotest.(check bool) "contiguous at the seam" false (Schedule.is_up s 10.0);
+  Alcotest.(check bool) "up at the merged stop" true (Schedule.is_up s 20.0);
+  (* an empty (a, a) interval is a no-op, not an error *)
+  Alcotest.(check bool) "empty interval is harmless" true
+    (Schedule.is_up (Schedule.down_during [ (5.0, 5.0) ]) 5.0)
+
+let test_schedule_half_open_edges () =
+  (* [start, stop): down at exactly start, up again at exactly stop *)
+  let s = Schedule.down_during [ (10.0, 20.0) ] in
+  Alcotest.(check bool) "just before start" true (Schedule.is_up s 9.999);
+  Alcotest.(check bool) "at start" false (Schedule.is_up s 10.0);
+  Alcotest.(check bool) "just before stop" false (Schedule.is_up s 19.999);
+  Alcotest.(check bool) "at stop" true (Schedule.is_up s 20.0)
+
+let test_schedule_flapping () =
+  let s = Schedule.flapping ~period:100.0 ~up_ms:40.0 in
+  Alcotest.(check bool) "up at cycle start" true (Schedule.is_up s 0.0);
+  Alcotest.(check bool) "up just inside" true (Schedule.is_up s 39.999);
+  Alcotest.(check bool) "down at up_ms (half-open)" false (Schedule.is_up s 40.0);
+  Alcotest.(check bool) "down at period end" false (Schedule.is_up s 99.999);
+  Alcotest.(check bool) "next cycle up" true (Schedule.is_up s 100.0);
+  Alcotest.(check bool) "next cycle flips down" false (Schedule.is_up s 140.0);
+  Alcotest.(check (option (float 0.0))) "transition while up" (Some 40.0)
+    (Schedule.next_transition s 5.0);
+  Alcotest.(check (option (float 0.0))) "transition while down" (Some 100.0)
+    (Schedule.next_transition s 50.0);
+  Alcotest.check_raises "up_ms above period"
+    (Invalid_argument "Schedule.flapping: up_ms must be in [0, period]")
+    (fun () -> ignore (Schedule.flapping ~period:10.0 ~up_ms:11.0))
+
+let test_schedule_slow_during () =
+  let s = Schedule.slow_during [ (100.0, 200.0) ] ~factor:3.0 in
+  Alcotest.(check bool) "always up" true (Schedule.is_up s 150.0);
+  Alcotest.(check (float 0.0)) "nominal outside" 1.0 (Schedule.latency_factor s 50.0);
+  Alcotest.(check (float 0.0)) "degraded at start edge" 3.0
+    (Schedule.latency_factor s 100.0);
+  Alcotest.(check (float 0.0)) "nominal at stop edge" 1.0
+    (Schedule.latency_factor s 200.0);
+  Alcotest.check_raises "factor below 1"
+    (Invalid_argument "Schedule.slow_during: factor must be at least 1")
+    (fun () -> ignore (Schedule.slow_during [ (0.0, 1.0) ] ~factor:0.5));
+  Alcotest.check_raises "reversed interval"
+    (Invalid_argument "Schedule.slow_during: reversed interval 9..3")
+    (fun () -> ignore (Schedule.slow_during [ (9.0, 3.0) ] ~factor:2.0))
+
 let test_schedule_flaky_deterministic () =
   let s1 = Schedule.flaky ~seed:7 ~period:10.0 ~availability:0.5 in
   let s2 = Schedule.flaky ~seed:7 ~period:10.0 ~availability:0.5 in
@@ -125,6 +179,70 @@ let test_call_deadline_boundary () =
   | Source.Answered ((), t) -> Alcotest.fail (Fmt.str "finish %g" t)
   | _ -> Alcotest.fail "boundary should answer"
 
+let test_call_timed_out_stats () =
+  (* a timed-out call is work the source actually did: its elapsed time
+     accrues in busy_ms and it counts as calls_timed_out — it must not be
+     lumped in with refusals, which cost the source nothing *)
+  let src =
+    relational_source
+      ~latency:{ Source.base_ms = 50.0; per_row_ms = 0.0; jitter = 0.0 }
+      ~seed:1 ~n:10 ()
+  in
+  let clock = Clock.create () in
+  (match Source.call src ~clock ~deadline:20.0 (fun () -> ((), 0)) with
+  | Source.Timed_out 50.0 -> ()
+  | _ -> Alcotest.fail "expected Timed_out at 50");
+  let stats = Source.stats src in
+  Alcotest.(check int) "timed out counted" 1 stats.Source.calls_timed_out;
+  Alcotest.(check int) "not a refusal" 0 stats.Source.calls_refused;
+  Alcotest.(check int) "not answered" 0 stats.Source.calls_answered;
+  Alcotest.(check (float 0.001)) "busy time accrued" 50.0 stats.Source.busy_ms;
+  (* a genuine refusal still accrues nothing *)
+  Source.set_schedule src Schedule.always_down;
+  (match Source.call src ~clock (fun () -> ((), 0)) with
+  | Source.Unavailable -> ()
+  | _ -> Alcotest.fail "expected Unavailable");
+  let stats = Source.stats src in
+  Alcotest.(check int) "refusal counted" 1 stats.Source.calls_refused;
+  Alcotest.(check (float 0.001)) "refusal costs nothing" 50.0 stats.Source.busy_ms
+
+let test_call_slow_schedule () =
+  (* inside a slow_during window calls pay factor x their nominal
+     latency; outside they are nominal again *)
+  let src =
+    relational_source
+      ~latency:{ Source.base_ms = 10.0; per_row_ms = 0.0; jitter = 0.0 }
+      ~schedule:(Schedule.slow_during [ (0.0, 100.0) ] ~factor:4.0)
+      ~seed:1 ~n:10 ()
+  in
+  let clock = Clock.create () in
+  (match Source.call src ~clock (fun () -> ((), 0)) with
+  | Source.Answered ((), finish) ->
+      Alcotest.(check (float 0.001)) "degraded latency" 40.0 finish
+  | _ -> Alcotest.fail "slow source still answers");
+  Clock.advance clock 200.0;
+  match Source.call src ~clock (fun () -> ((), 0)) with
+  | Source.Answered ((), finish) ->
+      Alcotest.(check (float 0.001)) "nominal after the window" 210.0 finish
+  | _ -> Alcotest.fail "expected an answer"
+
+let test_call_at_future_instant () =
+  (* call_at issues at an explicit virtual time without touching the
+     clock — the primitive the retry scheduler re-polls with *)
+  let src =
+    relational_source
+      ~latency:{ Source.base_ms = 10.0; per_row_ms = 0.0; jitter = 0.0 }
+      ~schedule:(Schedule.down_during [ (0.0, 300.0) ])
+      ~seed:1 ~n:10 ()
+  in
+  (match Source.call_at src ~now:100.0 (fun () -> ((), 0)) with
+  | Source.Unavailable -> ()
+  | _ -> Alcotest.fail "down at t=100");
+  match Source.call_at src ~now:300.0 (fun () -> ((), 0)) with
+  | Source.Answered ((), finish) ->
+      Alcotest.(check (float 0.001)) "answers at issue + latency" 310.0 finish
+  | _ -> Alcotest.fail "up again at t=300"
+
 let test_call_schedule_recovery () =
   let src =
     relational_source ~schedule:(Schedule.down_during [ (0.0, 100.0) ]) ~seed:1
@@ -201,6 +319,10 @@ let () =
         [
           Alcotest.test_case "constants" `Quick test_schedule_constants;
           Alcotest.test_case "intervals" `Quick test_schedule_intervals;
+          Alcotest.test_case "interval validation" `Quick test_schedule_validation;
+          Alcotest.test_case "half-open edges" `Quick test_schedule_half_open_edges;
+          Alcotest.test_case "flapping" `Quick test_schedule_flapping;
+          Alcotest.test_case "slow_during" `Quick test_schedule_slow_during;
           Alcotest.test_case "flaky deterministic" `Quick
             test_schedule_flaky_deterministic;
           Alcotest.test_case "flaky rate" `Quick test_schedule_flaky_rate;
@@ -211,6 +333,10 @@ let () =
           Alcotest.test_case "unavailable" `Quick test_call_unavailable;
           Alcotest.test_case "deadline" `Quick test_call_deadline;
           Alcotest.test_case "deadline boundary" `Quick test_call_deadline_boundary;
+          Alcotest.test_case "timed-out accounting" `Quick test_call_timed_out_stats;
+          Alcotest.test_case "slow schedule latency" `Quick test_call_slow_schedule;
+          Alcotest.test_case "call_at future instant" `Quick
+            test_call_at_future_instant;
           Alcotest.test_case "recovery" `Quick test_call_schedule_recovery;
         ] );
       ( "stores",

@@ -128,6 +128,70 @@ let test_composition_parent_link_down () =
   | Mediator.Partial { unavailable = [ "rm" ]; _ } -> ()
   | _ -> Alcotest.fail "expected partial over the mediator link"
 
+(* -- replica failover end to end -- *)
+
+let test_failover_replica_cache_invalidation () =
+  (* primary down -> the replica answers a complete query; the answer is
+     cached under the replica's data version, so a later change to the
+     replica (the database that actually produced the rows) invalidates
+     the entry, while the idle primary never would *)
+  let cache = Disco_cache.Answer_cache.create () in
+  let m =
+    Mediator.create
+      ~config:{ Mediator.Config.default with cache = Some cache }
+      ~name:"failover" ()
+  in
+  let address i = Source.address ~host:(Fmt.str "h%d" i) ~db_name:"d" ~ip:"0" () in
+  let primary_db = Datagen.person_db ~seed:5 ~name:"person0" ~n:6 in
+  let replica_db = Datagen.person_db ~seed:5 ~name:"person0" ~n:6 in
+  Mediator.register_source m ~name:"r0"
+    (Source.create ~id:"p" ~address:(address 0) ~schedule:Schedule.always_down
+       (Source.Relational primary_db));
+  let replica =
+    Source.create ~id:"px" ~address:(address 1) (Source.Relational replica_db)
+  in
+  Mediator.register_source m ~name:"r1" replica;
+  Mediator.load_odl m
+    {|r0 := Repository(host="h0", name="d", address="0");
+      r1 := Repository(host="h1", name="d", address="0");
+      w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }
+      extent person0 of Person wrapper w0 repository r0 replica r1;|};
+  let q = "select x.name from x in person0 where x.salary > 10" in
+  let o1 = Mediator.query m q in
+  let v1 =
+    match o1.Mediator.answer with
+    | Mediator.Complete v -> v
+    | _ -> Alcotest.fail "replica should complete the answer"
+  in
+  Alcotest.(check bool) "rows from the replica" true (V.cardinal v1 > 0);
+  Alcotest.(check int) "first pass hits nothing" 0
+    o1.Mediator.answer_cache.Mediator.answer_hits;
+  (* second pass: served from the cache at the replica's version *)
+  let o2 = Mediator.query m q in
+  Alcotest.(check int) "second pass served from cache" 1
+    o2.Mediator.answer_cache.Mediator.answer_hits;
+  (match o2.Mediator.answer with
+  | Mediator.Complete v2 -> Alcotest.check check_value "cached = original" v1 v2
+  | _ -> Alcotest.fail "cached answer should be complete");
+  (* change the replica: the cached entry is now a version behind *)
+  (match Database.find_table replica_db "person0" with
+  | Some t ->
+      Disco_relation.Table.insert t
+        [| V.Int 990; V.String "newcomer"; V.Int 400 |]
+  | None -> Alcotest.fail "replica table missing");
+  let o3 = Mediator.query m q in
+  Alcotest.(check int) "replica change invalidates the entry" 0
+    o3.Mediator.answer_cache.Mediator.answer_hits;
+  match o3.Mediator.answer with
+  | Mediator.Complete v3 ->
+      Alcotest.(check int) "refetched answer sees the new row"
+        (V.cardinal v1 + 1) (V.cardinal v3)
+  | _ -> Alcotest.fail "refetched answer should be complete"
+
 (* -- source statistics -- *)
 
 let test_source_stats_accumulate () =
@@ -233,6 +297,8 @@ let () =
             test_composition_child_source_down;
           Alcotest.test_case "mediator link down" `Quick
             test_composition_parent_link_down;
+          Alcotest.test_case "replica failover + cache invalidation" `Quick
+            test_failover_replica_cache_invalidation;
         ] );
       ( "sources",
         [
