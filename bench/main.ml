@@ -2,7 +2,7 @@
 
    The paper (INRIA RR-2704 / ICDCS'96) is a design paper: its two figures
    are architecture diagrams and it reports no measurements. Each
-   experiment below (E1-E13, the soak harness, plus ablations A1-A3, indexed in DESIGN.md
+   experiment below (E1-E14, the soak harness, plus ablations A1-A3, indexed in DESIGN.md
    and EXPERIMENTS.md) quantifies one of the paper's load-bearing claims
    on the simulated substrate, printing a table; the bechamel suite at
    the end times the system's hot paths (one Test.make per experiment
@@ -18,6 +18,7 @@
    Skip wall-clock benches:   dune exec bench/main.exe -- --no-bechamel *)
 
 module V = Disco_value.Value
+module Shard = Disco_shard.Shard
 module Source = Disco_source.Source
 module Schedule = Disco_source.Schedule
 module Clock = Disco_source.Clock
@@ -108,7 +109,7 @@ let capture_results name =
   in
   bench_results :=
     Fmt.str
-      "{\"experiment\":%S,\"trials\":%d,\"queries\":%d,\"virtual_ms\":%s,\"execs\":%d,\"tuples_shipped\":%d,\"batch_rounds\":%d,\"batch_dedup_hits\":%d,\"retry_attempts\":%d,\"retry_recovered\":%d,\"hedge_issued\":%d,\"hedge_won\":%d,\"breaker_open\":%d}"
+      "{\"experiment\":%S,\"trials\":%d,\"queries\":%d,\"virtual_ms\":%s,\"execs\":%d,\"tuples_shipped\":%d,\"batch_rounds\":%d,\"batch_dedup_hits\":%d,\"retry_attempts\":%d,\"retry_recovered\":%d,\"hedge_issued\":%d,\"hedge_won\":%d,\"breaker_open\":%d,\"shard_pruned\":%d,\"shard_scanned\":%d,\"shard_rounds\":%d}"
       name !traces_seen
       (Metrics.find_counter bench_metrics "mediator.queries")
       virtual_ms (phase_count "exec")
@@ -120,6 +121,9 @@ let capture_results name =
       (Metrics.find_counter bench_metrics "runtime.hedge.issued")
       (Metrics.find_counter bench_metrics "runtime.hedge.won")
       (Metrics.find_counter bench_metrics "runtime.breaker.open")
+      (Metrics.find_counter bench_metrics "shard.pruned")
+      (Metrics.find_counter bench_metrics "shard.scanned")
+      (Metrics.find_counter bench_metrics "shard.rounds")
     :: !bench_results
 
 let write_results_file () =
@@ -1239,6 +1243,185 @@ let e13 () =
      the paper's one-shot semantics is the baseline.)@."
 
 (* ==================================================================== *)
+(* E14 - sharded extents: partition pruning and scatter-gather          *)
+(* (DESIGN.md Section 4h)                                               *)
+(* ==================================================================== *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* One logical person extent sharded by id across [shards] repositories.
+   The total row count is fixed, so adding shards splits the same data
+   into smaller slices; rows are placed with {!Shard.shard_of_value} so
+   the data agrees with what the optimizer prunes. *)
+let e14_federation ?(scheme = `Range)
+    ?(schedule_of = fun _ -> Schedule.always_up) ~shards ~total_rows () =
+  let m = mk_mediator ~name:(Fmt.str "e14_%d" shards) () in
+  let per = total_rows / shards in
+  let p_scheme =
+    match scheme with
+    | `Range ->
+        Shard.Range (List.init (shards - 1) (fun k -> V.Int ((k + 1) * per)))
+    | `Hash -> Shard.Hash { vnodes = Shard.default_vnodes }
+  in
+  let partition =
+    {
+      Shard.p_key = "id";
+      p_scheme;
+      p_shards =
+        List.init shards (fun k ->
+            { Shard.s_repository = Fmt.str "r%d" k; s_wrapper = None });
+    }
+  in
+  let all_rows = Datagen.person_rows ~seed:42 ~n:total_rows in
+  Mediator.load_odl m
+    {|w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }|};
+  for k = 0 to shards - 1 do
+    let slice =
+      List.filter
+        (fun row -> Shard.shard_of_value partition row.(0) = k)
+        all_rows
+    in
+    let db = Database.create ~name:"db" in
+    ignore
+      (Datagen.table_of db ~name:(Shard.child_name "person" k)
+         Datagen.person_schema slice);
+    Mediator.register_source m ~name:(Fmt.str "r%d" k)
+      (Source.create ~id:(Shard.child_name "person" k)
+         ~address:
+           (Source.address ~host:(Fmt.str "site%d" k) ~db_name:"db" ~ip:"0" ())
+         ~latency:{ Source.base_ms = 2.0; per_row_ms = 1.0; jitter = 0.0 }
+         ~schedule:(schedule_of k) (Source.Relational db));
+    Mediator.load_odl m
+      (Fmt.str {|r%d := Repository(host="site%d", name="db", address="0");|} k
+         k)
+  done;
+  Mediator.load_odl m
+    (Fmt.str "extent person of Person wrapper w0 %a;" Shard.pp partition);
+  (m, partition)
+
+let e14 () =
+  header "E14: sharded extents - scatter-gather scaling, partition pruning";
+  let total = 240 in
+  Fmt.pr
+    "one logical person extent, %d rows total, sharded by id; source\n\
+     latency 2 ms + 1 ms/row, so slice size dominates@.@."
+    total;
+  (* Part 1: shard-count sweep under a non-key predicate.  Every shard is
+     scanned, in one parallel round; the fixed total splits into smaller
+     slices, so virtual latency drops near-linearly. *)
+  Fmt.pr "part 1: full scan (predicate on salary, not the shard key)@.@.";
+  let reference = ref None in
+  let ms_of = Hashtbl.create 8 in
+  let rows =
+    List.map
+      (fun shards ->
+        let m, _ = e14_federation ~shards ~total_rows:total () in
+        let o =
+          Mediator.query ~opts:(qopts ~timeout_ms:10_000.0 ()) m paper_query
+        in
+        let answer =
+          match o.Mediator.answer with
+          | Mediator.Complete v -> v
+          | _ -> assert false
+        in
+        (* scatter-gather is transparent: every shard count returns the
+           same bag as the single-shard layout *)
+        (match !reference with
+        | None -> reference := Some answer
+        | Some v -> assert (V.equal answer v));
+        let s = o.Mediator.stats in
+        Hashtbl.replace ms_of shards s.Runtime.elapsed_ms;
+        let speedup =
+          match Hashtbl.find_opt ms_of 1 with
+          | Some ms1 -> Fmt.str "%.1fx" (ms1 /. s.Runtime.elapsed_ms)
+          | None -> "-"
+        in
+        [
+          string_of_int shards;
+          string_of_int s.Runtime.execs_issued;
+          string_of_int s.Runtime.tuples_shipped;
+          Fmt.str "%.1f" s.Runtime.elapsed_ms;
+          speedup;
+        ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  table
+    ~columns:[ "shards"; "execs"; "tuples shipped"; "virtual ms"; "speedup" ]
+    rows;
+  (* the acceptance claim: 8 shards answer the same scan >= 3x faster *)
+  assert (Hashtbl.find ms_of 1 /. Hashtbl.find ms_of 8 >= 3.0);
+  (* Part 2: a predicate that fixes the shard key contacts exactly one
+     shard under either scheme; the rest are pruned before execution. *)
+  Fmt.pr "@.part 2: shard-key equality (x.id = 57) on 8 shards@.@.";
+  let prune_rows =
+    List.map
+      (fun (scheme, label) ->
+        let m, partition = e14_federation ~scheme ~shards:8 ~total_rows:total () in
+        let key = 57 in
+        let expected = Shard.shard_of_value partition (V.Int key) in
+        let pruned0 = Metrics.find_counter bench_metrics "shard.pruned" in
+        let scanned0 = Metrics.find_counter bench_metrics "shard.scanned" in
+        let o =
+          Mediator.query m
+            (Fmt.str "select x.name from x in person where x.id = %d" key)
+        in
+        let s = o.Mediator.stats in
+        assert (s.Runtime.execs_issued = 1);
+        (match o.Mediator.answer with
+        | Mediator.Complete v -> assert (V.cardinal v = 1)
+        | _ -> assert false);
+        let pruned = Metrics.find_counter bench_metrics "shard.pruned" - pruned0 in
+        let scanned =
+          Metrics.find_counter bench_metrics "shard.scanned" - scanned0
+        in
+        assert (pruned = 7);
+        assert (scanned = 1);
+        [
+          label;
+          string_of_int expected;
+          string_of_int s.Runtime.execs_issued;
+          string_of_int pruned;
+          Fmt.str "%.1f" s.Runtime.elapsed_ms;
+        ])
+      [ (`Range, "range"); (`Hash, "hash") ]
+  in
+  table
+    ~columns:[ "scheme"; "owning shard"; "execs"; "shards pruned"; "virtual ms" ]
+    prune_rows;
+  (* Part 3: one shard down.  The gather degrades to a partial answer
+     whose residual covers exactly the missing shard. *)
+  Fmt.pr "@.part 3: shard 3 of 8 down - residual covers only that shard@.@.";
+  let m, _ =
+    e14_federation ~shards:8 ~total_rows:total
+      ~schedule_of:(fun k ->
+        if k = 3 then Schedule.always_down else Schedule.always_up)
+      ()
+  in
+  let o = Mediator.query ~opts:(qopts ~timeout_ms:400.0 ()) m paper_query in
+  (match o.Mediator.answer with
+  | Mediator.Partial { unavailable; _ } as answer ->
+      assert (unavailable = [ "r3" ]);
+      let residual = Mediator.answer_oql answer in
+      assert (contains_sub residual (Shard.child_name "person" 3));
+      for k = 0 to 7 do
+        if k <> 3 then
+          assert (not (contains_sub residual (Shard.child_name "person" k)))
+      done;
+      Fmt.pr "residual: %s@." residual
+  | _ -> assert false);
+  Fmt.pr
+    "(a sharded extent scatter-gathers in one parallel round; key-fixing\n\
+     predicates contact a single shard, and a down shard degrades to a\n\
+     residual query over just that shard.)@."
+
+(* ==================================================================== *)
 (* SOAK - deterministic fault injection for the retry scheduler         *)
 (* ==================================================================== *)
 
@@ -1521,8 +1704,8 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("a1", a1); ("a2", a2); ("a3", a3);
-    ("soak", soak);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("a1", a1); ("a2", a2);
+    ("a3", a3); ("soak", soak);
   ]
 
 let () =
@@ -1550,7 +1733,7 @@ let () =
       match List.assoc_opt name experiments with
       | Some f -> run (name, f)
       | None ->
-          Fmt.epr "unknown experiment %s (e1..e13, a1..a3, soak)@." name;
+          Fmt.epr "unknown experiment %s (e1..e14, a1..a3, soak)@." name;
           exit 1)
   | None ->
       List.iter run experiments;

@@ -15,6 +15,7 @@
      discoctl resubmit --down r0 --recover-at 500 "..." *)
 
 module V = Disco_value.Value
+module Shard = Disco_shard.Shard
 module Source = Disco_source.Source
 module Schedule = Disco_source.Schedule
 module Datagen = Disco_source.Datagen
@@ -54,8 +55,63 @@ let verbosity_arg =
 let qopts ?(timeout_ms = 1000.0) ?(semantics = Mediator.Partial_answers) () =
   { Mediator.Query_opts.default with timeout_ms; semantics }
 
-let build_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry ~sources
-    ~rows ~wrapper ~down ~odl_file () =
+(* The sharded demo federation: one logical [person] extent declared
+   [sharded by id] across N repositories. Rows are sliced with
+   {!Shard.shard_of_value} so placement agrees with what the optimizer
+   prunes; each source serves its slice under the child-extent table
+   name [person__s<k>]. *)
+let load_sharded_demo m ~shards ~shard_scheme ~rows ~wrapper =
+  let scheme =
+    match shard_scheme with
+    | `Hash -> Shard.Hash { vnodes = Shard.default_vnodes }
+    | `Range ->
+        Shard.Range (List.init (shards - 1) (fun k -> V.Int ((k + 1) * rows)))
+  in
+  let partition =
+    {
+      Shard.p_key = "id";
+      p_scheme = scheme;
+      p_shards =
+        List.init shards (fun k ->
+            { Shard.s_repository = Fmt.str "r%d" k; s_wrapper = None });
+    }
+  in
+  let all_rows = Datagen.person_rows ~seed:42 ~n:(rows * shards) in
+  Mediator.load_odl m
+    (Fmt.str
+       {|w0 := %s();
+         interface Person (extent person) {
+           attribute Short id;
+           attribute String name;
+           attribute Short salary; }|}
+       wrapper);
+  for k = 0 to shards - 1 do
+    let slice =
+      List.filter
+        (fun row -> Shard.shard_of_value partition row.(0) = k)
+        all_rows
+    in
+    let db = Database.create ~name:"db" in
+    ignore
+      (Datagen.table_of db ~name:(Shard.child_name "person" k)
+         Datagen.person_schema slice);
+    Mediator.register_source m ~name:(Fmt.str "r%d" k)
+      (Source.create ~id:(Shard.child_name "person" k)
+         ~address:
+           (Source.address ~host:(Fmt.str "site%d" k) ~db_name:"db"
+              ~ip:(Fmt.str "10.0.0.%d" k) ())
+         (Source.Relational db));
+    Mediator.load_odl m
+      (Fmt.str
+         {|r%d := Repository(host="site%d", name="db", address="10.0.0.%d");|}
+         k k k)
+  done;
+  Mediator.load_odl m
+    (Fmt.str "extent person of Person wrapper w0 %a;" Shard.pp partition)
+
+let build_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry
+    ?(shards = 0) ?(shard_scheme = `Range) ~sources ~rows ~wrapper ~down
+    ~odl_file () =
   let config =
     {
       Mediator.Config.default with
@@ -74,6 +130,8 @@ let build_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry ~sources
       let text = really_input_string ic len in
       close_in ic;
       Mediator.load_odl m text
+  | None when shards > 0 ->
+      load_sharded_demo m ~shards ~shard_scheme ~rows ~wrapper
   | None ->
       Mediator.load_odl m
         (Fmt.str
@@ -161,6 +219,26 @@ let wrapper_arg =
      WrapperSelect, WrapperProject, WrapperScan)."
   in
   Arg.(value & opt string "WrapperPostgres" & info [ "wrapper" ] ~docv:"W" ~doc)
+
+let shards_arg =
+  let doc =
+    "Shard the demo person extent across N repositories (child extents \
+     person__s0..person__s(N-1), one source each) instead of declaring N \
+     independent extents. 0 disables sharding. Rows per shard follow \
+     --rows; placement follows the declared scheme, so predicates on \
+     x.id prune."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+
+let shard_scheme_arg =
+  let doc =
+    "Partitioning scheme for --shards: range (id boundaries at multiples \
+     of --rows) or hash (consistent-hash ring, deduplicating gather)."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("range", `Range); ("hash", `Hash) ]) `Range
+    & info [ "shard-scheme" ] ~docv:"SCHEME" ~doc)
 
 let down_arg =
   let doc = "Comma-separated repository names to take offline (e.g. r0,r2)." in
@@ -292,13 +370,13 @@ let is_cached_semantics = function
   | Mediator.Skip_sources ->
       false
 
-let with_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry f sources rows
-    wrapper down odl_file verbosity =
+let with_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry ?shards
+    ?shard_scheme f sources rows wrapper down odl_file verbosity =
   setup_logs (List.length verbosity);
   match
     f
-      (build_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry ~sources
-         ~rows ~wrapper ~down ~odl_file ())
+      (build_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry ?shards
+         ?shard_scheme ~sources ~rows ~wrapper ~down ~odl_file ())
   with
   | () -> `Ok ()
   | exception Mediator.Mediator_error m -> `Error (false, m)
@@ -318,14 +396,14 @@ let query_cmd =
     Arg.(value & opt (some float) None & info [ "recover-at" ] ~docv:"MS" ~doc)
   in
   let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
-      verbosity retry recover_at q =
+      verbosity retry recover_at shards shard_scheme q =
     let semantics = sem_of max_stale in
     let cache =
       if use_cache || is_cached_semantics semantics then
         Some (Answer_cache.create ())
       else None
     in
-    with_mediator ?cache ?recover_at ?retry
+    with_mediator ?cache ?recover_at ?retry ~shards ~shard_scheme
       (fun m ->
         print_outcome m
           (Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q);
@@ -338,14 +416,16 @@ let query_cmd =
       ret
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
        $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
-       $ verbosity_arg $ retry_term $ recover_arg $ q_arg))
+       $ verbosity_arg $ retry_term $ recover_arg $ shards_arg
+       $ shard_scheme_arg $ q_arg))
 
 let explain_cmd =
   let q_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
   in
-  let run sources rows wrapper down odl_file verbosity q =
-    with_mediator (fun m -> Fmt.pr "%s@." (Mediator.explain m q))
+  let run sources rows wrapper down odl_file shards shard_scheme verbosity q =
+    with_mediator ~shards ~shard_scheme
+      (fun m -> Fmt.pr "%s@." (Mediator.explain m q))
       sources rows wrapper down odl_file verbosity
   in
   Cmd.v
@@ -354,7 +434,7 @@ let explain_cmd =
     Term.(
       ret
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ verbosity_arg $ q_arg))
+       $ shards_arg $ shard_scheme_arg $ verbosity_arg $ q_arg))
 
 let schema_cmd =
   let run sources rows wrapper down odl_file verbosity =
@@ -461,6 +541,58 @@ let catalog_cmd =
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
        $ verbosity_arg))
 
+let shards_cmd =
+  let bounds_str p k =
+    match p.Shard.p_scheme with
+    | Shard.Hash _ -> ""
+    | Shard.Range bs ->
+        let n = List.length bs in
+        let endpoint = Fmt.to_to_string V.pp in
+        let lo = if k = 0 then "-inf" else endpoint (List.nth bs (k - 1)) in
+        let hi = if k >= n then "+inf" else endpoint (List.nth bs k) in
+        Fmt.str "  key in [%s, %s)" lo hi
+  in
+  let run sources rows wrapper down odl_file shards shard_scheme verbosity =
+    with_mediator ~shards ~shard_scheme
+      (fun m ->
+        let reg = Mediator.registry m in
+        let parents =
+          List.filter
+            (fun e -> e.Registry.me_partition <> None)
+            (Registry.all_extents reg)
+        in
+        if parents = [] then
+          Fmt.pr
+            "no sharded extents (try --shards 4, or --odl with a 'sharded \
+             by' extent)@."
+        else
+          List.iter
+            (fun e ->
+              match e.Registry.me_partition with
+              | None -> ()
+              | Some p ->
+                  Fmt.pr "%s of %s: %a@." e.Registry.me_name
+                    e.Registry.me_interface Shard.pp p;
+                  List.iteri
+                    (fun k child ->
+                      Fmt.pr "  shard %d: %s at %s via %s%s@." k
+                        child.Registry.me_name child.Registry.me_repository
+                        child.Registry.me_wrapper (bounds_str p k))
+                    (Registry.shard_children reg e.Registry.me_name))
+            parents)
+      sources rows wrapper down odl_file verbosity
+  in
+  Cmd.v
+    (Cmd.info "shards"
+       ~doc:
+         "Print the shard map of every partitioned extent: shard key, \
+          scheme, and the per-shard child extents with their repositories \
+          (range shards also show their key interval).")
+    Term.(
+      ret
+        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
+       $ shards_arg $ shard_scheme_arg $ verbosity_arg))
+
 let print_cache_stats m =
   (match Mediator.answer_cache_stats m with
   | Some s -> Fmt.pr "answer cache: %a@." Answer_cache.pp_stats s
@@ -523,7 +655,7 @@ let trace_cmd =
     Arg.(value & opt (some float) None & info [ "recover-at" ] ~docv:"MS" ~doc)
   in
   let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
-      verbosity retry recover_at json q =
+      verbosity retry recover_at shards shard_scheme json q =
     let semantics = sem_of max_stale in
     let cache =
       if use_cache || is_cached_semantics semantics then
@@ -532,7 +664,8 @@ let trace_cmd =
     in
     let traces = ref [] in
     let sink trace = traces := trace :: !traces in
-    with_mediator ?cache ?recover_at ?retry ~trace_sink:sink
+    with_mediator ?cache ?recover_at ?retry ~shards ~shard_scheme
+      ~trace_sink:sink
       (fun m ->
         let o =
           Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q
@@ -557,7 +690,8 @@ let trace_cmd =
       ret
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
        $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
-       $ verbosity_arg $ retry_term $ recover_arg $ json_arg $ q_arg))
+       $ verbosity_arg $ retry_term $ recover_arg $ shards_arg
+       $ shard_scheme_arg $ json_arg $ q_arg))
 
 let metrics_cmd =
   let q_arg =
@@ -572,7 +706,7 @@ let metrics_cmd =
     Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
-      verbosity retry repeat json q =
+      verbosity retry repeat shards shard_scheme json q =
     let semantics = sem_of max_stale in
     let cache =
       if use_cache || is_cached_semantics semantics then
@@ -581,7 +715,7 @@ let metrics_cmd =
     in
     (* an isolated registry: only this invocation's counters show *)
     let metrics = Disco_obs.Metrics.create () in
-    with_mediator ?cache ?retry ~metrics
+    with_mediator ?cache ?retry ~shards ~shard_scheme ~metrics
       (fun m ->
         for _ = 1 to repeat do
           ignore
@@ -602,7 +736,8 @@ let metrics_cmd =
       ret
         (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
        $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
-       $ verbosity_arg $ retry_term $ repeat_arg $ json_arg $ q_arg))
+       $ verbosity_arg $ retry_term $ repeat_arg $ shards_arg
+       $ shard_scheme_arg $ json_arg $ q_arg))
 
 let resubmit_cmd =
   let q_arg =
@@ -861,7 +996,10 @@ let lint_cmd =
         (lint_queries reg checker ~can_push ~wrapper_of ~repo_of)
         oql_files
     in
-    let audit_diags = lint_audit reg in
+    let audit_diags =
+      lint_audit reg
+      @ List.map (fun d -> ("(registry)", d)) (Check.audit_shards checker)
+    in
     let diags = schema_diags @ query_diags @ audit_diags in
     let errors =
       List.length (List.filter (fun (_, d) -> d.Check.d_severity = Check.Error) diags)
@@ -880,8 +1018,10 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Statically verify ODL schemas and OQL query files: schema-aware \
-          typing, wrapper capability conformance, decompilability, and a \
-          wrapper over-claim audit. Exits non-zero on any DISCO-E \
+          typing, wrapper capability conformance, decompilability, a \
+          wrapper over-claim audit, and a shard-map audit (unknown shard \
+          repositories, bad shard keys, unsorted range boundaries, \
+          heterogeneous shard grammars). Exits non-zero on any DISCO-E \
           diagnostic.")
     Term.(ret (const run $ verbosity_arg $ json_arg $ paths_arg))
 
@@ -890,7 +1030,7 @@ let main =
     (Cmd.info "discoctl" ~version:"1.0.0"
        ~doc:"Drive a Disco heterogeneous-database mediator.")
     [
-      query_cmd; explain_cmd; schema_cmd; repl_cmd; catalog_cmd;
+      query_cmd; explain_cmd; schema_cmd; repl_cmd; catalog_cmd; shards_cmd;
       cache_stats_cmd; resubmit_cmd; trace_cmd; metrics_cmd; lint_cmd;
     ]
 

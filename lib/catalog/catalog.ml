@@ -1,10 +1,11 @@
-type kind = Repository | Wrapper | Mediator | Catalog
+type kind = Repository | Wrapper | Mediator | Catalog | Extent
 
 let kind_name = function
   | Repository -> "repository"
   | Wrapper -> "wrapper"
   | Mediator -> "mediator"
   | Catalog -> "catalog"
+  | Extent -> "extent"
 
 type entry = {
   e_kind : kind;
@@ -76,7 +77,7 @@ let overview t =
   List.filter_map
     (fun kind ->
       Option.map (fun n -> (kind, n)) (Hashtbl.find_opt counts kind))
-    [ Repository; Wrapper; Mediator; Catalog ]
+    [ Repository; Wrapper; Mediator; Catalog; Extent ]
 
 let pp ppf t =
   Fmt.pf ppf "catalog %s: %a" t.name

@@ -10,9 +10,12 @@
     peer with other catalogs, and lookups chase peers (bounded), so no
     single catalog needs total knowledge. *)
 
-type kind = Repository | Wrapper | Mediator | Catalog
+type kind = Repository | Wrapper | Mediator | Catalog | Extent
 
 val kind_name : kind -> string
+(** [Extent] entries describe partitioned (sharded) extents: mediators
+    publish the shard key, scheme and shard list in [e_info] so peers
+    can see how a logical collection is laid out. *)
 
 type entry = {
   e_kind : kind;

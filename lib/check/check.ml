@@ -189,10 +189,14 @@ let e007 = "DISCO-E007"
 let e008 = "DISCO-E008"
 let e009 = "DISCO-E009"
 let e010 = "DISCO-E010"
+let e014 = "DISCO-E014"
+let e015 = "DISCO-E015"
+let e016 = "DISCO-E016"
 let w001 = "DISCO-W001"
 let w002 = "DISCO-W002"
 let w003 = "DISCO-W003"
 let w004 = "DISCO-W004"
+let w005 = "DISCO-W005"
 
 (* -- typing -- *)
 
@@ -666,6 +670,10 @@ let check_plan checker plan =
         List.iteri
           (fun i sub -> walk (Printf.sprintf "union[%d]" i :: path) sub)
           ps
+    | Plan.Mk_shard_merge ps ->
+        List.iteri
+          (fun i sub -> walk (Printf.sprintf "shardmerge[%d]" i :: path) sub)
+          ps
     | Plan.Mk_distinct i -> walk ("distinct" :: path) i
   in
   walk [] plan;
@@ -780,6 +788,102 @@ let audit_wrapper ?source ~extent ~attrs w =
                  it: %s"
                 msg))
     accepted;
+  finish st
+
+(* -- shard-declaration audit -- *)
+
+let audit_shards checker =
+  let st = { checker; diags = ref [] } in
+  (match checker.registry with
+  | None -> ()
+  | Some reg ->
+      let repo_known =
+        match checker.repo_known with
+        | Some f -> f
+        | None -> fun r -> Registry.find_object reg r <> None
+      in
+      List.iter
+        (fun me ->
+          match me.Registry.me_partition with
+          | None -> ()
+          | Some p ->
+              let path = [ Printf.sprintf "extent(%s)" me.Registry.me_name ] in
+              (* E014: every shard repository must name a known source *)
+              List.iteri
+                (fun k shard ->
+                  let repo = shard.Disco_shard.Shard.s_repository in
+                  if not (repo_known repo) then
+                    error st e014
+                      (Printf.sprintf "shard[%d]" k :: path)
+                      "shard repository %s is not a known source" repo)
+                p.Disco_shard.Shard.p_shards;
+              (* E015: the shard key must be a declared scalar attribute *)
+              (let attrs =
+                 try Registry.attributes_of reg me.Registry.me_interface
+                 with Registry.Odl_error _ -> []
+               in
+               match
+                 List.assoc_opt p.Disco_shard.Shard.p_key attrs
+               with
+               | None ->
+                   error st e015 path
+                     "shard key %s is not an attribute of interface %s"
+                     p.Disco_shard.Shard.p_key me.Registry.me_interface
+               | Some
+                   (Otype.TBool | Otype.TInt | Otype.TFloat | Otype.TString) ->
+                   ()
+               | Some ty ->
+                   error st e015 path
+                     "shard key %s has non-scalar type %s; keys must be \
+                      bool, int, float or string"
+                     p.Disco_shard.Shard.p_key (Otype.to_string ty));
+              (* E016: range boundaries must be strictly increasing *)
+              (match p.Disco_shard.Shard.p_scheme with
+              | Disco_shard.Shard.Hash _ -> ()
+              | Disco_shard.Shard.Range bs ->
+                  let rec check_sorted i = function
+                    | a :: (b :: _ as rest) ->
+                        (match V.numeric_compare a b with
+                        | Some c when c < 0 -> ()
+                        | Some _ ->
+                            error st e016 path
+                              "range boundaries %a and %a are unsorted or \
+                               overlapping (shards %d and %d double-cover)"
+                              V.pp a V.pp b i (i + 1)
+                        | None ->
+                            error st e016 path
+                              "range boundaries %a and %a are not comparable"
+                              V.pp a V.pp b);
+                        check_sorted (i + 1) rest
+                    | [ _ ] | [] -> ()
+                  in
+                  check_sorted 0 bs);
+              (* W005: shards answering through wrappers with different
+                 capability grammars make pushdown asymmetric: the
+                 mediator must plan for the weakest member *)
+              match checker.wrapper_of with
+              | None -> ()
+              | Some wrapper_of -> (
+                  let children = Registry.shard_children reg me.Registry.me_name in
+                  let grammars =
+                    List.filter_map
+                      (fun child ->
+                        Option.map
+                          (fun w -> (Wrapper.name w, Wrapper.functionality w))
+                          (wrapper_of child.Registry.me_name))
+                      children
+                  in
+                  match grammars with
+                  | [] -> ()
+                  | (_, g0) :: rest ->
+                      if List.exists (fun (_, g) -> g <> g0) rest then
+                        warn st w005 path
+                          "shard wrappers advertise heterogeneous grammars \
+                           (%s); pushdown degrades to the weakest shard"
+                          (String.concat ", "
+                             (List.sort_uniq String.compare
+                                (List.map fst grammars)))))
+        (Registry.all_extents reg));
   finish st
 
 (* -- rendering -- *)

@@ -59,6 +59,14 @@
     - [DISCO-E012] parse error: an OQL query fails to parse (lint).
     - [DISCO-E013] type error: an OQL query fails expansion or static
       typing against the schema (lint).
+    - [DISCO-E014] unknown shard repository: a partitioned extent names
+      a shard repository that is not a registered source (shard audit).
+    - [DISCO-E015] bad shard key: a partitioned extent's shard key is
+      not a declared attribute of its interface, or has a non-scalar
+      type (shard audit).
+    - [DISCO-E016] bad range boundaries: a range-partitioned extent's
+      boundaries are unsorted, duplicated, or mutually incomparable, so
+      shards overlap or leave gaps (shard audit).
     - [DISCO-W001] union drift: union members have concretely
       incompatible element types.
     - [DISCO-W002] wrapper over-claim: the capability grammar derives a
@@ -68,7 +76,11 @@
       but not to an α-equivalent tree.
     - [DISCO-W004] semijoin filter not pushable: a [Semi_join]'s
       second-round membership filter is outside the wrapper grammar (the
-      runtime will fall back to shipping the unreduced answer). *)
+      runtime will fall back to shipping the unreduced answer).
+    - [DISCO-W005] heterogeneous shard grammars: the wrappers serving a
+      sharded extent's shards advertise different capability grammars,
+      so per-shard pushdown degrades to the weakest member (shard
+      audit). *)
 
 module Otype := Disco_odl.Otype
 module Registry := Disco_odl.Registry
@@ -143,6 +155,14 @@ val audit_wrapper :
     executes it instead of refusing. Violations are [DISCO-W002]
     over-claims: the grammar advertises capability the wrapper does not
     deliver, which silently degrades pushdown into mediator-side work. *)
+
+val audit_shards : t -> diag list
+(** Shard-declaration audit over the checker's registry: every
+    partitioned extent's shard repositories must be registered sources
+    ([DISCO-E014]), its shard key a declared scalar attribute
+    ([DISCO-E015]), its range boundaries strictly increasing
+    ([DISCO-E016]); shards served through wrappers with structurally
+    different grammars warn [DISCO-W005]. Empty without a registry. *)
 
 val errors : diag list -> diag list
 (** The error-severity subset, order preserved. *)

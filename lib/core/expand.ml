@@ -99,11 +99,24 @@ let map_closed_subqueries f q =
   in
   go SS.empty q
 
-let union_of_extents extents =
-  match List.map (fun e -> Ast.Ident e.Registry.me_name) extents with
+(* A partitioned extent contributes its shard children (the parent never
+   executes); any other extent contributes itself. *)
+let idents_of_extent e =
+  match e.Registry.me_partition with
+  | Some p ->
+      List.mapi
+        (fun k _ ->
+          Ast.Ident (Disco_shard.Shard.child_name e.Registry.me_name k))
+        p.Disco_shard.Shard.p_shards
+  | None -> [ Ast.Ident e.Registry.me_name ]
+
+let union_of_idents = function
   | [] -> Ast.Const (V.Bag [])
   | [ single ] -> single
   | many -> Ast.Call ("union", many)
+
+let union_of_extents extents =
+  union_of_idents (List.concat_map idents_of_extent extents)
 
 (* The interface whose declared extent (or own name) is [name]. *)
 let interface_for_extent_name registry name =
@@ -149,25 +162,31 @@ let expand registry q =
                 match interface_for_extent_name registry name with
                 | Some itf ->
                     Some (union_of_extents (Registry.extents_of registry itf))
-                | None ->
-                    if Registry.find_extent registry name <> None then None
-                    else if String.equal name "repositories" then
-                      Some
-                        (Ast.Const
-                           (Registry.objects_bag ~constructor_prefix:"Repository"
-                              registry))
-                    else if String.equal name "wrappers" then
-                      Some
-                        (Ast.Const
-                           (Registry.objects_bag ~constructor_prefix:"Wrapper"
-                              registry))
-                    else if Registry.find_interface registry name <> None then
-                      Some (Ast.Const (V.String name))
-                    else
-                      expand_error
-                        "unknown name %s: not a view, extent, type extent, or \
-                         interface"
-                        name))
+                | None -> (
+                    match Registry.find_extent registry name with
+                    | Some ({ Registry.me_partition = Some _; _ } as e) ->
+                        (* A partitioned extent is purely logical: scan
+                           it as the union of its shard children. *)
+                        Some (union_of_idents (idents_of_extent e))
+                    | Some _ -> None
+                    | None ->
+                        if String.equal name "repositories" then
+                          Some
+                            (Ast.Const
+                               (Registry.objects_bag
+                                  ~constructor_prefix:"Repository" registry))
+                        else if String.equal name "wrappers" then
+                          Some
+                            (Ast.Const
+                               (Registry.objects_bag ~constructor_prefix:"Wrapper"
+                                  registry))
+                        else if Registry.find_interface registry name <> None
+                        then Some (Ast.Const (V.String name))
+                        else
+                          expand_error
+                            "unknown name %s: not a view, extent, type extent, \
+                             or interface"
+                            name)))
     in
     rewrite_free S.empty replace q
   in

@@ -1,5 +1,6 @@
 module V = Disco_value.Value
 module Registry = Disco_odl.Registry
+module Shard = Disco_shard.Shard
 module Odl = Disco_odl.Odl_parser
 module Typemap = Disco_odl.Typemap
 module Ast = Disco_oql.Ast
@@ -324,6 +325,24 @@ let repo_of t extent =
     (fun e -> e.Registry.me_repository)
     (Registry.find_extent t.registry extent)
 
+(* Shard resolver handed to the optimizer: maps a shard-child extent
+   name back to its parent's partition and its index. *)
+let shard_of t extent =
+  match Registry.find_extent t.registry extent with
+  | Some { Registry.me_shard_of = Some (parent, k); _ } ->
+      Option.bind (Registry.find_extent t.registry parent) (fun pe ->
+          Option.map (fun p -> (p, k)) pe.Registry.me_partition)
+  | _ -> None
+
+(* Shard children the plan scans: drives the shard span and metrics of
+   the scatter-gather round. *)
+let shard_children_of_plan t plan =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (_, e) ->
+         List.filter (fun name -> shard_of t name <> None) (Expr.gets e))
+       (Plan.all_source_exprs plan))
+
 (* -- answers -- *)
 
 let zero_stats =
@@ -427,8 +446,8 @@ let compiled_outcome t ~timeout_ms ~type_check ~semantics ~tr ~oql located =
             span_meta tr "plan_cache" "miss";
             let choice =
               Optimizer.optimize ~params:t.params ~metrics:t.metrics
-                ~batch:t.batch ~check:(opt_check t) ~can_push:(can_push t)
-                ~cost:t.cost located
+                ~batch:t.batch ~check:(opt_check t) ~shard:(shard_of t)
+                ~can_push:(can_push t) ~cost:t.cost located
             in
             span_meta tr "alternatives"
               (string_of_int choice.Optimizer.alternatives);
@@ -446,9 +465,18 @@ let compiled_outcome t ~timeout_ms ~type_check ~semantics ~tr ~oql located =
   let run plan =
     (* execution-layer failures (bad maps, misbehaving wrappers) surface
        as clean mediator errors, never raw engine exceptions *)
-    match
-      in_span t tr "execute" (fun () -> Runtime.execute ~timeout_ms env plan)
-    with
+    let execute () =
+      match shard_children_of_plan t plan with
+      | [] -> Runtime.execute ~timeout_ms env plan
+      | shards ->
+          (* the scatter-gather round over a partitioned extent gets its
+             own span so traces show the fan-out width *)
+          Metrics.incr t.metrics "shard.rounds";
+          in_span t tr "shard" (fun () ->
+              span_meta tr "shards" (string_of_int (List.length shards));
+              Runtime.execute ~timeout_ms env plan)
+    in
+    match in_span t tr "execute" execute with
     | answer, stats -> (answer_of_runtime answer, stats)
     | exception Plan.Physical_error m -> mediator_error "execution failed: %s" m
     | exception Expr.Algebra_error m -> mediator_error "execution failed: %s" m
@@ -535,8 +563,8 @@ let hybrid_outcome t ~timeout_ms ~type_check ~semantics ~tr expanded =
               let located = Compile.locate ~repo_of:(repo_of t) compiled in
               let choice =
                 Optimizer.optimize ~params:t.params ~metrics:t.metrics
-                  ~batch:t.batch ~check:(opt_check t) ~can_push:(can_push t)
-                  ~cost:t.cost located
+                  ~batch:t.batch ~check:(opt_check t) ~shard:(shard_of t)
+                  ~can_push:(can_push t) ~cost:t.cost located
               in
               let extents =
                 List.sort_uniq String.compare
@@ -776,7 +804,8 @@ let explain t oql =
       let located = Compile.locate ~repo_of:(repo_of t) compiled in
       let choice =
         Optimizer.optimize ~params:t.params ~batch:t.batch
-          ~check:(opt_check t) ~can_push:(can_push t) ~cost:t.cost located
+          ~check:(opt_check t) ~shard:(shard_of t) ~can_push:(can_push t)
+          ~cost:t.cost located
       in
       Fmt.str "plan (%d alternatives, est. %.3f ms, %.1f rows shipped):@\n%s"
         choice.Optimizer.alternatives choice.Optimizer.cost.Plan.time_ms
@@ -824,7 +853,33 @@ let register_in_catalog t catalog =
               e_info = [ ("constructor", obj.Registry.obj_constructor) ];
             }
       | Some _ | None -> ())
-    (Registry.object_names t.registry)
+    (Registry.object_names t.registry);
+  (* partitioned extents publish their layout so peers can see how a
+     logical collection scales out *)
+  List.iter
+    (fun me ->
+      match me.Registry.me_partition with
+      | None -> ()
+      | Some p ->
+          Catalog.register catalog
+            {
+              Catalog.e_kind = Catalog.Extent;
+              e_name = me.Registry.me_name;
+              e_owner = t.m_name;
+              e_info =
+                [
+                  ("interface", me.Registry.me_interface);
+                  ("key", p.Shard.p_key);
+                  ("scheme", Fmt.str "%a" Shard.pp_scheme p.Shard.p_scheme);
+                  ("shards", string_of_int (List.length p.Shard.p_shards));
+                  ( "repositories",
+                    String.concat " "
+                      (List.map
+                         (fun s -> s.Shard.s_repository)
+                         p.Shard.p_shards) );
+                ];
+            })
+    (Registry.all_extents t.registry)
 
 let source_stats t =
   Hashtbl.fold (fun name src acc -> (name, Source.stats src) :: acc) t.sources []

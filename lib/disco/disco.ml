@@ -14,6 +14,7 @@ module Schedule = Disco_source.Schedule
 module Source = Disco_source.Source
 module Datagen = Disco_source.Datagen
 module Text_index = Disco_source.Text_index
+module Shard = Disco_shard.Shard
 module Otype = Disco_odl.Otype
 module Typemap = Disco_odl.Typemap
 module Registry = Disco_odl.Registry

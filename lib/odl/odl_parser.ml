@@ -1,6 +1,7 @@
 module V = Disco_value.Value
 module Lexer = Disco_lex.Lexer
 module Stream = Disco_lex.Lexer.Stream
+module Shard = Disco_shard.Shard
 
 type statement =
   | Interface_def of Registry.interface
@@ -60,6 +61,60 @@ let parse_interface s =
       if_attributes = attributes;
     }
 
+let parse_literal s =
+  match Stream.next s with
+  | Lexer.Str str -> V.String str
+  | Lexer.Int i -> V.Int i
+  | Lexer.Float f -> V.Float f
+  | Lexer.Ident id when String.lowercase_ascii id = "true" -> V.Bool true
+  | Lexer.Ident id when String.lowercase_ascii id = "false" -> V.Bool false
+  | Lexer.Ident id when String.lowercase_ascii id = "null" -> V.Null
+  | t -> Stream.failf s "expected a literal, found %s" (Lexer.token_to_string t)
+
+(* [sharded by KEY range (lit, ...) across r0 r1 ...]
+   or [sharded by KEY hash [vnodes N] across r0 [: w] r1 ...] *)
+let parse_shard_clause s =
+  Stream.eat_kw s "by";
+  let key = Stream.ident s in
+  let scheme =
+    if Stream.try_kw s "range" then (
+      Stream.eat_punct s "(";
+      let rec lits acc =
+        if Stream.try_punct s ")" then List.rev acc
+        else
+          let acc = parse_literal s :: acc in
+          if Stream.try_punct s "," then lits acc
+          else (
+            Stream.eat_punct s ")";
+            List.rev acc)
+      in
+      Shard.Range (lits []))
+    else if Stream.try_kw s "hash" then
+      let vnodes =
+        if Stream.try_kw s "vnodes" then
+          match Stream.next s with
+          | Lexer.Int n -> n
+          | t ->
+              Stream.failf s "expected a vnode count, found %s"
+                (Lexer.token_to_string t)
+        else Shard.default_vnodes
+      in
+      Shard.Hash { vnodes }
+    else Stream.failf s "expected 'range' or 'hash' after 'sharded by %s'" key
+  in
+  Stream.eat_kw s "across";
+  let rec shards acc =
+    match Stream.peek s with
+    | Some (Lexer.Ident id) when id <> "map" && id <> "replica" ->
+        ignore (Stream.next s);
+        let w = if Stream.try_punct s ":" then Some (Stream.ident s) else None in
+        shards ({ Shard.s_repository = id; s_wrapper = w } :: acc)
+    | _ -> List.rev acc
+  in
+  match shards [] with
+  | [] -> Stream.failf s "sharded clause needs at least one shard repository"
+  | shard_list -> { Shard.p_key = key; p_scheme = scheme; p_shards = shard_list }
+
 let parse_extent s =
   (* after the [extent] keyword *)
   let name = Stream.ident s in
@@ -67,8 +122,16 @@ let parse_extent s =
   let interface = Stream.ident s in
   Stream.eat_kw s "wrapper";
   let wrapper = Stream.ident s in
-  Stream.eat_kw s "repository";
-  let repository = Stream.ident s in
+  let partition =
+    if Stream.try_kw s "sharded" then Some (parse_shard_clause s) else None
+  in
+  let repository =
+    match partition with
+    | Some p -> (List.hd p.Shard.p_shards).Shard.s_repository
+    | None ->
+        Stream.eat_kw s "repository";
+        Stream.ident s
+  in
   let rec replicas acc =
     if Stream.try_kw s "replica" then replicas (Stream.ident s :: acc)
     else List.rev acc
@@ -86,17 +149,9 @@ let parse_extent s =
       me_repository = repository;
       me_replicas = replicas;
       me_map = map;
+      me_partition = partition;
+      me_shard_of = None;
     }
-
-let parse_literal s =
-  match Stream.next s with
-  | Lexer.Str str -> V.String str
-  | Lexer.Int i -> V.Int i
-  | Lexer.Float f -> V.Float f
-  | Lexer.Ident id when String.lowercase_ascii id = "true" -> V.Bool true
-  | Lexer.Ident id when String.lowercase_ascii id = "false" -> V.Bool false
-  | Lexer.Ident id when String.lowercase_ascii id = "null" -> V.Null
-  | t -> Stream.failf s "expected a literal, found %s" (Lexer.token_to_string t)
 
 let parse_object name s =
   (* after [name :=] *)
@@ -199,9 +254,13 @@ let pp_statement ppf = function
         (Fmt.list ~sep:Fmt.sp pp_attr)
         itf.Registry.if_attributes
   | Extent_def e ->
-      Fmt.pf ppf "extent %s of %s wrapper %s repository %s%a%a;"
-        e.Registry.me_name e.Registry.me_interface e.Registry.me_wrapper
-        e.Registry.me_repository
+      let pp_placement ppf e =
+        match e.Registry.me_partition with
+        | Some p -> Shard.pp ppf p
+        | None -> Fmt.pf ppf "repository %s" e.Registry.me_repository
+      in
+      Fmt.pf ppf "extent %s of %s wrapper %s %a%a%a;" e.Registry.me_name
+        e.Registry.me_interface e.Registry.me_wrapper pp_placement e
         (fun ppf -> List.iter (fun r -> Fmt.pf ppf " replica %s" r))
         e.Registry.me_replicas
         (fun ppf m ->

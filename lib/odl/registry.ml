@@ -14,6 +14,8 @@ type meta_extent = {
   me_repository : string;
   me_replicas : string list;
   me_map : Typemap.t;
+  me_partition : Disco_shard.Shard.partition option;
+  me_shard_of : (string * int) option;
 }
 
 type obj = {
@@ -131,6 +133,49 @@ let struct_conforms t name v =
            attrs
   | Some _, _ -> false
 
+(* Structural validation of a partition declaration. Shard-repository
+   existence is deliberately NOT checked here: sources may register
+   lazily, and [discoctl lint] reports unknown shard repositories as
+   DISCO-E014. Malformed shapes that no later pass could repair are
+   still hard errors. *)
+let check_partition t ext (p : Disco_shard.Shard.partition) =
+  let n = List.length p.p_shards in
+  if n = 0 then odl_error "extent %s is sharded across zero shards" ext.me_name;
+  (match p.p_scheme with
+  | Disco_shard.Shard.Range bs ->
+      if List.length bs <> n - 1 then
+        odl_error
+          "extent %s: range sharding over %d shards needs %d boundaries, got %d"
+          ext.me_name n (n - 1) (List.length bs)
+  | Disco_shard.Shard.Hash { vnodes } ->
+      if vnodes < 1 then
+        odl_error "extent %s: hash sharding needs at least 1 vnode" ext.me_name);
+  List.iteri
+    (fun k shard ->
+      (match shard.Disco_shard.Shard.s_wrapper with
+      | Some w when not (Hashtbl.mem t.objects w) ->
+          odl_error "extent %s shard %d refers to undefined wrapper %s"
+            ext.me_name k w
+      | _ -> ());
+      let child = Disco_shard.Shard.child_name ext.me_name k in
+      if find_extent t child <> None then
+        odl_error "shard child extent %s of %s collides with an extent" child
+          ext.me_name)
+    p.p_shards
+
+let shard_child parent k (shard : Disco_shard.Shard.shard) =
+  {
+    me_name = Disco_shard.Shard.child_name parent.me_name k;
+    me_interface = parent.me_interface;
+    me_wrapper =
+      (match shard.s_wrapper with Some w -> w | None -> parent.me_wrapper);
+    me_repository = shard.s_repository;
+    me_replicas = [];
+    me_map = parent.me_map;
+    me_partition = None;
+    me_shard_of = Some (parent.me_name, k);
+  }
+
 let add_extent t ext =
   if find_extent t ext.me_name <> None then
     odl_error "extent %s already defined" ext.me_name;
@@ -140,9 +185,12 @@ let add_extent t ext =
   if not (Hashtbl.mem t.objects ext.me_wrapper) then
     odl_error "extent %s refers to undefined wrapper %s" ext.me_name
       ext.me_wrapper;
-  if not (Hashtbl.mem t.objects ext.me_repository) then
-    odl_error "extent %s refers to undefined repository %s" ext.me_name
-      ext.me_repository;
+  (match ext.me_partition with
+  | None ->
+      if not (Hashtbl.mem t.objects ext.me_repository) then
+        odl_error "extent %s refers to undefined repository %s" ext.me_name
+          ext.me_repository
+  | Some p -> check_partition t ext p);
   List.iter
     (fun replica ->
       if not (Hashtbl.mem t.objects replica) then
@@ -150,35 +198,71 @@ let add_extent t ext =
           ext.me_name replica)
     ext.me_replicas;
   t.extents <- ext :: t.extents;
+  (match ext.me_partition with
+  | None -> ()
+  | Some p ->
+      List.iteri
+        (fun k shard -> t.extents <- shard_child ext k shard :: t.extents)
+        p.p_shards);
   bump t
+
+let is_shard_child e = e.me_shard_of <> None
+
+let shard_children t parent =
+  List.rev
+    (List.filter
+       (fun e ->
+         match e.me_shard_of with
+         | Some (p, _) -> String.equal p parent
+         | None -> false)
+       t.extents)
 
 let remove_extent t name =
   let before = List.length t.extents in
-  t.extents <- List.filter (fun e -> not (String.equal e.me_name name)) t.extents;
+  t.extents <-
+    List.filter
+      (fun e ->
+        not
+          (String.equal e.me_name name
+          || match e.me_shard_of with
+             | Some (p, _) -> String.equal p name
+             | None -> false))
+      t.extents;
   if List.length t.extents <> before then bump t
 
+(* Shard children are implementation detail: enumeration (implicit
+   extents, [person*], the metaextent catalog) sees only the parent,
+   which expansion rewrites into the union of its children. *)
 let extents_of t interface =
   List.rev
-    (List.filter (fun e -> String.equal e.me_interface interface) t.extents)
+    (List.filter
+       (fun e ->
+         String.equal e.me_interface interface && not (is_shard_child e))
+       t.extents)
 
 let extents_of_star t interface =
   let closure = subtypes_closure t interface in
   List.rev
-    (List.filter (fun e -> List.mem e.me_interface closure) t.extents)
+    (List.filter
+       (fun e -> List.mem e.me_interface closure && not (is_shard_child e))
+       t.extents)
 
 let all_extents t = List.rev t.extents
 
 let metaextent_bag t =
   V.bag
-    (List.map
+    (List.filter_map
        (fun e ->
-         V.strct
-           [
-             ("name", V.String e.me_name);
-             ("interface", V.String e.me_interface);
-             ("wrapper", V.String e.me_wrapper);
-             ("repository", V.String e.me_repository);
-           ])
+         if is_shard_child e then None
+         else
+           Some
+             (V.strct
+                [
+                  ("name", V.String e.me_name);
+                  ("interface", V.String e.me_interface);
+                  ("wrapper", V.String e.me_wrapper);
+                  ("repository", V.String e.me_repository);
+                ]))
        t.extents)
 
 let objects_bag ?(constructor_prefix = "") t =

@@ -34,6 +34,19 @@ type meta_extent = {
           replicas restore availability at the cost of maintaining
           copies — experiment E10 contrasts the two remedies) *)
   me_map : Typemap.t;  (** local transformation map *)
+  me_partition : Disco_shard.Shard.partition option;
+      (** [Some p] makes this a {e partitioned} extent: its tuples live
+          in [p.p_shards] shard sources and {!add_extent} registers one
+          child extent per shard ([person__s0], ...). Expansion rewrites
+          the parent into the union of its children; the parent itself
+          never executes (its [me_repository] is shard 0's, for
+          uniformity only). *)
+  me_shard_of : (string * int) option;
+      (** [Some (parent, k)] marks an auto-registered shard child:
+          shard [k] of partitioned extent [parent]. Children are
+          excluded from {!extents_of}, {!extents_of_star} and
+          {!metaextent_bag} but visible to {!find_extent} (bindings,
+          residual queries). *)
 }
 
 (** A named mediator object created by an ODL assignment such as
@@ -75,10 +88,23 @@ val struct_conforms : t -> string -> V.t -> bool
 
 val add_extent : t -> meta_extent -> unit
 (** Raises {!Odl_error} if the extent name is taken, the interface is
-    unknown, or the wrapper / repository objects are undefined. *)
+    unknown, or the wrapper / repository objects are undefined. For a
+    partitioned extent ([me_partition = Some p]) the per-shard
+    repositories are {e not} required to exist yet (sources register
+    lazily; [discoctl lint] reports unknown shard repositories), but
+    structural defects — zero shards, wrong range-boundary count,
+    [vnodes < 1], undefined per-shard wrapper overrides, child-name
+    collisions — still raise. One child extent per shard is registered
+    automatically. *)
 
 val remove_extent : t -> string -> unit
+(** Removing a partitioned extent also removes its shard children. *)
+
 val find_extent : t -> string -> meta_extent option
+
+val shard_children : t -> string -> meta_extent list
+(** The auto-registered shard children of a partitioned extent, in shard
+    order; [[]] for unpartitioned or unknown extents. *)
 
 val extents_of : t -> string -> meta_extent list
 (** Extents attached {e directly} to the interface, in definition order —

@@ -128,7 +128,22 @@ let verify_candidates ?metrics ~check candidates =
       | Check.Off | Check.Warn -> candidates)
 
 let optimize ?params ?(max_join_variants = 8) ?metrics ?(batch = false) ?check
-    ~can_push ~cost located =
+    ?shard ~can_push ~cost located =
+  (* Partition pruning runs once, on the located tree, before any
+     enumeration: every candidate then inherits the reduced scan set.
+     With no shard resolver the tree passes through untouched. *)
+  let located =
+    match shard with
+    | None -> located
+    | Some f -> Shard_prune.prune ?metrics ~shard:f located
+  in
+  (* The gather step of a hash-sharded scan must deduplicate
+     double-covered tuples; rewrite each implemented candidate. *)
+  let shard_merge plan =
+    match shard with
+    | None -> plan
+    | Some f -> Shard_prune.merge_rewrite ~shard:f plan
+  in
   let on_rule =
     Option.map
       (fun m stage ->
@@ -162,7 +177,7 @@ let optimize ?params ?(max_join_variants = 8) ?metrics ?(batch = false) ?check
   let per_candidate =
     List.map
       (fun logical ->
-        match Plan.implement logical with
+        match shard_merge (Plan.implement logical) with
         | plan ->
             (* also consider the alternative join algorithms (hash vs
                merge), and semijoin reductions where the cost model has
@@ -223,7 +238,7 @@ let optimize ?params ?(max_join_variants = 8) ?metrics ?(batch = false) ?check
   match costed with
   | [] ->
       (* fall back to the located expression itself (still verified) *)
-      let plan = Plan.implement located in
+      let plan = shard_merge (Plan.implement located) in
       ignore (verify_candidates ?metrics ~check [ (located, plan) ]);
       {
         plan;

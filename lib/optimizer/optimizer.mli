@@ -31,6 +31,7 @@ val optimize :
   ?metrics:Disco_obs.Metrics.t ->
   ?batch:bool ->
   ?check:Disco_check.Check.t * Disco_check.Check.mode ->
+  ?shard:(string -> (Disco_shard.Shard.partition * int) option) ->
   can_push:Disco_algebra.Rules.can_push ->
   cost:Disco_cost.Cost_model.t ->
   Expr.expr ->
@@ -54,6 +55,14 @@ val optimize :
     [optimizer.candidates_raw] is a histogram of enumerated candidates
     per call, and [optimizer.candidates] of the distinct candidates
     actually costed.
+
+    When [shard] is given (a resolver mapping shard-child extent names
+    to their partition and index), {!Shard_prune.prune} runs once on the
+    located tree before enumeration — shards the selection predicate
+    excludes are never contacted — and {!Shard_prune.merge_rewrite}
+    turns hash-sharded gather unions into deduplicating
+    [Mk_shard_merge]s on every implemented candidate. Without [shard]
+    both passes are skipped and plans are bit-for-bit what they were.
 
     When [check] is given, every distinct implemented candidate (and the
     no-candidate fallback plan) is run through the static verifier

@@ -1,0 +1,188 @@
+module Expr = Disco_algebra.Expr
+module Plan = Disco_physical.Plan
+module Shard = Disco_shard.Shard
+module V = Disco_value.Value
+
+(* -- constraint collection --
+
+   A constraint is a (path, Shard.constr) pair in the namespace of the
+   node currently being walked. Only shapes that certainly restrict the
+   shard key are collected; everything else is ignored (the pass must
+   never prune a shard that could hold an answer). *)
+
+let rec conjuncts = function
+  | Expr.And (a, b) -> conjuncts a @ conjuncts b
+  | p -> [ p ]
+
+let constr_of_cmp op c =
+  match op with
+  | Expr.Eq -> Some (Shard.Ceq c)
+  | Expr.Lt -> Some (Shard.Clt c)
+  | Expr.Le -> Some (Shard.Cle c)
+  | Expr.Gt -> Some (Shard.Cgt c)
+  | Expr.Ge -> Some (Shard.Cge c)
+  | Expr.Ne | Expr.Like -> None
+
+(* [Const c op Attr p] reads backwards: c < x means x > c. *)
+let flip_cmp = function
+  | Expr.Lt -> Expr.Gt
+  | Expr.Le -> Expr.Ge
+  | Expr.Gt -> Expr.Lt
+  | Expr.Ge -> Expr.Le
+  | (Expr.Eq | Expr.Ne | Expr.Like) as op -> op
+
+let constraints_of_pred pred =
+  List.filter_map
+    (function
+      | Expr.Cmp (op, Expr.Attr p, Expr.Const c) ->
+          Option.map (fun k -> (p, k)) (constr_of_cmp op c)
+      | Expr.Cmp (op, Expr.Const c, Expr.Attr p) ->
+          Option.map (fun k -> (p, k)) (constr_of_cmp (flip_cmp op) c)
+      | Expr.Member (Expr.Attr p, keys) when V.is_collection keys ->
+          Some (p, Shard.Cin (V.elements keys))
+      | _ -> None)
+    (conjuncts pred)
+
+(* Translate constraint paths through a [Map] head. A binding struct
+   [struct(x: @elem)] turns [x.id] into [id]; an aliasing struct
+   [struct(a: b)] turns [a.rest] into [b.rest]; [Hscalar (Attr p)]
+   prefixes every path with [p]. Constraints on computed fields drop. *)
+let translate_constrs head constrs =
+  match head with
+  | Expr.Hscalar (Expr.Attr p) ->
+      Some (List.map (fun (q, k) -> (p @ q, k)) constrs)
+  | Expr.Hscalar _ -> None
+  | Expr.Hstruct fields ->
+      if
+        List.for_all
+          (fun (_, s) -> match s with Expr.Attr _ -> true | _ -> false)
+          fields
+      then
+        Some
+          (List.filter_map
+             (fun (path, k) ->
+               match path with
+               | f :: rest -> (
+                   match List.assoc_opt f fields with
+                   | Some (Expr.Attr p) -> Some (p @ rest, k)
+                   | _ -> None)
+               | [] -> None)
+             constrs)
+      else None
+
+let empty_bag = Expr.Data (V.Bag [])
+
+let is_empty_bag = function
+  | Expr.Data v -> ( try V.cardinal v = 0 with V.Type_error _ -> false)
+  | _ -> false
+
+let prune ?metrics ~shard located =
+  let pruned = ref 0 and scanned = ref 0 in
+  let changed = ref false in
+  (* Does the constraint set exclude every shard child the submit
+     scans? True only when the submit scans at least one extent and
+     each is a shard child whose key constraints rule it out. *)
+  let excluded constrs inner =
+    match Expr.gets inner with
+    | [] -> false
+    | gets ->
+        List.for_all
+          (fun name ->
+            match shard name with
+            | None -> false
+            | Some (p, k) ->
+                let key_constrs =
+                  List.filter_map
+                    (fun (path, c) ->
+                      if path = [ p.Shard.p_key ] then Some c else None)
+                    constrs
+                in
+                key_constrs <> [] && not (Shard.admits p k key_constrs))
+          gets
+  in
+  let touches_shard inner =
+    List.exists (fun name -> shard name <> None) (Expr.gets inner)
+  in
+  let rec walk constrs expr =
+    match expr with
+    | Expr.Submit (_, inner) when touches_shard inner ->
+        if excluded constrs inner then (
+          incr pruned;
+          changed := true;
+          empty_bag)
+        else (
+          incr scanned;
+          expr)
+    | Expr.Submit _ | Expr.Get _ | Expr.Data _ -> expr
+    | Expr.Select (inner, pred) ->
+        Expr.Select (walk (constraints_of_pred pred @ constrs) inner, pred)
+    | Expr.Map (inner, head) -> (
+        match translate_constrs head constrs with
+        | Some constrs' -> Expr.Map (walk constrs' inner, head)
+        | None -> Expr.Map (walk [] inner, head))
+    | Expr.Project (inner, attrs) -> Expr.Project (walk constrs inner, attrs)
+    | Expr.Distinct inner -> Expr.Distinct (walk constrs inner)
+    | Expr.Union es -> (
+        (* dropping empty members is sound for bag union *)
+        match List.filter (fun e -> not (is_empty_bag e)) (List.map (walk constrs) es) with
+        | [] -> empty_bag
+        | [ single ] -> single
+        | members -> Expr.Union members)
+    | Expr.Join (l, r, pairs) ->
+        (* join outputs merge both binding structs; translating paths
+           into one side needs per-side field sets — reset instead *)
+        Expr.Join (walk [] l, walk [] r, pairs)
+  in
+  let result = walk [] located in
+  Option.iter
+    (fun m ->
+      if !pruned > 0 then Disco_obs.Metrics.incr ~by:!pruned m "shard.pruned";
+      if !scanned > 0 then Disco_obs.Metrics.incr ~by:!scanned m "shard.scanned")
+    metrics;
+  if !changed then result else located
+
+(* -- gather-step rewrite -- *)
+
+let merge_rewrite ~shard plan =
+  (* Every extent a member scans, as shard (parent, scheme) facts. *)
+  let hash_sharded_family ps =
+    let names =
+      List.concat_map
+        (fun p -> List.concat_map (fun (_, e) -> Expr.gets e) (Plan.execs p))
+        ps
+    in
+    let family =
+      List.map
+        (fun name ->
+          match shard name with
+          | Some (p, _) -> (
+              match p.Shard.p_scheme with
+              | Shard.Hash _ -> Some p
+              | Shard.Range _ -> None)
+          | None -> None)
+        names
+    in
+    match family with
+    | Some p0 :: rest ->
+        List.for_all (function Some p -> p = p0 | None -> false) rest
+    | _ -> false
+  in
+  let rec go p =
+    match p with
+    | Plan.Exec _ | Plan.Mk_data _ -> p
+    | Plan.Mk_select (q, pred) -> Plan.Mk_select (go q, pred)
+    | Plan.Mk_project (q, attrs) -> Plan.Mk_project (go q, attrs)
+    | Plan.Mk_map (q, h) -> Plan.Mk_map (go q, h)
+    | Plan.Mk_distinct q -> Plan.Mk_distinct (go q)
+    | Plan.Nested_loop_join (l, r, pairs) ->
+        Plan.Nested_loop_join (go l, go r, pairs)
+    | Plan.Hash_join (l, r, pairs) -> Plan.Hash_join (go l, go r, pairs)
+    | Plan.Merge_join (l, r, pairs) -> Plan.Merge_join (go l, go r, pairs)
+    | Plan.Semi_join (l, right, pairs) -> Plan.Semi_join (go l, right, pairs)
+    | Plan.Mk_shard_merge ps -> Plan.Mk_shard_merge (List.map go ps)
+    | Plan.Mk_union ps ->
+        let ps = List.map go ps in
+        if hash_sharded_family ps then Plan.Mk_shard_merge ps
+        else Plan.Mk_union ps
+  in
+  go plan

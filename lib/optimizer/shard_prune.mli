@@ -1,0 +1,44 @@
+(** Partition pruning and scatter-gather rewriting for sharded extents.
+
+    Expansion rewrites a partitioned extent into the union of its shard
+    children, so a located query scans every shard. When a selection
+    predicate fixes or bounds the shard key, whole shards provably hold
+    no matching tuple; {!prune} replaces their [Submit]s with empty data
+    before plan enumeration, so the scatter round only contacts shards
+    that can answer ({!Disco_shard.Shard.admits} is conservative — a
+    shard is dropped only when exclusion is certain).
+
+    {!merge_rewrite} turns the gather step of a {e hash}-sharded scan
+    from a plain bag union into {!Disco_physical.Plan.Mk_shard_merge},
+    whose merge drops tuples an earlier shard already produced — two
+    shards can double-cover a key range while a consistent-hash ring
+    rebalance is in flight. *)
+
+module Expr := Disco_algebra.Expr
+module Plan := Disco_physical.Plan
+module Shard := Disco_shard.Shard
+
+val prune :
+  ?metrics:Disco_obs.Metrics.t ->
+  shard:(string -> (Shard.partition * int) option) ->
+  Expr.expr ->
+  Expr.expr
+(** [prune ~shard located] removes provably empty shard scans. [shard]
+    maps an extent name to its partition and shard index when the name
+    is a shard child ([None] otherwise — the pass then leaves its
+    [Submit] alone). Collects top-level conjuncts of [Select]
+    predicates, translates attribute paths through pure-renaming [Map]
+    heads (binding structs and aliasing), and replaces a [Submit] whose
+    source extents are all excluded shard children by [Data (Bag [])],
+    then drops such empty members from enclosing [Union]s. Returns the
+    input expression {e itself} when nothing prunes, so default-off
+    behaviour is structurally unchanged. Metrics: [shard.pruned] /
+    [shard.scanned] count shard-child submits dropped / kept. *)
+
+val merge_rewrite :
+  shard:(string -> (Shard.partition * int) option) -> Plan.plan -> Plan.plan
+(** Rewrite every [Mk_union] whose members scan only shard children of
+    one {e hash}-partitioned extent into [Mk_shard_merge] (range shards
+    cannot double-cover, so their plain union stands). Applied to each
+    implemented candidate; returns the plan itself when nothing
+    rewrites. *)

@@ -13,6 +13,7 @@ type plan =
   | Merge_join of plan * plan * (string list * string list) list
   | Semi_join of plan * (string * Expr.expr) * (string list * string list) list
   | Mk_union of plan list
+  | Mk_shard_merge of plan list
   | Mk_distinct of plan
 
 exception Physical_error of string
@@ -38,6 +39,8 @@ let rec pp ppf = function
   | Semi_join (l, (repo, re), _) ->
       Fmt.pf ppf "semijoin(%a, exec(%s, %a))" pp l repo Expr.pp re
   | Mk_union ps -> Fmt.pf ppf "mkunion(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp) ps
+  | Mk_shard_merge ps ->
+      Fmt.pf ppf "shardmerge(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp) ps
   | Mk_distinct p -> Fmt.pf ppf "mkdistinct(%a)" pp p
 
 let to_string p = Fmt.str "%a" pp p
@@ -66,7 +69,7 @@ let rec to_logical = function
       Expr.Join (to_logical l, to_logical r, pairs)
   | Semi_join (l, (repo, re), pairs) ->
       Expr.Join (to_logical l, Expr.Submit (repo, re), pairs)
-  | Mk_union ps -> Expr.Union (List.map to_logical ps)
+  | Mk_union ps | Mk_shard_merge ps -> Expr.Union (List.map to_logical ps)
   | Mk_distinct p -> Expr.Distinct (to_logical p)
 
 let rec execs = function
@@ -77,7 +80,7 @@ let rec execs = function
   | Nested_loop_join (l, r, _) | Hash_join (l, r, _) | Merge_join (l, r, _) ->
       execs l @ execs r
   | Semi_join (l, _, _) -> execs l
-  | Mk_union ps -> List.concat_map execs ps
+  | Mk_union ps | Mk_shard_merge ps -> List.concat_map execs ps
 
 let rec substitute_execs f = function
   | Exec (repo, e) -> f repo e
@@ -93,6 +96,7 @@ let rec substitute_execs f = function
       Merge_join (substitute_execs f l, substitute_execs f r, pairs)
   | Semi_join (l, right, pairs) -> Semi_join (substitute_execs f l, right, pairs)
   | Mk_union ps -> Mk_union (List.map (substitute_execs f) ps)
+  | Mk_shard_merge ps -> Mk_shard_merge (List.map (substitute_execs f) ps)
   | Mk_distinct p -> Mk_distinct (substitute_execs f p)
 
 (* -- local execution -- *)
@@ -263,6 +267,25 @@ let rec run_local = function
       physical_error "semijoin(%s) must be resolved by the runtime" repo
   | Mk_union ps ->
       List.fold_left (fun acc p -> V.bag_union acc (run_local p)) (V.bag []) ps
+  | Mk_shard_merge ps ->
+      (* A hash-ring rebalance window can double-cover a key range, so
+         two shards may deliver the same tuple; drop tuples an earlier
+         shard already produced, keeping each branch's own duplicates
+         (bag semantics within a shard). *)
+      let seen = Hashtbl.create 64 in
+      let merged =
+        List.concat_map
+          (fun p ->
+            let fresh =
+              List.filter
+                (fun e -> not (Hashtbl.mem seen e))
+                (V.elements (run_local p))
+            in
+            List.iter (fun e -> Hashtbl.replace seen e ()) fresh;
+            fresh)
+          ps
+      in
+      V.bag merged
   | Mk_distinct p -> V.distinct (run_local p)
 
 let rec all_source_exprs = function
@@ -273,7 +296,7 @@ let rec all_source_exprs = function
   | Nested_loop_join (l, r, _) | Hash_join (l, r, _) | Merge_join (l, r, _) ->
       all_source_exprs l @ all_source_exprs r
   | Semi_join (l, (repo, re), _) -> all_source_exprs l @ [ (repo, re) ]
-  | Mk_union ps -> List.concat_map all_source_exprs ps
+  | Mk_union ps | Mk_shard_merge ps -> List.concat_map all_source_exprs ps
 
 let rec semi_joins = function
   | Exec _ | Mk_data _ -> 0
@@ -282,7 +305,8 @@ let rec semi_joins = function
   | Nested_loop_join (l, r, _) | Hash_join (l, r, _) | Merge_join (l, r, _) ->
       semi_joins l + semi_joins r
   | Semi_join (l, _, _) -> 1 + semi_joins l
-  | Mk_union ps -> List.fold_left (fun acc p -> acc + semi_joins p) 0 ps
+  | Mk_union ps | Mk_shard_merge ps ->
+      List.fold_left (fun acc p -> acc + semi_joins p) 0 ps
 
 let rec degrade_semi_joins = function
   | (Exec _ | Mk_data _) as p -> p
@@ -299,6 +323,7 @@ let rec degrade_semi_joins = function
   | Semi_join (l, (repo, re), pairs) ->
       Hash_join (degrade_semi_joins l, Exec (repo, re), pairs)
   | Mk_union ps -> Mk_union (List.map degrade_semi_joins ps)
+  | Mk_shard_merge ps -> Mk_shard_merge (List.map degrade_semi_joins ps)
 
 (* Alternative physical implementations of each equi-join. *)
 let join_algorithm_variants plan =
@@ -312,6 +337,7 @@ let join_algorithm_variants plan =
     | Mk_union ps ->
         (* keep member plans fixed to bound the product *)
         [ Mk_union ps ]
+    | Mk_shard_merge ps -> [ Mk_shard_merge ps ]
     | Nested_loop_join (l, r, pairs) ->
         List.concat_map
           (fun l ->
@@ -344,6 +370,7 @@ let semijoin_variants ~informed plan =
     | Mk_map (q, h) -> List.map (fun q -> Mk_map (q, h)) (go q)
     | Mk_distinct q -> List.map (fun q -> Mk_distinct q) (go q)
     | Mk_union ps -> [ Mk_union ps ]
+    | Mk_shard_merge ps -> [ Mk_shard_merge ps ]
     | Nested_loop_join (l, r, pairs) -> [ Nested_loop_join (l, r, pairs) ]
     | Semi_join (l, right, pairs) -> [ Semi_join (l, right, pairs) ]
     | Hash_join (l, r, pairs) | Merge_join (l, r, pairs) -> (
@@ -403,7 +430,8 @@ let rec mediator_op_count = function
   | Nested_loop_join (l, r, _) | Hash_join (l, r, _) | Merge_join (l, r, _) ->
       1 + mediator_op_count l + mediator_op_count r
   | Semi_join (l, _, _) -> 1 + mediator_op_count l
-  | Mk_union ps -> List.fold_left (fun acc p -> acc + mediator_op_count p) 1 ps
+  | Mk_union ps | Mk_shard_merge ps ->
+      List.fold_left (fun acc p -> acc + mediator_op_count p) 1 ps
 
 let estimate ?(params = default_params) ?(batch = false) model plan =
   (* Under the batched transport, the first-round execs sharing a
@@ -541,6 +569,19 @@ let estimate ?(params = default_params) ?(batch = false) model plan =
             +. params.c_union
                *. List.fold_left (fun acc c -> acc +. c.rows) 0.0 cs;
           rows = List.fold_left (fun acc c -> acc +. c.rows) 0.0 cs;
+          shipped = List.fold_left (fun acc c -> acc +. c.shipped) 0.0 cs;
+          defaulted_execs =
+            List.fold_left (fun acc c -> acc + c.defaulted_execs) 0 cs;
+        }
+    | Mk_shard_merge ps ->
+        (* as Mk_union, plus the per-row overlap check of the merge *)
+        let cs = List.map go ps in
+        let total_rows = List.fold_left (fun acc c -> acc +. c.rows) 0.0 cs in
+        {
+          time_ms =
+            List.fold_left (fun acc c -> Float.max acc c.time_ms) 0.0 cs
+            +. ((params.c_union +. params.c_hash) *. total_rows);
+          rows = total_rows;
           shipped = List.fold_left (fun acc c -> acc +. c.shipped) 0.0 cs;
           defaulted_execs =
             List.fold_left (fun acc c -> acc + c.defaulted_execs) 0 cs;

@@ -39,6 +39,15 @@ type plan =
           the mediator, never source-to-source. Requires the runtime's
           multi-round execution; {!run_local} rejects it. *)
   | Mk_union of plan list
+  | Mk_shard_merge of plan list
+      (** The gather step of a sharded scan: a bag union whose members
+          are the per-shard branches of one partitioned extent. Same
+          logical meaning as {!constructor:Mk_union} except that
+          {!run_local} drops tuples an {e earlier} shard already
+          produced (each branch's own duplicates survive — bag
+          semantics within a shard): during a hash-ring rebalance two
+          shards can double-cover a key range, and the merge must not
+          double-count the overlap. *)
   | Mk_distinct of plan
 
 val pp : Format.formatter -> plan -> unit

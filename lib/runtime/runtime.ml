@@ -968,6 +968,7 @@ let rec fold_ready plan =
       | Plan.Semi_join (l, right, pairs) ->
           Plan.Semi_join (fold_ready l, right, pairs)
       | Plan.Mk_union ps -> Plan.Mk_union (List.map fold_ready ps)
+      | Plan.Mk_shard_merge ps -> Plan.Mk_shard_merge (List.map fold_ready ps)
       | Plan.Mk_distinct p -> Plan.Mk_distinct (fold_ready p))
 
 (* Shared tail of an execution round: fold the per-exec results into the
@@ -1127,6 +1128,8 @@ let rec resolve_semi_joins env plan =
   | Plan.Merge_join (l, r, pairs) ->
       Plan.Merge_join (resolve_semi_joins env l, resolve_semi_joins env r, pairs)
   | Plan.Mk_union ps -> Plan.Mk_union (List.map (resolve_semi_joins env) ps)
+  | Plan.Mk_shard_merge ps ->
+      Plan.Mk_shard_merge (List.map (resolve_semi_joins env) ps)
   | Plan.Semi_join (l, (repo, rexpr), pairs) ->
       let l = resolve_semi_joins env l in
       if Plan.execs l <> [] || Plan.semi_joins l > 0 then

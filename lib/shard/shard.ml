@@ -1,0 +1,165 @@
+module V = Disco_value.Value
+
+type scheme = Range of V.t list | Hash of { vnodes : int }
+
+type shard = { s_repository : string; s_wrapper : string option }
+
+type partition = { p_key : string; p_scheme : scheme; p_shards : shard list }
+
+let default_vnodes = 16
+
+let child_name parent k = parent ^ "__s" ^ string_of_int k
+
+(* FNV-1a, masked to 62 bits so ring points stay positive on every
+   OCaml int width (the offset basis is pre-masked for the same
+   reason). Deterministic: no Random, no wall clock. *)
+let fnv1a s =
+  let h = ref 0x0bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land 0x3fffffffffffffff
+
+let hash_key v =
+  let tag =
+    match v with
+    | V.Int n -> "i:" ^ string_of_int n
+    | V.Float f ->
+        (* Int and Float with the same numeric value must hash alike so
+           placement agrees with numeric_compare equality. *)
+        if Float.is_integer f && Float.abs f < 1e18 then
+          "i:" ^ string_of_int (int_of_float f)
+        else "f:" ^ string_of_float f
+    | V.String s -> "s:" ^ s
+    | V.Bool b -> "b:" ^ string_of_bool b
+    | other -> "v:" ^ V.to_string other
+  in
+  fnv1a tag
+
+(* Ring points for shard [k]: one per vnode, seeded by the shard's
+   repository so a shard keeps its arc when others are added. Sorted by
+   point; ties broken by shard index for determinism. *)
+let ring partition =
+  let vnodes =
+    match partition.p_scheme with
+    | Hash { vnodes } -> vnodes
+    | Range _ -> invalid_arg "Shard.ring: range partition has no ring"
+  in
+  let points =
+    List.concat
+      (List.mapi
+         (fun k shard ->
+           List.init vnodes (fun v ->
+               let seed =
+                 Printf.sprintf "%d/%s#%d" k shard.s_repository v
+               in
+               (fnv1a seed, k)))
+         partition.p_shards)
+  in
+  List.sort compare points
+
+let owner_of_key partition v =
+  let points = ring partition in
+  let h = hash_key v in
+  match List.find_opt (fun (p, _) -> p >= h) points with
+  | Some (_, k) -> k
+  | None -> ( match points with (_, k) :: _ -> k | [] -> 0)
+
+let range_index boundaries v =
+  let rec go i = function
+    | [] -> Some i
+    | b :: rest -> (
+        match V.numeric_compare v b with
+        | Some c when c < 0 -> Some i
+        | Some _ -> go (i + 1) rest
+        | None -> None)
+  in
+  go 0 boundaries
+
+let shard_of_value partition v =
+  match partition.p_scheme with
+  | Hash _ -> owner_of_key partition v
+  | Range bs -> ( match range_index bs v with Some i -> i | None -> 0)
+
+type constr =
+  | Ceq of V.t
+  | Clt of V.t
+  | Cle of V.t
+  | Cgt of V.t
+  | Cge of V.t
+  | Cin of V.t list
+
+(* Bounds of range shard [k]: [lo, hi) with open ends encoded as None. *)
+let range_bounds boundaries k =
+  let n = List.length boundaries in
+  let lo = if k = 0 then None else List.nth_opt boundaries (k - 1) in
+  let hi = if k >= n then None else List.nth_opt boundaries k in
+  (lo, hi)
+
+(* Conservative: any comparison that fails (incomparable types) admits. *)
+let range_admits boundaries k constr =
+  let lo, hi = range_bounds boundaries k in
+  let cmp a b = V.numeric_compare a b in
+  let below_lo v =
+    (* v < lo: every key of this shard exceeds v *)
+    match lo with
+    | None -> false
+    | Some l -> ( match cmp v l with Some c -> c < 0 | None -> false)
+  in
+  let at_or_above_hi v =
+    match hi with
+    | None -> false
+    | Some h -> ( match cmp v h with Some c -> c >= 0 | None -> false)
+  in
+  let covers v = not (below_lo v || at_or_above_hi v) in
+  match constr with
+  | Ceq v -> covers v
+  | Cin vs -> vs = [] || List.exists covers vs
+  | Clt v -> (
+      (* need some key < v in [lo, hi): fails iff v <= lo *)
+      match lo with
+      | None -> true
+      | Some l -> ( match cmp v l with Some c -> c > 0 | None -> true))
+  | Cle v -> (
+      match lo with
+      | None -> true
+      | Some l -> ( match cmp v l with Some c -> c >= 0 | None -> true))
+  | Cgt v | Cge v -> (
+      (* need some key > v (or >= v) in [lo, hi): fails iff hi <= v
+         (strict bound hi means keys reach just below hi) *)
+      match hi with
+      | None -> true
+      | Some h -> ( match cmp h v with Some c -> c > 0 | None -> true))
+
+let hash_admits partition k constr =
+  match constr with
+  | Ceq v -> owner_of_key partition v = k
+  | Cin vs -> vs = [] || List.exists (fun v -> owner_of_key partition v = k) vs
+  | Clt _ | Cle _ | Cgt _ | Cge _ -> true
+
+let admits partition k constrs =
+  List.for_all
+    (fun constr ->
+      match partition.p_scheme with
+      | Range bs -> range_admits bs k constr
+      | Hash _ -> hash_admits partition k constr)
+    constrs
+
+let pp_scheme ppf = function
+  | Range bs ->
+      Fmt.pf ppf "range (%a)" Fmt.(list ~sep:(any ", ") V.pp) bs
+  | Hash { vnodes } ->
+      if vnodes = default_vnodes then Fmt.pf ppf "hash"
+      else Fmt.pf ppf "hash vnodes %d" vnodes
+
+let pp_shard ppf s =
+  match s.s_wrapper with
+  | None -> Fmt.string ppf s.s_repository
+  | Some w -> Fmt.pf ppf "%s : %s" s.s_repository w
+
+let pp ppf p =
+  Fmt.pf ppf "sharded by %s %a across %a" p.p_key pp_scheme p.p_scheme
+    Fmt.(list ~sep:(any " ") pp_shard)
+    p.p_shards

@@ -1,0 +1,81 @@
+(** Horizontal partitioning of extents over shard sources.
+
+    The paper scales a federation {e up} by adding repositories; this
+    module scales a single extent {e out} by declaring it as a partition
+    over N shard sources. A partition names the shard key (an attribute
+    of the extent's interface), a scheme — range boundaries or a
+    consistent-hash ring — and the per-shard repositories. The registry
+    expands a partitioned extent into per-shard child extents
+    ([person__s0], [person__s1], ...); the optimizer prunes children the
+    predicate excludes ({!admits}) and the runtime scatter-gathers the
+    rest in one parallel round.
+
+    The hash scheme uses a consistent-hash ring (vnodes placed by a
+    deterministic FNV-1a hash) so that changing the shard count moves
+    only the keys between adjacent ring points rather than remapping
+    everything. All placement is deterministic: the same key and shard
+    list always hash to the same shard. *)
+
+module V := Disco_value.Value
+
+(** Partitioning scheme. [Range bs] splits the key domain at the sorted
+    boundaries [bs]: shard [k] of [n] covers [b(k-1) <= key < b(k)] with
+    open ends (so [List.length bs = n - 1]). [Hash { vnodes }] places
+    [vnodes] points per shard on a consistent-hash ring; a key belongs to
+    the shard owning the first ring point at or after the key's hash. *)
+type scheme = Range of V.t list | Hash of { vnodes : int }
+
+type shard = {
+  s_repository : string;  (** repository object serving this shard *)
+  s_wrapper : string option;
+      (** per-shard wrapper override; [None] inherits the extent's *)
+}
+
+type partition = {
+  p_key : string;  (** shard-key attribute of the extent's interface *)
+  p_scheme : scheme;
+  p_shards : shard list;
+}
+
+val default_vnodes : int
+(** Ring points per shard when the ODL declaration omits [vnodes]. *)
+
+val child_name : string -> int -> string
+(** [child_name parent k] is the registry name of shard [k]'s child
+    extent, [parent ^ "__s" ^ k]. Shard sources must serve their slice
+    under this table name (the child extent keeps the parent's map). *)
+
+val range_index : V.t list -> V.t -> int option
+(** [range_index boundaries v] is the index of the range shard covering
+    [v], or [None] when [v] is not comparable to the boundaries. *)
+
+val owner_of_key : partition -> V.t -> int
+(** Ring owner of a key under the [Hash] scheme (raises
+    [Invalid_argument] on a [Range] partition). *)
+
+val shard_of_value : partition -> V.t -> int
+(** Shard index a key value belongs to, under either scheme.
+    Incomparable range keys land in shard 0. Used to slice demo and
+    bench data consistently with pruning. *)
+
+(** A conjunct over the shard key, extracted from a selection
+    predicate: equality, bounds, or membership. *)
+type constr =
+  | Ceq of V.t
+  | Clt of V.t
+  | Cle of V.t
+  | Cgt of V.t
+  | Cge of V.t
+  | Cin of V.t list
+
+val admits : partition -> int -> constr list -> bool
+(** [admits p k constrs] is [false] only when shard [k] provably holds
+    no tuple satisfying every constraint — conservative: incomparable
+    types, unbounded schemes, or unsupported shapes admit. Range shards
+    prune on all six constraint forms; hash shards prune only on [Ceq]
+    and [Cin] (ring placement gives no order). *)
+
+val pp_scheme : Format.formatter -> scheme -> unit
+val pp : Format.formatter -> partition -> unit
+(** Renders in the ODL surface syntax,
+    e.g. [sharded by salary range (10, 20) across r0 r1 r2]. *)

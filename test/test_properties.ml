@@ -430,6 +430,184 @@ let test_retry_idle_stats_identical () =
   Alcotest.(check (float 1e-9)) "virtual elapsed" s_off.Runtime.elapsed_ms
     s_on.Runtime.elapsed_ms
 
+(* -- sharded extents: pruned scatter-gather vs the unsharded twin -- *)
+
+module Shard = Disco_shard.Shard
+
+(* Two federations over the same repositories and data slices: one
+   declares [person] as a sharded extent (so the optimizer prunes and
+   the runtime scatter-gathers), the twin declares each slice as an
+   independent extent (so a query over [person] is the unpruned union
+   of all of them).  Answers must agree; pruning must never contact a
+   shard the key excludes. *)
+let twin_fed ~sharded ~partition ~all_rows ~down () =
+  let shards = List.length partition.Shard.p_shards in
+  let m =
+    Mediator.create
+      ~config:
+        { Mediator.Config.default with cache = Some (Answer_cache.create ()) }
+      ~name:(if sharded then "twin_sh" else "twin_un")
+      ()
+  in
+  Mediator.load_odl m
+    {|w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }|};
+  for k = 0 to shards - 1 do
+    let slice =
+      List.filter (fun r -> Shard.shard_of_value partition r.(0) = k) all_rows
+    in
+    let db = Database.create ~name:"db" in
+    ignore
+      (Datagen.table_of db ~name:(Shard.child_name "person" k)
+         Datagen.person_schema slice);
+    let schedule =
+      if List.mem k down then Schedule.down_during [ (0.0, 1e12) ]
+      else Schedule.always_up
+    in
+    Mediator.register_source m ~name:(Fmt.str "r%d" k)
+      (Source.create ~id:(Shard.child_name "person" k)
+         ~address:
+           (Source.address ~host:(Fmt.str "h%d" k) ~db_name:"db" ~ip:"0" ())
+         ~schedule (Source.Relational db));
+    Mediator.load_odl m
+      (Fmt.str {|r%d := Repository(host="h%d", name="db", address="0");|} k k);
+    if not sharded then
+      Mediator.load_odl m
+        (Fmt.str "extent %s of Person wrapper w0 repository r%d;"
+           (Shard.child_name "person" k) k)
+  done;
+  if sharded then
+    Mediator.load_odl m
+      (Fmt.str "extent person of Person wrapper w0 %a;" Shard.pp partition);
+  m
+
+type shard_query = Qkey of int | Qsal of int
+
+let prop_shard_twin_equivalent =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (pair (int_range 2 4) bool)
+        (pair
+           (list_size (int_range 0 2) (int_range 0 3))
+           (list_size (int_range 1 5)
+              (oneof
+                 [
+                   map (fun k -> Qkey k) (int_range 0 25);
+                   map (fun t -> Qsal t) (int_range 0 30);
+                 ]))))
+  in
+  let print ((shards, hash), (down, qs)) =
+    Fmt.str "shards=%d %s down=[%s] %s" shards
+      (if hash then "hash" else "range")
+      (String.concat "," (List.map string_of_int down))
+      (String.concat " ; "
+         (List.map
+            (function
+              | Qkey k -> Fmt.str "id=%d" k
+              | Qsal t -> Fmt.str "salary>%d" t)
+            qs))
+  in
+  QCheck.Test.make
+    ~name:"sharded gather = unsharded union; pruning skips excluded shards"
+    ~count:30
+    (QCheck.make ~print gen)
+    (fun ((shards, hash), (down, qs)) ->
+      let rows_per = 5 in
+      let down =
+        List.sort_uniq compare (List.filter (fun k -> k < shards) down)
+      in
+      let partition =
+        {
+          Shard.p_key = "id";
+          p_scheme =
+            (if hash then Shard.Hash { vnodes = Shard.default_vnodes }
+             else
+               Shard.Range
+                 (List.init (shards - 1) (fun k ->
+                      V.Int ((k + 1) * rows_per))));
+          p_shards =
+            List.init shards (fun k ->
+                { Shard.s_repository = Fmt.str "r%d" k; s_wrapper = None });
+        }
+      in
+      let all_rows = Datagen.person_rows ~seed:4242 ~n:(shards * rows_per) in
+      let m_sh = twin_fed ~sharded:true ~partition ~all_rows ~down () in
+      let m_un = twin_fed ~sharded:false ~partition ~all_rows ~down () in
+      let contacted m =
+        List.map
+          (fun (r, s) ->
+            ( r,
+              s.Source.calls_answered + s.Source.calls_refused
+              + s.Source.calls_timed_out ))
+          (Mediator.source_stats m)
+      in
+      let unavail = function
+        | Mediator.Complete _ -> []
+        | Mediator.Partial p -> List.sort compare p.Runtime.unavailable
+        | Mediator.Unavailable rs -> List.sort compare rs
+      in
+      let repo k = Fmt.str "r%d" k in
+      let down_repos = List.map repo down in
+      let oracle keep =
+        V.bag (List.filter_map (fun r -> if keep r then Some r.(1) else None) all_rows)
+      in
+      let check_query q =
+        let text =
+          match q with
+          | Qkey k -> Fmt.str "select x.name from x in person where x.id = %d" k
+          | Qsal t ->
+              Fmt.str "select x.name from x in person where x.salary > %d" t
+        in
+        let before = contacted m_sh in
+        let a = (Mediator.query m_sh text).Mediator.answer in
+        let after = contacted m_sh in
+        let b = (Mediator.query m_un text).Mediator.answer in
+        let delta r = List.assoc r after - List.assoc r before in
+        match q with
+        | Qsal t ->
+            (* no key constraint: both sides contact every shard and miss
+               exactly the down ones; complete answers match the data *)
+            unavail a = down_repos
+            && unavail b = down_repos
+            && (down <> []
+               ||
+               match (a, b) with
+               | Mediator.Complete va, Mediator.Complete vb ->
+                   V.equal va vb
+                   && V.equal va
+                        (oracle (fun r ->
+                             match r.(2) with
+                             | V.Int s -> s > t
+                             | _ -> false))
+               | _ -> false)
+        | Qkey k ->
+            let owner = Shard.shard_of_value partition (V.Int k) in
+            (* pruning containment: shards the key excludes are never
+               contacted, up or down *)
+            List.for_all
+              (fun j -> j = owner || delta (repo j) = 0)
+              (List.init shards Fun.id)
+            (* the twin still contacts everything *)
+            && unavail b = down_repos
+            &&
+            if List.mem owner down then unavail a = [ repo owner ]
+            else
+              unavail a = []
+              &&
+              match a with
+              | Mediator.Complete va ->
+                  V.equal va
+                    (oracle (fun r ->
+                         match r.(0) with V.Int id -> id = k | _ -> false))
+              | _ -> false
+      in
+      (* two passes: the second runs against warm answer caches *)
+      List.for_all check_query qs && List.for_all check_query qs)
+
 let () =
   Alcotest.run "disco_properties"
     [
@@ -444,6 +622,7 @@ let () =
             prop_typemap_roundtrip;
             prop_cache_transparent;
             prop_batch_transparent;
+            prop_shard_twin_equivalent;
           ] );
       ( "batching",
         [

@@ -1,0 +1,362 @@
+(* Tests for lib/shard and its integration through the registry and
+   mediator:
+
+   - placement determinism and the consistent-hash stability property
+     (adding a shard moves keys only onto the new shard);
+   - range_index / admits pruning logic, including the conservative
+     incomparable cases;
+   - ODL 'sharded by' declarations: child auto-registration, structural
+     validation errors, cascade removal;
+   - the scatter-gather dedup regression: a hash-sharded extent whose
+     rebalance window double-covers a key returns the tuple once, while
+     a range-sharded extent (which cannot double-cover) keeps plain
+     union semantics;
+   - a pin: with no sharded extents declared, the seed federation's
+     stats are reproduced bit-for-bit. *)
+
+module V = Disco_value.Value
+module Shard = Disco_shard.Shard
+module Registry = Disco_odl.Registry
+module Odl_parser = Disco_odl.Odl_parser
+module Database = Disco_relation.Database
+module Datagen = Disco_source.Datagen
+module Source = Disco_source.Source
+module Mediator = Disco_core.Mediator
+module Runtime = Disco_runtime.Runtime
+
+let partition ?scheme n =
+  let p_scheme =
+    match scheme with
+    | Some s -> s
+    | None -> Shard.Hash { vnodes = Shard.default_vnodes }
+  in
+  {
+    Shard.p_key = "id";
+    p_scheme;
+    p_shards =
+      List.init n (fun k ->
+          { Shard.s_repository = Fmt.str "r%d" k; s_wrapper = None });
+  }
+
+(* -- placement -- *)
+
+let test_child_name () =
+  Alcotest.(check string) "child 2" "person__s2" (Shard.child_name "person" 2);
+  Alcotest.(check string) "child 0" "person__s0" (Shard.child_name "person" 0)
+
+let test_range_index () =
+  let bs = [ V.Int 10; V.Int 20 ] in
+  let idx v = Shard.range_index bs v in
+  Alcotest.(check (option int)) "0 below" (Some 0) (idx (V.Int 0));
+  Alcotest.(check (option int)) "9 below" (Some 0) (idx (V.Int 9));
+  Alcotest.(check (option int)) "10 at boundary" (Some 1) (idx (V.Int 10));
+  Alcotest.(check (option int)) "19 middle" (Some 1) (idx (V.Int 19));
+  Alcotest.(check (option int)) "20 top" (Some 2) (idx (V.Int 20));
+  Alcotest.(check (option int)) "float crosses" (Some 1) (idx (V.Float 10.5));
+  Alcotest.(check (option int)) "incomparable" None (idx (V.String "x"))
+
+let test_hash_placement_deterministic () =
+  let p = partition 4 in
+  for k = 0 to 99 do
+    let o1 = Shard.owner_of_key p (V.Int k) in
+    let o2 = Shard.owner_of_key p (V.Int k) in
+    Alcotest.(check int) (Fmt.str "key %d stable" k) o1 o2;
+    Alcotest.(check bool) (Fmt.str "key %d in range" k) true (o1 >= 0 && o1 < 4)
+  done;
+  (* Int and Float of the same numeric value hash to the same shard, so
+     placement agrees with numeric equality in predicates *)
+  Alcotest.(check int) "int = float placement"
+    (Shard.owner_of_key p (V.Int 7))
+    (Shard.owner_of_key p (V.Float 7.0))
+
+(* The consistent-hashing contract: growing from n to n+1 shards, a key
+   either keeps its owner or moves to the new shard — never between old
+   shards. *)
+let test_ring_stability () =
+  let p3 = partition 3 and p4 = partition 4 in
+  let keys = 1000 in
+  let moved = ref 0 in
+  for k = 0 to keys - 1 do
+    let o3 = Shard.owner_of_key p3 (V.Int k) in
+    let o4 = Shard.owner_of_key p4 (V.Int k) in
+    Alcotest.(check bool)
+      (Fmt.str "key %d: %d -> %d keeps owner or joins the new shard" k o3 o4)
+      true
+      (o4 = o3 || o4 = 3);
+    if o4 <> o3 then incr moved
+  done;
+  Alcotest.(check bool) "some keys moved to the new shard" true (!moved > 0);
+  Alcotest.(check bool) "most keys stayed" true (!moved < keys / 2)
+
+(* -- pruning -- *)
+
+let test_range_admits () =
+  let p = partition ~scheme:(Shard.Range [ V.Int 10; V.Int 20 ]) 3 in
+  let adm k cs = Shard.admits p k cs in
+  (* shard 0 = [-inf,10), shard 1 = [10,20), shard 2 = [20,+inf) *)
+  Alcotest.(check bool) "eq in shard 0" true (adm 0 [ Shard.Ceq (V.Int 5) ]);
+  Alcotest.(check bool) "eq not in shard 1" false (adm 1 [ Shard.Ceq (V.Int 5) ]);
+  Alcotest.(check bool) "eq not in shard 2" false (adm 2 [ Shard.Ceq (V.Int 5) ]);
+  Alcotest.(check bool) "ge 10 excludes shard 0" false (adm 0 [ Shard.Cge (V.Int 10) ]);
+  Alcotest.(check bool) "ge 10 keeps shard 1" true (adm 1 [ Shard.Cge (V.Int 10) ]);
+  Alcotest.(check bool) "lt 12 keeps shard 1" true (adm 1 [ Shard.Clt (V.Int 12) ]);
+  Alcotest.(check bool) "lt 12 excludes shard 2" false (adm 2 [ Shard.Clt (V.Int 12) ]);
+  Alcotest.(check bool) "band keeps shard 1" true
+    (adm 1 [ Shard.Cgt (V.Int 5); Shard.Clt (V.Int 12) ]);
+  Alcotest.(check bool) "in-list reaches shard 0" true
+    (adm 0 [ Shard.Cin [ V.Int 5; V.Int 15 ] ]);
+  Alcotest.(check bool) "in-list misses shard 2" false
+    (adm 2 [ Shard.Cin [ V.Int 5; V.Int 15 ] ]);
+  (* conservative cases: empty membership and incomparable constants *)
+  Alcotest.(check bool) "empty in-list admits" true (adm 2 [ Shard.Cin [] ]);
+  Alcotest.(check bool) "incomparable admits" true
+    (adm 0 [ Shard.Ceq (V.String "x") ]);
+  Alcotest.(check bool) "no constraints admit" true (adm 1 [])
+
+let test_hash_admits () =
+  let p = partition 4 in
+  let owner = Shard.owner_of_key p (V.Int 7) in
+  let admitted =
+    List.filter (fun k -> Shard.admits p k [ Shard.Ceq (V.Int 7) ]) [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "equality admits only the owner" [ owner ] admitted;
+  (* order constraints give a ring no information *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Fmt.str "lt admits shard %d" k) true
+        (Shard.admits p k [ Shard.Clt (V.Int 7) ]))
+    [ 0; 1; 2; 3 ]
+
+(* -- registry integration -- *)
+
+let sharded_odl =
+  {|w0 := WrapperPostgres();
+    r0 := Repository(host="h0", name="db", address="0");
+    r1 := Repository(host="h1", name="db", address="1");
+    r2 := Repository(host="h2", name="db", address="2");
+    interface Person (extent person) {
+      attribute Short id;
+      attribute String name;
+      attribute Short salary; }
+    extent person of Person wrapper w0 sharded by id range (10, 20) across r0 r1 r2;|}
+
+let test_odl_sharded_extent () =
+  let reg = Registry.create () in
+  Odl_parser.load reg sharded_odl;
+  let parent =
+    match Registry.find_extent reg "person" with
+    | Some e -> e
+    | None -> Alcotest.fail "parent extent missing"
+  in
+  (match parent.Registry.me_partition with
+  | Some p ->
+      Alcotest.(check string) "shard key" "id" p.Shard.p_key;
+      Alcotest.(check int) "shard count" 3 (List.length p.Shard.p_shards)
+  | None -> Alcotest.fail "no partition recorded");
+  let children = Registry.shard_children reg "person" in
+  Alcotest.(check (list string))
+    "children registered in order"
+    [ "person__s0"; "person__s1"; "person__s2" ]
+    (List.map (fun c -> c.Registry.me_name) children);
+  List.iteri
+    (fun k c ->
+      Alcotest.(check string)
+        (Fmt.str "child %d repository" k)
+        (Fmt.str "r%d" k) c.Registry.me_repository;
+      Alcotest.(check string) "child wrapper inherited" "w0" c.Registry.me_wrapper)
+    children;
+  (* children resolve by name but stay out of the meta-extent *)
+  Alcotest.(check bool) "child resolvable" true
+    (Registry.find_extent reg "person__s1" <> None);
+  Alcotest.(check bool) "children hidden from enumeration" false
+    (List.exists
+       (fun e -> e.Registry.me_name = "person__s1")
+       (Registry.extents_of reg "Person"));
+  (* removing the parent cascades *)
+  Registry.remove_extent reg "person";
+  Alcotest.(check bool) "children removed with the parent" true
+    (Registry.find_extent reg "person__s1" = None)
+
+let test_odl_structural_errors () =
+  let load text =
+    let reg = Registry.create () in
+    Odl_parser.load reg
+      ({|w0 := WrapperPostgres();
+         r0 := Repository(host="h0", name="db", address="0");
+         r1 := Repository(host="h1", name="db", address="1");
+         interface Person (extent person) {
+           attribute Short id;
+           attribute String name; }|}
+      ^ text)
+  in
+  let raises text =
+    match load text with
+    | () -> false
+    | exception Registry.Odl_error _ -> true
+  in
+  Alcotest.(check bool) "boundary count must be shards - 1" true
+    (raises
+       "extent person of Person wrapper w0 sharded by id range (10, 20) \
+        across r0 r1;");
+  Alcotest.(check bool) "vnodes must be positive" true
+    (raises
+       "extent person of Person wrapper w0 sharded by id hash vnodes 0 \
+        across r0 r1;");
+  Alcotest.(check bool) "a well-formed declaration loads" false
+    (raises
+       "extent person of Person wrapper w0 sharded by id range (10) across \
+        r0 r1;");
+  (* unknown shard repositories are a lint finding (E014), not a load
+     error: declarations stay loadable so the checker can report them *)
+  Alcotest.(check bool) "unknown repo tolerated at load" false
+    (raises
+       "extent person of Person wrapper w0 sharded by id range (10) across \
+        r0 r9;")
+
+(* -- scatter-gather dedup (rebalance double-coverage) -- *)
+
+let dup_row = [| V.Int 999; V.String "Dup"; V.Int 50 |]
+
+(* Two shard sources, both holding [dup_row] — the state mid-rebalance
+   when a key range is double-covered.  Every other row sits where the
+   scheme places it. *)
+let double_covered_mediator ~scheme () =
+  let shards = 2 in
+  let p = partition ~scheme shards in
+  let m = Mediator.create ~name:"shardtest" () in
+  Mediator.load_odl m
+    {|w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }|};
+  let all_rows = Datagen.person_rows ~seed:7 ~n:10 in
+  for k = 0 to shards - 1 do
+    let slice =
+      List.filter (fun r -> Shard.shard_of_value p r.(0) = k) all_rows
+    in
+    let db = Database.create ~name:"db" in
+    ignore
+      (Datagen.table_of db ~name:(Shard.child_name "person" k)
+         Datagen.person_schema (dup_row :: slice));
+    Mediator.register_source m ~name:(Fmt.str "r%d" k)
+      (Source.create ~id:(Shard.child_name "person" k)
+         ~address:(Source.address ~host:(Fmt.str "h%d" k) ~db_name:"db" ~ip:"0" ())
+         (Source.Relational db));
+    Mediator.load_odl m
+      (Fmt.str {|r%d := Repository(host="h%d", name="db", address="0");|} k k)
+  done;
+  Mediator.load_odl m
+    (Fmt.str "extent person of Person wrapper w0 %a;" Shard.pp p);
+  m
+
+let dup_cardinal m =
+  match
+    (Mediator.query m "select x.name from x in person where x.name = \"Dup\"")
+      .Mediator.answer
+  with
+  | Mediator.Complete v -> V.cardinal v
+  | _ -> Alcotest.fail "expected a complete answer"
+
+let test_hash_gather_dedups () =
+  let m =
+    double_covered_mediator
+      ~scheme:(Shard.Hash { vnodes = Shard.default_vnodes })
+      ()
+  in
+  Alcotest.(check int) "double-covered tuple returned once" 1 (dup_cardinal m)
+
+let test_range_gather_keeps_bag_semantics () =
+  (* range shards cannot double-cover by construction, so their gather
+     stays a plain union: a duplicated tuple is a data fact, not a
+     rebalance artifact, and both copies surface *)
+  let m = double_covered_mediator ~scheme:(Shard.Range [ V.Int 5 ]) () in
+  Alcotest.(check int) "range union keeps both copies" 2 (dup_cardinal m)
+
+(* -- pin: no sharding declared, nothing changes -- *)
+
+(* The same 3-source seed federation test_properties pins; declared with
+   plain [repository] clauses, so every meta_extent has
+   [me_partition = None] and the shard resolver returns [None]
+   everywhere.  The stats must be bit-for-bit the seed's. *)
+let plain_federation () =
+  let m =
+    Mediator.create
+      ~config:{ Mediator.Config.default with batch = false }
+      ~name:"prop" ()
+  in
+  Mediator.load_odl m
+    {|w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }|};
+  for i = 0 to 2 do
+    let db = Database.create ~name:"db" in
+    ignore
+      (Datagen.table_of db
+         ~name:(Fmt.str "person%d" i)
+         Datagen.person_schema
+         (Datagen.person_rows ~seed:(1000 + i) ~n:8));
+    Mediator.register_source m
+      ~name:(Fmt.str "r%d" i)
+      (Source.create ~id:(Fmt.str "p%d" i)
+         ~address:
+           (Source.address ~host:(Fmt.str "h%d" i) ~db_name:"db" ~ip:"0" ())
+         (Source.Relational db));
+    Mediator.load_odl m
+      (Fmt.str
+         {|r%d := Repository(host="h%d", name="db", address="0");
+           extent person%d of Person wrapper w0 repository r%d;|}
+         i i i i)
+  done;
+  m
+
+let test_unsharded_pinned_stats () =
+  let m = plain_federation () in
+  let o = Mediator.query m "select x.name from x in person where x.salary > 10" in
+  let s = o.Mediator.stats in
+  Alcotest.(check int) "execs issued" 3 s.Runtime.execs_issued;
+  Alcotest.(check int) "execs answered" 3 s.Runtime.execs_answered;
+  Alcotest.(check int) "round trips" 3 s.Runtime.round_trips;
+  Alcotest.(check int) "tuples shipped" 24 s.Runtime.tuples_shipped;
+  Alcotest.(check (float 1e-9)) "virtual elapsed bit-for-bit"
+    5.4815723876953131 s.Runtime.elapsed_ms
+
+let () =
+  Alcotest.run "disco_shard"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "child names" `Quick test_child_name;
+          Alcotest.test_case "range index" `Quick test_range_index;
+          Alcotest.test_case "hash determinism" `Quick
+            test_hash_placement_deterministic;
+          Alcotest.test_case "ring stability on growth" `Quick
+            test_ring_stability;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "range admits" `Quick test_range_admits;
+          Alcotest.test_case "hash admits" `Quick test_hash_admits;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "sharded extent loads" `Quick
+            test_odl_sharded_extent;
+          Alcotest.test_case "structural errors" `Quick
+            test_odl_structural_errors;
+        ] );
+      ( "gather",
+        [
+          Alcotest.test_case "hash dedups double-coverage" `Quick
+            test_hash_gather_dedups;
+          Alcotest.test_case "range keeps bag semantics" `Quick
+            test_range_gather_keeps_bag_semantics;
+        ] );
+      ( "pin",
+        [
+          Alcotest.test_case "unsharded stats bit-for-bit" `Quick
+            test_unsharded_pinned_stats;
+        ] );
+    ]
