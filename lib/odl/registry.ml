@@ -146,7 +146,28 @@ let check_partition t ext (p : Disco_shard.Shard.partition) =
       if List.length bs <> n - 1 then
         odl_error
           "extent %s: range sharding over %d shards needs %d boundaries, got %d"
-          ext.me_name n (n - 1) (List.length bs)
+          ext.me_name n (n - 1) (List.length bs);
+      (* Placement ([range_index]) and pruning ([range_admits]) both
+         assume sorted, distinct, mutually comparable boundaries;
+         anything else makes them silently disagree, so it is a hard
+         error here ([discoctl lint] mirrors the rule as DISCO-E016). *)
+      let rec check_sorted = function
+        | a :: (b :: _ as rest) ->
+            (match V.numeric_compare a b with
+            | Some c when c < 0 -> ()
+            | Some _ ->
+                odl_error
+                  "extent %s: range boundaries %s and %s are unsorted or \
+                   duplicated"
+                  ext.me_name (V.to_string a) (V.to_string b)
+            | None ->
+                odl_error
+                  "extent %s: range boundaries %s and %s are not comparable"
+                  ext.me_name (V.to_string a) (V.to_string b));
+            check_sorted rest
+        | [ _ ] | [] -> ()
+      in
+      check_sorted bs
   | Disco_shard.Shard.Hash { vnodes } ->
       if vnodes < 1 then
         odl_error "extent %s: hash sharding needs at least 1 vnode" ext.me_name);

@@ -79,26 +79,42 @@ let is_empty_bag = function
 let prune ?metrics ~shard located =
   let pruned = ref 0 and scanned = ref 0 in
   let changed = ref false in
-  (* Does the constraint set exclude every shard child the submit
-     scans? True only when the submit scans at least one extent and
-     each is a shard child whose key constraints rule it out. *)
-  let excluded constrs inner =
-    match Expr.gets inner with
-    | [] -> false
-    | gets ->
-        List.for_all
-          (fun name ->
-            match shard name with
-            | None -> false
-            | Some (p, k) ->
-                let key_constrs =
-                  List.filter_map
-                    (fun (path, c) ->
-                      if path = [ p.Shard.p_key ] then Some c else None)
-                    constrs
-                in
-                key_constrs <> [] && not (Shard.admits p k key_constrs))
-          gets
+  (* Does the constraint set exclude every row the submit could
+     produce? The constraints live in the submit's *output* namespace,
+     and pushdown can move a renaming [Map] inside the submit
+     (rules.ml), so paths must be translated through the inner
+     expression — the same walk the outer tree gets — before they may
+     match a shard key. Conservative throughout: anything that cannot
+     be translated certainly (computed heads, joins, constant data,
+     non-shard extents) fails to exclude. *)
+  let rec excluded constrs inner =
+    match inner with
+    | Expr.Get name -> (
+        match shard name with
+        | None -> false
+        | Some (p, k) ->
+            let key_constrs =
+              List.filter_map
+                (fun (path, c) ->
+                  if path = [ p.Shard.p_key ] then Some c else None)
+                constrs
+            in
+            key_constrs <> [] && not (Shard.admits p k key_constrs))
+    | Expr.Data _ ->
+        (* constant rows are not bounded by any shard's key range *)
+        false
+    | Expr.Select (e, pred) -> excluded (constraints_of_pred pred @ constrs) e
+    | Expr.Map (e, head) -> (
+        match translate_constrs head constrs with
+        | Some constrs' -> excluded constrs' e
+        | None -> excluded [] e)
+    | Expr.Project (e, _) | Expr.Distinct e | Expr.Submit (_, e) ->
+        excluded constrs e
+    | Expr.Union es -> es <> [] && List.for_all (excluded constrs) es
+    | Expr.Join _ ->
+        (* join output merges both binding structs; no per-side
+           translation is attempted *)
+        false
   in
   let touches_shard inner =
     List.exists (fun name -> shard name <> None) (Expr.gets inner)
@@ -144,28 +160,53 @@ let prune ?metrics ~shard located =
 (* -- gather-step rewrite -- *)
 
 let merge_rewrite ~shard plan =
-  (* Every extent a member scans, as shard (parent, scheme) facts. *)
+  (* A union is the gather step of one hash-sharded scan only when its
+     members partition the extent: each member is a chain of unary
+     operators over a single [Exec] scanning exactly one shard child,
+     every child belongs to the same hash partition, and no child is
+     scanned by two members. The merge's dedup drops cross-branch
+     duplicates, so any looser shape — a member scanning the whole
+     extent, the same child in two branches, constant data, joins —
+     could carry legitimately duplicated tuples of a bag union and must
+     keep plain [Mk_union] semantics. *)
+  let rec member_scans p =
+    match p with
+    | Plan.Exec (_, e) -> Some (List.sort_uniq String.compare (Expr.gets e))
+    | Plan.Mk_select (q, _) | Plan.Mk_project (q, _) | Plan.Mk_map (q, _)
+    | Plan.Mk_distinct q ->
+        member_scans q
+    | Plan.Mk_data _ | Plan.Nested_loop_join _ | Plan.Hash_join _
+    | Plan.Merge_join _ | Plan.Semi_join _ | Plan.Mk_union _
+    | Plan.Mk_shard_merge _ ->
+        None
+  in
+  let hash_child name =
+    match shard name with
+    | Some (p, _) -> (
+        match p.Shard.p_scheme with
+        | Shard.Hash _ -> Some p
+        | Shard.Range _ -> None)
+    | None -> None
+  in
+  let member_child p =
+    match member_scans p with
+    | Some [ name ] ->
+        Option.map (fun part -> (name, part)) (hash_child name)
+    | Some _ | None -> None
+  in
   let hash_sharded_family ps =
-    let names =
-      List.concat_map
-        (fun p -> List.concat_map (fun (_, e) -> Expr.gets e) (Plan.execs p))
-        ps
-    in
-    let family =
-      List.map
-        (fun name ->
-          match shard name with
-          | Some (p, _) -> (
-              match p.Shard.p_scheme with
-              | Shard.Hash _ -> Some p
-              | Shard.Range _ -> None)
-          | None -> None)
-        names
-    in
-    match family with
-    | Some p0 :: rest ->
-        List.for_all (function Some p -> p = p0 | None -> false) rest
-    | _ -> false
+    match List.map member_child ps with
+    | [] -> false
+    | children ->
+        List.for_all (fun c -> c <> None) children
+        &&
+        let children = List.filter_map Fun.id children in
+        (match children with
+        | (_, p0) :: rest -> List.for_all (fun (_, p) -> p = p0) rest
+        | [] -> false)
+        &&
+        let names = List.map fst children in
+        List.length (List.sort_uniq String.compare names) = List.length names
   in
   let rec go p =
     match p with

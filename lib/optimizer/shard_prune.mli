@@ -28,8 +28,10 @@ val prune :
     is a shard child ([None] otherwise — the pass then leaves its
     [Submit] alone). Collects top-level conjuncts of [Select]
     predicates, translates attribute paths through pure-renaming [Map]
-    heads (binding structs and aliasing), and replaces a [Submit] whose
-    source extents are all excluded shard children by [Data (Bag [])],
+    heads (binding structs and aliasing) on {e both} sides of the
+    submit boundary — pushdown may have moved a renaming head inside
+    the submit — and replaces a [Submit] whose rows provably all come
+    from excluded shard children by [Data (Bag [])],
     then drops such empty members from enclosing [Union]s. Returns the
     input expression {e itself} when nothing prunes, so default-off
     behaviour is structurally unchanged. Metrics: [shard.pruned] /
@@ -37,8 +39,15 @@ val prune :
 
 val merge_rewrite :
   shard:(string -> (Shard.partition * int) option) -> Plan.plan -> Plan.plan
-(** Rewrite every [Mk_union] whose members scan only shard children of
-    one {e hash}-partitioned extent into [Mk_shard_merge] (range shards
-    cannot double-cover, so their plain union stands). Applied to each
-    implemented candidate; returns the plan itself when nothing
+(** Rewrite a [Mk_union] that is the gather step of one {e
+    hash}-partitioned extent into [Mk_shard_merge] (range shards cannot
+    double-cover, so their plain union stands). A union qualifies only
+    when its members partition the extent — each member is a chain of
+    unary operators over a single [Exec] scanning exactly one shard
+    child, all children belong to the same hash partition, and no child
+    is scanned by two members. Anything looser (a member scanning the
+    whole extent, the same child in two branches, constant data, joins)
+    can carry legitimately duplicated tuples across branches, which the
+    merge's dedup would drop, so it keeps bag-union semantics. Applied
+    to each implemented candidate; returns the plan itself when nothing
     rewrites. *)

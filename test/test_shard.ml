@@ -16,6 +16,9 @@
 
 module V = Disco_value.Value
 module Shard = Disco_shard.Shard
+module Expr = Disco_algebra.Expr
+module Plan = Disco_physical.Plan
+module Shard_prune = Disco_optimizer.Shard_prune
 module Registry = Disco_odl.Registry
 module Odl_parser = Disco_odl.Odl_parser
 module Database = Disco_relation.Database
@@ -127,6 +130,105 @@ let test_hash_admits () =
         (Shard.admits p k [ Shard.Clt (V.Int 7) ]))
     [ 0; 1; 2; 3 ]
 
+(* -- the prune pass: constraint translation across the submit -- *)
+
+(* Resolver for children of a "person" partition, as the mediator
+   derives one from the registry. *)
+let shard_resolver p name =
+  let n = List.length p.Shard.p_shards in
+  let rec find k =
+    if k >= n then None
+    else if String.equal name (Shard.child_name "person" k) then Some (p, k)
+    else find (k + 1)
+  in
+  find 0
+
+let test_prune_translates_through_inner_map () =
+  (* shard 0 = [-inf,10), shard 1 = [10,20), shard 2 = [20,+inf) *)
+  let p = partition ~scheme:(Shard.Range [ V.Int 10; V.Int 20 ]) 3 in
+  let shard = shard_resolver p in
+  let eq path n = Expr.Cmp (Expr.Eq, Expr.Attr path, Expr.Const (V.Int n)) in
+  (* Pushdown can move a renaming Map inside the submit; the outer
+     constraint [k = 5] must follow the rename onto the shard key and
+     still prune. *)
+  let renamed =
+    Expr.Select
+      ( Expr.Submit
+          ( "r1",
+            Expr.Map
+              ( Expr.Get "person__s1",
+                Expr.Hstruct [ ("k", Expr.Attr [ "id" ]) ] ) ),
+        eq [ "k" ] 5 )
+  in
+  Alcotest.(check (list string))
+    "rename onto the key prunes the excluded shard" []
+    (Expr.gets (Shard_prune.prune ~shard renamed));
+  (* The reviewer's trap: the visible [id] is really [salary], so a
+     constraint on it says nothing about the shard key and the scan
+     must survive. *)
+  let aliased =
+    Expr.Select
+      ( Expr.Submit
+          ( "r1",
+            Expr.Map
+              ( Expr.Get "person__s1",
+                Expr.Hstruct [ ("id", Expr.Attr [ "salary" ]) ] ) ),
+        eq [ "id" ] 5 )
+  in
+  Alcotest.(check (list string))
+    "alias shadowing the key must not prune" [ "person__s1" ]
+    (Expr.gets (Shard_prune.prune ~shard aliased));
+  (* A selection already pushed inside the submit constrains the key in
+     the inner namespace directly. *)
+  let inner_select =
+    Expr.Submit ("r1", Expr.Select (Expr.Get "person__s1", eq [ "id" ] 5))
+  in
+  Alcotest.(check (list string))
+    "inner selection on the key prunes" []
+    (Expr.gets (Shard_prune.prune ~shard inner_select))
+
+(* -- the merge rewrite: only a partitioning union may dedup -- *)
+
+let test_merge_rewrite_requires_partitioning () =
+  let p = partition 2 in
+  let shard = shard_resolver p in
+  let ex k =
+    Plan.Exec (Fmt.str "r%d" k, Expr.Get (Shard.child_name "person" k))
+  in
+  let is_merge = function Plan.Mk_shard_merge _ -> true | _ -> false in
+  let rewrites pl = is_merge (Shard_prune.merge_rewrite ~shard pl) in
+  Alcotest.(check bool) "one branch per distinct child rewrites" true
+    (rewrites (Plan.Mk_union [ ex 0; ex 1 ]));
+  Alcotest.(check bool) "unary chains over a single exec qualify" true
+    (rewrites (Plan.Mk_union [ Plan.Mk_select (ex 0, Expr.True); ex 1 ]));
+  (* person union person, flattened: each child scanned by two
+     branches — cross-branch duplicates are legitimate bag tuples *)
+  Alcotest.(check bool) "self-union stays a bag union" false
+    (rewrites (Plan.Mk_union [ ex 0; ex 1; ex 0; ex 1 ]));
+  (* nested shape: each member is itself a whole-extent gather; the
+     inner unions dedup their own double-coverage, the outer union
+     must keep both copies *)
+  (match
+     Shard_prune.merge_rewrite ~shard
+       (Plan.Mk_union
+          [ Plan.Mk_union [ ex 0; ex 1 ]; Plan.Mk_union [ ex 0; ex 1 ] ])
+   with
+  | Plan.Mk_union [ inner0; inner1 ] ->
+      Alcotest.(check bool) "inner gathers rewrite" true
+        (is_merge inner0 && is_merge inner1)
+  | _ -> Alcotest.fail "outer union of whole-extent scans must survive");
+  (* constant rows are never placement-bounded, so they may collide
+     with any branch *)
+  Alcotest.(check bool) "constant-data member disqualifies" false
+    (rewrites
+       (Plan.Mk_union [ ex 0; ex 1; Plan.Mk_data (V.bag [ V.Int 1 ]) ]));
+  (* a range gather never rewrites *)
+  let pr = partition ~scheme:(Shard.Range [ V.Int 10 ]) 2 in
+  Alcotest.(check bool) "range gather stays a bag union" false
+    (is_merge
+       (Shard_prune.merge_rewrite ~shard:(shard_resolver pr)
+          (Plan.Mk_union [ ex 0; ex 1 ])))
+
 (* -- registry integration -- *)
 
 let sharded_odl =
@@ -202,6 +304,17 @@ let test_odl_structural_errors () =
     (raises
        "extent person of Person wrapper w0 sharded by id hash vnodes 0 \
         across r0 r1;");
+  (* placement (range_index) and pruning (range_admits) assume sorted
+     distinct boundaries, so anything else is rejected at load — not
+     merely flagged by the optional lint pass *)
+  Alcotest.(check bool) "unsorted range boundaries rejected" true
+    (raises
+       "extent person of Person wrapper w0 sharded by id range (20, 10) \
+        across r0 r1 r0;");
+  Alcotest.(check bool) "duplicate range boundaries rejected" true
+    (raises
+       "extent person of Person wrapper w0 sharded by id range (10, 10) \
+        across r0 r1 r0;");
   Alcotest.(check bool) "a well-formed declaration loads" false
     (raises
        "extent person of Person wrapper w0 sharded by id range (10) across \
@@ -265,6 +378,26 @@ let test_hash_gather_dedups () =
       ()
   in
   Alcotest.(check int) "double-covered tuple returned once" 1 (dup_cardinal m)
+
+(* A bag union of two scans of the same sharded extent legitimately
+   duplicates every tuple; only each scan's own gather may dedup its
+   rebalance double-coverage, never the outer union across scans. *)
+let test_union_of_sharded_scans_keeps_bag_semantics () =
+  let m =
+    double_covered_mediator
+      ~scheme:(Shard.Hash { vnodes = Shard.default_vnodes })
+      ()
+  in
+  let q =
+    "union(select x.name from x in person where x.id < 900, select x.name \
+     from x in person where x.id < 900)"
+  in
+  match (Mediator.query m q).Mediator.answer with
+  | Mediator.Complete v ->
+      (* 10 generated rows per scan (the planted duplicate has id 999),
+         and both scans' copies must surface *)
+      Alcotest.(check int) "each branch keeps its own copy" 20 (V.cardinal v)
+  | _ -> Alcotest.fail "expected a complete answer"
 
 let test_range_gather_keeps_bag_semantics () =
   (* range shards cannot double-cover by construction, so their gather
@@ -339,6 +472,8 @@ let () =
         [
           Alcotest.test_case "range admits" `Quick test_range_admits;
           Alcotest.test_case "hash admits" `Quick test_hash_admits;
+          Alcotest.test_case "constraint translation across the submit"
+            `Quick test_prune_translates_through_inner_map;
         ] );
       ( "registry",
         [
@@ -353,6 +488,10 @@ let () =
             test_hash_gather_dedups;
           Alcotest.test_case "range keeps bag semantics" `Quick
             test_range_gather_keeps_bag_semantics;
+          Alcotest.test_case "merge rewrite requires a partitioning union"
+            `Quick test_merge_rewrite_requires_partitioning;
+          Alcotest.test_case "union of sharded scans keeps bag semantics"
+            `Quick test_union_of_sharded_scans_keeps_bag_semantics;
         ] );
       ( "pin",
         [
