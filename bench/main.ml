@@ -44,6 +44,9 @@ module Maintenance = Disco_core.Maintenance
 module Composition = Disco_core.Composition
 module Trace = Disco_obs.Trace
 module Metrics = Disco_obs.Metrics
+module Scheduler = Disco_source.Scheduler
+module Server = Disco_serve.Server
+module Loadgen = Disco_serve.Loadgen
 
 let header title = Fmt.pr "@.======== %s ========@." title
 
@@ -1699,14 +1702,153 @@ let bechamel_suite () =
   table ~columns:[ "bench"; "time/run" ] (List.sort compare !rows)
 
 (* ==================================================================== *)
+(* E15 - wall-clock serving: admission control and load shedding        *)
+(* ==================================================================== *)
+
+(* A person-federation replica for serve mode. Unlike [mk_mediator] it
+   carries no trace sink — the sink's hashtable fold is not thread-safe
+   and serve-mode workers finish queries concurrently — and it runs on
+   the given wall scheduler, so the sources' simulated latencies become
+   real service times. One replica per worker thread: per-worker state
+   needs no locking. *)
+let e15_replica ~sched n =
+  let m =
+    Mediator.create
+      ~config:
+        { Mediator.Config.default with sched = Some sched; metrics = bench_metrics }
+      ~name:"serve" ()
+  in
+  Mediator.load_odl m
+    {|w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }|};
+  for i = 0 to n - 1 do
+    Mediator.register_source m ~name:(Fmt.str "r%d" i)
+      (person_source ~index:i ~rows:5 ());
+    Mediator.load_odl m
+      (Fmt.str
+         {|r%d := Repository(host="site%d", name="db", address="0.0.0.0");
+           extent person%d of Person wrapper w0 repository r%d;|}
+         i i i i)
+  done;
+  m
+
+let e15_pool =
+  [|
+    paper_query;
+    "select x.name from x in person where x.salary > 30";
+    "select x from x in person where x.id = 3";
+    "select x.salary from x in person";
+  |]
+
+(* One open-loop run against an in-process server; returns the table row
+   ingredients and pushes a wall-clock JSON record for the artifact. *)
+let e15_run ~label ~inflight ~queue_bound ~rate ~duration_s =
+  let sched = Scheduler.wall ~domains:2 () in
+  let meds = Array.init inflight (fun _ -> e15_replica ~sched 4) in
+  let opts = qopts ~timeout_ms:5000.0 () in
+  let worker i ~tenant:_ oql =
+    match Mediator.query ~opts meds.(i) oql with
+    | o ->
+        Server.Answered
+          { body = "ok"; elapsed_ms = o.Mediator.stats.Runtime.elapsed_ms }
+    | exception e -> Server.Failed (Printexc.to_string e)
+  in
+  let srv =
+    Server.create ~inflight ~queue_bound ~metrics:bench_metrics ~worker ()
+  in
+  let r =
+    Loadgen.run ~zipf_s:1.1 ~seed:42 ~tenants:[ "t0"; "t1" ] ~queries:e15_pool
+      ~rate ~duration_s (Loadgen.Direct srv)
+  in
+  Server.stop srv;
+  Scheduler.shutdown sched;
+  bench_results :=
+    Fmt.str
+      "{\"experiment\":\"e15\",\"mode\":\"wall\",\"run\":%S,\"inflight\":%d,\"queue_bound\":%d,\"offered_qps\":%.0f,\"sent\":%d,\"completed\":%d,\"shed\":%d,\"errors\":%d,\"qps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"p999_ms\":%.3f}"
+      label inflight queue_bound rate r.Loadgen.r_sent r.Loadgen.r_completed
+      r.Loadgen.r_shed r.Loadgen.r_errors r.Loadgen.r_qps r.Loadgen.r_p50_ms
+      r.Loadgen.r_p99_ms r.Loadgen.r_p999_ms
+    :: !bench_results;
+  (label, inflight, queue_bound, rate, r)
+
+let e15 () =
+  header "E15: wall-clock serving - admission control and load shedding";
+  Fmt.pr "claim: the serve-mode admission limit bounds concurrency: offered@.";
+  Fmt.pr "       load below capacity sheds nothing, while past the queue@.";
+  Fmt.pr "       bound excess arrivals are rejected with resubmittable@.";
+  Fmt.pr "       residuals (open-loop Zipf arrivals, real domains).@.@.";
+  let under =
+    e15_run ~label:"underload" ~inflight:4 ~queue_bound:64 ~rate:40.0
+      ~duration_s:1.5
+  in
+  let over =
+    e15_run ~label:"overload" ~inflight:1 ~queue_bound:2 ~rate:200.0
+      ~duration_s:1.0
+  in
+  table
+    ~columns:
+      [
+        "run"; "inflight"; "qbound"; "offered"; "sent"; "done"; "shed"; "err";
+        "qps"; "p50 ms"; "p99 ms"; "p999 ms";
+      ]
+    (List.map
+       (fun (label, inflight, qb, rate, r) ->
+         [
+           label; string_of_int inflight; string_of_int qb;
+           Fmt.str "%.0f/s" rate; string_of_int r.Loadgen.r_sent;
+           string_of_int r.Loadgen.r_completed; string_of_int r.Loadgen.r_shed;
+           string_of_int r.Loadgen.r_errors; Fmt.str "%.1f" r.Loadgen.r_qps;
+           Fmt.str "%.2f" r.Loadgen.r_p50_ms; Fmt.str "%.2f" r.Loadgen.r_p99_ms;
+           Fmt.str "%.2f" r.Loadgen.r_p999_ms;
+         ])
+       [ under; over ]);
+  let (_, _, _, _, ur) = under and _, _, _, _, ov = over in
+  if ur.Loadgen.r_shed <> 0 then failwith "E15: underload run shed requests";
+  if ur.Loadgen.r_errors <> 0 then failwith "E15: underload run errored";
+  if ov.Loadgen.r_shed = 0 then failwith "E15: overload run shed nothing";
+  if ov.Loadgen.r_errors <> 0 then failwith "E15: overload run errored";
+  Fmt.pr "@.underload shed=0, overload shed=%d: admission limit enforced@."
+    ov.Loadgen.r_shed
+
+(* ==================================================================== *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("a1", a1); ("a2", a2);
-    ("a3", a3); ("soak", soak);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("a1", a1);
+    ("a2", a2); ("a3", a3); ("soak", soak);
   ]
+
+(* --merge-results folds an existing BENCH_RESULTS.json (one object per
+   line) in front of this run's entries, so a follow-up invocation (CI's
+   wall-clock E15 step) appends to the artifact instead of overwriting
+   the virtual-clock series. *)
+let merge_existing_results () =
+  match open_in "BENCH_RESULTS.json" with
+  | exception Sys_error _ -> ()
+  | ic ->
+      let entries = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           let line =
+             if String.length line > 0 && line.[String.length line - 1] = ','
+             then String.sub line 0 (String.length line - 1)
+             else line
+           in
+           if String.length line > 0 && line.[0] = '{' then
+             entries := line :: !entries
+         done
+       with End_of_file -> ());
+      close_in ic;
+      (* both lists are newest-first; the final [List.rev] in
+         [write_results_file] restores file order with the old entries
+         leading. *)
+      bench_results := !bench_results @ !entries
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -1733,9 +1875,10 @@ let () =
       match List.assoc_opt name experiments with
       | Some f -> run (name, f)
       | None ->
-          Fmt.epr "unknown experiment %s (e1..e14, a1..a3, soak)@." name;
+          Fmt.epr "unknown experiment %s (e1..e15, a1..a3, soak)@." name;
           exit 1)
   | None ->
       List.iter run experiments;
       if not no_bechamel then bechamel_suite ());
+  if List.mem "--merge-results" args then merge_existing_results ();
   write_results_file ()

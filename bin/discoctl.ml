@@ -3,21 +3,30 @@
    The tool builds a demo federation (the paper's person world, a
    configurable number of sources) or loads ODL from a file, then runs
    queries, explains plans, simulates outages, and prints the catalog.
+   `serve` turns the same federation into a long-running server speaking
+   a line protocol; `load` drives it with an open-loop workload.
+
+   Shared feature flags can live in a key=value file passed with
+   --config; the individual flags remain as overriding aliases.
 
    Examples:
 
      discoctl query "select x.name from x in person where x.salary > 10"
      discoctl query --sources 8 --down r1,r3 --timeout 50 "..."
+     discoctl query --config fed.conf "..."
      discoctl explain "select x.name from x in person"
      discoctl repl --sources 4
      discoctl schema --odl my_schema.odl
      discoctl cache-stats --repeat 5 "select x.name from x in person"
-     discoctl resubmit --down r0 --recover-at 500 "..." *)
+     discoctl resubmit --down r0 --recover-at 500 "..."
+     discoctl serve --port 7411 --inflight 4 --queue-bound 64
+     discoctl load --port 7411 --rate 50 --duration 2 --health *)
 
 module V = Disco_value.Value
 module Shard = Disco_shard.Shard
 module Source = Disco_source.Source
 module Schedule = Disco_source.Schedule
+module Scheduler = Disco_source.Scheduler
 module Datagen = Disco_source.Datagen
 module Database = Disco_relation.Database
 module Mediator = Disco_core.Mediator
@@ -34,6 +43,9 @@ module Typecheck = Disco_oql.Typecheck
 module Oql_parser = Disco_oql.Parser
 module Expand = Disco_core.Expand
 module Runtime = Disco_runtime.Runtime
+module Metrics = Disco_obs.Metrics
+module Server = Disco_serve.Server
+module Loadgen = Disco_serve.Loadgen
 
 open Cmdliner
 
@@ -50,10 +62,331 @@ let verbosity_arg =
   let doc = "Log verbosity: repeat for more (-v info, -vv debug)." in
   Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
 
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
 (* -- federation setup -- *)
 
 let qopts ?(timeout_ms = 1000.0) ?(semantics = Mediator.Partial_answers) () =
   { Mediator.Query_opts.default with timeout_ms; semantics }
+
+(* -- --config FILE: the feature flags as one key=value file -- *)
+
+(* Precedence is defaults < config file < explicit command-line flag, so
+   the old per-feature flags keep working as thin aliases over the
+   file. *)
+module Conf = struct
+  type t = {
+    sources : int;
+    rows : int;
+    wrapper : string;
+    shards : int;
+    shard_scheme : [ `Range | `Hash ];
+    down : string list;
+    odl_file : string option;
+    timeout : float;
+    semantics : Mediator.semantics;
+    use_cache : bool;
+    retry : Runtime.Retry.t option;
+  }
+end
+
+exception Conf_error of string
+
+let conf_fail fmt = Format.kasprintf (fun s -> raise (Conf_error s)) fmt
+
+let conf_keys =
+  [
+    "sources"; "rows"; "wrapper"; "shards"; "shard-scheme"; "down"; "odl";
+    "timeout"; "semantics"; "max-stale"; "cache"; "retry"; "retry-initial";
+    "retry-multiplier"; "retry-attempts"; "hedge"; "breaker";
+    "breaker-cooldown";
+  ]
+
+let parse_kv_file path =
+  read_file path |> String.split_on_char '\n'
+  |> List.concat_map (fun raw ->
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then []
+         else
+           match String.index_opt line '=' with
+           | None -> conf_fail "%s: expected key=value, got %S" path line
+           | Some i ->
+               let key = String.trim (String.sub line 0 i) in
+               let v =
+                 String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               if not (List.mem key conf_keys) then
+                 conf_fail "%s: unknown key %S (known: %s)" path key
+                   (String.concat ", " conf_keys);
+               [ (key, v) ])
+
+let kv_int key v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> conf_fail "config: %s: expected an integer, got %S" key v
+
+let kv_float key v =
+  match float_of_string_opt v with
+  | Some x -> x
+  | None -> conf_fail "config: %s: expected a number, got %S" key v
+
+let kv_bool key v =
+  match String.lowercase_ascii v with
+  | "true" | "yes" | "on" | "1" -> true
+  | "false" | "no" | "off" | "0" -> false
+  | _ -> conf_fail "config: %s: expected a boolean, got %S" key v
+
+let kv_scheme key v =
+  match v with
+  | "range" -> `Range
+  | "hash" -> `Hash
+  | _ -> conf_fail "config: %s: expected range or hash, got %S" key v
+
+let sem_of_name key max_stale = function
+  | "partial" -> Mediator.Partial_answers
+  | "wait-all" -> Mediator.Wait_all
+  | "null" -> Mediator.Null_sources
+  | "skip" -> Mediator.Skip_sources
+  | "cached" -> Mediator.Cached_fallback { max_stale_ms = max_stale }
+  | v -> conf_fail "config: %s: unknown semantics %S" key v
+
+let is_cached_semantics = function
+  | Mediator.Cached_fallback _ -> true
+  | Mediator.Partial_answers | Mediator.Wait_all | Mediator.Null_sources
+  | Mediator.Skip_sources ->
+      false
+
+(* -- common options (all optional: unset falls back to --config, then
+   to the built-in default) -- *)
+
+let config_arg =
+  let doc =
+    "Read shared options from $(docv), a key=value file (one pair per \
+     line, '#' comments). Keys: sources, rows, wrapper, shards, \
+     shard-scheme, down, odl, timeout, semantics, max-stale, cache, \
+     retry, retry-initial, retry-multiplier, retry-attempts, hedge, \
+     breaker, breaker-cooldown. Explicit command-line flags override \
+     the file."
+  in
+  Arg.(value & opt (some file) None & info [ "config" ] ~docv:"FILE" ~doc)
+
+let sources_arg =
+  let doc =
+    "Number of generated person sources in the demo federation (default 2)."
+  in
+  Arg.(value & opt (some int) None & info [ "sources"; "n" ] ~docv:"N" ~doc)
+
+let rows_arg =
+  let doc = "Rows per generated source (default 10)." in
+  Arg.(value & opt (some int) None & info [ "rows" ] ~docv:"ROWS" ~doc)
+
+let wrapper_arg =
+  let doc =
+    "Wrapper constructor for the demo sources (WrapperPostgres, \
+     WrapperSelect, WrapperProject, WrapperScan; default WrapperPostgres)."
+  in
+  Arg.(value & opt (some string) None & info [ "wrapper" ] ~docv:"W" ~doc)
+
+let shards_arg =
+  let doc =
+    "Shard the demo person extent across N repositories (child extents \
+     person__s0..person__s(N-1), one source each) instead of declaring N \
+     independent extents. 0 disables sharding. Rows per shard follow \
+     --rows; placement follows the declared scheme, so predicates on \
+     x.id prune."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+
+let shard_scheme_arg =
+  let doc =
+    "Partitioning scheme for --shards: range (id boundaries at multiples \
+     of --rows) or hash (consistent-hash ring, deduplicating gather)."
+  in
+  Arg.(
+    value
+    & opt (some (Arg.enum [ ("range", `Range); ("hash", `Hash) ])) None
+    & info [ "shard-scheme" ] ~docv:"SCHEME" ~doc)
+
+let down_arg =
+  let doc = "Comma-separated repository names to take offline (e.g. r0,r2)." in
+  let repos = Arg.(list ~sep:',' string) in
+  Arg.(value & opt (some repos) None & info [ "down" ] ~docv:"REPOS" ~doc)
+
+let timeout_arg =
+  let doc =
+    "Designated deadline in virtual milliseconds (Section 4; default 1000)."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"MS" ~doc)
+
+let odl_arg =
+  let doc = "Load this ODL file instead of building the demo federation." in
+  Arg.(value & opt (some file) None & info [ "odl" ] ~docv:"FILE" ~doc)
+
+let semantics_arg =
+  let doc =
+    "Unavailable-data semantics: partial (default), wait-all, null, skip, or \
+     cached (serve outages from the answer cache, see --max-stale; implies \
+     --cache)."
+  in
+  let names = [ "partial"; "wait-all"; "null"; "skip"; "cached" ] in
+  Arg.(
+    value
+    & opt (some (Arg.enum (List.map (fun n -> (n, n)) names))) None
+    & info [ "semantics" ] ~doc)
+
+let max_stale_arg =
+  let doc =
+    "Staleness budget (virtual ms) for --semantics cached: outage fallbacks \
+     are only served from cache entries at most this old (default 60000)."
+  in
+  Arg.(value & opt (some float) None & info [ "max-stale" ] ~docv:"MS" ~doc)
+
+let cache_arg =
+  let doc = "Attach a semantic answer cache to the mediator." in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+(* -- retry/hedge/breaker options (DESIGN.md §4g) -- *)
+
+let retry_flag_arg =
+  let doc =
+    "Enable the deadline-aware retry scheduler: blocked execs are \
+     re-polled on exponential backoff within the query deadline instead \
+     of finalizing at issue time."
+  in
+  Arg.(value & flag & info [ "retry" ] ~doc)
+
+let retry_initial_arg =
+  let doc = "Delay (virtual ms) before the first re-poll (default 50)." in
+  Arg.(value & opt (some float) None & info [ "retry-initial" ] ~docv:"MS" ~doc)
+
+let retry_multiplier_arg =
+  let doc = "Backoff multiplier between re-polls (default 2)." in
+  Arg.(
+    value & opt (some float) None & info [ "retry-multiplier" ] ~docv:"X" ~doc)
+
+let retry_attempts_arg =
+  let doc = "Maximum re-polls per blocked exec (default 4)." in
+  Arg.(value & opt (some int) None & info [ "retry-attempts" ] ~docv:"N" ~doc)
+
+let hedge_arg =
+  let doc =
+    "Hedge delay (virtual ms): when the primary's answer would land later \
+     than this, also dial the first live replica and keep the earlier \
+     completion. Implies --retry."
+  in
+  Arg.(value & opt (some float) None & info [ "hedge" ] ~docv:"MS" ~doc)
+
+let breaker_arg =
+  let doc =
+    "Circuit-breaker threshold: skip re-polls/hedges to a source after \
+     this many consecutive failures. Implies --retry."
+  in
+  Arg.(value & opt (some int) None & info [ "breaker" ] ~docv:"N" ~doc)
+
+let breaker_cooldown_arg =
+  let doc =
+    "How long (virtual ms) an open breaker rejects calls before a \
+     half-open probe (default 400)."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "breaker-cooldown" ] ~docv:"MS" ~doc)
+
+let conf_term =
+  let mk config sources rows wrapper shards shard_scheme down odl timeout
+      semantics max_stale cache retry_flag retry_initial retry_multiplier
+      retry_attempts hedge breaker breaker_cooldown =
+    try
+      let kv = match config with None -> [] | Some path -> parse_kv_file path in
+      let str key = List.assoc_opt key kv in
+      let pick flag key parse default =
+        match flag with
+        | Some v -> v
+        | None -> (
+            match str key with Some s -> parse key s | None -> default)
+      in
+      let max_stale = pick max_stale "max-stale" kv_float 60_000.0 in
+      let semantics =
+        let name =
+          match semantics with Some s -> Some s | None -> str "semantics"
+        in
+        match name with
+        | None -> Mediator.Partial_answers
+        | Some n -> sem_of_name "semantics" max_stale n
+      in
+      let use_cache =
+        cache
+        || (match str "cache" with
+           | Some s -> kv_bool "cache" s
+           | None -> false)
+        || is_cached_semantics semantics
+      in
+      let retry_enabled =
+        retry_flag
+        || match str "retry" with Some s -> kv_bool "retry" s | None -> false
+      in
+      let hedge_ms =
+        match hedge with
+        | Some _ as v -> v
+        | None -> Option.map (kv_float "hedge") (str "hedge")
+      in
+      let breaker_threshold =
+        match breaker with
+        | Some _ as v -> v
+        | None -> Option.map (kv_int "breaker") (str "breaker")
+      in
+      let retry =
+        if retry_enabled || hedge_ms <> None || breaker_threshold <> None then
+          Some
+            (Runtime.Retry.make
+               ~initial_ms:(pick retry_initial "retry-initial" kv_float 50.0)
+               ~multiplier:
+                 (pick retry_multiplier "retry-multiplier" kv_float 2.0)
+               ~max_attempts:(pick retry_attempts "retry-attempts" kv_int 4)
+               ?hedge_ms ?breaker_threshold
+               ~breaker_cooldown_ms:
+                 (pick breaker_cooldown "breaker-cooldown" kv_float 400.0)
+               ())
+        else None
+      in
+      Ok
+        {
+          Conf.sources = pick sources "sources" kv_int 2;
+          rows = pick rows "rows" kv_int 10;
+          wrapper = pick wrapper "wrapper" (fun _ s -> s) "WrapperPostgres";
+          shards = pick shards "shards" kv_int 0;
+          shard_scheme = pick shard_scheme "shard-scheme" kv_scheme `Range;
+          down =
+            pick down "down"
+              (fun _ s ->
+                String.split_on_char ',' s |> List.map String.trim
+                |> List.filter (fun r -> r <> ""))
+              [];
+          odl_file = (match odl with Some _ as p -> p | None -> str "odl");
+          timeout = pick timeout "timeout" kv_float 1000.0;
+          semantics;
+          use_cache;
+          retry;
+        }
+    with
+    | Conf_error msg -> Error msg
+    | Sys_error msg -> Error msg
+  in
+  Term.term_result'
+    Term.(
+      const mk $ config_arg $ sources_arg $ rows_arg $ wrapper_arg $ shards_arg
+      $ shard_scheme_arg $ down_arg $ odl_arg $ timeout_arg $ semantics_arg
+      $ max_stale_arg $ cache_arg $ retry_flag_arg $ retry_initial_arg
+      $ retry_multiplier_arg $ retry_attempts_arg $ hedge_arg $ breaker_arg
+      $ breaker_cooldown_arg)
+
+let conf_qopts (conf : Conf.t) =
+  qopts ~timeout_ms:conf.Conf.timeout ~semantics:conf.Conf.semantics ()
 
 (* The sharded demo federation: one logical [person] extent declared
    [sharded by id] across N repositories. Rows are sliced with
@@ -109,29 +442,27 @@ let load_sharded_demo m ~shards ~shard_scheme ~rows ~wrapper =
   Mediator.load_odl m
     (Fmt.str "extent person of Person wrapper w0 %a;" Shard.pp partition)
 
-let build_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry
-    ?(shards = 0) ?(shard_scheme = `Range) ~sources ~rows ~wrapper ~down
-    ~odl_file () =
+let build_mediator ?cache ?trace_sink ?metrics ?recover_at ?sched
+    (conf : Conf.t) =
   let config =
     {
       Mediator.Config.default with
       cache;
       trace_sink;
       metrics =
-        Option.value metrics ~default:Mediator.Config.default.Mediator.Config.metrics;
-      retry;
+        Option.value metrics
+          ~default:Mediator.Config.default.Mediator.Config.metrics;
+      retry = conf.Conf.retry;
+      sched;
     }
   in
   let m = Mediator.create ~config ~name:"discoctl" () in
-  (match odl_file with
-  | Some path ->
-      let ic = open_in path in
-      let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      close_in ic;
-      Mediator.load_odl m text
-  | None when shards > 0 ->
-      load_sharded_demo m ~shards ~shard_scheme ~rows ~wrapper
+  (match conf.Conf.odl_file with
+  | Some path -> Mediator.load_odl m (read_file path)
+  | None when conf.Conf.shards > 0 ->
+      load_sharded_demo m ~shards:conf.Conf.shards
+        ~shard_scheme:conf.Conf.shard_scheme ~rows:conf.Conf.rows
+        ~wrapper:conf.Conf.wrapper
   | None ->
       Mediator.load_odl m
         (Fmt.str
@@ -140,13 +471,13 @@ let build_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry
                attribute Short id;
                attribute String name;
                attribute Short salary; }|}
-           wrapper);
-      for i = 0 to sources - 1 do
+           conf.Conf.wrapper);
+      for i = 0 to conf.Conf.sources - 1 do
         let name = Fmt.str "person%d" i in
         let db = Database.create ~name:"db" in
         ignore
           (Datagen.table_of db ~name Datagen.person_schema
-             (Datagen.person_rows ~seed:(42 + i) ~n:rows));
+             (Datagen.person_rows ~seed:(42 + i) ~n:conf.Conf.rows));
         Mediator.register_source m ~name:(Fmt.str "r%d" i)
           (Source.create ~id:name
              ~address:
@@ -170,7 +501,7 @@ let build_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry
       match Mediator.find_source m repo with
       | Some src -> Source.set_schedule src outage
       | None -> Fmt.epr "warning: no source attached to %s@." repo)
-    down;
+    conf.Conf.down;
   m
 
 let print_outcome m outcome =
@@ -203,148 +534,6 @@ let print_outcome m outcome =
          Fmt.str " (max staleness %.1f ms)" c.Mediator.stale_ms
        else "")
 
-(* -- common options -- *)
-
-let sources_arg =
-  let doc = "Number of generated person sources in the demo federation." in
-  Arg.(value & opt int 2 & info [ "sources"; "n" ] ~docv:"N" ~doc)
-
-let rows_arg =
-  let doc = "Rows per generated source." in
-  Arg.(value & opt int 10 & info [ "rows" ] ~docv:"ROWS" ~doc)
-
-let wrapper_arg =
-  let doc =
-    "Wrapper constructor for the demo sources (WrapperPostgres, \
-     WrapperSelect, WrapperProject, WrapperScan)."
-  in
-  Arg.(value & opt string "WrapperPostgres" & info [ "wrapper" ] ~docv:"W" ~doc)
-
-let shards_arg =
-  let doc =
-    "Shard the demo person extent across N repositories (child extents \
-     person__s0..person__s(N-1), one source each) instead of declaring N \
-     independent extents. 0 disables sharding. Rows per shard follow \
-     --rows; placement follows the declared scheme, so predicates on \
-     x.id prune."
-  in
-  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
-
-let shard_scheme_arg =
-  let doc =
-    "Partitioning scheme for --shards: range (id boundaries at multiples \
-     of --rows) or hash (consistent-hash ring, deduplicating gather)."
-  in
-  Arg.(
-    value
-    & opt (Arg.enum [ ("range", `Range); ("hash", `Hash) ]) `Range
-    & info [ "shard-scheme" ] ~docv:"SCHEME" ~doc)
-
-let down_arg =
-  let doc = "Comma-separated repository names to take offline (e.g. r0,r2)." in
-  let repos = Arg.(list ~sep:',' string) in
-  Arg.(value & opt repos [] & info [ "down" ] ~docv:"REPOS" ~doc)
-
-let timeout_arg =
-  let doc = "Designated deadline in virtual milliseconds (Section 4)." in
-  Arg.(value & opt float 1000.0 & info [ "timeout" ] ~docv:"MS" ~doc)
-
-let odl_arg =
-  let doc = "Load this ODL file instead of building the demo federation." in
-  Arg.(value & opt (some file) None & info [ "odl" ] ~docv:"FILE" ~doc)
-
-let semantics_arg =
-  let doc =
-    "Unavailable-data semantics: partial (default), wait-all, null, skip, or \
-     cached (serve outages from the answer cache, see --max-stale; implies \
-     --cache)."
-  in
-  (* 'cached' needs the --max-stale budget, so the enum carries
-     constructors applied once both options are parsed *)
-  let choices =
-    Arg.enum
-      [
-        ("partial", fun _ -> Mediator.Partial_answers);
-        ("wait-all", fun _ -> Mediator.Wait_all);
-        ("null", fun _ -> Mediator.Null_sources);
-        ("skip", fun _ -> Mediator.Skip_sources);
-        ("cached", fun ms -> Mediator.Cached_fallback { max_stale_ms = ms });
-      ]
-  in
-  Arg.(
-    value
-    & opt choices (fun _ -> Mediator.Partial_answers)
-    & info [ "semantics" ] ~doc)
-
-let max_stale_arg =
-  let doc =
-    "Staleness budget (virtual ms) for --semantics cached: outage fallbacks \
-     are only served from cache entries at most this old."
-  in
-  Arg.(value & opt float 60_000.0 & info [ "max-stale" ] ~docv:"MS" ~doc)
-
-let cache_arg =
-  let doc = "Attach a semantic answer cache to the mediator." in
-  Arg.(value & flag & info [ "cache" ] ~doc)
-
-(* -- retry/hedge/breaker options (DESIGN.md §4g) -- *)
-
-let retry_term =
-  let retry_flag =
-    let doc =
-      "Enable the deadline-aware retry scheduler: blocked execs are \
-       re-polled on exponential backoff within the query deadline instead \
-       of finalizing at issue time."
-    in
-    Arg.(value & flag & info [ "retry" ] ~doc)
-  in
-  let initial =
-    let doc = "Delay (virtual ms) before the first re-poll." in
-    Arg.(value & opt float 50.0 & info [ "retry-initial" ] ~docv:"MS" ~doc)
-  in
-  let multiplier =
-    let doc = "Backoff multiplier between re-polls." in
-    Arg.(value & opt float 2.0 & info [ "retry-multiplier" ] ~docv:"X" ~doc)
-  in
-  let attempts =
-    let doc = "Maximum re-polls per blocked exec." in
-    Arg.(value & opt int 4 & info [ "retry-attempts" ] ~docv:"N" ~doc)
-  in
-  let hedge =
-    let doc =
-      "Hedge delay (virtual ms): when the primary's answer would land later \
-       than this, also dial the first live replica and keep the earlier \
-       completion. Implies --retry."
-    in
-    Arg.(value & opt (some float) None & info [ "hedge" ] ~docv:"MS" ~doc)
-  in
-  let breaker =
-    let doc =
-      "Circuit-breaker threshold: skip re-polls/hedges to a source after \
-       this many consecutive failures. Implies --retry."
-    in
-    Arg.(value & opt (some int) None & info [ "breaker" ] ~docv:"N" ~doc)
-  in
-  let cooldown =
-    let doc =
-      "How long (virtual ms) an open breaker rejects calls before a \
-       half-open probe."
-    in
-    Arg.(
-      value & opt float 400.0 & info [ "breaker-cooldown" ] ~docv:"MS" ~doc)
-  in
-  let mk enabled initial_ms multiplier max_attempts hedge_ms breaker_threshold
-      breaker_cooldown_ms =
-    if enabled || hedge_ms <> None || breaker_threshold <> None then
-      Some
-        (Runtime.Retry.make ~initial_ms ~multiplier ~max_attempts ?hedge_ms
-           ?breaker_threshold ~breaker_cooldown_ms ())
-    else None
-  in
-  Term.(
-    const mk $ retry_flag $ initial $ multiplier $ attempts $ hedge $ breaker
-    $ cooldown)
-
 let print_breaker_state m =
   match Mediator.retry_policy m with
   | None -> ()
@@ -364,20 +553,14 @@ let print_breaker_state m =
                     fails)
             rows)
 
-let is_cached_semantics = function
-  | Mediator.Cached_fallback _ -> true
-  | Mediator.Partial_answers | Mediator.Wait_all | Mediator.Null_sources
-  | Mediator.Skip_sources ->
-      false
-
-let with_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry ?shards
-    ?shard_scheme f sources rows wrapper down odl_file verbosity =
+let with_conf ?trace_sink ?metrics ?recover_at ?(force_cache = false) f
+    (conf : Conf.t) verbosity =
   setup_logs (List.length verbosity);
-  match
-    f
-      (build_mediator ?cache ?trace_sink ?metrics ?recover_at ?retry ?shards
-         ?shard_scheme ~sources ~rows ~wrapper ~down ~odl_file ())
-  with
+  let cache =
+    if force_cache || conf.Conf.use_cache then Some (Answer_cache.create ())
+    else None
+  in
+  match f (build_mediator ?cache ?trace_sink ?metrics ?recover_at conf) with
   | () -> `Ok ()
   | exception Mediator.Mediator_error m -> `Error (false, m)
   | exception Disco_runtime.Runtime.Runtime_error m -> `Error (false, m)
@@ -395,50 +578,32 @@ let query_cmd =
     in
     Arg.(value & opt (some float) None & info [ "recover-at" ] ~docv:"MS" ~doc)
   in
-  let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
-      verbosity retry recover_at shards shard_scheme q =
-    let semantics = sem_of max_stale in
-    let cache =
-      if use_cache || is_cached_semantics semantics then
-        Some (Answer_cache.create ())
-      else None
-    in
-    with_mediator ?cache ?recover_at ?retry ~shards ~shard_scheme
+  let run conf verbosity recover_at q =
+    with_conf ?recover_at
       (fun m ->
-        print_outcome m
-          (Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q);
+        print_outcome m (Mediator.query ~opts:(conf_qopts conf) m q);
         print_breaker_state m)
-      sources rows wrapper down odl_file verbosity
+      conf verbosity
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run an OQL query against the federation.")
-    Term.(
-      ret
-        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
-       $ verbosity_arg $ retry_term $ recover_arg $ shards_arg
-       $ shard_scheme_arg $ q_arg))
+    Term.(ret (const run $ conf_term $ verbosity_arg $ recover_arg $ q_arg))
 
 let explain_cmd =
   let q_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
   in
-  let run sources rows wrapper down odl_file shards shard_scheme verbosity q =
-    with_mediator ~shards ~shard_scheme
-      (fun m -> Fmt.pr "%s@." (Mediator.explain m q))
-      sources rows wrapper down odl_file verbosity
+  let run conf verbosity q =
+    with_conf (fun m -> Fmt.pr "%s@." (Mediator.explain m q)) conf verbosity
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show the optimizer's plan for a query without executing it.")
-    Term.(
-      ret
-        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ shards_arg $ shard_scheme_arg $ verbosity_arg $ q_arg))
+    Term.(ret (const run $ conf_term $ verbosity_arg $ q_arg))
 
 let schema_cmd =
-  let run sources rows wrapper down odl_file verbosity =
-    with_mediator
+  let run conf verbosity =
+    with_conf
       (fun m ->
         let reg = Mediator.registry m in
         Fmt.pr "interfaces:@.";
@@ -448,7 +613,8 @@ let schema_cmd =
             Fmt.pr "  %s { %s }@." name
               (String.concat "; "
                  (List.map
-                    (fun (a, ty) -> Fmt.str "%s: %s" a (Disco_odl.Otype.to_string ty))
+                    (fun (a, ty) ->
+                      Fmt.str "%s: %s" a (Disco_odl.Otype.to_string ty))
                     attrs)))
           (Registry.interface_names reg);
         Fmt.pr "extents:@.";
@@ -460,25 +626,15 @@ let schema_cmd =
           (Registry.all_extents reg);
         Fmt.pr "views: %s@."
           (String.concat ", " (Registry.view_names reg)))
-      sources rows wrapper down odl_file verbosity
+      conf verbosity
   in
   Cmd.v
     (Cmd.info "schema" ~doc:"Print the mediator's internal schema database.")
-    Term.(
-      ret
-        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ verbosity_arg))
+    Term.(ret (const run $ conf_term $ verbosity_arg))
 
 let repl_cmd =
-  let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
-      verbosity =
-    let semantics = sem_of max_stale in
-    let cache =
-      if use_cache || is_cached_semantics semantics then
-        Some (Answer_cache.create ())
-      else None
-    in
-    with_mediator ?cache
+  let run conf verbosity =
+    with_conf
       (fun m ->
         Fmt.pr
           "disco repl — OQL queries, ':odl <stmt>' to define, ':quit' to \
@@ -489,35 +645,31 @@ let repl_cmd =
           | None -> ()
           | Some "" -> loop ()
           | Some ":quit" | Some ":q" -> ()
-          | Some line when String.length line > 5 && String.sub line 0 5 = ":odl " ->
-              (try Mediator.load_odl m (String.sub line 5 (String.length line - 5))
+          | Some line
+            when String.length line > 5 && String.sub line 0 5 = ":odl " ->
+              (try
+                 Mediator.load_odl m
+                   (String.sub line 5 (String.length line - 5))
                with Mediator.Mediator_error e -> Fmt.pr "error: %s@." e);
               loop ()
           | Some q ->
-              (try
-                 print_outcome m
-                   (Mediator.query
-                      ~opts:(qopts ~timeout_ms:timeout ~semantics ())
-                      m q)
+              (try print_outcome m (Mediator.query ~opts:(conf_qopts conf) m q)
                with
               | Mediator.Mediator_error e -> Fmt.pr "error: %s@." e
-              | Disco_runtime.Runtime.Runtime_error e -> Fmt.pr "error: %s@." e);
+              | Disco_runtime.Runtime.Runtime_error e ->
+                  Fmt.pr "error: %s@." e);
               loop ()
         in
         loop ())
-      sources rows wrapper down odl_file verbosity
+      conf verbosity
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive OQL shell over the federation.")
-    Term.(
-      ret
-        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
-       $ verbosity_arg))
+    Term.(ret (const run $ conf_term $ verbosity_arg))
 
 let catalog_cmd =
-  let run sources rows wrapper down odl_file verbosity =
-    with_mediator
+  let run conf verbosity =
+    with_conf
       (fun m ->
         let module Catalog = Disco_catalog.Catalog in
         let c = Catalog.create ~name:"discoctl" in
@@ -531,15 +683,12 @@ let catalog_cmd =
               (String.concat ", "
                  (List.map (fun (k, v) -> k ^ "=" ^ v) e.Catalog.e_info)))
           (Catalog.entries c))
-      sources rows wrapper down odl_file verbosity
+      conf verbosity
   in
   Cmd.v
     (Cmd.info "catalog"
        ~doc:"Register the federation in a catalog and print the overview.")
-    Term.(
-      ret
-        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ verbosity_arg))
+    Term.(ret (const run $ conf_term $ verbosity_arg))
 
 let shards_cmd =
   let bounds_str p k =
@@ -552,8 +701,8 @@ let shards_cmd =
         let hi = if k >= n then "+inf" else endpoint (List.nth bs k) in
         Fmt.str "  key in [%s, %s)" lo hi
   in
-  let run sources rows wrapper down odl_file shards shard_scheme verbosity =
-    with_mediator ~shards ~shard_scheme
+  let run conf verbosity =
+    with_conf
       (fun m ->
         let reg = Mediator.registry m in
         let parents =
@@ -580,7 +729,7 @@ let shards_cmd =
                         child.Registry.me_wrapper (bounds_str p k))
                     (Registry.shard_children reg e.Registry.me_name))
             parents)
-      sources rows wrapper down odl_file verbosity
+      conf verbosity
   in
   Cmd.v
     (Cmd.info "shards"
@@ -588,10 +737,7 @@ let shards_cmd =
          "Print the shard map of every partitioned extent: shard key, \
           scheme, and the per-shard child extents with their repositories \
           (range shards also show their key interval).")
-    Term.(
-      ret
-        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ shards_arg $ shard_scheme_arg $ verbosity_arg))
+    Term.(ret (const run $ conf_term $ verbosity_arg))
 
 let print_cache_stats m =
   (match Mediator.answer_cache_stats m with
@@ -610,11 +756,11 @@ let cache_stats_cmd =
     let doc = "Number of times to run the query (warm-up effects show)." in
     Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"K" ~doc)
   in
-  let run sources rows wrapper down odl_file timeout verbosity repeat q =
-    with_mediator ~cache:(Answer_cache.create ())
+  let run conf verbosity repeat q =
+    with_conf ~force_cache:true
       (fun m ->
         for k = 1 to repeat do
-          let o = Mediator.query ~opts:(qopts ~timeout_ms:timeout ()) m q in
+          let o = Mediator.query ~opts:(conf_qopts conf) m q in
           let s = o.Mediator.stats in
           Fmt.pr
             "run %d: %d execs, %d answered from source, %d from cache, %d \
@@ -628,17 +774,14 @@ let cache_stats_cmd =
             s.Disco_runtime.Runtime.elapsed_ms
         done;
         print_cache_stats m)
-      sources rows wrapper down odl_file verbosity
+      conf verbosity
   in
   Cmd.v
     (Cmd.info "cache-stats"
        ~doc:
          "Run a query repeatedly with the semantic answer cache attached and \
           print hit/miss/eviction counters.")
-    Term.(
-      ret
-        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ timeout_arg $ verbosity_arg $ repeat_arg $ q_arg))
+    Term.(ret (const run $ conf_term $ verbosity_arg $ repeat_arg $ q_arg))
 
 let trace_cmd =
   let q_arg =
@@ -654,29 +797,19 @@ let trace_cmd =
     in
     Arg.(value & opt (some float) None & info [ "recover-at" ] ~docv:"MS" ~doc)
   in
-  let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
-      verbosity retry recover_at shards shard_scheme json q =
-    let semantics = sem_of max_stale in
-    let cache =
-      if use_cache || is_cached_semantics semantics then
-        Some (Answer_cache.create ())
-      else None
-    in
+  let run conf verbosity recover_at json q =
     let traces = ref [] in
     let sink trace = traces := trace :: !traces in
-    with_mediator ?cache ?recover_at ?retry ~shards ~shard_scheme
-      ~trace_sink:sink
+    with_conf ?recover_at ~trace_sink:sink
       (fun m ->
-        let o =
-          Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q
-        in
+        let o = Mediator.query ~opts:(conf_qopts conf) m q in
         List.iter
           (fun trace ->
             if json then Fmt.pr "%s@." (Disco_obs.Trace.to_json trace)
             else Fmt.pr "%a" Disco_obs.Trace.pp trace)
           (List.rev !traces);
         if not json then print_outcome m o)
-      sources rows wrapper down odl_file verbosity
+      conf verbosity
   in
   Cmd.v
     (Cmd.info "trace"
@@ -688,43 +821,34 @@ let trace_cmd =
           of their exec.")
     Term.(
       ret
-        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
-       $ verbosity_arg $ retry_term $ recover_arg $ shards_arg
-       $ shard_scheme_arg $ json_arg $ q_arg))
+        (const run $ conf_term $ verbosity_arg $ recover_arg $ json_arg $ q_arg))
 
 let metrics_cmd =
   let q_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL")
   in
   let repeat_arg =
-    let doc = "Number of times to run the query before dumping the registry." in
+    let doc =
+      "Number of times to run the query before dumping the registry."
+    in
     Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"K" ~doc)
   in
   let json_arg =
     let doc = "Emit the metrics registry as JSON." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run sources rows wrapper down odl_file timeout sem_of max_stale use_cache
-      verbosity retry repeat shards shard_scheme json q =
-    let semantics = sem_of max_stale in
-    let cache =
-      if use_cache || is_cached_semantics semantics then
-        Some (Answer_cache.create ())
-      else None
-    in
+  let run conf verbosity repeat json q =
     (* an isolated registry: only this invocation's counters show *)
-    let metrics = Disco_obs.Metrics.create () in
-    with_mediator ?cache ?retry ~shards ~shard_scheme ~metrics
+    let metrics = Metrics.create () in
+    with_conf ~metrics
       (fun m ->
         for _ = 1 to repeat do
-          ignore
-            (Mediator.query ~opts:(qopts ~timeout_ms:timeout ~semantics ()) m q)
+          ignore (Mediator.query ~opts:(conf_qopts conf) m q)
         done;
-        if json then Fmt.pr "%s@." (Disco_obs.Metrics.to_json metrics)
-        else Fmt.pr "%a" Disco_obs.Metrics.pp metrics;
+        if json then Fmt.pr "%s@." (Metrics.to_json metrics)
+        else Fmt.pr "%a" Metrics.pp metrics;
         print_breaker_state m)
-      sources rows wrapper down odl_file verbosity
+      conf verbosity
   in
   Cmd.v
     (Cmd.info "metrics"
@@ -734,10 +858,7 @@ let metrics_cmd =
           runtime.retry.* / runtime.hedge.* under --retry, ...).")
     Term.(
       ret
-        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ timeout_arg $ semantics_arg $ max_stale_arg $ cache_arg
-       $ verbosity_arg $ retry_term $ repeat_arg $ shards_arg
-       $ shard_scheme_arg $ json_arg $ q_arg))
+        (const run $ conf_term $ verbosity_arg $ repeat_arg $ json_arg $ q_arg))
 
 let resubmit_cmd =
   let q_arg =
@@ -749,30 +870,29 @@ let resubmit_cmd =
     in
     Arg.(value & opt float 500.0 & info [ "recover-at" ] ~docv:"MS" ~doc)
   in
-  let run sources rows wrapper down odl_file timeout verbosity recover_at q =
-    with_mediator ~cache:(Answer_cache.create ()) ~recover_at
+  let run conf verbosity recover_at q =
+    with_conf ~force_cache:true ~recover_at
       (fun m ->
-        let o = Mediator.query ~opts:(qopts ~timeout_ms:timeout ()) m q in
+        let o = Mediator.query ~opts:(conf_qopts conf) m q in
         Fmt.pr "initial answer:@.";
         print_outcome m o;
         let queue = Resubmission.create ~clock:(Mediator.clock m) () in
         match Mediator.record_partial queue o with
         | None -> Fmt.pr "@.nothing to resubmit: the answer is complete.@."
         | Some id ->
-            Fmt.pr "@.recorded partial #%d; draining as sources recover...@." id;
+            Fmt.pr "@.recorded partial #%d; draining as sources recover...@."
+              id;
             let converged =
               Resubmission.drain queue
                 ~source_of:(Mediator.find_source m)
-                ~run:
-                  (Mediator.resubmission_runner
-                     ~opts:(qopts ~timeout_ms:timeout ())
-                     m)
+                ~run:(Mediator.resubmission_runner ~opts:(conf_qopts conf) m)
             in
             List.iter
               (fun e ->
                 match e.Resubmission.state with
                 | Resubmission.Converged rounds ->
-                    Fmt.pr "partial #%d converged after %d round(s) at t=%.1f@."
+                    Fmt.pr
+                      "partial #%d converged after %d round(s) at t=%.1f@."
                       e.Resubmission.id rounds
                       (Disco_source.Clock.now (Mediator.clock m))
                 | Resubmission.Pending ->
@@ -781,10 +901,9 @@ let resubmit_cmd =
               (Resubmission.entries queue);
             if converged > 0 then (
               Fmt.pr "@.re-running the original query (cache is now warm):@.";
-              print_outcome m
-                (Mediator.query ~opts:(qopts ~timeout_ms:timeout ()) m q));
+              print_outcome m (Mediator.query ~opts:(conf_qopts conf) m q));
             print_cache_stats m)
-      sources rows wrapper down odl_file verbosity
+      conf verbosity
   in
   Cmd.v
     (Cmd.info "resubmit"
@@ -792,10 +911,221 @@ let resubmit_cmd =
          "Run a query against a federation with recovering outages, record \
           the partial answer, and drive it to completion through the \
           resubmission manager.")
+    Term.(ret (const run $ conf_term $ verbosity_arg $ recover_arg $ q_arg))
+
+(* -- serve: a long-running mediator behind the line protocol -- *)
+
+let body_of_outcome o =
+  match o.Mediator.answer with
+  | Mediator.Complete v -> Fmt.str "%a" V.pp v
+  | Mediator.Partial { unavailable; _ } as a ->
+      Fmt.str "partial(%s) %s"
+        (String.concat "," unavailable)
+        (Mediator.answer_oql a)
+  | Mediator.Unavailable repos ->
+      Fmt.str "unavailable(%s)" (String.concat "," repos)
+
+let serve_cmd =
+  let port_arg =
+    let doc = "TCP port to listen on (loopback only)." in
+    Arg.(value & opt int 7411 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let inflight_arg =
+    let doc =
+      "Admission limit: the number of worker threads, i.e. queries \
+       executing concurrently. Each worker owns a private mediator \
+       replica of the federation; they share one wall-clock scheduler \
+       and one metrics registry."
+    in
+    Arg.(value & opt int 4 & info [ "inflight" ] ~docv:"N" ~doc)
+  in
+  let queue_bound_arg =
+    let doc =
+      "Backlog bound: once this many accepted queries are waiting for a \
+       worker, further submissions are shed (the client gets back the \
+       query text as the residual, in the spirit of partial answers)."
+    in
+    Arg.(value & opt int 64 & info [ "queue-bound" ] ~docv:"N" ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Domains in the wall-clock scheduler's pool (default: cores - 1)."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let run conf verbosity port inflight queue_bound domains =
+    setup_logs (List.length verbosity);
+    match
+      let sched = Scheduler.wall ?domains () in
+      let metrics = Metrics.create () in
+      let opts = conf_qopts conf in
+      let meds =
+        Array.init inflight (fun _ ->
+            let cache =
+              if conf.Conf.use_cache then Some (Answer_cache.create ())
+              else None
+            in
+            build_mediator ?cache ~metrics ~sched conf)
+      in
+      let worker i ~tenant:_ oql =
+        match Mediator.query ~opts meds.(i) oql with
+        | o ->
+            Server.Answered
+              {
+                body = body_of_outcome o;
+                elapsed_ms = o.Mediator.stats.Disco_runtime.Runtime.elapsed_ms;
+              }
+        | exception Mediator.Mediator_error e -> Server.Failed e
+        | exception Disco_runtime.Runtime.Runtime_error e -> Server.Failed e
+      in
+      let srv = Server.create ~inflight ~queue_bound ~metrics ~worker () in
+      Server.serve_tcp srv ~port ();
+      Scheduler.shutdown sched
+    with
+    | () -> `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | exception Mediator.Mediator_error msg -> `Error (false, msg)
+    | exception Unix.Unix_error (e, _, _) ->
+        `Error (false, "serve: " ^ Unix.error_message e)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the federation over a line protocol: 'query <tenant> \
+          <oql>' answers 'ok <elapsed-ms> <answer>' or 'shed <residual>', \
+          'health' and 'metrics' report server state, 'shutdown' stops \
+          the listener. Admission control holds concurrent queries at \
+          --inflight and sheds beyond --queue-bound; tenants are drained \
+          round-robin so none starves.")
     Term.(
       ret
-        (const run $ sources_arg $ rows_arg $ wrapper_arg $ down_arg $ odl_arg
-       $ timeout_arg $ verbosity_arg $ recover_arg $ q_arg))
+        (const run $ conf_term $ verbosity_arg $ port_arg $ inflight_arg
+       $ queue_bound_arg $ domains_arg))
+
+(* -- load: open-loop Zipfian workload against a serve instance -- *)
+
+let default_query_pool =
+  [|
+    "select x.name from x in person where x.salary > 10";
+    "select x.name from x in person";
+    "select x from x in person where x.id < 5";
+    "select x.salary from x in person where x.salary < 40";
+  |]
+
+(* One short-lived protocol exchange per command line. *)
+let tcp_lines ~host ~port cmds =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      List.map
+        (fun cmd ->
+          output_string oc (cmd ^ "\n");
+          flush oc;
+          match input_line ic with exception End_of_file -> "" | l -> l)
+        cmds)
+
+let load_cmd =
+  let host_arg =
+    let doc = "Server host." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let port_arg =
+    let doc = "Server port." in
+    Arg.(value & opt int 7411 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let rate_arg =
+    let doc = "Arrival rate in queries per second (open loop)." in
+    Arg.(value & opt float 50.0 & info [ "rate" ] ~docv:"QPS" ~doc)
+  in
+  let duration_arg =
+    let doc = "Run length in seconds." in
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let zipf_arg =
+    let doc = "Zipf skew of query-pool popularity." in
+    Arg.(value & opt float 1.1 & info [ "zipf" ] ~docv:"S" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for the deterministic request sequence." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let tenants_arg =
+    let doc = "Number of synthetic tenants (t0..tN-1, round-robin)." in
+    Arg.(value & opt int 2 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let query_arg =
+    let doc =
+      "Add an OQL query to the pool (repeatable; default: a built-in \
+       person-query mix)."
+    in
+    Arg.(value & opt_all string [] & info [ "query" ] ~docv:"OQL" ~doc)
+  in
+  let health_flag =
+    let doc = "After the run, scrape and print health and metrics." in
+    Arg.(value & flag & info [ "health" ] ~doc)
+  in
+  let shutdown_flag =
+    let doc = "Ask the server to shut down once the run (and scrape) end." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the result as a JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run verbosity host port rate duration zipf seed tenants queries health
+      shutdown json =
+    setup_logs (List.length verbosity);
+    let queries =
+      match queries with [] -> default_query_pool | qs -> Array.of_list qs
+    in
+    let tenants = List.init (max 1 tenants) (Fmt.str "t%d") in
+    match
+      Loadgen.run ~zipf_s:zipf ~seed ~tenants ~queries ~rate
+        ~duration_s:duration
+        (Loadgen.Tcp { host; port })
+    with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | res ->
+        if json then
+          Fmt.pr
+            {|{"sent": %d, "completed": %d, "shed": %d, "errors": %d, "duration_s": %.3f, "qps": %.1f, "p50_ms": %.3f, "p99_ms": %.3f, "p999_ms": %.3f}@.|}
+            res.Loadgen.r_sent res.Loadgen.r_completed res.Loadgen.r_shed
+            res.Loadgen.r_errors res.Loadgen.r_duration_s res.Loadgen.r_qps
+            res.Loadgen.r_p50_ms res.Loadgen.r_p99_ms res.Loadgen.r_p999_ms
+        else Fmt.pr "%a@." Loadgen.pp_result res;
+        (if health || shutdown then
+           let cmds =
+             (if health then [ "health"; "metrics" ] else [])
+             @ if shutdown then [ "shutdown" ] else []
+           in
+           try
+             List.iter2
+               (fun cmd line -> Fmt.pr "%s: %s@." cmd line)
+               cmds
+               (tcp_lines ~host ~port cmds)
+           with Unix.Unix_error (e, _, _) ->
+             Fmt.epr "warning: scrape failed: %s@." (Unix.error_message e));
+        if res.Loadgen.r_completed = 0 && res.Loadgen.r_errors > 0 then
+          `Error (false, "load: no request completed (is the server up?)")
+        else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive a running 'discoctl serve' with an open-loop Zipfian \
+          workload (one connection per request) and report qps plus \
+          p50/p99/p999 latency. Arrivals fire on schedule regardless of \
+          completions, so shedding shows up instead of being hidden by \
+          coordinated omission.")
+    Term.(
+      ret
+        (const run $ verbosity_arg $ host_arg $ port_arg $ rate_arg
+       $ duration_arg $ zipf_arg $ seed_arg $ tenants_arg $ query_arg
+       $ health_flag $ shutdown_flag $ json_arg))
 
 (* -- lint: static verification of schema and query files -- *)
 
@@ -816,13 +1146,6 @@ let lint_diag ~code ~severity ~path fmt =
     (fun d_message ->
       { Check.d_code = code; d_severity = severity; d_path = path; d_message })
     fmt
-
-let read_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  text
 
 (* One query per line; blank lines and [--] comments are skipped. A
    [--@full-pushdown] directive line applies to the next query: its
@@ -846,8 +1169,8 @@ let lint_queries reg checker ~can_push ~wrapper_of ~repo_of file =
               [
                 lint_diag ~code:"DISCO-E005" ~severity:Check.Error
                   ~path:(Fmt.str "submit(%s)" repo)
-                  "full-pushdown directive: wrapper %s refuses %s" (Wrapper.name w)
-                  (Expr.to_string sub);
+                  "full-pushdown directive: wrapper %s refuses %s"
+                  (Wrapper.name w) (Expr.to_string sub);
               ]
         | _ -> ())
       (Expr.submits pushed)
@@ -948,8 +1271,12 @@ let lint_cmd =
   let run verbosity json paths =
     setup_logs (List.length verbosity);
     let files = List.sort String.compare (List.concat_map lint_collect paths) in
-    let odl_files = List.filter (fun f -> Filename.check_suffix f ".odl") files in
-    let oql_files = List.filter (fun f -> Filename.check_suffix f ".oql") files in
+    let odl_files =
+      List.filter (fun f -> Filename.check_suffix f ".odl") files
+    in
+    let oql_files =
+      List.filter (fun f -> Filename.check_suffix f ".oql") files
+    in
     let reg = Registry.create () in
     let schema_diags =
       List.concat_map
@@ -1002,7 +1329,8 @@ let lint_cmd =
     in
     let diags = schema_diags @ query_diags @ audit_diags in
     let errors =
-      List.length (List.filter (fun (_, d) -> d.Check.d_severity = Check.Error) diags)
+      List.length
+        (List.filter (fun (_, d) -> d.Check.d_severity = Check.Error) diags)
     in
     let warnings = List.length diags - errors in
     if json then Fmt.pr "%s@." (Check.json_of_diags diags)
@@ -1031,7 +1359,8 @@ let main =
        ~doc:"Drive a Disco heterogeneous-database mediator.")
     [
       query_cmd; explain_cmd; schema_cmd; repl_cmd; catalog_cmd; shards_cmd;
-      cache_stats_cmd; resubmit_cmd; trace_cmd; metrics_cmd; lint_cmd;
+      cache_stats_cmd; resubmit_cmd; trace_cmd; metrics_cmd; serve_cmd;
+      load_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -16,6 +16,7 @@ module Cost_model = Disco_cost.Cost_model
 module Runtime = Disco_runtime.Runtime
 module Source = Disco_source.Source
 module Clock = Disco_source.Clock
+module Scheduler = Disco_source.Scheduler
 module Wrapper = Disco_wrapper.Wrapper
 module Catalog = Disco_catalog.Catalog
 module Lru = Disco_cache.Lru
@@ -42,6 +43,7 @@ type semantics =
 module Config = struct
   type t = {
     clock : Clock.t option;
+    sched : Scheduler.t option;
     cost : Cost_model.t option;
     params : Plan.params;
     plan_cache_capacity : int;
@@ -56,6 +58,7 @@ module Config = struct
   let default =
     {
       clock = None;
+      sched = None;
       cost = None;
       params = Plan.default_params;
       plan_cache_capacity = 128;
@@ -119,6 +122,7 @@ type t = {
   m_name : string;
   registry : Registry.t;
   clock : Clock.t;
+  sched : Scheduler.t;
   cost : Cost_model.t;
   params : Plan.params;
   sources : (string, Source.t) Hashtbl.t;
@@ -138,10 +142,13 @@ type t = {
 }
 
 let create ?(config = Config.default) ~name () =
+  let clock = Option.value config.Config.clock ~default:(Clock.create ()) in
   {
     m_name = name;
     registry = Registry.create ();
-    clock = Option.value config.Config.clock ~default:(Clock.create ());
+    clock;
+    sched =
+      Option.value config.Config.sched ~default:(Scheduler.of_clock clock);
     cost = Option.value config.Config.cost ~default:(Cost_model.create ());
     params = config.Config.params;
     sources = Hashtbl.create 16;
@@ -160,6 +167,7 @@ let create ?(config = Config.default) ~name () =
 
 let name t = t.m_name
 let clock t = t.clock
+let scheduler t = t.sched
 let registry t = t.registry
 let cost_model t = t.cost
 let answer_cache t = t.cache
@@ -272,7 +280,7 @@ let opt_check t = (checker_for t, t.check)
 let runtime_env t ~type_check ~semantics ~tr extents =
   let bindings = List.map (binding_for t ~type_check) extents in
   Runtime.env
-    (Runtime.Config.make ?cache:t.cache
+    (Runtime.Config.make ~sched:t.sched ?cache:t.cache
        ?serve_stale_ms:(serve_stale_of semantics)
        ?trace:tr ~metrics:t.metrics ~batch:t.batch ~check:t.check
        ~checker:(checker_for t) ?retry:t.retry ~breaker:t.breaker
@@ -289,13 +297,13 @@ let in_span t tr name f =
   match tr with
   | None -> f ()
   | Some b -> (
-      Trace.enter b ~now:(Clock.now t.clock) name;
+      Trace.enter b ~now:(Scheduler.now t.sched) name;
       match f () with
       | r ->
-          Trace.leave b ~now:(Clock.now t.clock);
+          Trace.leave b ~now:(Scheduler.now t.sched);
           r
       | exception e ->
-          Trace.leave b ~now:(Clock.now t.clock);
+          Trace.leave b ~now:(Scheduler.now t.sched);
           raise e)
 
 let span_meta tr k v = Option.iter (fun b -> Trace.meta b k v) tr
@@ -664,7 +672,7 @@ let expand t ast =
    planning — "as if the data source objects ... do not exist". An extent
    with replicas is only skipped when every copy is down. *)
 let apply_skip t expanded =
-  let now = Clock.now t.clock in
+  let now = Scheduler.now t.sched in
   let copy_up repo =
     match source_of t repo with
     | Some source -> Source.is_up source now
@@ -708,7 +716,7 @@ let query ?(opts = Query_opts.default) t oql =
   Metrics.incr t.metrics "mediator.queries";
   let tr =
     Option.map
-      (fun _ -> Trace.make ~query:oql ~now:(Clock.now t.clock))
+      (fun _ -> Trace.make ~query:oql ~now:(Scheduler.now t.sched))
       t.trace_sink
   in
   let outcome =
@@ -753,7 +761,7 @@ let query ?(opts = Query_opts.default) t oql =
       span_meta tr "tuples_shipped"
         (string_of_int outcome.stats.Runtime.tuples_shipped);
       if outcome.fallback then span_meta tr "fallback" "capability";
-      sink (Trace.finish b ~now:(Clock.now t.clock))
+      sink (Trace.finish b ~now:(Scheduler.now t.sched))
   | _ -> ());
   outcome
 
@@ -907,20 +915,3 @@ let clear_answer_cache t =
       Answer_cache.clear cache;
       Answer_cache.reset_stats cache
   | None -> ()
-
-(* -- deprecated optional-label entry points -- *)
-
-module Legacy = struct
-  let create ?clock ?cost ?(params = Plan.default_params)
-      ?(plan_cache_capacity = 128) ?cache ~name () =
-    create
-      ~config:
-        { Config.default with clock; cost; params; plan_cache_capacity; cache }
-      ~name ()
-
-  let query ?(timeout_ms = 1000.0) ?(semantics = Partial_answers)
-      ?(type_check = false) ?(static_check = false) t oql =
-    query
-      ~opts:{ Query_opts.timeout_ms; semantics; type_check; static_check }
-      t oql
-end

@@ -104,6 +104,15 @@ module Config : sig
   type t = {
     clock : Disco_source.Clock.t option;
         (** [None]: a fresh virtual clock per mediator *)
+    sched : Disco_source.Scheduler.t option;
+        (** the time-and-execution scheduler every query runs on.
+            [None] (the default) wraps the mediator's clock in the
+            deterministic virtual scheduler — the historical
+            single-threaded simulation, bit-for-bit.  Pass a
+            {!Disco_source.Scheduler.wall} scheduler to read real time
+            and issue each round's per-source batches in parallel on
+            OCaml 5 domains (the serving mode); the clock is then
+            unused. *)
     cost : Disco_cost.Cost_model.t option;
         (** [None]: a fresh (empty) learned cost model *)
     params : Disco_physical.Plan.params;
@@ -172,7 +181,13 @@ end
 val create : ?config:Config.t -> name:string -> unit -> t
 
 val name : t -> string
+
 val clock : t -> Disco_source.Clock.t
+
+val scheduler : t -> Disco_source.Scheduler.t
+(** The scheduler queries run on — the virtual wrap of {!clock} unless
+    [Config.sched] supplied another. *)
+
 val registry : t -> Disco_odl.Registry.t
 val cost_model : t -> Disco_cost.Cost_model.t
 
@@ -276,30 +291,3 @@ val clear_plan_cache : t -> unit
 val clear_answer_cache : t -> unit
 (** Drop every cached answer and reset its counters; a no-op on a
     mediator without an answer cache. *)
-
-(** The pre-[Config]/[Query_opts] optional-label entry points, kept as
-    thin aliases so callers can migrate incrementally. New code should
-    use {!create} with a [Config.t] and {!query} with a
-    [Query_opts.t]. *)
-module Legacy : sig
-  val create :
-    ?clock:Disco_source.Clock.t ->
-    ?cost:Disco_cost.Cost_model.t ->
-    ?params:Disco_physical.Plan.params ->
-    ?plan_cache_capacity:int ->
-    ?cache:Disco_cache.Answer_cache.t ->
-    name:string ->
-    unit ->
-    t
-  [@@ocaml.deprecated "Use Mediator.create ?config instead."]
-
-  val query :
-    ?timeout_ms:float ->
-    ?semantics:semantics ->
-    ?type_check:bool ->
-    ?static_check:bool ->
-    t ->
-    string ->
-    outcome
-  [@@ocaml.deprecated "Use Mediator.query ?opts instead."]
-end

@@ -10,6 +10,7 @@ module Table = Disco_relation.Table
 module Database = Disco_relation.Database
 module Sql = Disco_relation.Sql
 module Clock = Disco_source.Clock
+module Scheduler = Disco_source.Scheduler
 module Schedule = Disco_source.Schedule
 module Source = Disco_source.Source
 module Datagen = Disco_source.Datagen
@@ -42,6 +43,8 @@ module Optimizer = Disco_optimizer.Optimizer
 module Runtime = Disco_runtime.Runtime
 module Catalog = Disco_catalog.Catalog
 module Mediator = Disco_core.Mediator
+module Server = Disco_serve.Server
+module Loadgen = Disco_serve.Loadgen
 module Expand = Disco_core.Expand
 module Maintenance = Disco_core.Maintenance
 module Composition = Disco_core.Composition

@@ -7,44 +7,59 @@ type histogram = {
 
 type value = Counter of int | Histogram of histogram
 
-type t = (string, value) Hashtbl.t
+(* A registry may be shared by serve-mode sessions running on several
+   threads and by wrapper calls running on pool domains, so every
+   operation serializes behind the registry's own lock. The lock is
+   uncontended in the single-threaded simulation. *)
+type t = { tbl : (string, value) Hashtbl.t; lock : Mutex.t }
 
-let create () : t = Hashtbl.create 32
+let create () : t = { tbl = Hashtbl.create 32; lock = Mutex.create () }
 let default : t = create ()
-let reset t = Hashtbl.reset t
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let reset t = locked t (fun () -> Hashtbl.reset t.tbl)
 
 let incr ?(by = 1) t name =
-  match Hashtbl.find_opt t name with
-  | None -> Hashtbl.replace t name (Counter by)
-  | Some (Counter n) -> Hashtbl.replace t name (Counter (n + by))
-  | Some (Histogram _) ->
-      invalid_arg (Printf.sprintf "Metrics.incr: %S is a histogram" name)
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | None -> Hashtbl.replace t.tbl name (Counter by)
+      | Some (Counter n) -> Hashtbl.replace t.tbl name (Counter (n + by))
+      | Some (Histogram _) ->
+          invalid_arg (Printf.sprintf "Metrics.incr: %S is a histogram" name))
 
 let observe t name v =
-  match Hashtbl.find_opt t name with
-  | None ->
-      Hashtbl.replace t name
-        (Histogram { h_count = 1; h_sum = v; h_min = v; h_max = v })
-  | Some (Histogram h) ->
-      Hashtbl.replace t name
-        (Histogram
-           {
-             h_count = h.h_count + 1;
-             h_sum = h.h_sum +. v;
-             h_min = Float.min h.h_min v;
-             h_max = Float.max h.h_max v;
-           })
-  | Some (Counter _) ->
-      invalid_arg (Printf.sprintf "Metrics.observe: %S is a counter" name)
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | None ->
+          Hashtbl.replace t.tbl name
+            (Histogram { h_count = 1; h_sum = v; h_min = v; h_max = v })
+      | Some (Histogram h) ->
+          Hashtbl.replace t.tbl name
+            (Histogram
+               {
+                 h_count = h.h_count + 1;
+                 h_sum = h.h_sum +. v;
+                 h_min = Float.min h.h_min v;
+                 h_max = Float.max h.h_max v;
+               })
+      | Some (Counter _) ->
+          invalid_arg (Printf.sprintf "Metrics.observe: %S is a counter" name))
 
 let find_counter t name =
-  match Hashtbl.find_opt t name with Some (Counter n) -> n | _ -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with Some (Counter n) -> n | _ -> 0)
 
 let find_histogram t name =
-  match Hashtbl.find_opt t name with Some (Histogram h) -> Some h | _ -> None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Histogram h) -> Some h
+      | _ -> None)
 
 let dump t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  locked t (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp ppf t =

@@ -4,6 +4,7 @@ module Plan = Disco_physical.Plan
 module Cost_model = Disco_cost.Cost_model
 module Source = Disco_source.Source
 module Clock = Disco_source.Clock
+module Scheduler = Disco_source.Scheduler
 module Wrapper = Disco_wrapper.Wrapper
 module Translate = Disco_wrapper.Translate
 module Typemap = Disco_odl.Typemap
@@ -130,6 +131,7 @@ end
 module Config = struct
   type t = {
     clock : Clock.t;
+    sched : Scheduler.t option;
     cost : Cost_model.t;
     cache : Answer_cache.t option;
     serve_stale_ms : float option;
@@ -142,11 +144,12 @@ module Config = struct
     breaker : Breaker.t option;
   }
 
-  let make ?cache ?serve_stale_ms ?trace ?(metrics = Metrics.default)
+  let make ?sched ?cache ?serve_stale_ms ?trace ?(metrics = Metrics.default)
       ?(batch = true) ?(check = Check.Warn) ?checker ?retry ?breaker ~clock
       ~cost () =
     {
       clock;
+      sched;
       cost;
       cache;
       serve_stale_ms;
@@ -161,7 +164,7 @@ module Config = struct
 end
 
 type env = {
-  clock : Clock.t;
+  sched : Scheduler.t;
   cost : Cost_model.t;
   bindings : binding list;
   cache : Answer_cache.t option;
@@ -188,7 +191,10 @@ type env = {
 
 let env (c : Config.t) bindings =
   {
-    clock = c.Config.clock;
+    sched =
+      (match c.Config.sched with
+      | Some s -> s
+      | None -> Scheduler.of_clock c.Config.clock);
     cost = c.Config.cost;
     bindings;
     cache = c.Config.cache;
@@ -578,7 +584,7 @@ let issue_one env ~now ~deadline (p : prepared) =
           Done d)
 
 let issue_exec env ~deadline repo logical =
-  let now = Clock.now env.clock in
+  let now = Scheduler.now env.sched in
   issue_one env ~now ~deadline (prepare_exec env ~now repo logical)
 
 (* -- batched transport (Config.batch) --
@@ -594,7 +600,7 @@ let issue_exec env ~deadline repo logical =
    Results come back in input order; the second component counts the
    wrapper round-trips actually attempted. *)
 let issue_execs_batched env ~deadline execs =
-  let now = Clock.now env.clock in
+  let now = Scheduler.now env.sched in
   let round_trips = ref 0 in
   let observe p ~finish ~origin ~shipped ~rows ~batch =
     observe_exec env ~repo:p.p_repo
@@ -651,48 +657,90 @@ let issue_execs_batched env ~deadline execs =
   (* (repo, printed logical) -> exec_result for the pending execs *)
   let table = Hashtbl.create 16 in
   let store p r = Hashtbl.replace table (p.p_repo, Expr.to_string p.p_logical) r in
-  List.iter
-    (fun ((grepo, gwrapper) as key) ->
-      let members =
-        List.filter (fun (p, _) -> group_key p = key) pendings
-      in
-      let size = List.length members in
-      let chosen, wrapper_t =
-        match members with
-        | (p, _) :: _ -> (p.p_chosen, p.p_binding.b_wrapper)
-        | [] -> assert false
-      in
-      if size = 1 && env.retry <> None then (
-        (* under the retry scheduler, singleton groups take the
-           sequential transport so they can be hedged; the round-trip
-           accounting is identical either way.  Multi-member batches are
-           never hedged — one racing replica per wrapper call would undo
-           the batching win. *)
+  (* Phase 1 — classify (sequential, key order): decide each group's
+     transport and assign its round-trip accounting, so batch ids,
+     trip counts and metrics are identical whichever scheduler later
+     runs the wire calls. *)
+  let groups =
+    List.map
+      (fun key ->
+        let members =
+          List.filter (fun (p, _) -> group_key p = key) pendings
+        in
+        let size = List.length members in
+        let chosen, wrapper_t =
+          match members with
+          | (p, _) :: _ -> (p.p_chosen, p.p_binding.b_wrapper)
+          | [] -> assert false
+        in
         incr round_trips;
         Metrics.incr env.metrics "runtime.batch.rounds";
         incr env.batch_seq;
-        match members with
-        | [ (p, _) ] -> store p (issue_one env ~now ~deadline p)
-        | _ -> assert false)
-      else (
-      incr round_trips;
-      Metrics.incr env.metrics "runtime.batch.rounds";
-      incr env.batch_seq;
-      let batch_id = !(env.batch_seq) in
-      let batch = if size > 1 then Some (batch_id, size) else None in
-      let exprs = List.map (fun (p, _) -> p.p_source_expr) members in
-      let outcome =
-        Source.call chosen ~clock:env.clock ~deadline (fun () ->
-            let answers = Wrapper.execute_batch wrapper_t chosen exprs in
-            let rows =
-              List.fold_left
-                (fun acc r ->
-                  match r with Ok (_, n) -> acc + n | Error _ -> acc)
-                0 answers
+        if size = 1 && env.retry <> None then
+          (* under the retry scheduler, singleton groups take the
+             sequential transport so they can be hedged; the round-trip
+             accounting is identical either way.  Multi-member batches
+             are never hedged — one racing replica per wrapper call
+             would undo the batching win.  Hedging and breaker state are
+             shared, so these run in phase 3, off the parallel pool. *)
+          `Single members
+        else `Batch (key, members, size, chosen, wrapper_t, !(env.batch_seq)))
+      keys
+  in
+  (* Phase 2 — transport: only the wire exchanges go through the
+     scheduler, which may fan them out across domains.  Groups that dial
+     the same underlying source share one job, keeping that source's
+     call counter free of data races; under the virtual scheduler jobs
+     run sequentially in this exact order. *)
+  let batch_jobs =
+    List.filter_map
+      (function
+        | `Single _ -> None
+        | `Batch (_, members, _, chosen, wrapper_t, batch_id) ->
+            let exprs = List.map (fun (p, _) -> p.p_source_expr) members in
+            let wire () =
+              Source.call_at chosen ~now ~deadline (fun () ->
+                  let answers = Wrapper.execute_batch wrapper_t chosen exprs in
+                  let rows =
+                    List.fold_left
+                      (fun acc r ->
+                        match r with Ok (_, n) -> acc + n | Error _ -> acc)
+                      0 answers
+                  in
+                  (answers, rows))
             in
-            (answers, rows))
-      in
-      match outcome with
+            Some (batch_id, Source.id chosen, wire))
+      groups
+  in
+  let buckets =
+    List.fold_left
+      (fun acc (batch_id, sid, wire) ->
+        let rec add = function
+          | [] -> [ (sid, [ (batch_id, wire) ]) ]
+          | (s, jobs) :: rest when String.equal s sid ->
+              (s, jobs @ [ (batch_id, wire) ]) :: rest
+          | g :: rest -> g :: add rest
+        in
+        add acc)
+      [] batch_jobs
+  in
+  let outcome_of = Hashtbl.create 8 in
+  Scheduler.map_rounds env.sched
+    (fun (_, jobs) -> List.map (fun (id, wire) -> (id, wire ())) jobs)
+    buckets
+  |> List.iter
+       (List.iter (fun (id, outcome) -> Hashtbl.replace outcome_of id outcome));
+  (* Phase 3 — completion (sequential, key order): rename, type-check,
+     cache stores, cost-model records, trace leaves.  Runs exactly as
+     the historical single-pass loop did, so the observation order the
+     pinned stats depend on is preserved. *)
+  List.iter
+    (function
+      | `Single [ (p, _) ] -> store p (issue_one env ~now ~deadline p)
+      | `Single _ -> assert false
+      | `Batch ((grepo, gwrapper), members, size, _, _, batch_id) -> (
+      let batch = if size > 1 then Some (batch_id, size) else None in
+      match Hashtbl.find outcome_of batch_id with
       | Source.Unavailable | Source.Timed_out _ ->
           List.iter
             (fun (p, _) ->
@@ -782,7 +830,7 @@ let issue_execs_batched env ~deadline execs =
                          answered_by = (p.p_chosen_repo, version);
                        }))
             members answers))
-    keys;
+    groups;
   let results =
     List.map
       (fun (p, c) ->
@@ -826,7 +874,7 @@ let apply_retries env ~deadline results =
   match env.retry with
   | None -> results
   | Some r ->
-      let t0 = Clock.now env.clock in
+      let t0 = Scheduler.now env.sched in
       let finals = Hashtbl.create 8 in
       let queue = ref [] in
       List.iteri
@@ -890,6 +938,9 @@ let apply_retries env ~deadline results =
         match pop () with
         | None -> ()
         | Some ev ->
+            (* wall schedulers really wait for the event's instant; the
+               virtual drain resolves it immediately *)
+            Scheduler.pace env.sched (Float.min ev.ev_at deadline);
             (if ev.ev_at >= deadline || ev.ev_attempt > r.Retry.max_attempts
              then (
                (* out of budget: finalize as blocked, with the re-poll
@@ -992,7 +1043,7 @@ let round_result env ~deadline ~t0 ~execs_issued ~round_trips results plan =
     if blocked <> [] then deadline
     else List.fold_left (fun acc (_, d) -> Float.max acc d.finish) t0 answered
   in
-  Clock.advance_to env.clock finish_time;
+  Scheduler.advance_to env.sched finish_time;
   let substituted =
     Plan.substitute_execs
       (fun repo logical ->
@@ -1037,7 +1088,7 @@ let round_result env ~deadline ~t0 ~execs_issued ~round_trips results plan =
 
 (* One parallel round, historical transport: one wrapper call per exec. *)
 let run_round_seq env ~deadline plan =
-  let t0 = Clock.now env.clock in
+  let t0 = Scheduler.now env.sched in
   let trips0 = !(env.extra_trips) in
   let execs = Plan.execs plan in
   let results =
@@ -1078,7 +1129,7 @@ let run_round_seq env ~deadline plan =
 (* One parallel round, batched transport: dedupe structurally identical
    execs, then one wrapper round-trip per destination. *)
 let run_round_batched env ~deadline plan =
-  let t0 = Clock.now env.clock in
+  let t0 = Scheduler.now env.sched in
   let trips0 = !(env.extra_trips) in
   let execs = Plan.execs plan in
   let unique =
@@ -1250,7 +1301,7 @@ let verify env plan =
 
 let execute ?(timeout_ms = 1000.0) env plan =
   verify env plan;
-  let deadline = Clock.now env.clock +. timeout_ms in
+  let deadline = Scheduler.now env.sched +. timeout_ms in
   (* Rounds: each issues every ready exec in parallel, then resolves the
      semi-joins unlocked by the new data. A plan without semi-joins is
      exactly one round — the paper's model. *)
@@ -1286,7 +1337,7 @@ let execute ?(timeout_ms = 1000.0) env plan =
   loop plan zero_stats []
 
 let fetch ?(timeout_ms = 1000.0) env extents =
-  let t0 = Clock.now env.clock in
+  let t0 = Scheduler.now env.sched in
   let trips0 = !(env.extra_trips) in
   let deadline = t0 +. timeout_ms in
   let keyed =
@@ -1340,7 +1391,7 @@ let fetch ?(timeout_ms = 1000.0) env extents =
     if any_blocked then deadline
     else List.fold_left (fun acc d -> Float.max acc d.finish) t0 answered
   in
-  Clock.advance_to env.clock finish_time;
+  Scheduler.advance_to env.sched finish_time;
   let stale_hits, stale_ms =
     List.fold_left
       (fun (n, age) d ->

@@ -104,6 +104,15 @@ end
 module Config : sig
   type t = {
     clock : Disco_source.Clock.t;
+    sched : Disco_source.Scheduler.t option;
+        (** the time-and-execution scheduler the env runs on.  [None]
+            (the default) wraps [clock] in the deterministic virtual
+            scheduler — the historical single-threaded simulation,
+            reproduced bit-for-bit.  Pass
+            {!Disco_source.Scheduler.wall} to issue each round's
+            per-source batches genuinely in parallel on OCaml 5 domains
+            with simulated latencies becoming real wall-clock waits;
+            [clock] is then unused. *)
     cost : Disco_cost.Cost_model.t;
     cache : Disco_cache.Answer_cache.t option;
         (** semantic answer cache: every completed exec is recorded
@@ -154,6 +163,7 @@ module Config : sig
   }
 
   val make :
+    ?sched:Disco_source.Scheduler.t ->
     ?cache:Disco_cache.Answer_cache.t ->
     ?serve_stale_ms:float ->
     ?trace:Disco_obs.Trace.t ->

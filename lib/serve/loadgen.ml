@@ -1,0 +1,130 @@
+type transport =
+  | Direct of Server.t
+  | Tcp of { host : string; port : int }
+
+type result = {
+  r_sent : int;
+  r_completed : int;
+  r_shed : int;
+  r_errors : int;
+  r_duration_s : float;
+  r_qps : float;
+  r_p50_ms : float;
+  r_p99_ms : float;
+  r_p999_ms : float;
+}
+
+(* Deterministic 48-bit LCG (the POSIX drand48 constants): the request
+   sequence depends only on the seed, never on the global [Random]
+   state. *)
+let lcg state =
+  state := ((!state * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+  float_of_int !state /. float_of_int 0x1000000000000
+
+(* Zipf over pool indices: weight 1/(i+1)^s, drawn by inverting the
+   cumulative distribution. *)
+let zipf_picks ~s ~seed ~n pool_size =
+  let weights =
+    Array.init pool_size (fun i -> 1.0 /. (float_of_int (i + 1) ** s))
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cum = Array.make pool_size 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cum.(i) <- !acc)
+    weights;
+  let state = ref (seed + 0x5EED) in
+  Array.init n (fun _ ->
+      let u = lcg state in
+      let rec find i = if i >= pool_size - 1 || u <= cum.(i) then i else find (i + 1) in
+      find 0)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+(* One protocol exchange over its own connection. *)
+let tcp_once ~host ~port ~tenant oql =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      output_string oc (Printf.sprintf "query %s %s\n" tenant oql);
+      flush oc;
+      match input_line ic with
+      | exception End_of_file -> Server.Failed "connection closed"
+      | line ->
+          if String.length line >= 3 && String.sub line 0 3 = "ok " then
+            Server.Answered { body = line; elapsed_ms = 0.0 }
+          else if String.length line >= 5 && String.sub line 0 5 = "shed " then
+            Server.Shed
+              { residual = String.sub line 5 (String.length line - 5) }
+          else Server.Failed line)
+
+let run ?(zipf_s = 1.1) ?(seed = 42) ?(tenants = [ "t0" ]) ~queries ~rate
+    ~duration_s transport =
+  if Array.length queries = 0 then invalid_arg "Loadgen.run: empty query pool";
+  if rate <= 0.0 then invalid_arg "Loadgen.run: rate must be positive";
+  if duration_s <= 0.0 then
+    invalid_arg "Loadgen.run: duration must be positive";
+  if tenants = [] then invalid_arg "Loadgen.run: no tenants";
+  let n = max 1 (int_of_float (Float.round (rate *. duration_s))) in
+  let picks = zipf_picks ~s:zipf_s ~seed ~n (Array.length queries) in
+  let tenant_arr = Array.of_list tenants in
+  let lock = Mutex.create () in
+  let latencies = ref [] in
+  let completed = ref 0 and shed = ref 0 and errors = ref 0 in
+  let t_start = Unix.gettimeofday () in
+  let fire k =
+    let target = t_start +. (float_of_int k /. rate) in
+    let delay = target -. Unix.gettimeofday () in
+    if delay > 0.0 then Unix.sleepf delay;
+    let tenant = tenant_arr.(k mod Array.length tenant_arr) in
+    let oql = queries.(picks.(k)) in
+    let t0 = Unix.gettimeofday () in
+    let reply =
+      match transport with
+      | Direct server -> Server.submit server ~tenant oql
+      | Tcp { host; port } -> (
+          try tcp_once ~host ~port ~tenant oql
+          with e -> Server.Failed (Printexc.to_string e))
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    Mutex.lock lock;
+    (match reply with
+    | Server.Answered _ ->
+        incr completed;
+        latencies := ms :: !latencies
+    | Server.Shed _ -> incr shed
+    | Server.Failed _ -> incr errors);
+    Mutex.unlock lock
+  in
+  let threads = List.init n (fun k -> Thread.create fire k) in
+  List.iter Thread.join threads;
+  let duration = Unix.gettimeofday () -. t_start in
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  {
+    r_sent = n;
+    r_completed = !completed;
+    r_shed = !shed;
+    r_errors = !errors;
+    r_duration_s = duration;
+    r_qps = (if duration > 0.0 then float_of_int !completed /. duration else 0.0);
+    r_p50_ms = percentile sorted 0.50;
+    r_p99_ms = percentile sorted 0.99;
+    r_p999_ms = percentile sorted 0.999;
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "sent=%d completed=%d shed=%d errors=%d duration=%.2fs qps=%.1f p50=%.2fms \
+     p99=%.2fms p999=%.2fms"
+    r.r_sent r.r_completed r.r_shed r.r_errors r.r_duration_s r.r_qps r.r_p50_ms
+    r.r_p99_ms r.r_p999_ms

@@ -7,4 +7,9 @@ let advance t delta =
   if delta < 0.0 then invalid_arg "Clock.advance: negative delta";
   t.now <- t.now +. delta
 
-let advance_to t time = if time > t.now then t.now <- time
+let advance_to t time =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Clock.advance_to: %g is before the current time %g" time
+         t.now);
+  t.now <- time

@@ -16,5 +16,8 @@ val advance : t -> float -> unit
 (** Move the clock forward; negative amounts are an error. *)
 
 val advance_to : t -> float -> unit
-(** Move the clock forward to an absolute time; earlier times are
-    ignored (the clock never runs backwards). *)
+(** Move the clock forward to an absolute time. Raises [Invalid_argument]
+    on a time earlier than the current reading — the clock never runs
+    backwards, and a stale finish time silently rewinding observed
+    durations was a bug worth catching loudly. Advancing to the current
+    time is a no-op. *)

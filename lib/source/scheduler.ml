@@ -1,0 +1,134 @@
+(* Domain pool: a mutex-protected queue of thunks drained by worker
+   domains. [map_rounds] enqueues one job per element and the submitting
+   thread helps drain the queue while its own jobs are outstanding, so a
+   saturated pool (or a nested round) degrades to inline execution
+   instead of deadlocking. *)
+type pool = {
+  lock : Mutex.t;
+  work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type kind = Virtual of Clock.t | Wall of { epoch : float; pool : pool }
+type t = { kind : kind }
+
+let worker_loop pool =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.stopping do
+      Condition.wait pool.work pool.lock
+    done;
+    if Queue.is_empty pool.queue && pool.stopping then Mutex.unlock pool.lock
+    else begin
+      let job = Queue.pop pool.queue in
+      Mutex.unlock pool.lock;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let of_clock clock = { kind = Virtual clock }
+
+let wall ?domains () =
+  let n =
+    match domains with
+    | Some n when n >= 1 -> n
+    | Some _ -> invalid_arg "Scheduler.wall: domains must be at least 1"
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init n (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  { kind = Wall { epoch = Unix.gettimeofday (); pool } }
+
+let is_virtual t = match t.kind with Virtual _ -> true | Wall _ -> false
+let clock t = match t.kind with Virtual c -> Some c | Wall _ -> None
+
+let now t =
+  match t.kind with
+  | Virtual c -> Clock.now c
+  | Wall { epoch; _ } -> (Unix.gettimeofday () -. epoch) *. 1000.0
+
+(* Sleep in short slices so a wall scheduler reacts promptly even when
+   the target instant was computed from a slightly different reading. *)
+let wall_sleep_until t target_ms =
+  let rec loop () =
+    let remaining_ms = target_ms -. now t in
+    if remaining_ms > 0.0 then begin
+      Unix.sleepf (Float.min (remaining_ms /. 1000.0) 0.05);
+      loop ()
+    end
+  in
+  loop ()
+
+let advance_to t time =
+  match t.kind with
+  | Virtual c -> Clock.advance_to c time
+  | Wall _ -> wall_sleep_until t time
+
+let pace t time =
+  match t.kind with
+  | Virtual _ -> ()
+  | Wall _ -> wall_sleep_until t time
+
+let map_rounds t f xs =
+  match (t.kind, xs) with
+  | Virtual _, _ | _, ([] | [ _ ]) -> List.map f xs
+  | Wall { pool; _ }, xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let failures = Array.make n None in
+      let remaining = ref n in
+      let job i () =
+        (match f arr.(i) with
+        | r -> results.(i) <- Some r
+        | exception e -> failures.(i) <- Some e);
+        Mutex.lock pool.lock;
+        decr remaining;
+        Mutex.unlock pool.lock
+      in
+      Mutex.lock pool.lock;
+      for i = 0 to n - 1 do
+        Queue.push (job i) pool.queue
+      done;
+      Condition.broadcast pool.work;
+      (* help drain until every job of THIS round has settled — jobs
+         from concurrent rounds may also be picked up, which is fine *)
+      while !remaining > 0 do
+        match Queue.take_opt pool.queue with
+        | Some job ->
+            Mutex.unlock pool.lock;
+            job ();
+            Mutex.lock pool.lock
+        | None ->
+            Mutex.unlock pool.lock;
+            Unix.sleepf 0.0002;
+            Mutex.lock pool.lock
+      done;
+      Mutex.unlock pool.lock;
+      Array.iter (function Some e -> raise e | None -> ()) failures;
+      Array.to_list
+        (Array.map (function Some r -> r | None -> assert false) results)
+
+let shutdown t =
+  match t.kind with
+  | Virtual _ -> ()
+  | Wall { pool; _ } ->
+      Mutex.lock pool.lock;
+      pool.stopping <- true;
+      let workers = pool.workers in
+      pool.workers <- [];
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.lock;
+      List.iter Domain.join workers

@@ -1,0 +1,67 @@
+(** The runtime's time-and-execution abstraction.
+
+    Everything the run-time system previously asked of a bare {!Clock.t}
+    — what time is it, move to a completion instant, wait for a re-poll
+    event — goes through a scheduler, which also owns how a round's
+    independent wrapper calls are executed. Two implementations share
+    the interface:
+
+    - {!of_clock} wraps a virtual {!Clock.t}: [now] reads the clock,
+      [advance_to] moves it, [pace] is a no-op (the discrete-event retry
+      drain never touches the shared clock mid-round), and {!map_rounds}
+      runs jobs sequentially in list order. This reproduces the
+      historical single-threaded simulation bit-for-bit — tests and
+      benches pin it.
+    - {!wall} measures real milliseconds and runs a round's jobs
+      genuinely in parallel on a pool of OCaml 5 domains; [advance_to]
+      and [pace] become real sleeps, so simulated source latencies turn
+      into wall-clock service times.
+
+    A scheduler is safe to share across sys-threads: the wall pool
+    serializes its queue behind a mutex, and callers waiting on a full
+    pool help drain it (so nested or concurrent rounds cannot
+    deadlock). *)
+
+type t
+
+val of_clock : Clock.t -> t
+(** The deterministic virtual-time scheduler. Cheap — wraps the clock
+    without copying, so several schedulers of one clock share its
+    state. *)
+
+val wall : ?domains:int -> unit -> t
+(** A wall-clock scheduler running jobs on [domains] worker domains
+    (default [Domain.recommended_domain_count () - 1], at least 1).
+    Time is measured in real milliseconds since this call. Call
+    {!shutdown} when done. *)
+
+val is_virtual : t -> bool
+
+val clock : t -> Clock.t option
+(** The underlying virtual clock, when there is one. *)
+
+val now : t -> float
+(** Virtual scheduler: the clock's reading. Wall scheduler: elapsed real
+    milliseconds since {!wall}. *)
+
+val advance_to : t -> float -> unit
+(** Move time forward to an absolute instant — the end-of-round
+    synchronization point. Virtual: {!Clock.advance_to} (raises
+    [Invalid_argument] on a past instant). Wall: sleep until [now]
+    reaches the instant; past instants return immediately. *)
+
+val pace : t -> float -> unit
+(** Wait until an event's instant without committing the shared round
+    time. Virtual: a no-op — the retry drain resolves events in virtual
+    order with the clock untouched. Wall: sleep until the instant. *)
+
+val map_rounds : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Run one job per list element and return the results in input order.
+    Virtual (or a list of fewer than two elements): [List.map], in
+    order. Wall: jobs run concurrently on the domain pool; the calling
+    thread also executes queued jobs while it waits. The first exception
+    raised by any job is re-raised after all jobs settle. *)
+
+val shutdown : t -> unit
+(** Stop and join the wall pool's domains. A no-op on virtual
+    schedulers; idempotent. *)

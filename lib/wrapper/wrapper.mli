@@ -70,7 +70,17 @@ val make :
     [?execute_batch] opts into native multi-expression round-trips; when
     omitted, {!execute_batch} falls back to per-expression {!execute}.
     An implementation must return exactly one (positional) result per
-    input expression. *)
+    input expression.
+
+    {b Concurrency.} Under a wall-clock scheduler
+    ({!Disco_source.Scheduler.wall} — serve mode, E15) the runtime
+    issues one round's per-source batches genuinely in parallel on
+    several domains, so [execute] and [execute_batch] may be invoked
+    concurrently (for different sources within one query, and for the
+    same wrapper value across queries when mediator replicas share it).
+    Implementations must be re-entrant or take their own lock; the
+    built-in wrappers are pure over the source snapshot and need
+    neither. *)
 
 (** {1 Built-in wrappers} *)
 

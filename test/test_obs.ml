@@ -500,20 +500,19 @@ let test_answer_roundtrip () =
       ignore (Disco_oql.Parser.parse (Mediator.answer_oql answer))
   | _ -> Alcotest.fail "expected complete"
 
-(* -- the deprecated Legacy aliases still work -- *)
+(* -- the Config/Query_opts records cover what the retired Legacy
+   optional-arg aliases used to (the Legacy module is gone) -- *)
 
-module Legacy_api = struct
-  [@@@ocaml.alert "-deprecated"]
-  [@@@ocaml.warning "-3"]
-
-  let test () =
-    let traced = Metrics.create () in
-    ignore traced;
-    let m = Mediator.Legacy.create ~plan_cache_capacity:4 ~name:"leg" () in
-    let s0, _ = source ~id:0 ~host:"rodin" [ person_row 1 "Mary" 200 ] in
-    Mediator.register_source m ~name:"r0" s0;
-    Mediator.load_odl m
-      {|
+let test_config_api () =
+  let m =
+    Mediator.create
+      ~config:{ Mediator.Config.default with plan_cache_capacity = 4 }
+      ~name:"cfg" ()
+  in
+  let s0, _ = source ~id:0 ~host:"rodin" [ person_row 1 "Mary" 200 ] in
+  Mediator.register_source m ~name:"r0" s0;
+  Mediator.load_odl m
+    {|
       r0 := Repository(host="rodin", name="db", address="0");
       w0 := WrapperPostgres();
       interface Person (extent person) {
@@ -521,27 +520,20 @@ module Legacy_api = struct
         attribute Short salary; }
       extent person0 of Person wrapper w0 repository r0;
     |};
-    (match
-       (Mediator.Legacy.query ~timeout_ms:500.0 m
-          "select x.name from x in person")
-         .Mediator.answer
-     with
-    | Mediator.Complete v ->
-        Alcotest.check check_value "legacy query answers"
-          (V.bag [ V.String "Mary" ])
-          v
-    | _ -> Alcotest.fail "expected complete");
-    (* legacy and new entry points drive the same machinery *)
-    let m2 =
-      Mediator.create
-        ~config:{ Mediator.Config.default with plan_cache_capacity = 4 }
-        ~name:"cfg" ()
-    in
-    Alcotest.(check int)
-      "plan cache capacity agrees"
-      (Mediator.plan_cache_stats m).Mediator.p_capacity
-      (Mediator.plan_cache_stats m2).Mediator.p_capacity
-end
+  (match
+     (Mediator.query
+        ~opts:{ Mediator.Query_opts.default with timeout_ms = 500.0 }
+        m "select x.name from x in person")
+       .Mediator.answer
+   with
+  | Mediator.Complete v ->
+      Alcotest.check check_value "config-built mediator answers"
+        (V.bag [ V.String "Mary" ])
+        v
+  | _ -> Alcotest.fail "expected complete");
+  Alcotest.(check int)
+    "plan cache capacity honored" 4
+    (Mediator.plan_cache_stats m).Mediator.p_capacity
 
 let () =
   Alcotest.run "disco_obs"
@@ -561,6 +553,6 @@ let () =
           Alcotest.test_case "no-sink equivalence" `Quick
             test_no_sink_equivalence;
           Alcotest.test_case "answer round-trip" `Quick test_answer_roundtrip;
-          Alcotest.test_case "legacy aliases" `Quick Legacy_api.test;
+          Alcotest.test_case "config record api" `Quick test_config_api;
         ] );
     ]

@@ -13,6 +13,7 @@ module Cost_model = Disco_cost.Cost_model
 module Plan = Disco_physical.Plan
 module Optimizer = Disco_optimizer.Optimizer
 module Runtime = Disco_runtime.Runtime
+module Scheduler = Disco_source.Scheduler
 module Wrapper = Disco_wrapper.Wrapper
 module Eval = Disco_oql.Eval
 module Ast = Disco_oql.Ast
@@ -733,6 +734,56 @@ let test_runtime_dedup_shared_scan () =
     (Disco_obs.Metrics.find_counter metrics "runtime.batch.dedup_hits");
   Alcotest.(check int) "one round-trip" 1 s_b.Runtime.round_trips
 
+(* -- scheduler equivalence -- *)
+
+(* An env built over an explicit [Scheduler.of_clock] must reproduce the
+   default clock-only configuration bit-for-bit: same answer, same
+   stats, same final clock reading. The virtual scheduler is the pinned
+   deterministic path; this is the contract that lets serve mode swap in
+   a wall scheduler without touching any simulation result. *)
+let test_scheduler_equivalence () =
+  let run use_sched =
+    let clock = Clock.create () in
+    let cost = Cost_model.create () in
+    let mk i =
+      let db = Datagen.person_db ~seed:i ~name:(Fmt.str "person%d" i) ~n:20 in
+      let source =
+        Source.create ~id:(Fmt.str "src%d" i) ~address:addr
+          ~latency:{ Source.base_ms = 10.0; per_row_ms = 0.05; jitter = 0.25 }
+          (Source.Relational db)
+      in
+      {
+        Runtime.b_extent = Fmt.str "person%d" i;
+        b_repo = Fmt.str "r%d" i;
+        b_source = source;
+        b_replicas = [];
+        b_wrapper = Wrapper.sql_wrapper ();
+        b_map = Typemap.identity;
+        b_check = None;
+      }
+    in
+    let bindings = List.map mk [ 0; 1 ] in
+    let sched = if use_sched then Some (Scheduler.of_clock clock) else None in
+    let env =
+      Runtime.env (Runtime.Config.make ?sched ~clock ~cost ()) bindings
+    in
+    let answer, stats = Runtime.execute env paper_plan in
+    (answer, stats, Clock.now clock)
+  in
+  let a0, s0, t0 = run false in
+  let a1, s1, t1 = run true in
+  (match (a0, a1) with
+  | Runtime.Complete v0, Runtime.Complete v1 ->
+      Alcotest.check check_value "identical answers" v0 v1
+  | _ -> Alcotest.fail "expected complete answers");
+  Alcotest.(check (float 0.0))
+    "identical elapsed" s0.Runtime.elapsed_ms s1.Runtime.elapsed_ms;
+  Alcotest.(check int) "identical round trips" s0.Runtime.round_trips
+    s1.Runtime.round_trips;
+  Alcotest.(check int) "identical execs" s0.Runtime.execs_answered
+    s1.Runtime.execs_answered;
+  Alcotest.(check (float 0.0)) "identical final clock reading" t0 t1
+
 let test_runtime_map_namespace () =
   (* extent with a type map: query in mediator names, source stores
      different names, answers come back in mediator names *)
@@ -827,6 +878,8 @@ let () =
           Alcotest.test_case "wrapper refusal" `Quick test_runtime_wrapper_refusal;
           Alcotest.test_case "run-time type check" `Quick test_runtime_type_check;
           Alcotest.test_case "type maps end to end" `Quick test_runtime_map_namespace;
+          Alcotest.test_case "scheduler equivalence" `Quick
+            test_scheduler_equivalence;
         ] );
       ( "retry",
         [

@@ -20,12 +20,19 @@ let test_clock () =
   let c = Clock.create () in
   Alcotest.(check (float 0.0)) "t0" 0.0 (Clock.now c);
   Clock.advance c 10.0;
-  Clock.advance_to c 5.0;
-  Alcotest.(check (float 0.0)) "never backwards" 10.0 (Clock.now c);
   Clock.advance_to c 25.0;
   Alcotest.(check (float 0.0)) "advance_to" 25.0 (Clock.now c);
+  (* the same instant is a no-op, not an error *)
+  Clock.advance_to c 25.0;
+  Alcotest.(check (float 0.0)) "idempotent" 25.0 (Clock.now c);
   Alcotest.check_raises "negative" (Invalid_argument "Clock.advance: negative delta")
-    (fun () -> Clock.advance c (-1.0))
+    (fun () -> Clock.advance c (-1.0));
+  (* regression: a stale finish time used to silently rewind observed
+     durations — moving backwards must fail loudly now *)
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Clock.advance_to: 5 is before the current time 25")
+    (fun () -> Clock.advance_to c 5.0);
+  Alcotest.(check (float 0.0)) "unchanged after rejection" 25.0 (Clock.now c)
 
 (* -- schedules -- *)
 
@@ -311,10 +318,64 @@ let test_datagen_water () =
       | _ -> Alcotest.fail "bad row shape")
     rows
 
+(* -- scheduler -- *)
+
+module Scheduler = Disco_source.Scheduler
+
+let test_scheduler_virtual () =
+  let c = Clock.create ~start:5.0 () in
+  let s = Scheduler.of_clock c in
+  Alcotest.(check bool) "virtual" true (Scheduler.is_virtual s);
+  Alcotest.(check (float 0.0)) "reads the clock" 5.0 (Scheduler.now s);
+  Scheduler.advance_to s 30.0;
+  Alcotest.(check (float 0.0)) "moves the clock" 30.0 (Clock.now c);
+  (* pace never touches the shared clock — the retry drain depends on
+     that *)
+  Scheduler.pace s 1000.0;
+  Alcotest.(check (float 0.0)) "pace is a no-op" 30.0 (Clock.now c);
+  (* jobs run sequentially in list order *)
+  let order = ref [] in
+  let out =
+    Scheduler.map_rounds s
+      (fun i ->
+        order := i :: !order;
+        i * 10)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "results in order" [ 10; 20; 30 ] out;
+  Alcotest.(check (list int)) "executed in order" [ 1; 2; 3 ] (List.rev !order);
+  Scheduler.shutdown s
+
+let test_scheduler_wall () =
+  let s = Scheduler.wall ~domains:2 () in
+  Alcotest.(check bool) "not virtual" false (Scheduler.is_virtual s);
+  let t0 = Scheduler.now s in
+  Alcotest.(check bool) "time starts near zero" true (t0 >= 0.0 && t0 < 5000.0);
+  Scheduler.advance_to s (t0 +. 5.0);
+  Alcotest.(check bool) "advance_to waits" true (Scheduler.now s >= t0 +. 5.0);
+  (* past instants return immediately instead of raising *)
+  Scheduler.advance_to s 0.0;
+  let out = Scheduler.map_rounds s (fun i -> i + 1) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "parallel map keeps order" [ 2; 3; 4; 5; 6 ] out;
+  (* exceptions cross the domain boundary *)
+  Alcotest.check_raises "job failure propagates" (Failure "boom") (fun () ->
+      ignore
+        (Scheduler.map_rounds s
+           (fun i -> if i = 2 then failwith "boom" else i)
+           [ 1; 2; 3 ]));
+  Scheduler.shutdown s;
+  Scheduler.shutdown s
+
 let () =
   Alcotest.run "disco_source"
     [
       ("clock", [ Alcotest.test_case "virtual clock" `Quick test_clock ]);
+      ( "scheduler",
+        [
+          Alcotest.test_case "virtual wraps the clock" `Quick
+            test_scheduler_virtual;
+          Alcotest.test_case "wall pool" `Quick test_scheduler_wall;
+        ] );
       ( "schedule",
         [
           Alcotest.test_case "constants" `Quick test_schedule_constants;
