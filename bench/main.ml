@@ -484,6 +484,7 @@ let e5 () =
     let basis =
       match est.Cost_model.est_basis with
       | Cost_model.Default -> "default"
+      | Cost_model.Indexed -> "indexed"
       | Cost_model.Close k -> Fmt.str "close(%d)" k
       | Cost_model.Exact k -> Fmt.str "exact(%d)" k
     in
@@ -515,6 +516,7 @@ let e5 () =
     let basis =
       match est.Cost_model.est_basis with
       | Cost_model.Default -> "default"
+      | Cost_model.Indexed -> "indexed"
       | Cost_model.Close k -> Fmt.str "close(%d)" k
       | Cost_model.Exact k -> Fmt.str "exact(%d)" k
     in
@@ -1813,14 +1815,134 @@ let e15 () =
   Fmt.pr "@.underload shed=0, overload shed=%d: admission limit enforced@."
     ov.Loadgen.r_shed
 
+(* == E16: columnar relation engine =================================== *)
+
+(* Wall-clock micro-benchmark of lib/relation itself — no mediator, no
+   virtual clock: tuples/sec of the row-at-a-time reference interpreter
+   vs the columnar batch engine vs declared indexes, on the same table
+   and queries.  --rows N replaces the default tiers (CI smoke runs
+   --rows 100000; pass 10000000 for the 10^7 tier). *)
+
+let e16_rows_override = ref None
+
+let e16_tiers () =
+  match !e16_rows_override with
+  | Some n -> [ n ]
+  | None -> [ 100_000; 1_000_000 ]
+
+(* best-of-3 wall time per call; [reps] batches sub-resolution calls
+   (indexed lookups finish in nanoseconds) inside one measurement *)
+let e16_best ?(reps = 1) f =
+  let rec go k best =
+    if k = 0 then best
+    else
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        ignore (Sys.opaque_identity (f ()))
+      done;
+      let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+      go (k - 1) (Float.min best dt)
+  in
+  Float.max 1e-9 (go 3 infinity)
+
+let e16 () =
+  header "E16: columnar relation engine - batch kernels and indexes";
+  Fmt.pr "claim: rebuilding lib/relation around typed column vectors,@.";
+  Fmt.pr "       dictionary-coded strings and batch predicate kernels@.";
+  Fmt.pr "       multiplies scan throughput, and declared indexes turn@.";
+  Fmt.pr "       selective lookups sublinear, without changing results.@.@.";
+  let module Sql = Disco_relation.Sql in
+  let module Table = Disco_relation.Table in
+  let module Index = Disco_relation.Index in
+  let rows_out = ref [] in
+  List.iter
+    (fun n ->
+      let db = Database.create ~name:"bench" in
+      let tbl =
+        Datagen.table_of db ~name:"person" Datagen.person_schema
+          (Datagen.person_rows ~seed:7 ~n)
+      in
+      let scan_q =
+        Sql.parse "SELECT id, name FROM person WHERE salary > 450"
+      in
+      let point_q =
+        Sql.parse (Fmt.str "SELECT name FROM person WHERE id = %d" (n / 2))
+      in
+      let range_q = Sql.parse "SELECT id FROM person WHERE salary < 15" in
+      let bag r = List.sort compare r.Sql.rows in
+      let check q label =
+        if bag (Sql.run db q) <> bag (Sql.run_rows db q) then
+          failwith ("E16: engines disagree on " ^ label)
+      in
+      check scan_q "selective scan";
+      check point_q "point lookup";
+      (match Sql.explain_engine db scan_q with
+      | `Columnar -> ()
+      | _ -> failwith "E16: scan not on the columnar engine");
+      let scan_row = e16_best (fun () -> Sql.run_rows db scan_q) in
+      let scan_col = e16_best (fun () -> Sql.run db scan_q) in
+      let point_row = e16_best (fun () -> Sql.run_rows db point_q) in
+      let point_col = e16_best (fun () -> Sql.run db point_q) in
+      Table.declare_index tbl ~column:"id" Index.Hash;
+      Table.declare_index tbl ~column:"salary" Index.Sorted;
+      (match Sql.explain_engine db point_q with
+      | `Columnar_indexed "id" -> ()
+      | _ -> failwith "E16: point lookup not index-served");
+      (match Sql.explain_engine db range_q with
+      | `Columnar_indexed "salary" -> ()
+      | _ -> failwith "E16: range filter not index-served");
+      check point_q "indexed point lookup";
+      check range_q "indexed range filter";
+      ignore (Sql.run db point_q) (* build the lazy indexes once *);
+      let point_ix = e16_best ~reps:1000 (fun () -> Sql.run db point_q) in
+      let range_ix = e16_best ~reps:100 (fun () -> Sql.run db range_q) in
+      let range_col = e16_best (fun () -> Sql.run_rows db range_q) in
+      Table.drop_index tbl "id";
+      Table.drop_index tbl "salary";
+      let tps dt = float_of_int n /. dt in
+      let speedup = tps scan_col /. tps scan_row in
+      rows_out :=
+        [
+          string_of_int n; "scan salary>450";
+          Fmt.str "%.2e" (tps scan_row); Fmt.str "%.2e" (tps scan_col); "-";
+          Fmt.str "%.1fx" speedup;
+        ]
+        :: [
+             string_of_int n; "point id=k";
+             Fmt.str "%.2e" (tps point_row); Fmt.str "%.2e" (tps point_col);
+             Fmt.str "%.2e" (tps point_ix);
+             Fmt.str "%.0fx" (tps point_ix /. tps point_row);
+           ]
+        :: [
+             string_of_int n; "range salary<15";
+             Fmt.str "%.2e" (tps range_col); "-"; Fmt.str "%.2e" (tps range_ix);
+             Fmt.str "%.0fx" (tps range_ix /. tps range_col);
+           ]
+        :: !rows_out;
+      bench_results :=
+        Fmt.str
+          "{\"experiment\":\"e16\",\"rows\":%d,\"scan_row_tps\":%.0f,\"scan_col_tps\":%.0f,\"scan_speedup\":%.2f,\"point_row_tps\":%.0f,\"point_col_tps\":%.0f,\"point_indexed_tps\":%.0f,\"range_row_tps\":%.0f,\"range_indexed_tps\":%.0f}"
+          n (tps scan_row) (tps scan_col) speedup (tps point_row)
+          (tps point_col) (tps point_ix) (tps range_col) (tps range_ix)
+        :: !bench_results;
+      if n >= 1_000_000 && speedup < 5.0 then
+        failwith
+          (Fmt.str "E16: columnar scan speedup %.1fx < 5x at %d rows" speedup n))
+    (e16_tiers ());
+  table
+    ~columns:
+      [ "rows"; "query"; "row tps"; "columnar tps"; "indexed tps"; "speedup" ]
+    (List.rev !rows_out);
+  Fmt.pr "@.engines agree bag-for-bag on every query above@."
+
 (* ==================================================================== *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("a1", a1);
-    ("a2", a2); ("a3", a3); ("soak", soak);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+    ("a1", a1); ("a2", a2); ("a3", a3); ("soak", soak);
   ]
 
 (* --merge-results folds an existing BENCH_RESULTS.json (one object per
@@ -1860,6 +1982,9 @@ let () =
     | "--trials" :: n :: rest ->
         trials_override := int_of_string_opt n;
         scan rest
+    | "--rows" :: n :: rest ->
+        e16_rows_override := int_of_string_opt n;
+        scan rest
     | _ :: rest -> scan rest
     | [] -> ()
   in
@@ -1875,7 +2000,7 @@ let () =
       match List.assoc_opt name experiments with
       | Some f -> run (name, f)
       | None ->
-          Fmt.epr "unknown experiment %s (e1..e15, a1..a3, soak)@." name;
+          Fmt.epr "unknown experiment %s (e1..e16, a1..a3, soak)@." name;
           exit 1)
   | None ->
       List.iter run experiments;

@@ -92,6 +92,9 @@ module Conf = struct
     semantics : Mediator.semantics;
     use_cache : bool;
     retry : Runtime.Retry.t option;
+    indexes : (string * string * [ `Hash | `Sorted ]) list;
+        (** (table, column, kind) to declare on every repository hosting
+            the table *)
   }
 end
 
@@ -104,7 +107,7 @@ let conf_keys =
     "sources"; "rows"; "wrapper"; "shards"; "shard-scheme"; "down"; "odl";
     "timeout"; "semantics"; "max-stale"; "cache"; "retry"; "retry-initial";
     "retry-multiplier"; "retry-attempts"; "hedge"; "breaker";
-    "breaker-cooldown";
+    "breaker-cooldown"; "index";
   ]
 
 let parse_kv_file path =
@@ -147,6 +150,16 @@ let kv_scheme key v =
   | "range" -> `Range
   | "hash" -> `Hash
   | _ -> conf_fail "config: %s: expected range or hash, got %S" key v
+
+let parse_index_spec spec =
+  match String.split_on_char ':' spec with
+  | [ table; column; kind ] when table <> "" && column <> "" -> (
+      match Disco_relation.Index.kind_of_string kind with
+      | Some Disco_relation.Index.Hash -> (table, column, `Hash)
+      | Some Disco_relation.Index.Sorted -> (table, column, `Sorted)
+      | None ->
+          conf_fail "index: unknown kind %S (hash or sorted), in %S" kind spec)
+  | _ -> conf_fail "index: expected table:column:kind, got %S" spec
 
 let sem_of_name key max_stale = function
   | "partial" -> Mediator.Partial_answers
@@ -297,10 +310,21 @@ let breaker_cooldown_arg =
   Arg.(
     value & opt (some float) None & info [ "breaker-cooldown" ] ~docv:"MS" ~doc)
 
+let index_arg =
+  let doc =
+    "Declare a source-side secondary index as table:column:kind (kind: \
+     hash for equality, sorted for ranges on numeric columns) on every \
+     repository hosting the table; repeatable. The columnar engine \
+     serves matching filters from it, and the optimizer treats such \
+     pushdowns as informed. In --config, the $(b,index) key takes a \
+     comma-separated list of specs."
+  in
+  Arg.(value & opt_all string [] & info [ "index" ] ~docv:"SPEC" ~doc)
+
 let conf_term =
   let mk config sources rows wrapper shards shard_scheme down odl timeout
       semantics max_stale cache retry_flag retry_initial retry_multiplier
-      retry_attempts hedge breaker breaker_cooldown =
+      retry_attempts hedge breaker breaker_cooldown index_specs =
     try
       let kv = match config with None -> [] | Some path -> parse_kv_file path in
       let str key = List.assoc_opt key kv in
@@ -372,6 +396,18 @@ let conf_term =
           semantics;
           use_cache;
           retry;
+          indexes =
+            (let specs =
+               match index_specs with
+               | _ :: _ -> index_specs
+               | [] -> (
+                   match str "index" with
+                   | Some s ->
+                       String.split_on_char ',' s |> List.map String.trim
+                       |> List.filter (fun x -> x <> "")
+                   | None -> [])
+             in
+             List.map parse_index_spec specs);
         }
     with
     | Conf_error msg -> Error msg
@@ -383,7 +419,7 @@ let conf_term =
       $ shard_scheme_arg $ down_arg $ odl_arg $ timeout_arg $ semantics_arg
       $ max_stale_arg $ cache_arg $ retry_flag_arg $ retry_initial_arg
       $ retry_multiplier_arg $ retry_attempts_arg $ hedge_arg $ breaker_arg
-      $ breaker_cooldown_arg)
+      $ breaker_cooldown_arg $ index_arg)
 
 let conf_qopts (conf : Conf.t) =
   qopts ~timeout_ms:conf.Conf.timeout ~semantics:conf.Conf.semantics ()
@@ -502,6 +538,29 @@ let build_mediator ?cache ?trace_sink ?metrics ?recover_at ?sched
       | Some src -> Source.set_schedule src outage
       | None -> Fmt.epr "warning: no source attached to %s@." repo)
     conf.Conf.down;
+  List.iter
+    (fun (table, column, kind) ->
+      let hosts =
+        List.filter
+          (fun (repo, _) ->
+            match Mediator.find_source m repo with
+            | Some src -> (
+                match Source.kind src with
+                | Source.Relational db ->
+                    Database.find_table db table <> None
+                | Source.Key_value _ | Source.Flat_file _ | Source.Text _ ->
+                    false)
+            | None -> false)
+          (Mediator.source_stats m)
+      in
+      if hosts = [] then
+        Fmt.epr "warning: --index %s:%s: no repository hosts that table@."
+          table column
+      else
+        List.iter
+          (fun (repo, _) -> Mediator.declare_index m ~repo ~table ~column ~kind)
+          hosts)
+    conf.Conf.indexes;
   m
 
 let print_outcome m outcome =
@@ -737,6 +796,66 @@ let shards_cmd =
          "Print the shard map of every partitioned extent: shard key, \
           scheme, and the per-shard child extents with their repositories \
           (range shards also show their key interval).")
+    Term.(ret (const run $ conf_term $ verbosity_arg))
+
+let indexes_cmd =
+  let run conf verbosity =
+    with_conf
+      (fun m ->
+        let module Table = Disco_relation.Table in
+        let module Index = Disco_relation.Index in
+        let rows = ref [] in
+        List.iter
+          (fun (repo, _) ->
+            match Mediator.find_source m repo with
+            | Some src -> (
+                match Source.kind src with
+                | Source.Relational db ->
+                    List.iter
+                      (fun tname ->
+                        let t = Database.get_table db tname in
+                        List.iter
+                          (fun (column, kind) ->
+                            rows :=
+                              (repo, tname, column, Index.kind_name kind)
+                              :: !rows)
+                          (Table.indexes t))
+                      (Database.table_names db)
+                | Source.Key_value _ | Source.Flat_file _ | Source.Text _ ->
+                    ())
+            | None -> ())
+          (Mediator.source_stats m);
+        (match List.rev !rows with
+        | [] -> Fmt.pr "no declared indexes (try --index table:column:kind)@."
+        | rows ->
+            List.iter
+              (fun (repo, table, column, kind) ->
+                Fmt.pr "%s: %s.%s %s@." repo table column kind)
+              rows);
+        let cost = Mediator.cost_model m in
+        List.iter
+          (fun (repo, _) ->
+            match Disco_cost.Cost_model.indexed_attrs cost ~repo with
+            | [] -> ()
+            | attrs ->
+                Fmt.pr "cost model: %s serves %s@." repo
+                  (String.concat ", "
+                     (List.map
+                        (fun (a, k) ->
+                          Fmt.str "%s (%s)" a
+                            (match k with
+                            | `Hash -> "hash"
+                            | `Sorted -> "sorted"))
+                        attrs)))
+          (Mediator.source_stats m))
+      conf verbosity
+  in
+  Cmd.v
+    (Cmd.info "indexes"
+       ~doc:
+         "List the declared secondary indexes of every repository (and \
+          which attributes the cost model prices as index-served). \
+          Declare them with --index table:column:kind.")
     Term.(ret (const run $ conf_term $ verbosity_arg))
 
 let print_cache_stats m =
@@ -1359,8 +1478,8 @@ let main =
        ~doc:"Drive a Disco heterogeneous-database mediator.")
     [
       query_cmd; explain_cmd; schema_cmd; repl_cmd; catalog_cmd; shards_cmd;
-      cache_stats_cmd; resubmit_cmd; trace_cmd; metrics_cmd; serve_cmd;
-      load_cmd; lint_cmd;
+      indexes_cmd; cache_stats_cmd; resubmit_cmd; trace_cmd; metrics_cmd;
+      serve_cmd; load_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval main)

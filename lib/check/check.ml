@@ -54,7 +54,9 @@ let of_registry ?wrapper_of reg =
     | Some me -> (
         match Registry.find_object reg me.Registry.me_wrapper with
         | None -> None
-        | Some o -> Wrapper.of_constructor o.Registry.obj_constructor)
+        | Some o ->
+            Wrapper.of_constructor_args o.Registry.obj_constructor
+              o.Registry.obj_args)
   in
   {
     registry = Some reg;

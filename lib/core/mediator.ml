@@ -180,6 +180,33 @@ let register_source t ~name source = Hashtbl.replace t.sources name source
 let register_wrapper t ~name wrapper = Hashtbl.replace t.wrappers name wrapper
 let find_source t name = Hashtbl.find_opt t.sources name
 
+let declare_index t ~repo ~table ~column ~kind =
+  let module Table = Disco_relation.Table in
+  let module Index = Disco_relation.Index in
+  let module Schema = Disco_relation.Schema in
+  match Hashtbl.find_opt t.sources repo with
+  | None -> mediator_error "declare_index: no source registered as %s" repo
+  | Some source -> (
+      match Source.kind source with
+      | Source.Key_value _ | Source.Flat_file _ | Source.Text _ ->
+          mediator_error "declare_index: source %s is not relational" repo
+      | Source.Relational db -> (
+          match Disco_relation.Database.find_table db table with
+          | None ->
+              mediator_error "declare_index: %s has no table named %s" repo
+                table
+          | Some tbl -> (
+              let ikind =
+                match kind with `Hash -> Index.Hash | `Sorted -> Index.Sorted
+              in
+              match Table.declare_index tbl ~column ikind with
+              | () ->
+                  Cost_model.declare_index t.cost ~repo ~attr:column ~kind;
+                  (* estimates for this repo just changed shape *)
+                  Lru.clear t.plan_cache
+              | exception Schema.Schema_error m ->
+                  mediator_error "declare_index: %s" m)))
+
 let load_odl t text =
   match Odl.load t.registry text with
   | () -> ()
@@ -201,7 +228,10 @@ let wrapper_of t wname =
   | None -> (
       match Registry.find_object t.registry wname with
       | Some obj -> (
-          match Wrapper.of_constructor obj.Registry.obj_constructor with
+          match
+            Wrapper.of_constructor_args obj.Registry.obj_constructor
+              obj.Registry.obj_args
+          with
           | Some w ->
               Hashtbl.replace t.wrappers wname w;
               Some w

@@ -217,6 +217,24 @@ val register_wrapper : t -> name:string -> Disco_wrapper.Wrapper.t -> unit
 
 val find_source : t -> string -> Disco_source.Source.t option
 
+val declare_index :
+  t ->
+  repo:string ->
+  table:string ->
+  column:string ->
+  kind:[ `Hash | `Sorted ] ->
+  unit
+(** Declare a source-side secondary index: builds the access path on the
+    source's table ({!Disco_relation.Table.declare_index}) and tells the
+    cost model that lookups on [column] at [repo] are index-served
+    ({!Disco_cost.Cost_model.declare_index}), so the optimizer treats
+    such submits as informed even before any call history exists. Also
+    drops cached plans, whose estimates may have changed shape. Raises
+    {!Mediator_error} if the source is missing or not relational, the
+    table or column is absent, or the kind does not support the column
+    type ([`Sorted] requires a numeric column). Without any declaration,
+    answers, stats and the virtual clock are bit-for-bit unchanged. *)
+
 val load_odl : t -> string -> unit
 (** Parse and apply ODL text: interfaces, extents, views, and object
     definitions. [w := WrapperX();] resolves through

@@ -1,7 +1,7 @@
 module Expr = Disco_algebra.Expr
 module V = Disco_value.Value
 
-type basis = Exact of int | Close of int | Default
+type basis = Exact of int | Close of int | Indexed | Default
 
 type estimate = { est_time_ms : float; est_rows : float; est_basis : basis }
 
@@ -24,6 +24,8 @@ type t = {
   close : (string, record_entry list) Hashtbl.t;
   (* repo -> most-recent-first batched round-trips (bounded the same way) *)
   batch : (string, batch_entry list) Hashtbl.t;
+  (* repo -> attributes with a declared source-side index *)
+  declared : (string, (string * [ `Hash | `Sorted ]) list) Hashtbl.t;
 }
 
 let create ?(history = 8) ?(smoothing = 0.5) ?(close_matching = true) () =
@@ -37,7 +39,17 @@ let create ?(history = 8) ?(smoothing = 0.5) ?(close_matching = true) () =
     exact = Hashtbl.create 64;
     close = Hashtbl.create 64;
     batch = Hashtbl.create 16;
+    declared = Hashtbl.create 8;
   }
+
+let declare_index t ~repo ~attr ~kind =
+  let existing = Option.value (Hashtbl.find_opt t.declared repo) ~default:[] in
+  let existing = List.remove_assoc attr existing in
+  Hashtbl.replace t.declared repo ((attr, kind) :: existing)
+
+let indexed_attrs t ~repo =
+  Option.value (Hashtbl.find_opt t.declared repo) ~default:[]
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* Erase constants so that only the operator structure and the compared
    attributes remain. *)
@@ -100,6 +112,53 @@ let smooth t entries =
   in
   (tsum /. wsum, rsum /. wsum)
 
+(* Is this submit shaped like an indexed lookup at [repo]? Strip the
+   structural wrappers the compiler adds (binds, projections), then look
+   for a select over a get with at least one conjunct comparing a
+   declared attribute to a constant (equality for any index kind, range
+   comparisons only for sorted indexes). *)
+let rec strip_shape = function
+  | Expr.Project (e, _) | Expr.Map (e, _) | Expr.Distinct e -> strip_shape e
+  | e -> e
+
+let rec any_conjunct f = function
+  | Expr.And (a, b) -> any_conjunct f a || any_conjunct f b
+  | p -> f p
+
+let attr_field path = match List.rev path with f :: _ -> f | [] -> ""
+
+let indexed_shape t ~repo expr =
+  match Hashtbl.find_opt t.declared repo with
+  | None | Some [] -> false
+  | Some attrs -> (
+      match strip_shape expr with
+      | Expr.Select (e, pred) -> (
+          match strip_shape e with
+          | Expr.Get _ ->
+              any_conjunct
+                (fun p ->
+                  match p with
+                  | Expr.Cmp (op, Expr.Attr path, Expr.Const _)
+                  | Expr.Cmp (op, Expr.Const _, Expr.Attr path) -> (
+                      match (List.assoc_opt (attr_field path) attrs, op) with
+                      | Some _, Expr.Eq -> true
+                      | Some `Sorted, (Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge)
+                        ->
+                          true
+                      | _ -> false)
+                  | _ -> false)
+                pred
+          | _ -> false)
+      | _ -> false)
+
+(* An indexed lookup we have no history for: priced like the default
+   (time 0, data 1 — the paper's pushdown bias) but on an [Indexed]
+   basis, which the optimizer treats as informed rather than guessed. *)
+let indexed_estimate = { est_time_ms = 0.0; est_rows = 1.0; est_basis = Indexed }
+
+let uninformed t ~repo expr =
+  if indexed_shape t ~repo expr then indexed_estimate else default_estimate
+
 let estimate t ~repo expr =
   match Hashtbl.find_opt t.exact (exact_key ~repo expr) with
   | Some (_ :: _ as entries) ->
@@ -114,8 +173,8 @@ let estimate t ~repo expr =
             est_rows = rows;
             est_basis = Close (List.length entries);
           }
-      | Some [] | None -> default_estimate)
-  | Some [] | None -> default_estimate
+      | Some [] | None -> uninformed t ~repo expr)
+  | Some [] | None -> uninformed t ~repo expr
 
 let record_batch t ~repo ~size ~time_ms =
   if size < 1 then invalid_arg "Cost_model.record_batch: size must be >= 1";
@@ -161,6 +220,7 @@ let recorded_calls t =
   Hashtbl.fold (fun _ entries acc -> acc + List.length entries) t.exact 0
 
 let clear t =
+  (* observations only: index declarations are DDL, not history *)
   Hashtbl.reset t.exact;
   Hashtbl.reset t.close;
   Hashtbl.reset t.batch

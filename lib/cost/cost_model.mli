@@ -20,6 +20,10 @@ module Expr := Disco_algebra.Expr
 type basis =
   | Exact of int  (** number of exactly matching recorded calls *)
   | Close of int  (** number of skeleton-matching recorded calls *)
+  | Indexed
+      (** no recorded calls, but the submit is an indexed lookup on an
+          attribute declared via {!declare_index} — priced like the
+          default yet treated as informed *)
   | Default
 
 type estimate = { est_time_ms : float; est_rows : float; est_basis : basis }
@@ -39,6 +43,19 @@ val create : ?history:int -> ?smoothing:float -> ?close_matching:bool -> unit ->
 val record : t -> repo:string -> expr:Expr.expr -> time_ms:float -> rows:int -> unit
 
 val estimate : t -> repo:string -> Expr.expr -> estimate
+
+val declare_index :
+  t -> repo:string -> attr:string -> kind:[ `Hash | `Sorted ] -> unit
+(** Tell the model that [repo] serves lookups on [attr] from an index.
+    When an estimate finds no recorded history, a submit shaped like a
+    select-over-get whose predicate compares [attr] to a constant
+    (equality for either kind; [<] [<=] [>] [>=] only for [`Sorted]) is
+    priced on an {!Indexed} basis instead of {!Default}. With no
+    declarations the model's behavior is unchanged. Declarations are
+    DDL, not observations: {!clear} keeps them. *)
+
+val indexed_attrs : t -> repo:string -> (string * [ `Hash | `Sorted ]) list
+(** The declared indexes for [repo], sorted by attribute name. *)
 
 val record_batch : t -> repo:string -> size:int -> time_ms:float -> unit
 (** Record one batched round-trip to [repo]: [size] expressions answered

@@ -167,7 +167,7 @@ let optimize ?params ?(max_join_variants = 8) ?metrics ?(batch = false) ?check
   let informed repo expr =
     match (Cost_model.estimate cost ~repo expr).Cost_model.est_basis with
     | Cost_model.Default -> false
-    | Cost_model.Exact _ | Cost_model.Close _ -> true
+    | Cost_model.Exact _ | Cost_model.Close _ | Cost_model.Indexed -> true
   in
   let pushed_size p =
     List.fold_left

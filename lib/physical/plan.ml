@@ -475,7 +475,8 @@ let estimate ?(params = default_params) ?(batch = false) model plan =
           defaulted_execs =
             (match est.Cost_model.est_basis with
             | Cost_model.Default -> 1
-            | Cost_model.Exact _ | Cost_model.Close _ -> 0);
+            | Cost_model.Exact _ | Cost_model.Close _ | Cost_model.Indexed ->
+                0);
         }
     | Mk_data v ->
         let n = try float_of_int (V.cardinal v) with V.Type_error _ -> 1.0 in
@@ -559,7 +560,8 @@ let estimate ?(params = default_params) ?(batch = false) model plan =
             +
             match right_est.Cost_model.est_basis with
             | Cost_model.Default -> 1
-            | Cost_model.Exact _ | Cost_model.Close _ -> 0);
+            | Cost_model.Exact _ | Cost_model.Close _ | Cost_model.Indexed ->
+                0);
         }
     | Mk_union ps ->
         let cs = List.map go ps in

@@ -1,0 +1,58 @@
+(** Typed growable column vectors — the storage cells of the columnar
+    relation engine.
+
+    Each column stores one attribute of a table as an unboxed array of its
+    schema type plus a null byte-map. String columns are
+    dictionary-encoded: rows hold [int] codes into a per-column dictionary,
+    so equality between encoded strings is an integer comparison and a
+    [LIKE] pattern needs evaluating only once per distinct string.
+
+    The representation is exposed so the batch operators in {!Sql} can run
+    typed kernels directly over the backing arrays. Only the first
+    {!length} entries of a payload array are valid — the rest is growth
+    capacity. Callers outside [lib/relation] should treat columns as
+    opaque. *)
+
+module V := Disco_value.Value
+
+type strings = {
+  mutable codes : int array;  (** row -> dictionary code; [-1] on NULL rows *)
+  mutable dict : string array;  (** code -> string; first [dict_size] valid *)
+  mutable dict_size : int;
+  interned : (string, int) Hashtbl.t;  (** string -> code *)
+}
+
+type payload =
+  | Ints of int array
+  | Floats of float array
+  | Bools of Bytes.t  (** ['\001'] where true *)
+  | Strings of strings
+
+type t = {
+  mutable len : int;
+  mutable nulls : Bytes.t;  (** ['\001'] where NULL; first [len] valid *)
+  mutable payload : payload;
+}
+
+val create : Schema.col_type -> t
+val col_type : t -> Schema.col_type
+val length : t -> int
+
+val append : t -> V.t -> unit
+(** Append one value. The value must conform to the column type
+    ({!Schema.value_conforms}) — the table checks before appending. *)
+
+val get : t -> int -> V.t
+(** Materialize row [i] back into a boxed value. *)
+
+val is_null : t -> int -> bool
+
+val code_of_opt : t -> string -> int option
+(** Dictionary probe: the code for a string if this is a string column
+    that has interned it. [None] means no stored row can equal it. *)
+
+val dict_size : t -> int
+(** Number of distinct strings interned; [0] for non-string columns. *)
+
+val dict_entry : t -> int -> string
+(** The string behind a dictionary code. *)

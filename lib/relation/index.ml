@@ -1,0 +1,180 @@
+module V = Disco_value.Value
+
+type kind = Hash | Sorted
+
+let kind_name = function Hash -> "hash" | Sorted -> "sorted"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "hash" -> Some Hash
+  | "sorted" | "range" | "btree" -> Some Sorted
+  | _ -> None
+
+let kind_supported kind ty =
+  match (kind, ty) with
+  | Hash, _ -> true
+  | Sorted, (Schema.TInt | Schema.TFloat) -> true
+  | Sorted, (Schema.TString | Schema.TBool) -> false
+
+type t =
+  | Hash_index of {
+      buckets : (int, int list) Hashtbl.t;  (* key -> row ids, ascending *)
+      null_rows : int list;  (* ascending *)
+    }
+  | Sorted_index of int array
+      (* row ids: NULLs first, then ascending by value, ties by row id *)
+
+type op = Op_eq | Op_ne | Op_lt | Op_le | Op_gt | Op_ge
+
+(* Distinct floats must get distinct keys except where [Float.compare]
+   calls them equal: NaNs collapse to one bucket (all NaNs are equal under
+   the total order), and [Int64.to_int]'s dropped sign bit only ever
+   merges buckets, which the probe-side exact re-check undoes. *)
+let float_key f =
+  let f = if Float.is_nan f then Float.nan else f in
+  Int64.to_int (Int64.bits_of_float f)
+
+let max_exact_float_int = 4503599627370496.0 (* 2^52 *)
+
+let build_hash col =
+  let buckets = Hashtbl.create 1024 in
+  let null_rows = ref [] in
+  let n = Column.length col in
+  let add key row =
+    match Hashtbl.find_opt buckets key with
+    | Some rows -> Hashtbl.replace buckets key (row :: rows)
+    | None -> Hashtbl.replace buckets key [ row ]
+  in
+  let key_at =
+    match col.Column.payload with
+    | Column.Ints a -> fun i -> a.(i)
+    | Column.Floats a -> fun i -> float_key a.(i)
+    | Column.Bools b -> fun i -> if Bytes.get b i = '\001' then 1 else 0
+    | Column.Strings s -> fun i -> s.codes.(i)
+  in
+  for i = n - 1 downto 0 do
+    if Column.is_null col i then null_rows := i :: !null_rows
+    else add (key_at i) i
+  done;
+  Hash_index { buckets; null_rows = !null_rows }
+
+let build_sorted col =
+  let n = Column.length col in
+  let order = Array.init n Fun.id in
+  let value_cmp =
+    match col.Column.payload with
+    | Column.Ints a -> fun r1 r2 -> Int.compare a.(r1) a.(r2)
+    | Column.Floats a -> fun r1 r2 -> Float.compare a.(r1) a.(r2)
+    | Column.Bools _ | Column.Strings _ ->
+        invalid_arg "Index.build: sorted index requires a numeric column"
+  in
+  let cmp r1 r2 =
+    match (Column.is_null col r1, Column.is_null col r2) with
+    | true, true -> Int.compare r1 r2
+    | true, false -> -1
+    | false, true -> 1
+    | false, false ->
+        let c = value_cmp r1 r2 in
+        if c <> 0 then c else Int.compare r1 r2
+  in
+  Array.sort cmp order;
+  Sorted_index order
+
+let build kind col =
+  match kind with Hash -> build_hash col | Sorted -> build_sorted col
+
+let sorted_of_list rows =
+  (* already ascending by construction *)
+  Array.of_list rows
+
+let sort_rows a =
+  Array.sort Int.compare a;
+  a
+
+(* -- hash lookups -- *)
+
+let bucket_rows buckets key =
+  match Hashtbl.find_opt buckets key with Some rows -> rows | None -> []
+
+let hash_eq col buckets probe =
+  (* Returns [None] when the probe cannot be mapped onto the key space. *)
+  let exact_rows key = Some (sorted_of_list (bucket_rows buckets key)) in
+  let float_rows f =
+    let rows = bucket_rows buckets (float_key f) in
+    let a =
+      match col.Column.payload with
+      | Column.Floats data ->
+          List.filter (fun r -> Float.compare data.(r) f = 0) rows
+      | _ -> rows
+    in
+    Some (sorted_of_list a)
+  in
+  match (col.Column.payload, probe) with
+  | Column.Ints _, V.Int k -> exact_rows k
+  | Column.Ints a, V.Float f ->
+      (* equality is [Float.compare (float x) f = 0]; only exactly
+         representable integral probes can be mapped back to an int key *)
+      if not (Float.is_integer f) then Some [||]
+      else if Float.abs f <= max_exact_float_int then (
+        let k = int_of_float f in
+        let rows = bucket_rows buckets k in
+        let rows =
+          List.filter (fun r -> Float.compare (float_of_int a.(r)) f = 0) rows
+        in
+        Some (sorted_of_list rows))
+      else None
+  | Column.Floats _, V.Float f -> float_rows f
+  | Column.Floats _, V.Int k -> float_rows (float_of_int k)
+  | Column.Strings _, V.String str -> (
+      match Column.code_of_opt col str with
+      | Some code -> exact_rows code
+      | None -> Some [||])
+  | Column.Bools _, V.Bool b -> exact_rows (if b then 1 else 0)
+  | _ -> None
+
+(* -- sorted lookups -- *)
+
+(* First index in [order] where [f] holds; [f] must be monotone
+   (false then true) along the sort order. *)
+let bsearch order f =
+  let lo = ref 0 and hi = ref (Array.length order) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if f order.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let sorted_lookup col order op probe =
+  match probe with
+  | V.Int _ | V.Float _ | V.Null ->
+      let cmp r =
+        match V.numeric_compare (Column.get col r) probe with
+        | Some c -> c
+        | None -> assert false (* numeric column, numeric/NULL probe *)
+      in
+      let n = Array.length order in
+      let lower = bsearch order (fun r -> cmp r >= 0) in
+      let upper = bsearch order (fun r -> cmp r > 0) in
+      let slice lo hi = Array.sub order lo (hi - lo) in
+      let rows =
+        match op with
+        | Op_eq -> slice lower upper
+        | Op_ne -> Array.append (slice 0 lower) (slice upper n)
+        | Op_lt -> slice 0 lower
+        | Op_le -> slice 0 upper
+        | Op_gt -> slice upper n
+        | Op_ge -> slice lower n
+      in
+      Some (sort_rows rows)
+  | _ -> None
+
+let lookup t col op probe =
+  match t with
+  | Sorted_index order -> sorted_lookup col order op probe
+  | Hash_index { buckets; null_rows } -> (
+      match (op, probe) with
+      | Op_eq, V.Null ->
+          (* NULL = NULL holds (and only for NULL rows) *)
+          Some (sorted_of_list null_rows)
+      | Op_eq, _ -> hash_eq col buckets probe
+      | _ -> None)

@@ -1,0 +1,44 @@
+(** Secondary indexes over a single column.
+
+    Two kinds (cf. the related exemplars' dictionary and numeric-range
+    indexes): a {e hash} index serving equality lookups on any column type
+    (string keys are the column's dictionary codes, so probing is an
+    integer hash), and a {e sorted} index over numeric columns serving
+    range comparisons as binary searches.
+
+    An index is a snapshot of a column; {!Table} rebuilds it lazily when
+    the table version moves. Lookups return row ids in ascending order —
+    the scan order of the columnar engine — or [None] when this index
+    cannot serve the probe (the caller falls back to a scan). Lookup
+    results follow {!Disco_value.Value.numeric_compare} semantics exactly,
+    including [NULL < everything] (so [Lt]/[Le] results include NULL rows)
+    and [NULL = NULL]. *)
+
+module V := Disco_value.Value
+
+type kind = Hash | Sorted
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+val kind_supported : kind -> Schema.col_type -> bool
+(** [Sorted] requires a numeric column; [Hash] supports every type. *)
+
+type t
+
+val build : kind -> Column.t -> t
+
+type op = Op_eq | Op_ne | Op_lt | Op_le | Op_gt | Op_ge
+
+val float_key : float -> int
+(** Hash key of a float: raw bits with NaNs collapsed to one key.
+    Distinct keys imply [Float.compare <> 0]; equal keys need an exact
+    re-check (the dropped sign bit can merge buckets). Engine-internal:
+    shared with {!Sql}'s hash join. *)
+
+val lookup : t -> Column.t -> op -> V.t -> int array option
+(** Row ids whose column value satisfies [value <op> probe], ascending.
+    [None] when unservable: hash indexes serve only [Op_eq] with a
+    non-NULL probe of the column's type (numeric probes may cross
+    int/float); sorted indexes serve every [op] with numeric or NULL
+    probes. *)

@@ -57,7 +57,22 @@ let pp_lit ppf = function
   | V.Bool false -> Fmt.string ppf "FALSE"
   | V.Int i -> Fmt.int ppf i
   | V.Float f -> Fmt.pf ppf "%.12g" f
-  | V.String s -> Fmt.pf ppf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | V.String s ->
+      (* Backslash-escape quotes and backslashes: the lexer reads [\c] as
+         [c], so this round-trips — SQL-style [''] doubling does not (the
+         lexer reads it as two adjacent string tokens), which used to break
+         LIKE patterns and any quoted quote. *)
+      let buf = Buffer.create (String.length s + 2) in
+      Buffer.add_char buf '\'';
+      String.iter
+        (fun c ->
+          (match c with
+          | '\'' | '\\' -> Buffer.add_char buf '\\'
+          | _ -> ());
+          Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '\'';
+      Fmt.string ppf (Buffer.contents buf)
   | v -> invalid_arg ("non-atomic SQL literal: " ^ V.type_name v)
 
 let rec pp_scalar ppf = function
@@ -151,9 +166,19 @@ and parse_atom s =
       let e = parse_scalar s in
       Stream.eat_punct s ")";
       e
-  | Some (Lexer.Punct "-") ->
+  | Some (Lexer.Punct "-") -> (
       ignore (Stream.next s);
-      Arith (Sub, Lit (V.Int 0), parse_atom s)
+      (* A negative literal parses as a literal, so [Lit (Int (-5))]
+         round-trips through the printer instead of reparsing as
+         [0 - 5]. Prefix minus on anything else stays arithmetic. *)
+      match Stream.peek s with
+      | Some (Lexer.Int i) ->
+          ignore (Stream.next s);
+          Lit (V.Int (-i))
+      | Some (Lexer.Float f) ->
+          ignore (Stream.next s);
+          Lit (V.Float (-.f))
+      | _ -> Arith (Sub, Lit (V.Int 0), parse_atom s))
   | Some (Lexer.Ident id) when String.lowercase_ascii id = "null" ->
       ignore (Stream.next s);
       Lit V.Null
@@ -394,79 +419,40 @@ let scalar_output_name = function
   | Lit _ -> "literal"
   | Arith _ -> "expr"
 
-let run db q =
-  if q.items = [] then sql_error "empty select list";
-  if q.from = [] then sql_error "empty from list";
-  let frames =
-    List.map
-      (fun (table_name, alias) ->
-        match Database.find_table db table_name with
-        | None -> sql_error "no table named %s" table_name
-        | Some t ->
-            {
-              alias = Option.value alias ~default:table_name;
-              schema = Table.schema t;
-              row = [||];
-            })
-      q.from
-  in
-  (let aliases = List.map (fun f -> f.alias) frames in
-   if List.length (List.sort_uniq String.compare aliases) <> List.length aliases
-   then sql_error "duplicate table alias in FROM");
-  let tables =
-    List.map (fun (table_name, _) -> Database.get_table db table_name) q.from
-  in
-  (* Expand * into per-frame column items. *)
-  let items =
-    List.concat_map
-      (function
-        | Star ->
-            List.concat_map
-              (fun f ->
-                List.map
-                  (fun c -> Item (Col (Some f.alias, c), Some c))
-                  (Schema.column_names f.schema))
-              frames
-        | Item _ as it -> [ it ])
-      q.items
-  in
-  let columns =
-    List.map
-      (function
-        | Item (s, Some a) -> ignore s; a
-        | Item (s, None) -> scalar_output_name s
-        | Star -> assert false)
-      items
-  in
-  let out = ref [] in
-  let emit () =
-    if eval_pred frames q.where then
-      let row =
-        Array.of_list
-          (List.map
-             (function
-               | Item (s, _) -> eval_scalar frames s
-               | Star -> assert false)
-             items)
-      in
-      out := row :: !out
-  in
-  (* Nested-loop cartesian product over the FROM frames. *)
-  let rec product frames_tables =
-    match frames_tables with
-    | [] -> emit ()
-    | (frame, table) :: rest ->
-        List.iter
-          (fun row ->
-            frame.row <- row;
-            product rest)
-          (Table.rows table)
-  in
-  product (List.combine frames tables);
-  let rows = List.rev !out in
+(* Shared between the row and columnar engines: * expansion, output
+   column naming, and the DISTINCT / ORDER BY / LIMIT tail. Sharing the
+   tail is what keeps the engines' answers identical row-for-row. *)
+
+let expand_items alias_schemas items =
+  List.concat_map
+    (function
+      | Star ->
+          List.concat_map
+            (fun (alias, schema) ->
+              List.map
+                (fun c -> Item (Col (Some alias, c), Some c))
+                (Schema.column_names schema))
+            alias_schemas
+      | Item _ as it -> [ it ])
+    items
+
+let output_columns items =
+  List.map
+    (function
+      | Item (s, Some a) ->
+          ignore s;
+          a
+      | Item (s, None) -> scalar_output_name s
+      | Star -> assert false)
+    items
+
+let finalize q columns rows =
   let rows =
     if q.distinct then
-      List.sort_uniq (fun a b -> V.compare (V.List (Array.to_list a)) (V.List (Array.to_list b))) rows
+      List.sort_uniq
+        (fun a b ->
+          V.compare (V.List (Array.to_list a)) (V.List (Array.to_list b)))
+        rows
     else rows
   in
   let rows =
@@ -508,5 +494,746 @@ let run db q =
     | Some n -> List.filteri (fun i _ -> i < n) rows
   in
   { columns; rows }
+
+(* -- row-at-a-time engine --
+
+   The original tuple-at-a-time interpreter, retained verbatim as the
+   reference semantics: the columnar engine must agree with it bag-for-bag
+   (the equivalence property test), and queries the columnar planner
+   cannot handle (3+-way products, predicates it cannot prove total) fall
+   back here. *)
+
+let run_rows db q =
+  if q.items = [] then sql_error "empty select list";
+  if q.from = [] then sql_error "empty from list";
+  let frames =
+    List.map
+      (fun (table_name, alias) ->
+        match Database.find_table db table_name with
+        | None -> sql_error "no table named %s" table_name
+        | Some t ->
+            {
+              alias = Option.value alias ~default:table_name;
+              schema = Table.schema t;
+              row = [||];
+            })
+      q.from
+  in
+  (let aliases = List.map (fun f -> f.alias) frames in
+   if List.length (List.sort_uniq String.compare aliases) <> List.length aliases
+   then sql_error "duplicate table alias in FROM");
+  let tables =
+    List.map (fun (table_name, _) -> Database.get_table db table_name) q.from
+  in
+  (* Expand * into per-frame column items. *)
+  let items =
+    expand_items (List.map (fun f -> (f.alias, f.schema)) frames) q.items
+  in
+  let columns = output_columns items in
+  let out = ref [] in
+  let emit () =
+    if eval_pred frames q.where then
+      let row =
+        Array.of_list
+          (List.map
+             (function
+               | Item (s, _) -> eval_scalar frames s
+               | Star -> assert false)
+             items)
+      in
+      out := row :: !out
+  in
+  (* Nested-loop cartesian product over the FROM frames. *)
+  let rec product frames_tables =
+    match frames_tables with
+    | [] -> emit ()
+    | (frame, table) :: rest ->
+        List.iter
+          (fun row ->
+            frame.row <- row;
+            product rest)
+          (Table.rows table)
+  in
+  product (List.combine frames tables);
+  finalize q columns (List.rev !out)
+
+(* -- columnar engine --
+
+   Batch-at-a-time evaluation over the tables' column vectors. Predicates
+   evaluate as passes over selection vectors (ascending row ids);
+   [Cmp(op, col, lit)] shapes run as typed kernels over the unboxed
+   arrays (string equality compares dictionary codes; LIKE is evaluated
+   once per distinct dictionary entry); everything else drops to a
+   per-active-row evaluation of the same [eval_cmp]/[numeric_arith] the
+   row engine uses.
+
+   Parity rules the engines observe so that answers (and raised errors)
+   coincide:
+   - masked evaluation: [And (a, b)] evaluates [b] only on rows where [a]
+     held, [Or (a, b)] only where [a] failed — exactly the (row,
+     subexpression) pairs the row engine's short-circuit evaluation
+     visits, so a raising subexpression raises in both engines;
+   - column resolution failures are compiled into raising closures, so —
+     as in the row engine, which resolves per (row, scalar) — an unknown
+     column in an item only raises if some row reaches it;
+   - indexes and conjunct reordering are used only when the whole
+     predicate is statically total (cannot raise: no Div/Mod, all
+     comparisons type-compatible by schema), so evaluation order is
+     unobservable;
+   - emission order reproduces the row engine's scan order (single table:
+     insertion order; join: left-major, right in insertion order), which
+     LIMIT without ORDER BY can observe. *)
+
+type cframe = { cf_alias : string; cf_schema : Schema.t; cf_table : Table.t }
+
+(* Mirrors [lookup_col]'s candidate rules and error messages. *)
+let resolve_col frames qualifier column =
+  let hits = ref [] in
+  Array.iteri
+    (fun fi f ->
+      if
+        (match qualifier with
+        | Some q -> String.equal q f.cf_alias
+        | None -> true)
+        && Schema.mem f.cf_schema column
+      then hits := (fi, Schema.index_of f.cf_schema column) :: !hits)
+    frames;
+  match !hits with
+  | [ hit ] -> Ok hit
+  | [] ->
+      Error
+        (Fmt.str "unknown column %s%s"
+           (match qualifier with Some q -> q ^ "." | None -> "")
+           column)
+  | _ -> Error (Fmt.str "ambiguous column %s" column)
+
+(* A compiled scalar takes one row id per frame. *)
+let rec compile_scalar frames = function
+  | Lit v -> fun _ -> v
+  | Col (q, c) -> (
+      match resolve_col frames q c with
+      | Ok (fi, ci) ->
+          let col = Table.column_at frames.(fi).cf_table ci in
+          fun rows -> Column.get col rows.(fi)
+      | Error msg -> fun _ -> raise (Sql_error msg))
+  | Arith (op, a, b) ->
+      let fa = compile_scalar frames a and fb = compile_scalar frames b in
+      fun rows -> numeric_arith op (fa rows) (fb rows)
+
+let rec compile_pred frames = function
+  | True -> fun _ -> true
+  | Cmp (op, x, y) ->
+      let fx = compile_scalar frames x and fy = compile_scalar frames y in
+      fun rows -> eval_cmp op (fx rows) (fy rows)
+  | And (a, b) ->
+      let fa = compile_pred frames a and fb = compile_pred frames b in
+      fun rows -> fa rows && fb rows
+  | Or (a, b) ->
+      let fa = compile_pred frames a and fb = compile_pred frames b in
+      fun rows -> fa rows || fb rows
+  | Not a ->
+      let fa = compile_pred frames a in
+      fun rows -> not (fa rows)
+
+(* -- static totality: can evaluating this predicate ever raise? -- *)
+
+type kinds = { k_num : bool; k_str : bool; k_bool : bool; k_null : bool }
+
+let no_kinds = { k_num = false; k_str = false; k_bool = false; k_null = false }
+
+(* [Some kinds]: evaluation cannot raise and yields one of these kinds.
+   [None]: evaluation may raise (or is beyond the analysis). *)
+let rec scalar_kinds frames = function
+  | Lit (V.Int _ | V.Float _) -> Some { no_kinds with k_num = true }
+  | Lit (V.String _) -> Some { no_kinds with k_str = true }
+  | Lit (V.Bool _) -> Some { no_kinds with k_bool = true }
+  | Lit V.Null -> Some { no_kinds with k_null = true }
+  | Lit _ -> None
+  | Col (q, c) -> (
+      match resolve_col frames q c with
+      | Error _ -> None
+      | Ok (fi, ci) -> (
+          let nullable = { no_kinds with k_null = true } in
+          match snd (List.nth frames.(fi).cf_schema.Schema.columns ci) with
+          | Schema.TInt | Schema.TFloat -> Some { nullable with k_num = true }
+          | Schema.TString -> Some { nullable with k_str = true }
+          | Schema.TBool -> Some { nullable with k_bool = true }))
+  | Arith ((Div | Mod), _, _) -> None
+  | Arith (((Add | Sub | Mul) as op), a, b) -> (
+      match (scalar_kinds frames a, scalar_kinds frames b) with
+      | Some ka, Some kb ->
+          (* every possible operand pairing must be raise-free *)
+          let num_num = ka.k_num && kb.k_num in
+          let str_str = op = Add && ka.k_str && kb.k_str in
+          let bad_left = ka.k_bool || (ka.k_str && not str_str) in
+          let bad_right = kb.k_bool || (kb.k_str && not str_str) in
+          let mixed =
+            (ka.k_num && kb.k_str) || (ka.k_str && kb.k_num) || bad_left
+            || bad_right
+          in
+          if mixed then None
+          else
+            Some
+              {
+                no_kinds with
+                k_num = num_num;
+                k_str = str_str;
+                k_null = ka.k_null || kb.k_null;
+              }
+      | _ -> None)
+
+let cmp_total op ka kb =
+  let pairs_ok =
+    match op with
+    | Like ->
+        (* String LIKE String matches; NULL on either side is false;
+           anything else raises. *)
+        (not (ka.k_num || ka.k_bool)) && not (kb.k_num || kb.k_bool)
+    | _ ->
+        (* [numeric_compare] succeeds on same-kind operands and on NULL
+           against anything; cross-kind raises. *)
+        let cross =
+          (ka.k_num && (kb.k_str || kb.k_bool))
+          || (ka.k_str && (kb.k_num || kb.k_bool))
+          || (ka.k_bool && (kb.k_num || kb.k_str))
+        in
+        not cross
+  in
+  pairs_ok
+
+let rec pred_total frames = function
+  | True -> true
+  | And (a, b) | Or (a, b) -> pred_total frames a && pred_total frames b
+  | Not a -> pred_total frames a
+  | Cmp (op, x, y) -> (
+      match (scalar_kinds frames x, scalar_kinds frames y) with
+      | Some ka, Some kb -> cmp_total op ka kb
+      | _ -> false)
+
+(* -- selection vectors: ascending row-id arrays -- *)
+
+let sel_all n = Array.init n Fun.id
+
+let sel_filter active pass =
+  let buf = Array.make (Array.length active) 0 in
+  let k = ref 0 in
+  Array.iter
+    (fun r ->
+      if pass r then (
+        buf.(!k) <- r;
+        incr k))
+    active;
+  Array.sub buf 0 !k
+
+(* [active] minus [sub]; [sub] is an ascending subset of [active]. *)
+let sel_diff active sub =
+  let buf = Array.make (Array.length active) 0 in
+  let k = ref 0 and j = ref 0 in
+  let m = Array.length sub in
+  Array.iter
+    (fun r ->
+      if !j < m && sub.(!j) = r then incr j
+      else (
+        buf.(!k) <- r;
+        incr k))
+    active;
+  Array.sub buf 0 !k
+
+(* Merge of two disjoint ascending arrays. *)
+let sel_union a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < la && !j < lb do
+    if a.(!i) < b.(!j) then (
+      out.(!k) <- a.(!i);
+      incr i)
+    else (
+      out.(!k) <- b.(!j);
+      incr j);
+    incr k
+  done;
+  while !i < la do
+    out.(!k) <- a.(!i);
+    incr i;
+    incr k
+  done;
+  while !j < lb do
+    out.(!k) <- b.(!j);
+    incr j;
+    incr k
+  done;
+  out
+
+(* -- typed comparison kernels for [col <op> lit] -- *)
+
+let cmp_holds op c =
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+  | Like -> assert false
+
+let flip_cmp = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | Like -> assert false
+
+(* A per-row test for [value(col, row) <op> lit], following
+   [numeric_compare] (NULL < everything, NULL = NULL) exactly. [None]
+   when no typed kernel applies — the caller falls back to the generic
+   per-row path, which also owns every raising case (so error messages
+   keep the row engine's operand orientation). *)
+let col_lit_kernel col op lit =
+  match op with
+  | Like -> (
+      match (col.Column.payload, lit) with
+      | Column.Strings s, V.String pattern ->
+          (* one LIKE evaluation per distinct dictionary entry *)
+          let memo = Bytes.make (max 1 s.Column.dict_size) '\002' in
+          let verdict code =
+            match Bytes.get memo code with
+            | '\000' -> false
+            | '\001' -> true
+            | _ ->
+                let v = V.like_match ~pattern s.Column.dict.(code) in
+                Bytes.set memo code (if v then '\001' else '\000');
+                v
+          in
+          Some
+            (fun r ->
+              (not (Column.is_null col r)) && verdict s.Column.codes.(r))
+      | Column.Strings _, V.Null -> Some (fun _ -> false)
+      | _ -> None)
+  | _ -> (
+      let holds = cmp_holds op in
+      let on_null = holds (-1) in
+      match (col.Column.payload, lit) with
+      | _, V.Null ->
+          (* NULL = NULL only; everything else is greater than NULL *)
+          let null_pass = holds 0 and val_pass = holds 1 in
+          Some
+            (fun r -> if Column.is_null col r then null_pass else val_pass)
+      | Column.Ints a, V.Int k ->
+          (* the hottest kernel: branch on the operator once, not per row *)
+          let nulls = col.Column.nulls in
+          let test =
+            match op with
+            | Eq -> fun r -> a.(r) = k
+            | Ne -> fun r -> a.(r) <> k
+            | Lt -> fun r -> a.(r) < k
+            | Le -> fun r -> a.(r) <= k
+            | Gt -> fun r -> a.(r) > k
+            | Ge -> fun r -> a.(r) >= k
+            | Like -> assert false
+          in
+          Some
+            (fun r -> if Bytes.get nulls r = '\001' then on_null else test r)
+      | Column.Ints a, V.Float f ->
+          Some
+            (fun r ->
+              if Column.is_null col r then on_null
+              else holds (Float.compare (float_of_int a.(r)) f))
+      | Column.Floats a, V.Float f ->
+          Some
+            (fun r ->
+              if Column.is_null col r then on_null
+              else holds (Float.compare a.(r) f))
+      | Column.Floats a, V.Int k ->
+          let f = float_of_int k in
+          Some
+            (fun r ->
+              if Column.is_null col r then on_null
+              else holds (Float.compare a.(r) f))
+      | Column.Strings s, V.String str -> (
+          match op with
+          | Eq | Ne ->
+              (* encoded equality: an integer comparison on codes *)
+              let code =
+                match Column.code_of_opt col str with
+                | Some c -> c
+                | None -> -2 (* absent from the dictionary: never equal *)
+              in
+              let eq_pass = holds 0 and ne_pass = holds 1 in
+              Some
+                (fun r ->
+                  if Column.is_null col r then on_null
+                  else if s.Column.codes.(r) = code then eq_pass
+                  else ne_pass)
+          | _ ->
+              (* one String.compare per distinct dictionary entry *)
+              let memo = Bytes.make (max 1 s.Column.dict_size) '\002' in
+              let verdict code =
+                match Bytes.get memo code with
+                | '\000' -> false
+                | '\001' -> true
+                | _ ->
+                    let v = holds (String.compare s.Column.dict.(code) str) in
+                    Bytes.set memo code (if v then '\001' else '\000');
+                    v
+              in
+              Some
+                (fun r ->
+                  if Column.is_null col r then on_null
+                  else verdict s.Column.codes.(r)))
+      | Column.Bools b, V.Bool x ->
+          Some
+            (fun r ->
+              if Column.is_null col r then on_null
+              else holds (Bool.compare (Bytes.get b r = '\001') x))
+      | _ -> None)
+
+(* -- masked predicate evaluation over one table -- *)
+
+let cmp_pass frames op x y =
+  let kernel =
+    match (x, y) with
+    | Col (q, c), Lit v -> (
+        match resolve_col frames q c with
+        | Ok (fi, ci) ->
+            col_lit_kernel (Table.column_at frames.(fi).cf_table ci) op v
+        | Error _ -> None)
+    | Lit v, Col (q, c) when op <> Like -> (
+        match resolve_col frames q c with
+        | Ok (fi, ci) ->
+            col_lit_kernel
+              (Table.column_at frames.(fi).cf_table ci)
+              (flip_cmp op) v
+        | Error _ -> None)
+    | _ -> None
+  in
+  match kernel with
+  | Some pass -> pass
+  | None ->
+      let fx = compile_scalar frames x and fy = compile_scalar frames y in
+      let rowbuf = Array.make (Array.length frames) 0 in
+      fun r ->
+        rowbuf.(0) <- r;
+        eval_cmp op (fx rowbuf) (fy rowbuf)
+
+let eval_cmp_vec frames active op x y = sel_filter active (cmp_pass frames op x y)
+
+let rec eval_pred_vec frames active = function
+  | True -> active
+  | Cmp (op, x, y) -> eval_cmp_vec frames active op x y
+  | And (a, b) ->
+      let sa = eval_pred_vec frames active a in
+      eval_pred_vec frames sa b
+  | Or (a, b) ->
+      let sa = eval_pred_vec frames active a in
+      let sb = eval_pred_vec frames (sel_diff active sa) b in
+      sel_union sa sb
+  | Not a -> sel_diff active (eval_pred_vec frames active a)
+
+(* The first predicate pass over a whole table: run the leading kernels
+   against the implicit 0..n-1 range instead of materializing an
+   identity selection vector first.  Falls back to the materialized path
+   for [Or]/[Not], whose complements need the range as an array. *)
+let rec eval_pred_full frames n = function
+  | True -> sel_all n
+  | Cmp (op, x, y) ->
+      let pass = cmp_pass frames op x y in
+      let buf = Array.make (max 1 n) 0 in
+      let k = ref 0 in
+      for r = 0 to n - 1 do
+        if pass r then (
+          buf.(!k) <- r;
+          incr k)
+      done;
+      Array.sub buf 0 !k
+  | And (a, b) -> eval_pred_vec frames (eval_pred_full frames n a) b
+  | (Or _ | Not _) as p -> eval_pred_vec frames (sel_all n) p
+
+(* -- index planning (single table) -- *)
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | True -> []
+  | p -> [ p ]
+
+let rec conjoin = function
+  | [] -> True
+  | [ p ] -> p
+  | p :: rest -> And (p, conjoin rest)
+
+let index_op = function
+  | Eq -> Some Index.Op_eq
+  | Ne -> Some Index.Op_ne
+  | Lt -> Some Index.Op_lt
+  | Le -> Some Index.Op_le
+  | Gt -> Some Index.Op_gt
+  | Ge -> Some Index.Op_ge
+  | Like -> None
+
+(* The first conjunct an index can serve, as
+   [(column, rows, remaining conjuncts)]. Only called on statically total
+   predicates, where dropping one conjunct out of evaluation order is
+   unobservable. *)
+let pick_index frames pred =
+  let table = frames.(0).cf_table in
+  let try_probe op q c v =
+    match index_op op with
+    | None -> None
+    | Some iop -> (
+        match resolve_col frames q c with
+        | Error _ -> None
+        | Ok (_, ci) -> (
+            match Table.index_for table c with
+            | None -> None
+            | Some ix ->
+                Option.map
+                  (fun rows -> (c, rows))
+                  (Index.lookup ix (Table.column_at table ci) iop v)))
+  in
+  let rec go seen = function
+    | [] -> None
+    | p :: rest -> (
+        let probe =
+          match p with
+          | Cmp (op, Col (q, c), Lit v) -> try_probe op q c v
+          | Cmp (op, Lit v, Col (q, c)) when op <> Like ->
+              try_probe (flip_cmp op) q c v
+          | _ -> None
+        in
+        match probe with
+        | Some (c, rows) -> Some (c, rows, List.rev_append seen rest)
+        | None -> go (p :: seen) rest)
+  in
+  go [] (conjuncts pred)
+
+(* -- single-table execution -- *)
+
+let run_single q table alias =
+  let frames =
+    [| { cf_alias = alias; cf_schema = Table.schema table; cf_table = table } |]
+  in
+  let items = expand_items [ (alias, Table.schema table) ] q.items in
+  let columns = output_columns items in
+  let n = Table.cardinality table in
+  let sel =
+    if pred_total frames q.where then
+      match pick_index frames q.where with
+      | Some (_, rows, rest) -> eval_pred_vec frames rows (conjoin rest)
+      | None -> eval_pred_full frames n q.where
+    else eval_pred_full frames n q.where
+  in
+  let compiled =
+    Array.of_list
+      (List.map
+         (function
+           | Item (s, _) -> compile_scalar frames s
+           | Star -> assert false)
+         items)
+  in
+  let rowbuf = [| 0 |] in
+  let rows = ref [] in
+  for i = Array.length sel - 1 downto 0 do
+    rowbuf.(0) <- sel.(i);
+    rows := Array.map (fun f -> f rowbuf) compiled :: !rows
+  done;
+  finalize q columns !rows
+
+(* -- two-table hash join -- *)
+
+(* An equi-join conjunct [left.col = right.col] both sides resolve and
+   whose column types agree (hash keys must be comparable without
+   numeric coercion). Returns [(left column index, right column index,
+   remaining conjuncts)]. *)
+let plan_join frames pred =
+  if not (pred_total frames pred) then None
+  else
+    let col_ty fi ci =
+      snd (List.nth frames.(fi).cf_schema.Schema.columns ci)
+    in
+    let rec go seen = function
+      | [] -> None
+      | p :: rest -> (
+          let key =
+            match p with
+            | Cmp (Eq, Col (qx, cx), Col (qy, cy)) -> (
+                match (resolve_col frames qx cx, resolve_col frames qy cy) with
+                | Ok (0, ci0), Ok (1, ci1) when col_ty 0 ci0 = col_ty 1 ci1 ->
+                    Some (ci0, ci1)
+                | Ok (1, ci1), Ok (0, ci0) when col_ty 0 ci0 = col_ty 1 ci1 ->
+                    Some (ci0, ci1)
+                | _ -> None)
+            | _ -> None
+          in
+          match key with
+          | Some (ci0, ci1) -> Some (ci0, ci1, List.rev_append seen rest)
+          | None -> go (p :: seen) rest)
+    in
+    go [] (conjuncts pred)
+
+let run_join q (t0, a0) (t1, a1) =
+  let frames =
+    [|
+      { cf_alias = a0; cf_schema = Table.schema t0; cf_table = t0 };
+      { cf_alias = a1; cf_schema = Table.schema t1; cf_table = t1 };
+    |]
+  in
+  match plan_join frames q.where with
+  | None -> None
+  | Some (ci0, ci1, rest) ->
+      let items =
+        expand_items
+          [ (a0, Table.schema t0); (a1, Table.schema t1) ]
+          q.items
+      in
+      let columns = output_columns items in
+      let col0 = Table.column_at t0 ci0 and col1 = Table.column_at t1 ci1 in
+      let n0 = Table.cardinality t0 and n1 = Table.cardinality t1 in
+      (* Build on the right table so emission stays left-major with right
+         rows in insertion order — the row engine's nested-loop order. *)
+      let buckets = Hashtbl.create (max 16 n1) in
+      let null_rows = ref [] in
+      let key1 =
+        match col1.Column.payload with
+        | Column.Ints a -> fun i -> a.(i)
+        | Column.Floats a -> fun i -> Index.float_key a.(i)
+        | Column.Bools b -> fun i -> if Bytes.get b i = '\001' then 1 else 0
+        | Column.Strings s -> fun i -> s.Column.codes.(i)
+      in
+      for i = n1 - 1 downto 0 do
+        if Column.is_null col1 i then null_rows := i :: !null_rows
+        else
+          let k = key1 i in
+          Hashtbl.replace buckets k
+            (i
+            :: (match Hashtbl.find_opt buckets k with
+               | Some rows -> rows
+               | None -> []))
+      done;
+      let null_rows = !null_rows in
+      (* Probe-side key translation; NULL probes match the NULL bucket
+         (NULL = NULL holds). Float buckets are re-checked exactly
+         because distinct floats can share a truncated bits key. *)
+      let matches_of =
+        match (col0.Column.payload, col1.Column.payload) with
+        | Column.Ints a0_, _ ->
+            fun l ->
+              (match Hashtbl.find_opt buckets a0_.(l) with
+              | Some rows -> rows
+              | None -> [])
+        | Column.Floats a0_, Column.Floats a1_ ->
+            fun l ->
+              let f = a0_.(l) in
+              List.filter
+                (fun r -> Float.compare a1_.(r) f = 0)
+                (match Hashtbl.find_opt buckets (Index.float_key f) with
+                | Some rows -> rows
+                | None -> [])
+        | Column.Bools b0, _ ->
+            fun l ->
+              (match
+                 Hashtbl.find_opt buckets
+                   (if Bytes.get b0 l = '\001' then 1 else 0)
+               with
+              | Some rows -> rows
+              | None -> [])
+        | Column.Strings s0, _ ->
+            (* translate left dictionary codes to right codes, once per
+               distinct left string *)
+            let xlate = Array.make (max 1 s0.Column.dict_size) (-2) in
+            fun l ->
+              let lcode = s0.Column.codes.(l) in
+              let rcode =
+                match xlate.(lcode) with
+                | -2 ->
+                    let rc =
+                      match
+                        Column.code_of_opt col1 s0.Column.dict.(lcode)
+                      with
+                      | Some c -> c
+                      | None -> -1
+                    in
+                    xlate.(lcode) <- rc;
+                    rc
+                | rc -> rc
+              in
+              if rcode < 0 then []
+              else
+                (match Hashtbl.find_opt buckets rcode with
+                | Some rows -> rows
+                | None -> [])
+        | Column.Floats _, _ -> assert false (* types agree *)
+      in
+      let residual = compile_pred frames (conjoin rest) in
+      let compiled =
+        Array.of_list
+          (List.map
+             (function
+               | Item (s, _) -> compile_scalar frames s
+               | Star -> assert false)
+             items)
+      in
+      let rowbuf = [| 0; 0 |] in
+      let out = ref [] in
+      for l = 0 to n0 - 1 do
+        let candidates =
+          if Column.is_null col0 l then null_rows else matches_of l
+        in
+        List.iter
+          (fun r ->
+            rowbuf.(0) <- l;
+            rowbuf.(1) <- r;
+            if residual rowbuf then
+              out := Array.map (fun f -> f rowbuf) compiled :: !out)
+          candidates
+      done;
+      Some (finalize q columns (List.rev !out))
+
+(* -- dispatch -- *)
+
+let resolve_from db q =
+  if q.items = [] then sql_error "empty select list";
+  if q.from = [] then sql_error "empty from list";
+  let frames =
+    List.map
+      (fun (table_name, alias) ->
+        match Database.find_table db table_name with
+        | None -> sql_error "no table named %s" table_name
+        | Some t -> (t, Option.value alias ~default:table_name))
+      q.from
+  in
+  (let aliases = List.map snd frames in
+   if List.length (List.sort_uniq String.compare aliases) <> List.length aliases
+   then sql_error "duplicate table alias in FROM");
+  frames
+
+let run db q =
+  match resolve_from db q with
+  | [ (t, alias) ] -> run_single q t alias
+  | [ f0; f1 ] -> (
+      match run_join q f0 f1 with Some r -> r | None -> run_rows db q)
+  | _ -> run_rows db q
+
+let explain_engine db q =
+  match resolve_from db q with
+  | [ (t, alias) ] ->
+      let frames =
+        [| { cf_alias = alias; cf_schema = Table.schema t; cf_table = t } |]
+      in
+      if pred_total frames q.where then
+        match pick_index frames q.where with
+        | Some (c, _, _) -> `Columnar_indexed c
+        | None -> `Columnar
+      else `Columnar
+  | [ (t0, a0); (t1, a1) ] ->
+      let frames =
+        [|
+          { cf_alias = a0; cf_schema = Table.schema t0; cf_table = t0 };
+          { cf_alias = a1; cf_schema = Table.schema t1; cf_table = t1 };
+        |]
+      in
+      if plan_join frames q.where <> None then `Columnar_join else `Rows
+  | _ -> `Rows
 
 let run_string db sql = run db (parse sql)

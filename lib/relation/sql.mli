@@ -66,7 +66,29 @@ exception Sql_error of string
 val run : Database.t -> query -> result
 (** Evaluate a query against a database. Raises {!Sql_error} on unknown
     tables or columns, ambiguous references, or type errors in
-    predicates. *)
+    predicates.
+
+    Single-table queries and two-table equi-joins run on the columnar
+    engine: batch predicate kernels over the tables' column vectors,
+    dictionary-coded string comparisons, hash joins, and any declared
+    {!Table.declare_index} access paths. Other shapes fall back to
+    {!run_rows}. The engines agree bag-for-bag on results, and a query
+    that raises in one raises in the other (messages may differ when
+    several rows independently raise — discovery order is the engine's
+    own). *)
+
+val run_rows : Database.t -> query -> result
+(** The reference row-at-a-time interpreter (the pre-columnar engine).
+    Kept as the oracle for equivalence tests and as the fallback for
+    query shapes the columnar planner does not cover. *)
+
+val explain_engine :
+  Database.t ->
+  query ->
+  [ `Rows | `Columnar | `Columnar_indexed of string | `Columnar_join ]
+(** Which engine {!run} would use, without executing the data-flow
+    ([`Columnar_indexed c] names the column whose index serves the
+    probe). Raises like {!run} on FROM-clause errors. *)
 
 val run_string : Database.t -> string -> result
 (** [run_string db sql] = [run db (parse sql)]. *)

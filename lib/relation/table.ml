@@ -1,39 +1,129 @@
 module V = Disco_value.Value
 
+type index_state = {
+  ix_kind : Index.kind;
+  mutable ix : Index.t option;
+  mutable ix_version : int;  (* table version the snapshot was built at *)
+}
+
 type t = {
   name : string;
   schema : Schema.t;
-  mutable stored : V.t array list;  (* reverse insertion order *)
+  mutable columns : Column.t array;
   mutable count : int;
   mutable version : int;
+  indexes : (string, index_state) Hashtbl.t;  (* column name -> state *)
 }
 
-let create ~name schema = { name; schema; stored = []; count = 0; version = 0 }
+let columns_of_schema schema =
+  Array.of_list (List.map (fun (_, ty) -> Column.create ty) schema.Schema.columns)
+
+let create ~name schema =
+  {
+    name;
+    schema;
+    columns = columns_of_schema schema;
+    count = 0;
+    version = 0;
+    indexes = Hashtbl.create 4;
+  }
+
 let name t = t.name
 let schema t = t.schema
 
-let insert t row =
+let append_row t row =
   Schema.check_row t.schema row;
-  t.stored <- row :: t.stored;
-  t.count <- t.count + 1;
+  Array.iteri (fun i col -> Column.append col row.(i)) t.columns;
+  t.count <- t.count + 1
+
+let insert t row =
+  append_row t row;
   t.version <- t.version + 1
 
 let insert_struct t v = insert t (Schema.struct_to_row t.schema v)
-let insert_all t rows = List.iter (insert t) rows
+
+let insert_all t rows =
+  (* One logical load, one version bump: bulk loads must not churn
+     data-version-keyed caches once per row. *)
+  match rows with
+  | [] -> ()
+  | rows ->
+      t.version <- t.version + 1;
+      List.iter (append_row t) rows
+
+let arity t = Array.length t.columns
+
+let row_at t i =
+  Array.init (arity t) (fun c -> Column.get t.columns.(c) i)
+
+let rows t = List.init t.count (row_at t)
 
 let delete_where t pred =
-  let keep, drop = List.partition (fun row -> not (pred row)) t.stored in
-  let removed = List.length drop in
-  if removed > 0 then (
-    t.stored <- keep;
-    t.count <- t.count - removed;
+  let removed = ref 0 in
+  let kept = ref [] in
+  for i = t.count - 1 downto 0 do
+    let row = row_at t i in
+    if pred row then incr removed else kept := row :: !kept
+  done;
+  if !removed > 0 then (
+    let columns = columns_of_schema t.schema in
+    List.iter
+      (fun row -> Array.iteri (fun c col -> Column.append col row.(c)) columns)
+      !kept;
+    t.columns <- columns;
+    t.count <- t.count - !removed;
     t.version <- t.version + 1);
-  removed
+  !removed
 
-let rows t = List.rev t.stored
 let cardinality t = t.count
-let to_bag t = V.bag (List.map (Schema.row_to_struct t.schema) t.stored)
+
+let to_bag t =
+  V.bag (List.init t.count (fun i -> Schema.row_to_struct t.schema (row_at t i)))
+
 let version t = t.version
+
+(* -- columnar internals -- *)
+
+let column_at t i = t.columns.(i)
+
+(* -- secondary indexes -- *)
+
+let schema_error fmt =
+  Format.kasprintf (fun s -> raise (Schema.Schema_error s)) fmt
+
+let declare_index t ~column kind =
+  let ty =
+    match Schema.type_of t.schema column with
+    | Some ty -> ty
+    | None -> schema_error "no column named %s in table %s" column t.name
+  in
+  if not (Index.kind_supported kind ty) then
+    schema_error "%s index on %s.%s: unsupported for column type %s"
+      (Index.kind_name kind) t.name column
+      (Schema.col_type_name ty);
+  Hashtbl.replace t.indexes column
+    { ix_kind = kind; ix = None; ix_version = -1 }
+
+let drop_index t column = Hashtbl.remove t.indexes column
+
+let indexes t =
+  Hashtbl.fold (fun col st acc -> (col, st.ix_kind) :: acc) t.indexes []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let index_kind t column =
+  Option.map (fun st -> st.ix_kind) (Hashtbl.find_opt t.indexes column)
+
+let index_for t column =
+  match Hashtbl.find_opt t.indexes column with
+  | None -> None
+  | Some st ->
+      (match st.ix with
+      | Some _ when st.ix_version = t.version -> ()
+      | _ ->
+          let col = t.columns.(Schema.index_of t.schema column) in
+          st.ix <- Some (Index.build st.ix_kind col);
+          st.ix_version <- t.version);
+      st.ix
 
 let pp ppf t =
   Fmt.pf ppf "table %s%a [%d rows]" t.name Schema.pp t.schema t.count

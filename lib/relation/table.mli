@@ -1,4 +1,10 @@
-(** A named in-memory relation: a schema plus a mutable row store. *)
+(** A named in-memory relation: a schema plus a mutable columnar store.
+
+    Rows are decomposed into per-column typed vectors ({!Column}) on
+    insert and materialized back on demand; the row-oriented API below is
+    a façade over that store, so wrappers and tests are unaffected by the
+    storage layout. Optional secondary indexes ({!Index}) are declared
+    per column and rebuilt lazily when the table version moves. *)
 
 type t
 
@@ -13,13 +19,15 @@ val insert_struct : t -> Disco_value.Value.t -> unit
 (** Insert a row given as a struct (missing fields become [Null]). *)
 
 val insert_all : t -> Disco_value.Value.t array list -> unit
+(** Bulk insert. Bumps {!version} once for the whole batch (not once per
+    row), so one logical load invalidates data-version-keyed caches once.
+    The empty batch is a no-op. *)
 
 val delete_where : t -> (Disco_value.Value.t array -> bool) -> int
 (** Remove rows matching the predicate; returns the number removed. *)
 
 val rows : t -> Disco_value.Value.t array list
-(** Rows in insertion order. The arrays are owned by the table: do not
-    mutate them. *)
+(** Rows in insertion order, materialized from the column store. *)
 
 val cardinality : t -> int
 
@@ -30,5 +38,32 @@ val to_bag : t -> Disco_value.Value.t
 val version : t -> int
 (** Monotone counter bumped by every mutation; used for plan-cache
     invalidation. *)
+
+(** {1 Secondary indexes} *)
+
+val declare_index : t -> column:string -> Index.kind -> unit
+(** Declare (or replace) an index on a column. Raises
+    {!Schema.Schema_error} if the column is absent or the kind does not
+    support its type ({!Index.kind_supported}). Declaring is DDL over
+    access paths, not data: it does not bump {!version}, and without any
+    declaration query results and timings are unchanged. *)
+
+val drop_index : t -> string -> unit
+
+val indexes : t -> (string * Index.kind) list
+(** Declared indexes, sorted by column name. *)
+
+val index_kind : t -> string -> Index.kind option
+
+val index_for : t -> string -> Index.t option
+(** The live index snapshot for a column, rebuilding lazily if the table
+    changed since the last build. [None] when no index is declared.
+    Engine-internal: used by {!Sql}'s columnar planner. *)
+
+(** {1 Columnar internals} *)
+
+val column_at : t -> int -> Column.t
+(** The backing column vector at a schema position. Engine-internal:
+    callers must not mutate through it. *)
 
 val pp : Format.formatter -> t -> unit

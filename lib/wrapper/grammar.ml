@@ -74,8 +74,19 @@ let cmp_token = function
   | Expr.Ge -> ">="
   | Expr.Like -> "like"
 
+(* Attributes serialize with their terminal field name —
+   [ATTRIBUTE:salary] — so a grammar can advertise productions over
+   specific attributes (an indexed wrapper names its indexed columns).
+   The generic [ATTRIBUTE] terminal matches any of them (see
+   [token_matches]), which keeps every attribute-agnostic grammar
+   unchanged. *)
+let attr_token path =
+  match List.rev path with
+  | [] -> "ATTRIBUTE"
+  | field :: _ -> "ATTRIBUTE:" ^ field
+
 let rec scalar_tokens = function
-  | Expr.Attr _ -> [ "ATTRIBUTE" ]
+  | Expr.Attr path -> [ attr_token path ]
   | Expr.Const _ -> [ "CONST" ]
   | Expr.Arith (_, a, b) ->
       (* arithmetic collapses to one ARITH marker surrounding operands *)
@@ -107,7 +118,9 @@ let rec tokens_of_expr = function
       let attr_toks =
         List.concat
           (List.mapi
-             (fun i _ -> if i = 0 then [ "ATTRIBUTE" ] else [ "COMMA"; "ATTRIBUTE" ])
+             (fun i a ->
+               let t = attr_token [ a ] in
+               if i = 0 then [ t ] else [ "COMMA"; t ])
              attrs)
       in
       [ "project"; "OPEN" ] @ attr_toks @ [ "COMMA" ] @ tokens_of_expr e
@@ -122,8 +135,8 @@ let rec tokens_of_expr = function
       let pair_toks =
         List.concat
           (List.mapi
-             (fun i _ ->
-               let eq = [ "ATTRIBUTE"; "="; "ATTRIBUTE" ] in
+             (fun i (pl, pr) ->
+               let eq = [ attr_token pl; "="; attr_token pr ] in
                if i = 0 then eq else "COMMA" :: eq)
              pairs)
       in
@@ -143,6 +156,13 @@ let rec tokens_of_expr = function
 (* nested submits never reach a wrapper; the token makes them unparseable *)
 
 (* -- Earley recognition -- *)
+
+(* The generic [ATTRIBUTE] terminal matches any named attribute token;
+   a named terminal ([ATTRIBUTE:salary]) matches only itself. *)
+let token_matches terminal tok =
+  String.equal terminal tok
+  || (String.equal terminal "ATTRIBUTE"
+     && String.starts_with ~prefix:"ATTRIBUTE:" tok)
 
 type item = { prod : production; dot : int; origin : int }
 
@@ -210,7 +230,7 @@ let derives g tokens =
         (fun item ->
           if item.dot < List.length item.prod.rhs then
             match List.nth item.prod.rhs item.dot with
-            | T t when t = tokens.(k) ->
+            | T t when token_matches t tokens.(k) ->
                 ignore (add (k + 1) { item with dot = item.dot + 1 })
             | _ -> ())
         chart.(k)
@@ -314,3 +334,41 @@ let key_lookup =
     a :- select OPEN ATTRIBUTE = CONST COMMA b CLOSE
     b :- get OPEN SOURCE CLOSE
   |}
+
+let indexed_lookup ?(eq = []) ?(range = []) () =
+  (* Index advertisement: productions name the indexed attributes, so the
+     grammar accepts exactly the filters the source can serve from an
+     access path (plus whole scans), and nothing else. *)
+  let dedup xs = List.sort_uniq String.compare xs in
+  let eq = dedup eq and range = dedup range in
+  let eq_prods a =
+    [
+      Fmt.str "pred :- ATTRIBUTE:%s = CONST" a;
+      Fmt.str "pred :- CONST = ATTRIBUTE:%s" a;
+    ]
+  in
+  let range_prods a =
+    List.concat_map
+      (fun op ->
+        [
+          Fmt.str "pred :- ATTRIBUTE:%s %s CONST" a op;
+          Fmt.str "pred :- CONST %s ATTRIBUTE:%s" op a;
+        ])
+      [ "="; "<"; "<="; ">"; ">=" ]
+  in
+  let pred_prods =
+    dedup (List.concat_map eq_prods eq @ List.concat_map range_prods range)
+  in
+  match pred_prods with
+  | [] -> get_only
+  | _ ->
+      parse
+        (Fmt.str
+           {|
+    a :- b
+    a :- select OPEN pred COMMA b CLOSE
+    b :- get OPEN SOURCE CLOSE
+    pred :- pred and pred
+    %s
+  |}
+           (String.concat "\n" pred_prods))

@@ -45,7 +45,15 @@ val tokens_of_expr : Disco_algebra.Expr.expr -> string list
     [ARITH], comparison symbols ([=], [!=], [<], [<=], [>], [>=]),
     [and], [or], [not], and [BIND] for the binding-struct constructor
     [Map(e, struct(x: @elem))] (so grammars can distinguish aliasing from
-    computed maps). *)
+    computed maps).
+
+    Attribute references serialize with their terminal field name:
+    [Attr ["x"; "salary"]] becomes [ATTRIBUTE:salary] (and [Attr []],
+    the whole element, stays [ATTRIBUTE]). In a grammar, the generic
+    [ATTRIBUTE] terminal matches any [ATTRIBUTE:f] token, so
+    attribute-agnostic grammars are unaffected; a named terminal
+    [ATTRIBUTE:f] matches only that attribute, which is how
+    {!indexed_lookup} advertises index-backed productions. *)
 
 (** {1 Recognition} *)
 
@@ -78,3 +86,13 @@ val full_relational : t
 val key_lookup : t
 (** [get(SOURCE)] or [select(ATTRIBUTE = CONST, get(SOURCE))] — a
     key-value store: scan or exact-match lookup only. *)
+
+val indexed_lookup : ?eq:string list -> ?range:string list -> unit -> t
+(** Index advertisement (the Mask-Mediator-Wrapper idea of exposing what
+    a source serves cheaply): [get(SOURCE)], or [select] over it with a
+    conjunction of comparisons that each name an indexed attribute —
+    [ATTRIBUTE:a = CONST] for every [a] in [eq] (hash indexes), and
+    additionally [<] [<=] [>] [>=] for every [a] in [range] (sorted
+    indexes). Attributes outside the two lists are not derivable, so the
+    optimizer can only push filters the source will answer from an
+    access path. With both lists empty this degrades to {!get_only}. *)

@@ -54,6 +54,13 @@ let sql_execute source e =
   match relational_db source with
   | Error _ as err -> err
   | Ok db -> (
+      match e with
+      | Expr.Get table ->
+          (* whole-extent scans skip SQL generation and read the column
+             store directly — the same bag of structs the generated
+             [SELECT *] rebuilds *)
+          Result.bind (table_bag db table) with_result
+      | _ -> (
       let schema_of table =
         Option.map
           (fun t -> Schema.column_names (Table.schema t))
@@ -65,7 +72,7 @@ let sql_execute source e =
       | { Sqlgen.sql; rebuild } -> (
           match Sql.run db sql with
           | exception Sql.Sql_error m -> Error (Native_error m)
-          | result -> with_result (rebuild result)))
+          | result -> with_result (rebuild result))))
 
 let sql_wrapper () =
   {
@@ -237,7 +244,55 @@ let text_wrapper () =
     execute_batch = None;
   }
 
-let of_constructor ctor =
+(* -- indexed wrapper: advertises index-backed filters only -- *)
+
+let attr_field path = match List.rev path with f :: _ -> f | [] -> ""
+
+let indexed_execute ~eq ~range source e =
+  let indexed = eq @ range in
+  let filter_ok op field =
+    match op with
+    | Expr.Eq -> List.mem field indexed
+    | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge -> List.mem field range
+    | Expr.Ne | Expr.Like -> false
+  in
+  let rec pred_ok = function
+    | Expr.And (a, b) -> pred_ok a && pred_ok b
+    | Expr.Cmp (op, Expr.Attr path, Expr.Const _)
+    | Expr.Cmp (op, Expr.Const _, Expr.Attr path) ->
+        filter_ok op (attr_field path)
+    | _ -> false
+  in
+  match relational_db source with
+  | Error _ as err -> err
+  | Ok _ -> (
+      match e with
+      | Expr.Get _ -> sql_execute source e
+      | Expr.Select (Expr.Get _, p) when pred_ok p ->
+          (* runs on the columnar engine, which serves the comparison
+             from the table's declared index when one exists *)
+          sql_execute source e
+      | e ->
+          refuse "indexed source serves scans and indexed filters, not %s"
+            (Expr.to_string e))
+
+let indexed_wrapper ?(eq = []) ?(range = []) () =
+  {
+    name = "WrapperIndexed";
+    grammar = Grammar.indexed_lookup ~eq ~range ();
+    execute = indexed_execute ~eq ~range;
+    execute_batch = None;
+  }
+
+let of_constructor_args ctor args =
+  let list_arg name =
+    match List.assoc_opt name args with
+    | Some (V.String s) ->
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+    | _ -> []
+  in
   match String.lowercase_ascii ctor with
   | "wrapperpostgres" | "wrappersql" -> Some (sql_wrapper ())
   | "wrapperselect" -> Some (select_wrapper ())
@@ -246,4 +301,8 @@ let of_constructor ctor =
   | "wrapperkv" -> Some (kv_wrapper ())
   | "wrapperfile" -> Some (file_wrapper ())
   | "wrapperwais" | "wrappertext" -> Some (text_wrapper ())
+  | "wrapperindexed" ->
+      Some (indexed_wrapper ~eq:(list_arg "eq") ~range:(list_arg "range") ())
   | _ -> None
+
+let of_constructor ctor = of_constructor_args ctor []

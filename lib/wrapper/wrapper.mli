@@ -98,9 +98,25 @@ val text_wrapper : unit -> t
 (** WAIS-style document server: scans, or single-keyword [like "%w%"]
     filters on [title] / [body] served by the inverted index. *)
 
+val indexed_wrapper : ?eq:string list -> ?range:string list -> unit -> t
+(** A relational source that advertises exactly its access paths: scans,
+    plus conjunctions of comparisons on the named attributes
+    ({!Grammar.indexed_lookup} — [eq] attributes accept equality, [range]
+    attributes also accept [<] [<=] [>] [>=]). Accepted filters execute
+    through the SQL path, so the columnar engine serves them from the
+    table's {!Disco_relation.Table.declare_index} access path when one is
+    declared. *)
+
 val of_constructor : string -> t option
 (** Resolve an ODL constructor name ([w0 := WrapperPostgres();]) to a
     wrapper: [WrapperPostgres] / [WrapperSql] → {!sql_wrapper},
     [WrapperSelect] → {!select_wrapper}, [WrapperProject] →
     {!project_wrapper}, [WrapperScan] → {!scan_wrapper}, [WrapperKV] →
-    {!kv_wrapper}, [WrapperFile] → {!file_wrapper}. Case-insensitive. *)
+    {!kv_wrapper}, [WrapperFile] → {!file_wrapper}, [WrapperIndexed] →
+    {!indexed_wrapper}. Case-insensitive. *)
+
+val of_constructor_args : string -> (string * Disco_value.Value.t) list -> t option
+(** Like {!of_constructor}, but passing the ODL constructor's named
+    arguments through; [WrapperIndexed(eq = "id", range = "salary,age")]
+    takes comma-separated attribute lists in its [eq] / [range]
+    arguments. Unknown arguments are ignored. *)

@@ -608,6 +608,178 @@ let prop_shard_twin_equivalent =
       (* two passes: the second runs against warm answer caches *)
       List.for_all check_query qs && List.for_all check_query qs)
 
+(* -- columnar SQL engine vs the row-at-a-time oracle -- *)
+
+module Sql = Disco_relation.Sql
+module Table = Disco_relation.Table
+module Schema = Disco_relation.Schema
+module Index = Disco_relation.Index
+
+let sql_schema =
+  Schema.make
+    [ ("id", Schema.TInt); ("name", Schema.TString); ("salary", Schema.TInt) ]
+
+(* Random tables: duplicate ids (hash-index chains), a tiny name alphabet
+   (string equality and LIKE both hit), occasional NULL salaries. *)
+let sql_rows_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 30)
+      (map3
+         (fun id name salary ->
+           [|
+             V.Int id;
+             V.String name;
+             (match salary with Some s -> V.Int s | None -> V.Null);
+           |])
+         (int_range 0 12)
+         (oneofl [ "a"; "ab"; "b"; "c%"; "_d"; "" ])
+         (frequency [ (6, map Option.some (int_range 0 40)); (1, return None) ])))
+
+let sql_col_names = [ "id"; "name"; "salary" ]
+
+(* Leaves deliberately include ill-typed comparisons (name < 3), NULL
+   literals, Div/Mod with zero divisors and negative numerics: the
+   engines must agree on errors as well as answers. *)
+let sql_pred_gen =
+  let open QCheck.Gen in
+  let lit =
+    oneof
+      [
+        map (fun i -> Sql.Lit (V.Int i)) (int_range (-5) 40);
+        map (fun s -> Sql.Lit (V.String s)) (oneofl [ "a"; "ab"; "b"; "" ]);
+        map
+          (fun i -> Sql.Lit (V.Float (float_of_int i /. 4.)))
+          (int_range (-8) 80);
+        return (Sql.Lit V.Null);
+      ]
+  in
+  let leaf =
+    oneof
+      [
+        map3
+          (fun c op l -> Sql.Cmp (op, Sql.Col (None, c), l))
+          (oneofl sql_col_names)
+          (oneofl [ Sql.Eq; Sql.Ne; Sql.Lt; Sql.Le; Sql.Gt; Sql.Ge ])
+          lit;
+        map
+          (fun p ->
+            Sql.Cmp (Sql.Like, Sql.Col (None, "name"), Sql.Lit (V.String p)))
+          (oneofl [ "a%"; "%b"; "_d"; "%"; "a_"; "c\\%"; "" ]);
+        map3
+          (fun aop k m ->
+            Sql.Cmp
+              ( Sql.Lt,
+                Sql.Arith (aop, Sql.Col (None, "salary"), Sql.Lit (V.Int k)),
+                Sql.Lit (V.Int m) ))
+          (oneofl [ Sql.Add; Sql.Sub; Sql.Mul; Sql.Div; Sql.Mod ])
+          (int_range (-2) 3) (int_range 0 40);
+        map2
+          (fun a b -> Sql.Cmp (Sql.Eq, Sql.Col (None, a), Sql.Col (None, b)))
+          (oneofl sql_col_names) (oneofl sql_col_names);
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            ( 2,
+              map2
+                (fun a b -> Sql.And (a, b))
+                (self (depth - 1))
+                (self (depth - 1)) );
+            ( 2,
+              map2
+                (fun a b -> Sql.Or (a, b))
+                (self (depth - 1))
+                (self (depth - 1)) );
+            (1, map (fun a -> Sql.Not a) (self (depth - 1)));
+          ])
+    2
+
+(* Projected columns (never empty) plus an optional computed item; the
+   column list comes along so ORDER BY can pick a selected column. *)
+let sql_items_gen =
+  QCheck.Gen.(
+    map2
+      (fun mask arith ->
+        let cols =
+          List.filteri (fun i _ -> mask land (1 lsl i) <> 0) sql_col_names
+        in
+        let cols = if cols = [] then [ "id" ] else cols in
+        let base = List.map (fun c -> Sql.Item (Sql.Col (None, c), None)) cols in
+        let items =
+          if arith then
+            base
+            @ [
+                Sql.Item
+                  ( Sql.Arith
+                      (Sql.Mul, Sql.Col (None, "salary"), Sql.Lit (V.Int 2)),
+                    Some "s2" );
+              ]
+          else base
+        in
+        (cols, items))
+      (int_range 1 7) bool)
+
+let sql_query_gen =
+  QCheck.Gen.(
+    map3
+      (fun (cols, items) pred ((distinct, ob), limit) ->
+        let order_by =
+          match ob with
+          | None -> []
+          | Some (i, desc) ->
+              [
+                ( Sql.Col (None, List.nth cols (i mod List.length cols)),
+                  if desc then `Desc else `Asc );
+              ]
+        in
+        Sql.select ~distinct ~where:pred ~order_by ?limit items
+          [ ("person", None) ])
+      sql_items_gen sql_pred_gen
+      (pair
+         (pair bool (opt (pair (int_range 0 2) bool)))
+         (opt (int_range 0 10))))
+
+let sql_outcome engine db q =
+  match engine db q with
+  | r -> Ok (r.Sql.columns, Sql.result_to_bag r)
+  | exception Sql.Sql_error _ -> Error ()
+
+let prop_columnar_matches_rows =
+  let gen = QCheck.Gen.triple sql_rows_gen sql_query_gen QCheck.Gen.bool in
+  QCheck.Test.make ~name:"columnar engine = row oracle on random queries"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (rows, q, ix) ->
+         Fmt.str "%s over %d rows%s" (Sql.to_string q) (List.length rows)
+           (if ix then " [indexed]" else ""))
+       gen)
+    (fun (rows, q, ix) ->
+      let db = Database.create ~name:"prop" in
+      let t = Database.create_table db ~name:"person" sql_schema in
+      Table.insert_all t rows;
+      if ix then (
+        Table.declare_index t ~column:"id" Index.Hash;
+        Table.declare_index t ~column:"salary" Index.Sorted);
+      match (sql_outcome Sql.run db q, sql_outcome Sql.run_rows db q) with
+      | Ok (ca, ba), Ok (cb, bb) -> ca = cb && V.equal ba bb
+      | Error (), Error () -> true
+      | _ -> false)
+
+(* Printing is the wrappers' submit path: the printed text must reparse
+   to a query that prints identically (literals — negative numbers, LIKE
+   patterns, quotes, floats — all survive the trip). *)
+let prop_sql_print_parse_stable =
+  QCheck.Test.make ~name:"SQL print/parse/print is stable" ~count:400
+    (QCheck.make ~print:Sql.to_string sql_query_gen)
+    (fun q ->
+      let s = Sql.to_string q in
+      String.equal s (Sql.to_string (Sql.parse s)))
+
 let () =
   Alcotest.run "disco_properties"
     [
@@ -623,6 +795,8 @@ let () =
             prop_cache_transparent;
             prop_batch_transparent;
             prop_shard_twin_equivalent;
+            prop_columnar_matches_rows;
+            prop_sql_print_parse_stable;
           ] );
       ( "batching",
         [

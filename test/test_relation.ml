@@ -195,6 +195,275 @@ let test_result_to_bag () =
     (V.bag [ V.strct [ ("name", V.String "Sam") ] ])
     (Sql.result_to_bag r)
 
+(* -- literal printing round-trips (LIKE patterns, negative numbers) -- *)
+
+let roundtrip_query q =
+  let printed = Sql.to_string q in
+  let q2 = Sql.parse printed in
+  Alcotest.(check string) (Fmt.str "stable print of %s" printed) printed
+    (Sql.to_string q2)
+
+let test_pp_lit_roundtrip () =
+  (* patterns with %/_ and embedded quotes/backslashes survive
+     print -> parse -> print *)
+  List.iter
+    (fun s ->
+      roundtrip_query
+        (Sql.select
+           ~where:(Sql.Cmp (Sql.Like, Sql.Col (None, "name"), Sql.Lit (V.String s)))
+           [ Sql.Item (Sql.Col (None, "name"), None) ]
+           [ ("person", None) ]))
+    [ "M%"; "%_y"; "100%"; "it's"; "a\\b"; "'"; "\\"; "%'%" ];
+  let quoted = Sql.select
+      [ Sql.Item (Sql.Lit (V.String "O'Hara_%"), Some "s") ]
+      [ ("person", None) ]
+  in
+  let reparsed = Sql.parse (Sql.to_string quoted) in
+  (match reparsed.Sql.items with
+  | [ Sql.Item (Sql.Lit (V.String s), _) ] ->
+      Alcotest.(check string) "literal preserved" "O'Hara_%" s
+  | _ -> Alcotest.fail "expected one string literal item");
+  (* executed LIKE over printed SQL matches the expected rows *)
+  let db = Database.create ~name:"db" in
+  let t = Database.create_table db ~name:"person" person_schema in
+  Table.insert t [| V.Int 1; V.String "O'Hara"; V.Int 1 |];
+  Table.insert t [| V.Int 2; V.String "100% done"; V.Int 2 |];
+  let like pat =
+    Sql.select
+      ~where:(Sql.Cmp (Sql.Like, Sql.Col (None, "name"), Sql.Lit (V.String pat)))
+      [ Sql.Item (Sql.Col (None, "id"), None) ]
+      [ ("person", None) ]
+  in
+  let ids pat = V.bag (names (Sql.run db (Sql.parse (Sql.to_string (like pat))))) in
+  Alcotest.check check_value "quote pattern" (V.bag [ V.Int 1 ]) (ids "O'%");
+  Alcotest.check check_value "percent via underscore"
+    (V.bag [ V.Int 2 ]) (ids "100_ done")
+
+let test_negative_literals () =
+  (* -N parses as a negative literal, and printing it round-trips
+     (the old parser only knew [0 - N], whose print re-parsed fine but
+     [Lit (Int (-5))] printed as [-5] failed to parse) *)
+  let q = Sql.parse "SELECT id FROM person WHERE salary > -5" in
+  (match q.Sql.where with
+  | Sql.Cmp (Sql.Gt, _, Sql.Lit (V.Int -5)) -> ()
+  | _ -> Alcotest.fail "expected a negative int literal");
+  roundtrip_query q;
+  let qf = Sql.parse "SELECT -3.5 AS x FROM person" in
+  (match qf.Sql.items with
+  | [ Sql.Item (Sql.Lit (V.Float f), _) ] ->
+      Alcotest.(check (float 0.0)) "negative float" (-3.5) f
+  | _ -> Alcotest.fail "expected a negative float literal");
+  roundtrip_query qf;
+  (* subtraction and negation-of-column still mean what they meant *)
+  let db = sample_db () in
+  let r = Sql.run_string db "SELECT id - -3 FROM person WHERE id = 1" in
+  Alcotest.check check_value "id - -3" (V.Int 4) (List.hd r.Sql.rows).(0);
+  let r2 = Sql.run_string db "SELECT -salary FROM person WHERE id = 3" in
+  Alcotest.check check_value "negated column" (V.Int (-5))
+    (List.hd r2.Sql.rows).(0)
+
+(* -- ORDER BY on NULLs, DISTINCT over whole rows, division by zero -- *)
+
+let null_db () =
+  let db = Database.create ~name:"db" in
+  let t = Database.create_table db ~name:"t" person_schema in
+  Table.insert t [| V.Int 1; V.String "a"; V.Int 20 |];
+  Table.insert t [| V.Int 2; V.String "b"; V.Null |];
+  Table.insert t [| V.Int 3; V.String "c"; V.Int 10 |];
+  db
+
+let test_order_by_nulls () =
+  let db = null_db () in
+  let ids sql = List.map (fun row -> row.(0)) (Sql.run_string db sql).Sql.rows in
+  (* numeric_compare: NULL sorts below every value. ORDER BY requires the
+     sort column to be selected, so project it alongside the id. *)
+  Alcotest.(check bool) "asc: NULL first" true
+    (ids "SELECT id, salary FROM t ORDER BY salary" = [ V.Int 2; V.Int 3; V.Int 1 ]);
+  Alcotest.(check bool) "desc: NULL last" true
+    (ids "SELECT id, salary FROM t ORDER BY salary DESC" = [ V.Int 1; V.Int 3; V.Int 2 ])
+
+let test_distinct_rows () =
+  let db = Database.create ~name:"db" in
+  let t = Database.create_table db ~name:"t" person_schema in
+  Table.insert_all t
+    [
+      [| V.Int 1; V.String "a"; V.Int 5 |];
+      [| V.Int 1; V.String "a"; V.Int 5 |];
+      [| V.Int 1; V.String "a"; V.Null |];
+      [| V.Int 1; V.String "a"; V.Null |];
+      [| V.Int 2; V.String "a"; V.Int 5 |];
+    ];
+  (* whole result rows (including NULL-bearing duplicates) deduplicate *)
+  let r = Sql.run_string db "SELECT DISTINCT id, name, salary FROM t" in
+  Alcotest.(check int) "3 distinct rows" 3 (List.length r.Sql.rows);
+  let r2 = Sql.run_string db "SELECT DISTINCT name FROM t" in
+  Alcotest.(check int) "1 distinct name" 1 (List.length r2.Sql.rows)
+
+let test_div_mod_zero () =
+  let db = sample_db () in
+  let expect_both sql =
+    let raises f =
+      match f () with
+      | (_ : Sql.result) -> false
+      | exception Sql.Sql_error _ -> true
+    in
+    let q = Sql.parse sql in
+    Alcotest.(check bool) (sql ^ " raises on run") true
+      (raises (fun () -> Sql.run db q));
+    Alcotest.(check bool) (sql ^ " raises on run_rows") true
+      (raises (fun () -> Sql.run_rows db q))
+  in
+  expect_both "SELECT salary / 0 FROM person";
+  expect_both "SELECT salary % 0 FROM person";
+  expect_both "SELECT id FROM person WHERE salary / 0 > 1";
+  (* no rows evaluate the raising item: both engines return cleanly *)
+  let empty = Database.create ~name:"empty" in
+  ignore (Database.create_table empty ~name:"person" person_schema);
+  let q = Sql.parse "SELECT salary / 0 FROM person" in
+  Alcotest.(check int) "empty run" 0 (List.length (Sql.run empty q).Sql.rows);
+  Alcotest.(check int) "empty run_rows" 0
+    (List.length (Sql.run_rows empty q).Sql.rows)
+
+(* -- batch insert: one version bump per batch -- *)
+
+let test_insert_all_version () =
+  let t = Table.create ~name:"t" person_schema in
+  let v0 = Table.version t in
+  Table.insert_all t
+    [
+      [| V.Int 1; V.String "a"; V.Int 1 |];
+      [| V.Int 2; V.String "b"; V.Int 2 |];
+      [| V.Int 3; V.String "c"; V.Int 3 |];
+    ];
+  Alcotest.(check int) "one bump for the batch" (v0 + 1) (Table.version t);
+  Alcotest.(check int) "three rows" 3 (Table.cardinality t);
+  Table.insert_all t [];
+  Alcotest.(check int) "empty batch: no bump" (v0 + 1) (Table.version t)
+
+(* -- columnar engine and secondary indexes -- *)
+
+module Index = Disco_relation.Index
+
+let big_db () =
+  let db = Database.create ~name:"db" in
+  let t = Database.create_table db ~name:"person" person_schema in
+  Table.insert_all t
+    (List.init 100 (fun i ->
+         [|
+           V.Int i;
+           V.String (Fmt.str "n%d" (i mod 7));
+           (if i mod 11 = 0 then V.Null else V.Int (i * 3 mod 250));
+         |]));
+  (db, t)
+
+let sorted_rows r = List.sort compare r.Sql.rows
+
+let check_engines_agree db sql =
+  let q = Sql.parse sql in
+  let a = Sql.run db q and b = Sql.run_rows db q in
+  Alcotest.(check (list string)) (sql ^ ": columns") b.Sql.columns a.Sql.columns;
+  Alcotest.(check bool) (sql ^ ": same bag") true
+    (sorted_rows a = sorted_rows b)
+
+let engine_queries =
+  [
+    "SELECT * FROM person";
+    "SELECT id, name FROM person WHERE salary > 100";
+    "SELECT id FROM person WHERE salary > 50 AND salary <= 200";
+    "SELECT id FROM person WHERE name = 'n3' OR salary < 30";
+    "SELECT id FROM person WHERE NOT (name = 'n3')";
+    "SELECT id FROM person WHERE name LIKE 'n%'";
+    "SELECT id FROM person WHERE name LIKE '%3'";
+    "SELECT id FROM person WHERE salary = NULL";
+    "SELECT id FROM person WHERE salary < 30";
+    "SELECT name, salary * 2 FROM person WHERE id >= 90";
+    "SELECT DISTINCT name FROM person";
+    "SELECT id, salary FROM person ORDER BY salary DESC LIMIT 7";
+    "SELECT p.id, q.id FROM person p, person q WHERE p.id = q.salary";
+    "SELECT p.id FROM person p, person q WHERE p.id = q.id AND q.salary > 200";
+    "SELECT p.id FROM person p, person q WHERE p.name = q.name AND p.id < 3";
+  ]
+
+let test_engine_equivalence () =
+  let db, _ = big_db () in
+  List.iter (check_engines_agree db) engine_queries
+
+let test_engine_dispatch () =
+  let db, _ = big_db () in
+  let engine sql = Sql.explain_engine db (Sql.parse sql) in
+  Alcotest.(check bool) "single table is columnar" true
+    (engine "SELECT id FROM person WHERE salary > 10" = `Columnar);
+  Alcotest.(check bool) "equi-join is columnar" true
+    (engine "SELECT p.id FROM person p, person q WHERE p.id = q.id"
+    = `Columnar_join);
+  Alcotest.(check bool) "cross join falls back" true
+    (engine "SELECT p.id FROM person p, person q WHERE p.id < q.id" = `Rows)
+
+let test_index_declare () =
+  let _, t = big_db () in
+  Table.declare_index t ~column:"id" Index.Hash;
+  Table.declare_index t ~column:"salary" Index.Sorted;
+  Alcotest.(check int) "two indexes" 2 (List.length (Table.indexes t));
+  Alcotest.(check bool) "kind recorded" true
+    (Table.index_kind t "salary" = Some Index.Sorted);
+  Table.drop_index t "salary";
+  Alcotest.(check int) "one left" 1 (List.length (Table.indexes t));
+  (try
+     Table.declare_index t ~column:"nosuch" Index.Hash;
+     Alcotest.fail "expected Schema_error for a missing column"
+   with Schema.Schema_error _ -> ());
+  try
+    Table.declare_index t ~column:"name" Index.Sorted;
+    Alcotest.fail "expected Schema_error for sorted-on-string"
+  with Schema.Schema_error _ -> ()
+
+let test_index_serving () =
+  let db, t = big_db () in
+  Table.declare_index t ~column:"id" Index.Hash;
+  Table.declare_index t ~column:"salary" Index.Sorted;
+  Table.declare_index t ~column:"name" Index.Hash;
+  let engine sql = Sql.explain_engine db (Sql.parse sql) in
+  Alcotest.(check bool) "hash serves equality" true
+    (engine "SELECT name FROM person WHERE id = 42" = `Columnar_indexed "id");
+  Alcotest.(check bool) "hash serves flipped equality" true
+    (engine "SELECT name FROM person WHERE 42 = id" = `Columnar_indexed "id");
+  Alcotest.(check bool) "sorted serves ranges" true
+    (engine "SELECT id FROM person WHERE salary < 30"
+    = `Columnar_indexed "salary");
+  Alcotest.(check bool) "string hash equality" true
+    (engine "SELECT id FROM person WHERE name = 'n3'"
+    = `Columnar_indexed "name");
+  Alcotest.(check bool) "non-total predicate skips indexes" true
+    (engine "SELECT id FROM person WHERE id = 1 AND salary / 1 > 0"
+    = `Columnar);
+  (* indexed and unindexed answers agree (NULL rows sort below every
+     value, so salary < 30 includes them — same as the row engine) *)
+  List.iter (check_engines_agree db)
+    [
+      "SELECT name FROM person WHERE id = 42";
+      "SELECT id FROM person WHERE salary < 30";
+      "SELECT id FROM person WHERE salary <= 30";
+      "SELECT id FROM person WHERE salary > 200";
+      "SELECT id FROM person WHERE salary >= 200";
+      "SELECT id FROM person WHERE salary = NULL";
+      "SELECT id FROM person WHERE name = 'n3'";
+      "SELECT id FROM person WHERE name = 'absent'";
+      "SELECT id FROM person WHERE id = 42 AND salary > 10";
+    ]
+
+let test_index_lazy_rebuild () =
+  let db, t = big_db () in
+  Table.declare_index t ~column:"id" Index.Hash;
+  let count sql = List.length (Sql.run_string db sql).Sql.rows in
+  Alcotest.(check int) "before insert" 1
+    (count "SELECT id FROM person WHERE id = 5");
+  Table.insert t [| V.Int 5; V.String "dup"; V.Int 1 |];
+  Alcotest.(check int) "index sees the new row" 2
+    (count "SELECT id FROM person WHERE id = 5");
+  ignore (Table.delete_where t (fun row -> V.equal row.(0) (V.Int 5)));
+  Alcotest.(check int) "index sees the delete" 0
+    (count "SELECT id FROM person WHERE id = 5")
+
 let () =
   Alcotest.run "disco_relation"
     [
@@ -222,5 +491,22 @@ let () =
           Alcotest.test_case "errors" `Quick test_sql_errors;
           Alcotest.test_case "null semantics" `Quick test_sql_null_semantics;
           Alcotest.test_case "result to bag" `Quick test_result_to_bag;
+          Alcotest.test_case "pp_lit roundtrip" `Quick test_pp_lit_roundtrip;
+          Alcotest.test_case "negative literals" `Quick test_negative_literals;
+          Alcotest.test_case "order by nulls" `Quick test_order_by_nulls;
+          Alcotest.test_case "distinct rows" `Quick test_distinct_rows;
+          Alcotest.test_case "div/mod by zero" `Quick test_div_mod_zero;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "insert_all version" `Quick test_insert_all_version;
+        ] );
+      ( "columnar",
+        [
+          Alcotest.test_case "engine equivalence" `Quick test_engine_equivalence;
+          Alcotest.test_case "engine dispatch" `Quick test_engine_dispatch;
+          Alcotest.test_case "index declare" `Quick test_index_declare;
+          Alcotest.test_case "index serving" `Quick test_index_serving;
+          Alcotest.test_case "index lazy rebuild" `Quick test_index_lazy_rebuild;
         ] );
     ]

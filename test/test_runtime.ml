@@ -92,6 +92,35 @@ let test_cost_batch_calibration () =
   Alcotest.(check bool) "other repo has no calibration" true
     (Cost_model.estimate_batch m ~repo:"r1" ~size:2 = None)
 
+let test_cost_indexed_basis () =
+  let m = Cost_model.create () in
+  let eq_sal = Expr.Select (get0, Expr.Cmp (Expr.Eq, Expr.Attr [ "salary" ], Expr.Const (V.Int 10))) in
+  let lt_sal = Expr.Select (get0, gt 10) in
+  let eq_id = Expr.Select (get0, Expr.Cmp (Expr.Eq, Expr.Attr [ "id" ], Expr.Const (V.Int 3))) in
+  (* without a declaration everything is Default: answers/stats unchanged *)
+  Alcotest.(check bool) "no declaration: default" true
+    ((Cost_model.estimate m ~repo:"r0" eq_sal).Cost_model.est_basis
+    = Cost_model.Default);
+  Cost_model.declare_index m ~repo:"r0" ~attr:"salary" ~kind:`Sorted;
+  Cost_model.declare_index m ~repo:"r0" ~attr:"id" ~kind:`Hash;
+  let basis e = (Cost_model.estimate m ~repo:"r0" e).Cost_model.est_basis in
+  Alcotest.(check bool) "sorted serves equality" true (basis eq_sal = Cost_model.Indexed);
+  Alcotest.(check bool) "sorted serves ranges" true (basis lt_sal = Cost_model.Indexed);
+  Alcotest.(check bool) "hash serves equality" true (basis eq_id = Cost_model.Indexed);
+  let lt_id = Expr.Select (get0, Expr.Cmp (Expr.Lt, Expr.Attr [ "id" ], Expr.Const (V.Int 3))) in
+  Alcotest.(check bool) "hash does not serve ranges" true (basis lt_id = Cost_model.Default);
+  (* observations still outrank the structural hint *)
+  Cost_model.record m ~repo:"r0" ~expr:eq_sal ~time_ms:7.0 ~rows:2;
+  Alcotest.(check bool) "exact beats indexed" true (basis eq_sal = Cost_model.Exact 1);
+  (* per-repo isolation, and clear keeps declarations (DDL, not history) *)
+  Alcotest.(check bool) "other repo default" true
+    ((Cost_model.estimate m ~repo:"r1" eq_sal).Cost_model.est_basis
+    = Cost_model.Default);
+  Cost_model.clear m;
+  Alcotest.(check bool) "clear keeps declarations" true (basis eq_sal = Cost_model.Indexed);
+  Alcotest.(check bool) "advertised attrs" true
+    (Cost_model.indexed_attrs m ~repo:"r0" = [ ("id", `Hash); ("salary", `Sorted) ])
+
 (* -- physical plans -- *)
 
 let test_implement_shapes () =
@@ -842,6 +871,7 @@ let () =
           Alcotest.test_case "history bound" `Quick test_cost_history_bound;
           Alcotest.test_case "batch calibration" `Quick
             test_cost_batch_calibration;
+          Alcotest.test_case "indexed basis" `Quick test_cost_indexed_basis;
         ] );
       ( "plan",
         [
