@@ -47,6 +47,10 @@ module Metrics = Disco_obs.Metrics
 module Scheduler = Disco_source.Scheduler
 module Server = Disco_serve.Server
 module Loadgen = Disco_serve.Loadgen
+module Registry = Disco_odl.Registry
+module Odl_parser = Disco_odl.Odl_parser
+module Check = Disco_check.Check
+module Analysis = Disco_analysis.Analysis
 
 let header title = Fmt.pr "@.======== %s ========@." title
 
@@ -1935,6 +1939,96 @@ let e16 () =
     (List.rev !rows_out);
   Fmt.pr "@.engines agree bag-for-bag on every query above@."
 
+let e17 () =
+  header "E17: static analyzer - SPOF counts and analysis cost";
+  Fmt.pr "claim: the federation analyzer finds every single point of@.";
+  Fmt.pr "       failure without contacting a source, a declared replica@.";
+  Fmt.pr "       removes it from the report, and whole-federation@.";
+  Fmt.pr "       analysis costs milliseconds, not a survey of sites.@.@.";
+  let base replicas =
+    Fmt.str
+      {|r0 := Repository(host="rodin", name="payroll", address="1");
+        r1 := Repository(host="matisse", name="payroll", address="2");
+        r2 := Repository(host="archive", name="payroll", address="3");
+        r3 := Repository(host="mirror", name="payroll", address="4");
+        w0 := WrapperPostgres();
+        w1 := WrapperSql();
+        interface Person (extent person) {
+          attribute Short id;
+          attribute String name;
+          attribute Short salary;
+        }
+        extent person0 of Person wrapper w0 repository r0%s;
+        extent person1 of Person wrapper w1 repository r1%s;
+        extent emp of Person wrapper w0 sharded by id range (100) across r0 r2;
+        define seniors as select x from x in person where x.salary > 50;|}
+      (if replicas then " replica r3" else "")
+      (if replicas then " replica r3" else "")
+  in
+  let workload =
+    [
+      ( "bench.oql",
+        String.concat "\n"
+          [
+            "select x.name from x in person where x.salary > 10";
+            "select x from x in person0";
+            "select x.name from x in emp where x.id = 7";
+            "select x.name from x in seniors";
+            "select struct(a: x.name, b: y.salary) from x in person0, y in \
+             person1 where x.id = y.id";
+          ] );
+    ]
+  in
+  let analyze replicas =
+    let reg = Registry.create () in
+    Odl_parser.load reg (base replicas);
+    Analysis.analyze ~workload reg
+  in
+  let count sev r =
+    List.length
+      (List.filter (fun (_, d) -> d.Check.d_severity = sev) r.Analysis.r_diags)
+  in
+  let dt_ms replicas =
+    1000.0 *. e16_best ~reps:20 (fun () -> ignore (analyze replicas))
+  in
+  let before = analyze false and after = analyze true in
+  let ms_before = dt_ms false and ms_after = dt_ms true in
+  table
+    ~columns:[ "federation"; "spofs"; "errors"; "warnings"; "analyze ms" ]
+    [
+      [
+        "no replicas";
+        string_of_int (List.length before.Analysis.r_spofs);
+        string_of_int (count Check.Error before);
+        string_of_int (count Check.Warning before);
+        Fmt.str "%.2f" ms_before;
+      ];
+      [
+        "replica r3 on person0/person1";
+        string_of_int (List.length after.Analysis.r_spofs);
+        string_of_int (count Check.Error after);
+        string_of_int (count Check.Warning after);
+        Fmt.str "%.2f" ms_after;
+      ];
+    ];
+  bench_results :=
+    Fmt.str
+      "{\"experiment\":\"e17\",\"queries\":%d,\"spofs_before\":%d,\"spofs_after\":%d,\"errors\":%d,\"warnings\":%d,\"analyze_ms\":%.3f}"
+      (List.length before.Analysis.r_queries)
+      (List.length before.Analysis.r_spofs)
+      (List.length after.Analysis.r_spofs)
+      (count Check.Error before) (count Check.Warning before) ms_before
+    :: !bench_results;
+  (* the sharded extent keeps its unreplicated shard repositories as
+     SPOFs; the replica must remove the two plain extents' ones *)
+  if List.length before.Analysis.r_spofs <= List.length after.Analysis.r_spofs
+  then failwith "E17: adding a replica did not reduce the SPOF count";
+  if List.mem "r1" after.Analysis.r_spofs then
+    failwith "E17: replicated repository still reported as a SPOF";
+  Fmt.pr "@.replica r3 removed %d of %d SPOFs; analysis stayed static@."
+    (List.length before.Analysis.r_spofs - List.length after.Analysis.r_spofs)
+    (List.length before.Analysis.r_spofs)
+
 (* ==================================================================== *)
 
 let experiments =
@@ -1942,6 +2036,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+    ("e17", e17);
     ("a1", a1); ("a2", a2); ("a3", a3); ("soak", soak);
   ]
 

@@ -46,6 +46,7 @@ module Runtime = Disco_runtime.Runtime
 module Metrics = Disco_obs.Metrics
 module Server = Disco_serve.Server
 module Loadgen = Disco_serve.Loadgen
+module Analysis = Disco_analysis.Analysis
 
 open Cmdliner
 
@@ -1344,9 +1345,25 @@ let lint_queries reg checker ~can_push ~wrapper_of ~repo_of file =
     (String.split_on_char '\n' (read_file file));
   !diags
 
+(* Declared indexes of the repository serving an extent: a Repository
+   object may carry an [indexes="id,person0.salary"] argument listing
+   the attributes (optionally [extent.]-qualified) its source serves
+   from an index. The audit checks indexed wrappers' advertisements
+   against this list. *)
+let lint_indexed reg me f =
+  match Registry.find_object reg me.Registry.me_repository with
+  | Some o -> (
+      match List.assoc_opt "indexes" o.Registry.obj_args with
+      | Some (V.String s) ->
+          let ixs = List.map String.trim (String.split_on_char ',' s) in
+          List.mem f ixs || List.mem (me.Registry.me_name ^ "." ^ f) ixs
+      | _ -> false)
+  | None -> false
+
 (* Conformance audit of every wrapper object in the registry: the
-   constructor must resolve, and the grammar must not over-claim on the
-   extents the wrapper serves. *)
+   constructor must resolve (with its arguments — an indexed wrapper's
+   advertised attributes live there), and the grammar must not
+   over-claim on the extents the wrapper serves. *)
 let lint_audit reg =
   List.concat_map
     (fun name ->
@@ -1354,7 +1371,10 @@ let lint_audit reg =
       | Some o
         when String.length o.Registry.obj_constructor >= 7
              && String.sub o.Registry.obj_constructor 0 7 = "Wrapper" -> (
-          match Wrapper.of_constructor o.Registry.obj_constructor with
+          match
+            Wrapper.of_constructor_args o.Registry.obj_constructor
+              o.Registry.obj_args
+          with
           | None ->
               [
                 ( "(registry)",
@@ -1366,7 +1386,8 @@ let lint_audit reg =
               Registry.all_extents reg
               |> List.filter (fun me -> me.Registry.me_wrapper = name)
               |> List.concat_map (fun me ->
-                     Check.audit_wrapper ~extent:me.Registry.me_name
+                     Check.audit_wrapper ~indexed:(lint_indexed reg me)
+                       ~extent:me.Registry.me_name
                        ~attrs:
                          (Registry.attributes_of reg me.Registry.me_interface)
                        w
@@ -1472,6 +1493,129 @@ let lint_cmd =
           diagnostic.")
     Term.(ret (const run $ verbosity_arg $ json_arg $ paths_arg))
 
+(* -- analyze: federation-wide static analysis -- *)
+
+let analyze_cmd =
+  let paths_arg =
+    let doc =
+      "Files or directories to analyze; directories are searched \
+       recursively for .odl schema files and .oql workload files (one \
+       query per line, [--] comments)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let workload_arg =
+    let doc =
+      "Additional OQL workload corpus file(s); repeatable. Added to the \
+       .oql files found under PATH."
+    in
+    Arg.(value & opt_all string [] & info [ "workload" ] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit the report as a JSON object; its diagnostics array uses the \
+       same schema and ordering as lint --json."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let doc_arg =
+    let doc =
+      "Print the generated diagnostic-code reference (doc/diagnostics.md) \
+       and exit."
+    in
+    Arg.(value & flag & info [ "doc" ] ~doc)
+  in
+  let run verbosity json doc_flag workload paths =
+    setup_logs (List.length verbosity);
+    if doc_flag then begin
+      print_string (Analysis.diagnostics_doc ());
+      `Ok ()
+    end
+    else if paths = [] && workload = [] then
+      `Error (true, "a PATH (or --workload) is required unless --doc is given")
+    else begin
+      let files =
+        List.sort String.compare (List.concat_map lint_collect paths)
+      in
+      let odl_files =
+        List.filter (fun f -> Filename.check_suffix f ".odl") files
+      in
+      let oql_files =
+        List.sort_uniq String.compare
+          (List.filter (fun f -> Filename.check_suffix f ".oql") files
+          @ workload)
+      in
+      let reg = Registry.create () in
+      let schema_diags =
+        List.concat_map
+          (fun f ->
+            match Odl_parser.load reg (read_file f) with
+            | () -> []
+            | exception Registry.Odl_error msg ->
+                [
+                  ( f,
+                    lint_diag ~code:"DISCO-E011" ~severity:Check.Error
+                      ~path:"schema" "%s" msg );
+                ]
+            | exception Disco_lex.Lexer.Error (msg, pos) ->
+                [
+                  ( f,
+                    lint_diag ~code:"DISCO-E011" ~severity:Check.Error
+                      ~path:"schema" "lex error at offset %d: %s" pos msg );
+                ])
+          odl_files
+      in
+      let corpus = List.map (fun f -> (f, read_file f)) oql_files in
+      let report = Analysis.analyze ~workload:corpus reg in
+      let report =
+        {
+          report with
+          Analysis.r_diags =
+            List.sort
+              (fun (f1, d1) (f2, d2) ->
+                compare
+                  (f1, d1.Check.d_code, d1.Check.d_path, d1.Check.d_message)
+                  (f2, d2.Check.d_code, d2.Check.d_path, d2.Check.d_message))
+              (schema_diags @ report.Analysis.r_diags);
+        }
+      in
+      if json then Fmt.pr "%s@." (Analysis.json_of_report report)
+      else begin
+        Fmt.pr "%a" Analysis.pp_report report;
+        let errors, warnings =
+          List.partition
+            (fun (_, d) -> d.Check.d_severity = Check.Error)
+            report.Analysis.r_diags
+        in
+        Fmt.pr "%d error(s), %d warning(s)@." (List.length errors)
+          (List.length warnings)
+      end;
+      Format.print_flush ();
+      if
+        List.exists
+          (fun (_, d) -> d.Check.d_severity = Check.Error)
+          report.Analysis.r_diags
+      then Stdlib.exit 1;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Whole-federation static analysis of an ODL schema plus an OQL \
+          workload, without contacting any source: per-query minimal \
+          source sets and the exact residual surviving each \
+          single-repository outage (single-point-of-failure detection \
+          across replicas and shards), per-wrapper pushdown profiles with \
+          dead grammar productions, and cross-subsystem consistency \
+          checks (unconstrained shard keys, unused index advertisements, \
+          inconsistent type maps and views, answer-cache key collisions). \
+          Exits non-zero on any error-severity diagnostic.")
+    Term.(
+      ret
+        (const run $ verbosity_arg $ json_arg $ doc_arg $ workload_arg
+       $ paths_arg))
+
 let main =
   Cmd.group
     (Cmd.info "discoctl" ~version:"1.0.0"
@@ -1479,7 +1623,7 @@ let main =
     [
       query_cmd; explain_cmd; schema_cmd; repl_cmd; catalog_cmd; shards_cmd;
       indexes_cmd; cache_stats_cmd; resubmit_cmd; trace_cmd; metrics_cmd;
-      serve_cmd; load_cmd; lint_cmd;
+      serve_cmd; load_cmd; lint_cmd; analyze_cmd;
     ]
 
 let () = exit (Cmd.eval main)

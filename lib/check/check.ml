@@ -191,6 +191,9 @@ let e007 = "DISCO-E007"
 let e008 = "DISCO-E008"
 let e009 = "DISCO-E009"
 let e010 = "DISCO-E010"
+let e011 = "DISCO-E011"
+let e012 = "DISCO-E012"
+let e013 = "DISCO-E013"
 let e014 = "DISCO-E014"
 let e015 = "DISCO-E015"
 let e016 = "DISCO-E016"
@@ -199,6 +202,87 @@ let w002 = "DISCO-W002"
 let w003 = "DISCO-W003"
 let w004 = "DISCO-W004"
 let w005 = "DISCO-W005"
+let w006 = "DISCO-W006"
+
+(* Every code this module can emit, with a one-line summary. The
+   generated doc/diagnostics.md and the analyzer's shared --json schema
+   are asserted against this registry, so a new code must be added here
+   (a test fails otherwise). *)
+let code_registry =
+  [
+    (e001, Error, "unknown collection: a Get names an unregistered extent");
+    ( e002,
+      Error,
+      "unresolved attribute: an attribute path does not resolve against the \
+       concretely known element type" );
+    ( e003,
+      Error,
+      "operand type mismatch: comparison or arithmetic operands are \
+       concretely incompatible" );
+    ( e004,
+      Error,
+      "non-constant membership: a Member filter's key set is not a constant \
+       collection" );
+    ( e005,
+      Error,
+      "capability violation: a wrapper grammar refuses a submitted subtree, \
+       or one submit spans extents served by different wrappers" );
+    ( e006,
+      Error,
+      "not decompilable: the tree cannot round-trip through OQL \
+       (decompile, re-parse, re-compile)" );
+    ( e007,
+      Error,
+      "unknown repository: an exec names an unregistered repository or an \
+       extent bound elsewhere" );
+    (e008, Error, "empty join key list: an equi-join algorithm has no key pairs");
+    ( e009,
+      Error,
+      "binding overlap: the binding-struct field sets of a join's sides \
+       intersect, or a struct head binds a field twice" );
+    (e010, Error, "unresolvable wrapper: an extent's wrapper cannot be constructed");
+    (e011, Error, "schema error: an ODL file fails to load");
+    (e012, Error, "parse error: an OQL query fails to parse");
+    ( e013,
+      Error,
+      "type error: an OQL query fails expansion or static typing against \
+       the schema" );
+    ( e014,
+      Error,
+      "unknown shard repository: a partitioned extent names a shard \
+       repository that is not a registered source" );
+    ( e015,
+      Error,
+      "bad shard key: a partitioned extent's shard key is not a declared \
+       scalar attribute of its interface" );
+    ( e016,
+      Error,
+      "bad range boundaries: a range partition's boundaries are unsorted, \
+       duplicated, or incomparable" );
+    (w001, Warning, "union drift: union members have concretely incompatible element types");
+    ( w002,
+      Warning,
+      "wrapper over-claim: the capability grammar derives a sentence whose \
+       translation leaves the grammar, or that the wrapper refuses to \
+       execute" );
+    ( w003,
+      Warning,
+      "round-trip drift: the tree decompiles and recompiles, but not to an \
+       alpha-equivalent tree" );
+    ( w004,
+      Warning,
+      "semijoin filter not pushable: a second-round membership filter is \
+       outside the wrapper grammar" );
+    ( w005,
+      Warning,
+      "heterogeneous shard grammars: the wrappers serving one sharded \
+       extent advertise different capability grammars" );
+    ( w006,
+      Warning,
+      "unbacked index advertisement: an indexed wrapper's grammar \
+       advertises index-served lookups on an attribute that is undeclared \
+       or has no declared index" );
+  ]
 
 (* -- typing -- *)
 
@@ -744,10 +828,28 @@ let audit_catalog ~extent ~attrs =
       Expr.Distinct (Expr.Project (get, [ a1 ]));
     ]
 
-let audit_wrapper ?source ~extent ~attrs w =
+let audit_wrapper ?source ?(indexed = fun _ -> false) ~extent ~attrs w =
   let st =
     { checker = make (); diags = ref [] }
   in
+  (* indexed wrappers advertise index-served lookups as named
+     ATTRIBUTE:f terminals; each advertisement must name a declared
+     attribute backed by a declared index, or the optimizer will push
+     lookups the source answers with a full scan *)
+  List.iter
+    (fun f ->
+      let path = [ Printf.sprintf "wrapper(%s)" (Wrapper.name w) ] in
+      if not (List.mem_assoc f attrs) then
+        warn st w006 path
+          "the grammar advertises index-backed lookups on %S, which extent \
+           %s does not declare"
+          f extent
+      else if not (indexed f) then
+        warn st w006 path
+          "the grammar advertises index-backed lookups on %s.%s but no \
+           declared index backs them"
+          extent f)
+    (Grammar.named_attributes (Wrapper.functionality w));
   let catalog = audit_catalog ~extent ~attrs in
   let accepted = List.filter (Wrapper.accepts w) catalog in
   if accepted = [] then

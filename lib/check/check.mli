@@ -80,7 +80,16 @@
     - [DISCO-W005] heterogeneous shard grammars: the wrappers serving a
       sharded extent's shards advertise different capability grammars,
       so per-shard pushdown degrades to the weakest member (shard
-      audit). *)
+      audit).
+    - [DISCO-W006] unbacked index advertisement: an indexed wrapper's
+      grammar advertises index-served lookups ([ATTRIBUTE:f] named
+      terminals) on an attribute the extent does not declare, or that no
+      declared index backs — the optimizer would push lookups the source
+      answers with a full scan (conformance audit).
+
+    The whole-federation static analyzer ({!Disco_analysis.Analysis})
+    adds [DISCO-Axxx] codes on top of these, sharing this module's
+    diagnostic type and JSON rendering. *)
 
 module Otype := Disco_odl.Otype
 module Registry := Disco_odl.Registry
@@ -143,6 +152,7 @@ val check_plan : t -> Plan.plan -> diag list
 
 val audit_wrapper :
   ?source:Source.t ->
+  ?indexed:(string -> bool) ->
   extent:string ->
   attrs:(string * Otype.t) list ->
   Wrapper.t ->
@@ -154,7 +164,21 @@ val audit_wrapper :
     holding the extent's data is provided, that the wrapper actually
     executes it instead of refusing. Violations are [DISCO-W002]
     over-claims: the grammar advertises capability the wrapper does not
-    deliver, which silently degrades pushdown into mediator-side work. *)
+    deliver, which silently degrades pushdown into mediator-side work.
+
+    Indexed wrappers additionally have every named-attribute terminal of
+    their grammar ({!Disco_wrapper.Grammar.named_attributes} — how
+    [indexed_lookup] advertises index-served productions) checked
+    against the extent: an advertised attribute that is not declared in
+    [attrs], or for which [indexed] (default: no index information, so
+    every advertisement is unbacked) reports no declared index, warns
+    [DISCO-W006]. *)
+
+val code_registry : (string * severity * string) list
+(** Every diagnostic code this module can emit: [(code, severity,
+    one-line summary)], in code order. The generated [doc/diagnostics.md]
+    is asserted against this registry (plus the analyzer's [Axxx]
+    codes). *)
 
 val audit_shards : t -> diag list
 (** Shard-declaration audit over the checker's registry: every

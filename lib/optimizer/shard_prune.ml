@@ -70,6 +70,44 @@ let translate_constrs head constrs =
              constrs)
       else None
 
+(* Per-shard-child key constraints, for the static analyzer: the same
+   collection-and-translation walk as [prune], but instead of dropping
+   excluded submits it reports, for every shard-child scan, the
+   constraints that reached its shard key. An empty list for every scan
+   of a partition means pruning can never fire on this expression. *)
+let key_constraints ~shard expr =
+  let acc = ref [] in
+  let rec walk constrs e =
+    match e with
+    | Expr.Get name -> (
+        match shard name with
+        | None -> ()
+        | Some (p, _) ->
+            let ks =
+              List.filter_map
+                (fun (path, c) ->
+                  if path = [ p.Shard.p_key ] then Some c else None)
+                constrs
+            in
+            acc := (name, ks) :: !acc)
+    | Expr.Data _ -> ()
+    | Expr.Select (inner, pred) ->
+        walk (constraints_of_pred pred @ constrs) inner
+    | Expr.Map (inner, head) -> (
+        match translate_constrs head constrs with
+        | Some constrs' -> walk constrs' inner
+        | None -> walk [] inner)
+    | Expr.Project (inner, _) | Expr.Distinct inner | Expr.Submit (_, inner)
+      ->
+        walk constrs inner
+    | Expr.Union es -> List.iter (walk constrs) es
+    | Expr.Join (l, r, _) ->
+        walk [] l;
+        walk [] r
+  in
+  walk [] expr;
+  List.rev !acc
+
 let empty_bag = Expr.Data (V.Bag [])
 
 let is_empty_bag = function

@@ -18,6 +18,28 @@ module Expr := Disco_algebra.Expr
 module Plan := Disco_physical.Plan
 module Shard := Disco_shard.Shard
 
+val constraints_of_pred :
+  Expr.pred -> (string list * Shard.constr) list
+(** The certainly-restricting constraints among a predicate's top-level
+    conjuncts: [(attribute path, constraint)] for each [Attr op Const]
+    comparison (both orientations) and each constant [Member] filter.
+    Shapes that cannot certainly restrict the shard key (disjunctions,
+    [!=], [like], computed operands) are ignored — the same conservative
+    collection {!prune} uses. *)
+
+val key_constraints :
+  shard:(string -> (Shard.partition * int) option) ->
+  Expr.expr ->
+  (string * Shard.constr list) list
+(** For every shard-child scan in the expression, the constraints that
+    reach its shard key after translation through renaming [Map] heads
+    on both sides of the submit boundary — exactly the evidence {!prune}
+    acts on, reported instead of acted on. One entry per scan, preorder;
+    an empty constraint list for every scan of a partition means
+    partition pruning can never fire on this expression. The static
+    analyzer uses this to warn when a workload never constrains a
+    declared shard key. *)
+
 val prune :
   ?metrics:Disco_obs.Metrics.t ->
   shard:(string -> (Shard.partition * int) option) ->

@@ -248,6 +248,89 @@ let derives g tokens =
 
 let accepts g e = derives g (tokens_of_expr e)
 
+(* -- derivation coverage -- *)
+
+let production_to_string p =
+  p.lhs ^ " :- " ^ String.concat " " (List.map (function T t -> t | N n -> n) p.rhs)
+
+let named_attributes g =
+  let prefix = "ATTRIBUTE:" in
+  let plen = String.length prefix in
+  List.concat_map
+    (fun p ->
+      List.filter_map
+        (function
+          | T t when String.starts_with ~prefix t ->
+              Some (String.sub t plen (String.length t - plen))
+          | T _ | N _ -> None)
+        p.rhs)
+    g.productions
+  |> List.sort_uniq String.compare
+
+(* Which productions participate in a derivation? The Earley chart above
+   keeps no back-pointers, so coverage is computed separately: a
+   least-fixpoint derivability table over spans, then a top-down mark of
+   every production usable in some derivation of the whole sentence.
+   Grammars and sentences are tiny, so the cubic table is irrelevant. *)
+let used_productions g sentence =
+  let tokens = Array.of_list sentence in
+  let n = Array.length tokens in
+  let derivable : (string * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let d nt i j = Hashtbl.mem derivable (nt, i, j) in
+  (* end positions reachable by deriving [syms] from position [i] *)
+  let rec ends syms i =
+    match syms with
+    | [] -> [ i ]
+    | T t :: rest ->
+        if i < n && token_matches t tokens.(i) then ends rest (i + 1) else []
+    | N nt :: rest ->
+        List.init (n - i + 1) (fun k -> i + k)
+        |> List.concat_map (fun j -> if d nt i j then ends rest j else [])
+        |> List.sort_uniq compare
+  in
+  let spans syms i j = List.mem j (ends syms i) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun p ->
+        for i = 0 to n do
+          for j = i to n do
+            if (not (d p.lhs i j)) && spans p.rhs i j then (
+              Hashtbl.replace derivable (p.lhs, i, j) ();
+              changed := true)
+          done
+        done)
+      g.productions
+  done;
+  let used : (production, unit) Hashtbl.t = Hashtbl.create 16 in
+  let visited : (string * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* [spans p.rhs i j] holding means some split derives the span; walk
+     every valid split so each usable production is marked *)
+  let rec visit nt i j =
+    if not (Hashtbl.mem visited (nt, i, j)) then (
+      Hashtbl.replace visited (nt, i, j) ();
+      List.iter
+        (fun p ->
+          if p.lhs = nt && spans p.rhs i j then (
+            Hashtbl.replace used p ();
+            mark_rhs p.rhs i j))
+        g.productions)
+  and mark_rhs syms i j =
+    match syms with
+    | [] -> ()
+    | T t :: rest ->
+        if i < n && token_matches t tokens.(i) then mark_rhs rest (i + 1) j
+    | N nt :: rest ->
+        for k = i to j do
+          if d nt i k && spans rest k j then (
+            visit nt i k;
+            mark_rhs rest k j)
+        done
+  in
+  if d g.start 0 n then visit g.start 0 n;
+  List.filter (Hashtbl.mem used) g.productions
+
 (* -- standard grammars -- *)
 
 let get_only =

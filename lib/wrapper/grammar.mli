@@ -63,6 +63,22 @@ val derives : t -> string list -> bool
 val accepts : t -> Disco_algebra.Expr.expr -> bool
 (** [derives g (tokens_of_expr e)]. *)
 
+(** {1 Coverage} *)
+
+val production_to_string : production -> string
+(** One production in the paper's [a :- b c] notation. *)
+
+val named_attributes : t -> string list
+(** The attribute names the grammar mentions as named terminals
+    ([ATTRIBUTE:f]) — how {!indexed_lookup} advertises index-backed
+    productions. Sorted, duplicates removed. *)
+
+val used_productions : t -> string list -> production list
+(** The productions that participate in at least one derivation of the
+    token string, in grammar order; empty when the string does not
+    derive. The static analyzer's coverage primitive: a production no
+    workload sentence ever uses is a dead capability advertisement. *)
+
 (** {1 Standard grammars} *)
 
 val get_only : t

@@ -1,0 +1,585 @@
+(* Tests for the federation analyzer (lib/analysis):
+
+   - golden DISCO-Axxx diagnostics, one pair of fixtures per code
+     (present / absent after the fix the diagnostic suggests);
+   - the W006 extension of the wrapper audit (unbacked index
+     advertisements);
+   - JSON determinism and the shared lint/analyze diagnostic schema;
+   - doc/diagnostics.md staying in sync with the code registries;
+   - the availability property: the analyzer's predicted unavailable
+     set and residual query match what the live mediator actually
+     degrades to under forced outages (ISSUE satellite 4). *)
+
+module V = Disco_value.Value
+module Schema = Disco_relation.Schema
+module Database = Disco_relation.Database
+module Registry = Disco_odl.Registry
+module Odl_parser = Disco_odl.Odl_parser
+module Otype = Disco_odl.Otype
+module Eval = Disco_oql.Eval
+module Expr = Disco_algebra.Expr
+module Wrapper = Disco_wrapper.Wrapper
+module Check = Disco_check.Check
+module Catalog = Disco_catalog.Catalog
+module Source = Disco_source.Source
+module Schedule = Disco_source.Schedule
+module Datagen = Disco_source.Datagen
+module Mediator = Disco_core.Mediator
+module Runtime = Disco_runtime.Runtime
+module Analysis = Disco_analysis.Analysis
+
+let check_value = Alcotest.testable V.pp V.equal
+
+let index_of s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then -1 else if String.sub s i m = sub then i else go (i + 1)
+  in
+  go 0
+
+let contains s sub = index_of s sub >= 0
+
+let registry_of text =
+  let r = Registry.create () in
+  Odl_parser.load r text;
+  r
+
+let analyze ?queries text =
+  let workload =
+    Option.map (fun qs -> [ ("w.oql", String.concat "\n" qs) ]) queries
+  in
+  Analysis.analyze ?workload (registry_of text)
+
+let diag_codes (r : Analysis.report) =
+  List.map (fun (_, d) -> d.Check.d_code) r.Analysis.r_diags
+
+let has_code code r = List.mem code (diag_codes r)
+
+let check_code name code present r =
+  Alcotest.(check bool)
+    (Fmt.str "%s: %s %s in %s" name code
+       (if present then "present" else "absent")
+       (String.concat "," (diag_codes r)))
+    present (has_code code r)
+
+(* Three repositories, one wrapper, the paper's Person interface —
+   extent declarations are appended per test. *)
+let base_odl =
+  {|
+  r0 := Repository(host="h0", name="db", address="1");
+  r1 := Repository(host="h1", name="db", address="2");
+  r2 := Repository(host="h2", name="db", address="3");
+  w0 := WrapperPostgres();
+  interface Person (extent person) {
+    attribute Short id;
+    attribute String name;
+    attribute Short salary;
+  }
+|}
+
+(* -- corpus splitting -- *)
+
+let test_queries_of_corpus () =
+  let corpus =
+    "-- a comment\n\
+     select x from x in person0\n\
+     \n\
+     --@ directive: ignored\n\
+     select x.name from x in person1\n"
+  in
+  let qs = Analysis.queries_of_corpus ~file:"w.oql" corpus in
+  Alcotest.(check (list (pair string string)))
+    "locations and text"
+    [
+      ("w.oql:2", "select x from x in person0");
+      ("w.oql:5", "select x.name from x in person1");
+    ]
+    qs
+
+(* -- A001: single points of failure, and replicas removing them -- *)
+
+let test_spof_and_replica () =
+  let queries = [ "select x.name from x in person0" ] in
+  let fragile =
+    analyze ~queries
+      (base_odl ^ "extent person0 of Person wrapper w0 repository r0;")
+  in
+  check_code "fragile" "DISCO-A001" true fragile;
+  Alcotest.(check (list string)) "r0 is a SPOF" [ "r0" ] fragile.Analysis.r_spofs;
+  (* the fix the diagnostic suggests: declare a replica *)
+  let replicated =
+    analyze ~queries
+      (base_odl ^ "extent person0 of Person wrapper w0 repository r0 replica r2;")
+  in
+  check_code "replicated" "DISCO-A001" false replicated;
+  Alcotest.(check (list string))
+    "no SPOFs once replicated" [] replicated.Analysis.r_spofs
+
+let test_minimal_sources_and_class () =
+  let r =
+    analyze
+      ~queries:
+        [
+          "select x.name from x in person0 where x.salary > 10";
+          "select struct(n: x.name, s: y.salary) from x in person0, y in \
+           person1 where x.id = y.id";
+        ]
+      (base_odl
+     ^ {|extent person0 of Person wrapper w0 repository r0;
+         extent person1 of Person wrapper w0 repository r1;|})
+  in
+  match r.Analysis.r_queries with
+  | [ single; join ] ->
+      Alcotest.(check (list string))
+        "single-extent select contacts r0 only" [ "r0" ]
+        single.Analysis.q_sources;
+      Alcotest.(check string)
+        "single-extent select pushes fully" "pushed"
+        (Analysis.class_name single.Analysis.q_class);
+      Alcotest.(check (list string))
+        "cross-repository join contacts both" [ "r0"; "r1" ]
+        join.Analysis.q_sources;
+      Alcotest.(check string)
+        "cross-repository join leaves mediator work" "mixed"
+        (Analysis.class_name join.Analysis.q_class)
+  | qs -> Alcotest.fail (Fmt.str "expected 2 query reports, got %d" (List.length qs))
+
+(* -- A003: shard keys the workload never constrains -- *)
+
+let shard_odl =
+  base_odl ^ "extent emp of Person wrapper w0 sharded by id range (100) across r0 r1;"
+
+let test_unconstrained_shard_key () =
+  let scatter = analyze ~queries:[ "select x.name from x in emp" ] shard_odl in
+  check_code "scatter" "DISCO-A003" true scatter;
+  let pruned =
+    analyze ~queries:[ "select x.name from x in emp where x.id = 7" ] shard_odl
+  in
+  check_code "pruned" "DISCO-A003" false pruned
+
+(* -- A004: advertised index lookups no query filters on -- *)
+
+let indexed_odl =
+  base_odl
+  ^ {|wIdx := WrapperIndexed(eq="salary");
+      extent person0 of Person wrapper wIdx repository r0;|}
+
+let test_unused_index_advertisement () =
+  let unused =
+    analyze ~queries:[ "select x from x in person0 where x.name = \"bob\"" ]
+      indexed_odl
+  in
+  check_code "unused" "DISCO-A004" true unused;
+  let used =
+    analyze ~queries:[ "select x from x in person0 where x.salary = 10" ]
+      indexed_odl
+  in
+  check_code "used" "DISCO-A004" false used
+
+(* -- A005: type maps and views naming attributes the schema lacks -- *)
+
+let test_schema_inconsistency () =
+  let r =
+    analyze
+      (base_odl
+     ^ {|extent person0 of Person wrapper w0 repository r0;
+         extent legacy0 of Person wrapper w0 repository r1
+           map ((legacy=legacy0),(salary=wage));
+         define overpaid as select x.nope from x in person;|})
+  in
+  let a005 =
+    List.filter (fun (_, d) -> d.Check.d_code = "DISCO-A005") r.Analysis.r_diags
+  in
+  Alcotest.(check int) "two schema inconsistencies" 2 (List.length a005);
+  List.iter
+    (fun (_, d) ->
+      Alcotest.(check bool) "A005 is an error" true (d.Check.d_severity = Check.Error))
+    a005;
+  let paths = List.map (fun (_, d) -> d.Check.d_path) a005 in
+  Alcotest.(check bool)
+    "type map flagged" true
+    (List.exists (fun p -> contains p "extent(legacy0)") paths);
+  Alcotest.(check bool)
+    "view flagged" true
+    (List.exists (fun p -> contains p "view(overpaid)") paths)
+
+(* -- A006: cache-key collisions between inequivalent submits -- *)
+
+let bind v e = Expr.Map (e, Expr.Hstruct [ (v, Expr.Attr []) ])
+
+let select_attr attr =
+  Expr.Select (bind "x" (Expr.Get "person0"), Expr.Cmp (Expr.Eq, attr, Expr.Const (V.Int 5)))
+
+let collision_resolve = function
+  | "person0" ->
+      Some
+        (V.bag
+           [
+             V.strct [ ("id", V.Int 1); ("salary", V.Int 5) ];
+             V.strct [ ("id", V.Int 2); ("salary", V.Int 7) ];
+           ])
+  | _ -> None
+
+let test_cache_key_collision () =
+  (* [x.salary] and the single path component ["x.salary"] print the
+     same — same cache key — but resolve to different rows: a true
+     collision no parsable corpus produces. *)
+  let good = select_attr (Expr.Attr [ "x"; "salary" ]) in
+  let evil = select_attr (Expr.Attr [ "x.salary" ]) in
+  let ds =
+    Analysis.collision_diags ~resolve:collision_resolve
+      [ ("r0", good); ("r0", evil) ]
+  in
+  (match ds with
+  | [ d ] ->
+      Alcotest.(check string) "code" "DISCO-A006" d.Check.d_code;
+      Alcotest.(check bool) "severity" true (d.Check.d_severity = Check.Error)
+  | ds -> Alcotest.fail (Fmt.str "expected 1 collision, got %d" (List.length ds)));
+  (* flipped comparisons normalize to the same tree: equivalent, silent *)
+  let gt =
+    Expr.Select
+      ( bind "x" (Expr.Get "person0"),
+        Expr.Cmp (Expr.Gt, Expr.Attr [ "x"; "salary" ], Expr.Const (V.Int 5)) )
+  and lt =
+    Expr.Select
+      ( bind "x" (Expr.Get "person0"),
+        Expr.Cmp (Expr.Lt, Expr.Const (V.Int 5), Expr.Attr [ "x"; "salary" ]) )
+  in
+  Alcotest.(check int)
+    "flipped spellings are equivalent" 0
+    (List.length
+       (Analysis.collision_diags ~resolve:collision_resolve
+          [ ("r0", gt); ("r0", lt) ]));
+  (* distinct keys: no group, no diagnostic *)
+  Alcotest.(check int)
+    "different repositories never collide" 0
+    (List.length
+       (Analysis.collision_diags ~resolve:collision_resolve
+          [ ("r0", good); ("r1", evil) ]))
+
+(* -- W006: the wrapper audit rejects unbacked index advertisements -- *)
+
+let test_w006_unbacked_index () =
+  let w =
+    match
+      Wrapper.of_constructor_args "WrapperIndexed"
+        [ ("eq", V.String "id"); ("range", V.String "nickname") ]
+    with
+    | Some w -> w
+    | None -> Alcotest.fail "WrapperIndexed did not construct"
+  in
+  let attrs = [ ("id", Otype.TInt); ("name", Otype.TString) ] in
+  let w006 ds =
+    List.filter (fun d -> d.Check.d_code = "DISCO-W006") ds
+  in
+  (* no index declared anywhere: both advertisements are flagged *)
+  let ds = w006 (Check.audit_wrapper ~extent:"person0" ~attrs w) in
+  Alcotest.(check int) "both advertisements flagged" 2 (List.length ds);
+  Alcotest.(check bool)
+    "undeclared attribute named" true
+    (List.exists (fun d -> contains d.Check.d_message "nickname") ds);
+  (* an index on id: only the undeclared-attribute advertisement stays *)
+  let ds =
+    w006
+      (Check.audit_wrapper ~indexed:(fun f -> f = "id") ~extent:"person0"
+         ~attrs w)
+  in
+  Alcotest.(check int) "backed advertisement accepted" 1 (List.length ds);
+  Alcotest.(check bool)
+    "the survivor is the undeclared attribute" true
+    (List.for_all (fun d -> contains d.Check.d_message "nickname") ds)
+
+(* -- JSON determinism and the shared diagnostic schema -- *)
+
+let fixture_odl =
+  base_odl
+  ^ {|extent person0 of Person wrapper w0 repository r0;
+      extent emp of Person wrapper w0 sharded by id range (100) across r0 r1;|}
+
+let fixture_queries =
+  [ "select x.name from x in person0"; "select x.name from x in emp" ]
+
+let test_json_deterministic () =
+  let j1 = Analysis.json_of_report (analyze ~queries:fixture_queries fixture_odl)
+  and j2 = Analysis.json_of_report (analyze ~queries:fixture_queries fixture_odl) in
+  Alcotest.(check string) "independent runs render identically" j1 j2;
+  (* the diagnostics array is the lint schema: same keys, same order *)
+  Alcotest.(check bool) "diagnostics key present" true (contains j1 "\"diagnostics\"");
+  Alcotest.(check bool) "lint schema fields" true
+    (contains j1 "\"code\"" && contains j1 "\"severity\"" && contains j1 "\"message\"")
+
+let test_code_registries_disjoint () =
+  let codes =
+    List.map (fun (c, _, _) -> c) (Check.code_registry @ Analysis.code_registry)
+  in
+  Alcotest.(check int)
+    "no code is defined twice"
+    (List.length codes)
+    (List.length (List.sort_uniq String.compare codes))
+
+(* doc/diagnostics.md is generated; the committed copy must match the
+   registries (regenerate with `discoctl analyze --doc`). The dune
+   stanza declares the dependency, so the relative path resolves inside
+   the build sandbox. *)
+let test_doc_in_sync () =
+  (* `dune runtest` runs from the stanza dir, `dune exec` from the
+     workspace root — accept either *)
+  let path =
+    if Sys.file_exists "../doc/diagnostics.md" then "../doc/diagnostics.md"
+    else "doc/diagnostics.md"
+  in
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let committed = really_input_string ic n in
+  close_in ic;
+  Alcotest.(check string)
+    "doc/diagnostics.md regenerated" (Analysis.diagnostics_doc ()) committed
+
+(* -- publish: SPOFs become catalog entries -- *)
+
+let test_publish () =
+  let r =
+    analyze
+      ~queries:[ "select x.name from x in person0" ]
+      (base_odl ^ "extent person0 of Person wrapper w0 repository r0;")
+  in
+  let cat = Catalog.create ~name:"cat" in
+  Analysis.publish cat ~owner:"m0" r;
+  match Catalog.lookup cat Catalog.Repository "r0" with
+  | None -> Alcotest.fail "SPOF not published"
+  | Some e ->
+      Alcotest.(check (option string))
+        "marked fragile" (Some "true")
+        (List.assoc_opt "spof" e.Catalog.e_info);
+      Alcotest.(check (option string))
+        "affected query count" (Some "1")
+        (List.assoc_opt "affected_queries" e.Catalog.e_info)
+
+(* -- satellite 4: predictions vs the live runtime -- *)
+
+(* Three primaries holding person0..person2; with [replicate], a fourth
+   source r3 mirrors every table and each extent declares it as replica.
+   Sources in [down] never answer. Same data as the analyzer's ground
+   truth below. *)
+let truth_rows i =
+  Datagen.person_rows ~seed:(1000 + i) ~n:8
+  |> List.map (Schema.row_to_struct Datagen.person_schema)
+
+let truth_resolve = function
+  | "person0" -> Some (V.bag (truth_rows 0))
+  | "person1" -> Some (V.bag (truth_rows 1))
+  | "person2" -> Some (V.bag (truth_rows 2))
+  | "person" -> Some (V.bag (truth_rows 0 @ truth_rows 1 @ truth_rows 2))
+  | _ -> None
+
+let prop_federation ?(replicate = false) ?(down = []) () =
+  let m = Mediator.create ~name:"anprop" () in
+  Mediator.load_odl m
+    {|w0 := WrapperPostgres();
+      interface Person (extent person) {
+        attribute Short id;
+        attribute String name;
+        attribute Short salary; }|};
+  let mirror = Database.create ~name:"db" in
+  for i = 0 to 2 do
+    let rows = Datagen.person_rows ~seed:(1000 + i) ~n:8 in
+    let db = Database.create ~name:"db" in
+    ignore
+      (Datagen.table_of db
+         ~name:(Fmt.str "person%d" i)
+         Datagen.person_schema rows);
+    if replicate then
+      ignore
+        (Datagen.table_of mirror
+           ~name:(Fmt.str "person%d" i)
+           Datagen.person_schema rows);
+    let schedule =
+      if List.mem i down then Schedule.always_down else Schedule.always_up
+    in
+    Mediator.register_source m
+      ~name:(Fmt.str "r%d" i)
+      (Source.create ~id:(Fmt.str "p%d" i)
+         ~address:
+           (Source.address ~host:(Fmt.str "h%d" i) ~db_name:"db" ~ip:"0" ())
+         ~schedule (Source.Relational db));
+    Mediator.load_odl m
+      (Fmt.str {|r%d := Repository(host="h%d", name="db", address="0");|} i i)
+  done;
+  if replicate then (
+    Mediator.register_source m ~name:"r3"
+      (Source.create ~id:"mirror"
+         ~address:(Source.address ~host:"h3" ~db_name:"db" ~ip:"0" ())
+         (Source.Relational mirror));
+    Mediator.load_odl m
+      {|r3 := Repository(host="h3", name="db", address="0");|});
+  for i = 0 to 2 do
+    Mediator.load_odl m
+      (Fmt.str "extent person%d of Person wrapper w0 repository r%d%s;" i i
+         (if replicate then " replica r3" else ""))
+  done;
+  m
+
+let down_pred down r = List.mem r (List.map (Fmt.str "r%d") down)
+
+let bag_eq a b =
+  let sorted v = List.sort V.compare (V.elements v) in
+  List.equal V.equal (sorted a) (sorted b)
+
+(* Random single-shape selections over the implicit extent: every query
+   fans out to all three primaries, so any outage bites. *)
+let query_gen =
+  QCheck.Gen.(
+    map3
+      (fun attrib op threshold ->
+        Fmt.str "select x.name from x in person where x.%s %s %d" attrib op
+          threshold)
+      (oneofl [ "salary"; "id" ])
+      (oneofl [ ">"; "<"; ">="; "<="; "="; "!=" ])
+      (int_range 0 400))
+
+let outage_gen =
+  QCheck.Gen.(pair query_gen (list_size (int_range 0 3) (int_range 0 2)))
+
+let outage_arb =
+  QCheck.make
+    ~print:(fun (q, down) ->
+      Fmt.str "%s with down={%s}" q
+        (String.concat "," (List.map string_of_int down)))
+    outage_gen
+
+let prop_unavailable_matches_runtime =
+  QCheck.Test.make ~name:"predicted unavailable set = runtime's" ~count:40
+    outage_arb
+    (fun (q, down) ->
+      let down = List.sort_uniq Int.compare down in
+      let m = prop_federation ~down () in
+      let reg = Mediator.registry m in
+      match Analysis.plan_logical reg q with
+      | Error reason -> QCheck.Test.fail_reportf "planning failed: %s" reason
+      | Ok logical -> (
+          let predicted =
+            Analysis.predict_unavailable reg ~down:(down_pred down) logical
+          in
+          match (Mediator.query m q).Mediator.answer with
+          | Mediator.Complete _ -> predicted = []
+          | Mediator.Partial p ->
+              List.sort_uniq String.compare p.Runtime.unavailable = predicted
+          | Mediator.Unavailable _ -> false))
+
+let prop_residual_bag_equals_runtime =
+  QCheck.Test.make
+    ~name:"predicted residual bag-equals the runtime's partial answer"
+    ~count:40
+    (QCheck.make
+       ~print:(fun (q, down) ->
+         Fmt.str "%s with down={%s}" q
+           (String.concat "," (List.map string_of_int down)))
+       QCheck.Gen.(pair query_gen (list_size (int_range 1 3) (int_range 0 2))))
+    (fun (q, down) ->
+      let down = List.sort_uniq Int.compare down in
+      let m = prop_federation ~down () in
+      let reg = Mediator.registry m in
+      match Analysis.plan_logical reg q with
+      | Error reason -> QCheck.Test.fail_reportf "planning failed: %s" reason
+      | Ok logical -> (
+          let predicted =
+            Analysis.predicted_residual ~resolve:truth_resolve
+              ~down:(down_pred down) reg logical
+          in
+          let outcome = Mediator.query m q in
+          match (predicted, outcome.Mediator.answer) with
+          | None, Mediator.Complete _ -> true
+          | Some predicted_text, (Mediator.Partial _ as actual) ->
+              (* both residuals are self-contained queries; evaluated
+                 with every source's ground-truth data (simulating
+                 recovery) they must agree with each other and with the
+                 full answer *)
+              let env = Eval.env ~resolve:truth_resolve () in
+              let vp = Eval.eval_string env predicted_text
+              and va = Eval.eval_string env (Mediator.answer_oql actual)
+              and vfull = Eval.eval_string env q in
+              bag_eq vp va && bag_eq vp vfull
+          | None, _ -> QCheck.Test.fail_report "runtime degraded, analyzer did not"
+          | Some _, _ -> QCheck.Test.fail_report "analyzer degraded, runtime did not"))
+
+(* Replica-awareness, deterministically: with a mirror covering every
+   extent, losing one primary must be predicted — and observed — as
+   harmless; losing the mirror too restores the outage. *)
+let test_replica_failover_predicted () =
+  let m = prop_federation ~replicate:true ~down:[ 0 ] () in
+  let reg = Mediator.registry m in
+  let q = "select x.name from x in person where x.salary > 100" in
+  let logical =
+    match Analysis.plan_logical reg q with
+    | Ok l -> l
+    | Error reason -> Alcotest.fail ("planning failed: " ^ reason)
+  in
+  Alcotest.(check (list string))
+    "mirror covers the lost primary" []
+    (Analysis.predict_unavailable reg ~down:(fun r -> r = "r0") logical);
+  (match (Mediator.query m q).Mediator.answer with
+  | Mediator.Complete _ -> ()
+  | _ -> Alcotest.fail "runtime should fail over to the mirror");
+  (* mirror down too: r0's fragment is really gone now *)
+  (match Mediator.find_source m "r3" with
+  | Some src -> Source.set_schedule src Schedule.always_down
+  | None -> Alcotest.fail "mirror source missing");
+  Alcotest.(check (list string))
+    "no replica left" [ "r0" ]
+    (Analysis.predict_unavailable reg
+       ~down:(fun r -> r = "r0" || r = "r3")
+       logical);
+  match (Mediator.query m q).Mediator.answer with
+  | Mediator.Partial p ->
+      Alcotest.(check (list string))
+        "runtime agrees" [ "r0" ]
+        (List.sort_uniq String.compare p.Runtime.unavailable)
+  | _ -> Alcotest.fail "expected a partial answer"
+
+(* A complete answer sanity check: with everything up, the mediator's
+   answer bag-equals the reference evaluation of the ground truth. *)
+let test_ground_truth_agrees () =
+  let m = prop_federation () in
+  let q = "select x.name from x in person where x.salary > 100" in
+  match (Mediator.query m q).Mediator.answer with
+  | Mediator.Complete v ->
+      let expected =
+        Eval.eval_string (Eval.env ~resolve:truth_resolve ()) q
+      in
+      Alcotest.(check bool) "bag-equal" true (bag_eq v expected);
+      Alcotest.check check_value "and in fact equal" expected v
+  | _ -> Alcotest.fail "expected a complete answer"
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "analysis"
+    [
+      ("corpus", [ tc "queries_of_corpus" test_queries_of_corpus ]);
+      ( "availability",
+        [
+          tc "SPOF and replica (A001)" test_spof_and_replica;
+          tc "minimal sources and class" test_minimal_sources_and_class;
+        ] );
+      ( "coverage",
+        [
+          tc "unconstrained shard key (A003)" test_unconstrained_shard_key;
+          tc "unused index advertisement (A004)" test_unused_index_advertisement;
+          tc "schema inconsistency (A005)" test_schema_inconsistency;
+          tc "cache-key collision (A006)" test_cache_key_collision;
+          tc "unbacked index audit (W006)" test_w006_unbacked_index;
+        ] );
+      ( "rendering",
+        [
+          tc "JSON deterministic" test_json_deterministic;
+          tc "code registries disjoint" test_code_registries_disjoint;
+          tc "doc/diagnostics.md in sync" test_doc_in_sync;
+          tc "publish SPOFs" test_publish;
+        ] );
+      ( "runtime-agreement",
+        [
+          QCheck_alcotest.to_alcotest prop_unavailable_matches_runtime;
+          QCheck_alcotest.to_alcotest prop_residual_bag_equals_runtime;
+          tc "replica failover predicted" test_replica_failover_predicted;
+          tc "ground truth agrees" test_ground_truth_agrees;
+        ] );
+    ]
